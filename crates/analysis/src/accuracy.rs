@@ -1,0 +1,104 @@
+//! Detector accuracy against an oracle: precision, recall, F1.
+
+use std::collections::BTreeSet;
+
+/// Set-comparison accuracy of a predicted HHH set against the truth.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct SetAccuracy {
+    /// True positives (predicted ∩ truth).
+    pub tp: usize,
+    /// False positives (predicted ∖ truth).
+    pub fp: usize,
+    /// False negatives (truth ∖ predicted).
+    pub fn_: usize,
+}
+
+impl SetAccuracy {
+    /// Compare a prediction against the truth.
+    pub fn compare<T: Ord>(truth: &BTreeSet<T>, predicted: &BTreeSet<T>) -> Self {
+        let tp = truth.intersection(predicted).count();
+        SetAccuracy { tp, fp: predicted.len() - tp, fn_: truth.len() - tp }
+    }
+
+    /// Merge counts from another comparison (micro-averaging across
+    /// windows).
+    pub fn merge(&mut self, other: SetAccuracy) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// `tp / (tp + fp)`; 1 when nothing was predicted (no wrong
+    /// claims were made).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; 1 when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u32]) -> BTreeSet<u32> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let a = SetAccuracy::compare(&set(&[1, 2, 3]), &set(&[1, 2, 3]));
+        assert_eq!((a.tp, a.fp, a.fn_), (3, 0, 0));
+        assert_eq!(a.precision(), 1.0);
+        assert_eq!(a.recall(), 1.0);
+        assert_eq!(a.f1(), 1.0);
+    }
+
+    #[test]
+    fn over_and_under_prediction() {
+        let a = SetAccuracy::compare(&set(&[1, 2, 3, 4]), &set(&[3, 4, 5]));
+        assert_eq!((a.tp, a.fp, a.fn_), (2, 1, 2));
+        assert!((a.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.recall(), 0.5);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let a = SetAccuracy::compare(&set(&[]), &set(&[]));
+        assert_eq!(a.precision(), 1.0);
+        assert_eq!(a.recall(), 1.0);
+        let b = SetAccuracy::compare(&set(&[1]), &set(&[]));
+        assert_eq!(b.precision(), 1.0); // nothing claimed
+        assert_eq!(b.recall(), 0.0);
+        assert_eq!(b.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_micro_averages() {
+        let mut a = SetAccuracy::compare(&set(&[1, 2]), &set(&[1]));
+        a.merge(SetAccuracy::compare(&set(&[3]), &set(&[3, 4])));
+        assert_eq!((a.tp, a.fp, a.fn_), (2, 1, 1));
+    }
+}

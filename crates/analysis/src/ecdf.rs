@@ -1,0 +1,136 @@
+//! Empirical cumulative distribution functions (what Fig. 3 plots).
+
+/// An ECDF over a sample of `f64` values.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (NaNs are rejected). Panics on empty input
+    /// or NaN.
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "ECDF needs at least one value");
+        assert!(values.iter().all(|v| !v.is_nan()), "ECDF input contains NaN");
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Ecdf { sorted: values }
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` never (construction requires non-empty), present for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (`0 ≤ q ≤ 1`), by the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// The fraction of samples at or below each distinct value:
+    /// `(value, cumulative_fraction)` pairs ready for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &v) in self.sorted.iter().enumerate() {
+            let frac = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == v => last.1 = frac,
+                _ => out.push((v, frac)),
+            }
+        }
+        out
+    }
+
+    /// Evaluate on a fixed grid of `steps+1` points across `[lo, hi]`
+    /// (the format the figure printers want).
+    pub fn sampled(&self, lo: f64, hi: f64, steps: usize) -> Vec<(f64, f64)> {
+        assert!(steps > 0 && hi > lo, "invalid grid");
+        (0..=steps)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / steps as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Mean of the sample.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_steps_through_sample() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.2), 10.0);
+        assert_eq!(e.quantile(0.5), 30.0);
+        assert_eq!(e.quantile(0.7), 40.0);
+        assert_eq!(e.quantile(1.0), 50.0);
+    }
+
+    #[test]
+    fn points_merge_duplicates() {
+        let e = Ecdf::new(vec![1.0, 1.0, 2.0]);
+        assert_eq!(e.points(), vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn sampled_grid() {
+        let e = Ecdf::new(vec![0.5]);
+        let g = e.sampled(0.0, 1.0, 2);
+        assert_eq!(g, vec![(0.0, 0.0), (0.5, 1.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.quantile(1.0), 3.0);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_rejected() {
+        let _ = Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Ecdf::new(vec![f64::NAN]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Jaccard similarity of reported HHH sets.
+
+use hhh_window::WindowReport;
+use std::collections::BTreeSet;
+
+/// The Jaccard similarity `|A∩B| / |A∪B|` of two sets.
+///
+/// Both sets empty is defined as similarity 1 (two windows that agree
+/// "nothing is heavy" agree completely — the convention that keeps
+/// Fig. 3's per-window comparison total).
+pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Jaccard similarity of the prefix sets of two window reports.
+pub fn jaccard_reports<P: Ord + Copy>(a: &WindowReport<P>, b: &WindowReport<P>) -> f64 {
+    jaccard(&a.prefix_set(), &b.prefix_set())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u32]) -> BTreeSet<u32> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn identical_sets() {
+        assert_eq!(jaccard(&set(&[1, 2, 3]), &set(&[1, 2, 3])), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(jaccard(&set(&[1, 2]), &set(&[3, 4])), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // |{2,3}| / |{1,2,3,4}| = 0.5
+        assert_eq!(jaccard(&set(&[1, 2, 3]), &set(&[2, 3, 4])), 0.5);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(jaccard(&set(&[]), &set(&[])), 1.0);
+        assert_eq!(jaccard(&set(&[1]), &set(&[])), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = set(&[1, 5, 9]);
+        let b = set(&[5, 9, 11, 13]);
+        assert_eq!(jaccard(&a, &b), jaccard(&b, &a));
+    }
+
+    #[test]
+    fn reports_wrapper() {
+        use hhh_core::HhhReport;
+        use hhh_nettypes::Nanos;
+        let mk = |prefixes: &[u32]| WindowReport {
+            index: 0,
+            start: Nanos::ZERO,
+            end: Nanos::from_secs(1),
+            total: 1,
+            hhhs: prefixes
+                .iter()
+                .map(|&p| HhhReport { prefix: p, level: 0, estimate: 1, discounted: 1, lower_bound: 1 })
+                .collect(),
+        };
+        assert_eq!(jaccard_reports(&mk(&[1, 2]), &mk(&[2, 3])), 1.0 / 3.0);
+    }
+}

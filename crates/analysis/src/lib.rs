@@ -1,0 +1,30 @@
+//! # hhh-analysis
+//!
+//! Metrics and reporting: the measurement half of the paper.
+//!
+//! * [`jaccard`] — the set-similarity coefficient Fig. 3 is built on.
+//! * [`hidden`] — the hidden-HHH computation behind Fig. 2: which
+//!   prefixes does a sliding window reveal that disjoint windows never
+//!   report?
+//! * [`Ecdf`] — empirical CDFs (Fig. 3 plots one per window delta).
+//! * [`SetAccuracy`] — precision/recall/F1 of a detector against the
+//!   exact oracle (the §3 "accuracy" comparison).
+//! * [`Table`] / [`csv`] — plain-text tables and CSV series, the
+//!   output formats of every experiment binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accuracy;
+pub mod csv;
+mod ecdf;
+pub mod hidden;
+mod jaccard;
+mod stats;
+mod table;
+
+pub use accuracy::SetAccuracy;
+pub use ecdf::Ecdf;
+pub use jaccard::{jaccard, jaccard_reports};
+pub use stats::{mean, median, percentile};
+pub use table::{fmt_f, Table};

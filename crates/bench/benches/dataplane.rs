@@ -1,0 +1,65 @@
+//! The match-action pipeline model's overhead: the constrained
+//! programs against their unconstrained references. The delta is the
+//! cost of the discipline bookkeeping (begin_packet, access tracking)
+//! plus, for the TDBF, integer vs floating-point decay.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hhh_bench::fixture;
+use hhh_core::HashPipe;
+use hhh_dataplane::programs::{DpHashPipe, DpTdbf};
+use hhh_nettypes::TimeSpan;
+use hhh_sketches::{DecayRate, OnDemandTdbf};
+use std::hint::black_box;
+
+fn bench_dataplane(c: &mut Criterion) {
+    let pkts = fixture(4);
+    let rate = DecayRate::from_half_life(TimeSpan::from_secs(5));
+
+    let mut g = c.benchmark_group("dataplane_vs_reference");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+
+    g.bench_function("hashpipe_reference", |b| {
+        b.iter(|| {
+            let mut d = HashPipe::<u32>::new(4, 1024, 7);
+            for p in &pkts {
+                d.observe(black_box(p.src), p.wire_len as u64);
+            }
+            black_box(d.total())
+        })
+    });
+
+    g.bench_function("hashpipe_pipeline_model", |b| {
+        b.iter(|| {
+            let mut d = DpHashPipe::new(4, 1024, 7);
+            for p in &pkts {
+                d.observe(black_box(p.src), p.wire_len as u64).expect("discipline");
+            }
+            black_box(d.resources().max_register_accesses)
+        })
+    });
+
+    g.bench_function("tdbf_reference_float", |b| {
+        b.iter(|| {
+            let mut d = OnDemandTdbf::<u32>::new(4096, 4, rate, 7);
+            for p in &pkts {
+                d.insert(black_box(&p.src), p.wire_len as f64, p.ts);
+            }
+            black_box(d.cell_count())
+        })
+    });
+
+    g.bench_function("tdbf_pipeline_model_fixed", |b| {
+        b.iter(|| {
+            let mut d = DpTdbf::new(4096, 4, rate, TimeSpan::from_millis(1), 7);
+            for p in &pkts {
+                d.insert(black_box(p.src), p.wire_len as u64, p.ts).expect("discipline");
+            }
+            black_box(d.resources().max_register_accesses)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dataplane);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Per-packet update cost of every detector — the benchmark behind the
+//! §3 "performance" comparison (E3b). Throughput is reported in
+//! packets/second; expect RHHH ≈ levels× faster than full-ancestry
+//! Space-Saving, and the exact hash map fastest of all (it just can't
+//! afford the memory at line rate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hhh_bench::fixture;
+use hhh_core::{
+    ContinuousDetector, ExactHhh, HashPipe, HhhDetector, Rhhh, SpaceSavingHhh, TdbfHhh,
+    TdbfHhhConfig, UnivMonLite,
+};
+use hhh_hierarchy::Ipv4Hierarchy;
+use hhh_nettypes::TimeSpan;
+use std::hint::black_box;
+
+fn bench_detectors(c: &mut Criterion) {
+    let pkts = fixture(4);
+    let h = Ipv4Hierarchy::bytes();
+    let mut g = c.benchmark_group("detector_update");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.sample_size(20);
+
+    g.bench_function("exact", |b| {
+        b.iter(|| {
+            let mut d = ExactHhh::new(h);
+            for p in &pkts {
+                HhhDetector::<Ipv4Hierarchy>::observe(&mut d, black_box(p.src), p.wire_len as u64);
+            }
+            black_box(d.total())
+        })
+    });
+
+    g.bench_function("ss-hhh/256", |b| {
+        b.iter(|| {
+            let mut d = SpaceSavingHhh::new(h, 256);
+            for p in &pkts {
+                d.observe(black_box(p.src), p.wire_len as u64);
+            }
+            black_box(d.total())
+        })
+    });
+
+    g.bench_function("rhhh/256", |b| {
+        b.iter(|| {
+            let mut d = Rhhh::new(h, 256, 7);
+            for p in &pkts {
+                d.observe(black_box(p.src), p.wire_len as u64);
+            }
+            black_box(d.total())
+        })
+    });
+
+    g.bench_function("tdbf-hhh", |b| {
+        b.iter(|| {
+            let mut d = TdbfHhh::new(
+                h,
+                TdbfHhhConfig { half_life: TimeSpan::from_secs(5), ..TdbfHhhConfig::default() },
+            );
+            for p in &pkts {
+                d.observe(p.ts, black_box(p.src), p.wire_len as u64);
+            }
+            black_box(d.observed_weight())
+        })
+    });
+
+    g.bench_function("hashpipe/4x1024", |b| {
+        b.iter(|| {
+            let mut d = HashPipe::<u32>::new(4, 1024, 7);
+            for p in &pkts {
+                d.observe(black_box(p.src), p.wire_len as u64);
+            }
+            black_box(d.total())
+        })
+    });
+
+    g.bench_function("univmon/12x512", |b| {
+        b.iter(|| {
+            let mut d = UnivMonLite::<u32>::new(12, 512, 5, 64, 7);
+            for p in &pkts {
+                d.observe(black_box(p.src), p.wire_len as u64);
+            }
+            black_box(d.total())
+        })
+    });
+    g.finish();
+
+    // Report cost: how expensive is asking for the HHH set?
+    let mut g = c.benchmark_group("detector_report");
+    g.sample_size(30);
+    let threshold = hhh_core::Threshold::percent(5.0);
+    let mut exact = ExactHhh::new(h);
+    let mut ss = SpaceSavingHhh::new(h, 256);
+    for p in &pkts {
+        HhhDetector::<Ipv4Hierarchy>::observe(&mut exact, p.src, p.wire_len as u64);
+        ss.observe(p.src, p.wire_len as u64);
+    }
+    for (name, d) in [("exact", &exact as &dyn HhhDetector<Ipv4Hierarchy>), ("ss-hhh", &ss)] {
+        g.bench_with_input(BenchmarkId::new("report", name), &d, |b, d| {
+            b.iter(|| black_box(d.report(threshold)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! The Figure 2 pipeline as a benchmark: one sliding-exact pass over a
+//! day slice plus the hidden-HHH analysis, at each of the paper's
+//! window sizes. Regenerating the full figure is `cargo run --release
+//! -p hhh-experiments --bin fig2`; this target tracks the *cost* of
+//! that measurement so pipeline regressions show up in CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hhh_analysis::hidden::hidden_hhh;
+use hhh_bench::fixture;
+use hhh_core::Threshold;
+use hhh_hierarchy::Ipv4Hierarchy;
+use hhh_nettypes::{Measure, TimeSpan};
+use hhh_window::driver::run_sliding_exact;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let horizon_s = 30u64;
+    let pkts = fixture(horizon_s);
+    let horizon = TimeSpan::from_secs(horizon_s);
+    let step = TimeSpan::from_secs(1);
+    let thresholds =
+        [Threshold::percent(1.0), Threshold::percent(5.0), Threshold::percent(10.0)];
+    let h = Ipv4Hierarchy::bytes();
+
+    let mut g = c.benchmark_group("fig2_pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    for window_s in [5u64, 10, 20] {
+        g.bench_with_input(
+            BenchmarkId::new("sliding_plus_hidden", format!("{window_s}s")),
+            &window_s,
+            |b, &window_s| {
+                let window = TimeSpan::from_secs(window_s);
+                b.iter(|| {
+                    let sliding = run_sliding_exact(
+                        pkts.iter().copied(),
+                        horizon,
+                        window,
+                        step,
+                        &h,
+                        &thresholds,
+                        Measure::Bytes,
+                        |p| p.src,
+                    );
+                    let epw = window / step;
+                    let mut out = Vec::new();
+                    for per_threshold in &sliding {
+                        let disjoint: Vec<_> = per_threshold
+                            .iter()
+                            .filter(|r| r.index % epw == 0)
+                            .cloned()
+                            .collect();
+                        out.push(hidden_hhh(per_threshold, &disjoint).hidden_fraction);
+                    }
+                    black_box(out)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

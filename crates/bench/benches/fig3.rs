@@ -1,0 +1,61 @@
+//! The Figure 3 pipeline as a benchmark: the micro-varied window run
+//! (baseline + ten deltas, one pass) plus the Jaccard series.
+//! Regenerating the figure itself is `cargo run --release -p
+//! hhh-experiments --bin fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hhh_analysis::jaccard_reports;
+use hhh_bench::fixture;
+use hhh_core::Threshold;
+use hhh_hierarchy::Ipv4Hierarchy;
+use hhh_nettypes::{Measure, TimeSpan};
+use hhh_window::driver::run_microvaried;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let horizon_s = 30u64;
+    let pkts = fixture(horizon_s);
+    let horizon = TimeSpan::from_secs(horizon_s);
+    let base = TimeSpan::from_secs(10);
+    let deltas: Vec<TimeSpan> = (1..=10).map(|k| TimeSpan::from_millis(k * 10)).collect();
+    let threshold = Threshold::percent(5.0);
+
+    let mut g = c.benchmark_group("fig3_pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    // Both hierarchy granularities: the byte hierarchy is the cheap
+    // one, the bit hierarchy is what the experiment uses.
+    for (name, levels) in [("bytes", 8u8), ("bits", 1u8)] {
+        g.bench_with_input(BenchmarkId::new("microvaried", name), &levels, |b, &gran| {
+            let h = Ipv4Hierarchy::new(gran);
+            b.iter(|| {
+                let run = run_microvaried(
+                    pkts.iter().copied(),
+                    horizon,
+                    base,
+                    &deltas,
+                    &h,
+                    threshold,
+                    Measure::Bytes,
+                    |p| p.src,
+                );
+                let sims: Vec<f64> = run
+                    .variants
+                    .iter()
+                    .flat_map(|(_, reports)| {
+                        run.baseline
+                            .iter()
+                            .zip(reports)
+                            .map(|(b, v)| jaccard_reports(b, v))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                black_box(sims)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Micro-benchmarks for every sketch primitive: the per-update and
+//! per-query costs that the detector costs decompose into.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hhh_nettypes::{Nanos, TimeSpan};
+use hhh_sketches::{
+    BloomFilter, CountMinSketch, CountSketch, DecayRate, ExpHistogram, LossyCounting, MisraGries,
+    OnDemandTdbf, SlidingWindowSummary, SpaceSaving, SweepingTdbf,
+};
+use std::hint::black_box;
+
+const N: u64 = 100_000;
+
+/// Deterministic skewed key stream.
+fn keys() -> Vec<u64> {
+    (0..N)
+        .map(|i| {
+            if i % 3 == 0 {
+                i % 16
+            } else {
+                (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 10_000
+            }
+        })
+        .collect()
+}
+
+fn bench_sketches(c: &mut Criterion) {
+    let ks = keys();
+    let mut g = c.benchmark_group("sketch_update");
+    g.throughput(Throughput::Elements(N));
+    g.sample_size(20);
+
+    g.bench_function("count_min/1024x4", |b| {
+        b.iter(|| {
+            let mut s = CountMinSketch::<u64>::new(1024, 4, 1);
+            for k in &ks {
+                s.update(black_box(k), 3);
+            }
+            black_box(s.total())
+        })
+    });
+
+    g.bench_function("count_min_conservative/1024x4", |b| {
+        b.iter(|| {
+            let mut s = CountMinSketch::<u64>::new(1024, 4, 1).with_conservative_update();
+            for k in &ks {
+                s.update(black_box(k), 3);
+            }
+            black_box(s.total())
+        })
+    });
+
+    g.bench_function("count_sketch/1024x5", |b| {
+        b.iter(|| {
+            let mut s = CountSketch::<u64>::new(1024, 5, 1);
+            for k in &ks {
+                s.update(black_box(k), 3);
+            }
+            black_box(s.total())
+        })
+    });
+
+    g.bench_function("space_saving/256", |b| {
+        b.iter(|| {
+            let mut s = SpaceSaving::<u64>::new(256);
+            for k in &ks {
+                s.update(black_box(*k), 3);
+            }
+            black_box(s.total())
+        })
+    });
+
+    g.bench_function("misra_gries/256", |b| {
+        b.iter(|| {
+            let mut s = MisraGries::<u64>::new(256);
+            for k in &ks {
+                s.update(black_box(*k), 3);
+            }
+            black_box(s.total())
+        })
+    });
+
+    g.bench_function("lossy_counting/eps0.004", |b| {
+        b.iter(|| {
+            let mut s = LossyCounting::<u64>::new(0.004);
+            for k in &ks {
+                s.update(black_box(*k), 3);
+            }
+            black_box(s.len())
+        })
+    });
+
+    g.bench_function("bloom/64k", |b| {
+        b.iter(|| {
+            let mut s = BloomFilter::<u64>::new(1 << 16, 4, 1);
+            for k in &ks {
+                s.insert(black_box(k));
+            }
+            black_box(s.inserted())
+        })
+    });
+
+    let rate = DecayRate::from_half_life(TimeSpan::from_secs(5));
+    g.bench_function("tdbf_on_demand/4096x4", |b| {
+        b.iter(|| {
+            let mut s = OnDemandTdbf::<u64>::new(4096, 4, rate, 1);
+            for (i, k) in ks.iter().enumerate() {
+                s.insert(black_box(k), 3.0, Nanos::from_micros(i as u64 * 40));
+            }
+            black_box(s.cell_count())
+        })
+    });
+
+    g.bench_function("tdbf_sweeping/4096x4", |b| {
+        b.iter(|| {
+            let mut s = SweepingTdbf::<u64>::new(4096, 4, rate, TimeSpan::from_millis(100), 1);
+            for (i, k) in ks.iter().enumerate() {
+                s.insert(black_box(k), 3.0, Nanos::from_micros(i as u64 * 40));
+            }
+            black_box(s.sweeps())
+        })
+    });
+
+    g.bench_function("sliding_window_summary/10k", |b| {
+        b.iter(|| {
+            let mut s = SlidingWindowSummary::<u64>::new(10_000, 10, 64);
+            for k in &ks {
+                s.insert(black_box(*k));
+            }
+            black_box(s.items_seen())
+        })
+    });
+
+    g.bench_function("exp_histogram/eps0.05", |b| {
+        b.iter(|| {
+            let mut s = ExpHistogram::new(0.05, TimeSpan::from_secs(10));
+            for i in 0..N {
+                s.insert(Nanos::from_micros(i * 40));
+            }
+            black_box(s.bucket_count())
+        })
+    });
+    g.finish();
+
+    // Query costs on populated structures.
+    let mut g = c.benchmark_group("sketch_query");
+    g.sample_size(30);
+    let mut cms = CountMinSketch::<u64>::new(1024, 4, 1);
+    let mut ss = SpaceSaving::<u64>::new(256);
+    let mut tdbf = OnDemandTdbf::<u64>::new(4096, 4, rate, 1);
+    for (i, k) in ks.iter().enumerate() {
+        cms.update(k, 3);
+        ss.update(*k, 3);
+        tdbf.insert(k, 3.0, Nanos::from_micros(i as u64 * 40));
+    }
+    let now = Nanos::from_secs(5);
+    g.bench_function("count_min_estimate", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..1000u64 {
+                acc += cms.estimate(black_box(&k));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("space_saving_heavy_hitters", |b| {
+        b.iter(|| black_box(ss.heavy_hitters(black_box(1000))))
+    });
+    g.bench_function("tdbf_estimate", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for k in 0..1000u64 {
+                acc += tdbf.estimate(black_box(&k), now);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sketches);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! The window engines themselves: what does each window model cost per
+//! packet, independent of any approximate detector?
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hhh_bench::fixture;
+use hhh_core::{ExactHhh, Threshold};
+use hhh_hierarchy::Ipv4Hierarchy;
+use hhh_nettypes::{Measure, TimeSpan};
+use hhh_window::driver::{run_disjoint, run_sliding_exact};
+use hhh_window::geometry;
+use std::hint::black_box;
+
+fn bench_windows(c: &mut Criterion) {
+    let horizon_s = 20u64;
+    let pkts = fixture(horizon_s);
+    let horizon = TimeSpan::from_secs(horizon_s);
+    let window = TimeSpan::from_secs(5);
+    let t = [Threshold::percent(5.0)];
+    let h = Ipv4Hierarchy::bytes();
+
+    let mut g = c.benchmark_group("window_engines");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+
+    g.bench_function("disjoint_exact", |b| {
+        b.iter(|| {
+            let mut det = ExactHhh::new(h);
+            black_box(run_disjoint(
+                pkts.iter().copied(),
+                horizon,
+                window,
+                &h,
+                &mut det,
+                &t,
+                Measure::Bytes,
+                |p| p.src,
+            ))
+        })
+    });
+
+    for step_s in [1u64, 5] {
+        g.bench_function(format!("sliding_exact_step{step_s}s"), |b| {
+            b.iter(|| {
+                black_box(run_sliding_exact(
+                    pkts.iter().copied(),
+                    horizon,
+                    window,
+                    TimeSpan::from_secs(step_s),
+                    &h,
+                    &t,
+                    Measure::Bytes,
+                    |p| p.src,
+                ))
+            })
+        });
+    }
+    g.finish();
+
+    // Pure geometry (should be trivially cheap; regression canary).
+    let mut g = c.benchmark_group("window_geometry");
+    g.bench_function("schedules", |b| {
+        b.iter(|| {
+            let d = geometry::disjoint(TimeSpan::from_secs(3600), TimeSpan::from_secs(5));
+            let s = geometry::sliding(
+                TimeSpan::from_secs(3600),
+                TimeSpan::from_secs(5),
+                TimeSpan::from_secs(1),
+            );
+            let m = geometry::microvaried(
+                TimeSpan::from_secs(3600),
+                TimeSpan::from_secs(10),
+                TimeSpan::from_millis(100),
+            );
+            black_box((d.len(), s.len(), m.len()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_windows);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! # hhh-bench
+//!
+//! Criterion benchmarks — one bench target per paper artifact plus
+//! micro-benchmarks for every algorithm layer:
+//!
+//! | target | measures |
+//! |--------|----------|
+//! | `fig2` | the Figure 2 pipeline (sliding-exact run + hidden-HHH analysis) |
+//! | `fig3` | the Figure 3 pipeline (micro-varied window run + Jaccard) |
+//! | `detectors` | per-packet update cost of every HHH/HH detector (the §3 "performance" axis) |
+//! | `sketches` | update/query cost of each sketch primitive |
+//! | `windows` | the window engines themselves (disjoint vs sliding vs micro-varied) |
+//! | `dataplane` | the pipeline-model programs vs their unconstrained references |
+//!
+//! Run all with `cargo bench --workspace`, or a single target with
+//! e.g. `cargo bench -p hhh-bench --bench detectors`.
+//!
+//! This library exposes the shared fixture (a deterministic packet
+//! batch) so all targets measure against identical traffic.
+
+#![forbid(unsafe_code)]
+
+use hhh_nettypes::{PacketRecord, TimeSpan};
+use hhh_trace::{scenarios, TraceGenerator};
+
+/// A deterministic packet batch: `secs` seconds of day-0 traffic.
+pub fn fixture(secs: u64) -> Vec<PacketRecord> {
+    TraceGenerator::new(
+        scenarios::day_trace(0, TimeSpan::from_secs(secs)),
+        scenarios::day_seed(0),
+    )
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixture_is_deterministic_and_nonempty() {
+        let a = super::fixture(1);
+        let b = super::fixture(1);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,60 @@
+//! Detector traits: the contract between algorithms and the window
+//! engine.
+
+use crate::report::{HhhReport, Threshold};
+use hhh_hierarchy::Hierarchy;
+use hhh_nettypes::Nanos;
+
+/// A windowed streaming HHH detector.
+///
+/// The window engine (in `hhh-window`) feeds items via
+/// [`observe`](Self::observe), asks for HHHs at window boundaries via
+/// [`report`](Self::report), and calls [`reset`](Self::reset) between
+/// disjoint windows — exactly the "reset the data structure at the end
+/// of each time window" practice whose blind spots the paper
+/// quantifies.
+pub trait HhhDetector<H: Hierarchy> {
+    /// Account `weight` (bytes or packets) to `item`.
+    fn observe(&mut self, item: H::Item, weight: u64);
+
+    /// Total weight observed since the last reset.
+    fn total(&self) -> u64;
+
+    /// The HHH set at a relative threshold, sorted by (level, prefix).
+    fn report(&self, threshold: Threshold) -> Vec<HhhReport<H::Prefix>>;
+
+    /// Forget everything (window boundary).
+    fn reset(&mut self);
+
+    /// Approximate memory footprint in bytes, for the resource
+    /// comparisons the paper's §3 calls for.
+    fn state_bytes(&self) -> usize;
+
+    /// Short algorithm name for tables and logs.
+    fn name(&self) -> &'static str;
+}
+
+/// A windowless (continuous-time) detector: the kind of algorithm the
+/// paper argues the community should build.
+///
+/// Instead of reset + report at boundaries, observations carry
+/// timestamps and a report can be requested *at any instant* — there is
+/// no window to align with, so there is nothing for a burst to
+/// straddle.
+pub trait ContinuousDetector<H: Hierarchy> {
+    /// Account `weight` to `item` at trace time `ts` (non-decreasing).
+    fn observe(&mut self, ts: Nanos, item: H::Item, weight: u64);
+
+    /// Decayed total traffic as of `now`.
+    fn decayed_total(&self, now: Nanos) -> f64;
+
+    /// The HHH set at `now`: prefixes whose decayed discounted count
+    /// exceeds θ × decayed total.
+    fn report_at(&self, now: Nanos, threshold: Threshold) -> Vec<HhhReport<H::Prefix>>;
+
+    /// Approximate memory footprint in bytes.
+    fn state_bytes(&self) -> usize;
+
+    /// Short algorithm name for tables and logs.
+    fn name(&self) -> &'static str;
+}

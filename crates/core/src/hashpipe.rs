@@ -1,0 +1,263 @@
+//! HashPipe — "Heavy-Hitter Detection Entirely in the Data Plane"
+//! (Sivaraman, Narayana, Rottenstreich, Muthukrishnan, Rexford,
+//! SOSR 2017): the paper's reference [5] and one of the disjoint-window
+//! systems whose blind spots the paper measures.
+//!
+//! HashPipe is a pipeline of `d` hash-indexed tables designed for
+//! match-action hardware: each stage is touched exactly once per
+//! packet (read-modify-write of a single slot), which is what a
+//! P4 pipeline can actually do. The algorithm:
+//!
+//! * **Stage 0**: always insert. If the slot holds the packet's key,
+//!   add; otherwise kick the occupant out and carry it downstream.
+//! * **Stages 1..d**: if the slot holds the carried key, merge and
+//!   stop; if the slot is weaker (smaller count) than the carried
+//!   entry, swap and carry the weaker one on; after the last stage the
+//!   carried remnant is dropped (undercount, never overcount — the
+//!   mirror image of Space-Saving).
+//!
+//! This is a plain heavy-hitter (not HHH) algorithm; it appears here as
+//! the baseline the comparison experiment runs windows over, and
+//! `hhh-dataplane` maps this exact logic onto its match-action pipeline
+//! model to account hardware resources.
+
+use hhh_sketches::hash::{hash_of, reduce, seed_sequence};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+#[derive(Clone, Copy, Debug)]
+struct Slot<K> {
+    key: Option<K>,
+    count: u64,
+}
+
+/// The HashPipe heavy-hitter pipeline.
+#[derive(Clone, Debug)]
+pub struct HashPipe<K> {
+    /// `stages × slots_per_stage` slot matrix.
+    stages: Vec<Vec<Slot<K>>>,
+    seeds: Vec<u64>,
+    slots_per_stage: usize,
+    total: u64,
+}
+
+impl<K: Hash + Eq + Copy> HashPipe<K> {
+    /// A pipeline of `stages` tables with `slots_per_stage` slots each.
+    /// Panics if either is zero.
+    pub fn new(stages: usize, slots_per_stage: usize, seed: u64) -> Self {
+        assert!(stages > 0 && slots_per_stage > 0, "HashPipe dimensions must be non-zero");
+        HashPipe {
+            stages: vec![vec![Slot { key: None, count: 0 }; slots_per_stage]; stages],
+            seeds: seed_sequence(seed, stages),
+            slots_per_stage,
+            total: 0,
+        }
+    }
+
+    /// Number of pipeline stages.
+    pub fn stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Slots per stage.
+    pub fn slots_per_stage(&self) -> usize {
+        self.slots_per_stage
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.stages.len() * self.slots_per_stage * core::mem::size_of::<Slot<K>>()
+    }
+
+    /// Observe `weight` for `key`.
+    pub fn observe(&mut self, key: K, weight: u64) {
+        self.total += weight;
+        // Stage 0: always insert.
+        let idx = reduce(hash_of(&key, self.seeds[0]), self.slots_per_stage);
+        let slot = &mut self.stages[0][idx];
+        let mut carried = match slot.key {
+            Some(k) if k == key => {
+                slot.count += weight;
+                return;
+            }
+            None => {
+                *slot = Slot { key: Some(key), count: weight };
+                return;
+            }
+            Some(k) => {
+                let evicted = Slot { key: Some(k), count: slot.count };
+                *slot = Slot { key: Some(key), count: weight };
+                evicted
+            }
+        };
+        // Downstream stages: keep the heavier entry, carry the lighter.
+        for s in 1..self.stages.len() {
+            let ck = carried.key.expect("carried entries always keyed");
+            let idx = reduce(hash_of(&ck, self.seeds[s]), self.slots_per_stage);
+            let slot = &mut self.stages[s][idx];
+            match slot.key {
+                Some(k) if k == ck => {
+                    slot.count += carried.count;
+                    return;
+                }
+                None => {
+                    *slot = carried;
+                    return;
+                }
+                Some(_) if slot.count < carried.count => {
+                    core::mem::swap(slot, &mut carried);
+                }
+                Some(_) => {}
+            }
+        }
+        // Carried remnant falls off the end of the pipe: undercount.
+    }
+
+    /// The pipeline's estimate for a key: sum over stages (a key can
+    /// occupy one slot per stage after evictions). Never overestimates.
+    pub fn estimate(&self, key: &K) -> u64 {
+        let mut est = 0;
+        for (s, stage) in self.stages.iter().enumerate() {
+            let idx = reduce(hash_of(key, self.seeds[s]), self.slots_per_stage);
+            if stage[idx].key.as_ref() == Some(key) {
+                est += stage[idx].count;
+            }
+        }
+        est
+    }
+
+    /// All tracked keys with aggregated counts at or above `threshold`,
+    /// descending by count (ties broken by key, for reproducibility).
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)>
+    where
+        K: Ord,
+    {
+        let mut agg: HashMap<K, u64> = HashMap::new();
+        for stage in &self.stages {
+            for slot in stage {
+                if let Some(k) = slot.key {
+                    *agg.entry(k).or_default() += slot.count;
+                }
+            }
+        }
+        let mut out: Vec<_> = agg.into_iter().filter(|(_, c)| *c >= threshold).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Reset all slots.
+    pub fn reset(&mut self) {
+        for stage in &mut self.stages {
+            for slot in stage {
+                *slot = Slot { key: None, count: 0 };
+            }
+        }
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_key_is_exact() {
+        let mut hp = HashPipe::<u64>::new(4, 64, 1);
+        for _ in 0..100 {
+            hp.observe(42, 3);
+        }
+        assert_eq!(hp.estimate(&42), 300);
+        assert_eq!(hp.total(), 300);
+    }
+
+    #[test]
+    fn never_overestimates() {
+        let mut hp = HashPipe::<u64>::new(3, 32, 2);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20_000 {
+            let k = (rng.gen::<f64>().powi(2) * 500.0) as u64;
+            let w = rng.gen_range(1..100);
+            hp.observe(k, w);
+            *truth.entry(k).or_default() += w;
+        }
+        for (k, t) in &truth {
+            assert!(hp.estimate(k) <= *t, "overestimate for {k}");
+        }
+    }
+
+    #[test]
+    fn heavy_keys_survive_churn() {
+        let mut hp = HashPipe::<u64>::new(4, 128, 7);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 100_000u64;
+        for i in 0..n {
+            // Keys 0..4 get 10% each; the rest is churn over 50k keys.
+            let k = if i % 10 < 5 { i % 10 } else { 1000 + rng.gen_range(0..50_000) };
+            hp.observe(k, 1);
+        }
+        for k in 0..5u64 {
+            let est = hp.estimate(&k);
+            let truth = n / 10;
+            assert!(
+                est as f64 > truth as f64 * 0.8,
+                "heavy key {k} estimate {est} lost too much of {truth}"
+            );
+        }
+        let hh = hp.heavy_hitters(n / 20);
+        let top: std::collections::HashSet<u64> = hh.iter().map(|e| e.0).collect();
+        for k in 0..5u64 {
+            assert!(top.contains(&k), "heavy key {k} missing from HH report");
+        }
+    }
+
+    #[test]
+    fn more_stages_help() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let stream: Vec<u64> = (0..50_000)
+            .map(|i| if i % 5 == 0 { i % 20 } else { 1000 + rng.gen_range(0..20_000) })
+            .collect();
+        let run = |stages: usize| {
+            let mut hp = HashPipe::<u64>::new(stages, 256 / stages, 9);
+            for &k in &stream {
+                hp.observe(k, 1);
+            }
+            // Total mass retained in the pipe (lost carries reduce it).
+            let retained: u64 = hp.heavy_hitters(0).iter().map(|e| e.1).sum();
+            retained
+        };
+        // Same total slot budget, more stages: retention should not
+        // collapse (HashPipe paper's table-partitioning effect).
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four as f64 > one as f64 * 0.8,
+            "4-stage retention {four} collapsed vs 1-stage {one}"
+        );
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut hp = HashPipe::<u64>::new(2, 8, 1);
+        hp.observe(1, 5);
+        hp.reset();
+        assert_eq!(hp.total(), 0);
+        assert_eq!(hp.estimate(&1), 0);
+        assert!(hp.heavy_hitters(1).is_empty());
+    }
+
+    #[test]
+    fn state_accounting() {
+        let hp = HashPipe::<u32>::new(4, 100, 0);
+        assert_eq!(hp.stages(), 4);
+        assert_eq!(hp.slots_per_stage(), 100);
+        assert!(hp.state_bytes() >= 4 * 100 * 12);
+    }
+}

@@ -1,0 +1,106 @@
+//! Report types: what a detector says when asked for HHHs.
+
+use core::fmt;
+
+/// A relative threshold: the fraction θ of total traffic a prefix must
+/// exceed (after discounting) to be a hierarchical heavy hitter. The
+/// paper uses θ ∈ {1%, 5%, 10%}.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Threshold(f64);
+
+impl Threshold {
+    /// From a fraction in `(0, 1]`. Panics outside that range.
+    pub fn fraction(f: f64) -> Self {
+        assert!(f.is_finite() && f > 0.0 && f <= 1.0, "threshold fraction must be in (0,1], got {f}");
+        Threshold(f)
+    }
+
+    /// From percent, e.g. `Threshold::percent(5.0)` for the paper's 5%.
+    pub fn percent(p: f64) -> Self {
+        Self::fraction(p / 100.0)
+    }
+
+    /// The fraction θ.
+    pub fn as_fraction(&self) -> f64 {
+        self.0
+    }
+
+    /// The absolute threshold `⌈θ·total⌉` for a given total. The
+    /// ceiling keeps the comparison strict in integer arithmetic and
+    /// never lets a threshold round down to zero.
+    pub fn absolute(&self, total: u64) -> u64 {
+        ((self.0 * total as f64).ceil() as u64).max(1)
+    }
+}
+
+impl fmt::Display for Threshold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}%", self.0 * 100.0)
+    }
+}
+
+/// One reported hierarchical heavy hitter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HhhReport<P> {
+    /// The reported prefix.
+    pub prefix: P,
+    /// Hierarchy level of the prefix (0 = most specific).
+    pub level: usize,
+    /// Estimated *total* traffic of the prefix (before discounting).
+    pub estimate: u64,
+    /// Estimated *discounted* traffic (total minus maximal HHH
+    /// descendants) — the quantity compared against the threshold.
+    pub discounted: u64,
+    /// Lower bound on the true discounted traffic, when the detector
+    /// can provide one (equal to `discounted` for exact detectors).
+    pub lower_bound: u64,
+}
+
+impl<P: fmt::Display> fmt::Display for HhhReport<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (level {}): {} total, {} discounted",
+            self.prefix, self.level, self.estimate, self.discounted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_constructors_agree() {
+        assert_eq!(Threshold::percent(5.0).as_fraction(), 0.05);
+        assert_eq!(Threshold::fraction(0.1).as_fraction(), 0.1);
+    }
+
+    #[test]
+    fn absolute_rounds_up_and_never_zero() {
+        let t = Threshold::percent(1.0);
+        assert_eq!(t.absolute(1000), 10);
+        assert_eq!(t.absolute(1001), 11); // ceil(10.01)
+        assert_eq!(t.absolute(0), 1);
+        assert_eq!(t.absolute(10), 1); // ceil(0.1) = 1
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Threshold::percent(5.0).to_string(), "5%");
+        let r = HhhReport { prefix: "10.0.0.0/8", level: 3, estimate: 100, discounted: 60, lower_bound: 55 };
+        assert_eq!(r.to_string(), "10.0.0.0/8 (level 3): 100 total, 60 discounted");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0,1]")]
+    fn zero_threshold_rejected() {
+        let _ = Threshold::fraction(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0,1]")]
+    fn over_one_threshold_rejected() {
+        let _ = Threshold::fraction(1.5);
+    }
+}

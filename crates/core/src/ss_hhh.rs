@@ -1,0 +1,230 @@
+//! Space-Saving-based streaming HHH ("full ancestry"): one
+//! [`SpaceSaving`] summary per hierarchy level, every packet updates
+//! every level.
+//!
+//! This is the classic deterministic streaming HHH construction
+//! (Mitzenmacher, Steinke, Thaler 2012 variant of Cormode et al.): per
+//! level, any prefix with true traffic above `N/capacity` is guaranteed
+//! monitored, so with `capacity ≥ levels/θ` no true HHH can be missed.
+//! Its weakness — and RHHH's motivation — is the O(levels) work per
+//! packet.
+
+use crate::detector::HhhDetector;
+use crate::exact::discount_bottom_up;
+use crate::report::{HhhReport, Threshold};
+use hhh_hierarchy::Hierarchy;
+use hhh_sketches::SpaceSaving;
+use std::collections::HashMap;
+
+/// Per-level Space-Saving HHH detector.
+#[derive(Clone, Debug)]
+pub struct SpaceSavingHhh<H: Hierarchy> {
+    hierarchy: H,
+    /// One summary per level; `levels[0]` monitors exact items.
+    levels: Vec<SpaceSaving<H::Prefix>>,
+    total: u64,
+}
+
+impl<H: Hierarchy> SpaceSavingHhh<H> {
+    /// A detector with `counters_per_level` Space-Saving counters at
+    /// each level. For a threshold θ, `counters_per_level ≥ 2/θ` keeps
+    /// both error sides comfortable.
+    pub fn new(hierarchy: H, counters_per_level: usize) -> Self {
+        let levels =
+            (0..hierarchy.levels()).map(|_| SpaceSaving::new(counters_per_level)).collect();
+        SpaceSavingHhh { hierarchy, levels, total: 0 }
+    }
+
+    /// The per-level summaries (read-only, for diagnostics).
+    pub fn level_summaries(&self) -> &[SpaceSaving<H::Prefix>] {
+        &self.levels
+    }
+
+    /// Build per-level estimate maps from the monitored entries, closed
+    /// upward: an ancestor of a monitored prefix is guaranteed an entry
+    /// with an estimate at least the sum of its monitored children (so
+    /// the discount algebra never drops a charge on a missing parent).
+    fn level_maps(&self) -> Vec<HashMap<H::Prefix, u64>> {
+        let n = self.levels.len();
+        let mut maps: Vec<HashMap<H::Prefix, u64>> = Vec::with_capacity(n);
+        for ss in &self.levels {
+            maps.push(ss.entries().map(|e| (e.key, e.count)).collect());
+        }
+        for level in 0..n - 1 {
+            let mut child_sums: HashMap<H::Prefix, u64> = HashMap::new();
+            for (&p, &c) in &maps[level] {
+                let parent = self.hierarchy.parent(p).expect("non-root");
+                *child_sums.entry(parent).or_default() += c;
+            }
+            for (parent, sum) in child_sums {
+                let e = maps[level + 1].entry(parent).or_insert(0);
+                *e = (*e).max(sum);
+            }
+        }
+        maps
+    }
+}
+
+impl<H: Hierarchy> HhhDetector<H> for SpaceSavingHhh<H> {
+    fn observe(&mut self, item: H::Item, weight: u64) {
+        self.total += weight;
+        for level in 0..self.levels.len() {
+            let p = self.hierarchy.generalize(item, level);
+            self.levels[level].update(p, weight);
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn report(&self, threshold: Threshold) -> Vec<HhhReport<H::Prefix>> {
+        let t = threshold.absolute(self.total);
+        let mut reports = discount_bottom_up(&self.hierarchy, &self.level_maps(), t);
+        // Lower bounds: subtract the per-level Space-Saving error.
+        for r in &mut reports {
+            if let Some(e) = self.levels[r.level].estimate(&r.prefix) {
+                r.lower_bound = r.discounted.saturating_sub(e.error);
+            } else {
+                r.lower_bound = 0;
+            }
+        }
+        reports
+    }
+
+    fn reset(&mut self) {
+        for ss in &mut self.levels {
+            ss.clear();
+        }
+        self.total = 0;
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.levels.iter().map(|ss| ss.state_bytes()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "ss-hhh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactHhh;
+    use hhh_hierarchy::Ipv4Hierarchy;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Zipf-ish deterministic stream for comparisons.
+    fn stream(n: usize, seed: u64) -> Vec<(u32, u64)> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let rank = (rng.gen::<f64>().powi(3) * 200.0) as u32; // skewed
+                let net = rank % 12;
+                let item = (10 << 24) | (net << 16) | rank;
+                (item, 40 + (rank as u64 * 7) % 1400)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recall_is_perfect_with_enough_counters() {
+        let h = Ipv4Hierarchy::bytes();
+        let mut exact = ExactHhh::new(h);
+        let mut ss = SpaceSavingHhh::new(h, 256);
+        for (item, w) in stream(20_000, 5) {
+            exact.observe(item, w);
+            ss.observe(item, w);
+        }
+        assert_eq!(exact.total(), ss.total());
+        for pct in [1.0, 5.0, 10.0] {
+            let t = Threshold::percent(pct);
+            let truth: std::collections::HashSet<_> =
+                exact.report(t).into_iter().map(|r| r.prefix).collect();
+            let found: std::collections::HashSet<_> =
+                ss.report(t).into_iter().map(|r| r.prefix).collect();
+            let missed: Vec<_> = truth.difference(&found).collect();
+            assert!(
+                missed.is_empty(),
+                "at {pct}%: missed true HHHs {missed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn precision_reasonable() {
+        let h = Ipv4Hierarchy::bytes();
+        let mut exact = ExactHhh::new(h);
+        let mut ss = SpaceSavingHhh::new(h, 512);
+        for (item, w) in stream(30_000, 9) {
+            exact.observe(item, w);
+            ss.observe(item, w);
+        }
+        let t = Threshold::percent(5.0);
+        let truth: std::collections::HashSet<_> =
+            exact.report(t).into_iter().map(|r| r.prefix).collect();
+        let found = ss.report(t);
+        let false_pos = found.iter().filter(|r| !truth.contains(&r.prefix)).count();
+        assert!(
+            false_pos <= found.len() / 2,
+            "{false_pos} false positives of {}",
+            found.len()
+        );
+        // Guaranteed (lower-bound) reports are all true.
+        let t_abs = t.absolute(ss.total());
+        for r in &found {
+            if r.lower_bound >= t_abs {
+                assert!(
+                    truth.contains(&r.prefix),
+                    "guaranteed report {} is not a true HHH",
+                    r.prefix
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_upper_bound_truth() {
+        let h = Ipv4Hierarchy::bytes();
+        let mut exact = ExactHhh::new(h);
+        let mut ss = SpaceSavingHhh::new(h, 64);
+        for (item, w) in stream(5_000, 2) {
+            exact.observe(item, w);
+            ss.observe(item, w);
+        }
+        for r in ss.report(Threshold::percent(5.0)) {
+            let true_count = exact.prefix_count(r.prefix);
+            assert!(
+                r.estimate >= true_count,
+                "estimate {} below truth {true_count} for {}",
+                r.estimate,
+                r.prefix
+            );
+        }
+    }
+
+    #[test]
+    fn reset_and_state() {
+        let h = Ipv4Hierarchy::bytes();
+        let mut ss = SpaceSavingHhh::new(h, 16);
+        ss.observe(1, 10);
+        assert!(ss.state_bytes() > 0);
+        assert_eq!(ss.name(), "ss-hhh");
+        ss.reset();
+        assert_eq!(ss.total(), 0);
+        assert!(ss.report(Threshold::percent(1.0)).is_empty());
+    }
+
+    #[test]
+    fn per_packet_work_is_levels() {
+        // Structural: all 5 level summaries see each update.
+        let h = Ipv4Hierarchy::bytes();
+        let mut ss = SpaceSavingHhh::new(h, 8);
+        ss.observe(0x0A010101, 7);
+        for l in ss.level_summaries() {
+            assert_eq!(l.total(), 7);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Exact two-dimensional HHH over the (source, destination) lattice.
+//!
+//! In 2-D the "exclude all HHH descendants" discount needs care: a
+//! node's descendants overlap (the same packet can be covered by an
+//! HHH at `(10.1/16, *)` *and* one at `(*, 192.168/16)`), so naive
+//! subtraction double-discounts. This implementation computes the
+//! discount exactly from first principles: for every item (exact
+//! (src, dst) pair) it tracks *which node shapes* have already been
+//! declared HHH above it, and a node's discounted count sums exactly
+//! the items not yet covered by a strictly-contained HHH. A 5×5 byte
+//! lattice fits in a 25-bit mask per item, so coverage checks are two
+//! bit operations.
+//!
+//! This matches the "discounted, exclude-all" semantics of the 1-D
+//! detectors (it reduces to them when one dimension is trivial) and is
+//! the ground truth for any future streaming 2-D detector.
+
+use crate::report::Threshold;
+use hhh_hierarchy::{TwoDimHierarchy, TwoDimNode};
+use std::collections::HashMap;
+
+/// One reported 2-D hierarchical heavy hitter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TwoDimReport {
+    /// The reported lattice node.
+    pub node: TwoDimNode,
+    /// Combined generalization depth (diagonal) of the node.
+    pub diagonal: usize,
+    /// Total traffic of the node.
+    pub estimate: u64,
+    /// Discounted traffic (items not covered by HHH descendants).
+    pub discounted: u64,
+}
+
+/// Exact windowed 2-D HHH detector.
+#[derive(Clone, Debug)]
+pub struct TwoDimExactHhh {
+    lattice: TwoDimHierarchy,
+    counts: HashMap<(u32, u32), u64>,
+    total: u64,
+}
+
+impl TwoDimExactHhh {
+    /// An empty detector over a lattice.
+    pub fn new(lattice: TwoDimHierarchy) -> Self {
+        TwoDimExactHhh { lattice, counts: HashMap::new(), total: 0 }
+    }
+
+    /// Account `weight` to a (src, dst) pair.
+    pub fn observe(&mut self, src: u32, dst: u32, weight: u64) {
+        *self.counts.entry((src, dst)).or_default() += weight;
+        self.total += weight;
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Distinct (src, dst) pairs seen.
+    pub fn distinct_pairs(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Forget everything.
+    pub fn reset(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+    }
+
+    /// The exact 2-D HHH set, processed diagonal by diagonal from the
+    /// most specific shapes to the root, sorted by (diagonal, node).
+    pub fn report(&self, threshold: Threshold) -> Vec<TwoDimReport> {
+        let t = threshold.absolute(self.total);
+        let sl_n = self.lattice.src_levels();
+        let dl_n = self.lattice.dst_levels();
+        let shape_bit = |sl: usize, dl: usize| -> u32 { 1 << (sl * dl_n + dl) };
+        // (node, diagonal, total, discounted, shape) of a new HHH.
+        type NewHhh = (TwoDimNode, usize, u64, u64, (usize, usize));
+
+        // Per item: bitmask of shapes already declared HHH that contain
+        // the item. (Shape + item determines the node.)
+        let items: Vec<((u32, u32), u64)> = self.counts.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut covered: Vec<u32> = vec![0; items.len()];
+        let mut out = Vec::new();
+
+        for diag in 0..self.lattice.diagonals() {
+            // Shapes on this diagonal.
+            let shapes: Vec<(usize, usize)> = (0..sl_n)
+                .flat_map(|sl| (0..dl_n).map(move |dl| (sl, dl)))
+                .filter(|(sl, dl)| sl + dl == diag)
+                .collect();
+            let mut new_hhh: Vec<NewHhh> = Vec::new();
+            for &(sl, dl) in &shapes {
+                // Aggregate total and discounted counts per node.
+                let mut totals: HashMap<TwoDimNode, u64> = HashMap::new();
+                let mut discounted: HashMap<TwoDimNode, u64> = HashMap::new();
+                for (i, &(pair, w)) in items.iter().enumerate() {
+                    let node = self.lattice.generalize(pair, sl, dl);
+                    *totals.entry(node).or_default() += w;
+                    // The item counts toward the discount unless some
+                    // strictly smaller HHH shape (≤ in both dims, ≠)
+                    // already covers it.
+                    let mask = covered[i];
+                    let mut is_covered = false;
+                    if mask != 0 {
+                        'scan: for s in 0..=sl {
+                            for d in 0..=dl {
+                                if (s, d) != (sl, dl) && mask & shape_bit(s, d) != 0 {
+                                    is_covered = true;
+                                    break 'scan;
+                                }
+                            }
+                        }
+                    }
+                    if !is_covered {
+                        *discounted.entry(node).or_default() += w;
+                    }
+                }
+                for (node, disc) in discounted {
+                    if disc >= t {
+                        new_hhh.push((node, diag, totals[&node], disc, (sl, dl)));
+                    }
+                }
+            }
+            // Mark coverage only after the whole diagonal is decided
+            // (nodes on the same diagonal never contain one another, so
+            // they must not discount each other).
+            for &(node, _, _, _, (sl, dl)) in &new_hhh {
+                for (i, &(pair, _)) in items.iter().enumerate() {
+                    if self.lattice.generalize(pair, sl, dl) == node {
+                        covered[i] |= shape_bit(sl, dl);
+                    }
+                }
+            }
+            out.extend(new_hhh.into_iter().map(|(node, diagonal, estimate, discounted, _)| {
+                TwoDimReport { node, diagonal, estimate, discounted }
+            }));
+        }
+        out.sort_by(|a, b| a.diagonal.cmp(&b.diagonal).then(a.node.cmp(&b.node)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhh_nettypes::Ipv4Prefix;
+
+    fn ip(s: &str) -> u32 {
+        s.parse::<Ipv4Prefix>().unwrap().addr()
+    }
+
+    fn node(s: &str, d: &str) -> TwoDimNode {
+        TwoDimNode { src: s.parse().unwrap(), dst: d.parse().unwrap() }
+    }
+
+    #[test]
+    fn dominant_pair_is_leaf_hhh() {
+        let mut d = TwoDimExactHhh::new(TwoDimHierarchy::bytes());
+        d.observe(ip("10.1.1.1"), ip("192.168.0.1"), 90);
+        d.observe(ip("20.2.2.2"), ip("8.8.8.8"), 10);
+        let r = d.report(Threshold::percent(50.0));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].node, node("10.1.1.1/32", "192.168.0.1/32"));
+        assert_eq!(r[0].discounted, 90);
+        assert_eq!(r[0].diagonal, 0);
+    }
+
+    #[test]
+    fn no_double_discount_on_overlap() {
+        // Two HHHs overlap at a meet: one heavy source fanning to many
+        // destinations (HHH at (src/32, */0)) and one heavy destination
+        // receiving from many sources (HHH at (*/0, dst/32)); the pair
+        // (src,dst) itself is also heavy. The root's discount must not
+        // subtract the (src,dst) mass twice.
+        let mut d = TwoDimExactHhh::new(TwoDimHierarchy::bytes());
+        let s = ip("10.0.0.1");
+        let v = ip("99.0.0.1");
+        d.observe(s, v, 40); // heavy pair
+        for i in 0..20u32 {
+            d.observe(s, ip(&format!("50.{}.1.1", i)), 1); // src fan-out
+            d.observe(ip(&format!("60.{}.1.1", i)), v, 1); // dst fan-in
+        }
+        // total = 80. T = 24 at 30%.
+        let r = d.report(Threshold::percent(30.0));
+        let pair = r.iter().find(|x| x.diagonal == 0).expect("pair HHH");
+        assert_eq!(pair.discounted, 40);
+        // (src/32, */0): total 60, minus covered 40 → 20 < 24: not HHH.
+        assert!(
+            !r.iter().any(|x| x.node == node("10.0.0.1/32", "0.0.0.0/0")),
+            "fan-out should be discounted below threshold: {r:?}"
+        );
+        // Root: total 80 − 40 (covered by pair) = 40 ≥ 24 → HHH with
+        // discounted exactly 40 (the fan mass, not 80−40−20−20 = 0).
+        let root =
+            r.iter().find(|x| x.node == node("0.0.0.0/0", "0.0.0.0/0")).expect("root HHH");
+        assert_eq!(root.discounted, 40, "overlap handled wrongly: {r:?}");
+    }
+
+    #[test]
+    fn same_diagonal_nodes_do_not_discount_each_other() {
+        let mut d = TwoDimExactHhh::new(TwoDimHierarchy::bytes());
+        // Two pairs sharing a /24-source but distinct hosts.
+        d.observe(ip("10.1.1.1"), ip("99.0.0.1"), 50);
+        d.observe(ip("10.1.1.2"), ip("99.0.0.1"), 50);
+        // total 100, T=40: both pairs are HHH at diagonal 0. The nodes
+        // (10.1.1.1/32, 99.0.0.0/24) and (10.1.1.0/24, 99.0.0.1/32) at
+        // diagonal 1 are then fully covered.
+        let r = d.report(Threshold::percent(40.0));
+        let d0: Vec<_> = r.iter().filter(|x| x.diagonal == 0).collect();
+        assert_eq!(d0.len(), 2);
+        assert!(r.iter().all(|x| x.diagonal == 0), "covered ancestors leaked: {r:?}");
+    }
+
+    #[test]
+    fn aggregate_only_visible_at_its_level() {
+        // 30 pairs, each 1 unit, all inside (10.1/16 → 99.0/16); no
+        // pair, /24 row or column is heavy, but the /16 pair is.
+        let mut d = TwoDimExactHhh::new(TwoDimHierarchy::bytes());
+        for i in 0..30u32 {
+            d.observe(
+                ip(&format!("10.1.{}.{}", i % 8, i)),
+                ip(&format!("99.0.{}.{}", i % 8, 200 - i)),
+                1,
+            );
+        }
+        for i in 0..70u32 {
+            // background scattered everywhere
+            d.observe(ip(&format!("{}.2.3.4", 100 + (i % 50))), ip(&format!("8.8.{}.8", i)), 1);
+        }
+        // total 100, T=25.
+        let r = d.report(Threshold::percent(25.0));
+        let agg = r
+            .iter()
+            .find(|x| x.node == node("10.1.0.0/16", "99.0.0.0/16"))
+            .expect("the /16 pair aggregate");
+        assert_eq!(agg.estimate, 30);
+        assert_eq!(agg.discounted, 30);
+        // Nothing below that diagonal qualifies.
+        assert!(r.iter().all(|x| x.diagonal >= agg.diagonal));
+    }
+
+    #[test]
+    fn reduces_to_1d_when_dst_constant() {
+        use crate::exact::ExactHhh;
+        use crate::detector::HhhDetector;
+        use hhh_hierarchy::{Hierarchy, Ipv4Hierarchy};
+        // Same stream into 1-D (source) and 2-D with constant dst.
+        let items = [
+            ("10.1.1.1", 40u64),
+            ("10.1.1.2", 30),
+            ("10.1.2.1", 60),
+            ("20.0.0.1", 70),
+        ];
+        let mut one = ExactHhh::new(Ipv4Hierarchy::bytes());
+        let mut two = TwoDimExactHhh::new(TwoDimHierarchy::bytes());
+        let dst = ip("8.8.8.8");
+        for (a, w) in items {
+            one.observe(ip(a), w);
+            two.observe(ip(a), dst, w);
+        }
+        let t = Threshold::percent(25.0);
+        let r1: std::collections::HashSet<String> =
+            one.report(t).iter().map(|x| x.prefix.to_string()).collect();
+        // Project the 2-D report onto source prefixes for nodes whose
+        // dst side is the host or its ancestors with the same source
+        // discount — the src-side *minimal* nodes per source prefix.
+        let r2 = two.report(t);
+        // For every 1-D HHH there must exist a 2-D HHH with that source
+        // prefix (the (p, dst-chain) node that first clears T).
+        for p in &r1 {
+            assert!(
+                r2.iter().any(|x| x.node.src.to_string() == *p),
+                "1-D HHH {p} has no 2-D counterpart: {r2:?}"
+            );
+        }
+        let _ = Ipv4Hierarchy::bytes().levels();
+    }
+
+    #[test]
+    fn reset_and_accessors() {
+        let mut d = TwoDimExactHhh::new(TwoDimHierarchy::bytes());
+        d.observe(1, 2, 3);
+        assert_eq!(d.total(), 3);
+        assert_eq!(d.distinct_pairs(), 1);
+        d.reset();
+        assert_eq!(d.total(), 0);
+        assert!(d.report(Threshold::percent(1.0)).is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! The pipeline model: stages, register arrays, and the per-packet
+//! access discipline.
+
+use core::fmt;
+
+/// Errors raised when a program violates the match-action discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Attempted to access a stage at or before one already visited in
+    /// this packet (pipelines are feed-forward).
+    StageOrder {
+        /// Stage the packet already reached.
+        reached: usize,
+        /// Stage the program tried to access.
+        attempted: usize,
+    },
+    /// A register array was accessed twice for one packet.
+    DoubleAccess {
+        /// Offending stage.
+        stage: usize,
+        /// Offending array (index within the stage).
+        array: usize,
+    },
+    /// Array index beyond the configured size.
+    IndexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Array size.
+        size: usize,
+    },
+    /// Unknown stage or array.
+    NoSuchArray {
+        /// Requested stage.
+        stage: usize,
+        /// Requested array.
+        array: usize,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::StageOrder { reached, attempted } => write!(
+                f,
+                "feed-forward violation: stage {attempted} accessed after stage {reached}"
+            ),
+            PipelineError::DoubleAccess { stage, array } => {
+                write!(f, "register array {array} in stage {stage} accessed twice for one packet")
+            }
+            PipelineError::IndexOutOfRange { index, size } => {
+                write!(f, "register index {index} out of range (size {size})")
+            }
+            PipelineError::NoSuchArray { stage, array } => {
+                write!(f, "no register array {array} in stage {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// One register array within a stage.
+#[derive(Clone, Debug)]
+pub struct RegisterArray {
+    /// Human-readable name (appears in resource reports).
+    pub name: String,
+    /// Number of cells.
+    pub size: usize,
+    /// Cell width in bits (1..=64); writes saturate to this width.
+    pub width_bits: u32,
+    cells: Vec<u64>,
+}
+
+impl RegisterArray {
+    /// A zeroed array. Panics on zero size or width outside 1..=64.
+    pub fn new(name: &str, size: usize, width_bits: u32) -> Self {
+        assert!(size > 0, "register array needs at least one cell");
+        assert!((1..=64).contains(&width_bits), "width must be 1..=64 bits");
+        RegisterArray { name: name.to_string(), size, width_bits, cells: vec![0; size] }
+    }
+
+    /// The saturation mask for this width.
+    #[inline]
+    pub fn max_value(&self) -> u64 {
+        if self.width_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width_bits) - 1
+        }
+    }
+
+    /// SRAM footprint in bits.
+    pub fn sram_bits(&self) -> u64 {
+        self.size as u64 * self.width_bits as u64
+    }
+}
+
+/// Declarative description of one stage's arrays, used to build a
+/// [`Pipeline`].
+#[derive(Clone, Debug)]
+pub struct StageSpec {
+    /// The arrays this stage holds: `(name, size, width_bits)`.
+    pub arrays: Vec<(String, usize, u32)>,
+}
+
+/// The feed-forward pipeline.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    stages: Vec<Vec<RegisterArray>>,
+    /// Feed-forward tracking: deepest stage touched by the current
+    /// packet (`None` before any access).
+    reached: Option<usize>,
+    /// Arrays accessed by the current packet, as (stage, array).
+    accessed: Vec<(usize, usize)>,
+    /// Totals for resource accounting.
+    packets: u64,
+    total_accesses: u64,
+    max_accesses_per_packet: u64,
+    accesses_this_packet: u64,
+}
+
+impl Pipeline {
+    /// Build from stage specs.
+    pub fn new(specs: &[StageSpec]) -> Self {
+        assert!(!specs.is_empty(), "pipeline needs at least one stage");
+        Pipeline {
+            stages: specs
+                .iter()
+                .map(|s| {
+                    s.arrays
+                        .iter()
+                        .map(|(n, size, w)| RegisterArray::new(n, *size, *w))
+                        .collect()
+                })
+                .collect(),
+            reached: None,
+            accessed: Vec::new(),
+            packets: 0,
+            total_accesses: 0,
+            max_accesses_per_packet: 0,
+            accesses_this_packet: 0,
+        }
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total SRAM across all arrays, in bits.
+    pub fn sram_bits(&self) -> u64 {
+        self.stages.iter().flatten().map(|a| a.sram_bits()).sum()
+    }
+
+    /// Packets processed (completed `begin_packet` cycles).
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Mean register accesses per packet.
+    pub fn mean_accesses_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.total_accesses as f64 / self.packets as f64
+        }
+    }
+
+    /// Worst-case register accesses for any packet so far.
+    pub fn max_accesses_per_packet(&self) -> u64 {
+        self.max_accesses_per_packet
+    }
+
+    /// Start processing a new packet: resets the per-packet access
+    /// discipline.
+    pub fn begin_packet(&mut self) {
+        self.reached = None;
+        self.accessed.clear();
+        self.packets += 1;
+        self.max_accesses_per_packet = self.max_accesses_per_packet.max(self.accesses_this_packet);
+        self.accesses_this_packet = 0;
+    }
+
+    /// One read-modify-write on `stages[stage].arrays[array][index]`:
+    /// the modifier sees the current value and returns the new one
+    /// (saturated to the array width). Returns the *old* value.
+    ///
+    /// Enforces feed-forward stage order and single access per array
+    /// per packet.
+    pub fn rmw(
+        &mut self,
+        stage: usize,
+        array: usize,
+        index: usize,
+        f: impl FnOnce(u64) -> u64,
+    ) -> Result<u64, PipelineError> {
+        if let Some(reached) = self.reached {
+            if stage < reached {
+                return Err(PipelineError::StageOrder { reached, attempted: stage });
+            }
+        }
+        if self.accessed.contains(&(stage, array)) {
+            return Err(PipelineError::DoubleAccess { stage, array });
+        }
+        let arr = self
+            .stages
+            .get_mut(stage)
+            .and_then(|s| s.get_mut(array))
+            .ok_or(PipelineError::NoSuchArray { stage, array })?;
+        if index >= arr.size {
+            return Err(PipelineError::IndexOutOfRange { index, size: arr.size });
+        }
+        let old = arr.cells[index];
+        arr.cells[index] = f(old).min(arr.max_value());
+        self.reached = Some(stage);
+        self.accessed.push((stage, array));
+        self.total_accesses += 1;
+        self.accesses_this_packet += 1;
+        Ok(old)
+    }
+
+    /// Control-plane read: not subject to the per-packet discipline
+    /// (the switch CPU reads registers out of band).
+    pub fn control_read(&self, stage: usize, array: usize, index: usize) -> Result<u64, PipelineError> {
+        let arr = self
+            .stages
+            .get(stage)
+            .and_then(|s| s.get(array))
+            .ok_or(PipelineError::NoSuchArray { stage, array })?;
+        if index >= arr.size {
+            return Err(PipelineError::IndexOutOfRange { index, size: arr.size });
+        }
+        Ok(arr.cells[index])
+    }
+
+    /// Control-plane snapshot of a whole array.
+    pub fn control_dump(&self, stage: usize, array: usize) -> Result<&[u64], PipelineError> {
+        self.stages
+            .get(stage)
+            .and_then(|s| s.get(array))
+            .map(|a| a.cells.as_slice())
+            .ok_or(PipelineError::NoSuchArray { stage, array })
+    }
+
+    /// Control-plane reset of every register.
+    pub fn control_clear(&mut self) {
+        for s in &mut self.stages {
+            for a in s {
+                a.cells.fill(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_stage() -> Pipeline {
+        Pipeline::new(&[
+            StageSpec { arrays: vec![("k0".into(), 8, 32), ("c0".into(), 8, 32)] },
+            StageSpec { arrays: vec![("k1".into(), 8, 32)] },
+        ])
+    }
+
+    #[test]
+    fn rmw_reads_old_writes_new() {
+        let mut p = two_stage();
+        p.begin_packet();
+        assert_eq!(p.rmw(0, 0, 3, |v| v + 7).unwrap(), 0);
+        assert_eq!(p.control_read(0, 0, 3).unwrap(), 7);
+    }
+
+    #[test]
+    fn feed_forward_enforced() {
+        let mut p = two_stage();
+        p.begin_packet();
+        p.rmw(1, 0, 0, |v| v).unwrap();
+        let err = p.rmw(0, 0, 0, |v| v).unwrap_err();
+        assert_eq!(err, PipelineError::StageOrder { reached: 1, attempted: 0 });
+        // Same stage again is fine (different array).
+        p.begin_packet();
+        p.rmw(0, 0, 0, |v| v).unwrap();
+        p.rmw(0, 1, 0, |v| v).unwrap();
+    }
+
+    #[test]
+    fn single_access_per_array_per_packet() {
+        let mut p = two_stage();
+        p.begin_packet();
+        p.rmw(0, 0, 1, |v| v + 1).unwrap();
+        let err = p.rmw(0, 0, 2, |v| v + 1).unwrap_err();
+        assert_eq!(err, PipelineError::DoubleAccess { stage: 0, array: 0 });
+        // Next packet may touch it again.
+        p.begin_packet();
+        p.rmw(0, 0, 2, |v| v + 1).unwrap();
+    }
+
+    #[test]
+    fn width_saturates() {
+        let mut p = Pipeline::new(&[StageSpec { arrays: vec![("n".into(), 2, 8)] }]);
+        p.begin_packet();
+        p.rmw(0, 0, 0, |_| 1_000_000).unwrap();
+        assert_eq!(p.control_read(0, 0, 0).unwrap(), 255);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut p = two_stage();
+        p.begin_packet();
+        assert!(matches!(
+            p.rmw(0, 0, 99, |v| v),
+            Err(PipelineError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(p.rmw(9, 0, 0, |v| v), Err(PipelineError::NoSuchArray { .. })));
+        assert!(matches!(p.control_read(0, 9, 0), Err(PipelineError::NoSuchArray { .. })));
+    }
+
+    #[test]
+    fn accounting() {
+        let mut p = two_stage();
+        assert_eq!(p.sram_bits(), 8 * 32 * 3);
+        assert_eq!(p.stage_count(), 2);
+        for i in 0..4 {
+            p.begin_packet();
+            p.rmw(0, 0, i, |v| v + 1).unwrap();
+            if i % 2 == 0 {
+                p.rmw(1, 0, i, |v| v + 1).unwrap();
+            }
+        }
+        p.begin_packet(); // flush counters of the 4th packet
+        assert_eq!(p.packets(), 5);
+        assert_eq!(p.max_accesses_per_packet(), 2);
+        assert!(p.mean_accesses_per_packet() > 1.0);
+        p.control_clear();
+        assert_eq!(p.control_read(0, 0, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn error_messages_readable() {
+        let e = PipelineError::StageOrder { reached: 2, attempted: 1 };
+        assert!(e.to_string().contains("feed-forward"));
+        let e = PipelineError::DoubleAccess { stage: 0, array: 1 };
+        assert!(e.to_string().contains("twice"));
+    }
+}

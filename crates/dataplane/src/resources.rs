@@ -1,0 +1,80 @@
+//! Resource accounting: the numbers a switch ASIC team asks for first.
+
+use crate::model::Pipeline;
+use core::fmt;
+
+/// Hardware resource usage of a data-plane program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourceReport {
+    /// Program name.
+    pub program: &'static str,
+    /// Pipeline stages occupied.
+    pub stages: usize,
+    /// Total register SRAM in bits.
+    pub sram_bits: u64,
+    /// Hash computations per packet.
+    pub hash_units_per_packet: usize,
+    /// Worst-case register (read-modify-write) accesses per packet.
+    pub max_register_accesses: u64,
+    /// Mean register accesses per packet over the measured run.
+    pub mean_register_accesses: f64,
+}
+
+impl ResourceReport {
+    /// Gather the pipeline-derived numbers, with program-specific hash
+    /// count supplied by the caller.
+    pub fn from_pipeline(
+        program: &'static str,
+        pipeline: &Pipeline,
+        hash_units_per_packet: usize,
+    ) -> Self {
+        ResourceReport {
+            program,
+            stages: pipeline.stage_count(),
+            sram_bits: pipeline.sram_bits(),
+            hash_units_per_packet,
+            max_register_accesses: pipeline.max_accesses_per_packet(),
+            mean_register_accesses: pipeline.mean_accesses_per_packet(),
+        }
+    }
+
+    /// SRAM in kibibytes (for human-facing tables).
+    pub fn sram_kib(&self) -> f64 {
+        self.sram_bits as f64 / 8.0 / 1024.0
+    }
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} stages, {:.1} KiB SRAM, {} hashes/pkt, ≤{} reg-accesses/pkt",
+            self.program,
+            self.stages,
+            self.sram_kib(),
+            self.hash_units_per_packet,
+            self.max_register_accesses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StageSpec;
+
+    #[test]
+    fn derives_from_pipeline() {
+        let mut p = Pipeline::new(&[StageSpec { arrays: vec![("a".into(), 1024, 64)] }]);
+        p.begin_packet();
+        p.rmw(0, 0, 0, |v| v + 1).unwrap();
+        p.begin_packet();
+        let r = ResourceReport::from_pipeline("test", &p, 2);
+        assert_eq!(r.stages, 1);
+        assert_eq!(r.sram_bits, 1024 * 64);
+        assert_eq!(r.hash_units_per_packet, 2);
+        assert_eq!(r.max_register_accesses, 1);
+        assert!((r.sram_kib() - 8.0).abs() < 1e-9);
+        assert!(r.to_string().contains("8.0 KiB"));
+    }
+}

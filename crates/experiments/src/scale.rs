@@ -1,0 +1,94 @@
+//! Experiment scales: the same experiments at three sizes.
+
+use hhh_nettypes::TimeSpan;
+
+/// How big to run an experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long traces: CI and unit-test sized. Shapes visible,
+    /// percentages noisy.
+    Smoke,
+    /// Minutes-long traces: the default for interactive runs.
+    Quick,
+    /// The paper's durations: 1 h day traces, 20 min micro-variation
+    /// trace. Expect tens of minutes of compute.
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a CLI argument (`smoke` / `quick` / `paper`).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "quick" => Some(Scale::Quick),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Read from argv (first positional arg), default `Quick`.
+    pub fn from_args() -> Scale {
+        std::env::args()
+            .nth(1)
+            .and_then(|a| Scale::parse(&a))
+            .unwrap_or(Scale::Quick)
+    }
+
+    /// Duration of each of the four "day" traces (paper: 1 hour).
+    pub fn day_duration(&self) -> TimeSpan {
+        match self {
+            Scale::Smoke => TimeSpan::from_secs(90),
+            Scale::Quick => TimeSpan::from_secs(420),
+            Scale::Paper => TimeSpan::from_secs(3600),
+        }
+    }
+
+    /// Duration of the micro-variation trace (paper: 20 minutes).
+    pub fn microvar_duration(&self) -> TimeSpan {
+        match self {
+            Scale::Smoke => TimeSpan::from_secs(120),
+            Scale::Quick => TimeSpan::from_secs(400),
+            Scale::Paper => TimeSpan::from_secs(1200),
+        }
+    }
+
+    /// Duration of the detector-comparison trace.
+    pub fn compare_duration(&self) -> TimeSpan {
+        match self {
+            Scale::Smoke => TimeSpan::from_secs(60),
+            Scale::Quick => TimeSpan::from_secs(180),
+            Scale::Paper => TimeSpan::from_secs(900),
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("QUICK"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn durations_grow_with_scale() {
+        assert!(Scale::Smoke.day_duration() < Scale::Quick.day_duration());
+        assert!(Scale::Quick.day_duration() < Scale::Paper.day_duration());
+        assert_eq!(Scale::Paper.day_duration(), TimeSpan::from_secs(3600));
+        assert_eq!(Scale::Paper.microvar_duration(), TimeSpan::from_secs(1200));
+    }
+}

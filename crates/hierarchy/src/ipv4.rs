@@ -1,0 +1,212 @@
+//! IPv4 source/destination address hierarchies at configurable
+//! granularity.
+
+use crate::chain::Hierarchy;
+use hhh_nettypes::Ipv4Prefix;
+
+/// The IPv4 address hierarchy with a configurable generalization step.
+///
+/// With granularity `g`, the prefix lengths are `32, 32-g, 32-2g, …`
+/// down to (and always including) `0`. The two standard instantiations:
+///
+/// * [`Ipv4Hierarchy::bits()`] — `g = 1`, 33 levels, the full binary
+///   trie. What "HHH on source IPs" means in the exact literature.
+/// * [`Ipv4Hierarchy::bytes()`] — `g = 8`, 5 levels (/32, /24, /16, /8,
+///   /0). What RHHH and most data-plane work use, because the level
+///   count bounds per-packet work.
+///
+/// Any `g` in `1..=32` is allowed; when `g` does not divide 32 the last
+/// step before the root is simply shorter (e.g. `g = 12` gives /32, /20,
+/// /8, /0).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ipv4Hierarchy {
+    granularity: u8,
+}
+
+impl Ipv4Hierarchy {
+    /// A hierarchy that generalizes `granularity` bits per level.
+    /// Panics unless `1 <= granularity <= 32`.
+    pub const fn new(granularity: u8) -> Self {
+        assert!(granularity >= 1 && granularity <= 32, "granularity must be in 1..=32");
+        Ipv4Hierarchy { granularity }
+    }
+
+    /// Bit-granularity: 33 levels, /32 … /0.
+    pub const fn bits() -> Self {
+        Self::new(1)
+    }
+
+    /// Byte-granularity: 5 levels, /32, /24, /16, /8, /0.
+    pub const fn bytes() -> Self {
+        Self::new(8)
+    }
+
+    /// The generalization step in bits.
+    pub const fn granularity(&self) -> u8 {
+        self.granularity
+    }
+
+    /// The prefix length at a level (level 0 → 32, root level → 0).
+    #[inline]
+    pub fn prefix_len_at(&self, level: usize) -> u8 {
+        let drop = (level as u32) * self.granularity as u32;
+        32u32.saturating_sub(drop) as u8
+    }
+
+    /// The level of a given prefix length. Panics if `len` is not one of
+    /// this hierarchy's lengths.
+    #[inline]
+    pub fn level_for_len(&self, len: u8) -> usize {
+        if len == 0 {
+            return self.levels() - 1;
+        }
+        let drop = 32 - len as u32;
+        assert!(
+            drop % self.granularity as u32 == 0,
+            "prefix length /{len} is not a level of the g={} hierarchy",
+            self.granularity
+        );
+        (drop / self.granularity as u32) as usize
+    }
+}
+
+impl Hierarchy for Ipv4Hierarchy {
+    type Item = u32;
+    type Prefix = Ipv4Prefix;
+
+    #[inline]
+    fn levels(&self) -> usize {
+        // ceil(32 / g) intermediate steps plus the item level.
+        32usize.div_ceil(self.granularity as usize) + 1
+    }
+
+    #[inline]
+    fn generalize(&self, item: u32, level: usize) -> Ipv4Prefix {
+        assert!(level < self.levels(), "level {level} out of range");
+        Ipv4Prefix::new(item, self.prefix_len_at(level))
+    }
+
+    #[inline]
+    fn level_of(&self, p: Ipv4Prefix) -> usize {
+        self.level_for_len(p.len())
+    }
+
+    #[inline]
+    fn parent(&self, p: Ipv4Prefix) -> Option<Ipv4Prefix> {
+        if p.is_root() {
+            None
+        } else {
+            Some(p.ancestor(p.len().saturating_sub(self.granularity)))
+        }
+    }
+
+    #[inline]
+    fn root(&self) -> Ipv4Prefix {
+        Ipv4Prefix::ROOT
+    }
+
+    #[inline]
+    fn contains(&self, ancestor: Ipv4Prefix, descendant: Ipv4Prefix) -> bool {
+        ancestor.contains(descendant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn byte_hierarchy_shape() {
+        let h = Ipv4Hierarchy::bytes();
+        assert_eq!(h.levels(), 5);
+        let item = 0x0A010203; // 10.1.2.3
+        let want = ["10.1.2.3/32", "10.1.2.0/24", "10.1.0.0/16", "10.0.0.0/8", "0.0.0.0/0"];
+        for (l, w) in want.iter().enumerate() {
+            assert_eq!(h.generalize(item, l).to_string(), *w);
+            assert_eq!(h.level_of(h.generalize(item, l)), l);
+        }
+    }
+
+    #[test]
+    fn bit_hierarchy_shape() {
+        let h = Ipv4Hierarchy::bits();
+        assert_eq!(h.levels(), 33);
+        assert_eq!(h.generalize(u32::MAX, 0).len(), 32);
+        assert_eq!(h.generalize(u32::MAX, 32), Ipv4Prefix::ROOT);
+    }
+
+    #[test]
+    fn non_dividing_granularity() {
+        let h = Ipv4Hierarchy::new(12);
+        // /32, /20, /8, /0
+        assert_eq!(h.levels(), 4);
+        assert_eq!(h.prefix_len_at(0), 32);
+        assert_eq!(h.prefix_len_at(1), 20);
+        assert_eq!(h.prefix_len_at(2), 8);
+        assert_eq!(h.prefix_len_at(3), 0);
+        // Parent of the /8 level is the root, even though 8 < 12.
+        let p = h.generalize(0xDEADBEEF, 2);
+        assert_eq!(h.parent(p), Some(Ipv4Prefix::ROOT));
+    }
+
+    #[test]
+    fn parent_matches_next_level() {
+        for g in [1u8, 2, 4, 8, 12, 16, 32] {
+            let h = Ipv4Hierarchy::new(g);
+            let item = 0xC0A80A01u32;
+            for l in 0..h.levels() - 1 {
+                let p = h.generalize(item, l);
+                assert_eq!(h.parent(p), Some(h.generalize(item, l + 1)), "g={g} level={l}");
+            }
+            assert_eq!(h.parent(h.root()), None);
+        }
+    }
+
+    #[test]
+    fn all_prefixes_ends_at_root() {
+        let h = Ipv4Hierarchy::bytes();
+        let ps = h.all_prefixes(0x01020304);
+        assert_eq!(ps.len(), 5);
+        assert_eq!(*ps.last().unwrap(), Ipv4Prefix::ROOT);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a level")]
+    fn level_of_foreign_prefix_panics() {
+        let h = Ipv4Hierarchy::bytes();
+        let _ = h.level_of("10.0.0.0/9".parse().unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn contract_holds(item in any::<u32>(), g in 1u8..=32) {
+            let h = Ipv4Hierarchy::new(g);
+            let root_level = h.levels() - 1;
+            prop_assert_eq!(h.generalize(item, root_level), h.root());
+            for l in 0..h.levels() {
+                let p = h.generalize(item, l);
+                prop_assert_eq!(h.level_of(p), l);
+                prop_assert!(p.contains_addr(item));
+                if l + 1 < h.levels() {
+                    prop_assert_eq!(h.parent(p).unwrap(), h.generalize(item, l + 1));
+                    prop_assert!(h.contains(h.generalize(item, l + 1), p));
+                }
+            }
+        }
+
+        #[test]
+        fn distinct_items_share_ancestors_correctly(a in any::<u32>(), b in any::<u32>()) {
+            let h = Ipv4Hierarchy::bytes();
+            for l in 0..h.levels() {
+                let pa = h.generalize(a, l);
+                let pb = h.generalize(b, l);
+                // Same level prefixes are either equal or disjoint.
+                if pa != pb {
+                    prop_assert!(!h.contains(pa, pb));
+                    prop_assert!(!h.contains(pb, pa));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! IPv6 address hierarchy at configurable granularity.
+
+use crate::chain::Hierarchy;
+use hhh_nettypes::Ipv6Prefix;
+
+/// The IPv6 address hierarchy with a configurable generalization step.
+///
+/// Mirrors [`crate::Ipv4Hierarchy`] for the 128-bit domain. Sensible
+/// granularities: `4` (nibble, follows the written representation), `8`
+/// (byte), `16` (hextet). Bit granularity (`g = 1`) gives 129 levels,
+/// which works but makes full-ancestry algorithms expensive — exactly
+/// the trade-off the RHHH line of work addresses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ipv6Hierarchy {
+    granularity: u8,
+}
+
+impl Ipv6Hierarchy {
+    /// A hierarchy that generalizes `granularity` bits per level.
+    /// Panics unless `1 <= granularity <= 128`.
+    pub const fn new(granularity: u8) -> Self {
+        assert!(granularity >= 1, "granularity must be >= 1");
+        Ipv6Hierarchy { granularity }
+    }
+
+    /// Nibble granularity: 33 levels.
+    pub const fn nibbles() -> Self {
+        Self::new(4)
+    }
+
+    /// Hextet granularity: 9 levels (/128, /112, …, /0).
+    pub const fn hextets() -> Self {
+        Self::new(16)
+    }
+
+    /// The prefix length at a level.
+    #[inline]
+    pub fn prefix_len_at(&self, level: usize) -> u8 {
+        let drop = (level as u32) * self.granularity as u32;
+        128u32.saturating_sub(drop) as u8
+    }
+}
+
+impl Hierarchy for Ipv6Hierarchy {
+    type Item = u128;
+    type Prefix = Ipv6Prefix;
+
+    #[inline]
+    fn levels(&self) -> usize {
+        128usize.div_ceil(self.granularity as usize) + 1
+    }
+
+    #[inline]
+    fn generalize(&self, item: u128, level: usize) -> Ipv6Prefix {
+        assert!(level < self.levels(), "level {level} out of range");
+        Ipv6Prefix::new(item, self.prefix_len_at(level))
+    }
+
+    #[inline]
+    fn level_of(&self, p: Ipv6Prefix) -> usize {
+        if p.is_root() {
+            return self.levels() - 1;
+        }
+        let drop = 128 - p.len() as u32;
+        assert!(
+            drop % self.granularity as u32 == 0,
+            "prefix length /{} is not a level of the g={} hierarchy",
+            p.len(),
+            self.granularity
+        );
+        (drop / self.granularity as u32) as usize
+    }
+
+    #[inline]
+    fn parent(&self, p: Ipv6Prefix) -> Option<Ipv6Prefix> {
+        if p.is_root() {
+            None
+        } else {
+            Some(p.ancestor(p.len().saturating_sub(self.granularity)))
+        }
+    }
+
+    #[inline]
+    fn root(&self) -> Ipv6Prefix {
+        Ipv6Prefix::ROOT
+    }
+
+    #[inline]
+    fn contains(&self, ancestor: Ipv6Prefix, descendant: Ipv6Prefix) -> bool {
+        ancestor.contains(descendant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hextet_shape() {
+        let h = Ipv6Hierarchy::hextets();
+        assert_eq!(h.levels(), 9);
+        let item = 0x2001_0db8_0000_0000_0000_0000_0000_0001u128;
+        assert_eq!(h.generalize(item, 0).len(), 128);
+        assert_eq!(h.generalize(item, 6).to_string(), "2001:db8::/32");
+        assert_eq!(h.generalize(item, 8), Ipv6Prefix::ROOT);
+    }
+
+    #[test]
+    fn nibble_levels() {
+        let h = Ipv6Hierarchy::nibbles();
+        assert_eq!(h.levels(), 33);
+        assert_eq!(h.prefix_len_at(1), 124);
+    }
+
+    proptest! {
+        #[test]
+        fn contract_holds(item in any::<u128>(), g in prop::sample::select(vec![1u8, 4, 8, 16, 32, 64, 128])) {
+            let h = Ipv6Hierarchy::new(g);
+            prop_assert_eq!(h.generalize(item, h.levels() - 1), h.root());
+            for l in 0..h.levels() {
+                let p = h.generalize(item, l);
+                prop_assert_eq!(h.level_of(p), l);
+                prop_assert!(p.contains_addr(item));
+                if l + 1 < h.levels() {
+                    prop_assert_eq!(h.parent(p).unwrap(), h.generalize(item, l + 1));
+                }
+            }
+        }
+    }
+}

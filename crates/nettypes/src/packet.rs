@@ -1,0 +1,147 @@
+//! Compact packet records.
+//!
+//! A [`PacketRecord`] is the unit every detector, window driver and trace
+//! generator exchanges. It is deliberately *not* a parsed packet buffer:
+//! HHH analysis needs only the flow key, the timestamp and the wire
+//! length, so the record is a 32-byte plain-old-data struct that fits two
+//! per cache line. Full header parsing (Ethernet/IP/TCP/UDP) lives in
+//! `hhh-pcap`, which condenses captures down to these records.
+//!
+//! The record is IPv4-centric because the paper's experiments are IPv4
+//! source-IP HHH; `hhh-pcap` exposes IPv6 packets through its own parsed
+//! view and can map them into records via configurable key extraction.
+
+use crate::time::Nanos;
+use core::fmt;
+
+/// IP protocol numbers that matter to the workloads in this repo.
+///
+/// Anything else is preserved numerically via [`Proto::Other`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Proto {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// ICMP (1).
+    Icmp,
+    /// Any other IP protocol, by number.
+    Other(u8),
+}
+
+impl Proto {
+    /// The IANA protocol number.
+    pub const fn number(self) -> u8 {
+        match self {
+            Proto::Icmp => 1,
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+            Proto::Other(n) => n,
+        }
+    }
+
+    /// From an IANA protocol number.
+    pub const fn from_number(n: u8) -> Self {
+        match n {
+            1 => Proto::Icmp,
+            6 => Proto::Tcp,
+            17 => Proto::Udp,
+            n => Proto::Other(n),
+        }
+    }
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Proto::Tcp => write!(f, "tcp"),
+            Proto::Udp => write!(f, "udp"),
+            Proto::Icmp => write!(f, "icmp"),
+            Proto::Other(n) => write!(f, "proto-{n}"),
+        }
+    }
+}
+
+/// One observed packet, reduced to what traffic analysis needs.
+///
+/// `src`/`dst` are host-byte-order IPv4 addresses; `wire_len` is the
+/// on-the-wire byte length used for byte-volume accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PacketRecord {
+    /// Capture timestamp, relative to the trace epoch.
+    pub ts: Nanos,
+    /// Source IPv4 address (host byte order).
+    pub src: u32,
+    /// Destination IPv4 address (host byte order).
+    pub dst: u32,
+    /// On-the-wire length in bytes (what byte-volume HHH counts).
+    pub wire_len: u32,
+    /// Source transport port (0 when not applicable).
+    pub src_port: u16,
+    /// Destination transport port (0 when not applicable).
+    pub dst_port: u16,
+    /// IP protocol.
+    pub proto: Proto,
+}
+
+impl PacketRecord {
+    /// A minimal record with just the fields the HHH experiments use.
+    /// Protocol defaults to UDP and ports to zero.
+    pub const fn new(ts: Nanos, src: u32, dst: u32, wire_len: u32) -> Self {
+        PacketRecord { ts, src, dst, wire_len, src_port: 0, dst_port: 0, proto: Proto::Udp }
+    }
+
+    /// Full constructor.
+    #[allow(clippy::too_many_arguments)]
+    pub const fn with_transport(
+        ts: Nanos,
+        src: u32,
+        dst: u32,
+        wire_len: u32,
+        proto: Proto,
+        src_port: u16,
+        dst_port: u16,
+    ) -> Self {
+        PacketRecord { ts, src, dst, wire_len, src_port, dst_port, proto }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Nanos;
+
+    #[test]
+    fn proto_number_roundtrip() {
+        for n in 0..=255u8 {
+            assert_eq!(Proto::from_number(n).number(), n);
+        }
+        assert_eq!(Proto::from_number(6), Proto::Tcp);
+        assert_eq!(Proto::from_number(17), Proto::Udp);
+        assert_eq!(Proto::from_number(1), Proto::Icmp);
+        assert_eq!(Proto::from_number(47), Proto::Other(47));
+    }
+
+    #[test]
+    fn proto_display() {
+        assert_eq!(Proto::Tcp.to_string(), "tcp");
+        assert_eq!(Proto::Other(89).to_string(), "proto-89");
+    }
+
+    #[test]
+    fn record_is_compact() {
+        // Two records per cache line; this is the hot-path type, so the
+        // size is part of the contract.
+        assert!(core::mem::size_of::<PacketRecord>() <= 32);
+    }
+
+    #[test]
+    fn constructors() {
+        let r = PacketRecord::new(Nanos::from_secs(1), 1, 2, 100);
+        assert_eq!(r.proto, Proto::Udp);
+        assert_eq!(r.src_port, 0);
+        let r = PacketRecord::with_transport(Nanos::ZERO, 1, 2, 64, Proto::Tcp, 1234, 80);
+        assert_eq!(r.proto, Proto::Tcp);
+        assert_eq!(r.dst_port, 80);
+    }
+}

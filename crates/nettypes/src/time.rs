@@ -1,0 +1,360 @@
+//! Trace time: absolute instants ([`Nanos`]) and durations ([`TimeSpan`]).
+//!
+//! All trace analysis in this workspace happens in *trace time*: an
+//! instant is a number of nanoseconds since the first packet of the trace
+//! (the *trace epoch*). Using a bare `u64` everywhere invites unit bugs
+//! (seconds vs milliseconds vs nanoseconds appear throughout the paper's
+//! experiments), so instants and durations are distinct newtypes with only
+//! the arithmetic that makes dimensional sense:
+//!
+//! * `Nanos - Nanos = TimeSpan`
+//! * `Nanos ± TimeSpan = Nanos`
+//! * `TimeSpan ± TimeSpan = TimeSpan`, `TimeSpan * k`, `TimeSpan / k`
+//!
+//! Both types are `Copy`, 8 bytes, and totally ordered. A `u64` of
+//! nanoseconds covers ~584 years, far beyond any trace length.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An instant in trace time: nanoseconds since the trace epoch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(u64);
+
+/// A span of trace time: a non-negative number of nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeSpan(u64);
+
+macro_rules! common_ctors {
+    ($ty:ident) => {
+        impl $ty {
+            /// Zero.
+            pub const ZERO: $ty = $ty(0);
+
+            /// Construct from raw nanoseconds.
+            #[inline]
+            pub const fn from_nanos(ns: u64) -> Self {
+                $ty(ns)
+            }
+
+            /// Construct from microseconds.
+            #[inline]
+            pub const fn from_micros(us: u64) -> Self {
+                $ty(us * 1_000)
+            }
+
+            /// Construct from milliseconds.
+            #[inline]
+            pub const fn from_millis(ms: u64) -> Self {
+                $ty(ms * 1_000_000)
+            }
+
+            /// Construct from whole seconds.
+            #[inline]
+            pub const fn from_secs(s: u64) -> Self {
+                $ty(s * 1_000_000_000)
+            }
+
+            /// Raw nanosecond count.
+            #[inline]
+            pub const fn as_nanos(self) -> u64 {
+                self.0
+            }
+
+            /// Truncating conversion to whole microseconds.
+            #[inline]
+            pub const fn as_micros(self) -> u64 {
+                self.0 / 1_000
+            }
+
+            /// Truncating conversion to whole milliseconds.
+            #[inline]
+            pub const fn as_millis(self) -> u64 {
+                self.0 / 1_000_000
+            }
+
+            /// Truncating conversion to whole seconds.
+            #[inline]
+            pub const fn as_secs(self) -> u64 {
+                self.0 / 1_000_000_000
+            }
+
+            /// Conversion to seconds as a float (for rate computations).
+            #[inline]
+            pub fn as_secs_f64(self) -> f64 {
+                self.0 as f64 / 1e9
+            }
+
+            /// Saturating subtraction; clamps at zero instead of wrapping.
+            #[inline]
+            pub const fn saturating_sub(self, rhs: $ty) -> $ty {
+                $ty(self.0.saturating_sub(rhs.0))
+            }
+        }
+    };
+}
+
+common_ctors!(Nanos);
+common_ctors!(TimeSpan);
+
+impl TimeSpan {
+    /// Construct from fractional seconds. Panics on negative or
+    /// non-finite input (a duration cannot be negative).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "TimeSpan must be finite and non-negative, got {s}");
+        TimeSpan((s * 1e9).round() as u64)
+    }
+
+    /// `true` iff this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Nanos {
+    /// The greatest representable instant (used as an "infinitely far
+    /// away" sentinel by event-merging heaps).
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Subtract a span, clamping at the epoch instead of panicking —
+    /// the idiom for "window start" near the beginning of a trace.
+    #[inline]
+    pub const fn saturating_sub_span(self, span: TimeSpan) -> Nanos {
+        Nanos(self.0.saturating_sub(span.as_nanos()))
+    }
+
+    /// Which fixed-size bin this instant falls into when time is cut into
+    /// consecutive spans of `bin` length starting at the epoch.
+    ///
+    /// Panics if `bin` is zero.
+    #[inline]
+    pub fn bin_index(self, bin: TimeSpan) -> u64 {
+        assert!(!bin.is_zero(), "bin length must be non-zero");
+        self.0 / bin.0
+    }
+
+    /// Offset of this instant within its `bin`-sized bin.
+    #[inline]
+    pub fn bin_offset(self, bin: TimeSpan) -> TimeSpan {
+        assert!(!bin.is_zero(), "bin length must be non-zero");
+        TimeSpan(self.0 % bin.0)
+    }
+}
+
+impl Sub for Nanos {
+    type Output = TimeSpan;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> TimeSpan {
+        TimeSpan(self.0.checked_sub(rhs.0).expect("instant subtraction underflow"))
+    }
+}
+
+impl Add<TimeSpan> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: TimeSpan) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeSpan> for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeSpan> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn sub(self, rhs: TimeSpan) -> Nanos {
+        Nanos(self.0.checked_sub(rhs.0).expect("instant minus span underflow"))
+    }
+}
+
+impl Add for TimeSpan {
+    type Output = TimeSpan;
+    #[inline]
+    fn add(self, rhs: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeSpan {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeSpan {
+    type Output = TimeSpan;
+    #[inline]
+    fn sub(self, rhs: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0.checked_sub(rhs.0).expect("span subtraction underflow"))
+    }
+}
+
+impl SubAssign for TimeSpan {
+    #[inline]
+    fn sub_assign(&mut self, rhs: TimeSpan) {
+        self.0 = self.0.checked_sub(rhs.0).expect("span subtraction underflow");
+    }
+}
+
+impl Mul<u64> for TimeSpan {
+    type Output = TimeSpan;
+    #[inline]
+    fn mul(self, rhs: u64) -> TimeSpan {
+        TimeSpan(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for TimeSpan {
+    type Output = TimeSpan;
+    #[inline]
+    fn div(self, rhs: u64) -> TimeSpan {
+        TimeSpan(self.0 / rhs)
+    }
+}
+
+impl Div for TimeSpan {
+    type Output = u64;
+    /// How many whole `rhs` spans fit in `self`.
+    #[inline]
+    fn div(self, rhs: TimeSpan) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem for TimeSpan {
+    type Output = TimeSpan;
+    #[inline]
+    fn rem(self, rhs: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0 % rhs.0)
+    }
+}
+
+fn fmt_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    // Render at the coarsest unit that loses nothing, for readable debug
+    // output: 5s, 1500ms, 250us, 17ns.
+    if ns == 0 {
+        write!(f, "0s")
+    } else if ns % 1_000_000_000 == 0 {
+        write!(f, "{}s", ns / 1_000_000_000)
+    } else if ns % 1_000_000 == 0 {
+        write!(f, "{}ms", ns / 1_000_000)
+    } else if ns % 1_000 == 0 {
+        write!(f, "{}us", ns / 1_000)
+    } else {
+        write!(f, "{}ns", ns)
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+")?;
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for TimeSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Display for TimeSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_secs(2), Nanos::from_millis(2_000));
+        assert_eq!(Nanos::from_millis(3), Nanos::from_micros(3_000));
+        assert_eq!(Nanos::from_micros(7), Nanos::from_nanos(7_000));
+        assert_eq!(TimeSpan::from_secs(1).as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn instant_minus_instant_is_span() {
+        let a = Nanos::from_secs(10);
+        let b = Nanos::from_secs(4);
+        assert_eq!(a - b, TimeSpan::from_secs(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn instant_subtraction_underflow_panics() {
+        let _ = Nanos::from_secs(1) - Nanos::from_secs(2);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Nanos::from_secs(1).saturating_sub(Nanos::from_secs(5)), Nanos::ZERO);
+        assert_eq!(
+            TimeSpan::from_secs(1).saturating_sub(TimeSpan::from_millis(200)),
+            TimeSpan::from_millis(800)
+        );
+    }
+
+    #[test]
+    fn span_arithmetic() {
+        let w = TimeSpan::from_secs(10);
+        assert_eq!(w / TimeSpan::from_secs(1), 10);
+        assert_eq!(w / 4, TimeSpan::from_millis(2_500));
+        assert_eq!(w * 3, TimeSpan::from_secs(30));
+        assert_eq!(w % TimeSpan::from_secs(3), TimeSpan::from_secs(1));
+    }
+
+    #[test]
+    fn bin_index_and_offset() {
+        let t = Nanos::from_millis(12_345);
+        let bin = TimeSpan::from_secs(1);
+        assert_eq!(t.bin_index(bin), 12);
+        assert_eq!(t.bin_offset(bin), TimeSpan::from_millis(345));
+    }
+
+    #[test]
+    fn bin_boundaries_are_half_open() {
+        let bin = TimeSpan::from_secs(5);
+        assert_eq!(Nanos::from_secs(5).bin_index(bin), 1);
+        assert_eq!(Nanos::from_nanos(4_999_999_999).bin_index(bin), 0);
+    }
+
+    #[test]
+    fn display_picks_coarsest_exact_unit() {
+        assert_eq!(TimeSpan::from_secs(5).to_string(), "5s");
+        assert_eq!(TimeSpan::from_millis(1500).to_string(), "1500ms");
+        assert_eq!(TimeSpan::from_micros(250).to_string(), "250us");
+        assert_eq!(TimeSpan::from_nanos(17).to_string(), "17ns");
+        assert_eq!(TimeSpan::ZERO.to_string(), "0s");
+        assert_eq!(Nanos::from_millis(10).to_string(), "t+10ms");
+    }
+
+    #[test]
+    fn secs_f64_roundtrip() {
+        let s = TimeSpan::from_secs_f64(1.5);
+        assert_eq!(s, TimeSpan::from_millis(1500));
+        assert!((s.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_span_panics() {
+        let _ = TimeSpan::from_secs_f64(-1.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for capture I/O.
+
+use core::fmt;
+
+/// Errors produced while reading or writing captures.
+#[derive(Debug)]
+pub enum PcapError {
+    /// Underlying I/O failed.
+    Io(std::io::Error),
+    /// The file is not a capture we understand (bad magic, truncated
+    /// header, unsupported link type…). The message says which.
+    Format(&'static str),
+    /// A frame declared a capture length beyond the sanity limit,
+    /// which almost always means a desynchronized or corrupt stream.
+    OversizedFrame {
+        /// The declared capture length.
+        declared: u32,
+    },
+}
+
+impl fmt::Display for PcapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcapError::Io(e) => write!(f, "capture I/O error: {e}"),
+            PcapError::Format(what) => write!(f, "malformed capture: {what}"),
+            PcapError::OversizedFrame { declared } => {
+                write!(f, "frame declares absurd capture length {declared}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PcapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PcapError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PcapError {
+    fn from(e: std::io::Error) -> Self {
+        PcapError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = PcapError::Format("bad magic");
+        assert!(e.to_string().contains("bad magic"));
+        let e = PcapError::OversizedFrame { declared: 1 << 30 };
+        assert!(e.to_string().contains("1073741824"));
+        let e: PcapError = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(e.to_string().contains("eof"));
+    }
+}

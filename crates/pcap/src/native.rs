@@ -1,0 +1,249 @@
+//! The native compact trace format.
+//!
+//! Synthetic experiment traces don't need Ethernet framing — they need
+//! fast, dense sequential I/O. A native trace is a 16-byte header
+//! followed by fixed-width 25-byte records, little-endian throughout:
+//!
+//! ```text
+//! header:  magic "HHHT" | version u16 | reserved u16 | record count u64
+//! record:  ts u64 (ns) | src u32 | dst u32 | wire_len u32 | sport u16 | dport u16 | proto u8
+//! ```
+//!
+//! The count field is written as `u64::MAX` by streaming writers that
+//! don't know the count up front; readers treat it as advisory.
+
+use crate::error::PcapError;
+use hhh_nettypes::{Nanos, PacketRecord, Proto};
+use std::io::{Read, Write};
+
+/// File magic: "HHHT".
+pub const NATIVE_MAGIC: [u8; 4] = *b"HHHT";
+/// Bytes per record.
+pub const NATIVE_RECORD_LEN: usize = 25;
+const VERSION: u16 = 1;
+
+/// Streaming writer for the native format.
+#[derive(Debug)]
+pub struct NativeWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> NativeWriter<W> {
+    /// Write the header (with an unknown advisory count).
+    pub fn new(mut inner: W) -> Result<Self, PcapError> {
+        inner.write_all(&NATIVE_MAGIC)?;
+        inner.write_all(&VERSION.to_le_bytes())?;
+        inner.write_all(&0u16.to_le_bytes())?;
+        inner.write_all(&u64::MAX.to_le_bytes())?;
+        Ok(NativeWriter { inner, written: 0 })
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Append one record.
+    pub fn write_record(&mut self, r: &PacketRecord) -> Result<(), PcapError> {
+        let mut buf = [0u8; NATIVE_RECORD_LEN];
+        buf[0..8].copy_from_slice(&r.ts.as_nanos().to_le_bytes());
+        buf[8..12].copy_from_slice(&r.src.to_le_bytes());
+        buf[12..16].copy_from_slice(&r.dst.to_le_bytes());
+        buf[16..20].copy_from_slice(&r.wire_len.to_le_bytes());
+        buf[20..22].copy_from_slice(&r.src_port.to_le_bytes());
+        buf[22..24].copy_from_slice(&r.dst_port.to_le_bytes());
+        buf[24] = r.proto.number();
+        self.inner.write_all(&buf)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Append many records.
+    pub fn write_all_records(&mut self, records: &[PacketRecord]) -> Result<(), PcapError> {
+        for r in records {
+            self.write_record(r)?;
+        }
+        Ok(())
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> Result<W, PcapError> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Streaming reader for the native format.
+#[derive(Debug)]
+pub struct NativeReader<R: Read> {
+    inner: R,
+    advisory_count: u64,
+    read: u64,
+}
+
+impl<R: Read> NativeReader<R> {
+    /// Read and validate the header.
+    pub fn new(mut inner: R) -> Result<Self, PcapError> {
+        let mut hdr = [0u8; 16];
+        inner.read_exact(&mut hdr)?;
+        if hdr[0..4] != NATIVE_MAGIC {
+            return Err(PcapError::Format("not a native HHHT trace"));
+        }
+        let version = u16::from_le_bytes(hdr[4..6].try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(PcapError::Format("unsupported native trace version"));
+        }
+        let advisory_count = u64::from_le_bytes(hdr[8..16].try_into().expect("8 bytes"));
+        Ok(NativeReader { inner, advisory_count, read: 0 })
+    }
+
+    /// The advisory record count from the header (`u64::MAX` = unknown).
+    pub fn advisory_count(&self) -> u64 {
+        self.advisory_count
+    }
+
+    /// Records read so far.
+    pub fn records_read(&self) -> u64 {
+        self.read
+    }
+
+    /// Read the next record; `Ok(None)` at clean end-of-file. EOF in
+    /// the *middle* of a record is reported as an I/O error — a torn
+    /// trace should never be mistaken for a complete one.
+    pub fn next_record(&mut self) -> Result<Option<PacketRecord>, PcapError> {
+        let mut buf = [0u8; NATIVE_RECORD_LEN];
+        let mut filled = 0;
+        while filled < NATIVE_RECORD_LEN {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(PcapError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "trace truncated mid-record",
+                    )))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.read += 1;
+        Ok(Some(PacketRecord {
+            ts: Nanos::from_nanos(u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"))),
+            src: u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")),
+            dst: u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")),
+            wire_len: u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")),
+            src_port: u16::from_le_bytes(buf[20..22].try_into().expect("2 bytes")),
+            dst_port: u16::from_le_bytes(buf[22..24].try_into().expect("2 bytes")),
+            proto: Proto::from_number(buf[24]),
+        }))
+    }
+
+    /// Drain into a vector.
+    pub fn read_all_records(&mut self) -> Result<Vec<PacketRecord>, PcapError> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+/// Iterator adapter over a native reader (errors terminate iteration
+/// after yielding the error).
+impl<R: Read> Iterator for NativeReader<R> {
+    type Item = Result<PacketRecord, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<PacketRecord> {
+        (0..100u64)
+            .map(|i| {
+                PacketRecord::with_transport(
+                    Nanos::from_micros(i * 37),
+                    0x0A00_0000 | i as u32,
+                    0xC0A8_0000 | (i as u32 % 7),
+                    64 + (i as u32 * 13) % 1400,
+                    if i % 2 == 0 { Proto::Udp } else { Proto::Tcp },
+                    1024 + i as u16,
+                    (i % 3) as u16 * 443,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        let mut w = NativeWriter::new(&mut buf).unwrap();
+        w.write_all_records(&recs).unwrap();
+        assert_eq!(w.written(), 100);
+        w.into_inner().unwrap();
+        assert_eq!(buf.len(), 16 + 100 * NATIVE_RECORD_LEN);
+
+        let mut r = NativeReader::new(&buf[..]).unwrap();
+        let back = r.read_all_records().unwrap();
+        assert_eq!(back, recs);
+        assert_eq!(r.records_read(), 100);
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        let mut w = NativeWriter::new(&mut buf).unwrap();
+        w.write_all_records(&recs).unwrap();
+        w.into_inner().unwrap();
+        let r = NativeReader::new(&buf[..]).unwrap();
+        let back: Result<Vec<_>, _> = r.collect();
+        assert_eq!(back.unwrap(), recs);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let buf = b"NOPE\x01\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff".to_vec();
+        assert!(matches!(NativeReader::new(&buf[..]), Err(PcapError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&NATIVE_MAGIC);
+        buf.extend_from_slice(&9u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(NativeReader::new(&buf[..]), Err(PcapError::Format(_))));
+    }
+
+    #[test]
+    fn truncated_record_is_clean_eof_only_at_boundary() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        let mut w = NativeWriter::new(&mut buf).unwrap();
+        w.write_all_records(&recs[..2]).unwrap();
+        w.into_inner().unwrap();
+        // Chop mid-record: the reader reports an I/O error, not silence.
+        buf.truncate(16 + NATIVE_RECORD_LEN + 5);
+        let mut r = NativeReader::new(&buf[..]).unwrap();
+        assert!(r.next_record().unwrap().is_some());
+        assert!(matches!(r.next_record(), Err(PcapError::Io(_))));
+    }
+
+    #[test]
+    fn advisory_count_streaming_unknown() {
+        let mut buf = Vec::new();
+        let w = NativeWriter::new(&mut buf).unwrap();
+        w.into_inner().unwrap();
+        let r = NativeReader::new(&buf[..]).unwrap();
+        assert_eq!(r.advisory_count(), u64::MAX);
+    }
+}

@@ -1,0 +1,322 @@
+//! Zero-copy header views: Ethernet (+ 802.1Q), IPv4, IPv6, TCP, UDP.
+//!
+//! Each view wraps a byte slice and exposes typed accessors; validation
+//! happens once in `new` (length and version checks), after which reads
+//! are plain index math. Nothing is copied and nothing allocates — the
+//! smoltcp idiom.
+
+use hhh_nettypes::{Nanos, PacketRecord, Proto};
+
+/// EtherType values this crate understands.
+pub mod ethertype {
+    /// IPv4.
+    pub const IPV4: u16 = 0x0800;
+    /// IPv6.
+    pub const IPV6: u16 = 0x86DD;
+    /// 802.1Q VLAN tag.
+    pub const VLAN: u16 = 0x8100;
+}
+
+/// A parsed Ethernet II frame (possibly 802.1Q-tagged).
+#[derive(Clone, Copy, Debug)]
+pub struct EthernetView<'a> {
+    buf: &'a [u8],
+    /// Offset of the EtherType field after any VLAN tags.
+    ethertype_at: usize,
+}
+
+impl<'a> EthernetView<'a> {
+    /// Minimum frame header: two MACs + EtherType.
+    pub const MIN_LEN: usize = 14;
+
+    /// Parse a frame, skipping up to two VLAN tags.
+    pub fn new(buf: &'a [u8]) -> Option<Self> {
+        if buf.len() < Self::MIN_LEN {
+            return None;
+        }
+        let mut at = 12;
+        // Skip stacked VLAN tags (QinQ at most doubles).
+        for _ in 0..2 {
+            let et = u16::from_be_bytes([buf[at], buf[at + 1]]);
+            if et == ethertype::VLAN {
+                if buf.len() < at + 6 {
+                    return None;
+                }
+                at += 4;
+            } else {
+                break;
+            }
+        }
+        Some(EthernetView { buf, ethertype_at: at })
+    }
+
+    /// Destination MAC.
+    pub fn dst_mac(&self) -> [u8; 6] {
+        self.buf[0..6].try_into().expect("length checked")
+    }
+
+    /// Source MAC.
+    pub fn src_mac(&self) -> [u8; 6] {
+        self.buf[6..12].try_into().expect("length checked")
+    }
+
+    /// The EtherType after VLAN tags.
+    pub fn ethertype(&self) -> u16 {
+        u16::from_be_bytes([self.buf[self.ethertype_at], self.buf[self.ethertype_at + 1]])
+    }
+
+    /// The L3 payload.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[self.ethertype_at + 2..]
+    }
+}
+
+/// A parsed IPv4 header.
+#[derive(Clone, Copy, Debug)]
+pub struct Ipv4View<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Ipv4View<'a> {
+    /// Parse and validate version, IHL and length.
+    pub fn new(buf: &'a [u8]) -> Option<Self> {
+        if buf.len() < 20 || buf[0] >> 4 != 4 {
+            return None;
+        }
+        let ihl = ((buf[0] & 0x0F) as usize) * 4;
+        if ihl < 20 || buf.len() < ihl {
+            return None;
+        }
+        Some(Ipv4View { buf })
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        ((self.buf[0] & 0x0F) as usize) * 4
+    }
+
+    /// The Total Length field.
+    pub fn total_len(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// TTL.
+    pub fn ttl(&self) -> u8 {
+        self.buf[8]
+    }
+
+    /// Protocol number.
+    pub fn protocol(&self) -> u8 {
+        self.buf[9]
+    }
+
+    /// Source address, host byte order.
+    pub fn src(&self) -> u32 {
+        u32::from_be_bytes(self.buf[12..16].try_into().expect("length checked"))
+    }
+
+    /// Destination address, host byte order.
+    pub fn dst(&self) -> u32 {
+        u32::from_be_bytes(self.buf[16..20].try_into().expect("length checked"))
+    }
+
+    /// The L4 payload (after options).
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[self.header_len()..]
+    }
+}
+
+/// A parsed IPv6 fixed header (extension headers are not walked; the
+/// Next Header value is reported as-is).
+#[derive(Clone, Copy, Debug)]
+pub struct Ipv6View<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Ipv6View<'a> {
+    /// Parse and validate version and length.
+    pub fn new(buf: &'a [u8]) -> Option<Self> {
+        if buf.len() < 40 || buf[0] >> 4 != 6 {
+            return None;
+        }
+        Some(Ipv6View { buf })
+    }
+
+    /// Next Header (the L4 protocol when no extension headers).
+    pub fn next_header(&self) -> u8 {
+        self.buf[6]
+    }
+
+    /// Source address as a `u128`.
+    pub fn src(&self) -> u128 {
+        u128::from_be_bytes(self.buf[8..24].try_into().expect("length checked"))
+    }
+
+    /// Destination address as a `u128`.
+    pub fn dst(&self) -> u128 {
+        u128::from_be_bytes(self.buf[24..40].try_into().expect("length checked"))
+    }
+
+    /// Payload after the fixed header.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[40..]
+    }
+}
+
+/// Source and destination ports of a TCP or UDP header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ports {
+    /// Source port.
+    pub src: u16,
+    /// Destination port.
+    pub dst: u16,
+}
+
+/// Parse the port pair from a TCP (proto 6) or UDP (proto 17) payload.
+/// Returns `None` for other protocols or truncated headers.
+pub fn transport_ports(proto: u8, l4: &[u8]) -> Option<Ports> {
+    match proto {
+        6 | 17 if l4.len() >= 4 => Some(Ports {
+            src: u16::from_be_bytes([l4[0], l4[1]]),
+            dst: u16::from_be_bytes([l4[2], l4[3]]),
+        }),
+        _ => None,
+    }
+}
+
+/// Condense an Ethernet frame into a [`PacketRecord`].
+///
+/// `wire_len` should be the original (untruncated) frame length from the
+/// capture record; `ts` the capture timestamp. Returns `None` for
+/// non-IPv4 frames — the experiments are IPv4, and callers that care
+/// about IPv6 use the views directly.
+pub fn record_from_frame(ts: Nanos, wire_len: u32, frame: &[u8]) -> Option<PacketRecord> {
+    let eth = EthernetView::new(frame)?;
+    if eth.ethertype() != ethertype::IPV4 {
+        return None;
+    }
+    let ip = Ipv4View::new(eth.payload())?;
+    let ports = transport_ports(ip.protocol(), ip.payload()).unwrap_or(Ports { src: 0, dst: 0 });
+    Some(PacketRecord::with_transport(
+        ts,
+        ip.src(),
+        ip.dst(),
+        wire_len,
+        Proto::from_number(ip.protocol()),
+        ports.src,
+        ports.dst,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-assemble an Ethernet+IPv4+UDP frame.
+    pub(crate) fn build_udp_frame(src: u32, dst: u32, sport: u16, dport: u16, payload_len: usize) -> Vec<u8> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&[0x02, 0, 0, 0, 0, 1]); // dst mac
+        f.extend_from_slice(&[0x02, 0, 0, 0, 0, 2]); // src mac
+        f.extend_from_slice(&ethertype::IPV4.to_be_bytes());
+        let total = 20 + 8 + payload_len;
+        f.push(0x45); // v4, ihl 5
+        f.push(0);
+        f.extend_from_slice(&(total as u16).to_be_bytes());
+        f.extend_from_slice(&[0, 0, 0, 0]); // id, flags
+        f.push(64); // ttl
+        f.push(17); // udp
+        f.extend_from_slice(&[0, 0]); // checksum (not verified)
+        f.extend_from_slice(&src.to_be_bytes());
+        f.extend_from_slice(&dst.to_be_bytes());
+        f.extend_from_slice(&sport.to_be_bytes());
+        f.extend_from_slice(&dport.to_be_bytes());
+        f.extend_from_slice(&((8 + payload_len) as u16).to_be_bytes());
+        f.extend_from_slice(&[0, 0]);
+        f.extend(std::iter::repeat_n(0xAB, payload_len));
+        f
+    }
+
+    #[test]
+    fn parse_plain_frame() {
+        let f = build_udp_frame(0x0A000001, 0x0A000002, 1234, 53, 10);
+        let eth = EthernetView::new(&f).unwrap();
+        assert_eq!(eth.ethertype(), ethertype::IPV4);
+        assert_eq!(eth.src_mac(), [0x02, 0, 0, 0, 0, 2]);
+        assert_eq!(eth.dst_mac(), [0x02, 0, 0, 0, 0, 1]);
+        let ip = Ipv4View::new(eth.payload()).unwrap();
+        assert_eq!(ip.src(), 0x0A000001);
+        assert_eq!(ip.dst(), 0x0A000002);
+        assert_eq!(ip.protocol(), 17);
+        assert_eq!(ip.ttl(), 64);
+        assert_eq!(ip.total_len() as usize, 38);
+        let ports = transport_ports(17, ip.payload()).unwrap();
+        assert_eq!(ports, Ports { src: 1234, dst: 53 });
+    }
+
+    #[test]
+    fn parse_vlan_tagged_frame() {
+        let inner = build_udp_frame(1, 2, 10, 20, 0);
+        // Splice a VLAN tag after the MACs.
+        let mut f = inner[..12].to_vec();
+        f.extend_from_slice(&ethertype::VLAN.to_be_bytes());
+        f.extend_from_slice(&[0x00, 0x64]); // VID 100
+        f.extend_from_slice(&inner[12..]);
+        let eth = EthernetView::new(&f).unwrap();
+        assert_eq!(eth.ethertype(), ethertype::IPV4);
+        let ip = Ipv4View::new(eth.payload()).unwrap();
+        assert_eq!(ip.src(), 1);
+    }
+
+    #[test]
+    fn record_from_frame_condenses() {
+        let f = build_udp_frame(0xC0A80001, 0x08080808, 5555, 443, 100);
+        let r = record_from_frame(Nanos::from_secs(1), f.len() as u32, &f).unwrap();
+        assert_eq!(r.src, 0xC0A80001);
+        assert_eq!(r.dst, 0x08080808);
+        assert_eq!(r.src_port, 5555);
+        assert_eq!(r.dst_port, 443);
+        assert_eq!(r.proto, Proto::Udp);
+        assert_eq!(r.wire_len as usize, f.len());
+    }
+
+    #[test]
+    fn rejects_short_and_wrong_version() {
+        assert!(EthernetView::new(&[0u8; 10]).is_none());
+        assert!(Ipv4View::new(&[0u8; 19]).is_none());
+        let mut v6ish = [0u8; 20];
+        v6ish[0] = 0x60;
+        assert!(Ipv4View::new(&v6ish).is_none());
+        let mut bad_ihl = [0u8; 20];
+        bad_ihl[0] = 0x41; // ihl=1 → 4 bytes, invalid
+        assert!(Ipv4View::new(&bad_ihl).is_none());
+    }
+
+    #[test]
+    fn non_ipv4_yields_no_record() {
+        let mut f = build_udp_frame(1, 2, 3, 4, 0);
+        f[12] = 0x86;
+        f[13] = 0xDD; // claim IPv6
+        assert!(record_from_frame(Nanos::ZERO, f.len() as u32, &f).is_none());
+    }
+
+    #[test]
+    fn ipv6_view_parses() {
+        let mut b = vec![0u8; 48];
+        b[0] = 0x60;
+        b[6] = 6; // next header TCP
+        b[8..24].copy_from_slice(&(0x2001_0db8_u128 << 96).to_be_bytes());
+        b[24..40].copy_from_slice(&1u128.to_be_bytes());
+        let v6 = Ipv6View::new(&b).unwrap();
+        assert_eq!(v6.next_header(), 6);
+        assert_eq!(v6.src() >> 96, 0x2001_0db8);
+        assert_eq!(v6.dst(), 1);
+        assert_eq!(v6.payload().len(), 8);
+        assert!(Ipv6View::new(&b[..39]).is_none());
+    }
+
+    #[test]
+    fn transport_ports_non_tcp_udp() {
+        assert!(transport_ports(1, &[0u8; 8]).is_none()); // ICMP
+        assert!(transport_ports(6, &[0u8; 3]).is_none()); // truncated
+    }
+}

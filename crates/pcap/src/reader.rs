@@ -1,0 +1,238 @@
+//! Classic pcap reading.
+
+use crate::error::PcapError;
+use crate::parse::record_from_frame;
+use bytes::{Bytes, BytesMut};
+use hhh_nettypes::{Nanos, PacketRecord};
+use std::io::Read;
+
+/// Frames larger than this indicate a corrupt stream, not a jumbo frame.
+const MAX_SNAPLEN: u32 = 256 * 1024;
+
+/// Timestamp resolution declared by a pcap file's magic number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TsResolution {
+    /// `0xA1B2C3D4` magic: seconds + microseconds.
+    Micro,
+    /// `0xA1B23C4D` magic: seconds + nanoseconds.
+    Nano,
+}
+
+/// One raw captured frame: timestamp, original wire length, and the
+/// (possibly snap-truncated) captured bytes.
+#[derive(Clone, Debug)]
+pub struct RawFrame {
+    /// Capture timestamp (absolute, as stored in the file).
+    pub ts: Nanos,
+    /// Original length on the wire.
+    pub wire_len: u32,
+    /// Captured bytes (`len ≤ wire_len` under a snaplen).
+    pub data: Bytes,
+}
+
+/// A streaming reader for classic pcap files.
+///
+/// Handles both byte orders and both timestamp resolutions. Only link
+/// type 1 (Ethernet) is accepted, because that is what
+/// [`record_from_frame`] understands; other link types fail fast with a
+/// format error rather than silently mis-parsing.
+#[derive(Debug)]
+pub struct PcapReader<R> {
+    inner: R,
+    big_endian: bool,
+    resolution: TsResolution,
+    snaplen: u32,
+    frames_read: u64,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Read and validate the global header.
+    pub fn new(mut inner: R) -> Result<Self, PcapError> {
+        let mut hdr = [0u8; 24];
+        inner.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes(hdr[0..4].try_into().expect("4 bytes"));
+        let (big_endian, resolution) = match magic {
+            0xA1B2_C3D4 => (false, TsResolution::Micro),
+            0xA1B2_3C4D => (false, TsResolution::Nano),
+            0xD4C3_B2A1 => (true, TsResolution::Micro),
+            0x4D3C_B2A1 => (true, TsResolution::Nano),
+            _ => return Err(PcapError::Format("unrecognized pcap magic")),
+        };
+        let u32_at = |b: &[u8], off: usize| -> u32 {
+            let raw: [u8; 4] = b[off..off + 4].try_into().expect("4 bytes");
+            if big_endian {
+                u32::from_be_bytes(raw)
+            } else {
+                u32::from_le_bytes(raw)
+            }
+        };
+        let snaplen = u32_at(&hdr, 16);
+        let linktype = u32_at(&hdr, 20);
+        if linktype != 1 {
+            return Err(PcapError::Format("only Ethernet (linktype 1) captures are supported"));
+        }
+        Ok(PcapReader { inner, big_endian, resolution, snaplen, frames_read: 0 })
+    }
+
+    /// The file's declared snap length.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// The timestamp resolution in use.
+    pub fn resolution(&self) -> TsResolution {
+        self.resolution
+    }
+
+    /// Frames returned so far.
+    pub fn frames_read(&self) -> u64 {
+        self.frames_read
+    }
+
+    /// Read the next frame; `Ok(None)` at clean end-of-file.
+    pub fn next_frame(&mut self) -> Result<Option<RawFrame>, PcapError> {
+        let mut hdr = [0u8; 16];
+        match self.inner.read_exact(&mut hdr) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let u32_at = |b: &[u8], off: usize| -> u32 {
+            let raw: [u8; 4] = b[off..off + 4].try_into().expect("4 bytes");
+            if self.big_endian {
+                u32::from_be_bytes(raw)
+            } else {
+                u32::from_le_bytes(raw)
+            }
+        };
+        let secs = u32_at(&hdr, 0) as u64;
+        let frac = u32_at(&hdr, 4) as u64;
+        let cap_len = u32_at(&hdr, 8);
+        let wire_len = u32_at(&hdr, 12);
+        if cap_len > MAX_SNAPLEN {
+            return Err(PcapError::OversizedFrame { declared: cap_len });
+        }
+        let ts = match self.resolution {
+            TsResolution::Micro => Nanos::from_nanos(secs * 1_000_000_000 + frac * 1_000),
+            TsResolution::Nano => Nanos::from_nanos(secs * 1_000_000_000 + frac),
+        };
+        let mut data = BytesMut::zeroed(cap_len as usize);
+        self.inner.read_exact(&mut data)?;
+        self.frames_read += 1;
+        Ok(Some(RawFrame { ts, wire_len, data: data.freeze() }))
+    }
+
+    /// Read the next frame and condense it to a [`PacketRecord`],
+    /// skipping frames that are not parseable IPv4 (the CAIDA-pipeline
+    /// behaviour: non-IP traffic does not take part in HHH analysis).
+    pub fn next_record(&mut self) -> Result<Option<PacketRecord>, PcapError> {
+        loop {
+            match self.next_frame()? {
+                None => return Ok(None),
+                Some(f) => {
+                    if let Some(r) = record_from_frame(f.ts, f.wire_len, &f.data) {
+                        return Ok(Some(r));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain the file into a vector of records.
+    pub fn read_all_records(&mut self) -> Result<Vec<PacketRecord>, PcapError> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a 24-byte global header. The magic is written verbatim in
+    /// little-endian byte order; when `be` is true the reader will see
+    /// the byte-swapped value and treat the rest of the file as
+    /// big-endian (so the remaining fields are emitted big-endian).
+    fn minimal_header(magic: u32, be: bool) -> Vec<u8> {
+        let mut h = Vec::with_capacity(24);
+        h.extend_from_slice(&magic.to_le_bytes());
+        let w16 = |v: u16, h: &mut Vec<u8>| {
+            h.extend_from_slice(&if be { v.to_be_bytes() } else { v.to_le_bytes() })
+        };
+        w16(2, &mut h); // version major
+        w16(4, &mut h); // version minor
+        let w32 = |v: u32, h: &mut Vec<u8>| {
+            h.extend_from_slice(&if be { v.to_be_bytes() } else { v.to_le_bytes() })
+        };
+        w32(0, &mut h); // thiszone
+        w32(0, &mut h); // sigfigs
+        w32(65535, &mut h); // snaplen
+        w32(1, &mut h); // linktype ethernet
+        h
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let data = [0u8; 24];
+        assert!(matches!(PcapReader::new(&data[..]), Err(PcapError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_non_ethernet() {
+        let mut h = minimal_header(0xA1B2_C3D4, false);
+        h[20..24].copy_from_slice(&101u32.to_le_bytes()); // raw IP linktype
+        assert!(matches!(PcapReader::new(&h[..]), Err(PcapError::Format(_))));
+    }
+
+    #[test]
+    fn empty_file_yields_none() {
+        let h = minimal_header(0xA1B2_C3D4, false);
+        let mut r = PcapReader::new(&h[..]).unwrap();
+        assert!(r.next_frame().unwrap().is_none());
+        assert_eq!(r.frames_read(), 0);
+    }
+
+    #[test]
+    fn big_endian_micro_frames_parse() {
+        let mut file = minimal_header(0xD4C3_B2A1, true);
+        // one frame: ts 3.000005s, 6 bytes
+        file.extend_from_slice(&3u32.to_be_bytes());
+        file.extend_from_slice(&5u32.to_be_bytes());
+        file.extend_from_slice(&6u32.to_be_bytes());
+        file.extend_from_slice(&6u32.to_be_bytes());
+        file.extend_from_slice(&[1, 2, 3, 4, 5, 6]);
+        let mut r = PcapReader::new(&file[..]).unwrap();
+        assert_eq!(r.resolution(), TsResolution::Micro);
+        let f = r.next_frame().unwrap().unwrap();
+        assert_eq!(f.ts, Nanos::from_nanos(3_000_005_000));
+        assert_eq!(f.wire_len, 6);
+        assert_eq!(&f.data[..], &[1, 2, 3, 4, 5, 6]);
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_detected() {
+        let mut file = minimal_header(0xA1B2_C3D4, false);
+        file.extend_from_slice(&0u32.to_le_bytes());
+        file.extend_from_slice(&0u32.to_le_bytes());
+        file.extend_from_slice(&(MAX_SNAPLEN + 1).to_le_bytes());
+        file.extend_from_slice(&10u32.to_le_bytes());
+        let mut r = PcapReader::new(&file[..]).unwrap();
+        assert!(matches!(r.next_frame(), Err(PcapError::OversizedFrame { .. })));
+    }
+
+    #[test]
+    fn truncated_frame_body_is_io_error() {
+        let mut file = minimal_header(0xA1B2_C3D4, false);
+        file.extend_from_slice(&0u32.to_le_bytes());
+        file.extend_from_slice(&0u32.to_le_bytes());
+        file.extend_from_slice(&100u32.to_le_bytes());
+        file.extend_from_slice(&100u32.to_le_bytes());
+        file.extend_from_slice(&[0u8; 10]); // 90 bytes short
+        let mut r = PcapReader::new(&file[..]).unwrap();
+        assert!(matches!(r.next_frame(), Err(PcapError::Io(_))));
+    }
+}

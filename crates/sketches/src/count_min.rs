@@ -1,0 +1,277 @@
+//! The Count-Min sketch (Cormode & Muthukrishnan 2005).
+
+use crate::hash::{hash_of, reduce, seed_sequence};
+use core::hash::Hash;
+use core::marker::PhantomData;
+
+/// A Count-Min sketch: `depth` rows × `width` counters.
+///
+/// Point queries return an overestimate: for a stream of total weight
+/// `N`, with `width = ⌈e/ε⌉` and `depth = ⌈ln(1/δ)⌉`, the estimate
+/// exceeds the true frequency by more than `εN` with probability at most
+/// `δ`. The estimate never *under*states the truth — detectors built on
+/// CMS therefore have one-sided error (no false negatives at a given
+/// threshold).
+///
+/// The optional *conservative update* rule (Estan & Varghese 2002)
+/// increments each row only up to the post-update point estimate,
+/// tightening the overestimate at no asymptotic cost; enable it with
+/// [`CountMinSketch::with_conservative_update`].
+#[derive(Clone, Debug)]
+pub struct CountMinSketch<K> {
+    counters: Vec<u64>,
+    row_seeds: Vec<u64>,
+    width: usize,
+    total: u64,
+    conservative: bool,
+    _key: PhantomData<K>,
+}
+
+impl<K: Hash + Eq> CountMinSketch<K> {
+    /// Build with explicit dimensions. Panics if either is zero.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "CountMinSketch dimensions must be non-zero");
+        CountMinSketch {
+            counters: vec![0; width * depth],
+            row_seeds: seed_sequence(seed, depth),
+            width,
+            total: 0,
+            conservative: false,
+            _key: PhantomData,
+        }
+    }
+
+    /// Build from an (ε, δ) accuracy target: estimates are within `εN`
+    /// of truth with probability `1 − δ`.
+    pub fn with_error(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let width = (core::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth, seed)
+    }
+
+    /// Switch on conservative update (affects subsequent updates only).
+    pub fn with_conservative_update(mut self) -> Self {
+        self.conservative = true;
+        self
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.row_seeds.len()
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total weight inserted so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Heap footprint of the counter array in bytes (for resource
+    /// accounting in the experiments).
+    pub fn state_bytes(&self) -> usize {
+        self.counters.len() * core::mem::size_of::<u64>()
+    }
+
+    #[inline]
+    fn bucket(&self, row: usize, key: &K) -> usize {
+        row * self.width + reduce(hash_of(key, self.row_seeds[row]), self.width)
+    }
+
+    /// Add `weight` to `key`'s frequency.
+    #[inline]
+    pub fn update(&mut self, key: &K, weight: u64) {
+        self.total += weight;
+        if self.conservative {
+            // Conservative update: raise each row only as far as the
+            // smallest row would reach.
+            let mut est = u64::MAX;
+            for row in 0..self.depth() {
+                est = est.min(self.counters[self.bucket(row, key)]);
+            }
+            let target = est + weight;
+            for row in 0..self.depth() {
+                let b = self.bucket(row, key);
+                if self.counters[b] < target {
+                    self.counters[b] = target;
+                }
+            }
+        } else {
+            for row in 0..self.depth() {
+                let b = self.bucket(row, key);
+                self.counters[b] += weight;
+            }
+        }
+    }
+
+    /// Point estimate: minimum over rows, an upper bound on the truth.
+    #[inline]
+    pub fn estimate(&self, key: &K) -> u64 {
+        let mut est = u64::MAX;
+        for row in 0..self.depth() {
+            est = est.min(self.counters[self.bucket(row, key)]);
+        }
+        est
+    }
+
+    /// Merge another sketch with identical dimensions and seed into this
+    /// one (counter-wise sum). Panics on mismatched configuration, and
+    /// rejects conservative-update sketches (their merge is not sound:
+    /// per-row counters no longer upper-bound per-row truth additively).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.row_seeds, other.row_seeds, "seed mismatch");
+        assert!(
+            !self.conservative && !other.conservative,
+            "conservative-update sketches cannot be merged"
+        );
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += *b;
+        }
+        self.total += other.total;
+    }
+
+    /// Reset all counters to zero.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cms = CountMinSketch::<u64>::new(64, 4, 42);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..1000u64 {
+            let key = i % 37;
+            let w = (i % 5) + 1;
+            cms.update(&key, w);
+            *truth.entry(key).or_default() += w;
+        }
+        for (k, t) in &truth {
+            assert!(cms.estimate(k) >= *t, "underestimate for {k}");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_statistically() {
+        // ε = e/width with width 256 ⇒ εN error bound. Insert Zipf-ish
+        // traffic and check the bound for all keys (allowing the δ
+        // failure probability to show up on none, since depth 5 gives
+        // δ < 1%, and we test 200 keys → expected failures ≈ 2; allow 5).
+        let mut cms = CountMinSketch::<u64>::with_error(0.01, 0.01, 7);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut n = 0u64;
+        for i in 0..60_000u64 {
+            let key = i % 200;
+            let w = 1 + (200 / (key + 1));
+            cms.update(&key, w);
+            *truth.entry(key).or_default() += w;
+            n += w;
+        }
+        assert_eq!(cms.total(), n);
+        let eps_n = (0.01 * n as f64) as u64;
+        let violations = truth
+            .iter()
+            .filter(|(k, t)| cms.estimate(k) > **t + eps_n)
+            .count();
+        assert!(violations <= 5, "too many CMS bound violations: {violations}");
+    }
+
+    #[test]
+    fn conservative_update_is_tighter_and_still_sound() {
+        let mut plain = CountMinSketch::<u64>::new(32, 3, 1);
+        let mut cons = CountMinSketch::<u64>::new(32, 3, 1).with_conservative_update();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..5_000u64 {
+            let key = i % 300;
+            plain.update(&key, 1);
+            cons.update(&key, 1);
+            *truth.entry(key).or_default() += 1;
+        }
+        let mut cons_total_err = 0u64;
+        let mut plain_total_err = 0u64;
+        for (k, t) in &truth {
+            assert!(cons.estimate(k) >= *t, "conservative underestimated");
+            cons_total_err += cons.estimate(k) - t;
+            plain_total_err += plain.estimate(k) - t;
+        }
+        assert!(
+            cons_total_err <= plain_total_err,
+            "conservative ({cons_total_err}) should not be looser than plain ({plain_total_err})"
+        );
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut a = CountMinSketch::<u64>::new(128, 4, 99);
+        let mut b = CountMinSketch::<u64>::new(128, 4, 99);
+        let mut whole = CountMinSketch::<u64>::new(128, 4, 99);
+        for i in 0..500u64 {
+            a.update(&(i % 50), 2);
+            whole.update(&(i % 50), 2);
+        }
+        for i in 0..500u64 {
+            b.update(&(i % 70), 3);
+            whole.update(&(i % 70), 3);
+        }
+        a.merge(&b);
+        for k in 0..70u64 {
+            assert_eq!(a.estimate(&k), whole.estimate(&k));
+        }
+        assert_eq!(a.total(), whole.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn merge_rejects_different_seeds() {
+        let mut a = CountMinSketch::<u64>::new(8, 2, 1);
+        let b = CountMinSketch::<u64>::new(8, 2, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cms = CountMinSketch::<u64>::new(8, 2, 1);
+        cms.update(&1, 10);
+        cms.clear();
+        assert_eq!(cms.estimate(&1), 0);
+        assert_eq!(cms.total(), 0);
+    }
+
+    #[test]
+    fn sizing_from_error() {
+        let cms = CountMinSketch::<u64>::with_error(0.001, 0.01, 0);
+        assert!(cms.width() >= 2718);
+        assert!(cms.depth() >= 4);
+        assert_eq!(cms.state_bytes(), cms.width() * cms.depth() * 8);
+    }
+
+    proptest! {
+        #[test]
+        fn estimate_upper_bounds_truth(keys in prop::collection::vec(0u64..100, 1..500)) {
+            let mut cms = CountMinSketch::<u64>::new(16, 3, 5);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for k in &keys {
+                cms.update(k, 1);
+                *truth.entry(*k).or_default() += 1;
+            }
+            for (k, t) in truth {
+                prop_assert!(cms.estimate(&k) >= t);
+                // And never exceeds the stream total.
+                prop_assert!(cms.estimate(&k) <= keys.len() as u64);
+            }
+        }
+    }
+}

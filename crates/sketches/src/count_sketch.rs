@@ -1,0 +1,193 @@
+//! The Count Sketch (Charikar, Chen, Farach-Colton 2002).
+
+use crate::hash::{hash_of, reduce, seed_sequence};
+use core::hash::Hash;
+use core::marker::PhantomData;
+
+/// A Count Sketch: like Count-Min but with random ±1 signs, making point
+/// estimates *unbiased* (error symmetric around the truth) instead of
+/// one-sided.
+///
+/// The estimate for a key is the **median** over rows of
+/// `sign(key) × counter[bucket(key)]`. With `width = O(1/ε²)` and
+/// `depth = O(log 1/δ)`, the error is within `ε·‖f‖₂` with probability
+/// `1 − δ` — an L2 guarantee, which is what UnivMon-style universal
+/// monitoring builds on (the reason this sketch is here).
+#[derive(Clone, Debug)]
+pub struct CountSketch<K> {
+    counters: Vec<i64>,
+    bucket_seeds: Vec<u64>,
+    sign_seeds: Vec<u64>,
+    width: usize,
+    total: u64,
+    _key: PhantomData<K>,
+}
+
+impl<K: Hash + Eq> CountSketch<K> {
+    /// Build with explicit dimensions. Panics if either is zero.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "CountSketch dimensions must be non-zero");
+        let seeds = seed_sequence(seed, depth * 2);
+        CountSketch {
+            counters: vec![0; width * depth],
+            bucket_seeds: seeds[..depth].to_vec(),
+            sign_seeds: seeds[depth..].to_vec(),
+            width,
+            total: 0,
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.bucket_seeds.len()
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total weight inserted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Heap footprint of the counter array in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.counters.len() * core::mem::size_of::<i64>()
+    }
+
+    #[inline]
+    fn bucket(&self, row: usize, key: &K) -> usize {
+        row * self.width + reduce(hash_of(key, self.bucket_seeds[row]), self.width)
+    }
+
+    #[inline]
+    fn sign(&self, row: usize, key: &K) -> i64 {
+        if hash_of(key, self.sign_seeds[row]) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Add `weight` to `key`'s frequency.
+    #[inline]
+    pub fn update(&mut self, key: &K, weight: u64) {
+        self.total += weight;
+        for row in 0..self.depth() {
+            let b = self.bucket(row, key);
+            self.counters[b] += self.sign(row, key) * weight as i64;
+        }
+    }
+
+    /// Unbiased point estimate (median over rows), clamped at zero since
+    /// frequencies are non-negative.
+    pub fn estimate(&self, key: &K) -> u64 {
+        let mut ests: Vec<i64> =
+            (0..self.depth()).map(|row| self.sign(row, key) * self.counters[self.bucket(row, key)]).collect();
+        ests.sort_unstable();
+        let mid = ests.len() / 2;
+        let median = if ests.len() % 2 == 1 {
+            ests[mid]
+        } else {
+            // Round the midpoint toward zero to stay conservative.
+            (ests[mid - 1] + ests[mid]) / 2
+        };
+        median.max(0) as u64
+    }
+
+    /// An estimate of the stream's squared L2 norm `‖f‖₂²`: median over
+    /// rows of the sum of squared counters.
+    pub fn l2_squared(&self) -> u64 {
+        let mut row_sums: Vec<u128> = (0..self.depth())
+            .map(|row| {
+                self.counters[row * self.width..(row + 1) * self.width]
+                    .iter()
+                    .map(|&c| (c as i128 * c as i128) as u128)
+                    .sum()
+            })
+            .collect();
+        row_sums.sort_unstable();
+        row_sums[row_sums.len() / 2] as u64
+    }
+
+    /// Reset all counters.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn heavy_keys_estimate_accurately() {
+        let mut cs = CountSketch::<u64>::new(256, 5, 11);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        // One dominant key plus noise.
+        for _ in 0..10_000 {
+            cs.update(&7, 1);
+            *truth.entry(7).or_default() += 1;
+        }
+        for i in 0..1000u64 {
+            cs.update(&(100 + i), 1);
+            *truth.entry(100 + i).or_default() += 1;
+        }
+        let est = cs.estimate(&7);
+        let t = truth[&7];
+        let err = est.abs_diff(t);
+        assert!(err < t / 10, "heavy key estimate too far off: est={est} truth={t}");
+    }
+
+    #[test]
+    fn absent_key_estimates_near_zero() {
+        let mut cs = CountSketch::<u64>::new(512, 5, 3);
+        for i in 0..1000u64 {
+            cs.update(&i, 1);
+        }
+        // A key never inserted: estimate should be tiny relative to N.
+        assert!(cs.estimate(&999_999) < 100);
+    }
+
+    #[test]
+    fn l2_tracks_truth() {
+        let mut cs = CountSketch::<u64>::new(1024, 7, 13);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..20_000u64 {
+            let k = i % 100;
+            cs.update(&k, 1);
+            *truth.entry(k).or_default() += 1;
+        }
+        let true_l2: u64 = truth.values().map(|v| v * v).sum();
+        let est = cs.l2_squared();
+        let rel = (est as f64 - true_l2 as f64).abs() / true_l2 as f64;
+        assert!(rel < 0.25, "L2 estimate off by {rel}: est={est} truth={true_l2}");
+    }
+
+    #[test]
+    fn update_total_and_clear() {
+        let mut cs = CountSketch::<u64>::new(8, 3, 0);
+        cs.update(&1, 5);
+        cs.update(&2, 3);
+        assert_eq!(cs.total(), 8);
+        cs.clear();
+        assert_eq!(cs.total(), 0);
+        assert_eq!(cs.estimate(&1), 0);
+    }
+
+    #[test]
+    fn even_depth_median_is_defined() {
+        let mut cs = CountSketch::<u64>::new(64, 4, 21);
+        for _ in 0..100 {
+            cs.update(&5, 1);
+        }
+        // Just exercising the even-row median path.
+        let est = cs.estimate(&5);
+        assert!((80..=120).contains(&est), "est={est}");
+    }
+}

@@ -1,0 +1,239 @@
+//! The exponential histogram for sliding-window counting
+//! (Datar, Gionis, Indyk, Motwani, SODA 2002).
+//!
+//! Counts events over a sliding *time* window using O(k·log(N)) buckets
+//! instead of a queue of every event. Buckets hold power-of-two counts;
+//! at most `k + 1` buckets of each size are kept, and merging two
+//! buckets of size `s` produces one of size `2s`. The only uncertainty
+//! is the oldest (straddling) bucket, so the relative error is at most
+//! `1/(2k) · (oldest bucket)/(total)` ≤ `1/(2k)` of the true count —
+//! choose `k = ⌈1/(2ε)⌉` for relative error `ε`.
+//!
+//! Used here as the canonical "windowed counting without storing the
+//! window" substrate, the conceptual midpoint between the paper's
+//! disjoint windows (cheap, blind to boundaries) and its time-decaying
+//! proposal (boundary-free).
+//!
+//! This is the unit-count variant (one event = one increment); the
+//! byte-weighted sliding sums in the experiments use the exact epoch
+//! machinery of `hhh-window` instead, as documented in the crate root.
+
+use hhh_nettypes::{Nanos, TimeSpan};
+use std::collections::VecDeque;
+
+/// One bucket: `size` events, the newest of which happened at `end`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Bucket {
+    end: Nanos,
+    size: u64,
+}
+
+/// Exponential histogram counting events in the trailing `window`.
+#[derive(Clone, Debug)]
+pub struct ExpHistogram {
+    /// Max buckets per size class, `k + 1`.
+    per_size: usize,
+    window: TimeSpan,
+    /// Oldest bucket at the front; sizes are non-increasing toward the
+    /// back.
+    buckets: VecDeque<Bucket>,
+    events: u64,
+}
+
+impl ExpHistogram {
+    /// A histogram with relative error at most `epsilon` over a sliding
+    /// window of the given length. Panics unless `0 < epsilon < 1` and
+    /// the window is non-zero.
+    pub fn new(epsilon: f64, window: TimeSpan) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        assert!(!window.is_zero(), "window must be non-zero");
+        let k = (1.0 / (2.0 * epsilon)).ceil() as usize;
+        ExpHistogram { per_size: k + 1, window, buckets: VecDeque::new(), events: 0 }
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> TimeSpan {
+        self.window
+    }
+
+    /// Number of live buckets (the space actually used).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total events ever observed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Record one event at `now`. Timestamps must be non-decreasing.
+    pub fn insert(&mut self, now: Nanos) {
+        debug_assert!(
+            self.buckets.back().is_none_or(|b| b.end <= now),
+            "events must arrive in time order"
+        );
+        self.events += 1;
+        self.expire(now);
+        self.buckets.push_back(Bucket { end: now, size: 1 });
+        // Cascade merges: scan from the back (newest, smallest) and
+        // merge the two oldest buckets of any size class that overflows.
+        let mut size = 1u64;
+        loop {
+            let count = self.buckets.iter().rev().take_while(|b| b.size <= size).filter(|b| b.size == size).count();
+            if count <= self.per_size {
+                break;
+            }
+            // Find the two oldest buckets of this size and merge them.
+            let mut idx = None;
+            for (i, b) in self.buckets.iter().enumerate() {
+                if b.size == size {
+                    idx = Some(i);
+                    break;
+                }
+            }
+            let i = idx.expect("overflowing size class has buckets");
+            debug_assert!(self.buckets[i + 1].size == size, "size classes must be contiguous");
+            let newer_end = self.buckets[i + 1].end;
+            self.buckets[i + 1] = Bucket { end: newer_end, size: size * 2 };
+            self.buckets.remove(i);
+            size *= 2;
+        }
+    }
+
+    /// Drop buckets that ended before the window start.
+    fn expire(&mut self, now: Nanos) {
+        let start = now.saturating_sub_span(self.window);
+        while let Some(front) = self.buckets.front() {
+            if front.end < start {
+                self.buckets.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Estimated number of events in `[now − window, now]`: the sum of
+    /// all live buckets minus half the oldest (straddling) one.
+    pub fn estimate(&mut self, now: Nanos) -> u64 {
+        self.expire(now);
+        let total: u64 = self.buckets.iter().map(|b| b.size).sum();
+        match self.buckets.front() {
+            Some(b) if self.buckets.len() > 1 || b.size > 1 => total - b.size / 2,
+            _ => total,
+        }
+    }
+
+    /// Drop all state.
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.events = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact sliding-window counter for cross-checking.
+    struct Exact {
+        window: TimeSpan,
+        times: VecDeque<Nanos>,
+    }
+
+    impl Exact {
+        fn insert(&mut self, t: Nanos) {
+            self.times.push_back(t);
+        }
+        fn count(&mut self, now: Nanos) -> u64 {
+            let start = now.saturating_sub_span(self.window);
+            while let Some(&f) = self.times.front() {
+                if f < start {
+                    self.times.pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.times.len() as u64
+        }
+    }
+
+    #[test]
+    fn exact_while_buckets_unit_sized() {
+        let mut eh = ExpHistogram::new(0.1, TimeSpan::from_secs(10));
+        for i in 0..5 {
+            eh.insert(Nanos::from_secs(i));
+        }
+        assert_eq!(eh.estimate(Nanos::from_secs(5)), 5);
+    }
+
+    #[test]
+    fn expiry_removes_old_events() {
+        let mut eh = ExpHistogram::new(0.1, TimeSpan::from_secs(1));
+        eh.insert(Nanos::from_secs(0));
+        eh.insert(Nanos::from_secs(10));
+        assert_eq!(eh.estimate(Nanos::from_secs(10)), 1);
+    }
+
+    #[test]
+    fn relative_error_within_epsilon_on_uniform_stream() {
+        let eps = 0.1;
+        let window = TimeSpan::from_secs(10);
+        let mut eh = ExpHistogram::new(eps, window);
+        let mut exact = Exact { window, times: VecDeque::new() };
+        let mut t = Nanos::ZERO;
+        for _ in 0..50_000 {
+            eh.insert(t);
+            exact.insert(t);
+            t += TimeSpan::from_millis(1);
+        }
+        let est = eh.estimate(t);
+        let truth = exact.count(t);
+        let rel = (est as f64 - truth as f64).abs() / truth as f64;
+        assert!(rel <= eps, "relative error {rel} exceeds {eps}: est {est}, truth {truth}");
+    }
+
+    #[test]
+    fn relative_error_on_bursty_stream() {
+        let eps = 0.05;
+        let window = TimeSpan::from_secs(5);
+        let mut eh = ExpHistogram::new(eps, window);
+        let mut exact = Exact { window, times: VecDeque::new() };
+        let mut t = Nanos::ZERO;
+        // Bursts of 100 events every second.
+        for burst in 0..120u64 {
+            t = Nanos::from_secs(burst);
+            for i in 0..100 {
+                let ti = t + TimeSpan::from_micros(i * 10);
+                eh.insert(ti);
+                exact.insert(ti);
+            }
+        }
+        let now = t + TimeSpan::from_millis(500);
+        let est = eh.estimate(now);
+        let truth = exact.count(now);
+        let rel = (est as f64 - truth as f64).abs() / truth as f64;
+        assert!(rel <= eps + 0.01, "relative error {rel}: est {est}, truth {truth}");
+    }
+
+    #[test]
+    fn space_is_logarithmic() {
+        let mut eh = ExpHistogram::new(0.1, TimeSpan::from_secs(3600));
+        let mut t = Nanos::ZERO;
+        for _ in 0..100_000 {
+            eh.insert(t);
+            t += TimeSpan::from_millis(30);
+        }
+        // k=5 ⇒ ~6 buckets per size class, ~17 size classes for 1e5.
+        assert!(eh.bucket_count() < 150, "bucket count {} not logarithmic", eh.bucket_count());
+        assert_eq!(eh.events(), 100_000);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut eh = ExpHistogram::new(0.1, TimeSpan::from_secs(1));
+        eh.insert(Nanos::ZERO);
+        eh.clear();
+        assert_eq!(eh.estimate(Nanos::from_secs(1)), 0);
+        assert_eq!(eh.events(), 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! # hhh-sketches
+//!
+//! Frequency-estimation sketches: the approximate-counting substrate the
+//! HHH detectors in `hhh-core` are assembled from.
+//!
+//! | Type | Answers | Paper it implements |
+//! |------|---------|---------------------|
+//! | [`CountMinSketch`] | point frequency, overestimate | Cormode & Muthukrishnan 2005 |
+//! | [`CountSketch`] | point frequency, unbiased | Charikar, Chen, Farach-Colton 2002 |
+//! | [`SpaceSaving`] | top-k + frequency with deterministic bounds | Metwally, Agrawal, El Abbadi 2005 |
+//! | [`MisraGries`] | frequent items, deterministic | Misra & Gries 1982 |
+//! | [`BloomFilter`] | set membership | Bloom 1970 |
+//! | [`LossyCounting`] | frequent items, deterministic, floating space | Manku & Motwani 2002 |
+//! | [`OnDemandTdbf`] | *time-decayed* frequency | Bianchi, d'Heureuse, Niccolini 2011 — the proof-of-concept the paper's §3 proposes |
+//! | [`SweepingTdbf`] | time-decayed frequency, periodic sweep | base variant of the above |
+//! | [`DecayedCounter`] | one time-decayed scalar | EWMA accumulator used for decayed totals |
+//! | [`SlidingWindowSummary`] | frequent items over the last `W` packets | frame-based summary in the spirit of WCSS (Ben-Basat et al. 2016, the paper's ref. \[1\]) |
+//! | [`ExpHistogram`] | count over a sliding time window | Datar, Gionis, Indyk, Motwani 2002 |
+//!
+//! ## Design rules
+//!
+//! * **No allocation on the update path.** Every `update`/`insert`
+//!   touches pre-allocated flat arrays only (the single exception is a
+//!   hash-map rehash inside [`SpaceSaving`], amortized O(1) and bounded
+//!   by its fixed capacity).
+//! * **Keys are anything `Hash + Eq + Copy`.** Hashing is seeded and
+//!   deterministic (see [`hash`]), so sketches are reproducible across
+//!   runs and platforms — a requirement for the experiment harness.
+//! * **Time is explicit.** Decaying structures take `now: Nanos` as an
+//!   argument instead of reading a clock; trace time drives everything.
+//!
+//! ## Omitted (deliberately)
+//!
+//! * Sketch merging for Space-Saving (non-trivial; not needed by any
+//!   experiment here).
+//! * The weighted exponential histogram (the unit-count DGIM variant is
+//!   provided; byte-weighted sliding sums in this workspace use the
+//!   epoch machinery of `hhh-window`, which is exact).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hash;
+
+mod bloom;
+mod count_min;
+mod count_sketch;
+mod decay;
+mod exp_histogram;
+mod lossy_counting;
+mod misra_gries;
+mod space_saving;
+mod tdbf;
+mod window_summary;
+
+pub use bloom::BloomFilter;
+pub use count_min::CountMinSketch;
+pub use count_sketch::CountSketch;
+pub use decay::{DecayRate, DecayedCounter};
+pub use exp_histogram::ExpHistogram;
+pub use lossy_counting::LossyCounting;
+pub use misra_gries::MisraGries;
+pub use space_saving::{SpaceSaving, SsEntry};
+pub use tdbf::{OnDemandTdbf, SweepingTdbf};
+pub use window_summary::SlidingWindowSummary;

@@ -1,0 +1,247 @@
+//! Lossy Counting (Manku & Motwani, VLDB 2002), weighted variant.
+//!
+//! The third classic deterministic frequent-items summary, completing
+//! the set with [`crate::SpaceSaving`] (overestimates, fixed space) and
+//! [`crate::MisraGries`] (underestimates, fixed space): Lossy Counting
+//! underestimates like Misra-Gries but lets the *space* float with the
+//! stream — O((1/ε)·log(εN)) entries — in exchange for a per-item error
+//! bounded by εN at every moment, not just at the end. Historically
+//! it is the substrate of the first streaming HHH algorithms (Cormode
+//! et al. 2003), which is why it belongs in this workspace.
+//!
+//! Mechanics: the stream is cut into *buckets* of weight `w = ⌈1/ε⌉`.
+//! A new key enters with `delta = b − 1` (the maximum it could have
+//! been missed for, where `b` is the current bucket); at every bucket
+//! boundary all entries with `count + delta ≤ b` are pruned. The
+//! invariants (checked by the property tests):
+//!
+//! * `estimate(k) ≤ true(k)` — never overestimates;
+//! * `true(k) − estimate(k) ≤ εN` — bounded undercount;
+//! * any key with `true(k) > εN` is present.
+
+use core::hash::Hash;
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    count: u64,
+    /// Maximum possible undercount inherited at insertion time.
+    delta: u64,
+}
+
+/// The Lossy Counting summary.
+#[derive(Clone, Debug)]
+pub struct LossyCounting<K> {
+    /// Bucket width in weight units (⌈1/ε⌉).
+    bucket_width: u64,
+    entries: HashMap<K, Entry>,
+    total: u64,
+    /// Current bucket id `b = ⌈N/w⌉`, 1-based.
+    bucket: u64,
+}
+
+impl<K: Hash + Eq + Copy> LossyCounting<K> {
+    /// A summary with error bound `epsilon` (per-item undercount is at
+    /// most `epsilon × total_weight`). Panics unless `0 < epsilon < 1`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        LossyCounting {
+            bucket_width: (1.0 / epsilon).ceil() as u64,
+            entries: HashMap::new(),
+            total: 0,
+            bucket: 1,
+        }
+    }
+
+    /// The bucket width `⌈1/ε⌉`.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of tracked keys (the floating space).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The worst-case undercount of any estimate right now: the
+    /// current bucket id, which is `⌈N/w⌉ ≈ εN` in weight units (the
+    /// telescoping prune-loss argument of the Manku–Motwani paper
+    /// carries over to weighted updates).
+    pub fn max_undercount(&self) -> u64 {
+        self.bucket
+    }
+
+    /// Observe `weight` for `key`.
+    pub fn update(&mut self, key: K, weight: u64) {
+        self.total += weight;
+        match self.entries.get_mut(&key) {
+            Some(e) => e.count += weight,
+            None => {
+                self.entries.insert(key, Entry { count: weight, delta: self.bucket - 1 });
+            }
+        }
+        // Crossed one or more bucket boundaries? Prune.
+        let new_bucket = self.total.div_ceil(self.bucket_width);
+        if new_bucket > self.bucket {
+            self.bucket = new_bucket;
+            let b = self.bucket;
+            self.entries.retain(|_, e| e.count + e.delta > b);
+        }
+    }
+
+    /// The (under-)estimate for a key; 0 when untracked.
+    pub fn estimate(&self, key: &K) -> u64 {
+        self.entries.get(key).map(|e| e.count).unwrap_or(0)
+    }
+
+    /// Keys whose true count may reach `threshold`: report when
+    /// `count + delta ≥ threshold` (the paper's output rule —
+    /// guarantees no false negatives above `threshold`), descending by
+    /// estimate, ties broken by insertion-error bound.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)> {
+        let mut out: Vec<(K, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.count + e.delta >= threshold)
+            .map(|(k, e)| (*k, e.count))
+            .collect();
+        out.sort_by_key(|e| core::cmp::Reverse(e.1));
+        out
+    }
+
+    /// Drop all state.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.total = 0;
+        self.bucket = 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_before_first_boundary() {
+        let mut lc = LossyCounting::<u64>::new(0.1); // w = 10
+        lc.update(1, 3);
+        lc.update(2, 4);
+        assert_eq!(lc.estimate(&1), 3);
+        assert_eq!(lc.estimate(&2), 4);
+        assert_eq!(lc.len(), 2);
+    }
+
+    #[test]
+    fn never_overestimates_and_bounded_undercount() {
+        let eps = 0.01;
+        let mut lc = LossyCounting::<u64>::new(eps);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..50_000u64 {
+            let k = if i % 4 == 0 { i % 16 } else { 1000 + (i * 2_654_435_761) % 5_000 };
+            let w = 1 + i % 3;
+            lc.update(k, w);
+            *truth.entry(k).or_default() += w;
+        }
+        let bound = (eps * lc.total() as f64).ceil() as u64 + lc.bucket_width();
+        for (k, t) in &truth {
+            let e = lc.estimate(k);
+            assert!(e <= *t, "overestimate for {k}: {e} > {t}");
+            assert!(e + bound >= *t, "undercount beyond bound for {k}: {e}+{bound} < {t}");
+        }
+    }
+
+    #[test]
+    fn space_is_sublinear_in_distinct_keys() {
+        let mut lc = LossyCounting::<u64>::new(0.001);
+        // 200k distinct singletons: tracked entries must stay far below.
+        for i in 0..200_000u64 {
+            lc.update(i, 1);
+        }
+        assert!(
+            lc.len() < 30_000,
+            "{} entries for 200k singletons — pruning inert?",
+            lc.len()
+        );
+    }
+
+    #[test]
+    fn heavy_hitters_no_false_negatives() {
+        let eps = 0.005;
+        let mut lc = LossyCounting::<u64>::new(eps);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..100_000u64 {
+            let k = if i % 10 < 3 { i % 3 } else { 100 + (i * 7) % 10_000 };
+            lc.update(k, 1);
+            *truth.entry(k).or_default() += 1;
+        }
+        let threshold = lc.total() / 20; // 5%
+        let reported: std::collections::HashSet<u64> =
+            lc.heavy_hitters(threshold).into_iter().map(|e| e.0).collect();
+        for (k, t) in &truth {
+            if *t >= threshold {
+                assert!(reported.contains(k), "missed true heavy {k} ({t})");
+            }
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut lc = LossyCounting::<u64>::new(0.1);
+        lc.update(1, 100);
+        lc.clear();
+        assert!(lc.is_empty());
+        assert_eq!(lc.total(), 0);
+        assert_eq!(lc.estimate(&1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn bad_epsilon_rejected() {
+        let _ = LossyCounting::<u64>::new(1.5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn lossy_counting_contract(
+            ops in prop::collection::vec((0u64..60, 1u64..8), 1..2000),
+            inv_eps in 10u64..200,
+        ) {
+            let eps = 1.0 / inv_eps as f64;
+            let mut lc = LossyCounting::<u64>::new(eps);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for (k, w) in ops {
+                lc.update(k, w);
+                *truth.entry(k).or_default() += w;
+            }
+            let n: u64 = truth.values().sum();
+            prop_assert_eq!(lc.total(), n);
+            let bound = (eps * n as f64).ceil() as u64 + lc.bucket_width();
+            for (k, t) in &truth {
+                let e = lc.estimate(k);
+                prop_assert!(e <= *t);
+                prop_assert!(e + bound >= *t, "undercount: {} + {} < {}", e, bound, t);
+            }
+            // No false negatives at any threshold above the bound.
+            let threshold = n / 4 + 1;
+            let reported: std::collections::HashSet<u64> =
+                lc.heavy_hitters(threshold).into_iter().map(|x| x.0).collect();
+            for (k, t) in &truth {
+                if *t >= threshold {
+                    prop_assert!(reported.contains(k));
+                }
+            }
+        }
+    }
+}

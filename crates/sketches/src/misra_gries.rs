@@ -1,0 +1,211 @@
+//! The Misra-Gries frequent-items summary (Misra & Gries 1982),
+//! generalized to weighted updates.
+
+use core::hash::Hash;
+use std::collections::HashMap;
+
+/// Misra-Gries summary with `k` counters.
+///
+/// Estimates are *under*-estimates (the mirror image of Space-Saving):
+/// for a stream of total weight `N`,
+/// `truth − N/(k+1) ≤ estimate(key) ≤ truth`, and any key with
+/// frequency `> N/(k+1)` is guaranteed to be present.
+///
+/// Weighted updates follow the standard generalization: when the summary
+/// is full and a new key arrives with weight `w`, the minimum counter
+/// value `m` determines a global decrement `d = min(m, w)`; all counters
+/// drop by `d` (zeros evicted) and the new key enters with `w − d` if
+/// positive. Each update is O(k) worst case, O(1) amortized for unit
+/// weights.
+#[derive(Clone, Debug)]
+pub struct MisraGries<K> {
+    k: usize,
+    counters: HashMap<K, u64>,
+    total: u64,
+    /// Total weight removed by decrements; `total − decremented` bounds
+    /// the summary's mass.
+    decremented: u64,
+}
+
+impl<K: Hash + Eq + Copy> MisraGries<K> {
+    /// A summary with `k` counters. Panics if zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "MisraGries needs at least one counter");
+        MisraGries { k, counters: HashMap::with_capacity(k + 1), total: 0, decremented: 0 }
+    }
+
+    /// Number of counters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Current number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// `true` when no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Observe `weight` for `key`.
+    pub fn update(&mut self, key: K, weight: u64) {
+        self.total += weight;
+        if let Some(c) = self.counters.get_mut(&key) {
+            *c += weight;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(key, weight);
+            return;
+        }
+        // Full and key absent: decrement globally.
+        let min = *self.counters.values().min().expect("non-empty");
+        let d = min.min(weight);
+        self.decremented += d * (self.counters.len() as u64 + 1);
+        self.counters.retain(|_, c| {
+            *c -= d;
+            *c > 0
+        });
+        let rest = weight - d;
+        if rest > 0 {
+            self.counters.insert(key, rest);
+        }
+    }
+
+    /// The (under-)estimate for a key; 0 when untracked.
+    pub fn estimate(&self, key: &K) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Upper bound on how much any estimate undershoots the truth.
+    pub fn max_undercount(&self) -> u64 {
+        // Every global decrement of d reduced each tracked key's counter
+        // by at most d; the per-key total undercount is bounded by
+        // total/(k+1).
+        self.total / (self.k as u64 + 1)
+    }
+
+    /// Tracked keys whose estimate meets `threshold`, descending.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)> {
+        let mut out: Vec<_> =
+            self.counters.iter().filter(|(_, &c)| c >= threshold).map(|(k, &c)| (*k, c)).collect();
+        out.sort_by_key(|e| core::cmp::Reverse(e.1));
+        out
+    }
+
+    /// Iterate over tracked `(key, estimate)` pairs, unordered.
+    pub fn entries(&self) -> impl Iterator<Item = (&K, &u64)> {
+        self.counters.iter()
+    }
+
+    /// Drop all state.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.total = 0;
+        self.decremented = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut mg = MisraGries::<u64>::new(5);
+        mg.update(1, 10);
+        mg.update(2, 20);
+        mg.update(1, 5);
+        assert_eq!(mg.estimate(&1), 15);
+        assert_eq!(mg.estimate(&2), 20);
+        assert_eq!(mg.estimate(&3), 0);
+    }
+
+    #[test]
+    fn never_overestimates_and_bounded_undercount() {
+        let mut mg = MisraGries::<u64>::new(9);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..20_000u64 {
+            let k = i % 100;
+            let w = if k < 2 { 20 } else { 1 };
+            mg.update(k, w);
+            *truth.entry(k).or_default() += w;
+        }
+        let bound = mg.max_undercount();
+        for (k, t) in &truth {
+            let e = mg.estimate(k);
+            assert!(e <= *t, "overestimate for {k}: {e} > {t}");
+            assert!(e + bound >= *t, "undercount beyond bound for {k}: {e} + {bound} < {t}");
+        }
+    }
+
+    #[test]
+    fn majority_key_survives() {
+        let mut mg = MisraGries::<u64>::new(1);
+        for i in 0..1000u64 {
+            mg.update(if i % 3 != 0 { 42 } else { i }, 1);
+        }
+        // 42 has ~2/3 of the stream; with k=1 it must be the survivor.
+        assert!(mg.estimate(&42) > 0);
+    }
+
+    #[test]
+    fn weighted_eviction_partial_absorb() {
+        let mut mg = MisraGries::<u64>::new(2);
+        mg.update(1, 10);
+        mg.update(2, 10);
+        // Weight 3 < min 10: fully absorbed, no insertion.
+        mg.update(3, 3);
+        assert_eq!(mg.estimate(&3), 0);
+        assert_eq!(mg.estimate(&1), 7);
+        assert_eq!(mg.estimate(&2), 7);
+        // Weight 9 > min 7: decrement 7, key 3 enters with 2.
+        mg.update(3, 9);
+        assert_eq!(mg.estimate(&3), 2);
+        assert_eq!(mg.estimate(&1), 0);
+        assert_eq!(mg.estimate(&2), 0);
+    }
+
+    #[test]
+    fn heavy_hitters_sorted() {
+        let mut mg = MisraGries::<u64>::new(10);
+        mg.update(1, 100);
+        mg.update(2, 300);
+        mg.update(3, 200);
+        let hh = mg.heavy_hitters(150);
+        assert_eq!(hh, vec![(2, 300), (3, 200)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn mg_contract(ops in prop::collection::vec((0u64..40, 1u64..10), 1..1500), k in 1usize..20) {
+            let mut mg = MisraGries::<u64>::new(k);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for (key, w) in ops {
+                mg.update(key, w);
+                *truth.entry(key).or_default() += w;
+            }
+            let n: u64 = truth.values().sum();
+            prop_assert_eq!(mg.total(), n);
+            prop_assert!(mg.len() <= k);
+            let bound = n / (k as u64 + 1);
+            for (key, t) in &truth {
+                let e = mg.estimate(key);
+                prop_assert!(e <= *t);
+                prop_assert!(e + bound >= *t);
+                if *t > bound {
+                    prop_assert!(e > 0, "key {} with freq {} > {} missing", key, t, bound);
+                }
+            }
+        }
+    }
+}

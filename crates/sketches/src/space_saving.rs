@@ -1,0 +1,330 @@
+//! The Space-Saving algorithm (Metwally, Agrawal, El Abbadi 2005).
+
+use core::hash::Hash;
+use std::collections::HashMap;
+
+/// One monitored counter: the key, its (over-)estimate, and the maximum
+/// possible overestimation it inherited when it displaced another key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SsEntry<K> {
+    /// The monitored key.
+    pub key: K,
+    /// Estimated frequency; an upper bound on the true frequency.
+    pub count: u64,
+    /// Maximum overestimation: `count − error` lower-bounds the truth.
+    pub error: u64,
+}
+
+impl<K> SsEntry<K> {
+    /// The guaranteed (lower-bound) frequency.
+    pub fn guaranteed(&self) -> u64 {
+        self.count - self.error
+    }
+}
+
+/// Space-Saving: monitors exactly `capacity` keys and guarantees, for a
+/// stream of total weight `N`:
+///
+/// * every key with true frequency `> N / capacity` is monitored
+///   (no false negatives above that threshold);
+/// * for monitored keys, `count − error ≤ truth ≤ count`;
+/// * the smallest monitored count is at most `N / capacity`.
+///
+/// Updates are O(log capacity) via an indexed binary min-heap (the
+/// textbook "stream summary" linked-list achieves O(1) for unit
+/// updates, but weighted updates — needed here because the paper counts
+/// *bytes* — degrade it; the heap is the right structure for weighted
+/// streams).
+#[derive(Clone, Debug)]
+pub struct SpaceSaving<K> {
+    capacity: usize,
+    /// Min-heap on `count`; `heap[0]` is the eviction victim.
+    heap: Vec<SsEntry<K>>,
+    /// key → current heap slot.
+    slots: HashMap<K, usize>,
+    total: u64,
+}
+
+impl<K: Hash + Eq + Copy> SpaceSaving<K> {
+    /// A summary monitoring at most `capacity` keys. Panics if zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "SpaceSaving capacity must be non-zero");
+        SpaceSaving {
+            capacity,
+            heap: Vec::with_capacity(capacity),
+            slots: HashMap::with_capacity(capacity * 2),
+            total: 0,
+        }
+    }
+
+    /// Maximum number of monitored keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of monitored keys.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate heap footprint in bytes, for resource accounting.
+    pub fn state_bytes(&self) -> usize {
+        self.capacity * (core::mem::size_of::<SsEntry<K>>() + core::mem::size_of::<(K, usize)>() * 2)
+    }
+
+    /// Observe `weight` for `key`.
+    pub fn update(&mut self, key: K, weight: u64) {
+        self.total += weight;
+        if let Some(&slot) = self.slots.get(&key) {
+            self.heap[slot].count += weight;
+            self.sift_down(slot);
+        } else if self.heap.len() < self.capacity {
+            self.heap.push(SsEntry { key, count: weight, error: 0 });
+            let slot = self.heap.len() - 1;
+            self.slots.insert(key, slot);
+            self.sift_up(slot);
+        } else {
+            // Displace the minimum: the newcomer inherits its count as
+            // error, preserving the upper/lower bound invariants.
+            let victim = self.heap[0].key;
+            self.slots.remove(&victim);
+            let min = self.heap[0].count;
+            self.heap[0] = SsEntry { key, count: min + weight, error: min };
+            self.slots.insert(key, 0);
+            self.sift_down(0);
+        }
+    }
+
+    /// The estimate for a key, if monitored.
+    pub fn estimate(&self, key: &K) -> Option<SsEntry<K>> {
+        self.slots.get(key).map(|&slot| self.heap[slot])
+    }
+
+    /// The smallest monitored count (0 when not yet full): an upper
+    /// bound on the frequency of *any* unmonitored key.
+    pub fn min_count(&self) -> u64 {
+        if self.heap.len() < self.capacity {
+            0
+        } else {
+            self.heap[0].count
+        }
+    }
+
+    /// All monitored entries, unordered.
+    pub fn entries(&self) -> impl Iterator<Item = &SsEntry<K>> {
+        self.heap.iter()
+    }
+
+    /// Entries whose estimate meets `threshold` (may include false
+    /// positives, never misses a true heavy hitter).
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<SsEntry<K>> {
+        let mut out: Vec<_> =
+            self.heap.iter().filter(|e| e.count >= threshold).copied().collect();
+        out.sort_by_key(|e| core::cmp::Reverse(e.count));
+        out
+    }
+
+    /// Entries *guaranteed* to meet `threshold` (`count − error ≥ t`);
+    /// no false positives.
+    pub fn guaranteed_heavy_hitters(&self, threshold: u64) -> Vec<SsEntry<K>> {
+        let mut out: Vec<_> =
+            self.heap.iter().filter(|e| e.guaranteed() >= threshold).copied().collect();
+        out.sort_by_key(|e| core::cmp::Reverse(e.count));
+        out
+    }
+
+    /// Drop all state.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.slots.clear();
+        self.total = 0;
+    }
+
+    fn sift_up(&mut self, mut slot: usize) {
+        while slot > 0 {
+            let parent = (slot - 1) / 2;
+            if self.heap[parent].count <= self.heap[slot].count {
+                break;
+            }
+            self.swap_slots(parent, slot);
+            slot = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut slot: usize) {
+        loop {
+            let l = slot * 2 + 1;
+            let r = slot * 2 + 2;
+            let mut smallest = slot;
+            if l < self.heap.len() && self.heap[l].count < self.heap[smallest].count {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.heap[r].count < self.heap[smallest].count {
+                smallest = r;
+            }
+            if smallest == slot {
+                break;
+            }
+            self.swap_slots(slot, smallest);
+            slot = smallest;
+        }
+    }
+
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        *self.slots.get_mut(&self.heap[a].key).expect("slot map out of sync") = a;
+        *self.slots.get_mut(&self.heap[b].key).expect("slot map out of sync") = b;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        assert!(self.heap.len() <= self.capacity);
+        assert_eq!(self.heap.len(), self.slots.len());
+        for (i, e) in self.heap.iter().enumerate() {
+            assert_eq!(self.slots[&e.key], i, "slot map mismatch at {i}");
+            if i > 0 {
+                let parent = (i - 1) / 2;
+                assert!(
+                    self.heap[parent].count <= e.count,
+                    "heap violated at {i}: parent {} > child {}",
+                    self.heap[parent].count,
+                    e.count
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut ss = SpaceSaving::<u64>::new(10);
+        for (k, w) in [(1u64, 5u64), (2, 3), (1, 2), (3, 9)] {
+            ss.update(k, w);
+        }
+        assert_eq!(ss.estimate(&1).unwrap().count, 7);
+        assert_eq!(ss.estimate(&1).unwrap().error, 0);
+        assert_eq!(ss.estimate(&3).unwrap().count, 9);
+        assert_eq!(ss.min_count(), 0);
+        ss.check_invariants();
+    }
+
+    #[test]
+    fn bounds_hold_under_eviction() {
+        let mut ss = SpaceSaving::<u64>::new(8);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        // Skewed stream over 100 keys.
+        for i in 0..10_000u64 {
+            let k = i % 100;
+            let w = if k < 3 { 50 } else { 1 };
+            ss.update(k, w);
+            *truth.entry(k).or_default() += w;
+        }
+        ss.check_invariants();
+        let n = ss.total();
+        assert_eq!(n, truth.values().sum::<u64>());
+        // min_count ≤ N / capacity.
+        assert!(ss.min_count() <= n / 8);
+        // Monitored keys: count bounds the truth from above, count−error
+        // from below.
+        for e in ss.entries() {
+            let t = truth[&e.key];
+            assert!(e.count >= t, "count {} < truth {} for {}", e.count, t, e.key);
+            assert!(e.guaranteed() <= t, "guarantee {} > truth {} for {}", e.guaranteed(), t, e.key);
+        }
+        // Every key above N/capacity is monitored.
+        for (k, t) in &truth {
+            if *t > n / 8 {
+                assert!(ss.estimate(k).is_some(), "heavy key {k} evicted");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_ordering_and_guarantee() {
+        let mut ss = SpaceSaving::<u64>::new(4);
+        for _ in 0..100 {
+            ss.update(1, 10);
+            ss.update(2, 5);
+        }
+        for i in 0..50u64 {
+            ss.update(100 + i, 1);
+        }
+        let hh = ss.heavy_hitters(400);
+        assert!(hh.len() >= 2);
+        assert_eq!(hh[0].key, 1);
+        assert!(hh[0].count >= hh[1].count);
+        let ghh = ss.guaranteed_heavy_hitters(400);
+        assert!(ghh.iter().all(|e| e.guaranteed() >= 400));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut ss = SpaceSaving::<u64>::new(2);
+        ss.update(1, 1);
+        assert!(!ss.is_empty());
+        ss.clear();
+        assert!(ss.is_empty());
+        assert_eq!(ss.total(), 0);
+        assert_eq!(ss.len(), 0);
+    }
+
+    #[test]
+    fn capacity_one_tracks_majority() {
+        let mut ss = SpaceSaving::<u64>::new(1);
+        for i in 0..99u64 {
+            ss.update(i % 3, 1);
+        }
+        ss.update(7, 1);
+        assert_eq!(ss.len(), 1);
+        // Whatever is monitored, count == total (each eviction inherits
+        // everything).
+        assert_eq!(ss.entries().next().unwrap().count, 100);
+        ss.check_invariants();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn invariants_hold_on_random_streams(
+            ops in prop::collection::vec((0u64..50, 1u64..20), 1..2000),
+            cap in 1usize..32,
+        ) {
+            let mut ss = SpaceSaving::<u64>::new(cap);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for (k, w) in ops {
+                ss.update(k, w);
+                *truth.entry(k).or_default() += w;
+            }
+            ss.check_invariants();
+            let n: u64 = truth.values().sum();
+            prop_assert_eq!(ss.total(), n);
+            prop_assert!(ss.min_count() <= n / cap as u64 + 1);
+            for e in ss.entries() {
+                let t = truth[&e.key];
+                prop_assert!(e.count >= t);
+                prop_assert!(e.guaranteed() <= t);
+            }
+            for (k, t) in &truth {
+                if *t > n / cap as u64 {
+                    prop_assert!(ss.estimate(k).is_some());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The traffic model: every knob the generator understands.
+
+use hhh_nettypes::TimeSpan;
+
+/// How a source alternates between sending and silence.
+///
+/// Sojourn times are exponential with the given means. The *duty cycle*
+/// `on/(on+off)` scales a source's in-burst rate up so that its long-run
+/// average matches its Zipf share — bursty sources send the same bytes
+/// as stable ones, just compressed into bursts (which is what makes
+/// them visible to sliding windows and invisible to disjoint ones).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BurstProfile {
+    /// Always sending at the source's average rate.
+    Stable,
+    /// Exponential ON/OFF alternation.
+    OnOff {
+        /// Mean ON duration.
+        on: TimeSpan,
+        /// Mean OFF duration.
+        off: TimeSpan,
+    },
+}
+
+impl BurstProfile {
+    /// Fraction of time spent sending.
+    pub fn duty_cycle(&self) -> f64 {
+        match self {
+            BurstProfile::Stable => 1.0,
+            BurstProfile::OnOff { on, off } => {
+                let on = on.as_secs_f64();
+                let off = off.as_secs_f64();
+                on / (on + off)
+            }
+        }
+    }
+}
+
+/// A packet-size mixture entry list (`(size_bytes, weight)`); the
+/// default is IMIX-like, matching the bimodal mix of real backbone
+/// traffic (many small ACKs, many full-MTU data packets).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PacketSizeMix {
+    /// `(wire bytes, relative weight)` entries.
+    pub entries: Vec<(u32, f64)>,
+}
+
+impl Default for PacketSizeMix {
+    fn default() -> Self {
+        PacketSizeMix {
+            entries: vec![(64, 0.45), (576, 0.15), (1500, 0.40)],
+        }
+    }
+}
+
+impl PacketSizeMix {
+    /// A degenerate mix: every packet the same size (useful in tests
+    /// where byte counts must be exactly predictable).
+    pub fn constant(size: u32) -> Self {
+        PacketSizeMix { entries: vec![(size, 1.0)] }
+    }
+
+    /// Mean packet size under the mix.
+    pub fn mean(&self) -> f64 {
+        let total: f64 = self.entries.iter().map(|(_, w)| w).sum();
+        self.entries.iter().map(|(s, w)| *s as f64 * w).sum::<f64>() / total
+    }
+}
+
+/// Full description of a synthetic trace.
+///
+/// Build one by hand or start from a preset in [`crate::scenarios`].
+#[derive(Clone, Debug)]
+pub struct TrafficModel {
+    /// Trace duration.
+    pub duration: TimeSpan,
+    /// Number of distinct sources.
+    pub sources: usize,
+    /// Zipf exponent of the source rate distribution (≈1 for internet
+    /// traffic).
+    pub zipf_alpha: f64,
+    /// Aggregate average packet rate across all sources (packets/s).
+    pub total_pps: f64,
+    /// Fraction of sources that are bursty rather than stable
+    /// (`0.0..=1.0`). The *top* sources by rank are kept stable (true
+    /// backbone heavies are persistent); burstiness is applied from the
+    /// tail up.
+    pub bursty_fraction: f64,
+    /// Number of top-ranked sources forced stable regardless of
+    /// `bursty_fraction`.
+    pub stable_top: usize,
+    /// Burst sojourn profile for bursty sources.
+    pub burst_on: TimeSpan,
+    /// Mean silence between bursts.
+    pub burst_off: TimeSpan,
+    /// Packet size mixture.
+    pub sizes: PacketSizeMix,
+    /// Number of /16 networks sources cluster into (gives the trace
+    /// prefix-level structure; sampled Zipf with `net_alpha`).
+    pub networks: usize,
+    /// Offset applied to network numbering before address derivation.
+    /// Two models with disjoint offset ranges occupy disjoint address
+    /// space — how composed scenarios (DDoS bots, flash crowds) are
+    /// kept distinguishable from the background population.
+    pub network_offset: usize,
+    /// Zipf exponent for network popularity.
+    pub net_alpha: f64,
+    /// Number of distinct destination hosts (dst is sampled Zipf per
+    /// packet; destination structure only matters for 2-D analyses).
+    pub destinations: usize,
+    /// Mean packets per back-to-back packet train. `1.0` disables
+    /// trains (pure Poisson). Real backbone traffic is train-
+    /// structured at millisecond scale (TCP flights, interrupt
+    /// coalescing); this is what makes window results sensitive to
+    /// ms-level window-size changes (the paper's Fig. 3).
+    pub train_mean: f64,
+    /// Train length distribution shape: `None` for geometric (light
+    /// tail), `Some(alpha)` for Pareto with that shape (heavy tail —
+    /// occasional very long flights, the self-similar-ish behaviour of
+    /// measured backbone traffic). The mean is `train_mean` either way.
+    pub train_pareto_alpha: Option<f64>,
+    /// Mean gap between packets inside a train.
+    pub train_gap: TimeSpan,
+}
+
+impl TrafficModel {
+    /// Sanity-check parameter combinations; called by the generator.
+    pub fn validate(&self) {
+        assert!(!self.duration.is_zero(), "duration must be non-zero");
+        assert!(self.sources > 0, "need at least one source");
+        assert!(self.total_pps > 0.0, "total packet rate must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.bursty_fraction),
+            "bursty_fraction must be within 0..=1"
+        );
+        assert!(!self.burst_on.is_zero(), "burst ON mean must be non-zero");
+        assert!(!self.burst_off.is_zero(), "burst OFF mean must be non-zero");
+        assert!(self.networks > 0, "need at least one network");
+        assert!(self.destinations > 0, "need at least one destination");
+        assert!(!self.sizes.entries.is_empty(), "need at least one packet size");
+        assert!(self.train_mean >= 1.0, "train_mean must be at least 1 packet");
+        assert!(!self.train_gap.is_zero(), "train gap must be non-zero");
+        if let Some(a) = self.train_pareto_alpha {
+            assert!(a > 1.0, "Pareto train shape must exceed 1 for a finite mean, got {a}");
+        }
+    }
+
+    /// Expected packet count (±burst noise) for capacity planning.
+    pub fn expected_packets(&self) -> u64 {
+        (self.total_pps * self.duration.as_secs_f64()) as u64
+    }
+
+    /// Expected byte volume.
+    pub fn expected_bytes(&self) -> u64 {
+        (self.total_pps * self.duration.as_secs_f64() * self.sizes.mean()) as u64
+    }
+
+    /// The burst profile assigned to a 0-based source rank.
+    ///
+    /// The top `stable_top` ranks are always stable (true backbone
+    /// heavies are persistent); the next `bursty_fraction × sources`
+    /// ranks are bursty. Assigning burstiness to the ranks *just below
+    /// the top* is deliberate: those are the borderline sources whose
+    /// bursts hover around detection thresholds — the population that
+    /// produces hidden HHHs. The far tail is too weak to cross any
+    /// threshold regardless of profile, so it stays stable.
+    pub fn profile_for_rank(&self, rank: usize) -> BurstProfile {
+        let bursty_count = (self.sources as f64 * self.bursty_fraction) as usize;
+        if rank < self.stable_top {
+            BurstProfile::Stable
+        } else if rank < self.stable_top + bursty_count {
+            BurstProfile::OnOff { on: self.burst_on, off: self.burst_off }
+        } else {
+            BurstProfile::Stable
+        }
+    }
+}
+
+impl Default for TrafficModel {
+    /// A laptop-scale default: 60 s, 2 000 sources, 20 kpps.
+    fn default() -> Self {
+        TrafficModel {
+            duration: TimeSpan::from_secs(60),
+            sources: 2_000,
+            zipf_alpha: 1.0,
+            total_pps: 20_000.0,
+            bursty_fraction: 0.5,
+            stable_top: 5,
+            burst_on: TimeSpan::from_secs(4),
+            burst_off: TimeSpan::from_secs(12),
+            sizes: PacketSizeMix::default(),
+            networks: 64,
+            network_offset: 0,
+            net_alpha: 0.8,
+            destinations: 1_000,
+            train_mean: 8.0,
+            train_pareto_alpha: None,
+            train_gap: TimeSpan::from_micros(200),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_cycle() {
+        assert_eq!(BurstProfile::Stable.duty_cycle(), 1.0);
+        let p = BurstProfile::OnOff { on: TimeSpan::from_secs(2), off: TimeSpan::from_secs(6) };
+        assert!((p.duty_cycle() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_model_validates() {
+        TrafficModel::default().validate();
+    }
+
+    #[test]
+    fn expected_volumes() {
+        let m = TrafficModel { sizes: PacketSizeMix::constant(1000), ..Default::default() };
+        assert_eq!(m.expected_packets(), 1_200_000);
+        assert_eq!(m.expected_bytes(), 1_200_000_000);
+    }
+
+    #[test]
+    fn profile_assignment_keeps_top_stable_bursts_the_borderline() {
+        let m = TrafficModel {
+            sources: 100,
+            bursty_fraction: 0.5,
+            stable_top: 10,
+            ..Default::default()
+        };
+        for rank in 0..10 {
+            assert_eq!(m.profile_for_rank(rank), BurstProfile::Stable, "rank {rank}");
+        }
+        // Ranks just below the top are the borderline (hidden-HHH)
+        // population: bursty.
+        assert!(matches!(m.profile_for_rank(10), BurstProfile::OnOff { .. }));
+        assert!(matches!(m.profile_for_rank(59), BurstProfile::OnOff { .. }));
+        // The far tail is stable (too weak for profiles to matter).
+        assert_eq!(m.profile_for_rank(60), BurstProfile::Stable);
+        assert_eq!(m.profile_for_rank(99), BurstProfile::Stable);
+    }
+
+    #[test]
+    fn all_stable_when_fraction_zero() {
+        let m = TrafficModel { bursty_fraction: 0.0, ..Default::default() };
+        for rank in [0, 10, 1999] {
+            assert_eq!(m.profile_for_rank(rank), BurstProfile::Stable);
+        }
+    }
+
+    #[test]
+    fn size_mix_mean() {
+        let mix = PacketSizeMix::default();
+        let m = mix.mean();
+        assert!(m > 600.0 && m < 800.0, "IMIX mean {m}");
+        assert_eq!(PacketSizeMix::constant(100).mean(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_rejected() {
+        let m = TrafficModel { duration: TimeSpan::ZERO, ..Default::default() };
+        m.validate();
+    }
+}

@@ -1,0 +1,320 @@
+//! Distribution samplers built on `rand`.
+//!
+//! `rand` 0.8 ships only uniform sampling in its core; the heavy-tailed
+//! distributions traffic modelling needs (exponential, Pareto, Zipf)
+//! are implemented here by inverse-transform sampling so the workspace
+//! does not pull in `rand_distr`.
+
+use rand::Rng;
+
+/// Exponential distribution with the given rate (events per unit).
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Panics unless `rate` is positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "exponential rate must be positive, got {rate}");
+        Exponential { rate }
+    }
+
+    /// The mean `1/rate`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draw a sample via inverse transform: `−ln(U)/λ`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Guard against ln(0): gen() yields [0,1), flip to (0,1].
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+/// Pareto distribution with scale `x_m` and shape `alpha`.
+#[derive(Clone, Copy, Debug)]
+pub struct Pareto {
+    scale: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(scale: f64, alpha: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "Pareto scale must be positive");
+        assert!(alpha.is_finite() && alpha > 0.0, "Pareto shape must be positive");
+        Pareto { scale, alpha }
+    }
+
+    /// Draw a sample: `x_m · U^(−1/α)`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.scale * u.powf(-1.0 / self.alpha)
+    }
+
+    /// The mean, for `alpha > 1`.
+    pub fn mean(&self) -> Option<f64> {
+        (self.alpha > 1.0).then(|| self.alpha * self.scale / (self.alpha - 1.0))
+    }
+}
+
+/// A precomputed Zipf(α) table over ranks `1..=n`: O(n) construction,
+/// O(log n) sampling, plus direct access to the normalized weights
+/// (used to assign deterministic per-source rates).
+#[derive(Clone, Debug)]
+pub struct ZipfTable {
+    /// Cumulative normalized weights; last element is 1.0.
+    cumulative: Vec<f64>,
+    /// Normalized weight per rank (index 0 = rank 1).
+    weights: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Build a table for `n` ranks with exponent `alpha ≥ 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfTable needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+        let mut weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &mut weights {
+            *w /= total;
+            acc += *w;
+            cumulative.push(acc);
+        }
+        // Defend against float drift on the final boundary.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        ZipfTable { cumulative, weights }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if the table is empty (never: construction requires n>0).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The normalized weight of a 0-based rank.
+    pub fn weight(&self, rank: usize) -> f64 {
+        self.weights[rank]
+    }
+
+    /// Sample a 0-based rank.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u).min(self.len() - 1)
+    }
+}
+
+/// Geometric distribution on `1, 2, 3, …` with the given mean (≥ 1),
+/// via inverse transform. Used for packet-train lengths.
+#[derive(Clone, Copy, Debug)]
+pub struct Geometric {
+    /// ln(1 − p), precomputed; `None` when mean == 1 (always 1).
+    log_q: Option<f64>,
+}
+
+impl Geometric {
+    /// Panics unless `mean ≥ 1`.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean >= 1.0, "geometric mean must be ≥ 1, got {mean}");
+        if mean == 1.0 {
+            Geometric { log_q: None }
+        } else {
+            let p = 1.0 / mean;
+            Geometric { log_q: Some((1.0 - p).ln()) }
+        }
+    }
+
+    /// Draw a sample in `1..`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match self.log_q {
+            None => 1,
+            Some(log_q) => {
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                let k = (u.ln() / log_q).floor() as u32 + 1;
+                k.clamp(1, 1 << 16)
+            }
+        }
+    }
+}
+
+/// A small discrete mixture: values with probabilities, sampled by
+/// linear scan (meant for ≤ a dozen entries, e.g. packet-size mixes).
+#[derive(Clone, Debug)]
+pub struct DiscreteMix<T: Copy> {
+    entries: Vec<(T, f64)>,
+}
+
+impl<T: Copy> DiscreteMix<T> {
+    /// Build from `(value, weight)` pairs; weights are normalized.
+    /// Panics if empty or total weight is not positive.
+    pub fn new(entries: &[(T, f64)]) -> Self {
+        assert!(!entries.is_empty(), "mixture needs at least one entry");
+        let total: f64 = entries.iter().map(|(_, w)| *w).sum();
+        assert!(total > 0.0, "mixture weights must sum to something positive");
+        DiscreteMix {
+            entries: entries.iter().map(|(v, w)| (*v, *w / total)).collect(),
+        }
+    }
+
+    /// Draw a value.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        let mut u: f64 = rng.gen();
+        for (v, w) in &self.entries {
+            if u < *w {
+                return *v;
+            }
+            u -= *w;
+        }
+        self.entries.last().expect("non-empty").0
+    }
+
+    /// The expected value under the mixture, for numeric payloads.
+    pub fn mean(&self) -> f64
+    where
+        T: Into<f64>,
+    {
+        self.entries.iter().map(|(v, w)| (*v).into() * w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::new(4.0);
+        let mut r = rng();
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean} far from 0.25");
+        assert_eq!(d.mean(), 0.25);
+    }
+
+    #[test]
+    fn pareto_samples_above_scale() {
+        let d = Pareto::new(2.0, 1.5);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) >= 2.0);
+        }
+        let m = d.mean().unwrap();
+        assert!((m - 6.0).abs() < 1e-9);
+        assert!(Pareto::new(1.0, 0.5).mean().is_none());
+    }
+
+    #[test]
+    fn zipf_weights_normalized_and_monotone() {
+        let z = ZipfTable::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.weight(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..100 {
+            assert!(z.weight(r) <= z.weight(r - 1), "weights must decay");
+        }
+        // Rank 1 of Zipf(1.0) over 100 ≈ 1/H_100 ≈ 0.193.
+        assert!((z.weight(0) - 0.1928).abs() < 0.001);
+    }
+
+    #[test]
+    fn zipf_sampling_matches_weights() {
+        let z = ZipfTable::new(10, 1.2);
+        let mut r = rng();
+        let mut counts = [0u32; 10];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for (rank, &cnt) in counts.iter().enumerate() {
+            let observed = cnt as f64 / n as f64;
+            let expected = z.weight(rank);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {rank}: observed {observed} expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = ZipfTable::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.weight(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_and_support() {
+        let g = Geometric::new(8.0);
+        let mut r = rng();
+        let n = 200_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let k = g.sample(&mut r);
+            assert!(k >= 1);
+            sum += k as u64;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 8.0).abs() < 0.1, "geometric mean {mean}");
+        // Degenerate case.
+        let one = Geometric::new(1.0);
+        for _ in 0..100 {
+            assert_eq!(one.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1")]
+    fn geometric_below_one_rejected() {
+        let _ = Geometric::new(0.5);
+    }
+
+    #[test]
+    fn discrete_mix_normalizes_and_samples() {
+        let m = DiscreteMix::new(&[(64u32, 3.0), (1500u32, 1.0)]);
+        assert!((m.mean() - (64.0 * 0.75 + 1500.0 * 0.25)).abs() < 1e-9);
+        let mut r = rng();
+        let hits = (0..100_000).filter(|_| m.sample(&mut r) == 64).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.75).abs() < 0.01, "64-byte fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_mix_rejected() {
+        let _ = DiscreteMix::<u32>::new(&[]);
+    }
+
+    #[test]
+    fn determinism_across_identical_rngs() {
+        let z = ZipfTable::new(50, 0.9);
+        let a: Vec<usize> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..100).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..100).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,232 @@
+//! Scenario presets: the workloads the experiments run on.
+//!
+//! The paper's data set is "1 hour long traces taken from four different
+//! days" of a Tier-1 ISP link. [`day_trace`] provides four *different*
+//! parameterizations (different seeds, burstiness and skew), standing in
+//! for the day-to-day variation the paper averaged over. The additional
+//! scenarios exercise the motivating use cases from the paper's
+//! introduction: accounting ([`stable`]), DDoS detection ([`ddos`]) and
+//! traffic engineering under load shifts ([`flash_crowd`]).
+//!
+//! All presets take an explicit duration so the same scenario scales
+//! from CI-sized smoke tests to full experiment runs.
+
+use crate::gen::{merge_streams, shift_stream, TraceGenerator};
+use crate::model::{PacketSizeMix, TrafficModel};
+use hhh_nettypes::{PacketRecord, TimeSpan};
+
+/// Base seed per "day"; combined with the caller's seed material so the
+/// four days stay distinct but reproducible.
+const DAY_SEEDS: [u64; 4] = [0x0DA1, 0x0DA2, 0x0DA3, 0x0DA4];
+
+/// One of the four "days" of ISP-like traffic (`day` in `0..4`).
+///
+/// Days differ in Zipf skew, burst time scales and the bursty fraction
+/// — the kind of variation that makes the paper's Fig. 2 a band rather
+/// than a single number.
+pub fn day_trace(day: usize, duration: TimeSpan) -> TrafficModel {
+    assert!(day < 4, "the paper has four days (0..4), got {day}");
+    let (alpha, bursty, on_s, off_s, train) = match day {
+        0 => (1.00, 0.55, 2.5, 14.0, 10.0),
+        1 => (0.95, 0.65, 2.0, 11.0, 14.0),
+        2 => (1.05, 0.45, 3.5, 18.0, 6.0),
+        _ => (0.90, 0.70, 1.5, 12.0, 20.0),
+    };
+    TrafficModel {
+        duration,
+        sources: 2_500,
+        zipf_alpha: alpha,
+        total_pps: 25_000.0,
+        bursty_fraction: bursty,
+        stable_top: 4,
+        burst_on: TimeSpan::from_secs_f64(on_s),
+        burst_off: TimeSpan::from_secs_f64(off_s),
+        sizes: PacketSizeMix::default(),
+        networks: 80,
+        network_offset: 0,
+        net_alpha: 0.8,
+        destinations: 1_500,
+        train_mean: train,
+        train_pareto_alpha: Some(1.35),
+        train_gap: TimeSpan::from_micros(150),
+    }
+}
+
+/// The seed to use with a given day so experiments stay reproducible.
+pub fn day_seed(day: usize) -> u64 {
+    DAY_SEEDS[day % 4]
+}
+
+/// Steady, low-burstiness traffic: the control scenario where disjoint
+/// and sliding windows should mostly agree.
+pub fn stable(duration: TimeSpan) -> TrafficModel {
+    TrafficModel {
+        duration,
+        sources: 1_500,
+        zipf_alpha: 1.0,
+        total_pps: 20_000.0,
+        bursty_fraction: 0.05,
+        stable_top: 20,
+        burst_on: TimeSpan::from_secs(30),
+        burst_off: TimeSpan::from_secs(30),
+        ..TrafficModel::default()
+    }
+}
+
+/// Background traffic plus a pulsed DDoS: bots live in one /16, each
+/// individually modest, so the attack is *only* visible as a
+/// hierarchical aggregate — the paper's DDoS-detection motivation.
+///
+/// Returns the merged packet stream (background + attack pulse centred
+/// at 40–70% of the trace).
+pub fn ddos(duration: TimeSpan, seed: u64) -> impl Iterator<Item = PacketRecord> {
+    let background = TraceGenerator::new(
+        TrafficModel {
+            duration,
+            sources: 2_000,
+            total_pps: 20_000.0,
+            ..TrafficModel::default()
+        },
+        seed,
+    );
+    let pulse_len = duration * 3 / 10;
+    let attack = TrafficModel {
+        duration: pulse_len,
+        sources: 400,
+        // Flat rate across bots: no single bot is a heavy hitter.
+        zipf_alpha: 0.1,
+        total_pps: 12_000.0,
+        bursty_fraction: 0.0,
+        stable_top: 0,
+        // Bots all in one /16, placed outside the background's
+        // address space (offset 37 → network 77.2.0.0/16).
+        networks: 1,
+        network_offset: 37 + 40 * 2,
+        net_alpha: 1.0,
+        sizes: PacketSizeMix::constant(120), // small attack packets
+        destinations: 1,                     // one victim
+        ..TrafficModel::default()
+    };
+    let attack_stream = TraceGenerator::new(attack, seed ^ 0xDD05);
+    merge_streams(background, shift_stream(attack_stream, duration * 4 / 10))
+}
+
+/// A flash crowd: baseline traffic, then mid-trace a new set of sources
+/// ramps in (users flocking to one service), shifting the heavy-hitter
+/// population — the traffic-engineering motivation.
+pub fn flash_crowd(duration: TimeSpan, seed: u64) -> impl Iterator<Item = PacketRecord> {
+    let baseline = TraceGenerator::new(
+        TrafficModel {
+            duration,
+            sources: 2_000,
+            total_pps: 18_000.0,
+            ..TrafficModel::default()
+        },
+        seed,
+    );
+    let crowd = TrafficModel {
+        duration: duration / 2,
+        sources: 800,
+        zipf_alpha: 0.7,
+        total_pps: 10_000.0,
+        bursty_fraction: 0.8,
+        stable_top: 2,
+        burst_on: TimeSpan::from_secs(3),
+        burst_off: TimeSpan::from_secs(5),
+        networks: 12,
+        network_offset: 40 * 3, // crowd arrives from fresh networks
+        destinations: 4,
+        ..TrafficModel::default()
+    };
+    let crowd_stream = TraceGenerator::new(crowd, seed ^ 0xF1A5);
+    merge_streams(baseline, shift_stream(crowd_stream, duration / 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhh_nettypes::Nanos;
+    use std::collections::HashMap;
+
+    #[test]
+    fn four_days_are_distinct_models() {
+        let d = TimeSpan::from_secs(10);
+        let models: Vec<_> = (0..4).map(|i| day_trace(i, d)).collect();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!(
+                    models[i].zipf_alpha != models[j].zipf_alpha
+                        || models[i].bursty_fraction != models[j].bursty_fraction,
+                    "days {i} and {j} identical"
+                );
+            }
+        }
+        assert_ne!(day_seed(0), day_seed(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "four days")]
+    fn day_out_of_range_panics() {
+        let _ = day_trace(4, TimeSpan::from_secs(1));
+    }
+
+    #[test]
+    fn ddos_pulse_creates_prefix_aggregate() {
+        let dur = TimeSpan::from_secs(20);
+        let mut by_net: HashMap<u32, u64> = HashMap::new();
+        let mut pulse_packets = 0u64;
+        let mut total = 0u64;
+        let pulse_start = Nanos::ZERO + dur * 4 / 10;
+        let pulse_end = pulse_start + dur * 3 / 10;
+        for p in ddos(dur, 42) {
+            *by_net.entry(p.src >> 16).or_default() += 1;
+            total += 1;
+            if p.ts >= pulse_start && p.ts < pulse_end {
+                pulse_packets += 1;
+            }
+        }
+        // The attack /16 should be the single biggest network by packets.
+        let top_net_pkts = by_net.values().max().copied().unwrap();
+        assert!(
+            top_net_pkts as f64 > total as f64 * 0.10,
+            "attack network carries {top_net_pkts}/{total}"
+        );
+        // And the pulse region is denser than the average.
+        let pulse_rate = pulse_packets as f64 / (dur.as_secs_f64() * 0.3);
+        let avg_rate = total as f64 / dur.as_secs_f64();
+        assert!(pulse_rate > avg_rate * 1.2, "pulse {pulse_rate} vs avg {avg_rate}");
+    }
+
+    #[test]
+    fn flash_crowd_second_half_heavier() {
+        let dur = TimeSpan::from_secs(20);
+        let half = Nanos::ZERO + dur / 2;
+        let (mut first, mut second) = (0u64, 0u64);
+        for p in flash_crowd(dur, 7) {
+            if p.ts < half {
+                first += 1;
+            } else {
+                second += 1;
+            }
+        }
+        assert!(
+            second as f64 > first as f64 * 1.2,
+            "crowd missing: first half {first}, second half {second}"
+        );
+    }
+
+    #[test]
+    fn scenario_streams_are_sorted() {
+        let dur = TimeSpan::from_secs(6);
+        let mut last = Nanos::ZERO;
+        for p in ddos(dur, 1) {
+            assert!(p.ts >= last);
+            last = p.ts;
+        }
+        let mut last = Nanos::ZERO;
+        for p in flash_crowd(dur, 1) {
+            assert!(p.ts >= last);
+            last = p.ts;
+        }
+    }
+}

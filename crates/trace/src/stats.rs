@@ -1,0 +1,165 @@
+//! Trace summary statistics: what `tcpdump -r trace | awk …` would tell
+//! you, as a struct. Used to sanity-check generated workloads and to
+//! print workload tables in the experiment output.
+
+use hhh_nettypes::{Nanos, PacketRecord, TimeSpan};
+use std::collections::HashMap;
+
+/// Aggregate statistics over a packet stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Packets seen.
+    pub packets: u64,
+    /// Bytes seen.
+    pub bytes: u64,
+    /// First packet timestamp.
+    pub first_ts: Nanos,
+    /// Last packet timestamp.
+    pub last_ts: Nanos,
+    /// Distinct source addresses.
+    pub distinct_sources: usize,
+    /// Distinct destination addresses.
+    pub distinct_destinations: usize,
+    /// The top sources by byte volume, descending `(addr, bytes)`.
+    pub top_sources: Vec<(u32, u64)>,
+}
+
+impl TraceStats {
+    /// Number of top sources retained.
+    pub const TOP_K: usize = 10;
+
+    /// Compute statistics from a packet stream. Returns `None` for an
+    /// empty stream (no timestamps to report).
+    pub fn from_stream<I: Iterator<Item = PacketRecord>>(stream: I) -> Option<Self> {
+        let mut packets = 0u64;
+        let mut bytes = 0u64;
+        let mut first_ts = None;
+        let mut last_ts = Nanos::ZERO;
+        let mut per_src: HashMap<u32, u64> = HashMap::new();
+        let mut dsts: std::collections::HashSet<u32> = Default::default();
+        for p in stream {
+            packets += 1;
+            bytes += p.wire_len as u64;
+            first_ts.get_or_insert(p.ts);
+            last_ts = last_ts.max(p.ts);
+            *per_src.entry(p.src).or_default() += p.wire_len as u64;
+            dsts.insert(p.dst);
+        }
+        let first_ts = first_ts?;
+        let mut top: Vec<(u32, u64)> = per_src.iter().map(|(a, b)| (*a, *b)).collect();
+        top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        top.truncate(Self::TOP_K);
+        Some(TraceStats {
+            packets,
+            bytes,
+            first_ts,
+            last_ts,
+            distinct_sources: per_src.len(),
+            distinct_destinations: dsts.len(),
+            top_sources: top,
+        })
+    }
+
+    /// Observed duration (last − first timestamp).
+    pub fn duration(&self) -> TimeSpan {
+        self.last_ts - self.first_ts
+    }
+
+    /// Mean packet rate over the observed duration.
+    pub fn mean_pps(&self) -> f64 {
+        let d = self.duration().as_secs_f64();
+        if d == 0.0 {
+            self.packets as f64
+        } else {
+            self.packets as f64 / d
+        }
+    }
+
+    /// Mean throughput in bits per second.
+    pub fn mean_bps(&self) -> f64 {
+        let d = self.duration().as_secs_f64();
+        if d == 0.0 {
+            self.bytes as f64 * 8.0
+        } else {
+            self.bytes as f64 * 8.0 / d
+        }
+    }
+
+    /// Mean packet size in bytes.
+    pub fn mean_packet_size(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.packets as f64
+        }
+    }
+
+    /// Byte share of the single largest source.
+    pub fn top_source_share(&self) -> f64 {
+        match self.top_sources.first() {
+            Some((_, b)) if self.bytes > 0 => *b as f64 / self.bytes as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGenerator;
+    use crate::model::{PacketSizeMix, TrafficModel};
+
+    #[test]
+    fn empty_stream_is_none() {
+        assert!(TraceStats::from_stream(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn counts_are_exact_on_known_stream() {
+        let pkts = vec![
+            PacketRecord::new(Nanos::from_secs(1), 10, 100, 500),
+            PacketRecord::new(Nanos::from_secs(2), 10, 101, 300),
+            PacketRecord::new(Nanos::from_secs(3), 11, 100, 200),
+        ];
+        let s = TraceStats::from_stream(pkts.into_iter()).unwrap();
+        assert_eq!(s.packets, 3);
+        assert_eq!(s.bytes, 1000);
+        assert_eq!(s.distinct_sources, 2);
+        assert_eq!(s.distinct_destinations, 2);
+        assert_eq!(s.duration(), TimeSpan::from_secs(2));
+        assert_eq!(s.top_sources[0], (10, 800));
+        assert_eq!(s.top_sources[1], (11, 200));
+        assert!((s.top_source_share() - 0.8).abs() < 1e-12);
+        assert!((s.mean_packet_size() - 1000.0 / 3.0).abs() < 1e-9);
+        assert!((s.mean_pps() - 1.5).abs() < 1e-9);
+        assert!((s.mean_bps() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_trace_statistics_are_plausible() {
+        let model = TrafficModel {
+            duration: TimeSpan::from_secs(10),
+            sources: 300,
+            total_pps: 5_000.0,
+            sizes: PacketSizeMix::default(),
+            ..TrafficModel::default()
+        };
+        let s = TraceStats::from_stream(TraceGenerator::new(model, 3)).unwrap();
+        assert!(s.packets > 30_000 && s.packets < 70_000, "{} packets", s.packets);
+        assert!(s.distinct_sources <= 300);
+        assert!(s.distinct_sources > 100, "{} sources", s.distinct_sources);
+        assert!(s.mean_packet_size() > 400.0 && s.mean_packet_size() < 1000.0);
+        // Zipf: the top source should be clearly above 1/300 share.
+        assert!(s.top_source_share() > 0.02, "top share {}", s.top_source_share());
+    }
+
+    #[test]
+    fn single_packet_stream() {
+        let s =
+            TraceStats::from_stream(std::iter::once(PacketRecord::new(Nanos::from_secs(5), 1, 2, 64)))
+                .unwrap();
+        assert_eq!(s.duration(), TimeSpan::ZERO);
+        assert_eq!(s.mean_pps(), 1.0);
+        assert_eq!(s.mean_packet_size(), 64.0);
+    }
+}

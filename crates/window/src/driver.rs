@@ -1,0 +1,638 @@
+//! Window drivers: feeding packet streams through detectors under a
+//! window model.
+//!
+//! All drivers are generic over the hierarchy, a key-extraction closure
+//! (`&PacketRecord → item`, usually `|p| p.src`), and the [`Measure`]
+//! (bytes for the paper's experiments). They consume the stream once.
+
+use crate::geometry;
+use crate::report::WindowReport;
+use hhh_core::{discount_bottom_up, ContinuousDetector, HhhDetector, Threshold};
+use hhh_hierarchy::Hierarchy;
+use hhh_nettypes::{Measure, Nanos, PacketRecord, TimeSpan};
+use std::collections::{HashMap, VecDeque};
+
+/// Run a windowed detector over **disjoint** windows: report at every
+/// boundary, then reset — the practice the paper quantifies the cost
+/// of. Packets after the last complete window are ignored, matching
+/// [`geometry::disjoint`].
+///
+/// Returns one vector of [`WindowReport`]s per requested threshold
+/// (same order), each with one entry per window.
+#[allow(clippy::too_many_arguments)] // horizon/window/thresholds/measure/key are the experiment's natural parameters
+pub fn run_disjoint<H, D, F>(
+    packets: impl Iterator<Item = PacketRecord>,
+    horizon: TimeSpan,
+    window: TimeSpan,
+    hierarchy: &H,
+    detector: &mut D,
+    thresholds: &[Threshold],
+    measure: Measure,
+    key: F,
+) -> Vec<Vec<WindowReport<H::Prefix>>>
+where
+    H: Hierarchy,
+    D: HhhDetector<H>,
+    F: Fn(&PacketRecord) -> H::Item,
+{
+    let _ = hierarchy;
+    let n_windows = horizon / window;
+    let mut out: Vec<Vec<WindowReport<H::Prefix>>> =
+        thresholds.iter().map(|_| Vec::with_capacity(n_windows as usize)).collect();
+    let mut cur: u64 = 0;
+
+    let flush = |cur: u64, detector: &mut D, out: &mut Vec<Vec<WindowReport<H::Prefix>>>| {
+        for (ti, t) in thresholds.iter().enumerate() {
+            out[ti].push(WindowReport {
+                index: cur,
+                start: Nanos::ZERO + window * cur,
+                end: Nanos::ZERO + window * (cur + 1),
+                total: detector.total(),
+                hhhs: detector.report(*t),
+            });
+        }
+        detector.reset();
+    };
+
+    for p in packets {
+        let w = p.ts.bin_index(window);
+        if w >= n_windows {
+            break; // packets are time-sorted; the rest is partial tail
+        }
+        while cur < w {
+            flush(cur, detector, &mut out);
+            cur += 1;
+        }
+        detector.observe(key(&p), measure.weight(&p));
+    }
+    while cur < n_windows {
+        flush(cur, detector, &mut out);
+        cur += 1;
+    }
+    out
+}
+
+/// Evaluate **every sliding position exactly** via rolling per-epoch
+/// counts. Requires `window % step == 0` (the paper's 5/10/20 s windows
+/// with a 1 s step all qualify); one pass, exact output.
+///
+/// Returns one vector of reports per threshold; entry `i` of each is
+/// sliding position `i` (start = `i × step`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sliding_exact<H, F>(
+    packets: impl Iterator<Item = PacketRecord>,
+    horizon: TimeSpan,
+    window: TimeSpan,
+    step: TimeSpan,
+    hierarchy: &H,
+    thresholds: &[Threshold],
+    measure: Measure,
+    key: F,
+) -> Vec<Vec<WindowReport<H::Prefix>>>
+where
+    H: Hierarchy,
+    F: Fn(&PacketRecord) -> H::Item,
+{
+    assert!(!step.is_zero() && !window.is_zero(), "window and step must be non-zero");
+    assert!(window % step == TimeSpan::ZERO, "step must divide the window length exactly");
+    assert!(window <= horizon, "window longer than the horizon");
+    let epw = window / step; // epochs per window
+    let n_epochs = horizon / step;
+    let n_positions = n_epochs - epw + 1;
+
+    let mut out: Vec<Vec<WindowReport<H::Prefix>>> =
+        thresholds.iter().map(|_| Vec::with_capacity(n_positions as usize)).collect();
+
+    let mut rolling: HashMap<H::Item, u64> = HashMap::new();
+    let mut rolling_total: u64 = 0;
+    let mut window_epochs: VecDeque<HashMap<H::Item, u64>> = VecDeque::new();
+    let mut cur_epoch: u64 = 0;
+    let mut cur_map: HashMap<H::Item, u64> = HashMap::new();
+
+    let finalize_epoch = |cur_epoch: u64,
+                              cur_map: &mut HashMap<H::Item, u64>,
+                              rolling: &mut HashMap<H::Item, u64>,
+                              rolling_total: &mut u64,
+                              window_epochs: &mut VecDeque<HashMap<H::Item, u64>>,
+                              out: &mut Vec<Vec<WindowReport<H::Prefix>>>| {
+        let finished = core::mem::take(cur_map);
+        for (&k, &v) in &finished {
+            *rolling.entry(k).or_default() += v;
+            *rolling_total += v;
+        }
+        window_epochs.push_back(finished);
+        if window_epochs.len() > epw as usize {
+            let old = window_epochs.pop_front().expect("non-empty");
+            for (k, v) in old {
+                let e = rolling.get_mut(&k).expect("rolling covers window epochs");
+                *e -= v;
+                *rolling_total -= v;
+                if *e == 0 {
+                    rolling.remove(&k);
+                }
+            }
+        }
+        if window_epochs.len() == epw as usize {
+            let position = cur_epoch + 1 - epw;
+            // Build level maps once, then discount per threshold.
+            let levels = hierarchy.levels();
+            let mut maps: Vec<HashMap<H::Prefix, u64>> = vec![HashMap::new(); levels];
+            for (&item, &c) in rolling.iter() {
+                for (level, map) in maps.iter_mut().enumerate() {
+                    *map.entry(hierarchy.generalize(item, level)).or_default() += c;
+                }
+            }
+            for (ti, t) in thresholds.iter().enumerate() {
+                let t_abs = t.absolute(*rolling_total);
+                out[ti].push(WindowReport {
+                    index: position,
+                    start: Nanos::ZERO + step * position,
+                    end: Nanos::ZERO + step * position + window,
+                    total: *rolling_total,
+                    hhhs: discount_bottom_up(hierarchy, &maps, t_abs),
+                });
+            }
+        }
+    };
+
+    for p in packets {
+        let e = p.ts.bin_index(step);
+        if e >= n_epochs {
+            break;
+        }
+        while cur_epoch < e {
+            finalize_epoch(
+                cur_epoch,
+                &mut cur_map,
+                &mut rolling,
+                &mut rolling_total,
+                &mut window_epochs,
+                &mut out,
+            );
+            cur_epoch += 1;
+        }
+        *cur_map.entry(key(&p)).or_default() += measure.weight(&p);
+    }
+    while cur_epoch < n_epochs {
+        finalize_epoch(
+            cur_epoch,
+            &mut cur_map,
+            &mut rolling,
+            &mut rolling_total,
+            &mut window_epochs,
+            &mut out,
+        );
+        cur_epoch += 1;
+    }
+    out
+}
+
+/// The result of a micro-variation run (Fig. 3's setup): the baseline
+/// windows plus, for each delta, the same windows shortened by that
+/// delta (same start points).
+#[derive(Clone, Debug)]
+pub struct MicroVariedRun<P> {
+    /// Baseline (full-length) window reports.
+    pub baseline: Vec<WindowReport<P>>,
+    /// For each requested delta (same order): the shortened-window
+    /// reports, index-aligned with `baseline`.
+    pub variants: Vec<(TimeSpan, Vec<WindowReport<P>>)>,
+}
+
+/// Evaluate a disjoint baseline window against micro-shortened variants
+/// in a single pass. For each baseline window `[k·b, (k+1)·b)` and each
+/// delta `d`, the variant window is `[k·b, (k+1)·b − d)`. Exact.
+#[allow(clippy::too_many_arguments)]
+pub fn run_microvaried<H, F>(
+    packets: impl Iterator<Item = PacketRecord>,
+    horizon: TimeSpan,
+    base: TimeSpan,
+    deltas: &[TimeSpan],
+    hierarchy: &H,
+    threshold: Threshold,
+    measure: Measure,
+    key: F,
+) -> MicroVariedRun<H::Prefix>
+where
+    H: Hierarchy,
+    F: Fn(&PacketRecord) -> H::Item,
+{
+    assert!(!deltas.is_empty(), "need at least one delta");
+    let mut deltas_sorted: Vec<TimeSpan> = deltas.to_vec();
+    deltas_sorted.sort();
+    assert!(*deltas_sorted.last().expect("non-empty") < base, "delta must be < base window");
+    let max_delta = *deltas_sorted.last().expect("non-empty");
+
+    let spans = geometry::disjoint(horizon, base);
+    let n_windows = spans.len() as u64;
+
+    let mut baseline = Vec::with_capacity(spans.len());
+    let mut variants: Vec<(TimeSpan, Vec<WindowReport<H::Prefix>>)> =
+        deltas.iter().map(|d| (*d, Vec::with_capacity(spans.len()))).collect();
+
+    let mut counts: HashMap<H::Item, u64> = HashMap::new();
+    let mut total: u64 = 0;
+    // Packets in the window's final `max_delta`, with their offset from
+    // the window end (so variant subtraction is a filter, not a scan of
+    // the whole window).
+    let mut tail: Vec<(TimeSpan, H::Item, u64)> = Vec::new();
+    let mut cur: u64 = 0;
+
+    let report_from =
+        |counts: &HashMap<H::Item, u64>, total: u64, index: u64, start: Nanos, end: Nanos| {
+            let levels = hierarchy.levels();
+            let mut maps: Vec<HashMap<H::Prefix, u64>> = vec![HashMap::new(); levels];
+            for (&item, &c) in counts.iter() {
+                for (level, map) in maps.iter_mut().enumerate() {
+                    *map.entry(hierarchy.generalize(item, level)).or_default() += c;
+                }
+            }
+            WindowReport {
+                index,
+                start,
+                end,
+                total,
+                hhhs: discount_bottom_up(hierarchy, &maps, threshold.absolute(total)),
+            }
+        };
+
+    let flush = |cur: u64,
+                     counts: &mut HashMap<H::Item, u64>,
+                     total: &mut u64,
+                     tail: &mut Vec<(TimeSpan, H::Item, u64)>,
+                     baseline: &mut Vec<WindowReport<H::Prefix>>,
+                     variants: &mut Vec<(TimeSpan, Vec<WindowReport<H::Prefix>>)>| {
+        let start = Nanos::ZERO + base * cur;
+        let end = start + base;
+        baseline.push(report_from(counts, *total, cur, start, end));
+        // Subtract tail packets incrementally, smallest delta first:
+        // each delta removes the packets in [base − delta, base − prev).
+        tail.sort_by_key(|e| core::cmp::Reverse(e.0));
+        let mut variant_counts = counts.clone();
+        let mut variant_total = *total;
+        let mut ordered: Vec<usize> = (0..variants.len()).collect();
+        ordered.sort_by_key(|&i| variants[i].0);
+        let mut prev = TimeSpan::ZERO;
+        let mut tail_iter = {
+            // offset_from_end ascending
+            let mut t = core::mem::take(tail);
+            t.sort_by_key(|e| e.0);
+            t.into_iter().peekable()
+        };
+        for vi in ordered {
+            let delta = variants[vi].0;
+            while let Some(&(off, _, _)) = tail_iter.peek() {
+                // A packet with offset exactly `delta` sits at the
+                // variant's (exclusive) end boundary and is excluded.
+                if off <= delta {
+                    let (_, item, w) = tail_iter.next().expect("peeked");
+                    let e = variant_counts.get_mut(&item).expect("tail item counted");
+                    *e -= w;
+                    variant_total -= w;
+                    if *e == 0 {
+                        variant_counts.remove(&item);
+                    }
+                } else {
+                    break;
+                }
+            }
+            variants[vi].1.push(report_from(
+                &variant_counts,
+                variant_total,
+                cur,
+                start,
+                end - delta,
+            ));
+            prev = delta;
+        }
+        let _ = prev;
+        counts.clear();
+        *total = 0;
+    };
+
+    for p in packets {
+        let w = p.ts.bin_index(base);
+        if w >= n_windows {
+            break;
+        }
+        while cur < w {
+            flush(cur, &mut counts, &mut total, &mut tail, &mut baseline, &mut variants);
+            cur += 1;
+        }
+        let item = key(&p);
+        let weight = measure.weight(&p);
+        *counts.entry(item).or_default() += weight;
+        total += weight;
+        let window_end = Nanos::ZERO + base * (w + 1);
+        let offset_from_end = window_end - p.ts;
+        if offset_from_end <= max_delta {
+            tail.push((offset_from_end, item, weight));
+        }
+    }
+    while cur < n_windows {
+        flush(cur, &mut counts, &mut total, &mut tail, &mut baseline, &mut variants);
+        cur += 1;
+    }
+
+    MicroVariedRun { baseline, variants }
+}
+
+/// Drive a **windowless** (continuous) detector and collect reports at
+/// the given probe instants (must be sorted ascending).
+pub fn run_continuous<H, D, F>(
+    packets: impl Iterator<Item = PacketRecord>,
+    probes: &[Nanos],
+    detector: &mut D,
+    threshold: Threshold,
+    measure: Measure,
+    key: F,
+) -> Vec<WindowReport<H::Prefix>>
+where
+    H: Hierarchy,
+    D: ContinuousDetector<H>,
+    F: Fn(&PacketRecord) -> H::Item,
+{
+    assert!(probes.windows(2).all(|w| w[0] <= w[1]), "probe instants must be sorted");
+    let mut out = Vec::with_capacity(probes.len());
+    let mut next = 0usize;
+    for p in packets {
+        while next < probes.len() && probes[next] <= p.ts {
+            out.push(WindowReport {
+                index: next as u64,
+                start: probes[next],
+                end: probes[next],
+                total: detector.decayed_total(probes[next]) as u64,
+                hhhs: detector.report_at(probes[next], threshold),
+            });
+            next += 1;
+        }
+        detector.observe(p.ts, key(&p), measure.weight(&p));
+    }
+    while next < probes.len() {
+        out.push(WindowReport {
+            index: next as u64,
+            start: probes[next],
+            end: probes[next],
+            total: detector.decayed_total(probes[next]) as u64,
+            hhhs: detector.report_at(probes[next], threshold),
+        });
+        next += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhh_core::ExactHhh;
+    use hhh_hierarchy::Ipv4Hierarchy;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn h() -> Ipv4Hierarchy {
+        Ipv4Hierarchy::bytes()
+    }
+
+    /// A deterministic pseudo-random packet stream over `secs` seconds.
+    fn stream(secs: u64, pps: u64, seed: u64) -> Vec<PacketRecord> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = secs * pps;
+        (0..n)
+            .map(|i| {
+                let ts = Nanos::from_nanos(i * 1_000_000_000 / pps + rng.gen_range(0..1000));
+                let src: u32 = if rng.gen::<f64>() < 0.3 {
+                    0x0A010101 // persistent heavy
+                } else {
+                    (rng.gen_range(10u32..50) << 24) | rng.gen_range(0..4096)
+                };
+                PacketRecord::new(ts, src, 1, 100 + rng.gen_range(0..900))
+            })
+            .collect()
+    }
+
+    /// Brute force: exact HHH of packets in [start, end).
+    fn brute(
+        pkts: &[PacketRecord],
+        start: Nanos,
+        end: Nanos,
+        t: Threshold,
+    ) -> (u64, Vec<String>) {
+        let mut d = ExactHhh::new(h());
+        for p in pkts.iter().filter(|p| p.ts >= start && p.ts < end) {
+            hhh_core::HhhDetector::<Ipv4Hierarchy>::observe(&mut d, p.src, p.wire_len as u64);
+        }
+        use hhh_core::HhhDetector;
+        let mut v: Vec<String> = d.report(t).iter().map(|r| r.prefix.to_string()).collect();
+        v.sort();
+        (d.total(), v)
+    }
+
+    fn names(r: &WindowReport<hhh_nettypes::Ipv4Prefix>) -> Vec<String> {
+        let mut v: Vec<String> = r.hhhs.iter().map(|x| x.prefix.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn disjoint_driver_matches_brute_force() {
+        let pkts = stream(12, 400, 1);
+        let horizon = TimeSpan::from_secs(12);
+        let window = TimeSpan::from_secs(5);
+        let t = Threshold::percent(5.0);
+        let mut det = ExactHhh::new(h());
+        let reports = run_disjoint(
+            pkts.iter().copied(),
+            horizon,
+            window,
+            &h(),
+            &mut det,
+            &[t],
+            Measure::Bytes,
+            |p| p.src,
+        );
+        assert_eq!(reports.len(), 1);
+        let reports = &reports[0];
+        assert_eq!(reports.len(), 2, "12 s / 5 s = 2 complete windows");
+        for r in reports {
+            let (total, truth) = brute(&pkts, r.start, r.end, t);
+            assert_eq!(r.total, total, "window {} total", r.index);
+            assert_eq!(names(r), truth, "window {} HHH set", r.index);
+        }
+    }
+
+    #[test]
+    fn sliding_driver_matches_brute_force() {
+        let pkts = stream(10, 300, 2);
+        let horizon = TimeSpan::from_secs(10);
+        let window = TimeSpan::from_secs(4);
+        let step = TimeSpan::from_secs(1);
+        let t = Threshold::percent(5.0);
+        let reports = run_sliding_exact(
+            pkts.iter().copied(),
+            horizon,
+            window,
+            step,
+            &h(),
+            &[t],
+            Measure::Bytes,
+            |p| p.src,
+        );
+        let reports = &reports[0];
+        assert_eq!(reports.len(), 7, "(10−4)/1 + 1 positions");
+        for r in reports {
+            let (total, truth) = brute(&pkts, r.start, r.end, t);
+            assert_eq!(r.total, total, "position {} total", r.index);
+            assert_eq!(names(r), truth, "position {} HHH set", r.index);
+        }
+    }
+
+    #[test]
+    fn sliding_first_position_aligned_with_disjoint() {
+        let pkts = stream(10, 200, 3);
+        let horizon = TimeSpan::from_secs(10);
+        let window = TimeSpan::from_secs(5);
+        let t = Threshold::percent(10.0);
+        let mut det = ExactHhh::new(h());
+        let disj = run_disjoint(
+            pkts.iter().copied(),
+            horizon,
+            window,
+            &h(),
+            &mut det,
+            &[t],
+            Measure::Bytes,
+            |p| p.src,
+        );
+        let slid = run_sliding_exact(
+            pkts.iter().copied(),
+            horizon,
+            window,
+            TimeSpan::from_secs(5), // step = window: sliding == disjoint
+            &h(),
+            &[t],
+            Measure::Bytes,
+            |p| p.src,
+        );
+        assert_eq!(disj[0].len(), slid[0].len());
+        for (d, s) in disj[0].iter().zip(&slid[0]) {
+            assert_eq!(d.total, s.total);
+            assert_eq!(names(d), names(s));
+        }
+    }
+
+    #[test]
+    fn multiple_thresholds_one_pass() {
+        let pkts = stream(6, 300, 4);
+        let ts = [Threshold::percent(1.0), Threshold::percent(5.0), Threshold::percent(10.0)];
+        let mut det = ExactHhh::new(h());
+        let reports = run_disjoint(
+            pkts.iter().copied(),
+            TimeSpan::from_secs(6),
+            TimeSpan::from_secs(3),
+            &h(),
+            &mut det,
+            &ts,
+            Measure::Bytes,
+            |p| p.src,
+        );
+        assert_eq!(reports.len(), 3);
+        // Lower thresholds report supersets.
+        for ((r1, r5), _r10) in reports[0].iter().zip(&reports[1]).zip(&reports[2]) {
+            let p1 = r1.prefix_set();
+            let p5 = r5.prefix_set();
+            assert!(r1.len() >= r5.len());
+            // Threshold monotonicity of HHH counts, not necessarily of
+            // the sets themselves (discounting can promote ancestors);
+            // at minimum the level-0 heavies at 5% appear at 1%.
+            for p in &p5 {
+                if r5.hhhs.iter().any(|r| r.prefix == *p && r.level == 0) {
+                    assert!(p1.contains(p), "5% host HHH missing at 1%");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn microvaried_matches_brute_force() {
+        let pkts = stream(9, 500, 5);
+        let horizon = TimeSpan::from_secs(9);
+        let base = TimeSpan::from_secs(3);
+        let deltas =
+            [TimeSpan::from_millis(100), TimeSpan::from_millis(40), TimeSpan::from_millis(10)];
+        let t = Threshold::percent(5.0);
+        let run = run_microvaried(
+            pkts.iter().copied(),
+            horizon,
+            base,
+            &deltas,
+            &h(),
+            t,
+            Measure::Bytes,
+            |p| p.src,
+        );
+        assert_eq!(run.baseline.len(), 3);
+        assert_eq!(run.variants.len(), 3);
+        // Deltas preserved in request order.
+        assert_eq!(run.variants[0].0, TimeSpan::from_millis(100));
+        for (k, b) in run.baseline.iter().enumerate() {
+            let (total, truth) = brute(&pkts, b.start, b.end, t);
+            assert_eq!(b.total, total);
+            assert_eq!(names(b), truth, "baseline window {k}");
+        }
+        for (delta, reports) in &run.variants {
+            for r in reports {
+                let (total, truth) = brute(&pkts, r.start, r.end, t);
+                assert_eq!(r.total, total, "delta {delta} window {}", r.index);
+                assert_eq!(names(r), truth, "delta {delta} window {}", r.index);
+                assert_eq!(r.end - r.start, base - *delta);
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_driver_probes_in_order() {
+        use hhh_core::{TdbfHhh, TdbfHhhConfig};
+        let pkts = stream(10, 200, 6);
+        let probes: Vec<Nanos> = (1..10).map(Nanos::from_secs).collect();
+        let mut det = TdbfHhh::new(
+            h(),
+            TdbfHhhConfig {
+                half_life: TimeSpan::from_secs(2),
+                ..TdbfHhhConfig::default()
+            },
+        );
+        let reports = run_continuous(
+            pkts.iter().copied(),
+            &probes,
+            &mut det,
+            Threshold::percent(10.0),
+            Measure::Bytes,
+            |p| p.src,
+        );
+        assert_eq!(reports.len(), 9);
+        // The persistent 30% source must appear once decay has settled.
+        let hits = reports
+            .iter()
+            .skip(2)
+            .filter(|r| r.hhhs.iter().any(|x| x.prefix.to_string() == "10.1.1.1/32"))
+            .count();
+        assert!(hits >= 6, "persistent heavy found in only {hits}/7 probes");
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_windows() {
+        let mut det = ExactHhh::new(h());
+        let reports = run_disjoint(
+            std::iter::empty(),
+            TimeSpan::from_secs(10),
+            TimeSpan::from_secs(2),
+            &h(),
+            &mut det,
+            &[Threshold::percent(5.0)],
+            Measure::Bytes,
+            |p: &PacketRecord| p.src,
+        );
+        assert_eq!(reports[0].len(), 5);
+        assert!(reports[0].iter().all(|r| r.total == 0 && r.is_empty()));
+    }
+}

@@ -1,0 +1,167 @@
+//! Window geometry: the intervals, before any traffic is involved.
+
+use hhh_nettypes::{Nanos, TimeSpan};
+
+/// One concrete window position: a half-open interval `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSpan {
+    /// Position index within its schedule (0-based).
+    pub index: u64,
+    /// Inclusive start.
+    pub start: Nanos,
+    /// Exclusive end.
+    pub end: Nanos,
+}
+
+impl WindowSpan {
+    /// Does the instant fall inside the window?
+    #[inline]
+    pub fn contains(&self, t: Nanos) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// The window's length.
+    pub fn len(&self) -> TimeSpan {
+        self.end - self.start
+    }
+}
+
+/// The disjoint (tumbling) schedule: `[0, w), [w, 2w), …` — Fig. 1a.
+/// Only *complete* windows within `[0, horizon)` are produced; a
+/// trailing partial window is not a comparable measurement interval and
+/// is dropped (documented paper-consistent choice).
+pub fn disjoint(horizon: TimeSpan, window: TimeSpan) -> Vec<WindowSpan> {
+    assert!(!window.is_zero(), "window length must be non-zero");
+    let n = horizon / window;
+    (0..n)
+        .map(|i| WindowSpan {
+            index: i,
+            start: Nanos::ZERO + window * i,
+            end: Nanos::ZERO + window * (i + 1),
+        })
+        .collect()
+}
+
+/// The sliding schedule with a step: `[0, w), [s, w+s), …` — Fig. 1b.
+/// Again only complete windows within the horizon.
+pub fn sliding(horizon: TimeSpan, window: TimeSpan, step: TimeSpan) -> Vec<WindowSpan> {
+    assert!(!window.is_zero(), "window length must be non-zero");
+    assert!(!step.is_zero(), "step must be non-zero");
+    assert!(window <= horizon, "window longer than the horizon");
+    let n = (horizon - window) / step + 1;
+    (0..n)
+        .map(|i| WindowSpan {
+            index: i,
+            start: Nanos::ZERO + step * i,
+            end: Nanos::ZERO + step * i + window,
+        })
+        .collect()
+}
+
+/// The micro-varied schedule — Fig. 1c: windows share the baseline's
+/// start points (every `base` seconds) but are `delta` shorter, so each
+/// variant window is a strict prefix of its baseline window.
+pub fn microvaried(horizon: TimeSpan, base: TimeSpan, delta: TimeSpan) -> Vec<WindowSpan> {
+    assert!(delta < base, "delta must be smaller than the base window");
+    disjoint(horizon, base)
+        .into_iter()
+        .map(|w| WindowSpan { index: w.index, start: w.start, end: w.end - delta })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn disjoint_partitions_the_horizon() {
+        let ws = disjoint(TimeSpan::from_secs(60), TimeSpan::from_secs(10));
+        assert_eq!(ws.len(), 6);
+        assert_eq!(ws[0].start, Nanos::ZERO);
+        assert_eq!(ws[5].end, Nanos::from_secs(60));
+        for pair in ws.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "gap or overlap");
+        }
+    }
+
+    #[test]
+    fn disjoint_drops_partial_tail() {
+        let ws = disjoint(TimeSpan::from_secs(25), TimeSpan::from_secs(10));
+        assert_eq!(ws.len(), 2, "the trailing 5 s fragment is not a window");
+    }
+
+    #[test]
+    fn sliding_covers_every_offset() {
+        let ws = sliding(TimeSpan::from_secs(30), TimeSpan::from_secs(10), TimeSpan::from_secs(1));
+        assert_eq!(ws.len(), 21); // starts 0..=20
+        assert!(ws.iter().all(|w| w.len() == TimeSpan::from_secs(10)));
+        assert_eq!(ws.last().unwrap().end, Nanos::from_secs(30));
+    }
+
+    #[test]
+    fn disjoint_is_a_subset_of_sliding() {
+        // The formal reason hidden HHHs are one-directional: every
+        // disjoint window is also a sliding position when step divides
+        // the window length.
+        let h = TimeSpan::from_secs(60);
+        let w = TimeSpan::from_secs(5);
+        let d = disjoint(h, w);
+        let s = sliding(h, w, TimeSpan::from_secs(1));
+        for dw in &d {
+            assert!(
+                s.iter().any(|sw| sw.start == dw.start && sw.end == dw.end),
+                "disjoint window {dw:?} missing from sliding schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn microvaried_shares_starts_and_shrinks_ends() {
+        let base = TimeSpan::from_secs(10);
+        let delta = TimeSpan::from_millis(40);
+        let b = disjoint(TimeSpan::from_secs(120), base);
+        let v = microvaried(TimeSpan::from_secs(120), base, delta);
+        assert_eq!(b.len(), v.len());
+        for (bw, vw) in b.iter().zip(&v) {
+            assert_eq!(bw.start, vw.start);
+            assert_eq!(bw.end - vw.end, delta);
+            assert_eq!(vw.len(), TimeSpan::from_millis(9_960));
+        }
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let w = WindowSpan { index: 0, start: Nanos::from_secs(1), end: Nanos::from_secs(2) };
+        assert!(w.contains(Nanos::from_secs(1)));
+        assert!(!w.contains(Nanos::from_secs(2)));
+        assert!(w.contains(Nanos::from_nanos(1_999_999_999)));
+    }
+
+    proptest! {
+        #[test]
+        fn every_instant_in_exactly_one_disjoint_window(
+            t_ms in 0u64..60_000,
+            w_s in 1u64..30,
+        ) {
+            let ws = disjoint(TimeSpan::from_secs(60), TimeSpan::from_secs(w_s));
+            let t = Nanos::from_millis(t_ms);
+            let containing = ws.iter().filter(|w| w.contains(t)).count();
+            // Instants beyond the last complete window are in none.
+            let horizon_covered = Nanos::ZERO + TimeSpan::from_secs((60 / w_s) * w_s);
+            if t < horizon_covered {
+                prop_assert_eq!(containing, 1);
+            } else {
+                prop_assert_eq!(containing, 0);
+            }
+        }
+
+        #[test]
+        fn sliding_position_count_formula(w_s in 1u64..30, step_ms in prop::sample::select(vec![250u64, 500, 1000, 2000])) {
+            let horizon = TimeSpan::from_secs(60);
+            let ws = sliding(horizon, TimeSpan::from_secs(w_s), TimeSpan::from_millis(step_ms));
+            let expect = (60_000 - w_s * 1000) / step_ms + 1;
+            prop_assert_eq!(ws.len() as u64, expect);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Per-window report containers.
+
+use hhh_core::HhhReport;
+use std::collections::BTreeSet;
+
+/// The HHH sets a detector reported for one window position.
+#[derive(Clone, Debug)]
+pub struct WindowReport<P> {
+    /// Window index in its schedule.
+    pub index: u64,
+    /// Window start (ns since epoch).
+    pub start: hhh_nettypes::Nanos,
+    /// Window end (exclusive).
+    pub end: hhh_nettypes::Nanos,
+    /// Total weight inside the window.
+    pub total: u64,
+    /// The reported HHHs.
+    pub hhhs: Vec<HhhReport<P>>,
+}
+
+/// An ordered prefix set (what the set-comparison metrics consume).
+pub type PrefixSet<P> = BTreeSet<P>;
+
+impl<P: Ord + Copy> WindowReport<P> {
+    /// The reported prefixes as a set.
+    pub fn prefix_set(&self) -> PrefixSet<P> {
+        self.hhhs.iter().map(|r| r.prefix).collect()
+    }
+
+    /// Number of reported HHHs.
+    pub fn len(&self) -> usize {
+        self.hhhs.len()
+    }
+
+    /// `true` when nothing was reported.
+    pub fn is_empty(&self) -> bool {
+        self.hhhs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhh_nettypes::Nanos;
+
+    #[test]
+    fn prefix_set_dedups_and_orders() {
+        let r = WindowReport {
+            index: 0,
+            start: Nanos::ZERO,
+            end: Nanos::from_secs(1),
+            total: 100,
+            hhhs: vec![
+                HhhReport { prefix: 5u32, level: 0, estimate: 50, discounted: 50, lower_bound: 50 },
+                HhhReport { prefix: 2u32, level: 0, estimate: 30, discounted: 30, lower_bound: 30 },
+            ],
+        };
+        let s = r.prefix_set();
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![2, 5]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Continuous DDoS monitoring with the windowless TDBF-HHH detector —
+//! the paper's §3 proposal applied to its own motivating use case.
+//!
+//! A botnet inside one /16 ramps up mid-trace; no single bot is heavy,
+//! so only *hierarchical* aggregation sees the attack, and because the
+//! detector is windowless it can be queried at any instant without
+//! waiting for a window boundary.
+//!
+//! Run with: `cargo run --release --example ddos_monitor`
+
+use hidden_hhh::core::{ContinuousDetector, TdbfHhh, TdbfHhhConfig};
+use hidden_hhh::prelude::*;
+
+fn main() {
+    let horizon = TimeSpan::from_secs(60);
+    let threshold = Threshold::percent(10.0);
+    let stream = scenarios::ddos(horizon, 0xD005);
+
+    let mut det = TdbfHhh::new(
+        Ipv4Hierarchy::bytes(),
+        TdbfHhhConfig {
+            half_life: TimeSpan::from_secs(3),
+            admit_fraction: 0.005,
+            ..TdbfHhhConfig::default()
+        },
+    );
+
+    // Probe twice a second while streaming packets through. The first
+    // seconds establish the *baseline* set of heavy aggregates (big
+    // customer networks are always there); alerts fire only for
+    // aggregates that were NOT part of the baseline — the anomaly.
+    let baseline_until = Nanos::from_secs(10);
+    let mut baseline: std::collections::BTreeSet<Ipv4Prefix> = Default::default();
+    let mut alerted: std::collections::BTreeSet<Ipv4Prefix> = Default::default();
+    let mut next_probe = Nanos::from_millis(500);
+    println!(
+        "monitoring (alerts are aggregates at /8..=/24 that were not heavy during the\n\
+         first 10 s baseline; the attack pulse runs t=24s..42s):\n"
+    );
+    for p in stream {
+        while next_probe <= p.ts {
+            for r in det.report_at(next_probe, threshold) {
+                if r.level == 0 || r.level > 3 {
+                    continue; // hosts and the root are not "distributed source" signals
+                }
+                if next_probe <= baseline_until {
+                    baseline.insert(r.prefix);
+                } else if !baseline.contains(&r.prefix) && alerted.insert(r.prefix) {
+                    println!(
+                        "  t={:<8} ALERT new heavy aggregate {:<18} level {} decayed-bytes≈{}",
+                        next_probe.to_string(),
+                        r.prefix.to_string(),
+                        r.level,
+                        r.discounted
+                    );
+                }
+            }
+            next_probe += TimeSpan::from_millis(500);
+        }
+        det.observe(p.ts, p.src, p.wire_len as u64);
+    }
+
+    if alerted.is_empty() {
+        println!("\nno anomalous aggregate fired — try a lower threshold");
+    } else {
+        println!(
+            "\n{} anomalous aggregate(s); the botnet /16 appears here and at no point does\n\
+             any individual bot qualify. Detection lag is set by the decay half-life, not\n\
+             by waiting for the next window boundary.",
+            alerted.len()
+        );
+    }
+}

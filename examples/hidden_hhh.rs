@@ -1,0 +1,67 @@
+//! The paper's headline experiment, miniature edition: compare the
+//! HHHs that disjoint windows report against what a sliding window
+//! reveals, and print the ones that were hidden.
+//!
+//! Run with: `cargo run --release --example hidden_hhh`
+
+use hidden_hhh::analysis::hidden::hidden_hhh;
+use hidden_hhh::prelude::*;
+
+fn main() {
+    let horizon = TimeSpan::from_secs(120);
+    let window = TimeSpan::from_secs(10);
+    let step = TimeSpan::from_secs(1);
+    let threshold = Threshold::percent(1.0);
+
+    let model = scenarios::day_trace(1, horizon);
+    let packets = TraceGenerator::new(model, scenarios::day_seed(1));
+    let hierarchy = Ipv4Hierarchy::bytes();
+
+    // One pass computes every sliding position exactly; the disjoint
+    // windows are the positions whose start is a multiple of the
+    // window length.
+    let sliding = run_sliding_exact(
+        packets,
+        horizon,
+        window,
+        step,
+        &hierarchy,
+        &[threshold],
+        Measure::Bytes,
+        |p| p.src,
+    )
+    .remove(0);
+    let epw = window / step;
+    let disjoint: Vec<WindowReport<Ipv4Prefix>> =
+        sliding.iter().filter(|r| r.index % epw == 0).cloned().collect();
+
+    let h = hidden_hhh(&sliding, &disjoint);
+    println!(
+        "window {window}, step {step}, threshold {threshold}, trace {horizon}:\n\
+         sliding reveals {} distinct HHH prefixes; disjoint windows report {}.\n\
+         {} ({:.1}%) are HIDDEN from the disjoint-window approach:\n",
+        h.sliding_distinct,
+        h.disjoint_distinct,
+        h.hidden_prefixes.len(),
+        h.hidden_fraction * 100.0
+    );
+    for p in &h.hidden_prefixes {
+        // Show when the sliding schedule saw each hidden prefix.
+        let seen: Vec<u64> = sliding
+            .iter()
+            .filter(|r| r.hhhs.iter().any(|x| x.prefix == *p))
+            .map(|r| r.start.as_secs())
+            .collect();
+        let window_list = if seen.len() > 6 {
+            format!("{:?}… ({} positions)", &seen[..6], seen.len())
+        } else {
+            format!("{seen:?}")
+        };
+        println!("  {p:<20} visible in sliding windows starting at t(s)={window_list}");
+    }
+    println!(
+        "\neach of these crossed the threshold only in windows that straddle a\n\
+         disjoint boundary — the burst was split across two windows and diluted\n\
+         below threshold in both. That is the paper's Figure 2 mechanism."
+    );
+}

@@ -1,0 +1,46 @@
+//! Interoperability: write a synthetic trace as a standard pcap file,
+//! read it back, and analyze it — the same pipeline a deployment would
+//! run on real captures (tcpdump/Wireshark can open the file).
+//!
+//! Run with: `cargo run --release --example pcap_roundtrip`
+
+use hidden_hhh::pcap::{PcapReader, PcapWriter};
+use hidden_hhh::prelude::*;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::temp_dir().join("hidden-hhh-example.pcap");
+
+    // Generate and write.
+    let model = scenarios::day_trace(2, TimeSpan::from_secs(10));
+    let mut writer = PcapWriter::new(BufWriter::new(File::create(&path)?))?;
+    let mut generated = 0u64;
+    for p in TraceGenerator::new(model, 1234) {
+        writer.write_record(&p)?;
+        generated += 1;
+    }
+    writer.into_inner()?;
+    println!(
+        "wrote {generated} frames to {} ({} bytes on disk)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    // Read back and analyze.
+    let mut reader = PcapReader::new(BufReader::new(File::open(&path)?))?;
+    let mut det = ExactHhh::new(Ipv4Hierarchy::bytes());
+    let mut packets = 0u64;
+    while let Some(rec) = reader.next_record()? {
+        HhhDetector::<Ipv4Hierarchy>::observe(&mut det, rec.src, rec.wire_len as u64);
+        packets += 1;
+    }
+    assert_eq!(packets, generated, "every frame must parse back");
+    println!("read {packets} IPv4 records back; top talkers above 5%:");
+    for r in det.report(Threshold::percent(5.0)) {
+        println!("  {r}");
+    }
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,152 @@
+//! Cross-crate detector agreement: every approximate detector against
+//! the exact oracle on realistic generated traffic.
+
+use hidden_hhh::prelude::*;
+use std::collections::HashSet;
+
+fn day(seed: u64, secs: u64) -> Vec<PacketRecord> {
+    TraceGenerator::new(scenarios::day_trace(1, TimeSpan::from_secs(secs)), seed).collect()
+}
+
+fn exact_report(pkts: &[PacketRecord], t: Threshold) -> Vec<HhhReport<Ipv4Prefix>> {
+    let mut d = ExactHhh::new(Ipv4Hierarchy::bytes());
+    for p in pkts {
+        HhhDetector::<Ipv4Hierarchy>::observe(&mut d, p.src, p.wire_len as u64);
+    }
+    d.report(t)
+}
+
+#[test]
+fn ss_hhh_never_misses_a_true_hhh() {
+    let pkts = day(21, 20);
+    let t = Threshold::percent(2.0);
+    let truth = exact_report(&pkts, t);
+    let mut ss = SpaceSavingHhh::new(Ipv4Hierarchy::bytes(), 512);
+    for p in &pkts {
+        ss.observe(p.src, p.wire_len as u64);
+    }
+    let found: HashSet<_> = ss.report(t).into_iter().map(|r| r.prefix).collect();
+    for want in &truth {
+        assert!(
+            found.contains(&want.prefix),
+            "ss-hhh missed true HHH {} (discounted {})",
+            want.prefix,
+            want.discounted
+        );
+    }
+}
+
+#[test]
+fn rhhh_finds_comfortable_hhhs() {
+    let pkts = day(22, 20);
+    let t = Threshold::percent(2.0);
+    let truth = exact_report(&pkts, t);
+    let t_abs = {
+        let total: u64 = pkts.iter().map(|p| p.wire_len as u64).sum();
+        t.absolute(total)
+    };
+    let mut rhhh = Rhhh::new(Ipv4Hierarchy::bytes(), 512, 77);
+    for p in &pkts {
+        rhhh.observe(p.src, p.wire_len as u64);
+    }
+    let found: HashSet<_> = rhhh.report(t).into_iter().map(|r| r.prefix).collect();
+    for want in truth.iter().filter(|r| r.discounted >= 2 * t_abs) {
+        assert!(
+            found.contains(&want.prefix),
+            "rhhh missed comfortable HHH {} (discounted {} vs T {})",
+            want.prefix,
+            want.discounted,
+            t_abs
+        );
+    }
+}
+
+#[test]
+fn tdbf_converges_to_windowed_answers_on_steady_traffic() {
+    // On the *stable* scenario (no bursts), the windowless detector's
+    // steady-state report should largely agree with a trailing exact
+    // window of comparable time scale.
+    let horizon = TimeSpan::from_secs(40);
+    let pkts: Vec<PacketRecord> =
+        TraceGenerator::new(scenarios::stable(horizon), 9).collect();
+    let window = TimeSpan::from_secs(10);
+    let t = Threshold::percent(5.0);
+    let h = Ipv4Hierarchy::bytes();
+
+    // Exact trailing window [30 s, 40 s).
+    let mut oracle = ExactHhh::new(h);
+    for p in pkts.iter().filter(|p| p.ts >= Nanos::from_secs(30)) {
+        HhhDetector::<Ipv4Hierarchy>::observe(&mut oracle, p.src, p.wire_len as u64);
+    }
+    let truth: HashSet<_> = oracle.report(t).into_iter().map(|r| r.prefix).collect();
+
+    let mut tdbf = TdbfHhh::new(
+        h,
+        TdbfHhhConfig { half_life: window / 2, ..TdbfHhhConfig::default() },
+    );
+    for p in &pkts {
+        tdbf.observe(p.ts, p.src, p.wire_len as u64);
+    }
+    let found: HashSet<_> = tdbf
+        .report_at(Nanos::ZERO + horizon, t)
+        .into_iter()
+        .map(|r| r.prefix)
+        .collect();
+
+    let inter = truth.intersection(&found).count();
+    let recall = inter as f64 / truth.len().max(1) as f64;
+    assert!(
+        recall >= 0.7,
+        "tdbf recall {recall} vs windowed oracle (truth {truth:?}, found {found:?})"
+    );
+}
+
+#[test]
+fn hashpipe_and_univmon_agree_on_the_top_talker() {
+    let pkts = day(23, 15);
+    let total: u64 = pkts.iter().map(|p| p.wire_len as u64).sum();
+    let mut exact = ExactHhh::new(Ipv4Hierarchy::bytes());
+    let mut hp = HashPipe::<u32>::new(4, 512, 5);
+    let mut um = UnivMonLite::<u32>::new(12, 512, 5, 32, 5);
+    for p in &pkts {
+        HhhDetector::<Ipv4Hierarchy>::observe(&mut exact, p.src, p.wire_len as u64);
+        hp.observe(p.src, p.wire_len as u64);
+        um.observe(p.src, p.wire_len as u64);
+    }
+    let top = exact.heavy_hitters(Threshold::percent(3.0));
+    assert!(!top.is_empty(), "trace has no 3% talker?");
+    let top_key = top[0].0;
+    let hp_top: HashSet<u32> =
+        hp.heavy_hitters(total / 100).into_iter().map(|e| e.0).collect();
+    let um_top: HashSet<u32> =
+        um.heavy_hitters(total / 100).into_iter().map(|e| e.0).collect();
+    assert!(hp_top.contains(&top_key), "hashpipe lost the top talker");
+    assert!(um_top.contains(&top_key), "univmon lost the top talker");
+}
+
+#[test]
+fn detectors_reset_cleanly_between_windows() {
+    // Feeding two different windows through a reset must not leak
+    // state: window 2's report from a reused detector equals a fresh
+    // detector's.
+    let w1 = day(24, 5);
+    let w2 = day(25, 5);
+    let t = Threshold::percent(5.0);
+    let h = Ipv4Hierarchy::bytes();
+
+    let mut reused = SpaceSavingHhh::new(h, 128);
+    for p in &w1 {
+        reused.observe(p.src, p.wire_len as u64);
+    }
+    let _ = reused.report(t);
+    reused.reset();
+    for p in &w2 {
+        reused.observe(p.src, p.wire_len as u64);
+    }
+
+    let mut fresh = SpaceSavingHhh::new(h, 128);
+    for p in &w2 {
+        fresh.observe(p.src, p.wire_len as u64);
+    }
+    assert_eq!(reused.report(t), fresh.report(t), "reset leaked state");
+}

@@ -1,0 +1,162 @@
+//! Property-based cross-crate invariants: the algebra that must hold
+//! for *any* traffic, checked on randomized streams.
+
+use hidden_hhh::analysis::hidden::hidden_hhh;
+use hidden_hhh::prelude::*;
+use proptest::prelude::*;
+
+/// Random packet streams: up to `n` packets over `secs` seconds drawn
+/// from a small address pool (so aggregates actually form).
+fn packets_strategy(n: usize, secs: u64) -> impl Strategy<Value = Vec<PacketRecord>> {
+    prop::collection::vec(
+        (
+            0u64..secs * 1_000,
+            prop::sample::select(vec![
+                0x0A010101u32, 0x0A010102, 0x0A010203, 0x0A020101, 0x14000001, 0x14000002,
+                0x1E010101, 0x28FF0001,
+            ]),
+            64u32..1500,
+        ),
+        1..n,
+    )
+    .prop_map(|mut v| {
+        v.sort_by_key(|e| e.0);
+        v.into_iter()
+            .map(|(ms, src, len)| PacketRecord::new(Nanos::from_millis(ms), src, 1, len))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The number of HHHs is bounded by levels/θ, and the discounted
+    /// mass attributed at each level never exceeds the total.
+    #[test]
+    fn hhh_count_and_mass_bounds(pkts in packets_strategy(400, 10), pct in 1.0f64..50.0) {
+        let h = Ipv4Hierarchy::bytes();
+        let mut d = ExactHhh::new(h);
+        for p in &pkts {
+            HhhDetector::<Ipv4Hierarchy>::observe(&mut d, p.src, p.wire_len as u64);
+        }
+        let t = Threshold::percent(pct);
+        let total = HhhDetector::<Ipv4Hierarchy>::total(&d);
+        let report = d.report(t);
+        let bound = (h.levels() as f64 / (pct / 100.0)).floor() as usize + h.levels();
+        prop_assert!(report.len() <= bound, "{} HHHs > bound {}", report.len(), bound);
+        for level in 0..h.levels() {
+            let mass: u64 = report.iter().filter(|r| r.level == level).map(|r| r.discounted).sum();
+            prop_assert!(mass <= total, "level {level} discounted mass {mass} > total {total}");
+        }
+        // Every reported discounted count meets the threshold.
+        let t_abs = t.absolute(total);
+        for r in &report {
+            prop_assert!(r.discounted >= t_abs);
+            prop_assert!(r.estimate >= r.discounted);
+        }
+    }
+
+    /// Disjoint windows are a subset of sliding positions, so hidden
+    /// fractions are always within [0, 1] and disjoint ⊆ sliding.
+    #[test]
+    fn hidden_hhh_is_well_formed(pkts in packets_strategy(600, 12), pct in 2.0f64..30.0) {
+        let horizon = TimeSpan::from_secs(12);
+        let window = TimeSpan::from_secs(3);
+        let step = TimeSpan::from_secs(1);
+        let h = Ipv4Hierarchy::bytes();
+        let t = Threshold::percent(pct);
+        let sliding = run_sliding_exact(
+            pkts.iter().copied(), horizon, window, step, &h, &[t], Measure::Bytes, |p| p.src,
+        ).remove(0);
+        let epw = window / step;
+        let disjoint: Vec<_> = sliding.iter().filter(|r| r.index % epw == 0).cloned().collect();
+        let res = hidden_hhh(&sliding, &disjoint);
+        prop_assert!(res.disjoint_distinct <= res.sliding_distinct);
+        prop_assert!(res.hidden_fraction >= 0.0 && res.hidden_fraction <= 1.0);
+        prop_assert_eq!(res.hidden_prefixes.len(), res.sliding_distinct - res.disjoint_distinct);
+    }
+
+    /// The sliding driver at step == window equals the disjoint driver
+    /// with an exact detector: two very different code paths, same
+    /// answer.
+    #[test]
+    fn sliding_equals_disjoint_when_step_is_window(pkts in packets_strategy(500, 9)) {
+        let horizon = TimeSpan::from_secs(9);
+        let window = TimeSpan::from_secs(3);
+        let h = Ipv4Hierarchy::bytes();
+        let t = Threshold::percent(10.0);
+        let slid = run_sliding_exact(
+            pkts.iter().copied(), horizon, window, window, &h, &[t], Measure::Bytes, |p| p.src,
+        ).remove(0);
+        let mut det = ExactHhh::new(h);
+        let disj = run_disjoint(
+            pkts.iter().copied(), horizon, window, &h, &mut det, &[t], Measure::Bytes, |p| p.src,
+        ).remove(0);
+        prop_assert_eq!(slid.len(), disj.len());
+        for (s, d) in slid.iter().zip(&disj) {
+            prop_assert_eq!(s.total, d.total);
+            prop_assert_eq!(s.prefix_set(), d.prefix_set());
+        }
+    }
+
+    /// Micro-varied windows with delta equal to zero-tail regions
+    /// change nothing: if no packet lands in the removed slice, the
+    /// variant report equals the baseline.
+    #[test]
+    fn microvaried_consistency(pkts in packets_strategy(400, 8)) {
+        let horizon = TimeSpan::from_secs(8);
+        let base = TimeSpan::from_secs(2);
+        let deltas = [TimeSpan::from_millis(50)];
+        let h = Ipv4Hierarchy::bytes();
+        let run = run_microvaried(
+            pkts.iter().copied(), horizon, base, &deltas, &h,
+            Threshold::percent(10.0), Measure::Bytes, |p| p.src,
+        );
+        for (k, (b, v)) in run.baseline.iter().zip(&run.variants[0].1).enumerate() {
+            let removed: u64 = pkts.iter()
+                .filter(|p| p.ts >= v.end && p.ts < b.end)
+                .map(|p| p.wire_len as u64)
+                .sum();
+            prop_assert_eq!(b.total - v.total, removed, "window {}", k);
+            if removed == 0 {
+                prop_assert_eq!(b.prefix_set(), v.prefix_set());
+            }
+        }
+    }
+
+    /// Weighted observation equals repeated unit observation for every
+    /// windowed detector (weights are not a separate code path bug).
+    #[test]
+    fn weights_equal_repetition(weight in 1u64..30) {
+        let h = Ipv4Hierarchy::bytes();
+        let mut by_weight = ExactHhh::new(h);
+        let mut by_repeat = ExactHhh::new(h);
+        HhhDetector::<Ipv4Hierarchy>::observe(&mut by_weight, 0x0A010101, weight);
+        for _ in 0..weight {
+            HhhDetector::<Ipv4Hierarchy>::observe(&mut by_repeat, 0x0A010101, 1);
+        }
+        prop_assert_eq!(
+            by_weight.report(Threshold::percent(50.0)),
+            by_repeat.report(Threshold::percent(50.0))
+        );
+    }
+
+    /// The TDBF detector's decayed total matches the analytic decayed
+    /// sum of the stream it saw.
+    #[test]
+    fn tdbf_total_is_exact_decayed_sum(pkts in packets_strategy(300, 5)) {
+        let h = Ipv4Hierarchy::bytes();
+        let half_life = TimeSpan::from_secs(2);
+        let mut det = TdbfHhh::new(h, TdbfHhhConfig { half_life, ..TdbfHhhConfig::default() });
+        let rate = DecayRate::from_half_life(half_life);
+        let now = Nanos::from_secs(5);
+        let mut expect = 0.0f64;
+        for p in &pkts {
+            det.observe(p.ts, p.src, p.wire_len as u64);
+            expect += p.wire_len as f64 * rate.factor(now - p.ts);
+        }
+        let got = det.decayed_total(now);
+        prop_assert!((got - expect).abs() <= expect * 1e-9 + 1e-6,
+            "decayed total {} vs analytic {}", got, expect);
+    }
+}
