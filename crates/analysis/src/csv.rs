@@ -15,11 +15,7 @@ fn escape(cell: &str) -> String {
 }
 
 /// Write a header and rows as CSV.
-pub fn write_csv<W: Write>(
-    mut w: W,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_csv<W: Write>(mut w: W, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     writeln!(w, "{}", headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","))?;
     for row in rows {
         debug_assert_eq!(row.len(), headers.len(), "CSV row arity mismatch");

@@ -56,11 +56,8 @@ pub fn hidden_hhh<P: Ord + Copy>(
     let u_slide = union_prefixes(sliding);
     let u_disj = union_prefixes(disjoint);
     let hidden_prefixes: BTreeSet<P> = u_slide.difference(&u_disj).copied().collect();
-    let hidden_fraction = if u_slide.is_empty() {
-        0.0
-    } else {
-        hidden_prefixes.len() as f64 / u_slide.len() as f64
-    };
+    let hidden_fraction =
+        if u_slide.is_empty() { 0.0 } else { hidden_prefixes.len() as f64 / u_slide.len() as f64 };
     let mut sliding_occurrences = 0usize;
     let mut hidden_occurrences = 0usize;
     for r in sliding {
@@ -101,7 +98,13 @@ mod tests {
             total: 100,
             hhhs: prefixes
                 .iter()
-                .map(|&p| HhhReport { prefix: p, level: 0, estimate: 10, discounted: 10, lower_bound: 10 })
+                .map(|&p| HhhReport {
+                    prefix: p,
+                    level: 0,
+                    estimate: 10,
+                    discounted: 10,
+                    lower_bound: 10,
+                })
                 .collect(),
         }
     }

@@ -70,7 +70,13 @@ mod tests {
             total: 1,
             hhhs: prefixes
                 .iter()
-                .map(|&p| HhhReport { prefix: p, level: 0, estimate: 1, discounted: 1, lower_bound: 1 })
+                .map(|&p| HhhReport {
+                    prefix: p,
+                    level: 0,
+                    estimate: 1,
+                    discounted: 1,
+                    lower_bound: 1,
+                })
                 .collect(),
         };
         assert_eq!(jaccard_reports(&mk(&[1, 2]), &mk(&[2, 3])), 1.0 / 3.0);

@@ -7,11 +7,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hhh_bench::fixture;
 use hhh_core::{
-    ContinuousDetector, ExactHhh, HashPipe, HhhDetector, Rhhh, SpaceSavingHhh, TdbfHhh,
-    TdbfHhhConfig, UnivMonLite,
+    ContinuousDetector, ExactHhh, HashPipe, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh,
+    TdbfHhh, TdbfHhhConfig, Threshold, UnivMonLite,
 };
 use hhh_hierarchy::Ipv4Hierarchy;
-use hhh_nettypes::TimeSpan;
+use hhh_nettypes::{Measure, TimeSpan};
+use hhh_window::sharded::{run_sharded_disjoint, DEFAULT_BATCH};
 use std::hint::black_box;
 
 fn bench_detectors(c: &mut Criterion) {
@@ -103,5 +104,152 @@ fn bench_detectors(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_detectors);
+/// Batched vs per-packet ingestion on a single detector: the
+/// `observe_batch` overrides (level-major sweeps, grouped sampling)
+/// against the seed's one-packet-at-a-time path.
+fn bench_batched(c: &mut Criterion) {
+    let pkts = fixture(4);
+    let batch: Vec<(u32, u64)> = pkts.iter().map(|p| (p.src, p.wire_len as u64)).collect();
+    let h = Ipv4Hierarchy::bytes();
+    let mut g = c.benchmark_group("detector_batched");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.sample_size(20);
+
+    g.bench_function("exact/observe", |b| {
+        b.iter(|| {
+            let mut d = ExactHhh::new(h);
+            for &(src, w) in &batch {
+                HhhDetector::<Ipv4Hierarchy>::observe(&mut d, black_box(src), w);
+            }
+            black_box(d.total())
+        })
+    });
+    g.bench_function("exact/observe_batch", |b| {
+        b.iter(|| {
+            let mut d = ExactHhh::new(h);
+            for chunk in batch.chunks(DEFAULT_BATCH) {
+                HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut d, black_box(chunk));
+            }
+            black_box(d.total())
+        })
+    });
+    g.bench_function("ss-hhh/observe", |b| {
+        b.iter(|| {
+            let mut d = SpaceSavingHhh::new(h, 256);
+            for &(src, w) in &batch {
+                d.observe(black_box(src), w);
+            }
+            black_box(d.total())
+        })
+    });
+    g.bench_function("ss-hhh/observe_batch", |b| {
+        b.iter(|| {
+            let mut d = SpaceSavingHhh::new(h, 256);
+            for chunk in batch.chunks(DEFAULT_BATCH) {
+                d.observe_batch(black_box(chunk));
+            }
+            black_box(d.total())
+        })
+    });
+    g.bench_function("rhhh/observe", |b| {
+        b.iter(|| {
+            let mut d = Rhhh::new(h, 256, 7);
+            for &(src, w) in &batch {
+                d.observe(black_box(src), w);
+            }
+            black_box(d.total())
+        })
+    });
+    g.bench_function("rhhh/observe_batch", |b| {
+        b.iter(|| {
+            let mut d = Rhhh::new(h, 256, 7);
+            for chunk in batch.chunks(DEFAULT_BATCH) {
+                d.observe_batch(black_box(chunk));
+            }
+            black_box(d.total())
+        })
+    });
+    g.finish();
+}
+
+/// The sharded pipeline end to end (scatter, worker threads, merge at
+/// window boundaries) against the single-threaded disjoint driver.
+/// Speedup over `shard/1` tracks available cores; on a single-core
+/// host the sharded rows measure pure pipeline overhead instead.
+fn bench_sharded(c: &mut Criterion) {
+    let pkts = fixture(4);
+    let h = Ipv4Hierarchy::bytes();
+    let horizon = TimeSpan::from_secs(4);
+    let window = TimeSpan::from_secs(2);
+    let thresholds = [Threshold::percent(5.0)];
+    let mut g = c.benchmark_group("detector_sharded");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.sample_size(10);
+
+    for shards in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("ss-hhh", shards), &shards, |b, &k| {
+            b.iter(|| {
+                let detectors: Vec<_> = (0..k).map(|_| SpaceSavingHhh::new(h, 256)).collect();
+                let reports = run_sharded_disjoint(
+                    pkts.iter().copied(),
+                    horizon,
+                    window,
+                    &h,
+                    detectors,
+                    &thresholds,
+                    Measure::Bytes,
+                    |p| p.src,
+                    DEFAULT_BATCH,
+                );
+                black_box(reports.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rhhh", shards), &shards, |b, &k| {
+            b.iter(|| {
+                let detectors: Vec<_> = (0..k).map(|s| Rhhh::new(h, 256, 7 + s as u64)).collect();
+                let reports = run_sharded_disjoint(
+                    pkts.iter().copied(),
+                    horizon,
+                    window,
+                    &h,
+                    detectors,
+                    &thresholds,
+                    Measure::Bytes,
+                    |p| p.src,
+                    DEFAULT_BATCH,
+                );
+                black_box(reports.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Merge cost at report points: fold K shard states into one.
+fn bench_merge(c: &mut Criterion) {
+    let pkts = fixture(4);
+    let h = Ipv4Hierarchy::bytes();
+    let mut g = c.benchmark_group("detector_merge");
+    g.sample_size(20);
+
+    for shards in [2usize, 4, 8] {
+        let mut shard_states: Vec<SpaceSavingHhh<Ipv4Hierarchy>> =
+            (0..shards).map(|_| SpaceSavingHhh::new(h, 256)).collect();
+        for (i, p) in pkts.iter().enumerate() {
+            shard_states[i % shards].observe(p.src, p.wire_len as u64);
+        }
+        g.bench_with_input(BenchmarkId::new("ss-hhh", shards), &shard_states, |b, states| {
+            b.iter(|| {
+                let mut merged = states[0].clone();
+                for s in &states[1..] {
+                    merged.merge(s);
+                }
+                black_box(merged.total())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_batched, bench_sharded, bench_merge);
 criterion_main!(benches);

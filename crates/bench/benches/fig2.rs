@@ -18,8 +18,7 @@ fn bench_fig2(c: &mut Criterion) {
     let pkts = fixture(horizon_s);
     let horizon = TimeSpan::from_secs(horizon_s);
     let step = TimeSpan::from_secs(1);
-    let thresholds =
-        [Threshold::percent(1.0), Threshold::percent(5.0), Threshold::percent(10.0)];
+    let thresholds = [Threshold::percent(1.0), Threshold::percent(5.0), Threshold::percent(10.0)];
     let h = Ipv4Hierarchy::bytes();
 
     let mut g = c.benchmark_group("fig2_pipeline");
@@ -45,11 +44,8 @@ fn bench_fig2(c: &mut Criterion) {
                     let epw = window / step;
                     let mut out = Vec::new();
                     for per_threshold in &sliding {
-                        let disjoint: Vec<_> = per_threshold
-                            .iter()
-                            .filter(|r| r.index % epw == 0)
-                            .cloned()
-                            .collect();
+                        let disjoint: Vec<_> =
+                            per_threshold.iter().filter(|r| r.index % epw == 0).cloned().collect();
                         out.push(hidden_hhh(per_threshold, &disjoint).hidden_fraction);
                     }
                     black_box(out)

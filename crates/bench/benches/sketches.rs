@@ -14,13 +14,7 @@ const N: u64 = 100_000;
 /// Deterministic skewed key stream.
 fn keys() -> Vec<u64> {
     (0..N)
-        .map(|i| {
-            if i % 3 == 0 {
-                i % 16
-            } else {
-                (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 10_000
-            }
-        })
+        .map(|i| if i % 3 == 0 { i % 16 } else { (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 10_000 })
         .collect()
 }
 

@@ -25,11 +25,8 @@ use hhh_trace::{scenarios, TraceGenerator};
 
 /// A deterministic packet batch: `secs` seconds of day-0 traffic.
 pub fn fixture(secs: u64) -> Vec<PacketRecord> {
-    TraceGenerator::new(
-        scenarios::day_trace(0, TimeSpan::from_secs(secs)),
-        scenarios::day_seed(0),
-    )
-    .collect()
+    TraceGenerator::new(scenarios::day_trace(0, TimeSpan::from_secs(secs)), scenarios::day_seed(0))
+        .collect()
 }
 
 #[cfg(test)]

@@ -17,6 +17,19 @@ pub trait HhhDetector<H: Hierarchy> {
     /// Account `weight` (bytes or packets) to `item`.
     fn observe(&mut self, item: H::Item, weight: u64);
 
+    /// Account a whole batch of `(item, weight)` observations.
+    ///
+    /// Semantically identical to calling [`observe`](Self::observe) in
+    /// order; detectors override it when amortizing per-call work over
+    /// the batch pays (level-major iteration, grouped sampling, fewer
+    /// RNG draws). The sharded pipeline in `hhh-window` feeds shards
+    /// exclusively through this entry point.
+    fn observe_batch(&mut self, batch: &[(H::Item, u64)]) {
+        for &(item, weight) in batch {
+            self.observe(item, weight);
+        }
+    }
+
     /// Total weight observed since the last reset.
     fn total(&self) -> u64;
 
@@ -45,6 +58,14 @@ pub trait ContinuousDetector<H: Hierarchy> {
     /// Account `weight` to `item` at trace time `ts` (non-decreasing).
     fn observe(&mut self, ts: Nanos, item: H::Item, weight: u64);
 
+    /// Account a whole batch of timestamped observations (timestamps
+    /// non-decreasing within the batch, as on the wire).
+    fn observe_batch(&mut self, batch: &[(Nanos, H::Item, u64)]) {
+        for &(ts, item, weight) in batch {
+            self.observe(ts, item, weight);
+        }
+    }
+
     /// Decayed total traffic as of `now`.
     fn decayed_total(&self, now: Nanos) -> f64;
 
@@ -57,4 +78,30 @@ pub trait ContinuousDetector<H: Hierarchy> {
 
     /// Short algorithm name for tables and logs.
     fn name(&self) -> &'static str;
+}
+
+/// A detector whose state from two disjoint sub-streams can be
+/// combined into the state of the union stream.
+///
+/// This is the property that makes sharded (multi-core, and later
+/// distributed) ingestion possible: hash-partition the packet stream by
+/// key, run one detector per shard, and [`merge`](Self::merge) at
+/// report points. The contract, following the mergeable-summaries
+/// framework (Agarwal et al., PODS 2012):
+///
+/// * **Exact detectors** must be lossless: merging the shard states of
+///   any partition of a stream yields *exactly* the state of the
+///   unpartitioned stream (same totals, same reports).
+/// * **Approximate detectors** must preserve their error guarantees
+///   under merge: for the summaries here, estimates remain upper (or
+///   lower, for Misra-Gries-style) bounds on the truth of the combined
+///   stream, and the per-key error grows at most additively in the
+///   merged parts' errors — never faster.
+///
+/// Both detectors must be configured identically (same capacities,
+/// seeds, decay rates); implementations panic on mismatch rather than
+/// silently producing garbage.
+pub trait MergeableDetector {
+    /// Fold `other`'s state into `self`. `other` is unchanged.
+    fn merge(&mut self, other: &Self);
 }

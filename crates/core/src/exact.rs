@@ -8,7 +8,7 @@
 //! approximate detectors, which substitute their per-level *estimates*
 //! for the exact per-level counts.
 
-use crate::detector::HhhDetector;
+use crate::detector::{HhhDetector, MergeableDetector};
 use crate::report::{HhhReport, Threshold};
 use hhh_hierarchy::Hierarchy;
 use std::collections::HashMap;
@@ -141,6 +141,14 @@ impl<H: Hierarchy> HhhDetector<H> for ExactHhh<H> {
         self.total += weight;
     }
 
+    fn observe_batch(&mut self, batch: &[(H::Item, u64)]) {
+        self.counts.reserve(batch.len() / 4);
+        for &(item, weight) in batch {
+            *self.counts.entry(item).or_default() += weight;
+            self.total += weight;
+        }
+    }
+
     fn total(&self) -> u64 {
         self.total
     }
@@ -162,6 +170,18 @@ impl<H: Hierarchy> HhhDetector<H> for ExactHhh<H> {
 
     fn name(&self) -> &'static str {
         "exact"
+    }
+}
+
+impl<H: Hierarchy> MergeableDetector for ExactHhh<H> {
+    /// Lossless: merging shard states of any partition of a stream
+    /// reproduces the unpartitioned state exactly (count maps add).
+    fn merge(&mut self, other: &Self) {
+        self.counts.reserve(other.counts.len());
+        for (&item, &c) in &other.counts {
+            *self.counts.entry(item).or_default() += c;
+        }
+        self.total += other.total;
     }
 }
 
@@ -209,11 +229,7 @@ mod tests {
         // total 200, T = 50 at 25%.
         let r = d.report(Threshold::percent(25.0));
         let prefixes: Vec<String> = r.iter().map(|x| x.prefix.to_string()).collect();
-        assert_eq!(
-            prefixes,
-            vec!["10.1.2.1/32", "20.0.0.1/32", "10.1.1.0/24"],
-            "got {prefixes:?}"
-        );
+        assert_eq!(prefixes, vec!["10.1.2.1/32", "20.0.0.1/32", "10.1.1.0/24"], "got {prefixes:?}");
         // The /24 aggregates two sub-threshold hosts.
         let p24 = r.iter().find(|x| x.prefix == px("10.1.1.0/24")).unwrap();
         assert_eq!(p24.estimate, 70);
@@ -322,10 +338,7 @@ mod tests {
         let d = detector_with(&[("10.1.1.1", 100), ("9.1.1.1", 100), ("10.1.1.0", 1)]);
         let r = d.report(Threshold::percent(10.0));
         for w in r.windows(2) {
-            assert!(
-                (w[0].level, w[0].prefix) < (w[1].level, w[1].prefix),
-                "unsorted report"
-            );
+            assert!((w[0].level, w[0].prefix) < (w[1].level, w[1].prefix), "unsorted report");
         }
     }
 

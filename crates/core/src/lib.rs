@@ -52,7 +52,7 @@ mod tdbf_hhh;
 mod twodim;
 mod univmon;
 
-pub use detector::{ContinuousDetector, HhhDetector};
+pub use detector::{ContinuousDetector, HhhDetector, MergeableDetector};
 pub use exact::{discount_bottom_up, ExactHhh};
 pub use hashpipe::HashPipe;
 pub use report::{HhhReport, Threshold};

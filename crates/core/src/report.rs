@@ -11,7 +11,10 @@ pub struct Threshold(f64);
 impl Threshold {
     /// From a fraction in `(0, 1]`. Panics outside that range.
     pub fn fraction(f: f64) -> Self {
-        assert!(f.is_finite() && f > 0.0 && f <= 1.0, "threshold fraction must be in (0,1], got {f}");
+        assert!(
+            f.is_finite() && f > 0.0 && f <= 1.0,
+            "threshold fraction must be in (0,1], got {f}"
+        );
         Threshold(f)
     }
 
@@ -88,7 +91,13 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Threshold::percent(5.0).to_string(), "5%");
-        let r = HhhReport { prefix: "10.0.0.0/8", level: 3, estimate: 100, discounted: 60, lower_bound: 55 };
+        let r = HhhReport {
+            prefix: "10.0.0.0/8",
+            level: 3,
+            estimate: 100,
+            discounted: 60,
+            lower_bound: 55,
+        };
         assert_eq!(r.to_string(), "10.0.0.0/8 (level 3): 100 total, 60 discounted");
     }
 

@@ -15,7 +15,7 @@
 //! ones may flicker. That trade-off (and its win on update speed) is
 //! exactly what the detector-comparison experiment (E3) measures.
 
-use crate::detector::HhhDetector;
+use crate::detector::{HhhDetector, MergeableDetector};
 use crate::exact::discount_bottom_up;
 use crate::report::{HhhReport, Threshold};
 use hhh_hierarchy::Hierarchy;
@@ -100,6 +100,28 @@ impl<H: Hierarchy> HhhDetector<H> for Rhhh<H> {
         self.updates_per_level[level] += 1;
     }
 
+    /// Batched sampling: draw every packet's level first, then apply
+    /// updates level-major so each summary is swept once per batch.
+    /// The level draws use the same RNG sequence as the per-packet
+    /// path, and per-level update order is preserved, so the resulting
+    /// state is identical to looping [`observe`](Self::observe).
+    fn observe_batch(&mut self, batch: &[(H::Item, u64)]) {
+        let v = self.levels.len();
+        let mut grouped: Vec<Vec<(H::Prefix, u64)>> = vec![Vec::new(); v];
+        for &(item, weight) in batch {
+            self.total += weight;
+            let level = self.rng.gen_range(0..v);
+            grouped[level].push((self.hierarchy.generalize(item, level), weight));
+            self.updates_per_level[level] += 1;
+        }
+        for (level, updates) in grouped.into_iter().enumerate() {
+            let summary = &mut self.levels[level];
+            for (p, weight) in updates {
+                summary.update(p, weight);
+            }
+        }
+    }
+
     fn total(&self) -> u64 {
         self.total
     }
@@ -110,10 +132,8 @@ impl<H: Hierarchy> HhhDetector<H> for Rhhh<H> {
         let sampling = self.sampling_error();
         let v = self.v();
         for r in &mut reports {
-            let ss_err = self.levels[r.level]
-                .estimate(&r.prefix)
-                .map(|e| e.error * v)
-                .unwrap_or(r.estimate);
+            let ss_err =
+                self.levels[r.level].estimate(&r.prefix).map(|e| e.error * v).unwrap_or(r.estimate);
             r.lower_bound = r.discounted.saturating_sub(ss_err + sampling);
         }
         reports
@@ -133,6 +153,25 @@ impl<H: Hierarchy> HhhDetector<H> for Rhhh<H> {
 
     fn name(&self) -> &'static str {
         "rhhh"
+    }
+}
+
+impl<H: Hierarchy> MergeableDetector for Rhhh<H> {
+    /// Per-level [`SpaceSaving::merge`]. Each shard's level summaries
+    /// hold independent `1/V` Bernoulli samples of disjoint
+    /// sub-streams, so their union is a `1/V` sample of the combined
+    /// stream and the scaled estimates stay unbiased; sampling
+    /// variance adds across shards exactly as it would for one
+    /// detector seeing the whole stream.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.levels.len(), other.levels.len(), "hierarchy depth mismatch");
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            a.merge(b);
+        }
+        self.total += other.total;
+        for (a, b) in self.updates_per_level.iter_mut().zip(&other.updates_per_level) {
+            *a += *b;
+        }
     }
 }
 

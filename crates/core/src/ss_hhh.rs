@@ -9,7 +9,7 @@
 //! Its weakness — and RHHH's motivation — is the O(levels) work per
 //! packet.
 
-use crate::detector::HhhDetector;
+use crate::detector::{HhhDetector, MergeableDetector};
 use crate::exact::discount_bottom_up;
 use crate::report::{HhhReport, Threshold};
 use hhh_hierarchy::Hierarchy;
@@ -74,6 +74,21 @@ impl<H: Hierarchy> HhhDetector<H> for SpaceSavingHhh<H> {
         }
     }
 
+    /// Level-major batching: the per-packet loop touches all `levels`
+    /// summaries per packet (cache-hostile once summaries outgrow L1);
+    /// per batch we instead sweep one level's summary over the whole
+    /// batch before moving to the next.
+    fn observe_batch(&mut self, batch: &[(H::Item, u64)]) {
+        for &(_, weight) in batch {
+            self.total += weight;
+        }
+        for (level, summary) in self.levels.iter_mut().enumerate() {
+            for &(item, weight) in batch {
+                summary.update(self.hierarchy.generalize(item, level), weight);
+            }
+        }
+    }
+
     fn total(&self) -> u64 {
         self.total
     }
@@ -105,6 +120,20 @@ impl<H: Hierarchy> HhhDetector<H> for SpaceSavingHhh<H> {
 
     fn name(&self) -> &'static str {
         "ss-hhh"
+    }
+}
+
+impl<H: Hierarchy> MergeableDetector for SpaceSavingHhh<H> {
+    /// Per-level [`SpaceSaving::merge`]: each level's summary merges
+    /// under the mergeable-summaries recipe, so per-level estimates
+    /// stay upper bounds with additively-combined error — recall of
+    /// true HHHs of the combined stream is preserved.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.levels.len(), other.levels.len(), "hierarchy depth mismatch");
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            a.merge(b);
+        }
+        self.total += other.total;
     }
 }
 
@@ -146,10 +175,7 @@ mod tests {
             let found: std::collections::HashSet<_> =
                 ss.report(t).into_iter().map(|r| r.prefix).collect();
             let missed: Vec<_> = truth.difference(&found).collect();
-            assert!(
-                missed.is_empty(),
-                "at {pct}%: missed true HHHs {missed:?}"
-            );
+            assert!(missed.is_empty(), "at {pct}%: missed true HHHs {missed:?}");
         }
     }
 
@@ -167,11 +193,7 @@ mod tests {
             exact.report(t).into_iter().map(|r| r.prefix).collect();
         let found = ss.report(t);
         let false_pos = found.iter().filter(|r| !truth.contains(&r.prefix)).count();
-        assert!(
-            false_pos <= found.len() / 2,
-            "{false_pos} false positives of {}",
-            found.len()
-        );
+        assert!(false_pos <= found.len() / 2, "{false_pos} false positives of {}", found.len());
         // Guaranteed (lower-bound) reports are all true.
         let t_abs = t.absolute(ss.total());
         for r in &found {

@@ -24,7 +24,7 @@
 //! one tenth of the smallest threshold of interest, the lag bias is
 //! bounded by that fraction of the total.
 
-use crate::detector::ContinuousDetector;
+use crate::detector::{ContinuousDetector, MergeableDetector};
 use crate::exact::discount_bottom_up;
 use crate::report::{HhhReport, Threshold};
 use hhh_hierarchy::Hierarchy;
@@ -191,20 +191,15 @@ impl<H: Hierarchy> ContinuousDetector<H> for TdbfHhh<H> {
         for (level, table) in self.candidates.iter().enumerate() {
             let filter = &self.filters[level];
             maps.push(
-                table
-                    .keys()
-                    .map(|&p| (p, filter.estimate(&p, now).round() as u64))
-                    .collect(),
+                table.keys().map(|&p| (p, filter.estimate(&p, now).round() as u64)).collect(),
             );
         }
         // Close upward (same algebraic safety as the windowed
         // detectors): every parent of a candidate is present with at
         // least its own filter estimate.
         for level in 0..n - 1 {
-            let parents: Vec<H::Prefix> = maps[level]
-                .keys()
-                .map(|&p| self.hierarchy.parent(p).expect("non-root"))
-                .collect();
+            let parents: Vec<H::Prefix> =
+                maps[level].keys().map(|&p| self.hierarchy.parent(p).expect("non-root")).collect();
             for parent in parents {
                 if !maps[level + 1].contains_key(&parent) {
                     let est = self.filters[level + 1].estimate(&parent, now);
@@ -227,6 +222,39 @@ impl<H: Hierarchy> ContinuousDetector<H> for TdbfHhh<H> {
 
     fn name(&self) -> &'static str {
         "tdbf-hhh"
+    }
+}
+
+impl<H: Hierarchy> MergeableDetector for TdbfHhh<H> {
+    /// Windowless merge: per-level filters merge cell-wise
+    /// ([`OnDemandTdbf::merge`]), the decayed totals merge exactly, and
+    /// candidate tables take the union (later last-touch wins), pruned
+    /// back to capacity by keeping the prefixes with the largest merged
+    /// decayed estimates.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.filters.len(), other.filters.len(), "hierarchy depth mismatch");
+        for (a, b) in self.filters.iter_mut().zip(&other.filters) {
+            a.merge(b);
+        }
+        self.total.merge(self.rate, &other.total);
+        self.observed += other.observed;
+        let (_, now) = self.total.raw();
+        for (level, table) in self.candidates.iter_mut().enumerate() {
+            for (&p, &ts) in &other.candidates[level] {
+                let e = table.entry(p).or_insert(ts);
+                *e = (*e).max(ts);
+            }
+            if table.len() > self.cfg.candidates_per_level {
+                let filter = &self.filters[level];
+                let mut ranked: Vec<(H::Prefix, f64)> =
+                    table.iter().map(|(&p, _)| (p, filter.estimate(&p, now))).collect();
+                ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                ranked.truncate(self.cfg.candidates_per_level);
+                let keep: std::collections::HashSet<H::Prefix> =
+                    ranked.into_iter().map(|(p, _)| p).collect();
+                table.retain(|p, _| keep.contains(p));
+            }
+        }
     }
 }
 
@@ -394,6 +422,67 @@ mod tests {
             assert!(*n <= 32, "level {l} candidate table overflowed: {n}");
         }
         assert_eq!(d.observed_weight(), 200_000 * 100);
+    }
+
+    #[test]
+    fn observe_batch_equals_sequential_observe() {
+        // The ContinuousDetector batch entry point (default impl) must
+        // be indistinguishable from the per-packet path.
+        let mut seq = TdbfHhh::new(Ipv4Hierarchy::bytes(), cfg());
+        let mut bat = TdbfHhh::new(Ipv4Hierarchy::bytes(), cfg());
+        let batch: Vec<(Nanos, u32, u64)> = (0..5_000u64)
+            .map(|i| {
+                let src = if i % 5 == 0 { ip("10.1.1.1") } else { (i as u32 % 80) << 24 | 0xBB00 };
+                (Nanos::from_millis(i), src, 200 + i % 700)
+            })
+            .collect();
+        for &(ts, item, w) in &batch {
+            seq.observe(ts, item, w);
+        }
+        bat.observe_batch(&batch);
+        let now = Nanos::from_secs(5);
+        assert_eq!(seq.decayed_total(now), bat.decayed_total(now));
+        assert_eq!(
+            seq.report_at(now, Threshold::percent(5.0)),
+            bat.report_at(now, Threshold::percent(5.0))
+        );
+        assert_eq!(seq.observed_weight(), bat.observed_weight());
+    }
+
+    #[test]
+    fn merged_shards_agree_with_single_detector() {
+        // Partition a stream by key across 3 detectors, merge, and
+        // compare against one detector that saw everything.
+        let mut single = TdbfHhh::new(Ipv4Hierarchy::bytes(), cfg());
+        let mut shards: Vec<TdbfHhh<Ipv4Hierarchy>> =
+            (0..3).map(|_| TdbfHhh::new(Ipv4Hierarchy::bytes(), cfg())).collect();
+        let mut t = Nanos::ZERO;
+        while t < Nanos::from_secs(20) {
+            for s in 0..30u32 {
+                let src = ((s % 100) << 24) | (0xAA00 + s);
+                single.observe(t, src, 100);
+                shards[s as usize % 3].observe(t, src, 100);
+            }
+            single.observe(t, ip("10.1.1.1"), 2000);
+            shards[0].observe(t, ip("10.1.1.1"), 2000);
+            t += TimeSpan::from_millis(10);
+        }
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge(s);
+        }
+        let now = Nanos::from_secs(20);
+        assert_eq!(single.observed_weight(), merged.observed_weight());
+        let rel = (single.decayed_total(now) - merged.decayed_total(now)).abs()
+            / single.decayed_total(now);
+        assert!(rel < 1e-9, "decayed totals diverged: rel {rel}");
+        // Key-partitioned filters share no cells' keys, so estimates —
+        // and the reported HHH set — must coincide.
+        let a = single.report_at(now, Threshold::percent(10.0));
+        let b = merged.report_at(now, Threshold::percent(10.0));
+        let pa: Vec<_> = a.iter().map(|r| r.prefix).collect();
+        let pb: Vec<_> = b.iter().map(|r| r.prefix).collect();
+        assert_eq!(pa, pb, "sharded TDBF-HHH report diverged");
     }
 
     #[test]

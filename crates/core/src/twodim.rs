@@ -193,8 +193,7 @@ mod tests {
         );
         // Root: total 80 − 40 (covered by pair) = 40 ≥ 24 → HHH with
         // discounted exactly 40 (the fan mass, not 80−40−20−20 = 0).
-        let root =
-            r.iter().find(|x| x.node == node("0.0.0.0/0", "0.0.0.0/0")).expect("root HHH");
+        let root = r.iter().find(|x| x.node == node("0.0.0.0/0", "0.0.0.0/0")).expect("root HHH");
         assert_eq!(root.discounted, 40, "overlap handled wrongly: {r:?}");
     }
 
@@ -243,16 +242,11 @@ mod tests {
 
     #[test]
     fn reduces_to_1d_when_dst_constant() {
-        use crate::exact::ExactHhh;
         use crate::detector::HhhDetector;
+        use crate::exact::ExactHhh;
         use hhh_hierarchy::{Hierarchy, Ipv4Hierarchy};
         // Same stream into 1-D (source) and 2-D with constant dst.
-        let items = [
-            ("10.1.1.1", 40u64),
-            ("10.1.1.2", 30),
-            ("10.1.2.1", 60),
-            ("20.0.0.1", 70),
-        ];
+        let items = [("10.1.1.1", 40u64), ("10.1.1.2", 30), ("10.1.2.1", 60), ("20.0.0.1", 70)];
         let mut one = ExactHhh::new(Ipv4Hierarchy::bytes());
         let mut two = TwoDimExactHhh::new(TwoDimHierarchy::bytes());
         let dst = ip("8.8.8.8");

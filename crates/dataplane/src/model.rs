@@ -127,10 +127,7 @@ impl Pipeline {
             stages: specs
                 .iter()
                 .map(|s| {
-                    s.arrays
-                        .iter()
-                        .map(|(n, size, w)| RegisterArray::new(n, *size, *w))
-                        .collect()
+                    s.arrays.iter().map(|(n, size, w)| RegisterArray::new(n, *size, *w)).collect()
                 })
                 .collect(),
             reached: None,
@@ -221,7 +218,12 @@ impl Pipeline {
 
     /// Control-plane read: not subject to the per-packet discipline
     /// (the switch CPU reads registers out of band).
-    pub fn control_read(&self, stage: usize, array: usize, index: usize) -> Result<u64, PipelineError> {
+    pub fn control_read(
+        &self,
+        stage: usize,
+        array: usize,
+        index: usize,
+    ) -> Result<u64, PipelineError> {
         let arr = self
             .stages
             .get(stage)
@@ -308,10 +310,7 @@ mod tests {
     fn bounds_checked() {
         let mut p = two_stage();
         p.begin_packet();
-        assert!(matches!(
-            p.rmw(0, 0, 99, |v| v),
-            Err(PipelineError::IndexOutOfRange { .. })
-        ));
+        assert!(matches!(p.rmw(0, 0, 99, |v| v), Err(PipelineError::IndexOutOfRange { .. })));
         assert!(matches!(p.rmw(9, 0, 0, |v| v), Err(PipelineError::NoSuchArray { .. })));
         assert!(matches!(p.control_read(0, 9, 0), Err(PipelineError::NoSuchArray { .. })));
     }

@@ -170,9 +170,8 @@ impl DpTdbf {
     pub fn new(cells: usize, k: usize, rate: DecayRate, tick: TimeSpan, seed: u64) -> Self {
         assert!(cells > 0 && k > 0, "dimensions must be non-zero");
         assert!(!tick.is_zero(), "tick must be non-zero");
-        let specs: Vec<StageSpec> = (0..k)
-            .map(|i| StageSpec { arrays: vec![(format!("tdbf_h{i}"), cells, 64)] })
-            .collect();
+        let specs: Vec<StageSpec> =
+            (0..k).map(|i| StageSpec { arrays: vec![(format!("tdbf_h{i}"), cells, 64)] }).collect();
         let per_tick = rate.factor(tick);
         let factor_per_tick = (per_tick * (1u64 << 32) as f64).round() as u64;
         DpTdbf {

@@ -17,9 +17,7 @@
 use crate::compare::{score_with_staleness, trace, PROBE_EVERY, THRESHOLD_PCT, WINDOW};
 use crate::Scale;
 use hhh_analysis::{fmt_f, SetAccuracy, Table};
-use hhh_core::{
-    ContinuousDetector, HhhDetector, Rhhh, TdbfHhh, TdbfHhhConfig, Threshold,
-};
+use hhh_core::{ContinuousDetector, HhhDetector, Rhhh, TdbfHhh, TdbfHhhConfig, Threshold};
 use hhh_hierarchy::Ipv4Hierarchy;
 use hhh_nettypes::{Ipv4Prefix, Measure, Nanos, PacketRecord};
 use hhh_window::driver::{run_continuous, run_sliding_exact};
@@ -80,14 +78,10 @@ fn tdbf_accuracy(
     let hierarchy = Ipv4Hierarchy::bytes();
     let threshold = Threshold::percent(THRESHOLD_PCT);
     let mut det = TdbfHhh::new(hierarchy, cfg);
-    let reports = run_continuous(
-        pkts.iter().copied(),
-        probes,
-        &mut det,
-        threshold,
-        Measure::Bytes,
-        |p| p.src,
-    );
+    let reports =
+        run_continuous(pkts.iter().copied(), probes, &mut det, threshold, Measure::Bytes, |p| {
+            p.src
+        });
     let sets: Vec<(Nanos, BTreeSet<Ipv4Prefix>)> =
         reports.iter().map(|r| (r.start, r.prefix_set())).collect();
     let row = score_with_staleness(oracle, probes, &sets, WINDOW, false);
@@ -204,10 +198,7 @@ mod tests {
         let f1 = |rows: &[AblationRow], i: usize| rows[i].accuracy.f1();
         let mid = f1(&res.half_life, 2);
         let shortest = f1(&res.half_life, 0);
-        assert!(
-            mid >= shortest - 0.05,
-            "w/2 ({mid}) unexpectedly dominated by w/8 ({shortest})"
-        );
+        assert!(mid >= shortest - 0.05, "w/2 ({mid}) unexpectedly dominated by w/8 ({shortest})");
 
         // State grows monotonically with candidate capacity; F1 does
         // not decrease drastically with more memory.

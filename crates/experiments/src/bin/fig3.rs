@@ -17,7 +17,11 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let res = fig3::run(scale);
-    eprintln!("fig3: done in {:.1}s ({} baseline windows)", t0.elapsed().as_secs_f64(), res.windows);
+    eprintln!(
+        "fig3: done in {:.1}s ({} baseline windows)",
+        t0.elapsed().as_secs_f64(),
+        res.windows
+    );
 
     if csv {
         print!("{}", res.to_csv());

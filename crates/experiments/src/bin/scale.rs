@@ -1,0 +1,27 @@
+//! E-scale — the shard-count sweep over the batched, mergeable
+//! ingestion pipeline.
+//!
+//! ```text
+//! cargo run --release -p hhh-experiments --bin scale -- [smoke|quick|paper] [out.json]
+//! ```
+//!
+//! Prints the throughput/fidelity table; with a second argument, also
+//! writes the rows as JSON lines (the format committed as
+//! `BENCH_pr1.json`).
+
+use hhh_experiments::{shard_sweep, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!(
+        "shard sweep at scale '{}' on {} hardware thread(s)…",
+        scale.label(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let results = shard_sweep(scale);
+    print!("{}", results.table());
+    if let Some(path) = std::env::args().nth(2) {
+        std::fs::write(&path, results.json_lines()).expect("write JSON output");
+        eprintln!("wrote {path}");
+    }
+}

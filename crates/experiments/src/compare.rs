@@ -131,8 +131,7 @@ pub(crate) fn score_with_staleness(
         while fresh + 1 < reports.len() && reports[fresh + 1].0 <= *probe {
             fresh += 1;
         }
-        let predicted: BTreeSet<Ipv4Prefix> = if !reports.is_empty() && reports[fresh].0 <= *probe
-        {
+        let predicted: BTreeSet<Ipv4Prefix> = if !reports.is_empty() && reports[fresh].0 <= *probe {
             reports[fresh].1.clone()
         } else {
             BTreeSet::new()
@@ -273,30 +272,47 @@ pub fn run(scale: Scale) -> CompareResults {
         let mut um_reports: Vec<(Nanos, BTreeSet<Ipv4Prefix>)> = Vec::new();
         let mut cur = 0u64;
         let mut window_bytes = 0u64;
-        let flush =
-            |cur: u64, window_bytes: u64, hashpipe: &mut HashPipe<u32>, univmon: &mut UnivMonLite<u32>,
-             hp_reports: &mut Vec<(Nanos, BTreeSet<Ipv4Prefix>)>,
-             um_reports: &mut Vec<(Nanos, BTreeSet<Ipv4Prefix>)>| {
-                let end = Nanos::ZERO + WINDOW * (cur + 1);
-                let t_abs = threshold.absolute(window_bytes);
-                hp_reports.push((
-                    end,
-                    hashpipe.heavy_hitters(t_abs).into_iter().map(|(k, _)| Ipv4Prefix::host(k)).collect(),
-                ));
-                um_reports.push((
-                    end,
-                    univmon.heavy_hitters(t_abs).into_iter().map(|(k, _)| Ipv4Prefix::host(k)).collect(),
-                ));
-                hashpipe.reset();
-                univmon.reset();
-            };
+        let flush = |cur: u64,
+                     window_bytes: u64,
+                     hashpipe: &mut HashPipe<u32>,
+                     univmon: &mut UnivMonLite<u32>,
+                     hp_reports: &mut Vec<(Nanos, BTreeSet<Ipv4Prefix>)>,
+                     um_reports: &mut Vec<(Nanos, BTreeSet<Ipv4Prefix>)>| {
+            let end = Nanos::ZERO + WINDOW * (cur + 1);
+            let t_abs = threshold.absolute(window_bytes);
+            hp_reports.push((
+                end,
+                hashpipe
+                    .heavy_hitters(t_abs)
+                    .into_iter()
+                    .map(|(k, _)| Ipv4Prefix::host(k))
+                    .collect(),
+            ));
+            um_reports.push((
+                end,
+                univmon
+                    .heavy_hitters(t_abs)
+                    .into_iter()
+                    .map(|(k, _)| Ipv4Prefix::host(k))
+                    .collect(),
+            ));
+            hashpipe.reset();
+            univmon.reset();
+        };
         for p in &pkts {
             let w = p.ts.bin_index(WINDOW);
             if w >= n_windows {
                 break;
             }
             while cur < w {
-                flush(cur, window_bytes, &mut hashpipe, &mut univmon, &mut hp_reports, &mut um_reports);
+                flush(
+                    cur,
+                    window_bytes,
+                    &mut hashpipe,
+                    &mut univmon,
+                    &mut hp_reports,
+                    &mut um_reports,
+                );
                 window_bytes = 0;
                 cur += 1;
             }
@@ -333,12 +349,16 @@ pub fn run(scale: Scale) -> CompareResults {
         let mut exact = ExactHhh::new(hierarchy);
         performance.push(time_it(
             "exact",
-            Box::new(move |p| HhhDetector::<Ipv4Hierarchy>::observe(&mut exact, p.src, p.wire_len as u64)),
+            Box::new(move |p| {
+                HhhDetector::<Ipv4Hierarchy>::observe(&mut exact, p.src, p.wire_len as u64)
+            }),
         ));
         let mut ss = SpaceSavingHhh::new(hierarchy, 256);
-        performance.push(time_it("ss-hhh", Box::new(move |p| ss.observe(p.src, p.wire_len as u64))));
+        performance
+            .push(time_it("ss-hhh", Box::new(move |p| ss.observe(p.src, p.wire_len as u64))));
         let mut rhhh = Rhhh::new(hierarchy, 256, 1);
-        performance.push(time_it("rhhh", Box::new(move |p| rhhh.observe(p.src, p.wire_len as u64))));
+        performance
+            .push(time_it("rhhh", Box::new(move |p| rhhh.observe(p.src, p.wire_len as u64))));
         let mut tdbf = TdbfHhh::new(
             hierarchy,
             TdbfHhhConfig { half_life: WINDOW / 2, ..TdbfHhhConfig::default() },
@@ -348,9 +368,11 @@ pub fn run(scale: Scale) -> CompareResults {
             Box::new(move |p| tdbf.observe(p.ts, p.src, p.wire_len as u64)),
         ));
         let mut hp = HashPipe::<u32>::new(4, 1024, 1);
-        performance.push(time_it("hashpipe", Box::new(move |p| hp.observe(p.src, p.wire_len as u64))));
+        performance
+            .push(time_it("hashpipe", Box::new(move |p| hp.observe(p.src, p.wire_len as u64))));
         let mut um = UnivMonLite::<u32>::new(12, 512, 5, 64, 1);
-        performance.push(time_it("univmon", Box::new(move |p| um.observe(p.src, p.wire_len as u64))));
+        performance
+            .push(time_it("univmon", Box::new(move |p| um.observe(p.src, p.wire_len as u64))));
         let mut dhp = DpHashPipe::new(4, 1024, 1);
         performance.push(time_it(
             "dp-hashpipe (model)",
@@ -383,9 +405,17 @@ pub fn run(scale: Scale) -> CompareResults {
             pipeline: None,
         });
         let ss = SpaceSavingHhh::new(hierarchy, 256);
-        resources.push(ResourceRow { name: "ss-hhh", state_bytes: ss.state_bytes(), pipeline: None });
+        resources.push(ResourceRow {
+            name: "ss-hhh",
+            state_bytes: ss.state_bytes(),
+            pipeline: None,
+        });
         let rhhh = Rhhh::new(hierarchy, 256, 1);
-        resources.push(ResourceRow { name: "rhhh", state_bytes: rhhh.state_bytes(), pipeline: None });
+        resources.push(ResourceRow {
+            name: "rhhh",
+            state_bytes: rhhh.state_bytes(),
+            pipeline: None,
+        });
         let tdbf = TdbfHhh::new(
             hierarchy,
             TdbfHhhConfig { half_life: WINDOW / 2, ..TdbfHhhConfig::default() },
@@ -396,9 +426,17 @@ pub fn run(scale: Scale) -> CompareResults {
             pipeline: None,
         });
         let hp = HashPipe::<u32>::new(4, 1024, 1);
-        resources.push(ResourceRow { name: "hashpipe", state_bytes: hp.state_bytes(), pipeline: None });
+        resources.push(ResourceRow {
+            name: "hashpipe",
+            state_bytes: hp.state_bytes(),
+            pipeline: None,
+        });
         let um = UnivMonLite::<u32>::new(12, 512, 5, 64, 1);
-        resources.push(ResourceRow { name: "univmon", state_bytes: um.state_bytes(), pipeline: None });
+        resources.push(ResourceRow {
+            name: "univmon",
+            state_bytes: um.state_bytes(),
+            pipeline: None,
+        });
 
         let mut dhp = DpHashPipe::new(4, 1024, 1);
         for p in pkts.iter().take(10_000) {
@@ -420,27 +458,14 @@ pub fn run(scale: Scale) -> CompareResults {
         });
     }
 
-    CompareResults {
-        hhh_accuracy,
-        hh_accuracy,
-        performance,
-        resources,
-        packets: pkts.len(),
-        scale,
-    }
+    CompareResults { hhh_accuracy, hh_accuracy, performance, resources, packets: pkts.len(), scale }
 }
 
 impl CompareResults {
     /// Render the accuracy table.
     pub fn accuracy_table(&self) -> String {
-        let mut t = Table::new(vec![
-            "detector",
-            "precision",
-            "recall",
-            "F1",
-            "recall@aligned",
-            "probes",
-        ]);
+        let mut t =
+            Table::new(vec!["detector", "precision", "recall", "F1", "recall@aligned", "probes"]);
         for r in self.hhh_accuracy.iter().chain(&self.hh_accuracy) {
             t.row(vec![
                 r.name.to_string(),
@@ -465,8 +490,14 @@ impl CompareResults {
 
     /// Render the resources table.
     pub fn resources_table(&self) -> String {
-        let mut t =
-            Table::new(vec!["detector", "state KiB", "stages", "SRAM KiB", "hashes/pkt", "max reg/pkt"]);
+        let mut t = Table::new(vec![
+            "detector",
+            "state KiB",
+            "stages",
+            "SRAM KiB",
+            "hashes/pkt",
+            "max reg/pkt",
+        ]);
         for r in &self.resources {
             match &r.pipeline {
                 None => {
@@ -517,11 +548,7 @@ mod tests {
         // Exact disjoint is perfect at aligned probes (it IS the
         // oracle there)…
         let exact = by_name("exact");
-        assert!(
-            exact.aligned.recall() > 0.999,
-            "exact@aligned recall {}",
-            exact.aligned.recall()
-        );
+        assert!(exact.aligned.recall() > 0.999, "exact@aligned recall {}", exact.aligned.recall());
         assert!(exact.aligned.precision() > 0.999);
         // …and staleness between boundaries can only hurt, never help.
         // (At smoke scale the HHH set can be stable enough that the

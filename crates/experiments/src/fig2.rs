@@ -20,7 +20,7 @@ use hhh_hierarchy::Ipv4Hierarchy;
 use hhh_nettypes::{Ipv4Prefix, Measure, TimeSpan};
 use hhh_trace::{scenarios, TraceGenerator};
 use hhh_window::driver::run_sliding_exact;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// The thresholds of Figure 2.
 pub const THRESHOLDS_PCT: [f64; 3] = [1.0, 5.0, 10.0];
@@ -58,12 +58,12 @@ pub fn run(scale: Scale) -> Fig2Results {
         THRESHOLDS_PCT.iter().map(|p| Threshold::percent(*p)).collect();
     let rows = Mutex::new(Vec::new());
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for day in 0..4 {
             for &w_secs in &WINDOW_SECS {
                 let thresholds = &thresholds;
                 let rows = &rows;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let window = TimeSpan::from_secs(w_secs);
                     let horizon = scale.day_duration();
                     let model = scenarios::day_trace(day, horizon);
@@ -83,13 +83,10 @@ pub fn run(scale: Scale) -> Fig2Results {
                     for (ti, per_threshold) in sliding.iter().enumerate() {
                         // Disjoint windows = sliding positions whose
                         // start is a multiple of the window length.
-                        let disjoint: Vec<_> = per_threshold
-                            .iter()
-                            .filter(|r| r.index % epw == 0)
-                            .cloned()
-                            .collect();
+                        let disjoint: Vec<_> =
+                            per_threshold.iter().filter(|r| r.index % epw == 0).cloned().collect();
                         let h = hidden_hhh(per_threshold, &disjoint);
-                        rows.lock().push(Fig2Row {
+                        rows.lock().expect("rows mutex poisoned").push(Fig2Row {
                             day,
                             window_secs: w_secs,
                             threshold_pct: THRESHOLDS_PCT[ti],
@@ -99,10 +96,9 @@ pub fn run(scale: Scale) -> Fig2Results {
                 });
             }
         }
-    })
-    .expect("experiment thread panicked");
+    });
 
-    let mut rows = rows.into_inner();
+    let mut rows = rows.into_inner().expect("rows mutex poisoned");
     rows.sort_by(|a, b| {
         (a.day, a.window_secs, a.threshold_pct as u64).cmp(&(
             b.day,
@@ -158,7 +154,8 @@ impl Fig2Results {
 
     /// Render the summary bands (what the paper's prose quotes).
     pub fn summary(&self) -> String {
-        let mut t = Table::new(vec!["window", "threshold", "hidden % (min..max over days)", "mean"]);
+        let mut t =
+            Table::new(vec!["window", "threshold", "hidden % (min..max over days)", "mean"]);
         for &w in &WINDOW_SECS {
             for &p in &THRESHOLDS_PCT {
                 let (min, mean, max) = self.band(w, p);

@@ -72,12 +72,8 @@ pub fn run(scale: Scale) -> Fig3Results {
         .variants
         .iter()
         .map(|(delta, reports)| {
-            let sims: Vec<f64> = run
-                .baseline
-                .iter()
-                .zip(reports)
-                .map(|(b, v)| jaccard_reports(b, v))
-                .collect();
+            let sims: Vec<f64> =
+                run.baseline.iter().zip(reports).map(|(b, v)| jaccard_reports(b, v)).collect();
             (*delta, sims)
         })
         .collect();

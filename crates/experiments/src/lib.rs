@@ -28,4 +28,4 @@ pub mod fig3;
 mod scale;
 pub mod workloads;
 
-pub use scale::Scale;
+pub use scale::{shard_sweep, Scale, ShardSweepResults, ShardSweepRow, SHARD_COUNTS};

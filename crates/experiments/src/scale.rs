@@ -1,6 +1,16 @@
-//! Experiment scales: the same experiments at three sizes.
+//! Experiment scales: the same experiments at three sizes — plus the
+//! scaling experiment itself, a shard-count sweep over the batched,
+//! mergeable ingestion pipeline (`hhh-window::sharded`).
 
-use hhh_nettypes::TimeSpan;
+use hhh_analysis::{fmt_f, jaccard, Table};
+use hhh_core::{ExactHhh, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh, Threshold};
+use hhh_hierarchy::Ipv4Hierarchy;
+use hhh_nettypes::{Measure, PacketRecord, TimeSpan};
+use hhh_trace::{scenarios, TraceGenerator};
+use hhh_window::driver::run_disjoint;
+use hhh_window::sharded::{run_sharded_disjoint, DEFAULT_BATCH};
+use hhh_window::WindowReport;
+use std::time::Instant;
 
 /// How big to run an experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,10 +38,7 @@ impl Scale {
 
     /// Read from argv (first positional arg), default `Quick`.
     pub fn from_args() -> Scale {
-        std::env::args()
-            .nth(1)
-            .and_then(|a| Scale::parse(&a))
-            .unwrap_or(Scale::Quick)
+        std::env::args().nth(1).and_then(|a| Scale::parse(&a)).unwrap_or(Scale::Quick)
     }
 
     /// Duration of each of the four "day" traces (paper: 1 hour).
@@ -68,6 +75,205 @@ impl Scale {
             Scale::Quick => "quick",
             Scale::Paper => "paper",
         }
+    }
+}
+
+/// Shard counts the sweep visits.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured configuration of the shard sweep.
+#[derive(Clone, Debug)]
+pub struct ShardSweepRow {
+    /// Detector under test (`exact`, `ss-hhh`, `rhhh`).
+    pub detector: &'static str,
+    /// Ingestion mode: `observe` (per-packet), `batch` (single
+    /// detector fed through `observe_batch`), or `shard/K`.
+    pub mode: String,
+    /// Shards used (1 for the single-detector modes).
+    pub shards: usize,
+    /// Packets processed.
+    pub packets: u64,
+    /// Wall-clock seconds for the whole run.
+    pub seconds: f64,
+    /// Throughput in packets per second.
+    pub pkts_per_sec: f64,
+    /// Mean per-window Jaccard similarity of the HHH sets against the
+    /// per-packet single-detector reference (1.0 = identical).
+    pub jaccard_vs_reference: f64,
+}
+
+/// Results of [`shard_sweep`].
+#[derive(Clone, Debug)]
+pub struct ShardSweepResults {
+    /// One row per (detector, mode).
+    pub rows: Vec<ShardSweepRow>,
+    /// Scale the sweep ran at.
+    pub scale: Scale,
+}
+
+impl ShardSweepResults {
+    /// The row for a detector and mode label, if measured.
+    pub fn row(&self, detector: &str, mode: &str) -> Option<&ShardSweepRow> {
+        self.rows.iter().find(|r| r.detector == detector && r.mode == mode)
+    }
+
+    /// Render as an aligned text table.
+    pub fn table(&self) -> String {
+        let mut t = Table::new(vec![
+            "detector", "mode", "shards", "packets", "seconds", "pkts/s", "jaccard",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.detector.to_string(),
+                r.mode.clone(),
+                r.shards.to_string(),
+                r.packets.to_string(),
+                fmt_f(r.seconds, 3),
+                format!("{:.0}", r.pkts_per_sec),
+                fmt_f(r.jaccard_vs_reference, 4),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Render as JSON lines (one object per row), for baseline files
+    /// like `BENCH_pr1.json`.
+    pub fn json_lines(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{{\"experiment\": \"shard_sweep\", \"scale\": \"{}\", \"detector\": \"{}\", \
+                 \"mode\": \"{}\", \"shards\": {}, \"packets\": {}, \"seconds\": {:.6}, \
+                 \"pkts_per_sec\": {:.1}, \"jaccard_vs_reference\": {:.6}}}\n",
+                self.scale.label(),
+                r.detector,
+                r.mode,
+                r.shards,
+                r.packets,
+                r.seconds,
+                r.pkts_per_sec,
+                r.jaccard_vs_reference,
+            ));
+        }
+        out
+    }
+}
+
+/// Mean per-window Jaccard similarity between two disjoint-window
+/// report series (1.0 when every window's HHH set matches).
+fn mean_jaccard<P: Ord + Copy>(a: &[WindowReport<P>], b: &[WindowReport<P>]) -> f64 {
+    assert_eq!(a.len(), b.len(), "window counts differ");
+    if a.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| jaccard(&x.prefix_set(), &y.prefix_set())).sum();
+    sum / a.len() as f64
+}
+
+/// E-scale — the shard-count sweep behind this workspace's scaling
+/// claims. For each detector (`exact`, `ss-hhh`, `rhhh`) it measures,
+/// on one generated day trace:
+///
+/// * `observe` — the seed's per-packet path through [`run_disjoint`];
+/// * `batch` — the same single detector fed via `observe_batch`
+///   (K = 1 sharded pipeline, which batches but cannot parallelize);
+/// * `shard/K` for K ∈ {1, 2, 4, 8} — the full pipeline:
+///   hash-partitioned worker threads merged at window boundaries.
+///
+/// Alongside throughput it reports HHH-set fidelity versus the
+/// per-packet reference: exactly 1.0 for `exact` at any K (merge is
+/// lossless), and within merge-error tolerance for the approximate
+/// detectors.
+pub fn shard_sweep(scale: Scale) -> ShardSweepResults {
+    let horizon = scale.compare_duration();
+    let window = TimeSpan::from_secs(5);
+    let thresholds = [Threshold::percent(1.0)];
+    let h = Ipv4Hierarchy::bytes();
+    let model = scenarios::day_trace(0, horizon);
+    let packets: Vec<PacketRecord> = TraceGenerator::new(model, scenarios::day_seed(0)).collect();
+    let n = packets.len() as u64;
+    let mut rows = Vec::new();
+
+    // One closure per detector family, so each family controls its own
+    // construction (seeds per shard for RHHH) without dynamic dispatch
+    // in the hot loop.
+    run_family("exact", &packets, horizon, window, &h, &thresholds, n, &mut rows, |_shard| {
+        ExactHhh::new(h)
+    });
+    run_family("ss-hhh", &packets, horizon, window, &h, &thresholds, n, &mut rows, |_shard| {
+        SpaceSavingHhh::new(h, 512)
+    });
+    run_family("rhhh", &packets, horizon, window, &h, &thresholds, n, &mut rows, |shard| {
+        Rhhh::new(h, 512, 0x5EED_0000 + shard as u64)
+    });
+
+    ShardSweepResults { rows, scale }
+}
+
+#[allow(clippy::too_many_arguments)] // internal helper; the arguments are the sweep's fixed context
+fn run_family<D>(
+    name: &'static str,
+    packets: &[PacketRecord],
+    horizon: TimeSpan,
+    window: TimeSpan,
+    h: &Ipv4Hierarchy,
+    thresholds: &[Threshold],
+    n: u64,
+    rows: &mut Vec<ShardSweepRow>,
+    make: impl Fn(usize) -> D,
+) where
+    D: HhhDetector<Ipv4Hierarchy> + MergeableDetector + Clone + Send,
+{
+    // Reference: the seed's per-packet path.
+    let mut reference_det = make(0);
+    let start = Instant::now();
+    let reference = run_disjoint(
+        packets.iter().copied(),
+        horizon,
+        window,
+        h,
+        &mut reference_det,
+        thresholds,
+        Measure::Bytes,
+        |p| p.src,
+    );
+    let secs = start.elapsed().as_secs_f64();
+    rows.push(ShardSweepRow {
+        detector: name,
+        mode: "observe".into(),
+        shards: 1,
+        packets: n,
+        seconds: secs,
+        pkts_per_sec: n as f64 / secs,
+        jaccard_vs_reference: 1.0,
+    });
+
+    // Batched single detector, then the sharded pipeline.
+    for &k in &SHARD_COUNTS {
+        let detectors: Vec<D> = (0..k).map(&make).collect();
+        let start = Instant::now();
+        let sharded = run_sharded_disjoint(
+            packets.iter().copied(),
+            horizon,
+            window,
+            h,
+            detectors,
+            thresholds,
+            Measure::Bytes,
+            |p| p.src,
+            DEFAULT_BATCH,
+        );
+        let secs = start.elapsed().as_secs_f64();
+        let mode = if k == 1 { "batch".to_string() } else { format!("shard/{k}") };
+        rows.push(ShardSweepRow {
+            detector: name,
+            mode,
+            shards: k,
+            packets: n,
+            seconds: secs,
+            pkts_per_sec: n as f64 / secs,
+            jaccard_vs_reference: mean_jaccard(&reference[0], &sharded[0]),
+        });
     }
 }
 

@@ -62,7 +62,7 @@ impl Ipv4Hierarchy {
         }
         let drop = 32 - len as u32;
         assert!(
-            drop % self.granularity as u32 == 0,
+            drop.is_multiple_of(self.granularity as u32),
             "prefix length /{len} is not a level of the g={} hierarchy",
             self.granularity
         );

@@ -63,7 +63,7 @@ impl Hierarchy for Ipv6Hierarchy {
         }
         let drop = 128 - p.len() as u32;
         assert!(
-            drop % self.granularity as u32 == 0,
+            drop.is_multiple_of(self.granularity as u32),
             "prefix length /{} is not a level of the g={} hierarchy",
             p.len(),
             self.granularity

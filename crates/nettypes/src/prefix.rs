@@ -196,8 +196,9 @@ impl FromStr for Ipv4Prefix {
             if n == 4 {
                 return Err(PrefixParseError::new("more than four octets"));
             }
-            octets[n] =
-                part.parse().map_err(|_| PrefixParseError::new("octet is not a number in 0..=255"))?;
+            octets[n] = part
+                .parse()
+                .map_err(|_| PrefixParseError::new("octet is not a number in 0..=255"))?;
             n += 1;
         }
         if n != 4 {

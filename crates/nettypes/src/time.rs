@@ -241,11 +241,11 @@ fn fmt_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     // output: 5s, 1500ms, 250us, 17ns.
     if ns == 0 {
         write!(f, "0s")
-    } else if ns % 1_000_000_000 == 0 {
+    } else if ns.is_multiple_of(1_000_000_000) {
         write!(f, "{}s", ns / 1_000_000_000)
-    } else if ns % 1_000_000 == 0 {
+    } else if ns.is_multiple_of(1_000_000) {
         write!(f, "{}ms", ns / 1_000_000)
-    } else if ns % 1_000 == 0 {
+    } else if ns.is_multiple_of(1_000) {
         write!(f, "{}us", ns / 1_000)
     } else {
         write!(f, "{}ns", ns)

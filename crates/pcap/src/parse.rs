@@ -213,7 +213,13 @@ mod tests {
     use super::*;
 
     /// Hand-assemble an Ethernet+IPv4+UDP frame.
-    pub(crate) fn build_udp_frame(src: u32, dst: u32, sport: u16, dport: u16, payload_len: usize) -> Vec<u8> {
+    pub(crate) fn build_udp_frame(
+        src: u32,
+        dst: u32,
+        sport: u16,
+        dport: u16,
+        payload_len: usize,
+    ) -> Vec<u8> {
         let mut f = Vec::new();
         f.extend_from_slice(&[0x02, 0, 0, 0, 0, 1]); // dst mac
         f.extend_from_slice(&[0x02, 0, 0, 0, 0, 2]); // src mac

@@ -2,7 +2,6 @@
 
 use crate::error::PcapError;
 use crate::parse::record_from_frame;
-use bytes::{Bytes, BytesMut};
 use hhh_nettypes::{Nanos, PacketRecord};
 use std::io::Read;
 
@@ -27,7 +26,7 @@ pub struct RawFrame {
     /// Original length on the wire.
     pub wire_len: u32,
     /// Captured bytes (`len ≤ wire_len` under a snaplen).
-    pub data: Bytes,
+    pub data: Box<[u8]>,
 }
 
 /// A streaming reader for classic pcap files.
@@ -116,10 +115,10 @@ impl<R: Read> PcapReader<R> {
             TsResolution::Micro => Nanos::from_nanos(secs * 1_000_000_000 + frac * 1_000),
             TsResolution::Nano => Nanos::from_nanos(secs * 1_000_000_000 + frac),
         };
-        let mut data = BytesMut::zeroed(cap_len as usize);
+        let mut data = vec![0u8; cap_len as usize];
         self.inner.read_exact(&mut data)?;
         self.frames_read += 1;
-        Ok(Some(RawFrame { ts, wire_len, data: data.freeze() }))
+        Ok(Some(RawFrame { ts, wire_len, data: data.into_boxed_slice() }))
     }
 
     /// Read the next frame and condense it to a [`PacketRecord`],

@@ -186,8 +186,7 @@ mod tests {
 
     #[test]
     fn nanosecond_timestamps_survive() {
-        let recs =
-            vec![PacketRecord::new(Nanos::from_nanos(1_234_567_891), 1, 2, 100)];
+        let recs = vec![PacketRecord::new(Nanos::from_nanos(1_234_567_891), 1, 2, 100)];
         let back = roundtrip(&recs);
         assert_eq!(back[0].ts, Nanos::from_nanos(1_234_567_891));
     }
@@ -215,15 +214,7 @@ mod tests {
 
     #[test]
     fn icmp_record_has_no_ports() {
-        let recs = vec![PacketRecord::with_transport(
-            Nanos::ZERO,
-            7,
-            8,
-            84,
-            Proto::Icmp,
-            0,
-            0,
-        )];
+        let recs = vec![PacketRecord::with_transport(Nanos::ZERO, 7, 8, 84, Proto::Icmp, 0, 0)];
         let back = roundtrip(&recs);
         assert_eq!(back[0].proto, Proto::Icmp);
         assert_eq!(back[0].src_port, 0);

@@ -182,10 +182,7 @@ mod tests {
         }
         assert_eq!(cms.total(), n);
         let eps_n = (0.01 * n as f64) as u64;
-        let violations = truth
-            .iter()
-            .filter(|(k, t)| cms.estimate(k) > **t + eps_n)
-            .count();
+        let violations = truth.iter().filter(|(k, t)| cms.estimate(k) > **t + eps_n).count();
         assert!(violations <= 5, "too many CMS bound violations: {violations}");
     }
 

@@ -85,8 +85,9 @@ impl<K: Hash + Eq> CountSketch<K> {
     /// Unbiased point estimate (median over rows), clamped at zero since
     /// frequencies are non-negative.
     pub fn estimate(&self, key: &K) -> u64 {
-        let mut ests: Vec<i64> =
-            (0..self.depth()).map(|row| self.sign(row, key) * self.counters[self.bucket(row, key)]).collect();
+        let mut ests: Vec<i64> = (0..self.depth())
+            .map(|row| self.sign(row, key) * self.counters[self.bucket(row, key)])
+            .collect();
         ests.sort_unstable();
         let mid = ests.len() / 2;
         let median = if ests.len() % 2 == 1 {
@@ -117,6 +118,20 @@ impl<K: Hash + Eq> CountSketch<K> {
     pub fn clear(&mut self) {
         self.counters.fill(0);
         self.total = 0;
+    }
+
+    /// Merge another sketch with identical dimensions and seeds into
+    /// this one (counter-wise sum). Linearity of the row estimators
+    /// makes this exact: the merged sketch is bit-identical to one fed
+    /// the concatenated stream. Panics on mismatched configuration.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.bucket_seeds, other.bucket_seeds, "seed mismatch");
+        assert_eq!(self.sign_seeds, other.sign_seeds, "seed mismatch");
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += *b;
+        }
+        self.total += other.total;
     }
 }
 

@@ -108,6 +108,17 @@ impl DecayedCounter {
         (self.value, self.last)
     }
 
+    /// Fold another counter (same decay rate, disjoint arrivals) into
+    /// this one: both values are decayed to the *later* of the two
+    /// timestamps and summed. Exact — `C(t)` is a sum over arrivals, so
+    /// partitioning the arrivals and merging commutes with decay.
+    #[inline]
+    pub fn merge(&mut self, rate: DecayRate, other: &Self) {
+        let now = self.last.max(other.last);
+        self.value = self.peek(rate, now) + other.peek(rate, now);
+        self.last = now;
+    }
+
     /// Reset to zero.
     pub fn clear(&mut self) {
         self.value = 0.0;
@@ -158,10 +169,7 @@ mod tests {
         }
         let v = c.peek(r, t);
         let expect = r.steady_state(100.0);
-        assert!(
-            (v - expect).abs() / expect < 0.02,
-            "steady state {v} should be near {expect}"
-        );
+        assert!((v - expect).abs() / expect < 0.02, "steady state {v} should be near {expect}");
     }
 
     #[test]

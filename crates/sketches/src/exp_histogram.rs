@@ -79,7 +79,13 @@ impl ExpHistogram {
         // merge the two oldest buckets of any size class that overflows.
         let mut size = 1u64;
         loop {
-            let count = self.buckets.iter().rev().take_while(|b| b.size <= size).filter(|b| b.size == size).count();
+            let count = self
+                .buckets
+                .iter()
+                .rev()
+                .take_while(|b| b.size <= size)
+                .filter(|b| b.size == size)
+                .count();
             if count <= self.per_size {
                 break;
             }

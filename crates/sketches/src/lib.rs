@@ -29,10 +29,20 @@
 //! * **Time is explicit.** Decaying structures take `now: Nanos` as an
 //!   argument instead of reading a clock; trace time drives everything.
 //!
+//! * **Summaries are mergeable.** Every frequency summary here
+//!   supports `merge(&mut self, &other)` over identically-configured
+//!   instances fed *disjoint* sub-streams, following the
+//!   mergeable-summaries framework (Agarwal et al., PODS 2012):
+//!   Count-Min and Count Sketch merge by counter-wise addition
+//!   (exact, by linearity), [`SpaceSaving`] and [`MisraGries`] by the
+//!   union-then-prune recipe that keeps their deterministic bounds
+//!   additive, and the TDBFs cell-wise after decaying both sides to a
+//!   common instant. This is the substrate of `hhh-window`'s sharded
+//!   pipeline: partition a stream by key, sketch each shard on its own
+//!   core, merge at report points.
+//!
 //! ## Omitted (deliberately)
 //!
-//! * Sketch merging for Space-Saving (non-trivial; not needed by any
-//!   experiment here).
 //! * The weighted exponential histogram (the unit-count DGIM variant is
 //!   provided; byte-weighted sliding sums in this workspace use the
 //!   epoch machinery of `hhh-window`, which is exact).

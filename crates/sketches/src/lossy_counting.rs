@@ -168,11 +168,7 @@ mod tests {
         for i in 0..200_000u64 {
             lc.update(i, 1);
         }
-        assert!(
-            lc.len() < 30_000,
-            "{} entries for 200k singletons — pruning inert?",
-            lc.len()
-        );
+        assert!(lc.len() < 30_000, "{} entries for 200k singletons — pruning inert?", lc.len());
     }
 
     #[test]

@@ -111,6 +111,39 @@ impl<K: Hash + Eq + Copy> MisraGries<K> {
         self.total = 0;
         self.decremented = 0;
     }
+
+    /// Merge another summary over a *disjoint* sub-stream into this
+    /// one (Agarwal et al., PODS 2012). Panics if `k` differs.
+    ///
+    /// Counter-wise addition can leave up to `2k` keys; the recipe
+    /// restores the size bound by subtracting the `(k+1)`-th largest
+    /// merged counter from every counter and dropping non-positive
+    /// ones. The combined undercount stays within
+    /// `(N_a + N_b) / (k + 1)`, so [`Self::max_undercount`] remains a
+    /// valid bound for the merged stream.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.k, other.k, "MisraGries k mismatch");
+        self.total += other.total;
+        self.decremented += other.decremented;
+        for (k, c) in &other.counters {
+            *self.counters.entry(*k).or_default() += c;
+        }
+        if self.counters.len() > self.k {
+            let mut vals: Vec<u64> = self.counters.values().copied().collect();
+            vals.sort_unstable_by_key(|v| core::cmp::Reverse(*v));
+            // The (k+1)-th largest value: subtracting it zeroes that
+            // counter and every smaller one, leaving ≤ k survivors.
+            let cut = vals[self.k];
+            let mut removed = 0u64;
+            self.counters.retain(|_, c| {
+                let dropped = (*c).min(cut);
+                removed += dropped;
+                *c -= dropped;
+                *c > 0
+            });
+            self.decremented += removed;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,8 +217,65 @@ mod tests {
         assert_eq!(hh, vec![(2, 300), (3, 200)]);
     }
 
+    #[test]
+    fn merge_under_capacity_is_exact() {
+        let mut a = MisraGries::<u64>::new(8);
+        let mut b = MisraGries::<u64>::new(8);
+        a.update(1, 10);
+        a.update(2, 4);
+        b.update(1, 6);
+        b.update(3, 2);
+        a.merge(&b);
+        assert_eq!(a.total(), 22);
+        assert_eq!(a.estimate(&1), 16);
+        assert_eq!(a.estimate(&2), 4);
+        assert_eq!(a.estimate(&3), 2);
+        assert!(a.len() <= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "k mismatch")]
+    fn merge_rejects_k_mismatch() {
+        let mut a = MisraGries::<u64>::new(4);
+        let b = MisraGries::<u64>::new(5);
+        a.merge(&b);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Split-summarize-merge preserves the MG contract over the
+        /// whole stream: no overestimates, undercount within
+        /// `N/(k+1)`, size bound respected.
+        #[test]
+        fn merge_preserves_contract(
+            ops in prop::collection::vec((0u64..40, 1u64..10), 2..1500),
+            k in 1usize..20,
+            split_num in 0u64..1000,
+        ) {
+            let split = (split_num as usize * ops.len() / 1000).min(ops.len());
+            let mut a = MisraGries::<u64>::new(k);
+            let mut b = MisraGries::<u64>::new(k);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for (i, &(key, w)) in ops.iter().enumerate() {
+                if i < split { a.update(key, w) } else { b.update(key, w) }
+                *truth.entry(key).or_default() += w;
+            }
+            a.merge(&b);
+            let n: u64 = truth.values().sum();
+            prop_assert_eq!(a.total(), n);
+            prop_assert!(a.len() <= k, "merged summary has {} > k = {} keys", a.len(), k);
+            let bound = n / (k as u64 + 1);
+            for (key, t) in &truth {
+                let e = a.estimate(key);
+                prop_assert!(e <= *t, "overestimate after merge for {}", key);
+                prop_assert!(e + bound >= *t, "undercount beyond bound for {}", key);
+                if *t > bound {
+                    prop_assert!(e > 0, "key {} with freq {} > {} lost in merge", key, t, bound);
+                }
+            }
+        }
+
         #[test]
         fn mg_contract(ops in prop::collection::vec((0u64..40, 1u64..10), 1..1500), k in 1usize..20) {
             let mut mg = MisraGries::<u64>::new(k);

@@ -79,7 +79,8 @@ impl<K: Hash + Eq + Copy> SpaceSaving<K> {
 
     /// Approximate heap footprint in bytes, for resource accounting.
     pub fn state_bytes(&self) -> usize {
-        self.capacity * (core::mem::size_of::<SsEntry<K>>() + core::mem::size_of::<(K, usize)>() * 2)
+        self.capacity
+            * (core::mem::size_of::<SsEntry<K>>() + core::mem::size_of::<(K, usize)>() * 2)
     }
 
     /// Observe `weight` for `key`.
@@ -128,8 +129,7 @@ impl<K: Hash + Eq + Copy> SpaceSaving<K> {
     /// Entries whose estimate meets `threshold` (may include false
     /// positives, never misses a true heavy hitter).
     pub fn heavy_hitters(&self, threshold: u64) -> Vec<SsEntry<K>> {
-        let mut out: Vec<_> =
-            self.heap.iter().filter(|e| e.count >= threshold).copied().collect();
+        let mut out: Vec<_> = self.heap.iter().filter(|e| e.count >= threshold).copied().collect();
         out.sort_by_key(|e| core::cmp::Reverse(e.count));
         out
     }
@@ -148,6 +148,68 @@ impl<K: Hash + Eq + Copy> SpaceSaving<K> {
         self.heap.clear();
         self.slots.clear();
         self.total = 0;
+    }
+
+    /// Merge another summary over a *disjoint* sub-stream into this
+    /// one, following the mergeable-summaries recipe (Agarwal et al.,
+    /// PODS 2012). Panics if capacities differ.
+    ///
+    /// For each key in the union, the merged count is the sum of the
+    /// two summaries' estimates, where a summary that does not monitor
+    /// the key contributes its `min_count` (an upper bound on what the
+    /// key could have had there) to both count and error. The union is
+    /// then pruned back to `capacity` by keeping the largest counts.
+    ///
+    /// Preserved invariants, now over the *combined* stream:
+    /// * `count ≥ truth` and `count − error ≤ truth` for monitored keys;
+    /// * any unmonitored key's truth is at most the merged `min_count`
+    ///   (pruned keys had counts no larger than every kept count, and
+    ///   keys monitored in neither summary are bounded by
+    ///   `min_a + min_b`);
+    /// * consequently every key with combined frequency above
+    ///   `N / capacity` is still monitored.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.capacity, other.capacity, "SpaceSaving capacity mismatch");
+        let min_a = self.min_count();
+        let min_b = other.min_count();
+        // Deterministic iteration: walk the heap vectors, not the
+        // HashMaps (whose order is randomized per process).
+        let mut merged: Vec<SsEntry<K>> = Vec::with_capacity(self.heap.len() + other.heap.len());
+        for e in &self.heap {
+            let m = match other.estimate(&e.key) {
+                Some(o) => {
+                    SsEntry { key: e.key, count: e.count + o.count, error: e.error + o.error }
+                }
+                None => SsEntry { key: e.key, count: e.count + min_b, error: e.error + min_b },
+            };
+            merged.push(m);
+        }
+        for o in &other.heap {
+            if self.slots.contains_key(&o.key) {
+                continue; // already folded in above
+            }
+            merged.push(SsEntry { key: o.key, count: o.count + min_a, error: o.error + min_a });
+        }
+        // Keep the `capacity` largest counts (stable: ties resolve by
+        // the deterministic construction order above).
+        merged.sort_by_key(|e| core::cmp::Reverse(e.count));
+        merged.truncate(self.capacity);
+        self.total += other.total;
+        self.rebuild(merged);
+    }
+
+    /// Replace the heap contents wholesale and restore the heap and
+    /// slot-map invariants.
+    fn rebuild(&mut self, entries: Vec<SsEntry<K>>) {
+        self.heap = entries;
+        self.slots.clear();
+        for (i, e) in self.heap.iter().enumerate() {
+            self.slots.insert(e.key, i);
+        }
+        // Bottom-up heapify (sift_down keeps the slot map in sync).
+        for i in (0..self.heap.len() / 2).rev() {
+            self.sift_down(i);
+        }
     }
 
     fn sift_up(&mut self, mut slot: usize) {
@@ -245,7 +307,13 @@ mod tests {
         for e in ss.entries() {
             let t = truth[&e.key];
             assert!(e.count >= t, "count {} < truth {} for {}", e.count, t, e.key);
-            assert!(e.guaranteed() <= t, "guarantee {} > truth {} for {}", e.guaranteed(), t, e.key);
+            assert!(
+                e.guaranteed() <= t,
+                "guarantee {} > truth {} for {}",
+                e.guaranteed(),
+                t,
+                e.key
+            );
         }
         // Every key above N/capacity is monitored.
         for (k, t) in &truth {
@@ -298,8 +366,70 @@ mod tests {
         ss.check_invariants();
     }
 
+    #[test]
+    fn merge_under_capacity_is_exact() {
+        let mut a = SpaceSaving::<u64>::new(16);
+        let mut b = SpaceSaving::<u64>::new(16);
+        for (k, w) in [(1u64, 5u64), (2, 3), (3, 9)] {
+            a.update(k, w);
+        }
+        for (k, w) in [(2u64, 7u64), (4, 2)] {
+            b.update(k, w);
+        }
+        a.merge(&b);
+        a.check_invariants();
+        assert_eq!(a.total(), 26);
+        assert_eq!(a.estimate(&1).unwrap().count, 5);
+        assert_eq!(a.estimate(&2).unwrap().count, 10);
+        assert_eq!(a.estimate(&2).unwrap().error, 0);
+        assert_eq!(a.estimate(&4).unwrap().count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn merge_rejects_capacity_mismatch() {
+        let mut a = SpaceSaving::<u64>::new(4);
+        let b = SpaceSaving::<u64>::new(8);
+        a.merge(&b);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Split a random stream at an arbitrary point, summarize the
+        /// halves separately, merge — the Space-Saving contract must
+        /// hold for the merged summary over the whole stream.
+        #[test]
+        fn merge_preserves_contract(
+            ops in prop::collection::vec((0u64..60, 1u64..20), 2..2000),
+            cap in 1usize..32,
+            split_num in 0u64..1000,
+        ) {
+            let split = (split_num as usize * ops.len() / 1000).min(ops.len());
+            let mut a = SpaceSaving::<u64>::new(cap);
+            let mut b = SpaceSaving::<u64>::new(cap);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for (i, &(k, w)) in ops.iter().enumerate() {
+                if i < split { a.update(k, w) } else { b.update(k, w) }
+                *truth.entry(k).or_default() += w;
+            }
+            a.merge(&b);
+            a.check_invariants();
+            let n: u64 = truth.values().sum();
+            prop_assert_eq!(a.total(), n);
+            for e in a.entries() {
+                let t = truth[&e.key];
+                prop_assert!(e.count >= t, "count {} < truth {} for {}", e.count, t, e.key);
+                prop_assert!(e.guaranteed() <= t, "guarantee {} > truth {}", e.guaranteed(), t);
+            }
+            // No key above N/capacity may be lost by the merge.
+            for (k, t) in &truth {
+                if *t > n / cap as u64 {
+                    prop_assert!(a.estimate(k).is_some(), "heavy key {} lost in merge", k);
+                }
+            }
+        }
+
         #[test]
         fn invariants_hold_on_random_streams(
             ops in prop::collection::vec((0u64..50, 1u64..20), 1..2000),

@@ -121,6 +121,24 @@ impl<K: Hash + Eq> OnDemandTdbf<K> {
     pub fn clear(&mut self) {
         self.cells.iter_mut().for_each(|c| c.clear());
     }
+
+    /// Merge another filter over a *disjoint* sub-stream into this one.
+    /// Panics unless geometry, seeds and decay rate match.
+    ///
+    /// Cell-wise: each pair of cells is decayed to the later of the two
+    /// last-touch timestamps and summed ([`DecayedCounter::merge`]).
+    /// Decay is linear over arrivals, so per-cell sums — and therefore
+    /// the min-over-banks estimates built from them — behave exactly as
+    /// if the two packet streams had been interleaved into one filter:
+    /// estimates never under-report a key's decayed count.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.m, other.m, "TDBF geometry mismatch");
+        assert_eq!(self.seeds, other.seeds, "TDBF seed mismatch");
+        assert_eq!(self.rate, other.rate, "TDBF decay-rate mismatch");
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.merge(self.rate, b);
+        }
+    }
 }
 
 /// Periodic-sweep time-decaying Bloom filter (the pre-"on-demand"
@@ -221,6 +239,23 @@ impl<K: Hash + Eq> SweepingTdbf<K> {
         self.last_sweep = Nanos::ZERO;
         self.sweeps = 0;
     }
+
+    /// Merge another filter over a *disjoint* sub-stream (cell-wise
+    /// sum). The merged sweep clock is the *later* of the two, so the
+    /// earlier-swept side's cells are temporarily under-discounted —
+    /// stale *upward*, like everything between sweeps in this variant,
+    /// preserving the no-underestimate property.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.m, other.m, "TDBF geometry mismatch");
+        assert_eq!(self.seeds, other.seeds, "TDBF seed mismatch");
+        assert_eq!(self.rate, other.rate, "TDBF decay-rate mismatch");
+        assert_eq!(self.sweep_every, other.sweep_every, "sweep period mismatch");
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            *a += *b;
+        }
+        self.last_sweep = self.last_sweep.max(other.last_sweep);
+        self.sweeps += other.sweeps;
+    }
 }
 
 #[cfg(test)]
@@ -257,10 +292,7 @@ mod tests {
         for (k, c) in &exact {
             let est = f.estimate(k, t);
             let truth = c.peek(rate, t);
-            assert!(
-                est >= truth - 1e-6,
-                "TDBF underestimated key {k}: est {est} < truth {truth}"
-            );
+            assert!(est >= truth - 1e-6, "TDBF underestimated key {k}: est {est} < truth {truth}");
         }
     }
 

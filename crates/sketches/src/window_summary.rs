@@ -161,7 +161,17 @@ mod tests {
         let mut exact = ExactWindow::new(window);
         // Phase 1: key 1 dominates. Phase 2: key 2 takes over.
         for i in 0..3000u64 {
-            let k = if i < 1500 { if i % 2 == 0 { 1 } else { i } } else if i % 2 == 0 { 2 } else { i };
+            let k = if i < 1500 {
+                if i % 2 == 0 {
+                    1
+                } else {
+                    i
+                }
+            } else if i % 2 == 0 {
+                2
+            } else {
+                i
+            };
             s.insert(k);
             exact.insert(k);
         }
@@ -169,10 +179,7 @@ mod tests {
         for k in [1u64, 2] {
             let est = s.estimate(&k);
             let t = exact.count(k);
-            assert!(
-                est.abs_diff(t) <= bound,
-                "key {k}: est {est} truth {t} bound {bound}"
-            );
+            assert!(est.abs_diff(t) <= bound, "key {k}: est {est} truth {t} bound {bound}");
         }
         // Key 1 has left the window almost entirely.
         assert!(s.estimate(&1) <= bound);

@@ -124,8 +124,13 @@ impl TraceGenerator {
             .collect();
 
         let size_mix = DiscreteMix::new(&model.sizes.entries);
-        let dport_mix =
-            DiscreteMix::new(&[(443u16, 0.45), (80u16, 0.25), (53u16, 0.10), (123u16, 0.05), (8080u16, 0.15)]);
+        let dport_mix = DiscreteMix::new(&[
+            (443u16, 0.45),
+            (80u16, 0.25),
+            (53u16, 0.10),
+            (123u16, 0.05),
+            (8080u16, 0.15),
+        ]);
 
         let horizon = Nanos::ZERO + model.duration;
         let mut gen = TraceGenerator {
@@ -428,12 +433,11 @@ mod tests {
         assert!(qualifying >= 2, "test needs some busy sources");
         let bursty_evidence = counts
             .iter()
-            .filter(|(src, &c)| c > 500 && max_gap.get(src).is_some_and(|g| *g > TimeSpan::from_secs(4)))
+            .filter(|(src, &c)| {
+                c > 500 && max_gap.get(src).is_some_and(|g| *g > TimeSpan::from_secs(4))
+            })
             .count();
-        assert!(
-            bursty_evidence >= 1,
-            "no busy source showed an OFF gap; burst machinery inert?"
-        );
+        assert!(bursty_evidence >= 1, "no busy source showed an OFF gap; burst machinery inert?");
     }
 
     #[test]
@@ -454,8 +458,7 @@ mod tests {
         let shifted: Vec<_> =
             shift_stream(attack.iter().copied(), TimeSpan::from_secs(5)).collect();
         assert!(shifted.iter().all(|p| p.ts >= Nanos::from_secs(5)));
-        let merged: Vec<_> =
-            merge_streams(base.iter().copied(), shifted.iter().copied()).collect();
+        let merged: Vec<_> = merge_streams(base.iter().copied(), shifted.iter().copied()).collect();
         assert_eq!(merged.len(), 200);
         assert!(merged.windows(2).all(|w| w[0].ts <= w[1].ts), "merge not sorted");
     }

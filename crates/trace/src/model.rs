@@ -47,9 +47,7 @@ pub struct PacketSizeMix {
 
 impl Default for PacketSizeMix {
     fn default() -> Self {
-        PacketSizeMix {
-            entries: vec![(64, 0.45), (576, 0.15), (1500, 0.40)],
-        }
+        PacketSizeMix { entries: vec![(64, 0.45), (576, 0.15), (1500, 0.40)] }
     }
 }
 

@@ -163,9 +163,7 @@ impl<T: Copy> DiscreteMix<T> {
         assert!(!entries.is_empty(), "mixture needs at least one entry");
         let total: f64 = entries.iter().map(|(_, w)| *w).sum();
         assert!(total > 0.0, "mixture weights must sum to something positive");
-        DiscreteMix {
-            entries: entries.iter().map(|(v, w)| (*v, *w / total)).collect(),
-        }
+        DiscreteMix { entries: entries.iter().map(|(v, w)| (*v, *w / total)).collect() }
     }
 
     /// Draw a value.

@@ -81,12 +81,7 @@ pub fn stable(duration: TimeSpan) -> TrafficModel {
 /// at 40–70% of the trace).
 pub fn ddos(duration: TimeSpan, seed: u64) -> impl Iterator<Item = PacketRecord> {
     let background = TraceGenerator::new(
-        TrafficModel {
-            duration,
-            sources: 2_000,
-            total_pps: 20_000.0,
-            ..TrafficModel::default()
-        },
+        TrafficModel { duration, sources: 2_000, total_pps: 20_000.0, ..TrafficModel::default() },
         seed,
     );
     let pulse_len = duration * 3 / 10;
@@ -116,12 +111,7 @@ pub fn ddos(duration: TimeSpan, seed: u64) -> impl Iterator<Item = PacketRecord>
 /// population — the traffic-engineering motivation.
 pub fn flash_crowd(duration: TimeSpan, seed: u64) -> impl Iterator<Item = PacketRecord> {
     let baseline = TraceGenerator::new(
-        TrafficModel {
-            duration,
-            sources: 2_000,
-            total_pps: 18_000.0,
-            ..TrafficModel::default()
-        },
+        TrafficModel { duration, sources: 2_000, total_pps: 18_000.0, ..TrafficModel::default() },
         seed,
     );
     let crowd = TrafficModel {

@@ -155,9 +155,13 @@ mod tests {
 
     #[test]
     fn single_packet_stream() {
-        let s =
-            TraceStats::from_stream(std::iter::once(PacketRecord::new(Nanos::from_secs(5), 1, 2, 64)))
-                .unwrap();
+        let s = TraceStats::from_stream(std::iter::once(PacketRecord::new(
+            Nanos::from_secs(5),
+            1,
+            2,
+            64,
+        )))
+        .unwrap();
         assert_eq!(s.duration(), TimeSpan::ZERO);
         assert_eq!(s.mean_pps(), 1.0);
         assert_eq!(s.mean_packet_size(), 64.0);

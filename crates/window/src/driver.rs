@@ -110,11 +110,11 @@ where
     let mut cur_map: HashMap<H::Item, u64> = HashMap::new();
 
     let finalize_epoch = |cur_epoch: u64,
-                              cur_map: &mut HashMap<H::Item, u64>,
-                              rolling: &mut HashMap<H::Item, u64>,
-                              rolling_total: &mut u64,
-                              window_epochs: &mut VecDeque<HashMap<H::Item, u64>>,
-                              out: &mut Vec<Vec<WindowReport<H::Prefix>>>| {
+                          cur_map: &mut HashMap<H::Item, u64>,
+                          rolling: &mut HashMap<H::Item, u64>,
+                          rolling_total: &mut u64,
+                          window_epochs: &mut VecDeque<HashMap<H::Item, u64>>,
+                          out: &mut Vec<Vec<WindowReport<H::Prefix>>>| {
         let finished = core::mem::take(cur_map);
         for (&k, &v) in &finished {
             *rolling.entry(k).or_default() += v;
@@ -257,11 +257,11 @@ where
         };
 
     let flush = |cur: u64,
-                     counts: &mut HashMap<H::Item, u64>,
-                     total: &mut u64,
-                     tail: &mut Vec<(TimeSpan, H::Item, u64)>,
-                     baseline: &mut Vec<WindowReport<H::Prefix>>,
-                     variants: &mut Vec<(TimeSpan, Vec<WindowReport<H::Prefix>>)>| {
+                 counts: &mut HashMap<H::Item, u64>,
+                 total: &mut u64,
+                 tail: &mut Vec<(TimeSpan, H::Item, u64)>,
+                 baseline: &mut Vec<WindowReport<H::Prefix>>,
+                 variants: &mut Vec<(TimeSpan, Vec<WindowReport<H::Prefix>>)>| {
         let start = Nanos::ZERO + base * cur;
         let end = start + base;
         baseline.push(report_from(counts, *total, cur, start, end));
@@ -411,12 +411,7 @@ mod tests {
     }
 
     /// Brute force: exact HHH of packets in [start, end).
-    fn brute(
-        pkts: &[PacketRecord],
-        start: Nanos,
-        end: Nanos,
-        t: Threshold,
-    ) -> (u64, Vec<String>) {
+    fn brute(pkts: &[PacketRecord], start: Nanos, end: Nanos, t: Threshold) -> (u64, Vec<String>) {
         let mut d = ExactHhh::new(h());
         for p in pkts.iter().filter(|p| p.ts >= start && p.ts < end) {
             hhh_core::HhhDetector::<Ipv4Hierarchy>::observe(&mut d, p.src, p.wire_len as u64);
@@ -596,10 +591,7 @@ mod tests {
         let probes: Vec<Nanos> = (1..10).map(Nanos::from_secs).collect();
         let mut det = TdbfHhh::new(
             h(),
-            TdbfHhhConfig {
-                half_life: TimeSpan::from_secs(2),
-                ..TdbfHhhConfig::default()
-            },
+            TdbfHhhConfig { half_life: TimeSpan::from_secs(2), ..TdbfHhhConfig::default() },
         );
         let reports = run_continuous(
             pkts.iter().copied(),

@@ -16,6 +16,11 @@
 //!   (Fig. 3's setup);
 //!   [`run_continuous`](driver::run_continuous) probes a windowless
 //!   detector at arbitrary instants.
+//! * [`sharded`] — batched multi-core ingestion: hash-partition the
+//!   stream by key across shard detectors on worker threads, feed them
+//!   batch-at-a-time, and merge shard states at report points
+//!   ([`run_sharded_disjoint`](sharded::run_sharded_disjoint) mirrors
+//!   the disjoint driver; `with_shards` exposes the pool directly).
 //!
 //! ## Exactness of the sliding driver
 //!
@@ -32,5 +37,7 @@
 pub mod driver;
 pub mod geometry;
 mod report;
+pub mod sharded;
 
 pub use report::{PrefixSet, WindowReport};
+pub use sharded::{run_sharded_disjoint, with_shards, ShardPool};

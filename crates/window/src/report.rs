@@ -4,7 +4,7 @@ use hhh_core::HhhReport;
 use std::collections::BTreeSet;
 
 /// The HHH sets a detector reported for one window position.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WindowReport<P> {
     /// Window index in its schedule.
     pub index: u64,

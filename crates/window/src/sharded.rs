@@ -1,0 +1,434 @@
+//! Sharded multi-core ingestion: hash-partition a packet stream by key
+//! into `K` shard detectors on their own threads, feed them
+//! batch-at-a-time, and merge shard states at report points.
+//!
+//! This is the execution model RHHH and MVPipe argue line-rate HHH
+//! detection needs: per-packet work stays on one core's cache-warm
+//! detector, cross-core traffic is one `Vec` hand-off per batch, and
+//! correctness rests on [`MergeableDetector`]:
+//!
+//! * partitioning is **by key**, so each shard sees a disjoint
+//!   sub-stream — exactly the precondition the merge contracts demand;
+//! * an exact detector merged across shards is bit-identical to one
+//!   detector fed the whole stream, so [`run_sharded_disjoint`] with
+//!   [`ExactHhh`](hhh_core::ExactHhh) reproduces
+//!   [`run_disjoint`](crate::driver::run_disjoint) verbatim;
+//! * approximate detectors keep their error bounds, additively.
+//!
+//! The worker protocol is deliberately dumb (one `mpsc` channel per
+//! shard, FIFO): a [`Msg::Batch`] is followed eventually by a
+//! [`Msg::Snapshot`], and FIFO ordering makes the snapshot observe
+//! every batch sent before it — no barriers, no shared state, no
+//! unsafe.
+
+use crate::report::WindowReport;
+use hhh_core::{HhhDetector, MergeableDetector, Threshold};
+use hhh_hierarchy::Hierarchy;
+use hhh_nettypes::{Measure, Nanos, PacketRecord, TimeSpan};
+use hhh_sketches::hash::hash_of;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Default packets per batch: big enough to amortize the channel
+/// hand-off and the batched detectors' per-batch setup, small enough to
+/// stay resident in L2 (8192 × 12 B ≈ 96 KiB).
+pub const DEFAULT_BATCH: usize = 8192;
+
+/// Seed for the shard-partitioning hash. Fixed and *distinct from any
+/// sketch seed*, so shard assignment is uncorrelated with in-detector
+/// bucketing.
+const SHARD_SEED: u64 = 0x5AAD_ED01;
+
+/// The shard a key belongs to among `shards` shards.
+#[inline]
+pub fn shard_of<T: core::hash::Hash>(item: &T, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    // Widening multiply maps the hash uniformly onto [0, shards).
+    ((hash_of(item, SHARD_SEED) as u128 * shards as u128) >> 64) as usize
+}
+
+enum Msg<I, D> {
+    /// Observe a batch of `(item, weight)` pairs.
+    Batch(Vec<(I, u64)>),
+    /// Clone the current detector state back through the channel.
+    Snapshot(Sender<D>),
+    /// Forget everything (window boundary).
+    Reset,
+}
+
+/// Handle to a running shard pool: scatter batches in, pull merged
+/// snapshots out. Created by [`with_shards`].
+pub struct ShardPool<H: Hierarchy, D> {
+    senders: Vec<Sender<Msg<H::Item, D>>>,
+    /// Per-shard scatter buffers, reused across batches.
+    scatter: Vec<Vec<(H::Item, u64)>>,
+}
+
+impl<H, D> ShardPool<H, D>
+where
+    H: Hierarchy,
+    D: HhhDetector<H> + MergeableDetector + Clone + Send,
+{
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Scatter one batch to the shard workers by key hash and return
+    /// once it is *enqueued* (workers process asynchronously).
+    pub fn observe_batch(&mut self, batch: &[(H::Item, u64)]) {
+        let k = self.senders.len();
+        if k == 1 {
+            // Single shard: skip the scatter pass.
+            self.senders[0].send(Msg::Batch(batch.to_vec())).expect("shard worker hung up");
+            return;
+        }
+        for &(item, weight) in batch {
+            self.scatter[shard_of(&item, k)].push((item, weight));
+        }
+        for (sub, tx) in self.scatter.iter_mut().zip(&self.senders) {
+            if !sub.is_empty() {
+                // Hand the filled buffer to the worker and leave a
+                // same-capacity replacement behind, so the next
+                // scatter pass fills it without growth reallocations.
+                let send = std::mem::replace(sub, Vec::with_capacity(sub.capacity()));
+                tx.send(Msg::Batch(send)).expect("shard worker hung up");
+            }
+        }
+    }
+
+    /// Wait for every shard to drain its queue, then fold all shard
+    /// states into one detector (shard 0's state merged with the
+    /// rest). The pooled detectors keep running — this is a read point,
+    /// not a stop.
+    pub fn merged_snapshot(&self) -> D {
+        let receivers: Vec<Receiver<D>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = channel();
+                tx.send(Msg::Snapshot(reply_tx)).expect("shard worker hung up");
+                reply_rx
+            })
+            .collect();
+        let mut merged: Option<D> = None;
+        for rx in receivers {
+            let shard_state = rx.recv().expect("shard worker died before snapshot");
+            match &mut merged {
+                None => merged = Some(shard_state),
+                Some(m) => m.merge(&shard_state),
+            }
+        }
+        merged.expect("at least one shard")
+    }
+
+    /// Reset every shard detector (window boundary). FIFO ordering
+    /// makes this safe to call right after a batch: the reset lands
+    /// after it.
+    pub fn reset(&self) {
+        for tx in &self.senders {
+            tx.send(Msg::Reset).expect("shard worker hung up");
+        }
+    }
+}
+
+/// Run `body` against a pool of shard detectors, one worker thread per
+/// detector. Workers shut down (and the threads join) when `body`
+/// returns.
+///
+/// ```
+/// use hhh_core::ExactHhh;
+/// use hhh_hierarchy::Ipv4Hierarchy;
+/// use hhh_window::sharded::with_shards;
+///
+/// let detectors: Vec<_> =
+///     (0..4).map(|_| ExactHhh::new(Ipv4Hierarchy::bytes())).collect();
+/// let merged = with_shards(detectors, |pool| {
+///     pool.observe_batch(&[(0x0A010101, 900), (0x14000001, 100)]);
+///     pool.merged_snapshot()
+/// });
+/// use hhh_core::HhhDetector;
+/// assert_eq!(HhhDetector::<Ipv4Hierarchy>::total(&merged), 1000);
+/// ```
+pub fn with_shards<H, D, R, F>(detectors: Vec<D>, body: F) -> R
+where
+    H: Hierarchy,
+    H::Item: Send,
+    D: HhhDetector<H> + MergeableDetector + Clone + Send,
+    F: FnOnce(&mut ShardPool<H, D>) -> R,
+{
+    assert!(!detectors.is_empty(), "need at least one shard detector");
+    let k = detectors.len();
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(k);
+        for mut detector in detectors {
+            let (tx, rx) = channel::<Msg<H::Item, D>>();
+            senders.push(tx);
+            scope.spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Batch(batch) => detector.observe_batch(&batch),
+                        Msg::Snapshot(reply) => {
+                            // A dropped reply receiver just means the
+                            // caller stopped caring; keep serving.
+                            let _ = reply.send(detector.clone());
+                        }
+                        Msg::Reset => detector.reset(),
+                    }
+                }
+            });
+        }
+        let mut pool = ShardPool { senders, scatter: vec![Vec::new(); k] };
+        let result = body(&mut pool);
+        drop(pool); // closes the channels; workers drain and exit
+        result
+    })
+}
+
+/// Sharded counterpart of [`run_disjoint`](crate::driver::run_disjoint):
+/// same window geometry, same report/reset schedule, but ingestion is
+/// hash-partitioned across `detectors.len()` shard threads and fed in
+/// `batch`-sized chunks; at every boundary the shard states are merged
+/// and the merged detector reports.
+///
+/// With exact detectors the output is identical to `run_disjoint` on
+/// the same stream (merge is lossless); with approximate ones it is
+/// identical up to the merge's additive error growth.
+#[allow(clippy::too_many_arguments)] // mirrors run_disjoint's natural parameter list
+pub fn run_sharded_disjoint<H, D, F>(
+    packets: impl Iterator<Item = PacketRecord>,
+    horizon: TimeSpan,
+    window: TimeSpan,
+    hierarchy: &H,
+    detectors: Vec<D>,
+    thresholds: &[Threshold],
+    measure: Measure,
+    key: F,
+    batch: usize,
+) -> Vec<Vec<WindowReport<H::Prefix>>>
+where
+    H: Hierarchy,
+    H::Item: Send,
+    D: HhhDetector<H> + MergeableDetector + Clone + Send,
+    F: Fn(&PacketRecord) -> H::Item,
+{
+    let _ = hierarchy;
+    assert!(batch > 0, "batch size must be non-zero");
+    let n_windows = horizon / window;
+    let mut out: Vec<Vec<WindowReport<H::Prefix>>> =
+        thresholds.iter().map(|_| Vec::with_capacity(n_windows as usize)).collect();
+
+    with_shards(detectors, |pool| {
+        let mut pending: Vec<(H::Item, u64)> = Vec::with_capacity(batch);
+        let mut cur: u64 = 0;
+
+        let flush_window =
+            |cur: u64,
+             pending: &mut Vec<(H::Item, u64)>,
+             pool: &mut ShardPool<H, D>,
+             out: &mut Vec<Vec<WindowReport<H::Prefix>>>| {
+                if !pending.is_empty() {
+                    pool.observe_batch(pending);
+                    pending.clear();
+                }
+                let merged = pool.merged_snapshot();
+                for (ti, t) in thresholds.iter().enumerate() {
+                    out[ti].push(WindowReport {
+                        index: cur,
+                        start: Nanos::ZERO + window * cur,
+                        end: Nanos::ZERO + window * (cur + 1),
+                        total: merged.total(),
+                        hhhs: merged.report(*t),
+                    });
+                }
+                pool.reset();
+            };
+
+        for p in packets {
+            let w = p.ts.bin_index(window);
+            if w >= n_windows {
+                break; // time-sorted stream; the rest is partial tail
+            }
+            while cur < w {
+                flush_window(cur, &mut pending, pool, &mut out);
+                cur += 1;
+            }
+            pending.push((key(&p), measure.weight(&p)));
+            if pending.len() >= batch {
+                pool.observe_batch(&pending);
+                pending.clear();
+            }
+        }
+        while cur < n_windows {
+            flush_window(cur, &mut pending, pool, &mut out);
+            cur += 1;
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_disjoint;
+    use hhh_core::ExactHhh;
+    use hhh_hierarchy::Ipv4Hierarchy;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn h() -> Ipv4Hierarchy {
+        Ipv4Hierarchy::bytes()
+    }
+
+    fn stream(secs: u64, pps: u64, seed: u64) -> Vec<PacketRecord> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = secs * pps;
+        (0..n)
+            .map(|i| {
+                let ts = Nanos::from_nanos(i * 1_000_000_000 / pps + rng.gen_range(0..1000));
+                let src: u32 = if rng.gen::<f64>() < 0.25 {
+                    0x0A010101
+                } else {
+                    (rng.gen_range(10u32..60) << 24) | rng.gen_range(0..2048)
+                };
+                PacketRecord::new(ts, src, 1, 100 + rng.gen_range(0..900))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_partition_is_total_and_stable() {
+        for k in [1usize, 2, 4, 8] {
+            for item in 0..1000u32 {
+                let s = shard_of(&item, k);
+                assert!(s < k);
+                assert_eq!(s, shard_of(&item, k), "assignment must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_partition_is_roughly_balanced() {
+        let k = 4;
+        let mut counts = [0usize; 4];
+        for item in 0..100_000u32 {
+            counts[shard_of(&item, k)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let rel = (c as f64 - 25_000.0).abs() / 25_000.0;
+            assert!(rel < 0.05, "shard {i} holds {c} of 100k keys");
+        }
+    }
+
+    #[test]
+    fn pool_snapshot_equals_unsharded_for_exact() {
+        let batches: Vec<Vec<(u32, u64)>> = (0..10)
+            .map(|b| (0..500).map(|i| ((b * 7 + i) % 313, 1 + (i % 9) as u64)).collect())
+            .collect();
+        let mut single = ExactHhh::new(h());
+        for batch in &batches {
+            HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut single, batch);
+        }
+        let detectors: Vec<_> = (0..4).map(|_| ExactHhh::new(h())).collect();
+        let merged = with_shards(detectors, |pool| {
+            for batch in &batches {
+                pool.observe_batch(batch);
+            }
+            pool.merged_snapshot()
+        });
+        assert_eq!(
+            HhhDetector::<Ipv4Hierarchy>::total(&single),
+            HhhDetector::<Ipv4Hierarchy>::total(&merged),
+        );
+        let t = Threshold::percent(1.0);
+        assert_eq!(single.report(t), merged.report(t));
+    }
+
+    #[test]
+    fn sharded_disjoint_matches_run_disjoint_exactly() {
+        let pkts = stream(12, 500, 42);
+        let horizon = TimeSpan::from_secs(12);
+        let window = TimeSpan::from_secs(4);
+        let ts = [Threshold::percent(1.0), Threshold::percent(5.0)];
+        let mut single = ExactHhh::new(h());
+        let reference = run_disjoint(
+            pkts.iter().copied(),
+            horizon,
+            window,
+            &h(),
+            &mut single,
+            &ts,
+            Measure::Bytes,
+            |p| p.src,
+        );
+        for k in [1usize, 2, 4] {
+            let detectors: Vec<_> = (0..k).map(|_| ExactHhh::new(h())).collect();
+            let sharded = run_sharded_disjoint(
+                pkts.iter().copied(),
+                horizon,
+                window,
+                &h(),
+                detectors,
+                &ts,
+                Measure::Bytes,
+                |p| p.src,
+                // Deliberately small batch so several batches per
+                // window (and window-boundary flushes) are exercised.
+                257,
+            );
+            assert_eq!(reference.len(), sharded.len());
+            for (ti, (r_windows, s_windows)) in reference.iter().zip(&sharded).enumerate() {
+                assert_eq!(r_windows.len(), s_windows.len(), "threshold {ti}, k={k}");
+                for (r, s) in r_windows.iter().zip(s_windows) {
+                    assert_eq!(r.index, s.index);
+                    assert_eq!(r.total, s.total, "window {} k={k}", r.index);
+                    assert_eq!(r.hhhs, s.hhhs, "window {} k={k}", r.index);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_between_windows_isolates_them() {
+        // One packet per window; each window's report must only see
+        // its own packet.
+        let pkts: Vec<PacketRecord> = (0..4u64)
+            .map(|i| {
+                PacketRecord::new(Nanos::from_millis(i * 1000 + 500), 0x0A000000 + i as u32, 1, 100)
+            })
+            .collect();
+        let detectors: Vec<_> = (0..2).map(|_| ExactHhh::new(h())).collect();
+        let reports = run_sharded_disjoint(
+            pkts.iter().copied(),
+            TimeSpan::from_secs(4),
+            TimeSpan::from_secs(1),
+            &h(),
+            detectors,
+            &[Threshold::percent(50.0)],
+            Measure::Bytes,
+            |p| p.src,
+            DEFAULT_BATCH,
+        );
+        assert_eq!(reports[0].len(), 4);
+        for r in &reports[0] {
+            assert_eq!(r.total, 100, "window {} leaked traffic", r.index);
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_windows() {
+        let detectors: Vec<_> = (0..3).map(|_| ExactHhh::new(h())).collect();
+        let reports = run_sharded_disjoint(
+            std::iter::empty(),
+            TimeSpan::from_secs(6),
+            TimeSpan::from_secs(2),
+            &h(),
+            detectors,
+            &[Threshold::percent(5.0)],
+            Measure::Bytes,
+            |p: &PacketRecord| p.src,
+            DEFAULT_BATCH,
+        );
+        assert_eq!(reports[0].len(), 3);
+        assert!(reports[0].iter().all(|r| r.total == 0 && r.is_empty()));
+    }
+}

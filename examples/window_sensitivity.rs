@@ -8,11 +8,7 @@ use hidden_hhh::prelude::*;
 fn main() {
     let horizon = TimeSpan::from_secs(120);
     let base = TimeSpan::from_secs(10);
-    let deltas = [
-        TimeSpan::from_millis(10),
-        TimeSpan::from_millis(40),
-        TimeSpan::from_millis(100),
-    ];
+    let deltas = [TimeSpan::from_millis(10), TimeSpan::from_millis(40), TimeSpan::from_millis(100)];
     let model = scenarios::day_trace(0, horizon);
     let packets = TraceGenerator::new(model, 7);
     // Bit-granularity hierarchy: the most sensitive configuration (see
@@ -36,7 +32,8 @@ fn main() {
          the reported HHH sets?\n",
         run.baseline.len()
     );
-    let mut table = Table::new(vec!["window#", "baseline |HHH|", "Δ=10ms J", "Δ=40ms J", "Δ=100ms J"]);
+    let mut table =
+        Table::new(vec!["window#", "baseline |HHH|", "Δ=10ms J", "Δ=40ms J", "Δ=100ms J"]);
     for (i, b) in run.baseline.iter().enumerate() {
         let mut row = vec![i.to_string(), b.len().to_string()];
         for (_, reports) in &run.variants {

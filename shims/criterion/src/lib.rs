@@ -1,0 +1,265 @@
+//! Minimal, dependency-free stand-in for the parts of `criterion` this
+//! workspace uses: [`criterion_group!`]/[`criterion_main!`], benchmark
+//! groups with [`Throughput`] and sample sizes, [`BenchmarkId`], and
+//! `b.iter(..)`.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs up to
+//! `sample_size` timed samples (capped by a per-benchmark wall-clock
+//! budget, since offline CI machines are small). The median sample is
+//! reported. Set `BENCH_JSON=<path>` to additionally append one JSON
+//! line per benchmark — the experiment harness uses this to persist
+//! baselines like `BENCH_pr1.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark (samples stop early past this).
+const BUDGET: Duration = Duration::from_secs(3);
+
+/// How work is normalized when reporting throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (e.g. packets).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter display.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The per-iteration timing harness passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; one invocation = one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed run.
+        black_box(routine());
+        let start_all = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if start_all.elapsed() > BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+struct Record {
+    group: String,
+    id: String,
+    median_ns: u128,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Record {
+    fn per_second(&self) -> Option<(f64, &'static str)> {
+        let t = self.throughput?;
+        let per_iter = match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        let secs = self.median_ns as f64 / 1e9;
+        (secs > 0.0).then(|| (per_iter.0 / secs, per_iter.1))
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned(), throughput: None, sample_size: 10 }
+    }
+
+    fn record(&mut self, r: Record) {
+        let line = match r.per_second() {
+            Some((rate, unit)) => format!(
+                "{}/{}: median {:.3} ms ({} samples, {:.3e} {unit})",
+                r.group,
+                r.id,
+                r.median_ns as f64 / 1e6,
+                r.samples,
+                rate
+            ),
+            None => format!(
+                "{}/{}: median {:.3} ms ({} samples)",
+                r.group,
+                r.id,
+                r.median_ns as f64 / 1e6,
+                r.samples
+            ),
+        };
+        println!("{line}");
+        self.records.push(r);
+    }
+
+    /// Write accumulated results as JSON lines if `BENCH_JSON` is set.
+    pub fn final_summary(&self) {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        let Ok(mut f) = OpenOptions::new().create(true).append(true).open(&path) else {
+            eprintln!("criterion shim: cannot open {path}");
+            return;
+        };
+        for r in &self.records {
+            let thr = match r.per_second() {
+                Some((rate, unit)) => format!(", \"rate\": {rate:.1}, \"unit\": \"{unit}\""),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                f,
+                "{{\"group\": \"{}\", \"bench\": \"{}\", \"median_ns\": {}, \"samples\": {}{}}}",
+                r.group, r.id, r.median_ns, r.samples, thr
+            );
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        self.finish_one(id, b);
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b, input);
+        self.finish_one(id, b);
+    }
+
+    /// Finish the group (kept for API compatibility; prints nothing).
+    pub fn finish(self) {}
+
+    fn finish_one(&mut self, id: BenchmarkId, mut b: Bencher) {
+        b.samples.sort();
+        let median_ns =
+            if b.samples.is_empty() { 0 } else { b.samples[b.samples.len() / 2].as_nanos() };
+        self.criterion.record(Record {
+            group: self.name.clone(),
+            id: id.id,
+            median_ns,
+            samples: b.samples.len(),
+            throughput: self.throughput,
+        });
+    }
+}
+
+/// Group benchmark functions under one callable, as in `criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1000));
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &x| {
+            b.iter(|| (0..1000u64).map(|v| v * x).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn records_and_reports() {
+        let mut c = Criterion::default();
+        benches(&mut c);
+        assert_eq!(c.records.len(), 2);
+        assert!(c.records[0].per_second().is_some());
+        assert!(c.records.iter().all(|r| r.samples >= 1));
+    }
+}

@@ -1,0 +1,297 @@
+//! Minimal, dependency-free stand-in for the parts of `rand` 0.8 this
+//! workspace uses: [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], and [`rngs::SmallRng`].
+//!
+//! The generator is xoshiro256++ seeded via splitmix64 — deterministic
+//! across platforms and runs, which the experiment harness requires of
+//! every random stream anyway. Uniform integer sampling uses the
+//! widening-multiply reduction (bias ≤ 2⁻⁶⁴·span, irrelevant here).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The object-safe core: a source of raw random words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`] (so `&mut R` is itself an `Rng`, as in real `rand`).
+pub trait Rng: RngCore {
+    /// Sample a value from the "standard" distribution of its type
+    /// (uniform over the type's domain; `[0, 1)` for floats).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range (half-open or inclusive).
+    /// Panics if empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// A biased coin: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (splitmix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their whole domain.
+pub trait StandardSample {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Range shapes [`Rng::gen_range`] accepts (mirrors `rand`'s
+/// `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSample> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, &self)
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_inclusive(rng, &self)
+    }
+}
+
+/// Types samplable uniformly from a range.
+pub trait UniformSample: Sized {
+    /// Draw one value from a half-open `range`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &core::ops::Range<Self>) -> Self;
+
+    /// Draw one value from an inclusive `range`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(
+        rng: &mut R,
+        range: &core::ops::RangeInclusive<Self>,
+    ) -> Self;
+}
+
+#[inline]
+fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    // Lemire-style widening multiply: maps a 64-bit draw into [0, span).
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                range: &core::ops::Range<$t>,
+            ) -> $t {
+                assert!(range.start < range.end, "empty range in gen_range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start.wrapping_add(below(rng, span) as $t)
+            }
+
+            #[inline]
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                range: &core::ops::RangeInclusive<$t>,
+            ) -> $t {
+                assert!(range.start() <= range.end(), "empty range in gen_range");
+                let span = range.end().wrapping_sub(*range.start()) as u64;
+                // span + 1 == 0 only for the full domain of a 64-bit
+                // type, where the raw draw is already uniform.
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                range.start().wrapping_add(below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &core::ops::Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range in gen_range");
+        let u = f64::sample(rng);
+        range.start + u * (range.end - range.start)
+    }
+
+    #[inline]
+    fn sample_range_inclusive<R: RngCore + ?Sized>(
+        rng: &mut R,
+        range: &core::ops::RangeInclusive<f64>,
+    ) -> f64 {
+        assert!(range.start() <= range.end(), "empty range in gen_range");
+        let u = f64::sample(rng);
+        range.start() + u * (range.end() - range.start())
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast generator: xoshiro256++ (Blackman & Vigna).
+    ///
+    /// Matches the role (not the bit stream) of `rand`'s `SmallRng`:
+    /// fast, decent statistical quality, explicitly not cryptographic.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut state);
+            }
+            // All-zero state is the one forbidden point of xoshiro.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let va: Vec<u64> = (0..16).map(|_| a.gen::<u64>()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(va, vb);
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(va[0], c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_within_bounds_and_covers() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(5u32..15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all values hit: {seen:?}");
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut r = SmallRng::seed_from_u64(3);
+        let _ = draw(&mut r);
+        let _ = r.gen_bool(0.5);
+    }
+}

@@ -24,7 +24,8 @@
 //! * [`core`] — HHH detectors: exact, Space-Saving full-ancestry,
 //!   RHHH, the windowless **TDBF-HHH**, plus HashPipe and
 //!   UnivMon-lite baselines;
-//! * [`window`] — disjoint / sliding / micro-varied window engines;
+//! * [`window`] — disjoint / sliding / micro-varied window engines,
+//!   plus the sharded multi-core pipeline (batch-fed, merge-at-report);
 //! * [`dataplane`] — a match-action pipeline model with resource
 //!   accounting;
 //! * [`analysis`] — Jaccard, hidden-HHH, ECDF, precision/recall,
@@ -71,8 +72,8 @@ pub use hhh_window as window;
 pub mod prelude {
     pub use hhh_analysis::{jaccard, Ecdf, SetAccuracy, Table};
     pub use hhh_core::{
-        ContinuousDetector, ExactHhh, HashPipe, HhhDetector, HhhReport, Rhhh, SpaceSavingHhh,
-        TdbfHhh, TdbfHhhConfig, Threshold, UnivMonLite,
+        ContinuousDetector, ExactHhh, HashPipe, HhhDetector, HhhReport, MergeableDetector, Rhhh,
+        SpaceSavingHhh, TdbfHhh, TdbfHhhConfig, Threshold, UnivMonLite,
     };
     pub use hhh_hierarchy::{Hierarchy, Ipv4Hierarchy, Ipv6Hierarchy, TwoDimHierarchy};
     pub use hhh_nettypes::{Ipv4Prefix, Measure, Nanos, PacketRecord, Proto, TimeSpan};
@@ -81,6 +82,7 @@ pub mod prelude {
     pub use hhh_window::driver::{
         run_continuous, run_disjoint, run_microvaried, run_sliding_exact,
     };
+    pub use hhh_window::sharded::{run_sharded_disjoint, with_shards};
     pub use hhh_window::WindowReport;
 }
 

@@ -67,8 +67,7 @@ fn tdbf_converges_to_windowed_answers_on_steady_traffic() {
     // steady-state report should largely agree with a trailing exact
     // window of comparable time scale.
     let horizon = TimeSpan::from_secs(40);
-    let pkts: Vec<PacketRecord> =
-        TraceGenerator::new(scenarios::stable(horizon), 9).collect();
+    let pkts: Vec<PacketRecord> = TraceGenerator::new(scenarios::stable(horizon), 9).collect();
     let window = TimeSpan::from_secs(10);
     let t = Threshold::percent(5.0);
     let h = Ipv4Hierarchy::bytes();
@@ -80,18 +79,13 @@ fn tdbf_converges_to_windowed_answers_on_steady_traffic() {
     }
     let truth: HashSet<_> = oracle.report(t).into_iter().map(|r| r.prefix).collect();
 
-    let mut tdbf = TdbfHhh::new(
-        h,
-        TdbfHhhConfig { half_life: window / 2, ..TdbfHhhConfig::default() },
-    );
+    let mut tdbf =
+        TdbfHhh::new(h, TdbfHhhConfig { half_life: window / 2, ..TdbfHhhConfig::default() });
     for p in &pkts {
         tdbf.observe(p.ts, p.src, p.wire_len as u64);
     }
-    let found: HashSet<_> = tdbf
-        .report_at(Nanos::ZERO + horizon, t)
-        .into_iter()
-        .map(|r| r.prefix)
-        .collect();
+    let found: HashSet<_> =
+        tdbf.report_at(Nanos::ZERO + horizon, t).into_iter().map(|r| r.prefix).collect();
 
     let inter = truth.intersection(&found).count();
     let recall = inter as f64 / truth.len().max(1) as f64;
@@ -116,10 +110,8 @@ fn hashpipe_and_univmon_agree_on_the_top_talker() {
     let top = exact.heavy_hitters(Threshold::percent(3.0));
     assert!(!top.is_empty(), "trace has no 3% talker?");
     let top_key = top[0].0;
-    let hp_top: HashSet<u32> =
-        hp.heavy_hitters(total / 100).into_iter().map(|e| e.0).collect();
-    let um_top: HashSet<u32> =
-        um.heavy_hitters(total / 100).into_iter().map(|e| e.0).collect();
+    let hp_top: HashSet<u32> = hp.heavy_hitters(total / 100).into_iter().map(|e| e.0).collect();
+    let um_top: HashSet<u32> = um.heavy_hitters(total / 100).into_iter().map(|e| e.0).collect();
     assert!(hp_top.contains(&top_key), "hashpipe lost the top talker");
     assert!(um_top.contains(&top_key), "univmon lost the top talker");
 }

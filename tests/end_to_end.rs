@@ -68,17 +68,9 @@ fn hidden_hhhs_exist_and_are_burst_driven() {
     let h = Ipv4Hierarchy::bytes();
 
     let run = |packets: Box<dyn Iterator<Item = PacketRecord>>| {
-        let sliding = run_sliding_exact(
-            packets,
-            horizon,
-            window,
-            step,
-            &h,
-            &[t],
-            Measure::Bytes,
-            |p| p.src,
-        )
-        .remove(0);
+        let sliding =
+            run_sliding_exact(packets, horizon, window, step, &h, &[t], Measure::Bytes, |p| p.src)
+                .remove(0);
         let epw = window / step;
         let disjoint: Vec<_> = sliding.iter().filter(|r| r.index % epw == 0).cloned().collect();
         hidden_hhh(&sliding, &disjoint)
@@ -151,19 +143,13 @@ fn windowless_detector_sees_what_disjoint_windows_hide() {
     );
 
     // Windowless: sees it right after the burst.
-    let mut tdbf = TdbfHhh::new(
-        h,
-        TdbfHhhConfig { half_life: window / 2, ..TdbfHhhConfig::default() },
-    );
+    let mut tdbf =
+        TdbfHhh::new(h, TdbfHhhConfig { half_life: window / 2, ..TdbfHhhConfig::default() });
     let probes = [Nanos::from_millis(11_200)];
-    let reports = run_continuous(
-        pkts.iter().copied(),
-        &probes,
-        &mut tdbf,
-        threshold,
-        Measure::Bytes,
-        |p| p.src,
-    );
+    let reports =
+        run_continuous(pkts.iter().copied(), &probes, &mut tdbf, threshold, Measure::Bytes, |p| {
+            p.src
+        });
     assert!(
         reports[0].prefix_set().contains(&burst_prefix),
         "windowless detector missed the boundary-straddling burst: {:?}",

@@ -12,8 +12,14 @@ fn packets_strategy(n: usize, secs: u64) -> impl Strategy<Value = Vec<PacketReco
         (
             0u64..secs * 1_000,
             prop::sample::select(vec![
-                0x0A010101u32, 0x0A010102, 0x0A010203, 0x0A020101, 0x14000001, 0x14000002,
-                0x1E010101, 0x28FF0001,
+                0x0A010101u32,
+                0x0A010102,
+                0x0A010203,
+                0x0A020101,
+                0x14000001,
+                0x14000002,
+                0x1E010101,
+                0x28FF0001,
             ]),
             64u32..1500,
         ),
