@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-0b457e57dd21a695.d: crates/experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-0b457e57dd21a695: crates/experiments/src/bin/ablations.rs
+
+crates/experiments/src/bin/ablations.rs:

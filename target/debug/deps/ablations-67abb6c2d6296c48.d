@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-67abb6c2d6296c48.d: crates/experiments/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-67abb6c2d6296c48.rmeta: crates/experiments/src/bin/ablations.rs Cargo.toml
+
+crates/experiments/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-9546e8ac97400d61.d: crates/experiments/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-9546e8ac97400d61.rmeta: crates/experiments/src/bin/ablations.rs Cargo.toml
+
+crates/experiments/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-aa8f892504c76eec.d: crates/experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-aa8f892504c76eec.rmeta: crates/experiments/src/bin/ablations.rs
+
+crates/experiments/src/bin/ablations.rs:

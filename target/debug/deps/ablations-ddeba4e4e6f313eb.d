@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ddeba4e4e6f313eb.d: crates/experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-ddeba4e4e6f313eb.rmeta: crates/experiments/src/bin/ablations.rs
+
+crates/experiments/src/bin/ablations.rs:

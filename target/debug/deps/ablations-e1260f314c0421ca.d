@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-e1260f314c0421ca.d: crates/experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-e1260f314c0421ca: crates/experiments/src/bin/ablations.rs
+
+crates/experiments/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-8ae3ac1c5b2750c5.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8ae3ac1c5b2750c5.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-913eee281609841b.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-913eee281609841b.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-f1c73b77ddb61bf1.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f1c73b77ddb61bf1.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f1c73b77ddb61bf1.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataplane-a43a761c131ea116.d: crates/bench/benches/dataplane.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataplane-a43a761c131ea116.rmeta: crates/bench/benches/dataplane.rs Cargo.toml
+
+crates/bench/benches/dataplane.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

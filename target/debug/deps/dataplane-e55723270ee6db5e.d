@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataplane-e55723270ee6db5e.d: crates/bench/benches/dataplane.rs
+
+/root/repo/target/debug/deps/libdataplane-e55723270ee6db5e.rmeta: crates/bench/benches/dataplane.rs
+
+crates/bench/benches/dataplane.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataplane_equivalence-a33e2824c0802037.d: tests/dataplane_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataplane_equivalence-a33e2824c0802037.rmeta: tests/dataplane_equivalence.rs Cargo.toml
+
+tests/dataplane_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

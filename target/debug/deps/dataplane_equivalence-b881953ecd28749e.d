@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataplane_equivalence-b881953ecd28749e.d: tests/dataplane_equivalence.rs
+
+/root/repo/target/debug/deps/dataplane_equivalence-b881953ecd28749e: tests/dataplane_equivalence.rs
+
+tests/dataplane_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataplane_equivalence-ec441ddd52cc76e2.d: tests/dataplane_equivalence.rs
+
+/root/repo/target/debug/deps/libdataplane_equivalence-ec441ddd52cc76e2.rmeta: tests/dataplane_equivalence.rs
+
+tests/dataplane_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detector_agreement-6117f351c93b83c7.d: tests/detector_agreement.rs
+
+/root/repo/target/debug/deps/detector_agreement-6117f351c93b83c7: tests/detector_agreement.rs
+
+tests/detector_agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detector_agreement-7b70a5120b2f4f70.d: tests/detector_agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetector_agreement-7b70a5120b2f4f70.rmeta: tests/detector_agreement.rs Cargo.toml
+
+tests/detector_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

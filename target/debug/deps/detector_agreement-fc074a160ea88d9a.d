@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detector_agreement-fc074a160ea88d9a.d: tests/detector_agreement.rs
+
+/root/repo/target/debug/deps/libdetector_agreement-fc074a160ea88d9a.rmeta: tests/detector_agreement.rs
+
+tests/detector_agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detectors-93583e4b97953e84.d: crates/bench/benches/detectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetectors-93583e4b97953e84.rmeta: crates/bench/benches/detectors.rs Cargo.toml
+
+crates/bench/benches/detectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detectors-ea5e63cb1ca6118b.d: crates/bench/benches/detectors.rs
+
+/root/repo/target/debug/deps/libdetectors-ea5e63cb1ca6118b.rmeta: crates/bench/benches/detectors.rs
+
+crates/bench/benches/detectors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-53d33b61795be037.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-53d33b61795be037: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a079449d8fb8e676.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-a079449d8fb8e676.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-09a8b70c1258fed9.d: crates/experiments/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-09a8b70c1258fed9.rmeta: crates/experiments/src/bin/fig2.rs
+
+crates/experiments/src/bin/fig2.rs:

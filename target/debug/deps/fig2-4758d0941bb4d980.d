@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-4758d0941bb4d980.d: crates/experiments/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-4758d0941bb4d980.rmeta: crates/experiments/src/bin/fig2.rs
+
+crates/experiments/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-631d5e19d283ecf9.d: crates/bench/benches/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-631d5e19d283ecf9.rmeta: crates/bench/benches/fig2.rs
+
+crates/bench/benches/fig2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2-7214f04cd6d96ac7.d: crates/bench/benches/fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2-7214f04cd6d96ac7.rmeta: crates/bench/benches/fig2.rs Cargo.toml
+
+crates/bench/benches/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-81840f183d469ccb.d: crates/experiments/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-81840f183d469ccb: crates/experiments/src/bin/fig2.rs
+
+crates/experiments/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-a0d5b0beebcdb3c3.d: crates/experiments/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-a0d5b0beebcdb3c3: crates/experiments/src/bin/fig2.rs
+
+crates/experiments/src/bin/fig2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2-e62c8cc37a3ed166.d: crates/experiments/src/bin/fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2-e62c8cc37a3ed166.rmeta: crates/experiments/src/bin/fig2.rs Cargo.toml
+
+crates/experiments/src/bin/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

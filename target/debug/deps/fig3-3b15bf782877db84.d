@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-3b15bf782877db84.d: crates/experiments/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-3b15bf782877db84: crates/experiments/src/bin/fig3.rs
+
+crates/experiments/src/bin/fig3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-3f0b42f3cfb29ac8.d: crates/bench/benches/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-3f0b42f3cfb29ac8.rmeta: crates/bench/benches/fig3.rs Cargo.toml
+
+crates/bench/benches/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-4f72d52dd9faf800.d: crates/bench/benches/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-4f72d52dd9faf800.rmeta: crates/bench/benches/fig3.rs
+
+crates/bench/benches/fig3.rs:

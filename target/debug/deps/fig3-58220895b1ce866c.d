@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-58220895b1ce866c.d: crates/experiments/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-58220895b1ce866c: crates/experiments/src/bin/fig3.rs
+
+crates/experiments/src/bin/fig3.rs:

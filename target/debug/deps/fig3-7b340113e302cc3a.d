@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-7b340113e302cc3a.d: crates/experiments/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-7b340113e302cc3a.rmeta: crates/experiments/src/bin/fig3.rs
+
+crates/experiments/src/bin/fig3.rs:

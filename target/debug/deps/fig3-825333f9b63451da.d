@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-825333f9b63451da.d: crates/experiments/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-825333f9b63451da.rmeta: crates/experiments/src/bin/fig3.rs
+
+crates/experiments/src/bin/fig3.rs:

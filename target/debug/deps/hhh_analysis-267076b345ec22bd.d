@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hhh_analysis-267076b345ec22bd.d: crates/analysis/src/lib.rs crates/analysis/src/accuracy.rs crates/analysis/src/csv.rs crates/analysis/src/ecdf.rs crates/analysis/src/hidden.rs crates/analysis/src/jaccard.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/debug/deps/hhh_analysis-267076b345ec22bd: crates/analysis/src/lib.rs crates/analysis/src/accuracy.rs crates/analysis/src/csv.rs crates/analysis/src/ecdf.rs crates/analysis/src/hidden.rs crates/analysis/src/jaccard.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/accuracy.rs:
+crates/analysis/src/csv.rs:
+crates/analysis/src/ecdf.rs:
+crates/analysis/src/hidden.rs:
+crates/analysis/src/jaccard.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hhh_analysis-cdeec5dd932b9f4f.d: crates/analysis/src/lib.rs crates/analysis/src/accuracy.rs crates/analysis/src/csv.rs crates/analysis/src/ecdf.rs crates/analysis/src/hidden.rs crates/analysis/src/jaccard.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/debug/deps/libhhh_analysis-cdeec5dd932b9f4f.rlib: crates/analysis/src/lib.rs crates/analysis/src/accuracy.rs crates/analysis/src/csv.rs crates/analysis/src/ecdf.rs crates/analysis/src/hidden.rs crates/analysis/src/jaccard.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/debug/deps/libhhh_analysis-cdeec5dd932b9f4f.rmeta: crates/analysis/src/lib.rs crates/analysis/src/accuracy.rs crates/analysis/src/csv.rs crates/analysis/src/ecdf.rs crates/analysis/src/hidden.rs crates/analysis/src/jaccard.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/accuracy.rs:
+crates/analysis/src/csv.rs:
+crates/analysis/src/ecdf.rs:
+crates/analysis/src/hidden.rs:
+crates/analysis/src/jaccard.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hhh_analysis-da5cf2a6187aa54b.d: crates/analysis/src/lib.rs crates/analysis/src/accuracy.rs crates/analysis/src/csv.rs crates/analysis/src/ecdf.rs crates/analysis/src/hidden.rs crates/analysis/src/jaccard.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhhh_analysis-da5cf2a6187aa54b.rmeta: crates/analysis/src/lib.rs crates/analysis/src/accuracy.rs crates/analysis/src/csv.rs crates/analysis/src/ecdf.rs crates/analysis/src/hidden.rs crates/analysis/src/jaccard.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/accuracy.rs:
+crates/analysis/src/csv.rs:
+crates/analysis/src/ecdf.rs:
+crates/analysis/src/hidden.rs:
+crates/analysis/src/jaccard.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hhh_bench-a88233b7cb1f3043.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhhh_bench-a88233b7cb1f3043.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

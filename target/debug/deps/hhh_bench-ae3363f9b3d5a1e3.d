@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hhh_bench-ae3363f9b3d5a1e3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhhh_bench-ae3363f9b3d5a1e3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hhh_bench-c543eb0c6d590201.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhhh_bench-c543eb0c6d590201.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhhh_bench-c543eb0c6d590201.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

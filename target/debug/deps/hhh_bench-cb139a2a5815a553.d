@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hhh_bench-cb139a2a5815a553.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hhh_bench-cb139a2a5815a553: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hhh_bench-d4a102f4ff97d29b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhhh_bench-d4a102f4ff97d29b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

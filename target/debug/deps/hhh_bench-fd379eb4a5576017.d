@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hhh_bench-fd379eb4a5576017.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhhh_bench-fd379eb4a5576017.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hhh_core-48576966e08f255c.d: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/exact.rs crates/core/src/hashpipe.rs crates/core/src/report.rs crates/core/src/rhhh.rs crates/core/src/ss_hhh.rs crates/core/src/tdbf_hhh.rs crates/core/src/twodim.rs crates/core/src/univmon.rs
+
+/root/repo/target/debug/deps/libhhh_core-48576966e08f255c.rlib: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/exact.rs crates/core/src/hashpipe.rs crates/core/src/report.rs crates/core/src/rhhh.rs crates/core/src/ss_hhh.rs crates/core/src/tdbf_hhh.rs crates/core/src/twodim.rs crates/core/src/univmon.rs
+
+/root/repo/target/debug/deps/libhhh_core-48576966e08f255c.rmeta: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/exact.rs crates/core/src/hashpipe.rs crates/core/src/report.rs crates/core/src/rhhh.rs crates/core/src/ss_hhh.rs crates/core/src/tdbf_hhh.rs crates/core/src/twodim.rs crates/core/src/univmon.rs
+
+crates/core/src/lib.rs:
+crates/core/src/detector.rs:
+crates/core/src/exact.rs:
+crates/core/src/hashpipe.rs:
+crates/core/src/report.rs:
+crates/core/src/rhhh.rs:
+crates/core/src/ss_hhh.rs:
+crates/core/src/tdbf_hhh.rs:
+crates/core/src/twodim.rs:
+crates/core/src/univmon.rs:

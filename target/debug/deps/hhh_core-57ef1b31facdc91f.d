@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hhh_core-57ef1b31facdc91f.d: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/exact.rs crates/core/src/hashpipe.rs crates/core/src/report.rs crates/core/src/rhhh.rs crates/core/src/ss_hhh.rs crates/core/src/tdbf_hhh.rs crates/core/src/twodim.rs crates/core/src/univmon.rs
+
+/root/repo/target/debug/deps/libhhh_core-57ef1b31facdc91f.rmeta: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/exact.rs crates/core/src/hashpipe.rs crates/core/src/report.rs crates/core/src/rhhh.rs crates/core/src/ss_hhh.rs crates/core/src/tdbf_hhh.rs crates/core/src/twodim.rs crates/core/src/univmon.rs
+
+crates/core/src/lib.rs:
+crates/core/src/detector.rs:
+crates/core/src/exact.rs:
+crates/core/src/hashpipe.rs:
+crates/core/src/report.rs:
+crates/core/src/rhhh.rs:
+crates/core/src/ss_hhh.rs:
+crates/core/src/tdbf_hhh.rs:
+crates/core/src/twodim.rs:
+crates/core/src/univmon.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hhh_core-b774110179993259.d: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/exact.rs crates/core/src/hashpipe.rs crates/core/src/report.rs crates/core/src/rhhh.rs crates/core/src/ss_hhh.rs crates/core/src/tdbf_hhh.rs crates/core/src/twodim.rs crates/core/src/univmon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhhh_core-b774110179993259.rmeta: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/exact.rs crates/core/src/hashpipe.rs crates/core/src/report.rs crates/core/src/rhhh.rs crates/core/src/ss_hhh.rs crates/core/src/tdbf_hhh.rs crates/core/src/twodim.rs crates/core/src/univmon.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/detector.rs:
+crates/core/src/exact.rs:
+crates/core/src/hashpipe.rs:
+crates/core/src/report.rs:
+crates/core/src/rhhh.rs:
+crates/core/src/ss_hhh.rs:
+crates/core/src/tdbf_hhh.rs:
+crates/core/src/twodim.rs:
+crates/core/src/univmon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hhh_dataplane-0a3d3e541e86088f.d: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs
+
+/root/repo/target/debug/deps/hhh_dataplane-0a3d3e541e86088f: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/model.rs:
+crates/dataplane/src/programs.rs:
+crates/dataplane/src/resources.rs:

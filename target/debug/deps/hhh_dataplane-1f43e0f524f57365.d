@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hhh_dataplane-1f43e0f524f57365.d: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs
+
+/root/repo/target/debug/deps/libhhh_dataplane-1f43e0f524f57365.rlib: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs
+
+/root/repo/target/debug/deps/libhhh_dataplane-1f43e0f524f57365.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/model.rs:
+crates/dataplane/src/programs.rs:
+crates/dataplane/src/resources.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hhh_dataplane-70bc0463af615ca8.d: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs
+
+/root/repo/target/debug/deps/hhh_dataplane-70bc0463af615ca8: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/model.rs:
+crates/dataplane/src/programs.rs:
+crates/dataplane/src/resources.rs:

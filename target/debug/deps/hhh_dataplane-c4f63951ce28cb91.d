@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hhh_dataplane-c4f63951ce28cb91.d: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhhh_dataplane-c4f63951ce28cb91.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs Cargo.toml
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/model.rs:
+crates/dataplane/src/programs.rs:
+crates/dataplane/src/resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hhh_dataplane-e42ecdb1acc81361.d: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs
+
+/root/repo/target/debug/deps/libhhh_dataplane-e42ecdb1acc81361.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/model.rs:
+crates/dataplane/src/programs.rs:
+crates/dataplane/src/resources.rs:

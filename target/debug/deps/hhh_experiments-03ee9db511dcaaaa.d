@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hhh_experiments-03ee9db511dcaaaa.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/compare.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/scale.rs crates/experiments/src/workloads.rs
+
+/root/repo/target/debug/deps/libhhh_experiments-03ee9db511dcaaaa.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/compare.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/scale.rs crates/experiments/src/workloads.rs
+
+/root/repo/target/debug/deps/libhhh_experiments-03ee9db511dcaaaa.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/compare.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/scale.rs crates/experiments/src/workloads.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/compare.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/scale.rs:
+crates/experiments/src/workloads.rs:

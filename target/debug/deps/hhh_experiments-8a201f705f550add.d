@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hhh_experiments-8a201f705f550add.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/compare.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/scale.rs crates/experiments/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhhh_experiments-8a201f705f550add.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/compare.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/scale.rs crates/experiments/src/workloads.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/compare.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/scale.rs:
+crates/experiments/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

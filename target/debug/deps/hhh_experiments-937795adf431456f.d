@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hhh_experiments-937795adf431456f.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/compare.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/scale.rs crates/experiments/src/workloads.rs
+
+/root/repo/target/debug/deps/hhh_experiments-937795adf431456f: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/compare.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/scale.rs crates/experiments/src/workloads.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/compare.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/scale.rs:
+crates/experiments/src/workloads.rs:

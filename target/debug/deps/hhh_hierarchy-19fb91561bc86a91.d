@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hhh_hierarchy-19fb91561bc86a91.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/chain.rs crates/hierarchy/src/ipv4.rs crates/hierarchy/src/ipv6.rs crates/hierarchy/src/twodim.rs
+
+/root/repo/target/debug/deps/libhhh_hierarchy-19fb91561bc86a91.rmeta: crates/hierarchy/src/lib.rs crates/hierarchy/src/chain.rs crates/hierarchy/src/ipv4.rs crates/hierarchy/src/ipv6.rs crates/hierarchy/src/twodim.rs
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/chain.rs:
+crates/hierarchy/src/ipv4.rs:
+crates/hierarchy/src/ipv6.rs:
+crates/hierarchy/src/twodim.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hhh_hierarchy-642821a5c911e7ac.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/chain.rs crates/hierarchy/src/ipv4.rs crates/hierarchy/src/ipv6.rs crates/hierarchy/src/twodim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhhh_hierarchy-642821a5c911e7ac.rmeta: crates/hierarchy/src/lib.rs crates/hierarchy/src/chain.rs crates/hierarchy/src/ipv4.rs crates/hierarchy/src/ipv6.rs crates/hierarchy/src/twodim.rs Cargo.toml
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/chain.rs:
+crates/hierarchy/src/ipv4.rs:
+crates/hierarchy/src/ipv6.rs:
+crates/hierarchy/src/twodim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

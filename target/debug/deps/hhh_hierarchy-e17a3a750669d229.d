@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hhh_hierarchy-e17a3a750669d229.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/chain.rs crates/hierarchy/src/ipv4.rs crates/hierarchy/src/ipv6.rs crates/hierarchy/src/twodim.rs
+
+/root/repo/target/debug/deps/libhhh_hierarchy-e17a3a750669d229.rmeta: crates/hierarchy/src/lib.rs crates/hierarchy/src/chain.rs crates/hierarchy/src/ipv4.rs crates/hierarchy/src/ipv6.rs crates/hierarchy/src/twodim.rs
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/chain.rs:
+crates/hierarchy/src/ipv4.rs:
+crates/hierarchy/src/ipv6.rs:
+crates/hierarchy/src/twodim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hhh_hierarchy-f43989889c9051a4.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/chain.rs crates/hierarchy/src/ipv4.rs crates/hierarchy/src/ipv6.rs crates/hierarchy/src/twodim.rs
+
+/root/repo/target/debug/deps/libhhh_hierarchy-f43989889c9051a4.rlib: crates/hierarchy/src/lib.rs crates/hierarchy/src/chain.rs crates/hierarchy/src/ipv4.rs crates/hierarchy/src/ipv6.rs crates/hierarchy/src/twodim.rs
+
+/root/repo/target/debug/deps/libhhh_hierarchy-f43989889c9051a4.rmeta: crates/hierarchy/src/lib.rs crates/hierarchy/src/chain.rs crates/hierarchy/src/ipv4.rs crates/hierarchy/src/ipv6.rs crates/hierarchy/src/twodim.rs
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/chain.rs:
+crates/hierarchy/src/ipv4.rs:
+crates/hierarchy/src/ipv6.rs:
+crates/hierarchy/src/twodim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hhh_nettypes-4f2e1110ca216b8d.d: crates/nettypes/src/lib.rs crates/nettypes/src/count.rs crates/nettypes/src/packet.rs crates/nettypes/src/prefix.rs crates/nettypes/src/time.rs
+
+/root/repo/target/debug/deps/hhh_nettypes-4f2e1110ca216b8d: crates/nettypes/src/lib.rs crates/nettypes/src/count.rs crates/nettypes/src/packet.rs crates/nettypes/src/prefix.rs crates/nettypes/src/time.rs
+
+crates/nettypes/src/lib.rs:
+crates/nettypes/src/count.rs:
+crates/nettypes/src/packet.rs:
+crates/nettypes/src/prefix.rs:
+crates/nettypes/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hhh_nettypes-6c47649168b6a38b.d: crates/nettypes/src/lib.rs crates/nettypes/src/count.rs crates/nettypes/src/packet.rs crates/nettypes/src/prefix.rs crates/nettypes/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhhh_nettypes-6c47649168b6a38b.rmeta: crates/nettypes/src/lib.rs crates/nettypes/src/count.rs crates/nettypes/src/packet.rs crates/nettypes/src/prefix.rs crates/nettypes/src/time.rs Cargo.toml
+
+crates/nettypes/src/lib.rs:
+crates/nettypes/src/count.rs:
+crates/nettypes/src/packet.rs:
+crates/nettypes/src/prefix.rs:
+crates/nettypes/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

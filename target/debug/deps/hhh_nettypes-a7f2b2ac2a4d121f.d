@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hhh_nettypes-a7f2b2ac2a4d121f.d: crates/nettypes/src/lib.rs crates/nettypes/src/count.rs crates/nettypes/src/packet.rs crates/nettypes/src/prefix.rs crates/nettypes/src/time.rs
+
+/root/repo/target/debug/deps/libhhh_nettypes-a7f2b2ac2a4d121f.rlib: crates/nettypes/src/lib.rs crates/nettypes/src/count.rs crates/nettypes/src/packet.rs crates/nettypes/src/prefix.rs crates/nettypes/src/time.rs
+
+/root/repo/target/debug/deps/libhhh_nettypes-a7f2b2ac2a4d121f.rmeta: crates/nettypes/src/lib.rs crates/nettypes/src/count.rs crates/nettypes/src/packet.rs crates/nettypes/src/prefix.rs crates/nettypes/src/time.rs
+
+crates/nettypes/src/lib.rs:
+crates/nettypes/src/count.rs:
+crates/nettypes/src/packet.rs:
+crates/nettypes/src/prefix.rs:
+crates/nettypes/src/time.rs:

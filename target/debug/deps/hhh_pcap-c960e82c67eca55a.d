@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hhh_pcap-c960e82c67eca55a.d: crates/pcap/src/lib.rs crates/pcap/src/error.rs crates/pcap/src/native.rs crates/pcap/src/parse.rs crates/pcap/src/reader.rs crates/pcap/src/writer.rs
+
+/root/repo/target/debug/deps/libhhh_pcap-c960e82c67eca55a.rmeta: crates/pcap/src/lib.rs crates/pcap/src/error.rs crates/pcap/src/native.rs crates/pcap/src/parse.rs crates/pcap/src/reader.rs crates/pcap/src/writer.rs
+
+crates/pcap/src/lib.rs:
+crates/pcap/src/error.rs:
+crates/pcap/src/native.rs:
+crates/pcap/src/parse.rs:
+crates/pcap/src/reader.rs:
+crates/pcap/src/writer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hhh_pcap-d1fd20b5816cf5e1.d: crates/pcap/src/lib.rs crates/pcap/src/error.rs crates/pcap/src/native.rs crates/pcap/src/parse.rs crates/pcap/src/reader.rs crates/pcap/src/writer.rs
+
+/root/repo/target/debug/deps/libhhh_pcap-d1fd20b5816cf5e1.rlib: crates/pcap/src/lib.rs crates/pcap/src/error.rs crates/pcap/src/native.rs crates/pcap/src/parse.rs crates/pcap/src/reader.rs crates/pcap/src/writer.rs
+
+/root/repo/target/debug/deps/libhhh_pcap-d1fd20b5816cf5e1.rmeta: crates/pcap/src/lib.rs crates/pcap/src/error.rs crates/pcap/src/native.rs crates/pcap/src/parse.rs crates/pcap/src/reader.rs crates/pcap/src/writer.rs
+
+crates/pcap/src/lib.rs:
+crates/pcap/src/error.rs:
+crates/pcap/src/native.rs:
+crates/pcap/src/parse.rs:
+crates/pcap/src/reader.rs:
+crates/pcap/src/writer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hhh_pcap-d56692777f5223f7.d: crates/pcap/src/lib.rs crates/pcap/src/error.rs crates/pcap/src/native.rs crates/pcap/src/parse.rs crates/pcap/src/reader.rs crates/pcap/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhhh_pcap-d56692777f5223f7.rmeta: crates/pcap/src/lib.rs crates/pcap/src/error.rs crates/pcap/src/native.rs crates/pcap/src/parse.rs crates/pcap/src/reader.rs crates/pcap/src/writer.rs Cargo.toml
+
+crates/pcap/src/lib.rs:
+crates/pcap/src/error.rs:
+crates/pcap/src/native.rs:
+crates/pcap/src/parse.rs:
+crates/pcap/src/reader.rs:
+crates/pcap/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

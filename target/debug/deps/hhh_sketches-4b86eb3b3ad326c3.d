@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/hhh_sketches-4b86eb3b3ad326c3.d: crates/sketches/src/lib.rs crates/sketches/src/hash.rs crates/sketches/src/bloom.rs crates/sketches/src/count_min.rs crates/sketches/src/count_sketch.rs crates/sketches/src/decay.rs crates/sketches/src/exp_histogram.rs crates/sketches/src/lossy_counting.rs crates/sketches/src/misra_gries.rs crates/sketches/src/space_saving.rs crates/sketches/src/tdbf.rs crates/sketches/src/window_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhhh_sketches-4b86eb3b3ad326c3.rmeta: crates/sketches/src/lib.rs crates/sketches/src/hash.rs crates/sketches/src/bloom.rs crates/sketches/src/count_min.rs crates/sketches/src/count_sketch.rs crates/sketches/src/decay.rs crates/sketches/src/exp_histogram.rs crates/sketches/src/lossy_counting.rs crates/sketches/src/misra_gries.rs crates/sketches/src/space_saving.rs crates/sketches/src/tdbf.rs crates/sketches/src/window_summary.rs Cargo.toml
+
+crates/sketches/src/lib.rs:
+crates/sketches/src/hash.rs:
+crates/sketches/src/bloom.rs:
+crates/sketches/src/count_min.rs:
+crates/sketches/src/count_sketch.rs:
+crates/sketches/src/decay.rs:
+crates/sketches/src/exp_histogram.rs:
+crates/sketches/src/lossy_counting.rs:
+crates/sketches/src/misra_gries.rs:
+crates/sketches/src/space_saving.rs:
+crates/sketches/src/tdbf.rs:
+crates/sketches/src/window_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hhh_sketches-a4475e12b8f4ca40.d: crates/sketches/src/lib.rs crates/sketches/src/hash.rs crates/sketches/src/bloom.rs crates/sketches/src/count_min.rs crates/sketches/src/count_sketch.rs crates/sketches/src/decay.rs crates/sketches/src/exp_histogram.rs crates/sketches/src/lossy_counting.rs crates/sketches/src/misra_gries.rs crates/sketches/src/space_saving.rs crates/sketches/src/tdbf.rs crates/sketches/src/window_summary.rs
+
+/root/repo/target/debug/deps/libhhh_sketches-a4475e12b8f4ca40.rmeta: crates/sketches/src/lib.rs crates/sketches/src/hash.rs crates/sketches/src/bloom.rs crates/sketches/src/count_min.rs crates/sketches/src/count_sketch.rs crates/sketches/src/decay.rs crates/sketches/src/exp_histogram.rs crates/sketches/src/lossy_counting.rs crates/sketches/src/misra_gries.rs crates/sketches/src/space_saving.rs crates/sketches/src/tdbf.rs crates/sketches/src/window_summary.rs
+
+crates/sketches/src/lib.rs:
+crates/sketches/src/hash.rs:
+crates/sketches/src/bloom.rs:
+crates/sketches/src/count_min.rs:
+crates/sketches/src/count_sketch.rs:
+crates/sketches/src/decay.rs:
+crates/sketches/src/exp_histogram.rs:
+crates/sketches/src/lossy_counting.rs:
+crates/sketches/src/misra_gries.rs:
+crates/sketches/src/space_saving.rs:
+crates/sketches/src/tdbf.rs:
+crates/sketches/src/window_summary.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hhh_trace-1bb54d2b63e5dce4.d: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/rng.rs crates/trace/src/scenarios.rs crates/trace/src/stats.rs
+
+/root/repo/target/debug/deps/hhh_trace-1bb54d2b63e5dce4: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/rng.rs crates/trace/src/scenarios.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/io.rs:
+crates/trace/src/model.rs:
+crates/trace/src/rng.rs:
+crates/trace/src/scenarios.rs:
+crates/trace/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hhh_trace-440924265146cc59.d: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/rng.rs crates/trace/src/scenarios.rs crates/trace/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhhh_trace-440924265146cc59.rmeta: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/rng.rs crates/trace/src/scenarios.rs crates/trace/src/stats.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/io.rs:
+crates/trace/src/model.rs:
+crates/trace/src/rng.rs:
+crates/trace/src/scenarios.rs:
+crates/trace/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

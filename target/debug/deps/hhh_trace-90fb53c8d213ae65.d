@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hhh_trace-90fb53c8d213ae65.d: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/rng.rs crates/trace/src/scenarios.rs crates/trace/src/stats.rs
+
+/root/repo/target/debug/deps/libhhh_trace-90fb53c8d213ae65.rmeta: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/rng.rs crates/trace/src/scenarios.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/io.rs:
+crates/trace/src/model.rs:
+crates/trace/src/rng.rs:
+crates/trace/src/scenarios.rs:
+crates/trace/src/stats.rs:

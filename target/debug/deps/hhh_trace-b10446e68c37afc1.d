@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hhh_trace-b10446e68c37afc1.d: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/rng.rs crates/trace/src/scenarios.rs crates/trace/src/stats.rs
+
+/root/repo/target/debug/deps/libhhh_trace-b10446e68c37afc1.rlib: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/rng.rs crates/trace/src/scenarios.rs crates/trace/src/stats.rs
+
+/root/repo/target/debug/deps/libhhh_trace-b10446e68c37afc1.rmeta: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/rng.rs crates/trace/src/scenarios.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/io.rs:
+crates/trace/src/model.rs:
+crates/trace/src/rng.rs:
+crates/trace/src/scenarios.rs:
+crates/trace/src/stats.rs:

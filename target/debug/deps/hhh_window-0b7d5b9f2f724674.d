@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hhh_window-0b7d5b9f2f724674.d: crates/window/src/lib.rs crates/window/src/driver.rs crates/window/src/geometry.rs crates/window/src/report.rs crates/window/src/sharded.rs
+
+/root/repo/target/debug/deps/hhh_window-0b7d5b9f2f724674: crates/window/src/lib.rs crates/window/src/driver.rs crates/window/src/geometry.rs crates/window/src/report.rs crates/window/src/sharded.rs
+
+crates/window/src/lib.rs:
+crates/window/src/driver.rs:
+crates/window/src/geometry.rs:
+crates/window/src/report.rs:
+crates/window/src/sharded.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hhh_window-4f31b6f5be0b1392.d: crates/window/src/lib.rs crates/window/src/driver.rs crates/window/src/geometry.rs crates/window/src/report.rs crates/window/src/sharded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhhh_window-4f31b6f5be0b1392.rmeta: crates/window/src/lib.rs crates/window/src/driver.rs crates/window/src/geometry.rs crates/window/src/report.rs crates/window/src/sharded.rs Cargo.toml
+
+crates/window/src/lib.rs:
+crates/window/src/driver.rs:
+crates/window/src/geometry.rs:
+crates/window/src/report.rs:
+crates/window/src/sharded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

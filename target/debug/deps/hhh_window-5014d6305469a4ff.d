@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hhh_window-5014d6305469a4ff.d: crates/window/src/lib.rs crates/window/src/driver.rs crates/window/src/geometry.rs crates/window/src/report.rs crates/window/src/sharded.rs
+
+/root/repo/target/debug/deps/libhhh_window-5014d6305469a4ff.rlib: crates/window/src/lib.rs crates/window/src/driver.rs crates/window/src/geometry.rs crates/window/src/report.rs crates/window/src/sharded.rs
+
+/root/repo/target/debug/deps/libhhh_window-5014d6305469a4ff.rmeta: crates/window/src/lib.rs crates/window/src/driver.rs crates/window/src/geometry.rs crates/window/src/report.rs crates/window/src/sharded.rs
+
+crates/window/src/lib.rs:
+crates/window/src/driver.rs:
+crates/window/src/geometry.rs:
+crates/window/src/report.rs:
+crates/window/src/sharded.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hhh_window-6d280924b581135f.d: crates/window/src/lib.rs crates/window/src/driver.rs crates/window/src/geometry.rs crates/window/src/report.rs crates/window/src/sharded.rs
+
+/root/repo/target/debug/deps/libhhh_window-6d280924b581135f.rmeta: crates/window/src/lib.rs crates/window/src/driver.rs crates/window/src/geometry.rs crates/window/src/report.rs crates/window/src/sharded.rs
+
+crates/window/src/lib.rs:
+crates/window/src/driver.rs:
+crates/window/src/geometry.rs:
+crates/window/src/report.rs:
+crates/window/src/sharded.rs:

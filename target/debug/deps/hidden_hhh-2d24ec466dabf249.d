@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hidden_hhh-2d24ec466dabf249.d: src/lib.rs
+
+/root/repo/target/debug/deps/hidden_hhh-2d24ec466dabf249: src/lib.rs
+
+src/lib.rs:

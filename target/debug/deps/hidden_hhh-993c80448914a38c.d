@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hidden_hhh-993c80448914a38c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhidden_hhh-993c80448914a38c.rmeta: src/lib.rs
+
+src/lib.rs:

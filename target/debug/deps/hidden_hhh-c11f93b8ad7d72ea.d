@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hidden_hhh-c11f93b8ad7d72ea.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhidden_hhh-c11f93b8ad7d72ea.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hidden_hhh-c31c0f3e17288cb0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhidden_hhh-c31c0f3e17288cb0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hidden_hhh-c464ba3c3e7b5628.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhidden_hhh-c464ba3c3e7b5628.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hidden_hhh-d2d49ef5957359b7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhidden_hhh-d2d49ef5957359b7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhidden_hhh-d2d49ef5957359b7.rmeta: src/lib.rs
+
+src/lib.rs:

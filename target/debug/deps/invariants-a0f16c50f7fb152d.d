@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-a0f16c50f7fb152d.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-a0f16c50f7fb152d: tests/invariants.rs
+
+tests/invariants.rs:

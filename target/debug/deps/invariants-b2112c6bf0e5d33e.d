@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-b2112c6bf0e5d33e.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/libinvariants-b2112c6bf0e5d33e.rmeta: tests/invariants.rs
+
+tests/invariants.rs:

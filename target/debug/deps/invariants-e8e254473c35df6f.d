@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-e8e254473c35df6f.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-e8e254473c35df6f.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-39c31e03b07e44f9.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-39c31e03b07e44f9.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-39c31e03b07e44f9.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-a05231bb1eee9500.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a05231bb1eee9500.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

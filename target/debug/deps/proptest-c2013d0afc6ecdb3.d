@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-c2013d0afc6ecdb3.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-c2013d0afc6ecdb3: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

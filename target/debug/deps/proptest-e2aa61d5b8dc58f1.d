@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-e2aa61d5b8dc58f1.d: shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-e2aa61d5b8dc58f1.rmeta: shims/proptest/src/lib.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-eca1e3243163e793.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-eca1e3243163e793.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-255a1d6e4aec3332.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-255a1d6e4aec3332: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-5118dd4215dc38fc.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5118dd4215dc38fc.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-a9bdae3379700bed.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a9bdae3379700bed.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

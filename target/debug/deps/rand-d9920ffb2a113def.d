@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-d9920ffb2a113def.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d9920ffb2a113def.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d9920ffb2a113def.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

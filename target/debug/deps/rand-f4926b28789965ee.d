@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-f4926b28789965ee.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-f4926b28789965ee.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale-0e81911e4813f313.d: crates/experiments/src/bin/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale-0e81911e4813f313.rmeta: crates/experiments/src/bin/scale.rs Cargo.toml
+
+crates/experiments/src/bin/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-41491df2e99f45f9.d: crates/experiments/src/bin/scale.rs
+
+/root/repo/target/debug/deps/scale-41491df2e99f45f9: crates/experiments/src/bin/scale.rs
+
+crates/experiments/src/bin/scale.rs:

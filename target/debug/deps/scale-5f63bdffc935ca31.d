@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-5f63bdffc935ca31.d: crates/experiments/src/bin/scale.rs
+
+/root/repo/target/debug/deps/scale-5f63bdffc935ca31: crates/experiments/src/bin/scale.rs
+
+crates/experiments/src/bin/scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale-7780525ef42d3c4c.d: crates/experiments/src/bin/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale-7780525ef42d3c4c.rmeta: crates/experiments/src/bin/scale.rs Cargo.toml
+
+crates/experiments/src/bin/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-7f6511e3e12c94ab.d: crates/experiments/src/bin/scale.rs
+
+/root/repo/target/debug/deps/libscale-7f6511e3e12c94ab.rmeta: crates/experiments/src/bin/scale.rs
+
+crates/experiments/src/bin/scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-e5e782a2c0b9a044.d: crates/experiments/src/bin/scale.rs
+
+/root/repo/target/debug/deps/libscale-e5e782a2c0b9a044.rmeta: crates/experiments/src/bin/scale.rs
+
+crates/experiments/src/bin/scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharded_merge-12f5481814526010.d: tests/sharded_merge.rs
+
+/root/repo/target/debug/deps/libsharded_merge-12f5481814526010.rmeta: tests/sharded_merge.rs
+
+tests/sharded_merge.rs:

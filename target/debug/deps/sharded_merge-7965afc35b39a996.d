@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharded_merge-7965afc35b39a996.d: tests/sharded_merge.rs
+
+/root/repo/target/debug/deps/sharded_merge-7965afc35b39a996: tests/sharded_merge.rs
+
+tests/sharded_merge.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sharded_merge-c1ebfb1e252840e6.d: tests/sharded_merge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsharded_merge-c1ebfb1e252840e6.rmeta: tests/sharded_merge.rs Cargo.toml
+
+tests/sharded_merge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sketches-780e2f901e2cdad3.d: crates/bench/benches/sketches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsketches-780e2f901e2cdad3.rmeta: crates/bench/benches/sketches.rs Cargo.toml
+
+crates/bench/benches/sketches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

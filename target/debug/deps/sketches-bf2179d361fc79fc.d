@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sketches-bf2179d361fc79fc.d: crates/bench/benches/sketches.rs
+
+/root/repo/target/debug/deps/libsketches-bf2179d361fc79fc.rmeta: crates/bench/benches/sketches.rs
+
+crates/bench/benches/sketches.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tdbf_compare-af5e329c28a59a04.d: crates/experiments/src/bin/tdbf_compare.rs
+
+/root/repo/target/debug/deps/tdbf_compare-af5e329c28a59a04: crates/experiments/src/bin/tdbf_compare.rs
+
+crates/experiments/src/bin/tdbf_compare.rs:

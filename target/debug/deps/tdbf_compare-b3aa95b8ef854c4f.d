@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tdbf_compare-b3aa95b8ef854c4f.d: crates/experiments/src/bin/tdbf_compare.rs
+
+/root/repo/target/debug/deps/libtdbf_compare-b3aa95b8ef854c4f.rmeta: crates/experiments/src/bin/tdbf_compare.rs
+
+crates/experiments/src/bin/tdbf_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tdbf_compare-bc545e41bb365780.d: crates/experiments/src/bin/tdbf_compare.rs
+
+/root/repo/target/debug/deps/tdbf_compare-bc545e41bb365780: crates/experiments/src/bin/tdbf_compare.rs
+
+crates/experiments/src/bin/tdbf_compare.rs:

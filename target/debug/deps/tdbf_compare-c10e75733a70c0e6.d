@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tdbf_compare-c10e75733a70c0e6.d: crates/experiments/src/bin/tdbf_compare.rs
+
+/root/repo/target/debug/deps/libtdbf_compare-c10e75733a70c0e6.rmeta: crates/experiments/src/bin/tdbf_compare.rs
+
+crates/experiments/src/bin/tdbf_compare.rs:

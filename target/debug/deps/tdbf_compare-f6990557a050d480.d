@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tdbf_compare-f6990557a050d480.d: crates/experiments/src/bin/tdbf_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtdbf_compare-f6990557a050d480.rmeta: crates/experiments/src/bin/tdbf_compare.rs Cargo.toml
+
+crates/experiments/src/bin/tdbf_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

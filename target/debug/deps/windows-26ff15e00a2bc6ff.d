@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/windows-26ff15e00a2bc6ff.d: crates/bench/benches/windows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwindows-26ff15e00a2bc6ff.rmeta: crates/bench/benches/windows.rs Cargo.toml
+
+crates/bench/benches/windows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/windows-6078d11e07946c12.d: crates/bench/benches/windows.rs
+
+/root/repo/target/debug/deps/libwindows-6078d11e07946c12.rmeta: crates/bench/benches/windows.rs
+
+crates/bench/benches/windows.rs:

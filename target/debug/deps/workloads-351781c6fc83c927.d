@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-351781c6fc83c927.d: crates/experiments/src/bin/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-351781c6fc83c927.rmeta: crates/experiments/src/bin/workloads.rs Cargo.toml
+
+crates/experiments/src/bin/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

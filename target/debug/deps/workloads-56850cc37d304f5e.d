@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads-56850cc37d304f5e.d: crates/experiments/src/bin/workloads.rs
+
+/root/repo/target/debug/deps/libworkloads-56850cc37d304f5e.rmeta: crates/experiments/src/bin/workloads.rs
+
+crates/experiments/src/bin/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-735deb76728bbdb4.d: crates/experiments/src/bin/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-735deb76728bbdb4.rmeta: crates/experiments/src/bin/workloads.rs Cargo.toml
+
+crates/experiments/src/bin/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads-ac702b2342f063bb.d: crates/experiments/src/bin/workloads.rs
+
+/root/repo/target/debug/deps/workloads-ac702b2342f063bb: crates/experiments/src/bin/workloads.rs
+
+crates/experiments/src/bin/workloads.rs:

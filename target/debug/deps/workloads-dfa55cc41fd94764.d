@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads-dfa55cc41fd94764.d: crates/experiments/src/bin/workloads.rs
+
+/root/repo/target/debug/deps/workloads-dfa55cc41fd94764: crates/experiments/src/bin/workloads.rs
+
+crates/experiments/src/bin/workloads.rs:

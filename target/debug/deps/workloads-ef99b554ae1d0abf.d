@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads-ef99b554ae1d0abf.d: crates/experiments/src/bin/workloads.rs
+
+/root/repo/target/debug/deps/libworkloads-ef99b554ae1d0abf.rmeta: crates/experiments/src/bin/workloads.rs
+
+crates/experiments/src/bin/workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ddos_monitor-357a37b3c44f4aac.d: examples/ddos_monitor.rs
+
+/root/repo/target/debug/examples/libddos_monitor-357a37b3c44f4aac.rmeta: examples/ddos_monitor.rs
+
+examples/ddos_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ddos_monitor-c11bbff5fd64bead.d: examples/ddos_monitor.rs
+
+/root/repo/target/debug/examples/ddos_monitor-c11bbff5fd64bead: examples/ddos_monitor.rs
+
+examples/ddos_monitor.rs:

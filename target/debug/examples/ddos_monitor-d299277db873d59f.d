@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ddos_monitor-d299277db873d59f.d: examples/ddos_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libddos_monitor-d299277db873d59f.rmeta: examples/ddos_monitor.rs Cargo.toml
+
+examples/ddos_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

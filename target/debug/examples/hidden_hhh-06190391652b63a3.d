@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hidden_hhh-06190391652b63a3.d: examples/hidden_hhh.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhidden_hhh-06190391652b63a3.rmeta: examples/hidden_hhh.rs Cargo.toml
+
+examples/hidden_hhh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

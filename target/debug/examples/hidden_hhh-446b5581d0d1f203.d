@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hidden_hhh-446b5581d0d1f203.d: examples/hidden_hhh.rs
+
+/root/repo/target/debug/examples/libhidden_hhh-446b5581d0d1f203.rmeta: examples/hidden_hhh.rs
+
+examples/hidden_hhh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hidden_hhh-f4f7fa21dfeab1a8.d: examples/hidden_hhh.rs
+
+/root/repo/target/debug/examples/hidden_hhh-f4f7fa21dfeab1a8: examples/hidden_hhh.rs
+
+examples/hidden_hhh.rs:

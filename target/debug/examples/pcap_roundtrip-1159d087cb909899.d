@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pcap_roundtrip-1159d087cb909899.d: examples/pcap_roundtrip.rs
+
+/root/repo/target/debug/examples/pcap_roundtrip-1159d087cb909899: examples/pcap_roundtrip.rs
+
+examples/pcap_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pcap_roundtrip-2ea75a0c31211c2c.d: examples/pcap_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpcap_roundtrip-2ea75a0c31211c2c.rmeta: examples/pcap_roundtrip.rs Cargo.toml
+
+examples/pcap_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

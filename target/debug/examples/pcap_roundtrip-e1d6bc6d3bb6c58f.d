@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pcap_roundtrip-e1d6bc6d3bb6c58f.d: examples/pcap_roundtrip.rs
+
+/root/repo/target/debug/examples/libpcap_roundtrip-e1d6bc6d3bb6c58f.rmeta: examples/pcap_roundtrip.rs
+
+examples/pcap_roundtrip.rs:

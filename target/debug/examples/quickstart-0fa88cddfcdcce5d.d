@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0fa88cddfcdcce5d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-0fa88cddfcdcce5d.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2800d25f31fa3e97.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2800d25f31fa3e97: examples/quickstart.rs
+
+examples/quickstart.rs:

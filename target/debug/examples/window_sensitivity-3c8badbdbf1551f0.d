@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/window_sensitivity-3c8badbdbf1551f0.d: examples/window_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwindow_sensitivity-3c8badbdbf1551f0.rmeta: examples/window_sensitivity.rs Cargo.toml
+
+examples/window_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/window_sensitivity-b96ff7df5e52ecd7.d: examples/window_sensitivity.rs
+
+/root/repo/target/debug/examples/window_sensitivity-b96ff7df5e52ecd7: examples/window_sensitivity.rs
+
+examples/window_sensitivity.rs:

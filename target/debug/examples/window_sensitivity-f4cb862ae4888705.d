@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/window_sensitivity-f4cb862ae4888705.d: examples/window_sensitivity.rs
+
+/root/repo/target/debug/examples/libwindow_sensitivity-f4cb862ae4888705.rmeta: examples/window_sensitivity.rs
+
+examples/window_sensitivity.rs:

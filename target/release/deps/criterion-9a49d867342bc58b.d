@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-9a49d867342bc58b.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9a49d867342bc58b.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9a49d867342bc58b.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

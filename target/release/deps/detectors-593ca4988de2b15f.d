@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detectors-593ca4988de2b15f.d: crates/bench/benches/detectors.rs
+
+/root/repo/target/release/deps/detectors-593ca4988de2b15f: crates/bench/benches/detectors.rs
+
+crates/bench/benches/detectors.rs:

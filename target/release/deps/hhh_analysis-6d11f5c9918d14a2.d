@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hhh_analysis-6d11f5c9918d14a2.d: crates/analysis/src/lib.rs crates/analysis/src/accuracy.rs crates/analysis/src/csv.rs crates/analysis/src/ecdf.rs crates/analysis/src/hidden.rs crates/analysis/src/jaccard.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/release/deps/libhhh_analysis-6d11f5c9918d14a2.rlib: crates/analysis/src/lib.rs crates/analysis/src/accuracy.rs crates/analysis/src/csv.rs crates/analysis/src/ecdf.rs crates/analysis/src/hidden.rs crates/analysis/src/jaccard.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/release/deps/libhhh_analysis-6d11f5c9918d14a2.rmeta: crates/analysis/src/lib.rs crates/analysis/src/accuracy.rs crates/analysis/src/csv.rs crates/analysis/src/ecdf.rs crates/analysis/src/hidden.rs crates/analysis/src/jaccard.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/accuracy.rs:
+crates/analysis/src/csv.rs:
+crates/analysis/src/ecdf.rs:
+crates/analysis/src/hidden.rs:
+crates/analysis/src/jaccard.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:

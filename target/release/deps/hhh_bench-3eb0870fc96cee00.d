@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hhh_bench-3eb0870fc96cee00.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhhh_bench-3eb0870fc96cee00.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhhh_bench-3eb0870fc96cee00.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

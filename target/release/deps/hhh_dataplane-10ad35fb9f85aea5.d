@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hhh_dataplane-10ad35fb9f85aea5.d: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs
+
+/root/repo/target/release/deps/libhhh_dataplane-10ad35fb9f85aea5.rlib: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs
+
+/root/repo/target/release/deps/libhhh_dataplane-10ad35fb9f85aea5.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/model.rs crates/dataplane/src/programs.rs crates/dataplane/src/resources.rs
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/model.rs:
+crates/dataplane/src/programs.rs:
+crates/dataplane/src/resources.rs:

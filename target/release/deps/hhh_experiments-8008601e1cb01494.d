@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hhh_experiments-8008601e1cb01494.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/compare.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/scale.rs crates/experiments/src/workloads.rs
+
+/root/repo/target/release/deps/libhhh_experiments-8008601e1cb01494.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/compare.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/scale.rs crates/experiments/src/workloads.rs
+
+/root/repo/target/release/deps/libhhh_experiments-8008601e1cb01494.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/compare.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/scale.rs crates/experiments/src/workloads.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/compare.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/scale.rs:
+crates/experiments/src/workloads.rs:

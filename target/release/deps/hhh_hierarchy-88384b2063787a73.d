@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hhh_hierarchy-88384b2063787a73.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/chain.rs crates/hierarchy/src/ipv4.rs crates/hierarchy/src/ipv6.rs crates/hierarchy/src/twodim.rs
+
+/root/repo/target/release/deps/libhhh_hierarchy-88384b2063787a73.rlib: crates/hierarchy/src/lib.rs crates/hierarchy/src/chain.rs crates/hierarchy/src/ipv4.rs crates/hierarchy/src/ipv6.rs crates/hierarchy/src/twodim.rs
+
+/root/repo/target/release/deps/libhhh_hierarchy-88384b2063787a73.rmeta: crates/hierarchy/src/lib.rs crates/hierarchy/src/chain.rs crates/hierarchy/src/ipv4.rs crates/hierarchy/src/ipv6.rs crates/hierarchy/src/twodim.rs
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/chain.rs:
+crates/hierarchy/src/ipv4.rs:
+crates/hierarchy/src/ipv6.rs:
+crates/hierarchy/src/twodim.rs:

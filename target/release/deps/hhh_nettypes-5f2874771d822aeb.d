@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hhh_nettypes-5f2874771d822aeb.d: crates/nettypes/src/lib.rs crates/nettypes/src/count.rs crates/nettypes/src/packet.rs crates/nettypes/src/prefix.rs crates/nettypes/src/time.rs
+
+/root/repo/target/release/deps/libhhh_nettypes-5f2874771d822aeb.rlib: crates/nettypes/src/lib.rs crates/nettypes/src/count.rs crates/nettypes/src/packet.rs crates/nettypes/src/prefix.rs crates/nettypes/src/time.rs
+
+/root/repo/target/release/deps/libhhh_nettypes-5f2874771d822aeb.rmeta: crates/nettypes/src/lib.rs crates/nettypes/src/count.rs crates/nettypes/src/packet.rs crates/nettypes/src/prefix.rs crates/nettypes/src/time.rs
+
+crates/nettypes/src/lib.rs:
+crates/nettypes/src/count.rs:
+crates/nettypes/src/packet.rs:
+crates/nettypes/src/prefix.rs:
+crates/nettypes/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hhh_pcap-660884cd41a8df37.d: crates/pcap/src/lib.rs crates/pcap/src/error.rs crates/pcap/src/native.rs crates/pcap/src/parse.rs crates/pcap/src/reader.rs crates/pcap/src/writer.rs
+
+/root/repo/target/release/deps/libhhh_pcap-660884cd41a8df37.rlib: crates/pcap/src/lib.rs crates/pcap/src/error.rs crates/pcap/src/native.rs crates/pcap/src/parse.rs crates/pcap/src/reader.rs crates/pcap/src/writer.rs
+
+/root/repo/target/release/deps/libhhh_pcap-660884cd41a8df37.rmeta: crates/pcap/src/lib.rs crates/pcap/src/error.rs crates/pcap/src/native.rs crates/pcap/src/parse.rs crates/pcap/src/reader.rs crates/pcap/src/writer.rs
+
+crates/pcap/src/lib.rs:
+crates/pcap/src/error.rs:
+crates/pcap/src/native.rs:
+crates/pcap/src/parse.rs:
+crates/pcap/src/reader.rs:
+crates/pcap/src/writer.rs:

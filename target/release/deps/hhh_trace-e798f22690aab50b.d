@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hhh_trace-e798f22690aab50b.d: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/rng.rs crates/trace/src/scenarios.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/libhhh_trace-e798f22690aab50b.rlib: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/rng.rs crates/trace/src/scenarios.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/libhhh_trace-e798f22690aab50b.rmeta: crates/trace/src/lib.rs crates/trace/src/gen.rs crates/trace/src/io.rs crates/trace/src/model.rs crates/trace/src/rng.rs crates/trace/src/scenarios.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/gen.rs:
+crates/trace/src/io.rs:
+crates/trace/src/model.rs:
+crates/trace/src/rng.rs:
+crates/trace/src/scenarios.rs:
+crates/trace/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hhh_window-4302e18ed0a0481d.d: crates/window/src/lib.rs crates/window/src/driver.rs crates/window/src/geometry.rs crates/window/src/report.rs crates/window/src/sharded.rs
+
+/root/repo/target/release/deps/libhhh_window-4302e18ed0a0481d.rlib: crates/window/src/lib.rs crates/window/src/driver.rs crates/window/src/geometry.rs crates/window/src/report.rs crates/window/src/sharded.rs
+
+/root/repo/target/release/deps/libhhh_window-4302e18ed0a0481d.rmeta: crates/window/src/lib.rs crates/window/src/driver.rs crates/window/src/geometry.rs crates/window/src/report.rs crates/window/src/sharded.rs
+
+crates/window/src/lib.rs:
+crates/window/src/driver.rs:
+crates/window/src/geometry.rs:
+crates/window/src/report.rs:
+crates/window/src/sharded.rs:

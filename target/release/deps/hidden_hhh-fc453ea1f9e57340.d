@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hidden_hhh-fc453ea1f9e57340.d: src/lib.rs
+
+/root/repo/target/release/deps/libhidden_hhh-fc453ea1f9e57340.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhidden_hhh-fc453ea1f9e57340.rmeta: src/lib.rs
+
+src/lib.rs:

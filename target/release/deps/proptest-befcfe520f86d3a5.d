@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-befcfe520f86d3a5.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-befcfe520f86d3a5.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-befcfe520f86d3a5.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

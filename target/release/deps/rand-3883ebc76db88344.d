@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-3883ebc76db88344.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3883ebc76db88344.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3883ebc76db88344.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale-30344ba0b99b9de5.d: crates/experiments/src/bin/scale.rs
+
+/root/repo/target/release/deps/scale-30344ba0b99b9de5: crates/experiments/src/bin/scale.rs
+
+crates/experiments/src/bin/scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ddos_monitor-8721970a7a9e898b.d: examples/ddos_monitor.rs
+
+/root/repo/target/release/examples/ddos_monitor-8721970a7a9e898b: examples/ddos_monitor.rs
+
+examples/ddos_monitor.rs:

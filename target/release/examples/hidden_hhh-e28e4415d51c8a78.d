@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hidden_hhh-e28e4415d51c8a78.d: examples/hidden_hhh.rs
+
+/root/repo/target/release/examples/hidden_hhh-e28e4415d51c8a78: examples/hidden_hhh.rs
+
+examples/hidden_hhh.rs:

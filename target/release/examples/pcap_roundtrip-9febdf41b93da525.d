@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pcap_roundtrip-9febdf41b93da525.d: examples/pcap_roundtrip.rs
+
+/root/repo/target/release/examples/pcap_roundtrip-9febdf41b93da525: examples/pcap_roundtrip.rs
+
+examples/pcap_roundtrip.rs:

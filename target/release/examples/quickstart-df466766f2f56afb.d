@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-df466766f2f56afb.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-df466766f2f56afb: examples/quickstart.rs
+
+examples/quickstart.rs:

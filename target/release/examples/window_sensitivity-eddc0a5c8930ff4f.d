@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/window_sensitivity-eddc0a5c8930ff4f.d: examples/window_sensitivity.rs
+
+/root/repo/target/release/examples/window_sensitivity-eddc0a5c8930ff4f: examples/window_sensitivity.rs
+
+examples/window_sensitivity.rs:
