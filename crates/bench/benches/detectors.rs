@@ -11,8 +11,8 @@ use hhh_core::{
     TdbfHhh, TdbfHhhConfig, Threshold, UnivMonLite,
 };
 use hhh_hierarchy::Ipv4Hierarchy;
-use hhh_nettypes::{Measure, TimeSpan};
-use hhh_window::sharded::{run_sharded_disjoint, DEFAULT_BATCH};
+use hhh_nettypes::TimeSpan;
+use hhh_window::{Pipeline, ShardedDisjoint, DEFAULT_BATCH};
 use std::hint::black_box;
 
 fn bench_detectors(c: &mut Criterion) {
@@ -190,34 +190,24 @@ fn bench_sharded(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("ss-hhh", shards), &shards, |b, &k| {
             b.iter(|| {
                 let detectors: Vec<_> = (0..k).map(|_| SpaceSavingHhh::new(h, 256)).collect();
-                let reports = run_sharded_disjoint(
-                    pkts.iter().copied(),
-                    horizon,
-                    window,
-                    &h,
-                    detectors,
-                    &thresholds,
-                    Measure::Bytes,
-                    |p| p.src,
-                    DEFAULT_BATCH,
-                );
+                let reports = Pipeline::new(pkts.iter().copied())
+                    .engine(ShardedDisjoint::new(detectors, horizon, window, &thresholds, |p| {
+                        p.src
+                    }))
+                    .collect()
+                    .run();
                 black_box(reports.len())
             })
         });
         g.bench_with_input(BenchmarkId::new("rhhh", shards), &shards, |b, &k| {
             b.iter(|| {
                 let detectors: Vec<_> = (0..k).map(|s| Rhhh::new(h, 256, 7 + s as u64)).collect();
-                let reports = run_sharded_disjoint(
-                    pkts.iter().copied(),
-                    horizon,
-                    window,
-                    &h,
-                    detectors,
-                    &thresholds,
-                    Measure::Bytes,
-                    |p| p.src,
-                    DEFAULT_BATCH,
-                );
+                let reports = Pipeline::new(pkts.iter().copied())
+                    .engine(ShardedDisjoint::new(detectors, horizon, window, &thresholds, |p| {
+                        p.src
+                    }))
+                    .collect()
+                    .run();
                 black_box(reports.len())
             })
         });

@@ -9,8 +9,8 @@ use hhh_analysis::hidden::hidden_hhh;
 use hhh_bench::fixture;
 use hhh_core::Threshold;
 use hhh_hierarchy::Ipv4Hierarchy;
-use hhh_nettypes::{Measure, TimeSpan};
-use hhh_window::driver::run_sliding_exact;
+use hhh_nettypes::TimeSpan;
+use hhh_window::{Pipeline, SlidingExact};
 use std::hint::black_box;
 
 fn bench_fig2(c: &mut Criterion) {
@@ -31,16 +31,12 @@ fn bench_fig2(c: &mut Criterion) {
             |b, &window_s| {
                 let window = TimeSpan::from_secs(window_s);
                 b.iter(|| {
-                    let sliding = run_sliding_exact(
-                        pkts.iter().copied(),
-                        horizon,
-                        window,
-                        step,
-                        &h,
-                        &thresholds,
-                        Measure::Bytes,
-                        |p| p.src,
-                    );
+                    let sliding = Pipeline::new(pkts.iter().copied())
+                        .engine(SlidingExact::new(&h, horizon, window, step, &thresholds, |p| {
+                            p.src
+                        }))
+                        .collect()
+                        .run();
                     let epw = window / step;
                     let mut out = Vec::new();
                     for per_threshold in &sliding {

@@ -8,8 +8,8 @@ use hhh_analysis::jaccard_reports;
 use hhh_bench::fixture;
 use hhh_core::Threshold;
 use hhh_hierarchy::Ipv4Hierarchy;
-use hhh_nettypes::{Measure, TimeSpan};
-use hhh_window::driver::run_microvaried;
+use hhh_nettypes::TimeSpan;
+use hhh_window::{MicroVaried, Pipeline};
 use std::hint::black_box;
 
 fn bench_fig3(c: &mut Criterion) {
@@ -29,23 +29,16 @@ fn bench_fig3(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("microvaried", name), &levels, |b, &gran| {
             let h = Ipv4Hierarchy::new(gran);
             b.iter(|| {
-                let run = run_microvaried(
-                    pkts.iter().copied(),
-                    horizon,
-                    base,
-                    &deltas,
-                    &h,
-                    threshold,
-                    Measure::Bytes,
-                    |p| p.src,
-                );
-                let sims: Vec<f64> = run
-                    .variants
-                    .iter()
-                    .flat_map(|(_, reports)| {
-                        run.baseline
+                let out = Pipeline::new(pkts.iter().copied())
+                    .engine(MicroVaried::new(&h, horizon, base, &deltas, threshold, |p| p.src))
+                    .collect()
+                    .run();
+                let baseline = &out[0];
+                let sims: Vec<f64> = (0..deltas.len())
+                    .flat_map(|i| {
+                        baseline
                             .iter()
-                            .zip(reports)
+                            .zip(&out[1 + i])
                             .map(|(b, v)| jaccard_reports(b, v))
                             .collect::<Vec<_>>()
                     })

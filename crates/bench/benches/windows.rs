@@ -5,9 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hhh_bench::fixture;
 use hhh_core::{ExactHhh, Threshold};
 use hhh_hierarchy::Ipv4Hierarchy;
-use hhh_nettypes::{Measure, TimeSpan};
-use hhh_window::driver::{run_disjoint, run_sliding_exact};
+use hhh_nettypes::TimeSpan;
 use hhh_window::geometry;
+use hhh_window::{Disjoint, Pipeline, SlidingExact};
 use std::hint::black_box;
 
 fn bench_windows(c: &mut Criterion) {
@@ -25,32 +25,31 @@ fn bench_windows(c: &mut Criterion) {
     g.bench_function("disjoint_exact", |b| {
         b.iter(|| {
             let mut det = ExactHhh::new(h);
-            black_box(run_disjoint(
-                pkts.iter().copied(),
-                horizon,
-                window,
-                &h,
-                &mut det,
-                &t,
-                Measure::Bytes,
-                |p| p.src,
-            ))
+            black_box(
+                Pipeline::new(pkts.iter().copied())
+                    .engine(Disjoint::new(&mut det, horizon, window, &t, |p| p.src))
+                    .collect()
+                    .run(),
+            )
         })
     });
 
     for step_s in [1u64, 5] {
         g.bench_function(format!("sliding_exact_step{step_s}s"), |b| {
             b.iter(|| {
-                black_box(run_sliding_exact(
-                    pkts.iter().copied(),
-                    horizon,
-                    window,
-                    TimeSpan::from_secs(step_s),
-                    &h,
-                    &t,
-                    Measure::Bytes,
-                    |p| p.src,
-                ))
+                black_box(
+                    Pipeline::new(pkts.iter().copied())
+                        .engine(SlidingExact::new(
+                            &h,
+                            horizon,
+                            window,
+                            TimeSpan::from_secs(step_s),
+                            &t,
+                            |p| p.src,
+                        ))
+                        .collect()
+                        .run(),
+                )
             })
         });
     }

@@ -2,6 +2,7 @@
 //! engine.
 
 use crate::report::{HhhReport, Threshold};
+use crate::snapshot::DetectorSnapshot;
 use hhh_hierarchy::Hierarchy;
 use hhh_nettypes::Nanos;
 
@@ -104,4 +105,78 @@ pub trait ContinuousDetector<H: Hierarchy> {
 pub trait MergeableDetector {
     /// Fold `other`'s state into `self`. `other` is unchanged.
     fn merge(&mut self, other: &Self);
+
+    /// Serialize the mergeable state as a [`DetectorSnapshot`] — the
+    /// wire format for cross-process aggregation: ship the snapshot of
+    /// each process's merged shard state to an aggregator, rebuild
+    /// detectors there, and [`merge`](Self::merge) them.
+    ///
+    /// The default says "not supported" (`None`); detectors opt in.
+    /// The sharded pipeline engines in `hhh-window` forward snapshots
+    /// to sinks at every report point when one is available.
+    fn snapshot(&self) -> Option<DetectorSnapshot> {
+        None
+    }
+}
+
+/// Forwarding impl: a mutable borrow of a windowed detector is itself a
+/// windowed detector. This is what lets the `hhh-window` pipeline
+/// engines own their detector *or* borrow one from the caller (the
+/// legacy `run_*` signatures) through the same generic parameter.
+impl<H: Hierarchy, D: HhhDetector<H>> HhhDetector<H> for &mut D {
+    fn observe(&mut self, item: H::Item, weight: u64) {
+        (**self).observe(item, weight);
+    }
+
+    fn observe_batch(&mut self, batch: &[(H::Item, u64)]) {
+        (**self).observe_batch(batch);
+    }
+
+    fn total(&self) -> u64 {
+        (**self).total()
+    }
+
+    fn report(&self, threshold: Threshold) -> Vec<HhhReport<H::Prefix>> {
+        (**self).report(threshold)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn state_bytes(&self) -> usize {
+        (**self).state_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Forwarding impl for continuous detectors; see the [`HhhDetector`]
+/// forwarding impl above.
+impl<H: Hierarchy, C: ContinuousDetector<H>> ContinuousDetector<H> for &mut C {
+    fn observe(&mut self, ts: Nanos, item: H::Item, weight: u64) {
+        (**self).observe(ts, item, weight);
+    }
+
+    fn observe_batch(&mut self, batch: &[(Nanos, H::Item, u64)]) {
+        (**self).observe_batch(batch);
+    }
+
+    fn decayed_total(&self, now: Nanos) -> f64 {
+        (**self).decayed_total(now)
+    }
+
+    fn report_at(&self, now: Nanos, threshold: Threshold) -> Vec<HhhReport<H::Prefix>> {
+        (**self).report_at(now, threshold)
+    }
+
+    fn state_bytes(&self) -> usize {
+        (**self).state_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 }

@@ -183,6 +183,21 @@ impl<H: Hierarchy> MergeableDetector for ExactHhh<H> {
         }
         self.total += other.total;
     }
+
+    /// Wire format: `{"counts":[[item, count], …]}` with items rendered
+    /// via `Debug` and rows sorted by that rendering, so equal states
+    /// serialize identically. Aggregators fold snapshots by summing
+    /// counts per item — the same algebra as [`merge`](Self::merge).
+    fn snapshot(&self) -> Option<crate::snapshot::DetectorSnapshot> {
+        let mut rows: Vec<(String, Vec<u64>)> =
+            self.counts.iter().map(|(item, &c)| (format!("{item:?}"), vec![c])).collect();
+        rows.sort();
+        Some(crate::snapshot::DetectorSnapshot {
+            kind: "exact",
+            total: self.total,
+            state_json: format!("{{\"counts\":{}}}", crate::snapshot::json_keyed_rows(&rows)),
+        })
+    }
 }
 
 #[cfg(test)]

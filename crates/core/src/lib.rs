@@ -47,6 +47,7 @@ mod exact;
 mod hashpipe;
 mod report;
 mod rhhh;
+pub mod snapshot;
 mod ss_hhh;
 mod tdbf_hhh;
 mod twodim;
@@ -57,6 +58,7 @@ pub use exact::{discount_bottom_up, ExactHhh};
 pub use hashpipe::HashPipe;
 pub use report::{HhhReport, Threshold};
 pub use rhhh::Rhhh;
+pub use snapshot::DetectorSnapshot;
 pub use ss_hhh::SpaceSavingHhh;
 pub use tdbf_hhh::{TdbfHhh, TdbfHhhConfig};
 pub use twodim::TwoDimExactHhh;

@@ -1,0 +1,112 @@
+//! Detector state snapshots: the wire format for distributed
+//! aggregation.
+//!
+//! [`MergeableDetector::merge`](crate::MergeableDetector::merge) makes
+//! sharded ingestion work *inside* one process. To merge across
+//! processes or hosts, shard states must cross a wire — this module
+//! defines the serialized form. A [`DetectorSnapshot`] is a small
+//! self-describing envelope (`kind`, `total`, JSON state body) that the
+//! JSON sinks in `hhh-window` emit at report points; an aggregator
+//! groups lines by `kind` and folds the state bodies together (counts
+//! add for `exact`; Space-Saving entries union-then-prune, exactly the
+//! in-process merge recipe).
+//!
+//! The body is plain JSON, hand-rendered (this workspace is fully
+//! offline — no serde), deterministic (entries sorted), and
+//! self-contained: no reader needs the Rust types to consume it.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// A serialized snapshot of a detector's mergeable state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetectorSnapshot {
+    /// Stable wire-format discriminator (the detector's `name()`).
+    pub kind: &'static str,
+    /// Total weight covered by the state (undecayed, since reset).
+    pub total: u64,
+    /// The state body: a JSON object string, format per `kind`.
+    pub state_json: String,
+}
+
+impl DetectorSnapshot {
+    /// Render the whole envelope as one JSON object (one line, no
+    /// trailing newline) — the unit the snapshot sinks write.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\":{},\"total\":{},\"state\":{}}}",
+            json_string(self.kind),
+            self.total,
+            self.state_json
+        )
+    }
+}
+
+/// Escape a string as a JSON string literal (with quotes).
+pub fn json_string(s: impl Display) -> String {
+    let raw = s.to_string();
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render `[[key, v1, v2, …], …]` rows as a JSON array of arrays with
+/// the key as a JSON string. Rows must already be sorted by the caller
+/// (snapshots are deterministic by contract).
+pub fn json_keyed_rows<K: Display>(rows: &[(K, Vec<u64>)]) -> String {
+    let mut out = String::from("[");
+    for (i, (key, vals)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        out.push_str(&json_string(key));
+        for v in vals {
+            let _ = write!(out, ",{v}");
+        }
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_renders_stably() {
+        let s = DetectorSnapshot {
+            kind: "exact",
+            total: 42,
+            state_json: "{\"counts\":[]}".to_string(),
+        };
+        assert_eq!(s.to_json(), "{\"kind\":\"exact\",\"total\":42,\"state\":{\"counts\":[]}}");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("10.0.0.0/8"), "\"10.0.0.0/8\"");
+    }
+
+    #[test]
+    fn keyed_rows_render() {
+        let rows = vec![("a", vec![1, 2]), ("b", vec![3])];
+        assert_eq!(json_keyed_rows(&rows), "[[\"a\",1,2],[\"b\",3]]");
+    }
+}

@@ -135,6 +135,30 @@ impl<H: Hierarchy> MergeableDetector for SpaceSavingHhh<H> {
         }
         self.total += other.total;
     }
+
+    /// Wire format: `{"levels":[[[prefix, count, error], …], …]}`, one
+    /// entry array per hierarchy level (level 0 first), rows sorted by
+    /// the prefix's display form. An aggregator folds snapshots with
+    /// the mergeable-summaries union-then-prune per level — the same
+    /// recipe as [`merge`](Self::merge).
+    fn snapshot(&self) -> Option<crate::snapshot::DetectorSnapshot> {
+        let mut levels = String::from("[");
+        for (i, ss) in self.levels.iter().enumerate() {
+            if i > 0 {
+                levels.push(',');
+            }
+            let mut rows: Vec<(String, Vec<u64>)> =
+                ss.entries().map(|e| (e.key.to_string(), vec![e.count, e.error])).collect();
+            rows.sort();
+            levels.push_str(&crate::snapshot::json_keyed_rows(&rows));
+        }
+        levels.push(']');
+        Some(crate::snapshot::DetectorSnapshot {
+            kind: "ss-hhh",
+            total: self.total,
+            state_json: format!("{{\"levels\":{levels}}}"),
+        })
+    }
 }
 
 #[cfg(test)]

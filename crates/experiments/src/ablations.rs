@@ -19,9 +19,9 @@ use crate::Scale;
 use hhh_analysis::{fmt_f, SetAccuracy, Table};
 use hhh_core::{ContinuousDetector, HhhDetector, Rhhh, TdbfHhh, TdbfHhhConfig, Threshold};
 use hhh_hierarchy::Ipv4Hierarchy;
-use hhh_nettypes::{Ipv4Prefix, Measure, Nanos, PacketRecord};
-use hhh_window::driver::{run_continuous, run_sliding_exact};
+use hhh_nettypes::{Ipv4Prefix, Nanos, PacketRecord};
 use hhh_window::WindowReport;
+use hhh_window::{Continuous, Disjoint, Pipeline, SlidingExact};
 use std::collections::BTreeSet;
 
 /// One ablation data point.
@@ -54,17 +54,18 @@ fn oracle_and_probes(
 ) -> (Vec<WindowReport<Ipv4Prefix>>, Vec<Nanos>) {
     let hierarchy = Ipv4Hierarchy::bytes();
     let threshold = Threshold::percent(THRESHOLD_PCT);
-    let oracle = run_sliding_exact(
-        pkts.iter().copied(),
-        scale.compare_duration(),
-        WINDOW,
-        PROBE_EVERY,
-        &hierarchy,
-        &[threshold],
-        Measure::Bytes,
-        |p| p.src,
-    )
-    .remove(0);
+    let oracle = Pipeline::new(pkts.iter().copied())
+        .engine(SlidingExact::new(
+            &hierarchy,
+            scale.compare_duration(),
+            WINDOW,
+            PROBE_EVERY,
+            &[threshold],
+            |p| p.src,
+        ))
+        .collect()
+        .run()
+        .remove(0);
     let probes: Vec<Nanos> = oracle.iter().map(|r| r.end).collect();
     (oracle, probes)
 }
@@ -78,10 +79,11 @@ fn tdbf_accuracy(
     let hierarchy = Ipv4Hierarchy::bytes();
     let threshold = Threshold::percent(THRESHOLD_PCT);
     let mut det = TdbfHhh::new(hierarchy, cfg);
-    let reports =
-        run_continuous(pkts.iter().copied(), probes, &mut det, threshold, Measure::Bytes, |p| {
-            p.src
-        });
+    let reports = Pipeline::new(pkts.iter().copied())
+        .engine(Continuous::new(&mut det, probes, threshold, |p| p.src))
+        .collect()
+        .run()
+        .remove(0);
     let sets: Vec<(Nanos, BTreeSet<Ipv4Prefix>)> =
         reports.iter().map(|r| (r.start, r.prefix_set())).collect();
     let row = score_with_staleness(oracle, probes, &sets, WINDOW, false);
@@ -127,17 +129,13 @@ pub fn run(scale: Scale) -> AblationResults {
     let mut rhhh_counters = Vec::new();
     for counters in [32usize, 128, 512] {
         let mut det = Rhhh::new(hierarchy, counters, 0xAB);
-        let reports = hhh_window::driver::run_disjoint(
-            pkts.iter().copied(),
-            scale.compare_duration(),
-            WINDOW,
-            &hierarchy,
-            &mut det,
-            &[threshold],
-            Measure::Bytes,
-            |p| p.src,
-        )
-        .remove(0);
+        let reports = Pipeline::new(pkts.iter().copied())
+            .engine(Disjoint::new(&mut det, scale.compare_duration(), WINDOW, &[threshold], |p| {
+                p.src
+            }))
+            .collect()
+            .run()
+            .remove(0);
         let sets: Vec<(Nanos, BTreeSet<Ipv4Prefix>)> =
             reports.iter().map(|r| (r.end, r.prefix_set())).collect();
         let row = score_with_staleness(&oracle, &probes, &sets, WINDOW, false);

@@ -31,11 +31,11 @@ use hhh_core::{
 use hhh_dataplane::programs::{DpHashPipe, DpTdbf};
 use hhh_dataplane::ResourceReport;
 use hhh_hierarchy::Ipv4Hierarchy;
-use hhh_nettypes::{Ipv4Prefix, Measure, Nanos, PacketRecord, TimeSpan};
+use hhh_nettypes::{Ipv4Prefix, Nanos, PacketRecord, TimeSpan};
 use hhh_sketches::DecayRate;
 use hhh_trace::{scenarios, TraceGenerator};
-use hhh_window::driver::{run_continuous, run_disjoint, run_sliding_exact};
 use hhh_window::WindowReport;
+use hhh_window::{Continuous, Disjoint, Pipeline, SlidingExact};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -154,16 +154,12 @@ pub fn run(scale: Scale) -> CompareResults {
     let threshold = Threshold::percent(THRESHOLD_PCT);
 
     // ---- Oracle: exact trailing-window HHH at every probe. ----
-    let oracle_all = run_sliding_exact(
-        pkts.iter().copied(),
-        horizon,
-        WINDOW,
-        PROBE_EVERY,
-        &hierarchy,
-        &[threshold],
-        Measure::Bytes,
-        |p| p.src,
-    );
+    let oracle_all = Pipeline::new(pkts.iter().copied())
+        .engine(SlidingExact::new(&hierarchy, horizon, WINDOW, PROBE_EVERY, &[threshold], |p| {
+            p.src
+        }))
+        .collect()
+        .run();
     let oracle = &oracle_all[0];
     // Probe instants = window ends.
     let probes: Vec<Nanos> = oracle.iter().map(|r| r.end).collect();
@@ -178,54 +174,36 @@ pub fn run(scale: Scale) -> CompareResults {
         let runs: Vec<Run> = vec![
             (
                 "exact (disjoint)",
-                run_disjoint(
-                    pkts.iter().copied(),
-                    horizon,
-                    WINDOW,
-                    &hierarchy,
-                    &mut exact,
-                    &[threshold],
-                    Measure::Bytes,
-                    |p| p.src,
-                )
-                .remove(0)
-                .iter()
-                .map(|r| (r.end, r.prefix_set()))
-                .collect(),
+                Pipeline::new(pkts.iter().copied())
+                    .engine(Disjoint::new(&mut exact, horizon, WINDOW, &[threshold], |p| p.src))
+                    .collect()
+                    .run()
+                    .remove(0)
+                    .iter()
+                    .map(|r| (r.end, r.prefix_set()))
+                    .collect(),
             ),
             (
                 "ss-hhh (disjoint)",
-                run_disjoint(
-                    pkts.iter().copied(),
-                    horizon,
-                    WINDOW,
-                    &hierarchy,
-                    &mut ss,
-                    &[threshold],
-                    Measure::Bytes,
-                    |p| p.src,
-                )
-                .remove(0)
-                .iter()
-                .map(|r| (r.end, r.prefix_set()))
-                .collect(),
+                Pipeline::new(pkts.iter().copied())
+                    .engine(Disjoint::new(&mut ss, horizon, WINDOW, &[threshold], |p| p.src))
+                    .collect()
+                    .run()
+                    .remove(0)
+                    .iter()
+                    .map(|r| (r.end, r.prefix_set()))
+                    .collect(),
             ),
             (
                 "rhhh (disjoint)",
-                run_disjoint(
-                    pkts.iter().copied(),
-                    horizon,
-                    WINDOW,
-                    &hierarchy,
-                    &mut rhhh,
-                    &[threshold],
-                    Measure::Bytes,
-                    |p| p.src,
-                )
-                .remove(0)
-                .iter()
-                .map(|r| (r.end, r.prefix_set()))
-                .collect(),
+                Pipeline::new(pkts.iter().copied())
+                    .engine(Disjoint::new(&mut rhhh, horizon, WINDOW, &[threshold], |p| p.src))
+                    .collect()
+                    .run()
+                    .remove(0)
+                    .iter()
+                    .map(|r| (r.end, r.prefix_set()))
+                    .collect(),
             ),
         ];
         for (name, reports) in runs {
@@ -245,14 +223,11 @@ pub fn run(scale: Scale) -> CompareResults {
                 ..TdbfHhhConfig::default()
             },
         );
-        let reports = run_continuous(
-            pkts.iter().copied(),
-            &probes,
-            &mut tdbf,
-            threshold,
-            Measure::Bytes,
-            |p| p.src,
-        );
+        let reports = Pipeline::new(pkts.iter().copied())
+            .engine(Continuous::new(&mut tdbf, &probes, threshold, |p| p.src))
+            .collect()
+            .run()
+            .remove(0);
         let sets: Vec<(Nanos, BTreeSet<Ipv4Prefix>)> =
             reports.iter().map(|r| (r.start, r.prefix_set())).collect();
         let mut row = score_with_staleness(oracle, &probes, &sets, WINDOW, false);

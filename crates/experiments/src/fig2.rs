@@ -4,9 +4,10 @@
 //! Method (paper §2, "Unveiling Hidden HHHs"): for each day trace,
 //! window size w ∈ {5, 10, 20} s and threshold θ ∈ {1, 5, 10} % of the
 //! bytes in each window, compare the HHH sets of disjoint w-windows
-//! against a sliding w-window with a 1 s step. A single
-//! `run_sliding_exact` pass yields both schedules: the disjoint windows
-//! are exactly the sliding positions whose start is a multiple of w.
+//! against a sliding w-window with a 1 s step. A single pass of the
+//! pipeline's sliding-exact engine yields both schedules: the disjoint
+//! windows are exactly the sliding positions whose start is a multiple
+//! of w.
 //!
 //! Expected shape (the paper's findings): the hidden fraction is
 //! largest at the 1 % threshold (paper: 24–34 %), smaller at 5 %
@@ -17,9 +18,9 @@ use hhh_analysis::hidden::{hidden_hhh, HiddenHhh};
 use hhh_analysis::{csv, fmt_f, Table};
 use hhh_core::Threshold;
 use hhh_hierarchy::Ipv4Hierarchy;
-use hhh_nettypes::{Ipv4Prefix, Measure, TimeSpan};
+use hhh_nettypes::{Ipv4Prefix, TimeSpan};
 use hhh_trace::{scenarios, TraceGenerator};
-use hhh_window::driver::run_sliding_exact;
+use hhh_window::{Pipeline, SlidingExact};
 use std::sync::Mutex;
 
 /// The thresholds of Figure 2.
@@ -69,16 +70,17 @@ pub fn run(scale: Scale) -> Fig2Results {
                     let model = scenarios::day_trace(day, horizon);
                     let packets = TraceGenerator::new(model, scenarios::day_seed(day));
                     let hierarchy = Ipv4Hierarchy::bytes();
-                    let sliding = run_sliding_exact(
-                        packets,
-                        horizon,
-                        window,
-                        STEP,
-                        &hierarchy,
-                        thresholds,
-                        Measure::Bytes,
-                        |p| p.src,
-                    );
+                    let sliding = Pipeline::new(packets)
+                        .engine(SlidingExact::new(
+                            &hierarchy,
+                            horizon,
+                            window,
+                            STEP,
+                            thresholds,
+                            |p| p.src,
+                        ))
+                        .collect()
+                        .run();
                     let epw = window / STEP;
                     for (ti, per_threshold) in sliding.iter().enumerate() {
                         // Disjoint windows = sliding positions whose

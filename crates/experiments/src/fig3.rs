@@ -16,9 +16,9 @@ use crate::Scale;
 use hhh_analysis::{csv, fmt_f, jaccard_reports, Ecdf, Table};
 use hhh_core::Threshold;
 use hhh_hierarchy::Ipv4Hierarchy;
-use hhh_nettypes::{Measure, TimeSpan};
+use hhh_nettypes::TimeSpan;
 use hhh_trace::{scenarios, TraceGenerator};
-use hhh_window::driver::run_microvaried;
+use hhh_window::{MicroVaried, Pipeline};
 
 /// The baseline window (paper: 10 s).
 pub const BASE_WINDOW: TimeSpan = TimeSpan::from_secs(10);
@@ -57,23 +57,26 @@ pub fn run(scale: Scale) -> Fig3Results {
     // quantifies both.)
     let hierarchy = Ipv4Hierarchy::bits();
     let ds = deltas();
-    let run = run_microvaried(
-        packets,
-        horizon,
-        BASE_WINDOW,
-        &ds,
-        &hierarchy,
-        Threshold::percent(THRESHOLD_PCT),
-        Measure::Bytes,
-        |p| p.src,
-    );
-    let windows = run.baseline.len();
-    let series = run
-        .variants
+    // Series 0 is the baseline; series 1 + i is delta i.
+    let out = Pipeline::new(packets)
+        .engine(MicroVaried::new(
+            &hierarchy,
+            horizon,
+            BASE_WINDOW,
+            &ds,
+            Threshold::percent(THRESHOLD_PCT),
+            |p| p.src,
+        ))
+        .collect()
+        .run();
+    let baseline = &out[0];
+    let windows = baseline.len();
+    let series = ds
         .iter()
-        .map(|(delta, reports)| {
+        .enumerate()
+        .map(|(i, delta)| {
             let sims: Vec<f64> =
-                run.baseline.iter().zip(reports).map(|(b, v)| jaccard_reports(b, v)).collect();
+                baseline.iter().zip(&out[1 + i]).map(|(b, v)| jaccard_reports(b, v)).collect();
             (*delta, sims)
         })
         .collect();

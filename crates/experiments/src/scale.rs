@@ -5,11 +5,9 @@
 use hhh_analysis::{fmt_f, jaccard, Table};
 use hhh_core::{ExactHhh, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh, Threshold};
 use hhh_hierarchy::Ipv4Hierarchy;
-use hhh_nettypes::{Measure, PacketRecord, TimeSpan};
+use hhh_nettypes::{PacketRecord, TimeSpan};
 use hhh_trace::{scenarios, TraceGenerator};
-use hhh_window::driver::run_disjoint;
-use hhh_window::sharded::{run_sharded_disjoint, DEFAULT_BATCH};
-use hhh_window::WindowReport;
+use hhh_window::{source, Disjoint, Pipeline, ShardedDisjoint, WindowReport, DEFAULT_BATCH};
 use std::time::Instant;
 
 /// How big to run an experiment.
@@ -87,7 +85,9 @@ pub struct ShardSweepRow {
     /// Detector under test (`exact`, `ss-hhh`, `rhhh`).
     pub detector: &'static str,
     /// Ingestion mode: `observe` (per-packet), `batch` (single
-    /// detector fed through `observe_batch`), or `shard/K`.
+    /// detector fed through `observe_batch`), `shard/K` (sharded
+    /// pipeline, iterator source), or `chan/K` (sharded pipeline fed
+    /// through the bounded channel source from a producer thread).
     pub mode: String,
     /// Shards used (1 for the single-detector modes).
     pub shards: usize,
@@ -174,11 +174,17 @@ fn mean_jaccard<P: Ord + Copy>(a: &[WindowReport<P>], b: &[WindowReport<P>]) -> 
 /// claims. For each detector (`exact`, `ss-hhh`, `rhhh`) it measures,
 /// on one generated day trace:
 ///
-/// * `observe` — the seed's per-packet path through [`run_disjoint`];
+/// * `observe` — the per-packet path (the [`Disjoint`] engine over a
+///   single detector);
 /// * `batch` — the same single detector fed via `observe_batch`
 ///   (K = 1 sharded pipeline, which batches but cannot parallelize);
-/// * `shard/K` for K ∈ {1, 2, 4, 8} — the full pipeline:
-///   hash-partitioned worker threads merged at window boundaries.
+/// * `shard/K` for K ∈ {1, 2, 4, 8} — the full [`ShardedDisjoint`]
+///   pipeline: hash-partitioned worker threads merged at window
+///   boundaries, iterator source;
+/// * `chan/K` for K ∈ {1, 2, 4, 8} — the same sharded pipeline fed
+///   through the bounded channel source
+///   ([`source::bounded`]) from a producer thread, measuring the
+///   channel hand-off overhead against the iterator source.
 ///
 /// Alongside throughput it reports HHH-set fidelity versus the
 /// per-packet reference: exactly 1.0 for `exact` at any K (merge is
@@ -197,13 +203,13 @@ pub fn shard_sweep(scale: Scale) -> ShardSweepResults {
     // One closure per detector family, so each family controls its own
     // construction (seeds per shard for RHHH) without dynamic dispatch
     // in the hot loop.
-    run_family("exact", &packets, horizon, window, &h, &thresholds, n, &mut rows, |_shard| {
+    run_family("exact", &packets, horizon, window, &thresholds, n, &mut rows, |_shard| {
         ExactHhh::new(h)
     });
-    run_family("ss-hhh", &packets, horizon, window, &h, &thresholds, n, &mut rows, |_shard| {
+    run_family("ss-hhh", &packets, horizon, window, &thresholds, n, &mut rows, |_shard| {
         SpaceSavingHhh::new(h, 512)
     });
-    run_family("rhhh", &packets, horizon, window, &h, &thresholds, n, &mut rows, |shard| {
+    run_family("rhhh", &packets, horizon, window, &thresholds, n, &mut rows, |shard| {
         Rhhh::new(h, 512, 0x5EED_0000 + shard as u64)
     });
 
@@ -216,7 +222,6 @@ fn run_family<D>(
     packets: &[PacketRecord],
     horizon: TimeSpan,
     window: TimeSpan,
-    h: &Ipv4Hierarchy,
     thresholds: &[Threshold],
     n: u64,
     rows: &mut Vec<ShardSweepRow>,
@@ -224,19 +229,13 @@ fn run_family<D>(
 ) where
     D: HhhDetector<Ipv4Hierarchy> + MergeableDetector + Clone + Send,
 {
-    // Reference: the seed's per-packet path.
+    // Reference: the per-packet path through the Disjoint engine.
     let mut reference_det = make(0);
     let start = Instant::now();
-    let reference = run_disjoint(
-        packets.iter().copied(),
-        horizon,
-        window,
-        h,
-        &mut reference_det,
-        thresholds,
-        Measure::Bytes,
-        |p| p.src,
-    );
+    let reference = Pipeline::new(packets.iter().copied())
+        .engine(Disjoint::new(&mut reference_det, horizon, window, thresholds, |p| p.src))
+        .collect()
+        .run();
     let secs = start.elapsed().as_secs_f64();
     rows.push(ShardSweepRow {
         detector: name,
@@ -252,22 +251,43 @@ fn run_family<D>(
     for &k in &SHARD_COUNTS {
         let detectors: Vec<D> = (0..k).map(&make).collect();
         let start = Instant::now();
-        let sharded = run_sharded_disjoint(
-            packets.iter().copied(),
-            horizon,
-            window,
-            h,
-            detectors,
-            thresholds,
-            Measure::Bytes,
-            |p| p.src,
-            DEFAULT_BATCH,
-        );
+        let sharded = Pipeline::new(packets.iter().copied())
+            .engine(ShardedDisjoint::new(detectors, horizon, window, thresholds, |p| p.src))
+            .collect()
+            .run();
         let secs = start.elapsed().as_secs_f64();
         let mode = if k == 1 { "batch".to_string() } else { format!("shard/{k}") };
         rows.push(ShardSweepRow {
             detector: name,
             mode,
+            shards: k,
+            packets: n,
+            seconds: secs,
+            pkts_per_sec: n as f64 / secs,
+            jaccard_vs_reference: mean_jaccard(&reference[0], &sharded[0]),
+        });
+    }
+
+    // The sharded pipeline again, now fed through the bounded channel
+    // source from a producer thread — the async-ingest hand-off
+    // measured against the iterator source above.
+    for &k in &SHARD_COUNTS {
+        let detectors: Vec<D> = (0..k).map(&make).collect();
+        let start = Instant::now();
+        let (mut feeder, channel_source) = source::bounded(8, DEFAULT_BATCH);
+        let sharded = std::thread::scope(|scope| {
+            scope.spawn(move || {
+                feeder.send_batch(packets);
+            });
+            Pipeline::new(channel_source)
+                .engine(ShardedDisjoint::new(detectors, horizon, window, thresholds, |p| p.src))
+                .collect()
+                .run()
+        });
+        let secs = start.elapsed().as_secs_f64();
+        rows.push(ShardSweepRow {
+            detector: name,
+            mode: format!("chan/{k}"),
             shards: k,
             packets: n,
             seconds: secs,

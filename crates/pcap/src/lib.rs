@@ -18,6 +18,10 @@
 //!   fixed-width binary record stream that skips header parsing
 //!   entirely — what the experiment harness uses for its large
 //!   synthetic traces.
+//! * **Pipeline sources** ([`PcapSource`], [`NativeSource`]): chunked
+//!   packet iterators over either format, pluggable straight into
+//!   `hhh_window::Pipeline::new` (I/O in record bursts, torn captures
+//!   end the stream early with the error kept for inspection).
 //!
 //! ## Example: write then read a capture
 //!
@@ -43,9 +47,11 @@ mod error;
 mod native;
 pub mod parse;
 mod reader;
+pub mod source;
 mod writer;
 
 pub use error::PcapError;
 pub use native::{NativeReader, NativeWriter, NATIVE_MAGIC, NATIVE_RECORD_LEN};
 pub use reader::{PcapReader, RawFrame, TsResolution};
+pub use source::{ChunkedRecordSource, NativeSource, PcapSource, RecordReader, DEFAULT_READ_CHUNK};
 pub use writer::PcapWriter;

@@ -1,25 +1,40 @@
-//! Window drivers: feeding packet streams through detectors under a
-//! window model.
+//! Legacy window drivers: thin **deprecated** wrappers over the
+//! unified [`Pipeline`](crate::Pipeline) API.
 //!
-//! All drivers are generic over the hierarchy, a key-extraction closure
-//! (`&PacketRecord → item`, usually `|p| p.src`), and the [`Measure`]
-//! (bytes for the paper's experiments). They consume the stream once.
+//! Each `run_*` function composes the equivalent pipeline — same
+//! geometry, same report schedule — and exists only so pre-pipeline
+//! call sites keep compiling (with a deprecation warning). Note the
+//! output shape: a collected pipeline always returns one
+//! `Vec<WindowReport>` **per series**, so the flat-returning legacy
+//! functions need a final step ([`run_continuous`] is `.remove(0)` of
+//! its single series; [`run_microvaried`] repackages series 0 /
+//! 1 + i into [`MicroVariedRun`]). Migrate:
+//!
+//! | Legacy driver | Pipeline composition |
+//! |---------------|----------------------|
+//! | [`run_disjoint`] | `Pipeline::new(src).engine(Disjoint::new(det, horizon, window, ts, key)).collect().run()` |
+//! | [`run_sliding_exact`] | `…engine(SlidingExact::new(&h, horizon, window, step, ts, key))…` |
+//! | [`run_microvaried`] | `…engine(MicroVaried::new(&h, horizon, base, deltas, t, key))…` — series 0 = baseline, 1 + i = delta i |
+//! | [`run_continuous`] | `…engine(Continuous::new(det, probes, t, key))….remove(0)` |
+//! | [`run_sharded_disjoint`](crate::sharded::run_sharded_disjoint) | `…engine(ShardedDisjoint::new(dets, horizon, window, ts, key).batch(n))…` |
 
-use crate::geometry;
+use crate::pipeline::{Continuous, Disjoint, MicroVaried, Pipeline, SlidingExact};
 use crate::report::WindowReport;
-use hhh_core::{discount_bottom_up, ContinuousDetector, HhhDetector, Threshold};
+use hhh_core::{ContinuousDetector, HhhDetector, Threshold};
 use hhh_hierarchy::Hierarchy;
 use hhh_nettypes::{Measure, Nanos, PacketRecord, TimeSpan};
-use std::collections::{HashMap, VecDeque};
 
 /// Run a windowed detector over **disjoint** windows: report at every
-/// boundary, then reset — the practice the paper quantifies the cost
-/// of. Packets after the last complete window are ignored, matching
-/// [`geometry::disjoint`].
+/// boundary, then reset. Packets after the last complete window are
+/// ignored, matching [`geometry::disjoint`](crate::geometry::disjoint).
 ///
 /// Returns one vector of [`WindowReport`]s per requested threshold
 /// (same order), each with one entry per window.
-#[allow(clippy::too_many_arguments)] // horizon/window/thresholds/measure/key are the experiment's natural parameters
+#[deprecated(
+    since = "0.2.0",
+    note = "compose `Pipeline::new(packets).engine(Disjoint::new(…)).collect().run()` instead"
+)]
+#[allow(clippy::too_many_arguments)] // preserved legacy signature
 pub fn run_disjoint<H, D, F>(
     packets: impl Iterator<Item = PacketRecord>,
     horizon: TimeSpan,
@@ -36,40 +51,10 @@ where
     F: Fn(&PacketRecord) -> H::Item,
 {
     let _ = hierarchy;
-    let n_windows = horizon / window;
-    let mut out: Vec<Vec<WindowReport<H::Prefix>>> =
-        thresholds.iter().map(|_| Vec::with_capacity(n_windows as usize)).collect();
-    let mut cur: u64 = 0;
-
-    let flush = |cur: u64, detector: &mut D, out: &mut Vec<Vec<WindowReport<H::Prefix>>>| {
-        for (ti, t) in thresholds.iter().enumerate() {
-            out[ti].push(WindowReport {
-                index: cur,
-                start: Nanos::ZERO + window * cur,
-                end: Nanos::ZERO + window * (cur + 1),
-                total: detector.total(),
-                hhhs: detector.report(*t),
-            });
-        }
-        detector.reset();
-    };
-
-    for p in packets {
-        let w = p.ts.bin_index(window);
-        if w >= n_windows {
-            break; // packets are time-sorted; the rest is partial tail
-        }
-        while cur < w {
-            flush(cur, detector, &mut out);
-            cur += 1;
-        }
-        detector.observe(key(&p), measure.weight(&p));
-    }
-    while cur < n_windows {
-        flush(cur, detector, &mut out);
-        cur += 1;
-    }
-    out
+    Pipeline::new(packets)
+        .engine(Disjoint::new(detector, horizon, window, thresholds, key).measure(measure))
+        .collect()
+        .run()
 }
 
 /// Evaluate **every sliding position exactly** via rolling per-epoch
@@ -78,7 +63,11 @@ where
 ///
 /// Returns one vector of reports per threshold; entry `i` of each is
 /// sliding position `i` (start = `i × step`).
-#[allow(clippy::too_many_arguments)]
+#[deprecated(
+    since = "0.2.0",
+    note = "compose `Pipeline::new(packets).engine(SlidingExact::new(…)).collect().run()` instead"
+)]
+#[allow(clippy::too_many_arguments)] // preserved legacy signature
 pub fn run_sliding_exact<H, F>(
     packets: impl Iterator<Item = PacketRecord>,
     horizon: TimeSpan,
@@ -93,98 +82,12 @@ where
     H: Hierarchy,
     F: Fn(&PacketRecord) -> H::Item,
 {
-    assert!(!step.is_zero() && !window.is_zero(), "window and step must be non-zero");
-    assert!(window % step == TimeSpan::ZERO, "step must divide the window length exactly");
-    assert!(window <= horizon, "window longer than the horizon");
-    let epw = window / step; // epochs per window
-    let n_epochs = horizon / step;
-    let n_positions = n_epochs - epw + 1;
-
-    let mut out: Vec<Vec<WindowReport<H::Prefix>>> =
-        thresholds.iter().map(|_| Vec::with_capacity(n_positions as usize)).collect();
-
-    let mut rolling: HashMap<H::Item, u64> = HashMap::new();
-    let mut rolling_total: u64 = 0;
-    let mut window_epochs: VecDeque<HashMap<H::Item, u64>> = VecDeque::new();
-    let mut cur_epoch: u64 = 0;
-    let mut cur_map: HashMap<H::Item, u64> = HashMap::new();
-
-    let finalize_epoch = |cur_epoch: u64,
-                          cur_map: &mut HashMap<H::Item, u64>,
-                          rolling: &mut HashMap<H::Item, u64>,
-                          rolling_total: &mut u64,
-                          window_epochs: &mut VecDeque<HashMap<H::Item, u64>>,
-                          out: &mut Vec<Vec<WindowReport<H::Prefix>>>| {
-        let finished = core::mem::take(cur_map);
-        for (&k, &v) in &finished {
-            *rolling.entry(k).or_default() += v;
-            *rolling_total += v;
-        }
-        window_epochs.push_back(finished);
-        if window_epochs.len() > epw as usize {
-            let old = window_epochs.pop_front().expect("non-empty");
-            for (k, v) in old {
-                let e = rolling.get_mut(&k).expect("rolling covers window epochs");
-                *e -= v;
-                *rolling_total -= v;
-                if *e == 0 {
-                    rolling.remove(&k);
-                }
-            }
-        }
-        if window_epochs.len() == epw as usize {
-            let position = cur_epoch + 1 - epw;
-            // Build level maps once, then discount per threshold.
-            let levels = hierarchy.levels();
-            let mut maps: Vec<HashMap<H::Prefix, u64>> = vec![HashMap::new(); levels];
-            for (&item, &c) in rolling.iter() {
-                for (level, map) in maps.iter_mut().enumerate() {
-                    *map.entry(hierarchy.generalize(item, level)).or_default() += c;
-                }
-            }
-            for (ti, t) in thresholds.iter().enumerate() {
-                let t_abs = t.absolute(*rolling_total);
-                out[ti].push(WindowReport {
-                    index: position,
-                    start: Nanos::ZERO + step * position,
-                    end: Nanos::ZERO + step * position + window,
-                    total: *rolling_total,
-                    hhhs: discount_bottom_up(hierarchy, &maps, t_abs),
-                });
-            }
-        }
-    };
-
-    for p in packets {
-        let e = p.ts.bin_index(step);
-        if e >= n_epochs {
-            break;
-        }
-        while cur_epoch < e {
-            finalize_epoch(
-                cur_epoch,
-                &mut cur_map,
-                &mut rolling,
-                &mut rolling_total,
-                &mut window_epochs,
-                &mut out,
-            );
-            cur_epoch += 1;
-        }
-        *cur_map.entry(key(&p)).or_default() += measure.weight(&p);
-    }
-    while cur_epoch < n_epochs {
-        finalize_epoch(
-            cur_epoch,
-            &mut cur_map,
-            &mut rolling,
-            &mut rolling_total,
-            &mut window_epochs,
-            &mut out,
-        );
-        cur_epoch += 1;
-    }
-    out
+    Pipeline::new(packets)
+        .engine(
+            SlidingExact::new(hierarchy, horizon, window, step, thresholds, key).measure(measure),
+        )
+        .collect()
+        .run()
 }
 
 /// The result of a micro-variation run (Fig. 3's setup): the baseline
@@ -202,7 +105,12 @@ pub struct MicroVariedRun<P> {
 /// Evaluate a disjoint baseline window against micro-shortened variants
 /// in a single pass. For each baseline window `[k·b, (k+1)·b)` and each
 /// delta `d`, the variant window is `[k·b, (k+1)·b − d)`. Exact.
-#[allow(clippy::too_many_arguments)]
+#[deprecated(
+    since = "0.2.0",
+    note = "compose `Pipeline::new(packets).engine(MicroVaried::new(…)).collect().run()` instead \
+            (series 0 = baseline, series 1 + i = delta i)"
+)]
+#[allow(clippy::too_many_arguments)] // preserved legacy signature
 pub fn run_microvaried<H, F>(
     packets: impl Iterator<Item = PacketRecord>,
     horizon: TimeSpan,
@@ -217,128 +125,22 @@ where
     H: Hierarchy,
     F: Fn(&PacketRecord) -> H::Item,
 {
-    assert!(!deltas.is_empty(), "need at least one delta");
-    let mut deltas_sorted: Vec<TimeSpan> = deltas.to_vec();
-    deltas_sorted.sort();
-    assert!(*deltas_sorted.last().expect("non-empty") < base, "delta must be < base window");
-    let max_delta = *deltas_sorted.last().expect("non-empty");
-
-    let spans = geometry::disjoint(horizon, base);
-    let n_windows = spans.len() as u64;
-
-    let mut baseline = Vec::with_capacity(spans.len());
-    let mut variants: Vec<(TimeSpan, Vec<WindowReport<H::Prefix>>)> =
-        deltas.iter().map(|d| (*d, Vec::with_capacity(spans.len()))).collect();
-
-    let mut counts: HashMap<H::Item, u64> = HashMap::new();
-    let mut total: u64 = 0;
-    // Packets in the window's final `max_delta`, with their offset from
-    // the window end (so variant subtraction is a filter, not a scan of
-    // the whole window).
-    let mut tail: Vec<(TimeSpan, H::Item, u64)> = Vec::new();
-    let mut cur: u64 = 0;
-
-    let report_from =
-        |counts: &HashMap<H::Item, u64>, total: u64, index: u64, start: Nanos, end: Nanos| {
-            let levels = hierarchy.levels();
-            let mut maps: Vec<HashMap<H::Prefix, u64>> = vec![HashMap::new(); levels];
-            for (&item, &c) in counts.iter() {
-                for (level, map) in maps.iter_mut().enumerate() {
-                    *map.entry(hierarchy.generalize(item, level)).or_default() += c;
-                }
-            }
-            WindowReport {
-                index,
-                start,
-                end,
-                total,
-                hhhs: discount_bottom_up(hierarchy, &maps, threshold.absolute(total)),
-            }
-        };
-
-    let flush = |cur: u64,
-                 counts: &mut HashMap<H::Item, u64>,
-                 total: &mut u64,
-                 tail: &mut Vec<(TimeSpan, H::Item, u64)>,
-                 baseline: &mut Vec<WindowReport<H::Prefix>>,
-                 variants: &mut Vec<(TimeSpan, Vec<WindowReport<H::Prefix>>)>| {
-        let start = Nanos::ZERO + base * cur;
-        let end = start + base;
-        baseline.push(report_from(counts, *total, cur, start, end));
-        // Subtract tail packets incrementally, smallest delta first:
-        // each delta removes the packets in [base − delta, base − prev).
-        tail.sort_by_key(|e| core::cmp::Reverse(e.0));
-        let mut variant_counts = counts.clone();
-        let mut variant_total = *total;
-        let mut ordered: Vec<usize> = (0..variants.len()).collect();
-        ordered.sort_by_key(|&i| variants[i].0);
-        let mut prev = TimeSpan::ZERO;
-        let mut tail_iter = {
-            // offset_from_end ascending
-            let mut t = core::mem::take(tail);
-            t.sort_by_key(|e| e.0);
-            t.into_iter().peekable()
-        };
-        for vi in ordered {
-            let delta = variants[vi].0;
-            while let Some(&(off, _, _)) = tail_iter.peek() {
-                // A packet with offset exactly `delta` sits at the
-                // variant's (exclusive) end boundary and is excluded.
-                if off <= delta {
-                    let (_, item, w) = tail_iter.next().expect("peeked");
-                    let e = variant_counts.get_mut(&item).expect("tail item counted");
-                    *e -= w;
-                    variant_total -= w;
-                    if *e == 0 {
-                        variant_counts.remove(&item);
-                    }
-                } else {
-                    break;
-                }
-            }
-            variants[vi].1.push(report_from(
-                &variant_counts,
-                variant_total,
-                cur,
-                start,
-                end - delta,
-            ));
-            prev = delta;
-        }
-        let _ = prev;
-        counts.clear();
-        *total = 0;
-    };
-
-    for p in packets {
-        let w = p.ts.bin_index(base);
-        if w >= n_windows {
-            break;
-        }
-        while cur < w {
-            flush(cur, &mut counts, &mut total, &mut tail, &mut baseline, &mut variants);
-            cur += 1;
-        }
-        let item = key(&p);
-        let weight = measure.weight(&p);
-        *counts.entry(item).or_default() += weight;
-        total += weight;
-        let window_end = Nanos::ZERO + base * (w + 1);
-        let offset_from_end = window_end - p.ts;
-        if offset_from_end <= max_delta {
-            tail.push((offset_from_end, item, weight));
-        }
-    }
-    while cur < n_windows {
-        flush(cur, &mut counts, &mut total, &mut tail, &mut baseline, &mut variants);
-        cur += 1;
-    }
-
+    let mut series = Pipeline::new(packets)
+        .engine(MicroVaried::new(hierarchy, horizon, base, deltas, threshold, key).measure(measure))
+        .collect()
+        .run();
+    let baseline = std::mem::take(&mut series[0]);
+    let variants =
+        deltas.iter().enumerate().map(|(i, d)| (*d, std::mem::take(&mut series[1 + i]))).collect();
     MicroVariedRun { baseline, variants }
 }
 
 /// Drive a **windowless** (continuous) detector and collect reports at
 /// the given probe instants (must be sorted ascending).
+#[deprecated(
+    since = "0.2.0",
+    note = "compose `Pipeline::new(packets).engine(Continuous::new(…)).collect().run()` instead"
+)]
 pub fn run_continuous<H, D, F>(
     packets: impl Iterator<Item = PacketRecord>,
     probes: &[Nanos],
@@ -352,36 +154,15 @@ where
     D: ContinuousDetector<H>,
     F: Fn(&PacketRecord) -> H::Item,
 {
-    assert!(probes.windows(2).all(|w| w[0] <= w[1]), "probe instants must be sorted");
-    let mut out = Vec::with_capacity(probes.len());
-    let mut next = 0usize;
-    for p in packets {
-        while next < probes.len() && probes[next] <= p.ts {
-            out.push(WindowReport {
-                index: next as u64,
-                start: probes[next],
-                end: probes[next],
-                total: detector.decayed_total(probes[next]) as u64,
-                hhhs: detector.report_at(probes[next], threshold),
-            });
-            next += 1;
-        }
-        detector.observe(p.ts, key(&p), measure.weight(&p));
-    }
-    while next < probes.len() {
-        out.push(WindowReport {
-            index: next as u64,
-            start: probes[next],
-            end: probes[next],
-            total: detector.decayed_total(probes[next]) as u64,
-            hhhs: detector.report_at(probes[next], threshold),
-        });
-        next += 1;
-    }
-    out
+    Pipeline::new(packets)
+        .engine(Continuous::new(detector, probes, threshold, key).measure(measure))
+        .collect()
+        .run()
+        .remove(0)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers are exactly what these tests pin down
 mod tests {
     use super::*;
     use hhh_core::ExactHhh;

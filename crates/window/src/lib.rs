@@ -1,43 +1,72 @@
 //! # hhh-window
 //!
 //! The window execution engine: everything Figure 1 of the paper
-//! sketches, as code.
+//! sketches, as one composable **pipeline**.
 //!
-//! * [`geometry`] — where windows *are*: disjoint (tumbling) windows,
-//!   sliding windows with a step, and micro-varied window lengths
-//!   (Fig. 1a/1b/1c).
-//! * [`driver`] — running a detector over a packet stream under a
-//!   window model: [`run_disjoint`](driver::run_disjoint) resets the
-//!   detector at every boundary (the practice the paper critiques);
-//!   [`run_sliding_exact`](driver::run_sliding_exact) evaluates every
-//!   sliding position exactly via rolling per-epoch counts;
-//!   [`run_microvaried`](driver::run_microvaried) evaluates a baseline
-//!   window length against slightly-shorter variants in one pass
-//!   (Fig. 3's setup);
-//!   [`run_continuous`](driver::run_continuous) probes a windowless
-//!   detector at arbitrary instants.
-//! * [`sharded`] — batched multi-core ingestion: hash-partition the
-//!   stream by key across shard detectors on worker threads, feed them
-//!   batch-at-a-time, and merge shard states at report points
-//!   ([`run_sharded_disjoint`](sharded::run_sharded_disjoint) mirrors
-//!   the disjoint driver; `with_shards` exposes the pool directly).
+//! ```text
+//! Pipeline::new(source).engine(engine).sink(sink).run()
+//! ```
 //!
-//! ## Exactness of the sliding driver
+//! * **Sources** ([`source`]) — any `Iterator<Item = PacketRecord>`
+//!   (generated traces, slices), a bounded channel with back-pressure
+//!   fed from other threads ([`source::bounded`]), or the chunked
+//!   capture-file sources in `hhh-pcap`.
+//! * **Engines** ([`pipeline`]) — the window model × execution
+//!   strategy:
+//!   [`Disjoint`] resets the detector at every boundary (the practice
+//!   the paper critiques); [`SlidingExact`] evaluates every sliding
+//!   position exactly via rolling per-epoch counts; [`MicroVaried`]
+//!   evaluates a baseline window length against slightly-shorter
+//!   variants in one pass (Fig. 3's setup); [`Continuous`] probes a
+//!   windowless detector at arbitrary instants; and the multi-core
+//!   [`ShardedDisjoint`], [`ShardedSliding`] and [`ShardedContinuous`]
+//!   hash-partition the stream by key across worker threads and merge
+//!   shard states at report points ([`sharded`] holds the thread
+//!   pools).
+//! * **Sinks** ([`sink`]) — collect to `Vec`s ([`CollectSink`]),
+//!   stream into a closure ([`FnSink`]), or write JSON lines including
+//!   serialized merged-detector state for cross-process aggregation
+//!   ([`JsonSnapshotSink`]).
+//!
+//! The pre-pipeline `run_*` drivers survive in [`driver`] as thin
+//! deprecated wrappers (the module docs there have the migration
+//! table).
+//!
+//! ## Exactness of the sliding engines
 //!
 //! When the step divides the window length, a sliding window is a union
 //! of whole *epochs* (step-sized bins), so per-epoch exact counts give
 //! *exact* per-position HHH sets with one pass over the trace and
 //! O(window/step) rolling state — no approximation anywhere. The
-//! paper's 5/10/20 s windows with a 1 s step satisfy this; the driver
-//! asserts it.
+//! paper's 5/10/20 s windows with a 1 s step satisfy this; the engines
+//! assert it. [`ShardedSliding`] runs the same epoch decomposition as
+//! a ring of mergeable detectors per shard, which makes the sliding
+//! schedule multi-core for *any* mergeable detector — and
+//! report-for-report identical to [`SlidingExact`] when the detectors
+//! are exact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod driver;
 pub mod geometry;
+pub mod pipeline;
 mod report;
 pub mod sharded;
+pub mod sink;
+pub mod source;
 
+pub use pipeline::{
+    Continuous, Disjoint, Engine, MicroVaried, Pipeline, ShardedContinuous, ShardedDisjoint,
+    ShardedSliding, SlidingExact,
+};
 pub use report::{PrefixSet, WindowReport};
-pub use sharded::{run_sharded_disjoint, with_shards, ShardPool};
+pub use sharded::{
+    shard_of, with_continuous_shards, with_shards, with_sliding_shards, ContinuousShardPool,
+    ShardPool, SlidingShardPool, DEFAULT_BATCH,
+};
+pub use sink::{CollectSink, FnSink, JsonSnapshotSink, ReportSink};
+pub use source::{bounded, ChannelSource, PacketFeeder, PacketSource, DEFAULT_CHUNK};
+
+#[allow(deprecated)]
+pub use sharded::run_sharded_disjoint;

@@ -22,7 +22,7 @@
 //! unsafe.
 
 use crate::report::WindowReport;
-use hhh_core::{HhhDetector, MergeableDetector, Threshold};
+use hhh_core::{ContinuousDetector, HhhDetector, MergeableDetector, Threshold};
 use hhh_hierarchy::Hierarchy;
 use hhh_nettypes::{Measure, Nanos, PacketRecord, TimeSpan};
 use hhh_sketches::hash::hash_of;
@@ -39,11 +39,75 @@ pub const DEFAULT_BATCH: usize = 8192;
 const SHARD_SEED: u64 = 0x5AAD_ED01;
 
 /// The shard a key belongs to among `shards` shards.
+///
+/// The hash and its seed are **fixed**: the mapping is stable
+/// across runs, hosts and versions of this crate (pinned by a golden
+/// test), so operators can reason about shard placement. Correctness
+/// never depends on *which* shard a key lands on, though — the merge
+/// contracts only require that the partition be **disjoint** (each key
+/// always on the same shard within a run), so any stable hash would
+/// merge to the same answer.
 #[inline]
 pub fn shard_of<T: core::hash::Hash>(item: &T, shards: usize) -> usize {
     debug_assert!(shards > 0);
     // Widening multiply maps the hash uniformly onto [0, shards).
     ((hash_of(item, SHARD_SEED) as u128 * shards as u128) >> 64) as usize
+}
+
+/// Scatter `batch` into per-shard buffers by `shard_key` and send each
+/// non-empty sub-batch to its worker, wrapped by `wrap`. The shared
+/// scatter pass of every pool: one shard skips the scatter entirely;
+/// otherwise filled buffers are handed to workers and replaced with
+/// same-capacity empties, so steady-state scattering never reallocates.
+fn scatter_to_workers<T: Copy, M>(
+    senders: &[Sender<M>],
+    scatter: &mut [Vec<T>],
+    batch: &[T],
+    shard_key: impl Fn(&T, usize) -> usize,
+    wrap: impl Fn(Vec<T>) -> M,
+) {
+    let k = senders.len();
+    if k == 1 {
+        senders[0].send(wrap(batch.to_vec())).expect("shard worker hung up");
+        return;
+    }
+    for &t in batch {
+        scatter[shard_key(&t, k)].push(t);
+    }
+    for (sub, tx) in scatter.iter_mut().zip(senders) {
+        if !sub.is_empty() {
+            let send = std::mem::replace(sub, Vec::with_capacity(sub.capacity()));
+            tx.send(wrap(send)).expect("shard worker hung up");
+        }
+    }
+}
+
+/// Ask every worker for its state (via the message `request` builds
+/// around a reply channel) and fold the replies into one detector.
+/// FIFO channels make the reply observe every batch sent before the
+/// request; requests go out to all workers before any reply is
+/// awaited, so shards quiesce concurrently.
+fn merged_reply<D: MergeableDetector, M>(
+    senders: &[Sender<M>],
+    request: impl Fn(Sender<D>) -> M,
+) -> D {
+    let receivers: Vec<Receiver<D>> = senders
+        .iter()
+        .map(|tx| {
+            let (reply_tx, reply_rx) = channel();
+            tx.send(request(reply_tx)).expect("shard worker hung up");
+            reply_rx
+        })
+        .collect();
+    let mut merged: Option<D> = None;
+    for rx in receivers {
+        let shard_state = rx.recv().expect("shard worker died before snapshot");
+        match &mut merged {
+            None => merged = Some(shard_state),
+            Some(m) => m.merge(&shard_state),
+        }
+    }
+    merged.expect("at least one shard")
 }
 
 enum Msg<I, D> {
@@ -76,24 +140,13 @@ where
     /// Scatter one batch to the shard workers by key hash and return
     /// once it is *enqueued* (workers process asynchronously).
     pub fn observe_batch(&mut self, batch: &[(H::Item, u64)]) {
-        let k = self.senders.len();
-        if k == 1 {
-            // Single shard: skip the scatter pass.
-            self.senders[0].send(Msg::Batch(batch.to_vec())).expect("shard worker hung up");
-            return;
-        }
-        for &(item, weight) in batch {
-            self.scatter[shard_of(&item, k)].push((item, weight));
-        }
-        for (sub, tx) in self.scatter.iter_mut().zip(&self.senders) {
-            if !sub.is_empty() {
-                // Hand the filled buffer to the worker and leave a
-                // same-capacity replacement behind, so the next
-                // scatter pass fills it without growth reallocations.
-                let send = std::mem::replace(sub, Vec::with_capacity(sub.capacity()));
-                tx.send(Msg::Batch(send)).expect("shard worker hung up");
-            }
-        }
+        scatter_to_workers(
+            &self.senders,
+            &mut self.scatter,
+            batch,
+            |(item, _), k| shard_of(item, k),
+            Msg::Batch,
+        );
     }
 
     /// Wait for every shard to drain its queue, then fold all shard
@@ -101,24 +154,7 @@ where
     /// rest). The pooled detectors keep running — this is a read point,
     /// not a stop.
     pub fn merged_snapshot(&self) -> D {
-        let receivers: Vec<Receiver<D>> = self
-            .senders
-            .iter()
-            .map(|tx| {
-                let (reply_tx, reply_rx) = channel();
-                tx.send(Msg::Snapshot(reply_tx)).expect("shard worker hung up");
-                reply_rx
-            })
-            .collect();
-        let mut merged: Option<D> = None;
-        for rx in receivers {
-            let shard_state = rx.recv().expect("shard worker died before snapshot");
-            match &mut merged {
-                None => merged = Some(shard_state),
-                Some(m) => m.merge(&shard_state),
-            }
-        }
-        merged.expect("at least one shard")
+        merged_reply(&self.senders, Msg::Snapshot)
     }
 
     /// Reset every shard detector (window boundary). FIFO ordering
@@ -184,6 +220,196 @@ where
     })
 }
 
+/// Run `body` against a pool of **epoch rings**: per shard, `epw`
+/// windowed detectors — one per step-sized epoch of a sliding window —
+/// on one worker thread. This is the execution substrate of the
+/// sharded sliding engine
+/// ([`ShardedSliding`](crate::pipeline::ShardedSliding)): a sliding
+/// window is a union of whole epochs, so the window state at any
+/// position is the merge of the ring's detectors, across all shards.
+///
+/// Every inner `Vec` must have the same length (`epw`). Workers shut
+/// down when `body` returns.
+pub fn with_sliding_shards<H, D, R, F>(rings: Vec<Vec<D>>, body: F) -> R
+where
+    H: Hierarchy,
+    H::Item: Send,
+    D: HhhDetector<H> + MergeableDetector + Clone + Send,
+    F: FnOnce(&mut SlidingShardPool<H, D>) -> R,
+{
+    assert!(!rings.is_empty(), "need at least one shard ring");
+    let epw = rings[0].len();
+    assert!(epw > 0, "epoch rings must be non-empty");
+    assert!(rings.iter().all(|r| r.len() == epw), "all shard rings must have equal length");
+    let k = rings.len();
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(k);
+        for mut ring in rings {
+            let (tx, rx) = channel::<SlidingMsg<H::Item, D>>();
+            senders.push(tx);
+            scope.spawn(move || {
+                let mut cur = 0usize;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        SlidingMsg::Batch(batch) => ring[cur].observe_batch(&batch),
+                        SlidingMsg::Advance => {
+                            cur = (cur + 1) % ring.len();
+                            ring[cur].reset();
+                        }
+                        SlidingMsg::Window(reply) => {
+                            let mut merged = ring[0].clone();
+                            for d in &ring[1..] {
+                                merged.merge(d);
+                            }
+                            let _ = reply.send(merged);
+                        }
+                    }
+                }
+            });
+        }
+        let mut pool = SlidingShardPool { senders, scatter: vec![Vec::new(); k] };
+        let result = body(&mut pool);
+        drop(pool);
+        result
+    })
+}
+
+enum SlidingMsg<I, D> {
+    /// Observe a batch on the worker's *current* epoch detector.
+    Batch(Vec<(I, u64)>),
+    /// Epoch boundary: rotate to the next ring slot, resetting it (it
+    /// held the epoch that just slid out of the window).
+    Advance,
+    /// Merge the whole ring — the sliding-window state — and reply.
+    Window(Sender<D>),
+}
+
+/// Handle to a running sliding shard pool; created by
+/// [`with_sliding_shards`].
+pub struct SlidingShardPool<H: Hierarchy, D> {
+    senders: Vec<Sender<SlidingMsg<H::Item, D>>>,
+    scatter: Vec<Vec<(H::Item, u64)>>,
+}
+
+impl<H, D> SlidingShardPool<H, D>
+where
+    H: Hierarchy,
+    D: HhhDetector<H> + MergeableDetector + Clone + Send,
+{
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Scatter a batch of observations (all belonging to the current
+    /// epoch) to the shard workers by key hash.
+    pub fn observe_batch(&mut self, batch: &[(H::Item, u64)]) {
+        scatter_to_workers(
+            &self.senders,
+            &mut self.scatter,
+            batch,
+            |(item, _), k| shard_of(item, k),
+            SlidingMsg::Batch,
+        );
+    }
+
+    /// Epoch boundary: every worker rotates its ring by one slot,
+    /// resetting the slot that just slid out of the window.
+    pub fn advance(&self) {
+        for tx in &self.senders {
+            tx.send(SlidingMsg::Advance).expect("shard worker hung up");
+        }
+    }
+
+    /// The sliding-window state: every worker merges its ring, then the
+    /// per-shard states are merged across shards.
+    pub fn merged_window(&self) -> D {
+        merged_reply(&self.senders, SlidingMsg::Window)
+    }
+}
+
+/// Run `body` against a pool of **continuous** (windowless) shard
+/// detectors, one worker thread per detector — the substrate of the
+/// sharded continuous engine
+/// ([`ShardedContinuous`](crate::pipeline::ShardedContinuous)).
+/// Observations carry timestamps; snapshots can be taken at any
+/// instant and merged (the merge decays both sides to a common time).
+pub fn with_continuous_shards<H, C, R, F>(detectors: Vec<C>, body: F) -> R
+where
+    H: Hierarchy,
+    H::Item: Send,
+    C: ContinuousDetector<H> + MergeableDetector + Clone + Send,
+    F: FnOnce(&mut ContinuousShardPool<H, C>) -> R,
+{
+    assert!(!detectors.is_empty(), "need at least one shard detector");
+    let k = detectors.len();
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(k);
+        for mut detector in detectors {
+            let (tx, rx) = channel::<ContinuousMsg<H::Item, C>>();
+            senders.push(tx);
+            scope.spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ContinuousMsg::Batch(batch) => detector.observe_batch(&batch),
+                        ContinuousMsg::Snapshot(reply) => {
+                            let _ = reply.send(detector.clone());
+                        }
+                    }
+                }
+            });
+        }
+        let mut pool = ContinuousShardPool { senders, scatter: vec![Vec::new(); k] };
+        let result = body(&mut pool);
+        drop(pool);
+        result
+    })
+}
+
+enum ContinuousMsg<I, C> {
+    /// Observe a batch of timestamped `(ts, item, weight)` triples.
+    Batch(Vec<(Nanos, I, u64)>),
+    /// Clone the current detector state back through the channel.
+    Snapshot(Sender<C>),
+}
+
+/// Handle to a running continuous shard pool; created by
+/// [`with_continuous_shards`].
+pub struct ContinuousShardPool<H: Hierarchy, C> {
+    senders: Vec<Sender<ContinuousMsg<H::Item, C>>>,
+    scatter: Vec<Vec<(Nanos, H::Item, u64)>>,
+}
+
+impl<H, C> ContinuousShardPool<H, C>
+where
+    H: Hierarchy,
+    C: ContinuousDetector<H> + MergeableDetector + Clone + Send,
+{
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Scatter a batch of timestamped observations to the shard
+    /// workers by key hash (timestamps non-decreasing, as on the wire).
+    pub fn observe_batch(&mut self, batch: &[(Nanos, H::Item, u64)]) {
+        scatter_to_workers(
+            &self.senders,
+            &mut self.scatter,
+            batch,
+            |(_, item, _), k| shard_of(item, k),
+            ContinuousMsg::Batch,
+        );
+    }
+
+    /// Wait for every shard to drain its queue, then fold all shard
+    /// states into one detector. The pooled detectors keep running —
+    /// this is a read point, not a stop.
+    pub fn merged_snapshot(&self) -> C {
+        merged_reply(&self.senders, ContinuousMsg::Snapshot)
+    }
+}
+
 /// Sharded counterpart of [`run_disjoint`](crate::driver::run_disjoint):
 /// same window geometry, same report/reset schedule, but ingestion is
 /// hash-partitioned across `detectors.len()` shard threads and fed in
@@ -193,7 +419,12 @@ where
 /// With exact detectors the output is identical to `run_disjoint` on
 /// the same stream (merge is lossless); with approximate ones it is
 /// identical up to the merge's additive error growth.
-#[allow(clippy::too_many_arguments)] // mirrors run_disjoint's natural parameter list
+#[deprecated(
+    since = "0.2.0",
+    note = "compose `Pipeline::new(packets).engine(ShardedDisjoint::new(…).batch(n)).collect()\
+            .run()` instead"
+)]
+#[allow(clippy::too_many_arguments)] // preserved legacy signature
 pub fn run_sharded_disjoint<H, D, F>(
     packets: impl Iterator<Item = PacketRecord>,
     horizon: TimeSpan,
@@ -212,61 +443,18 @@ where
     F: Fn(&PacketRecord) -> H::Item,
 {
     let _ = hierarchy;
-    assert!(batch > 0, "batch size must be non-zero");
-    let n_windows = horizon / window;
-    let mut out: Vec<Vec<WindowReport<H::Prefix>>> =
-        thresholds.iter().map(|_| Vec::with_capacity(n_windows as usize)).collect();
-
-    with_shards(detectors, |pool| {
-        let mut pending: Vec<(H::Item, u64)> = Vec::with_capacity(batch);
-        let mut cur: u64 = 0;
-
-        let flush_window =
-            |cur: u64,
-             pending: &mut Vec<(H::Item, u64)>,
-             pool: &mut ShardPool<H, D>,
-             out: &mut Vec<Vec<WindowReport<H::Prefix>>>| {
-                if !pending.is_empty() {
-                    pool.observe_batch(pending);
-                    pending.clear();
-                }
-                let merged = pool.merged_snapshot();
-                for (ti, t) in thresholds.iter().enumerate() {
-                    out[ti].push(WindowReport {
-                        index: cur,
-                        start: Nanos::ZERO + window * cur,
-                        end: Nanos::ZERO + window * (cur + 1),
-                        total: merged.total(),
-                        hhhs: merged.report(*t),
-                    });
-                }
-                pool.reset();
-            };
-
-        for p in packets {
-            let w = p.ts.bin_index(window);
-            if w >= n_windows {
-                break; // time-sorted stream; the rest is partial tail
-            }
-            while cur < w {
-                flush_window(cur, &mut pending, pool, &mut out);
-                cur += 1;
-            }
-            pending.push((key(&p), measure.weight(&p)));
-            if pending.len() >= batch {
-                pool.observe_batch(&pending);
-                pending.clear();
-            }
-        }
-        while cur < n_windows {
-            flush_window(cur, &mut pending, pool, &mut out);
-            cur += 1;
-        }
-    });
-    out
+    crate::pipeline::Pipeline::new(packets)
+        .engine(
+            crate::pipeline::ShardedDisjoint::new(detectors, horizon, window, thresholds, key)
+                .batch(batch)
+                .measure(measure),
+        )
+        .collect()
+        .run()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers are exactly what these tests pin down
 mod tests {
     use super::*;
     use crate::driver::run_disjoint;
@@ -295,6 +483,26 @@ mod tests {
             .collect()
     }
 
+    /// Golden pin of the hash→shard mapping: `shard_of` is part of the
+    /// operational surface (operators reason about shard placement, and
+    /// a run restarted on another host must partition identically), so
+    /// its exact values are frozen here. Merge *correctness* does not
+    /// depend on the mapping — only on its disjointness — so if this
+    /// test ever needs updating, that is an operational compatibility
+    /// break, not a correctness bug; bump it consciously.
+    #[test]
+    fn shard_of_mapping_is_pinned() {
+        let keys = [0u32, 1, 7, 42, 0x0A01_0101, 0x1400_0001, 0xDEAD_BEEF, 0xFFFF_FFFF];
+        let golden: [(usize, [usize; 8]); 3] = [
+            (2, [1, 0, 0, 1, 0, 0, 0, 0]),
+            (4, [3, 1, 0, 2, 1, 1, 0, 0]),
+            (8, [6, 3, 0, 4, 2, 2, 1, 1]),
+        ];
+        for (k, want) in golden {
+            let got: Vec<usize> = keys.iter().map(|i| shard_of(i, k)).collect();
+            assert_eq!(got, want, "hash→shard mapping changed at K={k}");
+        }
+    }
     #[test]
     fn shard_partition_is_total_and_stable() {
         for k in [1usize, 2, 4, 8] {

@@ -1,0 +1,268 @@
+//! Report sinks: where a [`Pipeline`](crate::Pipeline) delivers its
+//! per-window results.
+//!
+//! Engines push every [`WindowReport`] into a [`ReportSink`] as soon as
+//! it is computed, tagged with its **series** index:
+//!
+//! * threshold-sweeping engines (disjoint, sliding, sharded) use one
+//!   series per requested threshold, in request order;
+//! * the micro-varied engine uses series `0` for the baseline windows
+//!   and series `1 + i` for the `i`-th delta;
+//! * single-threshold engines (continuous) use series `0`.
+//!
+//! Three sinks cover the common shapes: [`CollectSink`] gathers
+//! everything into `Vec`s (what the legacy `run_*` drivers returned),
+//! any `FnMut(usize, WindowReport<P>)` closure streams reports as they
+//! appear, and [`JsonSnapshotSink`] writes JSON lines — including
+//! serialized [`DetectorSnapshot`]s from the sharded engines, the wire
+//! format for cross-process aggregation.
+
+use crate::report::WindowReport;
+use hhh_core::snapshot::{json_string, DetectorSnapshot};
+use hhh_nettypes::Nanos;
+use std::fmt::Display;
+use std::io::Write;
+
+/// A consumer of pipeline output.
+pub trait ReportSink<P> {
+    /// What [`finish`](Self::finish) hands back when the pipeline is
+    /// done (returned by [`Pipeline::run`](crate::Pipeline::run)).
+    type Output;
+
+    /// Called once before any report, with the number of series the
+    /// engine will emit.
+    fn begin(&mut self, series: usize) {
+        let _ = series;
+    }
+
+    /// One report. `series` identifies the threshold (or micro-varied
+    /// variant) the report belongs to; within a series, reports arrive
+    /// in window order.
+    fn accept(&mut self, series: usize, report: WindowReport<P>);
+
+    /// Serialized merged detector state at a report point (`at`). Only
+    /// engines whose detector opts into
+    /// [`MergeableDetector::snapshot`](hhh_core::MergeableDetector::snapshot)
+    /// call this; the default ignores it.
+    fn state(&mut self, at: Nanos, snapshot: &DetectorSnapshot) {
+        let _ = (at, snapshot);
+    }
+
+    /// The stream is complete; produce the output.
+    fn finish(self) -> Self::Output;
+}
+
+/// Collect every report into one `Vec<WindowReport>` per series — the
+/// shape the legacy `run_*` drivers returned.
+#[derive(Clone, Debug, Default)]
+pub struct CollectSink<P> {
+    series: Vec<Vec<WindowReport<P>>>,
+}
+
+impl<P> CollectSink<P> {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectSink { series: Vec::new() }
+    }
+}
+
+impl<P> ReportSink<P> for CollectSink<P> {
+    type Output = Vec<Vec<WindowReport<P>>>;
+
+    fn begin(&mut self, series: usize) {
+        self.series.resize_with(series, Vec::new);
+    }
+
+    fn accept(&mut self, series: usize, report: WindowReport<P>) {
+        if self.series.len() <= series {
+            self.series.resize_with(series + 1, Vec::new);
+        }
+        self.series[series].push(report);
+    }
+
+    fn finish(self) -> Self::Output {
+        self.series
+    }
+}
+
+/// Streaming sink: wrap an `FnMut(usize, WindowReport<P>)` closure so
+/// it sees each report the moment its window closes, without any
+/// buffering.
+///
+/// ```
+/// use hhh_window::FnSink;
+/// let mut count = 0usize;
+/// let sink = FnSink(|_series: usize, _report: hhh_window::WindowReport<u32>| count += 1);
+/// # let _ = sink;
+/// ```
+pub struct FnSink<F>(pub F);
+
+impl<P, F: FnMut(usize, WindowReport<P>)> ReportSink<P> for FnSink<F> {
+    type Output = ();
+
+    fn accept(&mut self, series: usize, report: WindowReport<P>) {
+        (self.0)(series, report);
+    }
+
+    fn finish(self) -> Self::Output {}
+}
+
+/// Write pipeline output as JSON lines: one `report` object per window
+/// report and one `state` object per detector snapshot. The `state`
+/// lines carry the full serialized [`MergeableDetector`] state of the
+/// (merged) detector at each report point — ship them to another
+/// process and fold states with the same merge algebra the in-process
+/// pipeline uses.
+///
+/// Line shapes:
+///
+/// ```json
+/// {"type":"report","series":0,"index":3,"start_ns":…,"end_ns":…,"total":…,
+///  "hhhs":[{"prefix":"10.0.0.0/8","level":3,"estimate":…,"discounted":…},…]}
+/// {"type":"state","at_ns":…,"snapshot":{"kind":"exact","total":…,"state":{…}}}
+/// ```
+#[derive(Debug)]
+pub struct JsonSnapshotSink<W: Write> {
+    out: W,
+    /// First I/O error, if any (subsequent writes are skipped).
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonSnapshotSink<W> {
+    /// Wrap a writer (`Vec<u8>`, `BufWriter<File>`, a socket…).
+    pub fn new(out: W) -> Self {
+        JsonSnapshotSink { out, error: None }
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(line.as_bytes()).and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl<P: Display, W: Write> ReportSink<P> for JsonSnapshotSink<W> {
+    /// The writer plus the first I/O error encountered, if any.
+    type Output = (W, Option<std::io::Error>);
+
+    fn accept(&mut self, series: usize, report: WindowReport<P>) {
+        let mut hhhs = String::from("[");
+        for (i, r) in report.hhhs.iter().enumerate() {
+            if i > 0 {
+                hhhs.push(',');
+            }
+            hhhs.push_str(&format!(
+                "{{\"prefix\":{},\"level\":{},\"estimate\":{},\"discounted\":{}}}",
+                json_string(&r.prefix),
+                r.level,
+                r.estimate,
+                r.discounted
+            ));
+        }
+        hhhs.push(']');
+        let line = format!(
+            "{{\"type\":\"report\",\"series\":{},\"index\":{},\"start_ns\":{},\"end_ns\":{},\
+             \"total\":{},\"hhhs\":{}}}",
+            series,
+            report.index,
+            report.start.as_nanos(),
+            report.end.as_nanos(),
+            report.total,
+            hhhs
+        );
+        self.write_line(&line);
+    }
+
+    fn state(&mut self, at: Nanos, snapshot: &DetectorSnapshot) {
+        let line = format!(
+            "{{\"type\":\"state\",\"at_ns\":{},\"snapshot\":{}}}",
+            at.as_nanos(),
+            snapshot.to_json()
+        );
+        self.write_line(&line);
+    }
+
+    fn finish(mut self) -> Self::Output {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+        (self.out, self.error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhh_core::HhhReport;
+
+    fn report(index: u64) -> WindowReport<u32> {
+        WindowReport {
+            index,
+            start: Nanos::from_secs(index),
+            end: Nanos::from_secs(index + 1),
+            total: 100 * (index + 1),
+            hhhs: vec![HhhReport {
+                prefix: 7u32,
+                level: 0,
+                estimate: 50,
+                discounted: 50,
+                lower_bound: 50,
+            }],
+        }
+    }
+
+    #[test]
+    fn collect_sink_preserves_series_shape() {
+        let mut sink: CollectSink<u32> = CollectSink::new();
+        sink.begin(3);
+        sink.accept(1, report(0));
+        sink.accept(0, report(0));
+        sink.accept(1, report(1));
+        let out = sink.finish();
+        assert_eq!(out.len(), 3, "begin() fixes the series count even when one stays empty");
+        assert_eq!(out[0].len(), 1);
+        assert_eq!(out[1].len(), 2);
+        assert!(out[2].is_empty());
+    }
+
+    #[test]
+    fn closure_sink_streams() {
+        let mut seen = Vec::new();
+        {
+            let mut sink =
+                FnSink(|series: usize, r: WindowReport<u32>| seen.push((series, r.index)));
+            sink.accept(0, report(0));
+            sink.accept(0, report(1));
+            sink.finish();
+        }
+        assert_eq!(seen, vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn json_sink_writes_report_and_state_lines() {
+        let mut sink = JsonSnapshotSink::new(Vec::new());
+        ReportSink::<u32>::begin(&mut sink, 1);
+        sink.accept(0, report(2));
+        let snap = DetectorSnapshot {
+            kind: "exact",
+            total: 300,
+            state_json: "{\"counts\":[[\"7\",300]]}".into(),
+        };
+        ReportSink::<u32>::state(&mut sink, Nanos::from_secs(3), &snap);
+        let (bytes, err) = ReportSink::<u32>::finish(sink);
+        assert!(err.is_none());
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"report\",\"series\":0,\"index\":2,"));
+        assert!(lines[0].contains("\"prefix\":\"7\""));
+        assert!(lines[1].starts_with("{\"type\":\"state\",\"at_ns\":3000000000,"));
+        assert!(lines[1].contains("\"kind\":\"exact\""));
+    }
+}

@@ -1,0 +1,260 @@
+//! Packet sources: where a [`Pipeline`](crate::Pipeline) pulls its
+//! stream from.
+//!
+//! The pipeline consumes packets **chunk at a time** through
+//! [`PacketSource`], which keeps the engine loop batch-friendly (one
+//! virtual call per chunk, not per packet) and makes the source
+//! swappable:
+//!
+//! * any `Iterator<Item = PacketRecord>` is a source (blanket impl) —
+//!   generated traces, slices, adapters;
+//! * [`ChannelSource`] is fed by a [`PacketFeeder`] over a **bounded**
+//!   channel, so threads, sockets, or a pcap tail can push packets into
+//!   a running pipeline with back-pressure: when the analysis side
+//!   falls behind, `send` blocks instead of buffering unboundedly;
+//! * `hhh-pcap` provides chunked file sources (`PcapSource`,
+//!   `NativeSource`) over the capture formats.
+//!
+//! All sources must yield packets in non-decreasing timestamp order —
+//! the same contract the window drivers have always had.
+
+use hhh_nettypes::PacketRecord;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+/// Default packets per chunk pulled from a source. Matches the sharded
+/// pipeline's batch sizing rationale: large enough to amortize per-chunk
+/// overhead, small enough to stay cache-resident.
+pub const DEFAULT_CHUNK: usize = 8192;
+
+/// A pull-based, chunked stream of time-sorted packets.
+///
+/// Blanket-implemented for every `Iterator<Item = PacketRecord>`
+/// (generated traces, slices, `hhh-pcap`'s file sources), so most
+/// concrete source types only implement `Iterator` and inherit the
+/// chunked protocol. Sources with their own latency story — like
+/// [`ChannelSource`], which must hand over partial chunks rather than
+/// block a live feed — implement `pull_chunk` directly.
+pub trait PacketSource {
+    /// Append the next chunk of packets to `buf` (the caller hands in
+    /// an empty buffer) and return `true`, or return `false` when the
+    /// stream is exhausted. Implementations choose their own chunk
+    /// size; an implementation must not return `true` with an empty
+    /// `buf`.
+    fn pull_chunk(&mut self, buf: &mut Vec<PacketRecord>) -> bool;
+}
+
+/// Every packet iterator is a source: chunks of [`DEFAULT_CHUNK`].
+impl<I: Iterator<Item = PacketRecord>> PacketSource for I {
+    fn pull_chunk(&mut self, buf: &mut Vec<PacketRecord>) -> bool {
+        buf.extend(self.by_ref().take(DEFAULT_CHUNK));
+        !buf.is_empty()
+    }
+}
+
+/// Create a bounded feeder/source pair: the [`PacketFeeder`] half goes
+/// to the producing thread (socket reader, pcap tail, generator), the
+/// [`ChannelSource`] half goes to [`Pipeline::new`](crate::Pipeline).
+///
+/// `capacity` is the number of in-flight *batches* (of up to `batch`
+/// packets each) the queue holds before `send` blocks — the
+/// back-pressure bound. Total buffered packets ≤ `capacity × batch`.
+///
+/// ```
+/// use hhh_window::source::bounded;
+///
+/// let (mut feeder, source) = bounded(4, 1024);
+/// let producer = std::thread::spawn(move || {
+///     use hhh_nettypes::{Nanos, PacketRecord};
+///     for i in 0..10_000u64 {
+///         feeder.send(PacketRecord::new(Nanos::from_micros(i), i as u32, 1, 100));
+///     }
+///     // feeder drops here: flushes the tail and closes the stream.
+/// });
+/// use hhh_window::PacketSource;
+/// let mut source = source;
+/// let mut n = 0usize;
+/// let mut buf = Vec::new();
+/// while source.pull_chunk(&mut buf) {
+///     n += buf.len();
+///     buf.clear();
+/// }
+/// producer.join().unwrap();
+/// assert_eq!(n, 10_000);
+/// ```
+pub fn bounded(capacity: usize, batch: usize) -> (PacketFeeder, ChannelSource) {
+    assert!(capacity > 0, "channel capacity must be non-zero");
+    assert!(batch > 0, "batch size must be non-zero");
+    let (tx, rx) = sync_channel(capacity);
+    (PacketFeeder { tx, buf: Vec::with_capacity(batch), batch }, ChannelSource { rx })
+}
+
+/// The producing half of [`bounded`]: buffers packets into batches and
+/// pushes them down the bounded channel, blocking when the pipeline is
+/// `capacity` batches behind.
+pub struct PacketFeeder {
+    tx: SyncSender<Vec<PacketRecord>>,
+    buf: Vec<PacketRecord>,
+    batch: usize,
+}
+
+impl PacketFeeder {
+    /// Queue one packet; blocks on a full channel (back-pressure).
+    /// Returns `false` when the consuming pipeline has hung up (the
+    /// producer should stop).
+    pub fn send(&mut self, p: PacketRecord) -> bool {
+        self.buf.push(p);
+        if self.buf.len() >= self.batch {
+            return self.flush();
+        }
+        true
+    }
+
+    /// Queue a whole batch (chunked internally).
+    pub fn send_batch(&mut self, packets: &[PacketRecord]) -> bool {
+        for &p in packets {
+            if !self.send(p) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Push any buffered packets now instead of waiting for a full
+    /// batch. Returns `false` when the consumer has hung up.
+    pub fn flush(&mut self) -> bool {
+        if self.buf.is_empty() {
+            return true;
+        }
+        let send = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
+        self.tx.send(send).is_ok()
+    }
+}
+
+impl Drop for PacketFeeder {
+    /// Flush the buffered tail so dropping the feeder cleanly ends the
+    /// stream (the channel closes when the last sender drops).
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// The consuming half of [`bounded`]: a [`PacketSource`] over the fed
+/// packets, ending when the last [`PacketFeeder`] is dropped.
+///
+/// Each [`pull_chunk`](PacketSource::pull_chunk) **blocks only for the
+/// first queued batch** (an empty queue with live feeders means the
+/// producer is slower than the pipeline — wait, don't spin), then
+/// drains whatever else is already queued without blocking. A slow
+/// feeder therefore never delays reports for windows that have already
+/// closed: every fed batch reaches the engine as soon as the engine
+/// asks, rather than once [`DEFAULT_CHUNK`] packets accumulate.
+pub struct ChannelSource {
+    rx: Receiver<Vec<PacketRecord>>,
+}
+
+impl PacketSource for ChannelSource {
+    fn pull_chunk(&mut self, buf: &mut Vec<PacketRecord>) -> bool {
+        // Block for the first non-empty batch (feeders never send
+        // empty ones; the guard is defensive).
+        let first = loop {
+            match self.rx.recv() {
+                Ok(batch) if batch.is_empty() => continue,
+                Ok(batch) => break batch,
+                Err(_) => return false,
+            }
+        };
+        if buf.is_empty() {
+            *buf = first;
+        } else {
+            buf.extend_from_slice(&first);
+        }
+        // Opportunistically drain what is already queued.
+        while buf.len() < DEFAULT_CHUNK {
+            match self.rx.try_recv() {
+                Ok(batch) => buf.extend_from_slice(&batch),
+                Err(_) => break,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhh_nettypes::Nanos;
+
+    fn pkt(i: u64) -> PacketRecord {
+        PacketRecord::new(Nanos::from_micros(i), i as u32, 1, 100)
+    }
+
+    #[test]
+    fn iterator_source_chunks_everything() {
+        let pkts: Vec<PacketRecord> = (0..20_000).map(pkt).collect();
+        let mut src = pkts.iter().copied();
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        while src.pull_chunk(&mut buf) {
+            assert!(!buf.is_empty());
+            assert!(buf.len() <= DEFAULT_CHUNK);
+            got.append(&mut buf);
+        }
+        assert_eq!(got, pkts);
+    }
+
+    #[test]
+    fn channel_source_delivers_in_order_and_ends() {
+        let (mut feeder, mut source) = bounded(2, 64);
+        let handle = std::thread::spawn(move || {
+            for i in 0..1000 {
+                assert!(feeder.send(pkt(i)));
+            }
+        });
+        let mut got = Vec::new();
+        let mut buf = Vec::new();
+        while source.pull_chunk(&mut buf) {
+            got.append(&mut buf);
+        }
+        handle.join().unwrap();
+        assert_eq!(got.len(), 1000);
+        assert!(got.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn drop_without_flush_still_delivers_tail() {
+        let (mut feeder, mut source) = bounded(4, 100);
+        for i in 0..42 {
+            feeder.send(pkt(i)); // never fills a batch
+        }
+        drop(feeder);
+        let mut buf = Vec::new();
+        assert!(source.pull_chunk(&mut buf));
+        assert_eq!(buf.len(), 42);
+        buf.clear();
+        assert!(!source.pull_chunk(&mut buf));
+    }
+
+    #[test]
+    fn channel_source_hands_over_partial_chunks_without_waiting() {
+        // The live-feed latency contract: once a batch is queued, a
+        // pull must return it even though the feeder is still alive
+        // and far fewer than DEFAULT_CHUNK packets exist.
+        let (mut feeder, mut source) = bounded(4, 10);
+        for i in 0..10 {
+            assert!(feeder.send(pkt(i))); // 10th send flushes the batch
+        }
+        let mut buf = Vec::new();
+        assert!(source.pull_chunk(&mut buf), "queued batch must be delivered");
+        assert_eq!(buf.len(), 10, "partial chunk handed over, not held for DEFAULT_CHUNK");
+        drop(feeder);
+        buf.clear();
+        assert!(!source.pull_chunk(&mut buf));
+    }
+
+    #[test]
+    fn hung_up_consumer_reported_to_feeder() {
+        let (mut feeder, source) = bounded(1, 1);
+        drop(source);
+        assert!(!feeder.send(pkt(0)), "send into a dropped source must report hang-up");
+    }
+}

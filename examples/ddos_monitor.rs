@@ -4,11 +4,13 @@
 //! A botnet inside one /16 ramps up mid-trace; no single bot is heavy,
 //! so only *hierarchical* aggregation sees the attack, and because the
 //! detector is windowless it can be queried at any instant without
-//! waiting for a window boundary.
+//! waiting for a window boundary. The probing is a [`Continuous`]
+//! pipeline engine with a streaming closure sink: alerts fire while
+//! the stream is still flowing, with zero buffering.
 //!
 //! Run with: `cargo run --release --example ddos_monitor`
 
-use hidden_hhh::core::{ContinuousDetector, TdbfHhh, TdbfHhhConfig};
+use hidden_hhh::core::{TdbfHhh, TdbfHhhConfig};
 use hidden_hhh::prelude::*;
 
 fn main() {
@@ -29,36 +31,38 @@ fn main() {
     // seconds establish the *baseline* set of heavy aggregates (big
     // customer networks are always there); alerts fire only for
     // aggregates that were NOT part of the baseline — the anomaly.
+    let probes: Vec<Nanos> = (1..horizon.as_millis() / 500)
+        .map(|k| Nanos::ZERO + TimeSpan::from_millis(k * 500))
+        .collect();
     let baseline_until = Nanos::from_secs(10);
     let mut baseline: std::collections::BTreeSet<Ipv4Prefix> = Default::default();
     let mut alerted: std::collections::BTreeSet<Ipv4Prefix> = Default::default();
-    let mut next_probe = Nanos::from_millis(500);
     println!(
         "monitoring (alerts are aggregates at /8..=/24 that were not heavy during the\n\
          first 10 s baseline; the attack pulse runs t=24s..42s):\n"
     );
-    for p in stream {
-        while next_probe <= p.ts {
-            for r in det.report_at(next_probe, threshold) {
+    Pipeline::new(stream)
+        .engine(Continuous::new(&mut det, &probes, threshold, |p| p.src))
+        .sink(FnSink(|_series, report: WindowReport<Ipv4Prefix>| {
+            let now = report.start;
+            for r in &report.hhhs {
                 if r.level == 0 || r.level > 3 {
                     continue; // hosts and the root are not "distributed source" signals
                 }
-                if next_probe <= baseline_until {
+                if now <= baseline_until {
                     baseline.insert(r.prefix);
                 } else if !baseline.contains(&r.prefix) && alerted.insert(r.prefix) {
                     println!(
                         "  t={:<8} ALERT new heavy aggregate {:<18} level {} decayed-bytes≈{}",
-                        next_probe.to_string(),
+                        now.to_string(),
                         r.prefix.to_string(),
                         r.level,
                         r.discounted
                     );
                 }
             }
-            next_probe += TimeSpan::from_millis(500);
-        }
-        det.observe(p.ts, p.src, p.wire_len as u64);
-    }
+        }))
+        .run();
 
     if alerted.is_empty() {
         println!("\nno anomalous aggregate fired — try a lower threshold");

@@ -17,20 +17,14 @@ fn main() {
     let packets = TraceGenerator::new(model, scenarios::day_seed(1));
     let hierarchy = Ipv4Hierarchy::bytes();
 
-    // One pass computes every sliding position exactly; the disjoint
-    // windows are the positions whose start is a multiple of the
-    // window length.
-    let sliding = run_sliding_exact(
-        packets,
-        horizon,
-        window,
-        step,
-        &hierarchy,
-        &[threshold],
-        Measure::Bytes,
-        |p| p.src,
-    )
-    .remove(0);
+    // One pipeline pass computes every sliding position exactly; the
+    // disjoint windows are the positions whose start is a multiple of
+    // the window length.
+    let sliding = Pipeline::new(packets)
+        .engine(SlidingExact::new(&hierarchy, horizon, window, step, &[threshold], |p| p.src))
+        .collect()
+        .run()
+        .remove(0);
     let epw = window / step;
     let disjoint: Vec<WindowReport<Ipv4Prefix>> =
         sliding.iter().filter(|r| r.index % epw == 0).cloned().collect();

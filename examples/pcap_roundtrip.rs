@@ -1,19 +1,21 @@
 //! Interoperability: write a synthetic trace as a standard pcap file,
-//! read it back, and analyze it — the same pipeline a deployment would
-//! run on real captures (tcpdump/Wireshark can open the file).
+//! then analyze it straight from disk with a pipeline over the chunked
+//! [`PcapSource`] — the same composition a deployment would run on
+//! real captures (tcpdump/Wireshark can open the file).
 //!
 //! Run with: `cargo run --release --example pcap_roundtrip`
 
-use hidden_hhh::pcap::{PcapReader, PcapWriter};
+use hidden_hhh::pcap::{PcapSource, PcapWriter};
 use hidden_hhh::prelude::*;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("hidden-hhh-example.pcap");
+    let horizon = TimeSpan::from_secs(10);
 
     // Generate and write.
-    let model = scenarios::day_trace(2, TimeSpan::from_secs(10));
+    let model = scenarios::day_trace(2, horizon);
     let mut writer = PcapWriter::new(BufWriter::new(File::create(&path)?))?;
     let mut generated = 0u64;
     for p in TraceGenerator::new(model, 1234) {
@@ -27,19 +29,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::metadata(&path)?.len()
     );
 
-    // Read back and analyze.
-    let mut reader = PcapReader::new(BufReader::new(File::open(&path)?))?;
+    // Read back and analyze: the pcap file is the pipeline's source,
+    // one 10 s disjoint window covering the whole capture. Feed the
+    // source by `&mut` so it stays inspectable after the run — that is
+    // how a torn capture is told apart from a clean end-of-file.
+    let mut source = PcapSource::open(BufReader::new(File::open(&path)?))?;
     let mut det = ExactHhh::new(Ipv4Hierarchy::bytes());
-    let mut packets = 0u64;
-    while let Some(rec) = reader.next_record()? {
-        HhhDetector::<Ipv4Hierarchy>::observe(&mut det, rec.src, rec.wire_len as u64);
-        packets += 1;
-    }
-    assert_eq!(packets, generated, "every frame must parse back");
-    println!("read {packets} IPv4 records back; top talkers above 5%:");
-    for r in det.report(Threshold::percent(5.0)) {
+    let reports = Pipeline::new(&mut source)
+        .engine(Disjoint::new(&mut det, horizon, horizon, &[Threshold::percent(5.0)], |p| p.src))
+        .collect()
+        .run();
+    assert!(source.error().is_none(), "capture tore mid-file: {:?}", source.error());
+    assert_eq!(source.reader().frames_read(), generated, "every frame must parse back");
+    println!("analyzed the capture from disk; top talkers above 5%:");
+    for r in &reports[0][0].hhhs {
         println!("  {r}");
     }
+    assert!(reports[0][0].total > 0, "capture must carry traffic");
 
     std::fs::remove_file(&path).ok();
     Ok(())

@@ -1,4 +1,5 @@
-//! Quickstart: generate traffic, detect hierarchical heavy hitters.
+//! Quickstart: generate traffic, detect hierarchical heavy hitters
+//! through the pipeline API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -7,7 +8,8 @@ use hidden_hhh::prelude::*;
 fn main() {
     // Thirty seconds of ISP-like traffic: Zipf sources clustered into
     // networks, bursty mid-ranks, IMIX packet sizes.
-    let model = scenarios::day_trace(0, TimeSpan::from_secs(30));
+    let horizon = TimeSpan::from_secs(30);
+    let model = scenarios::day_trace(0, horizon);
     let packets: Vec<PacketRecord> = TraceGenerator::new(model, 42).collect();
     let stats = TraceStats::from_stream(packets.iter().copied()).expect("non-empty");
     println!(
@@ -18,20 +20,23 @@ fn main() {
         stats.mean_bps() / 1e6
     );
 
-    // Feed the whole trace to the exact detector (one 30 s window).
+    // One pipeline pass: the whole trace as a single disjoint window,
+    // reported at the paper's three thresholds (one series each).
     let hierarchy = Ipv4Hierarchy::bytes();
+    let thresholds_pct = [10.0, 5.0, 1.0];
+    let thresholds: Vec<Threshold> =
+        thresholds_pct.iter().map(|p| Threshold::percent(*p)).collect();
     let mut det = ExactHhh::new(hierarchy);
-    for p in &packets {
-        HhhDetector::<Ipv4Hierarchy>::observe(&mut det, p.src, p.wire_len as u64);
-    }
+    let reports = Pipeline::new(packets.iter().copied())
+        .engine(Disjoint::new(&mut det, horizon, horizon, &thresholds, |p| p.src))
+        .collect()
+        .run();
 
-    // Report at the paper's three thresholds.
-    for pct in [10.0, 5.0, 1.0] {
-        let t = Threshold::percent(pct);
-        let report = det.report(t);
+    for (pct, series) in thresholds_pct.iter().zip(&reports) {
+        let report = &series[0].hhhs;
         println!("== HHHs above {pct}% of bytes ({} found) ==", report.len());
         let mut table = Table::new(vec!["prefix", "level", "total MB", "discounted MB"]);
-        for r in &report {
+        for r in report {
             table.row(vec![
                 r.prefix.to_string(),
                 r.level.to_string(),

@@ -15,40 +15,43 @@ fn main() {
     // the fig3 experiment and EXPERIMENTS.md).
     let hierarchy = Ipv4Hierarchy::bits();
 
-    let run = run_microvaried(
-        packets,
-        horizon,
-        base,
-        &deltas,
-        &hierarchy,
-        Threshold::percent(5.0),
-        Measure::Bytes,
-        |p| p.src,
-    );
+    // Micro-varied engine: series 0 is the baseline, series 1 + i the
+    // i-th delta, index-aligned with the baseline.
+    let out = Pipeline::new(packets)
+        .engine(MicroVaried::new(
+            &hierarchy,
+            horizon,
+            base,
+            &deltas,
+            Threshold::percent(5.0),
+            |p| p.src,
+        ))
+        .collect()
+        .run();
+    let baseline = &out[0];
 
     println!(
         "baseline: {} disjoint windows of {base}; variants share each window's start\n\
          but end 10/40/100 ms earlier. Same traffic, same threshold. How similar are\n\
          the reported HHH sets?\n",
-        run.baseline.len()
+        baseline.len()
     );
     let mut table =
         Table::new(vec!["window#", "baseline |HHH|", "Δ=10ms J", "Δ=40ms J", "Δ=100ms J"]);
-    for (i, b) in run.baseline.iter().enumerate() {
+    for (i, b) in baseline.iter().enumerate() {
         let mut row = vec![i.to_string(), b.len().to_string()];
-        for (_, reports) in &run.variants {
-            let j = jaccard(&b.prefix_set(), &reports[i].prefix_set());
+        for vi in 0..deltas.len() {
+            let j = jaccard(&b.prefix_set(), &out[1 + vi][i].prefix_set());
             row.push(format!("{j:.3}"));
         }
         table.row(row);
     }
     print!("{}", table.render());
 
-    for (delta, reports) in &run.variants {
-        let sims: Vec<f64> = run
-            .baseline
+    for (vi, delta) in deltas.iter().enumerate() {
+        let sims: Vec<f64> = baseline
             .iter()
-            .zip(reports)
+            .zip(&out[1 + vi])
             .map(|(b, v)| jaccard(&b.prefix_set(), &v.prefix_set()))
             .collect();
         let changed = sims.iter().filter(|s| **s < 1.0).count();

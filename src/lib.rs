@@ -24,8 +24,10 @@
 //! * [`core`] — HHH detectors: exact, Space-Saving full-ancestry,
 //!   RHHH, the windowless **TDBF-HHH**, plus HashPipe and
 //!   UnivMon-lite baselines;
-//! * [`window`] — disjoint / sliding / micro-varied window engines,
-//!   plus the sharded multi-core pipeline (batch-fed, merge-at-report);
+//! * [`window`] — the unified `Pipeline` (source → engine → sink):
+//!   disjoint / sliding / micro-varied / continuous engines plus their
+//!   sharded multi-core variants (batch-fed, merge-at-report), channel
+//!   sources with back-pressure, and JSON snapshot sinks;
 //! * [`dataplane`] — a match-action pipeline model with resource
 //!   accounting;
 //! * [`analysis`] — Jaccard, hidden-HHH, ECDF, precision/recall,
@@ -41,13 +43,24 @@
 //! let model = scenarios::day_trace(0, TimeSpan::from_secs(10));
 //! let packets: Vec<PacketRecord> = TraceGenerator::new(model, 42).collect();
 //!
-//! // …and find the hierarchical heavy hitters above 5% of bytes.
+//! // …and find the hierarchical heavy hitters above 5% of bytes in
+//! // each 5 s window, through the unified pipeline.
+//! let horizon = TimeSpan::from_secs(10);
 //! let mut det = ExactHhh::new(Ipv4Hierarchy::bytes());
-//! for p in &packets {
-//!     HhhDetector::<Ipv4Hierarchy>::observe(&mut det, p.src, p.wire_len as u64);
-//! }
-//! for hhh in det.report(Threshold::percent(5.0)) {
-//!     println!("{hhh}");
+//! let reports = Pipeline::new(packets.iter().copied())
+//!     .engine(Disjoint::new(
+//!         &mut det,
+//!         horizon,
+//!         TimeSpan::from_secs(5),
+//!         &[Threshold::percent(5.0)],
+//!         |p| p.src,
+//!     ))
+//!     .collect()
+//!     .run();
+//! for window in &reports[0] {
+//!     for hhh in &window.hhhs {
+//!         println!("[{}..{}] {hhh}", window.start, window.end);
+//!     }
 //! }
 //! ```
 //!
@@ -79,11 +92,18 @@ pub mod prelude {
     pub use hhh_nettypes::{Ipv4Prefix, Measure, Nanos, PacketRecord, Proto, TimeSpan};
     pub use hhh_sketches::{DecayRate, OnDemandTdbf, SpaceSaving};
     pub use hhh_trace::{scenarios, TraceGenerator, TraceStats, TrafficModel};
+    pub use hhh_window::{
+        bounded, with_continuous_shards, with_shards, with_sliding_shards, CollectSink, Continuous,
+        Disjoint, Engine, FnSink, JsonSnapshotSink, MicroVaried, PacketSource, Pipeline,
+        ReportSink, ShardedContinuous, ShardedDisjoint, ShardedSliding, SlidingExact, WindowReport,
+    };
+    // The deprecated pre-pipeline drivers, for call sites mid-migration.
+    #[allow(deprecated)]
     pub use hhh_window::driver::{
         run_continuous, run_disjoint, run_microvaried, run_sliding_exact,
     };
-    pub use hhh_window::sharded::{run_sharded_disjoint, with_shards};
-    pub use hhh_window::WindowReport;
+    #[allow(deprecated)]
+    pub use hhh_window::sharded::run_sharded_disjoint;
 }
 
 #[cfg(test)]

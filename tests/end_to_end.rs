@@ -68,9 +68,11 @@ fn hidden_hhhs_exist_and_are_burst_driven() {
     let h = Ipv4Hierarchy::bytes();
 
     let run = |packets: Box<dyn Iterator<Item = PacketRecord>>| {
-        let sliding =
-            run_sliding_exact(packets, horizon, window, step, &h, &[t], Measure::Bytes, |p| p.src)
-                .remove(0);
+        let sliding = Pipeline::new(packets)
+            .engine(SlidingExact::new(&h, horizon, window, step, &[t], |p| p.src))
+            .collect()
+            .run()
+            .remove(0);
         let epw = window / step;
         let disjoint: Vec<_> = sliding.iter().filter(|r| r.index % epw == 0).cloned().collect();
         hidden_hhh(&sliding, &disjoint)
@@ -125,17 +127,11 @@ fn windowless_detector_sees_what_disjoint_windows_hide() {
 
     // Disjoint: never sees it.
     let mut exact = ExactHhh::new(h);
-    let disjoint = run_disjoint(
-        pkts.iter().copied(),
-        horizon,
-        window,
-        &h,
-        &mut exact,
-        &[threshold],
-        Measure::Bytes,
-        |p| p.src,
-    )
-    .remove(0);
+    let disjoint = Pipeline::new(pkts.iter().copied())
+        .engine(Disjoint::new(&mut exact, horizon, window, &[threshold], |p| p.src))
+        .collect()
+        .run()
+        .remove(0);
     let burst_prefix = Ipv4Prefix::host(burster);
     assert!(
         disjoint.iter().all(|r| !r.prefix_set().contains(&burst_prefix)),
@@ -146,10 +142,11 @@ fn windowless_detector_sees_what_disjoint_windows_hide() {
     let mut tdbf =
         TdbfHhh::new(h, TdbfHhhConfig { half_life: window / 2, ..TdbfHhhConfig::default() });
     let probes = [Nanos::from_millis(11_200)];
-    let reports =
-        run_continuous(pkts.iter().copied(), &probes, &mut tdbf, threshold, Measure::Bytes, |p| {
-            p.src
-        });
+    let reports = Pipeline::new(pkts.iter().copied())
+        .engine(Continuous::new(&mut tdbf, &probes, threshold, |p| p.src))
+        .collect()
+        .run()
+        .remove(0);
     assert!(
         reports[0].prefix_set().contains(&burst_prefix),
         "windowless detector missed the boundary-straddling burst: {:?}",

@@ -71,9 +71,9 @@ proptest! {
         let step = TimeSpan::from_secs(1);
         let h = Ipv4Hierarchy::bytes();
         let t = Threshold::percent(pct);
-        let sliding = run_sliding_exact(
-            pkts.iter().copied(), horizon, window, step, &h, &[t], Measure::Bytes, |p| p.src,
-        ).remove(0);
+        let sliding = Pipeline::new(pkts.iter().copied())
+            .engine(SlidingExact::new(&h, horizon, window, step, &[t], |p| p.src))
+            .collect().run().remove(0);
         let epw = window / step;
         let disjoint: Vec<_> = sliding.iter().filter(|r| r.index % epw == 0).cloned().collect();
         let res = hidden_hhh(&sliding, &disjoint);
@@ -91,13 +91,13 @@ proptest! {
         let window = TimeSpan::from_secs(3);
         let h = Ipv4Hierarchy::bytes();
         let t = Threshold::percent(10.0);
-        let slid = run_sliding_exact(
-            pkts.iter().copied(), horizon, window, window, &h, &[t], Measure::Bytes, |p| p.src,
-        ).remove(0);
+        let slid = Pipeline::new(pkts.iter().copied())
+            .engine(SlidingExact::new(&h, horizon, window, window, &[t], |p| p.src))
+            .collect().run().remove(0);
         let mut det = ExactHhh::new(h);
-        let disj = run_disjoint(
-            pkts.iter().copied(), horizon, window, &h, &mut det, &[t], Measure::Bytes, |p| p.src,
-        ).remove(0);
+        let disj = Pipeline::new(pkts.iter().copied())
+            .engine(Disjoint::new(&mut det, horizon, window, &[t], |p| p.src))
+            .collect().run().remove(0);
         prop_assert_eq!(slid.len(), disj.len());
         for (s, d) in slid.iter().zip(&disj) {
             prop_assert_eq!(s.total, d.total);
@@ -114,11 +114,12 @@ proptest! {
         let base = TimeSpan::from_secs(2);
         let deltas = [TimeSpan::from_millis(50)];
         let h = Ipv4Hierarchy::bytes();
-        let run = run_microvaried(
-            pkts.iter().copied(), horizon, base, &deltas, &h,
-            Threshold::percent(10.0), Measure::Bytes, |p| p.src,
-        );
-        for (k, (b, v)) in run.baseline.iter().zip(&run.variants[0].1).enumerate() {
+        let out = Pipeline::new(pkts.iter().copied())
+            .engine(MicroVaried::new(&h, horizon, base, &deltas, Threshold::percent(10.0), |p| {
+                p.src
+            }))
+            .collect().run();
+        for (k, (b, v)) in out[0].iter().zip(&out[1]).enumerate() {
             let removed: u64 = pkts.iter()
                 .filter(|p| p.ts >= v.end && p.ts < b.end)
                 .map(|p| p.wire_len as u64)

@@ -1,0 +1,409 @@
+//! Pipeline ↔ legacy-driver parity: the acceptance contract of the
+//! unified `Pipeline` API.
+//!
+//! * **Golden parity on the 1.36M-packet trace** — for every legacy
+//!   `run_*` driver, composing the equivalent pipeline reproduces its
+//!   reports *exactly* (same series, same windows, same HHH sets, same
+//!   estimates). This pins the wrapper→engine mapping (series order,
+//!   output assembly, defaults) against regressions.
+//! * **New sharded engines vs their unsharded counterparts** — sharded
+//!   sliding with exact detectors equals the rolling-count sliding
+//!   engine report-for-report; sharded continuous equals the unsharded
+//!   windowless detector (bit-exactly at one shard, set-identically at
+//!   several).
+//! * **Source equivalence** — the bounded channel source feeds the
+//!   same reports as the iterator source.
+//! * **Snapshot plumbing** — sharded engines hand serialized merged
+//!   state to sinks whose totals match the reports.
+
+use hidden_hhh::core::snapshot::DetectorSnapshot;
+use hidden_hhh::core::{TdbfHhh, TdbfHhhConfig};
+use hidden_hhh::prelude::*;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The acceptance trace: day 0, 60 s, ≥ 1.36M packets (same trace the
+/// sharded-merge contract tests use).
+fn big_trace() -> &'static [PacketRecord] {
+    static TRACE: OnceLock<Vec<PacketRecord>> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        let pkts: Vec<PacketRecord> = TraceGenerator::new(
+            scenarios::day_trace(0, TimeSpan::from_secs(60)),
+            scenarios::day_seed(0),
+        )
+        .collect();
+        assert!(pkts.len() >= 1_000_000, "trace too small: {} packets", pkts.len());
+        pkts
+    })
+}
+
+fn small_trace(secs: u64, seed: u64) -> Vec<PacketRecord> {
+    TraceGenerator::new(scenarios::day_trace(0, TimeSpan::from_secs(secs)), seed).collect()
+}
+
+const HORIZON: TimeSpan = TimeSpan::from_secs(60);
+const WINDOW: TimeSpan = TimeSpan::from_secs(5);
+const STEP: TimeSpan = TimeSpan::from_secs(1);
+
+#[test]
+fn golden_disjoint_driver_parity_on_big_trace() {
+    let pkts = big_trace();
+    let h = Ipv4Hierarchy::bytes();
+    let thresholds = [Threshold::percent(1.0), Threshold::percent(5.0)];
+    #[allow(deprecated)]
+    let legacy = {
+        let mut det = ExactHhh::new(h);
+        run_disjoint(
+            pkts.iter().copied(),
+            HORIZON,
+            WINDOW,
+            &h,
+            &mut det,
+            &thresholds,
+            Measure::Bytes,
+            |p| p.src,
+        )
+    };
+    let mut det = ExactHhh::new(h);
+    let pipeline = Pipeline::new(pkts.iter().copied())
+        .engine(Disjoint::new(&mut det, HORIZON, WINDOW, &thresholds, |p| p.src))
+        .collect()
+        .run();
+    assert_eq!(legacy, pipeline);
+}
+
+#[test]
+fn golden_sliding_driver_parity_on_big_trace() {
+    let pkts = big_trace();
+    let h = Ipv4Hierarchy::bytes();
+    let thresholds = [Threshold::percent(1.0)];
+    #[allow(deprecated)]
+    let legacy = run_sliding_exact(
+        pkts.iter().copied(),
+        HORIZON,
+        WINDOW,
+        STEP,
+        &h,
+        &thresholds,
+        Measure::Bytes,
+        |p| p.src,
+    );
+    let pipeline = Pipeline::new(pkts.iter().copied())
+        .engine(SlidingExact::new(&h, HORIZON, WINDOW, STEP, &thresholds, |p| p.src))
+        .collect()
+        .run();
+    assert_eq!(legacy, pipeline);
+    assert_eq!(pipeline[0].len(), ((HORIZON / STEP) - (WINDOW / STEP) + 1) as usize);
+}
+
+#[test]
+fn golden_microvaried_driver_parity_on_big_trace() {
+    let pkts = big_trace();
+    let h = Ipv4Hierarchy::bytes();
+    let base = TimeSpan::from_secs(10);
+    let deltas = [TimeSpan::from_millis(100), TimeSpan::from_millis(40), TimeSpan::from_millis(10)];
+    let t = Threshold::percent(5.0);
+    #[allow(deprecated)]
+    let legacy =
+        run_microvaried(pkts.iter().copied(), HORIZON, base, &deltas, &h, t, Measure::Bytes, |p| {
+            p.src
+        });
+    let pipeline = Pipeline::new(pkts.iter().copied())
+        .engine(MicroVaried::new(&h, HORIZON, base, &deltas, t, |p| p.src))
+        .collect()
+        .run();
+    assert_eq!(legacy.baseline, pipeline[0]);
+    for (i, (delta, reports)) in legacy.variants.iter().enumerate() {
+        assert_eq!(*delta, deltas[i], "deltas preserved in request order");
+        assert_eq!(reports, &pipeline[1 + i], "delta {delta} series");
+    }
+}
+
+#[test]
+fn golden_continuous_driver_parity_on_big_trace() {
+    let pkts = big_trace();
+    let h = Ipv4Hierarchy::bytes();
+    let probes: Vec<Nanos> = (1..12).map(|k| Nanos::from_secs(k * 5)).collect();
+    let t = Threshold::percent(5.0);
+    let cfg = TdbfHhhConfig { half_life: WINDOW, ..TdbfHhhConfig::default() };
+    #[allow(deprecated)]
+    let legacy = {
+        let mut det = TdbfHhh::new(h, cfg.clone());
+        run_continuous(pkts.iter().copied(), &probes, &mut det, t, Measure::Bytes, |p| p.src)
+    };
+    let mut det = TdbfHhh::new(h, cfg);
+    let pipeline = Pipeline::new(pkts.iter().copied())
+        .engine(Continuous::new(&mut det, &probes, t, |p| p.src))
+        .collect()
+        .run()
+        .remove(0);
+    assert_eq!(legacy, pipeline);
+}
+
+#[test]
+fn golden_sharded_disjoint_driver_parity_on_big_trace() {
+    let pkts = big_trace();
+    let h = Ipv4Hierarchy::bytes();
+    let thresholds = [Threshold::percent(1.0)];
+    #[allow(deprecated)]
+    let legacy = run_sharded_disjoint(
+        pkts.iter().copied(),
+        HORIZON,
+        WINDOW,
+        &h,
+        (0..4).map(|_| ExactHhh::new(h)).collect(),
+        &thresholds,
+        Measure::Bytes,
+        |p| p.src,
+        8192,
+    );
+    let pipeline = Pipeline::new(pkts.iter().copied())
+        .engine(
+            ShardedDisjoint::new(
+                (0..4).map(|_| ExactHhh::new(h)).collect(),
+                HORIZON,
+                WINDOW,
+                &thresholds,
+                |p| p.src,
+            )
+            .batch(8192),
+        )
+        .collect()
+        .run();
+    assert_eq!(legacy, pipeline);
+}
+
+/// The headline new capability: the sharded sliding engine with exact
+/// shard detectors is report-for-report identical to the rolling-count
+/// sliding engine — on the full acceptance trace, at several shard
+/// counts.
+#[test]
+fn sharded_sliding_equals_sliding_exact_on_big_trace() {
+    let pkts = big_trace();
+    let h = Ipv4Hierarchy::bytes();
+    let thresholds = [Threshold::percent(1.0), Threshold::percent(5.0)];
+    let reference = Pipeline::new(pkts.iter().copied())
+        .engine(SlidingExact::new(&h, HORIZON, WINDOW, STEP, &thresholds, |p| p.src))
+        .collect()
+        .run();
+    for k in [1usize, 4] {
+        let sharded = Pipeline::new(pkts.iter().copied())
+            .engine(ShardedSliding::new(
+                k,
+                |_shard| ExactHhh::new(h),
+                HORIZON,
+                WINDOW,
+                STEP,
+                &thresholds,
+                |p| p.src,
+            ))
+            .collect()
+            .run();
+        assert_eq!(reference, sharded, "sharded sliding must be lossless at K={k}");
+    }
+}
+
+/// Sharded continuous vs the unsharded windowless detector on the full
+/// acceptance trace: identical totals (decay algebra is exact under
+/// merge) and identical reported prefix sets at every probe.
+#[test]
+fn sharded_continuous_matches_continuous_on_big_trace() {
+    let pkts = big_trace();
+    let h = Ipv4Hierarchy::bytes();
+    let probes: Vec<Nanos> = (1..12).map(|k| Nanos::from_secs(k * 5)).collect();
+    let t = Threshold::percent(5.0);
+    let cfg = TdbfHhhConfig { half_life: WINDOW, ..TdbfHhhConfig::default() };
+    let mut det = TdbfHhh::new(h, cfg.clone());
+    let reference = Pipeline::new(pkts.iter().copied())
+        .engine(Continuous::new(&mut det, &probes, t, |p| p.src))
+        .collect()
+        .run()
+        .remove(0);
+    for k in [1usize, 4] {
+        let detectors: Vec<_> = (0..k).map(|_| TdbfHhh::new(h, cfg.clone())).collect();
+        let sharded = Pipeline::new(pkts.iter().copied())
+            .engine(ShardedContinuous::new(detectors, &probes, t, |p| p.src))
+            .collect()
+            .run()
+            .remove(0);
+        assert_eq!(reference.len(), sharded.len());
+        for (r, s) in reference.iter().zip(&sharded) {
+            assert_eq!(r.prefix_set(), s.prefix_set(), "probe {} K={k}", r.index);
+            let rel = (r.total as f64 - s.total as f64).abs() / (r.total.max(1) as f64);
+            assert!(
+                rel < 1e-6,
+                "probe {} K={k}: totals diverged {} vs {}",
+                r.index,
+                r.total,
+                s.total
+            );
+        }
+        if k == 1 {
+            // One shard sees the identical observation order: bit-exact.
+            assert_eq!(reference, sharded, "K=1 sharded continuous must be bit-exact");
+        }
+    }
+}
+
+/// The bounded channel source delivers exactly what the iterator
+/// source does — same reports through the same sharded engine.
+#[test]
+fn channel_source_equals_iterator_source() {
+    let pkts = big_trace();
+    let h = Ipv4Hierarchy::bytes();
+    let thresholds = [Threshold::percent(1.0)];
+    let reference = Pipeline::new(pkts.iter().copied())
+        .engine(ShardedDisjoint::new(
+            (0..2).map(|_| ExactHhh::new(h)).collect(),
+            HORIZON,
+            WINDOW,
+            &thresholds,
+            |p| p.src,
+        ))
+        .collect()
+        .run();
+    let (mut feeder, source) = bounded(4, 4096);
+    let fed = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            feeder.send_batch(pkts);
+        });
+        Pipeline::new(source)
+            .engine(ShardedDisjoint::new(
+                (0..2).map(|_| ExactHhh::new(h)).collect(),
+                HORIZON,
+                WINDOW,
+                &thresholds,
+                |p| p.src,
+            ))
+            .collect()
+            .run()
+    });
+    assert_eq!(reference, fed, "channel-fed pipeline must reproduce the iterator-fed one");
+}
+
+/// Snapshot plumbing: the sharded engines hand the sink one serialized
+/// merged state per report point, and its totals agree with the
+/// reports (the state a remote aggregator would fold).
+#[test]
+fn sharded_engine_forwards_merged_snapshots() {
+    struct Capture {
+        reports: Vec<WindowReport<Ipv4Prefix>>,
+        states: Vec<(Nanos, DetectorSnapshot)>,
+    }
+    impl ReportSink<Ipv4Prefix> for Capture {
+        type Output = Self;
+        fn accept(&mut self, _series: usize, report: WindowReport<Ipv4Prefix>) {
+            self.reports.push(report);
+        }
+        fn state(&mut self, at: Nanos, snapshot: &DetectorSnapshot) {
+            self.states.push((at, snapshot.clone()));
+        }
+        fn finish(self) -> Self {
+            self
+        }
+    }
+
+    let pkts = small_trace(6, 77);
+    let h = Ipv4Hierarchy::bytes();
+    let horizon = TimeSpan::from_secs(6);
+    let window = TimeSpan::from_secs(2);
+    let out = Pipeline::new(pkts.iter().copied())
+        .engine(ShardedDisjoint::new(
+            (0..3).map(|_| ExactHhh::new(h)).collect(),
+            horizon,
+            window,
+            &[Threshold::percent(5.0)],
+            |p| p.src,
+        ))
+        .sink(Capture { reports: Vec::new(), states: Vec::new() })
+        .run();
+    assert_eq!(out.reports.len(), 3);
+    assert_eq!(out.states.len(), 3, "one merged snapshot per report point");
+    for (report, (at, snap)) in out.reports.iter().zip(&out.states) {
+        assert_eq!(*at, report.end);
+        assert_eq!(snap.kind, "exact");
+        assert_eq!(snap.total, report.total, "snapshot covers exactly the window's traffic");
+        assert!(snap.state_json.starts_with("{\"counts\":["));
+    }
+
+    // And the JSON sink renders both line types.
+    let (bytes, err) = Pipeline::new(pkts.iter().copied())
+        .engine(ShardedDisjoint::new(
+            (0..2).map(|_| ExactHhh::new(h)).collect(),
+            horizon,
+            window,
+            &[Threshold::percent(5.0)],
+            |p| p.src,
+        ))
+        .sink(JsonSnapshotSink::new(Vec::new()))
+        .run();
+    assert!(err.is_none());
+    let text = String::from_utf8(bytes).unwrap();
+    assert_eq!(text.lines().filter(|l| l.starts_with("{\"type\":\"report\"")).count(), 3);
+    assert_eq!(text.lines().filter(|l| l.starts_with("{\"type\":\"state\"")).count(), 3);
+    assert!(text.contains("\"kind\":\"exact\""));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Property: for any trace, shard count, batch size and sliding
+    /// geometry, the sharded sliding engine with exact detectors is
+    /// indistinguishable from the rolling-count sliding engine.
+    #[test]
+    fn sharded_sliding_equals_sliding_exact_on_any_trace(
+        seed in 0u64..1_000_000,
+        shards in 1usize..6,
+        batch in prop::sample::select(vec![64usize, 1021, 8192]),
+        epw in 2u64..5,
+    ) {
+        let pkts = small_trace(6, seed);
+        let h = Ipv4Hierarchy::bytes();
+        let horizon = TimeSpan::from_secs(6);
+        let step = TimeSpan::from_secs(1);
+        let window = step * epw;
+        let thresholds = [Threshold::percent(5.0)];
+        let reference = Pipeline::new(pkts.iter().copied())
+            .engine(SlidingExact::new(&h, horizon, window, step, &thresholds, |p| p.src))
+            .collect().run();
+        let sharded = Pipeline::new(pkts.iter().copied())
+            .engine(ShardedSliding::new(
+                shards, |_| ExactHhh::new(h), horizon, window, step, &thresholds, |p| p.src,
+            ).batch(batch))
+            .collect().run();
+        prop_assert_eq!(reference, sharded);
+    }
+
+    /// Property: the windowless TDBF detector through the sharded
+    /// continuous engine reports the same prefix sets as the unsharded
+    /// detector, for any seed and shard count (and bit-exactly at one
+    /// shard). This is the TdbfHhh leg of the sliding/continuous
+    /// scale-out gap — TdbfHhh is windowless, so "sharded sliding" for
+    /// it *is* the sharded continuous engine with half_life ≈ window/2.
+    #[test]
+    fn sharded_continuous_tdbf_matches_unsharded_on_any_trace(
+        seed in 0u64..1_000_000,
+        shards in 1usize..5,
+    ) {
+        let pkts = small_trace(6, seed);
+        let h = Ipv4Hierarchy::bytes();
+        let probes: Vec<Nanos> = (1..6).map(Nanos::from_secs).collect();
+        let t = Threshold::percent(10.0);
+        let cfg = TdbfHhhConfig { half_life: TimeSpan::from_secs(2), ..TdbfHhhConfig::default() };
+        let mut det = TdbfHhh::new(h, cfg.clone());
+        let reference = Pipeline::new(pkts.iter().copied())
+            .engine(Continuous::new(&mut det, &probes, t, |p| p.src))
+            .collect().run().remove(0);
+        let detectors: Vec<_> = (0..shards).map(|_| TdbfHhh::new(h, cfg.clone())).collect();
+        let sharded = Pipeline::new(pkts.iter().copied())
+            .engine(ShardedContinuous::new(detectors, &probes, t, |p| p.src))
+            .collect().run().remove(0);
+        prop_assert_eq!(reference.len(), sharded.len());
+        for (r, s) in reference.iter().zip(&sharded) {
+            prop_assert_eq!(r.prefix_set(), s.prefix_set(), "probe {}", r.index);
+        }
+        if shards == 1 {
+            prop_assert_eq!(reference, sharded);
+        }
+    }
+}

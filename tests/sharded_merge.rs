@@ -29,28 +29,17 @@ fn exact_shard_merge_identical_on_million_packet_trace() {
     let thresholds = [Threshold::percent(1.0), Threshold::percent(5.0)];
 
     let mut single = ExactHhh::new(h);
-    let reference = run_disjoint(
-        pkts.iter().copied(),
-        horizon,
-        window,
-        &h,
-        &mut single,
-        &thresholds,
-        Measure::Bytes,
-        |p| p.src,
-    );
+    let reference = Pipeline::new(pkts.iter().copied())
+        .engine(Disjoint::new(&mut single, horizon, window, &thresholds, |p| p.src))
+        .collect()
+        .run();
     let detectors: Vec<_> = (0..4).map(|_| ExactHhh::new(h)).collect();
-    let sharded = run_sharded_disjoint(
-        pkts.iter().copied(),
-        horizon,
-        window,
-        &h,
-        detectors,
-        &thresholds,
-        Measure::Bytes,
-        |p| p.src,
-        8192,
-    );
+    let sharded = Pipeline::new(pkts.iter().copied())
+        .engine(
+            ShardedDisjoint::new(detectors, horizon, window, &thresholds, |p| p.src).batch(8192),
+        )
+        .collect()
+        .run();
     assert_eq!(reference, sharded, "sharded exact run must be lossless");
 }
 
@@ -160,15 +149,14 @@ proptest! {
         let window = TimeSpan::from_secs(2);
         let thresholds = [Threshold::percent(5.0)];
         let mut single = ExactHhh::new(h);
-        let reference = run_disjoint(
-            pkts.iter().copied(), horizon, window, &h, &mut single, &thresholds,
-            Measure::Bytes, |p| p.src,
-        );
+        let reference = Pipeline::new(pkts.iter().copied())
+            .engine(Disjoint::new(&mut single, horizon, window, &thresholds, |p| p.src))
+            .collect().run();
         let detectors: Vec<_> = (0..shards).map(|_| ExactHhh::new(h)).collect();
-        let sharded = run_sharded_disjoint(
-            pkts.iter().copied(), horizon, window, &h, detectors, &thresholds,
-            Measure::Bytes, |p| p.src, batch,
-        );
+        let sharded = Pipeline::new(pkts.iter().copied())
+            .engine(ShardedDisjoint::new(detectors, horizon, window, &thresholds, |p| p.src)
+                .batch(batch))
+            .collect().run();
         prop_assert_eq!(reference, sharded);
     }
 }
