@@ -1,0 +1,310 @@
+//! # hhh-agg
+//!
+//! The **cross-process aggregation** half of the snapshot wire format:
+//! where `hhh-window`'s `JsonSnapshotSink` emits one serialized
+//! [`DetectorSnapshot`](hhh_core::DetectorSnapshot) per report point
+//! per process, this crate reads N such JSONL streams back, groups the
+//! snapshots by report point and detector `kind`, folds each group
+//! with the round-trip codec (`hhh-core::RestoredDetector`), and emits
+//! the merged HHH reports — closing the distributed-aggregation loop:
+//!
+//! ```text
+//!   shard process 0 ─┐
+//!   shard process 1 ─┼─ snapshot JSONL ──► hhh-agg ──► merged reports
+//!   shard process K ─┘                        │
+//!                                             └──► merged state JSONL
+//!                                                  (feeds another tier)
+//! ```
+//!
+//! Folding is the in-process merge algebra lifted onto the wire —
+//! Space-Saving union-then-prune per level, RHHH per-level sampled
+//! summaries, TDBF cell-wise decayed sums, exact counts added
+//! losslessly — so aggregating K per-shard streams reproduces the
+//! single-process sharded run: bit-exactly for the exact detector,
+//! within the documented merge error bounds for the approximate ones.
+//! Because the merged state re-serializes byte-identically, the
+//! aggregator's `--emit-state` output is itself a valid input stream:
+//! aggregation tiers compose.
+//!
+//! The library API is three calls: [`read_stream`] (JSONL →
+//! [`StampedSnapshot`]s), [`fold_streams`] (group + fold), and
+//! [`render_merged`] (merged points → JSONL report/state lines). The
+//! `hhh-agg` binary wraps them for files and pipes; the
+//! `FoldSnapshots` engine in `hhh-window` wraps the same fold as a
+//! `Pipeline` stage for a single stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hhh_core::{RestoredDetector, SnapshotError, StampedSnapshot, Threshold};
+use hhh_hierarchy::Hierarchy;
+use hhh_nettypes::Nanos;
+use hhh_window::{render_report_line, SnapshotSource, WindowReport};
+use std::collections::BTreeMap;
+use std::fmt::{self, Display};
+use std::io::BufRead;
+use std::str::FromStr;
+
+/// Why an aggregation run failed.
+#[derive(Debug)]
+pub enum AggError {
+    /// A stream could not be read or decoded.
+    Decode {
+        /// Index of the offending stream (argument order).
+        stream: usize,
+        /// 1-based line number within the stream.
+        line: usize,
+        /// The decode failure.
+        error: SnapshotError,
+    },
+    /// Two snapshots at one report point could not be folded, or a
+    /// snapshot could not be restored into a live detector.
+    Fold {
+        /// The report point the fold failed at.
+        at: Nanos,
+        /// The fold failure.
+        error: SnapshotError,
+    },
+    /// An input file could not be opened or read.
+    Io(String),
+}
+
+impl Display for AggError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggError::Decode { stream, line, error } => {
+                write!(f, "stream {stream}, line {line}: {error}")
+            }
+            AggError::Fold { at, error } => write!(f, "fold at {at}: {error}"),
+            AggError::Io(what) => write!(f, "I/O: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AggError {}
+
+/// Read one snapshot JSONL stream to the end: `state` lines decode to
+/// [`StampedSnapshot`]s, `report` lines are skipped, garbage is an
+/// error. `stream` tags errors with the stream's index.
+pub fn read_stream<R: BufRead>(stream: usize, input: R) -> Result<Vec<StampedSnapshot>, AggError> {
+    let mut source = SnapshotSource::new(input);
+    let snapshots: Vec<StampedSnapshot> = source.by_ref().collect();
+    if let Some((line, error)) = source.error() {
+        return Err(AggError::Decode { stream, line: *line, error: error.clone() });
+    }
+    Ok(snapshots)
+}
+
+/// One report point after aggregation: every snapshot taken at `at`
+/// with this `kind`, folded across all input streams.
+pub struct MergedPoint<H: Hierarchy> {
+    /// The report point the snapshots were taken at.
+    pub at: Nanos,
+    /// The detector kind (`exact`, `ss-hhh`, `rhhh`, `tdbf-hhh`).
+    pub kind: String,
+    /// How many snapshots were folded into this point.
+    pub folded: usize,
+    /// The merged state, ready to report or re-serialize.
+    pub detector: RestoredDetector<H>,
+}
+
+impl<H: Hierarchy> MergedPoint<H>
+where
+    H::Item: FromStr,
+    H::Prefix: FromStr,
+{
+    /// The merged [`WindowReport`] at a threshold. `index` is the
+    /// caller's report-point ordinal; `start == end == at` because a
+    /// snapshot does not carry its window geometry.
+    pub fn report(&self, index: u64, threshold: Threshold) -> WindowReport<H::Prefix> {
+        WindowReport {
+            index,
+            start: self.at,
+            end: self.at,
+            total: self.detector.total(),
+            hhhs: self.detector.report(self.at, threshold),
+        }
+    }
+}
+
+/// Group the snapshots of N streams by `(at, kind)` and fold each
+/// group into one restored detector.
+///
+/// Within a group, folding follows stream order (stream 0's snapshot
+/// restores, stream 1..'s fold in) and then within-stream order — the
+/// same deterministic order the in-process shard pools merge in, which
+/// is what makes the distributed result reproduce the in-process one.
+/// The returned points are sorted by `(at, kind)`.
+///
+/// Streams typically hold one snapshot per `(at, kind)` (one per
+/// process per report point); extra snapshots fold in like any other,
+/// matching their arrival order.
+pub fn fold_streams<H>(
+    hierarchy: &H,
+    streams: &[Vec<StampedSnapshot>],
+) -> Result<Vec<MergedPoint<H>>, AggError>
+where
+    H: Hierarchy,
+    H::Item: FromStr,
+    H::Prefix: FromStr,
+{
+    let mut groups: BTreeMap<(Nanos, String), MergedPoint<H>> = BTreeMap::new();
+    for stream in streams {
+        for s in stream {
+            let key = (s.at, s.snapshot.kind.clone().into_owned());
+            match groups.get_mut(&key) {
+                Some(point) => {
+                    point
+                        .detector
+                        .fold(hierarchy, &s.snapshot)
+                        .map_err(|error| AggError::Fold { at: s.at, error })?;
+                    point.folded += 1;
+                }
+                None => {
+                    let detector = RestoredDetector::from_snapshot(hierarchy, &s.snapshot)
+                        .map_err(|error| AggError::Fold { at: s.at, error })?;
+                    groups.insert(
+                        key,
+                        MergedPoint {
+                            at: s.at,
+                            kind: s.snapshot.kind.clone().into_owned(),
+                            folded: 1,
+                            detector,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    Ok(groups.into_values().collect())
+}
+
+/// Render merged points as JSONL: per point, one `report` line per
+/// threshold (series = threshold index, index = the point's ordinal
+/// within its kind) and — when `emit_state` — one `state` line with
+/// the folded snapshot (byte-identical to what the same merged state
+/// would emit in-process, so the output can feed another aggregation
+/// tier).
+pub fn render_merged<H>(
+    points: &[MergedPoint<H>],
+    thresholds: &[Threshold],
+    emit_state: bool,
+) -> Vec<String>
+where
+    H: Hierarchy,
+    H::Item: FromStr,
+    H::Prefix: FromStr,
+    H::Prefix: Display,
+{
+    let mut lines = Vec::with_capacity(points.len() * (thresholds.len() + usize::from(emit_state)));
+    let mut ordinal: BTreeMap<&str, u64> = BTreeMap::new();
+    for point in points {
+        let index = ordinal.entry(point.kind.as_str()).or_insert(0);
+        for (ti, t) in thresholds.iter().enumerate() {
+            lines.push(render_report_line(ti, &point.report(*index, *t)));
+        }
+        if emit_state {
+            let stamped = StampedSnapshot { at: point.at, snapshot: point.detector.snapshot() };
+            lines.push(stamped.to_json());
+        }
+        *index += 1;
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hhh_core::{ExactHhh, HhhDetector, MergeableDetector};
+    use hhh_hierarchy::Ipv4Hierarchy;
+
+    fn snap_line(at_secs: u64, items: &[(u32, u64)]) -> String {
+        let mut d = ExactHhh::new(Ipv4Hierarchy::bytes());
+        for &(item, w) in items {
+            HhhDetector::<Ipv4Hierarchy>::observe(&mut d, item, w);
+        }
+        StampedSnapshot {
+            at: Nanos::from_secs(at_secs),
+            snapshot: d.snapshot().expect("exact serializes"),
+        }
+        .to_json()
+    }
+
+    #[test]
+    fn two_streams_fold_to_the_union() {
+        let h = Ipv4Hierarchy::bytes();
+        let a = format!(
+            "{}\n{}\n",
+            snap_line(1, &[(0x0A010101, 60)]),
+            snap_line(2, &[(0x0A010101, 10)])
+        );
+        let b = format!(
+            "{}\n{}\n",
+            snap_line(1, &[(0x14000001, 40)]),
+            snap_line(2, &[(0x14000001, 30)])
+        );
+        let streams =
+            vec![read_stream(0, a.as_bytes()).unwrap(), read_stream(1, b.as_bytes()).unwrap()];
+        let points = fold_streams(&h, &streams).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].at, Nanos::from_secs(1));
+        assert_eq!(points[0].folded, 2);
+        assert_eq!(points[0].detector.total(), 100);
+        assert_eq!(points[1].detector.total(), 40);
+
+        // The merged report sees both shards' traffic.
+        let report = points[0].report(0, Threshold::percent(30.0));
+        assert_eq!(report.total, 100);
+        assert!(!report.hhhs.is_empty());
+    }
+
+    #[test]
+    fn report_lines_and_state_lines_render() {
+        let h = Ipv4Hierarchy::bytes();
+        let a = snap_line(1, &[(0x0A010101, 100)]);
+        let streams = vec![read_stream(0, a.as_bytes()).unwrap()];
+        let points = fold_streams(&h, &streams).unwrap();
+        let lines = render_merged(&points, &[Threshold::percent(10.0)], true);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"report\",\"series\":0,\"index\":0,"));
+        assert!(lines[1].starts_with("{\"type\":\"state\",\"at_ns\":1000000000,"));
+        // Tiering: the state line reads back as a valid input stream.
+        let again = read_stream(0, lines.join("\n").as_bytes()).unwrap();
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].snapshot.total, 100);
+    }
+
+    #[test]
+    fn garbage_is_a_decode_error_with_position() {
+        let err = read_stream(3, "{\"type\":\"report\"}\nnope\n".as_bytes()).unwrap_err();
+        match err {
+            AggError::Decode { stream, line, .. } => {
+                assert_eq!(stream, 3);
+                assert_eq!(line, 2);
+            }
+            other => panic!("expected Decode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_at_one_point_is_a_fold_error() {
+        let h = Ipv4Hierarchy::bytes();
+        let exact = snap_line(1, &[(1, 10)]);
+        // Same report point, different kind.
+        let ss = "{\"type\":\"state\",\"at_ns\":1000000000,\"snapshot\":{\"v\":1,\"kind\":\
+                  \"ss-hhh\",\"total\":10,\"state\":{\"capacity\":8,\"levels\":[{\"total\":10,\
+                  \"entries\":[[\"0.0.0.1/32\",10,0]]},{\"total\":10,\"entries\":\
+                  [[\"0.0.0.0/24\",10,0]]},{\"total\":10,\"entries\":[[\"0.0.0.0/16\",10,0]]},\
+                  {\"total\":10,\"entries\":[[\"0.0.0.0/8\",10,0]]},{\"total\":10,\"entries\":\
+                  [[\"0.0.0.0/0\",10,0]]}]}}}";
+        let streams =
+            vec![read_stream(0, exact.as_bytes()).unwrap(), read_stream(1, ss.as_bytes()).unwrap()];
+        // Different kinds at one point are *separate groups*, not an
+        // error: an operator may legitimately run two detector kinds
+        // side by side.
+        let points = fold_streams(&h, &streams).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].kind, "exact");
+        assert_eq!(points[1].kind, "ss-hhh");
+    }
+}

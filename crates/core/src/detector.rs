@@ -117,6 +117,23 @@ pub trait MergeableDetector {
     fn snapshot(&self) -> Option<DetectorSnapshot> {
         None
     }
+
+    /// Remove a previously [`merge`](Self::merge)d state from `self`
+    /// again — the inverse merge that only *lossless* (exact)
+    /// detectors can offer. Returns `true` when the retraction was
+    /// applied; the default returns `false` and leaves `self`
+    /// unchanged, signalling the caller to fall back to re-merging
+    /// from scratch.
+    ///
+    /// Callers must only retract a state that is still contained in
+    /// `self` (merged earlier and not retracted since). The sliding
+    /// shard pools in `hhh-window` use this to keep a rolling window
+    /// state and merge only the epoch entering/leaving per step,
+    /// instead of re-merging `window/step` detectors per position.
+    fn retract(&mut self, other: &Self) -> bool {
+        let _ = other;
+        false
+    }
 }
 
 /// Forwarding impl: a mutable borrow of a windowed detector is itself a

@@ -189,14 +189,89 @@ impl<H: Hierarchy> MergeableDetector for ExactHhh<H> {
     /// serialize identically. Aggregators fold snapshots by summing
     /// counts per item — the same algebra as [`merge`](Self::merge).
     fn snapshot(&self) -> Option<crate::snapshot::DetectorSnapshot> {
+        // Items render via `Debug` (the only rendering bound
+        // `Hierarchy::Item` carries). The decode half parses them back
+        // with `FromStr`, so snapshot round-tripping requires the two
+        // forms to agree — true for the primitive integer items every
+        // in-tree hierarchy uses; a custom hierarchy whose `Debug`
+        // form is not its `FromStr` form must not rely on `exact`
+        // snapshots (decode returns a typed error rather than
+        // corrupting counts, since keys that fail to parse reject the
+        // row).
         let mut rows: Vec<(String, Vec<u64>)> =
             self.counts.iter().map(|(item, &c)| (format!("{item:?}"), vec![c])).collect();
         rows.sort();
         Some(crate::snapshot::DetectorSnapshot {
-            kind: "exact",
+            kind: "exact".into(),
             total: self.total,
             state_json: format!("{{\"counts\":{}}}", crate::snapshot::json_keyed_rows(&rows)),
         })
+    }
+
+    /// Exact counts subtract as losslessly as they add: removing a
+    /// previously merged state restores the pre-merge state verbatim
+    /// (zeroed items leave the map, so equality with a never-merged
+    /// detector is structural, not just observational).
+    fn retract(&mut self, other: &Self) -> bool {
+        for (&item, &c) in &other.counts {
+            match self.counts.get_mut(&item) {
+                Some(e) => {
+                    *e = e.saturating_sub(c);
+                    if *e == 0 {
+                        self.counts.remove(&item);
+                    }
+                }
+                None => debug_assert!(false, "retracting a state that was never merged"),
+            }
+        }
+        self.total = self.total.saturating_sub(other.total);
+        true
+    }
+}
+
+impl<H: Hierarchy> ExactHhh<H>
+where
+    H::Item: core::str::FromStr,
+{
+    /// Rebuild a detector from a serialized
+    /// [`snapshot`](MergeableDetector::snapshot) — the decode half of
+    /// the round-trip codec. The restored detector is bit-equivalent
+    /// to the one that emitted the snapshot: counts, total, reports
+    /// and re-serialization all match exactly.
+    ///
+    /// Requires `H::Item`'s `FromStr` to parse its `Debug` rendering
+    /// (the form [`snapshot`](MergeableDetector::snapshot) writes) —
+    /// see the encode-side note; integer item types satisfy this.
+    pub fn from_snapshot(
+        hierarchy: H,
+        snap: &crate::snapshot::DetectorSnapshot,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{parse_keyed_rows, req, SnapshotError};
+        if snap.kind != "exact" {
+            return Err(SnapshotError::Mismatch(format!(
+                "expected kind `exact`, got `{}`",
+                snap.kind
+            )));
+        }
+        let state = snap.state()?;
+        let rows: Vec<(H::Item, Vec<u64>)> = parse_keyed_rows(req(&state, "counts")?, "counts", 1)?;
+        let mut counts: HashMap<H::Item, u64> = HashMap::with_capacity(rows.len());
+        let mut total: u64 = 0;
+        for (item, vals) in rows {
+            if counts.insert(item, vals[0]).is_some() {
+                return Err(SnapshotError::Invalid { field: "counts", what: "duplicate item" });
+            }
+            total = total
+                .checked_add(vals[0])
+                .ok_or(SnapshotError::Invalid { field: "counts", what: "counts overflow u64" })?;
+        }
+        if total != snap.total {
+            return Err(SnapshotError::Invalid {
+                field: "total",
+                what: "envelope total does not equal the sum of counts",
+            });
+        }
+        Ok(ExactHhh { hierarchy, counts, total })
     }
 }
 

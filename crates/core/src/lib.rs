@@ -58,7 +58,9 @@ pub use exact::{discount_bottom_up, ExactHhh};
 pub use hashpipe::HashPipe;
 pub use report::{HhhReport, Threshold};
 pub use rhhh::Rhhh;
-pub use snapshot::DetectorSnapshot;
+pub use snapshot::{
+    parse_state_line, DetectorSnapshot, RestoredDetector, SnapshotError, StampedSnapshot,
+};
 pub use ss_hhh::SpaceSavingHhh;
 pub use tdbf_hhh::{TdbfHhh, TdbfHhhConfig};
 pub use twodim::TwoDimExactHhh;

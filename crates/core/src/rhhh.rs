@@ -53,6 +53,11 @@ impl<H: Hierarchy> Rhhh<H> {
         self.levels.len() as u64
     }
 
+    /// Space-Saving counters per level (the construction parameter).
+    pub fn capacity(&self) -> usize {
+        self.levels[0].capacity()
+    }
+
     /// How many updates each level has absorbed (diagnostics: should be
     /// ≈ packets/V each).
     pub fn updates_per_level(&self) -> &[u64] {
@@ -173,7 +178,87 @@ impl<H: Hierarchy> MergeableDetector for Rhhh<H> {
             *a += *b;
         }
     }
+
+    /// Wire format: the `ss-hhh` body (capacity + per-level summary
+    /// objects) plus `"updates":[u₀, …]`, the per-level update counts
+    /// a merged detector carries for its sampling diagnostics. The
+    /// sampling RNG state is deliberately *not* serialized: a restored
+    /// detector merges and reports exactly, and redraws fresh levels
+    /// if it is ever fed further observations.
+    fn snapshot(&self) -> Option<crate::snapshot::DetectorSnapshot> {
+        let updates: Vec<String> = self.updates_per_level.iter().map(u64::to_string).collect();
+        Some(crate::snapshot::DetectorSnapshot {
+            kind: "rhhh".into(),
+            total: self.total,
+            state_json: format!(
+                "{{\"capacity\":{},\"levels\":{},\"updates\":[{}]}}",
+                self.capacity(),
+                crate::ss_hhh::levels_json(&self.levels),
+                updates.join(",")
+            ),
+        })
+    }
 }
+
+impl<H: Hierarchy> Rhhh<H>
+where
+    H::Prefix: std::str::FromStr,
+{
+    /// Rebuild a detector from a serialized
+    /// [`snapshot`](MergeableDetector::snapshot) — the decode half of
+    /// the round-trip codec. Level summaries, totals and update counts
+    /// restore exactly; the sampling RNG restarts from a fixed seed
+    /// (see [`snapshot`](MergeableDetector::snapshot)), which only
+    /// matters if the restored detector observes *new* packets.
+    pub fn from_snapshot(
+        hierarchy: H,
+        snap: &crate::snapshot::DetectorSnapshot,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{req_arr, req_u64, SnapshotError};
+        if snap.kind != "rhhh" {
+            return Err(SnapshotError::Mismatch(format!(
+                "expected kind `rhhh`, got `{}`",
+                snap.kind
+            )));
+        }
+        let state = snap.state()?;
+        let capacity = req_u64(&state, "capacity")? as usize;
+        if capacity == 0 || capacity > crate::snapshot::MAX_WIRE_CAPACITY {
+            return Err(SnapshotError::Invalid {
+                field: "capacity",
+                what: "must be non-zero and within MAX_WIRE_CAPACITY",
+            });
+        }
+        let levels = crate::ss_hhh::levels_from_json(&state, capacity, hierarchy.levels())?;
+        let updates_json = req_arr(&state, "updates")?;
+        if updates_json.len() != levels.len() {
+            return Err(SnapshotError::Invalid {
+                field: "updates",
+                what: "one entry per level required",
+            });
+        }
+        let updates_per_level = updates_json
+            .iter()
+            .map(|u| {
+                u.as_u64().ok_or(SnapshotError::Invalid {
+                    field: "updates",
+                    what: "not an unsigned integer",
+                })
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        Ok(Rhhh {
+            hierarchy,
+            levels,
+            rng: SmallRng::seed_from_u64(RESTORED_SEED),
+            total: snap.total,
+            updates_per_level,
+        })
+    }
+}
+
+/// Sampling seed of detectors rebuilt from snapshots (restored
+/// detectors merge and report; fresh observations redraw from here).
+const RESTORED_SEED: u64 = 0x4E57_04ED;
 
 #[cfg(test)]
 mod tests {

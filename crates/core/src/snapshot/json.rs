@@ -1,0 +1,536 @@
+//! A minimal hand-rolled JSON value model: parse, inspect, render.
+//!
+//! This workspace is fully offline (no serde), and the snapshot wire
+//! format is small and regular, so the codec carries its own JSON
+//! layer: a recursive-descent parser into [`Json`], and a renderer
+//! whose output is *canonical* — object keys keep insertion order,
+//! integers render via `Display`, floats via Rust's shortest
+//! round-trip formatting (`{:?}`). Every state body this crate emits
+//! is produced by (or is byte-identical to) this renderer, so
+//! `render(parse(x)) == x` for any line the snapshot sinks write —
+//! the property the round-trip tests pin.
+//!
+//! Numbers distinguish unsigned, signed and float lexemes
+//! ([`Number`]): `u64` counts must round-trip bit-exactly (an `f64`
+//! detour would corrupt counts above 2⁵³), and decayed `f64` state
+//! must round-trip bit-exactly too (shortest-form float printing
+//! guarantees it).
+
+use super::SnapshotError;
+use core::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any numeric lexeme; see [`Number`].
+    Num(Number),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (the canonical renderer preserves
+    /// key order, which is what makes rendering deterministic).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A JSON number, classified by lexeme so integers never take a lossy
+/// `f64` detour: `12` parses as `U(12)`, `-3` as `I(-3)`, and anything
+/// with a fraction or exponent as `F`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// A non-negative integer lexeme that fits `u64`.
+    U(u64),
+    /// A negative integer lexeme that fits `i64`.
+    I(i64),
+    /// A fractional or exponent lexeme (or an integer too large for 64
+    /// bits), as `f64`.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `u64`, when the lexeme was a non-negative integer.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U(u) => Some(u),
+            Number::I(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, when the lexeme was an integer in range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as `f64` (always available, lossy above 2⁵³).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+}
+
+impl Json {
+    /// Parse a complete JSON document (rejects trailing garbage).
+    pub fn parse(text: &str) -> Result<Json, SnapshotError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Render canonically (see the module docs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(Number::U(u)) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(Number::I(i)) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(Number::F(f)) => {
+                if f.is_finite() {
+                    // `{:?}` is Rust's shortest round-trip float form.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null"); // JSON has no Inf/NaN
+                }
+            }
+            Json::Str(s) => out.push_str(&super::json_string(s)),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&super::json_string(k));
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The fields of an object, or `None`.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object (first match), or `None`.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The elements of an array, or `None`.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value, or `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, or `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, or `None`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (any numeric lexeme), or `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// An unsigned-integer value node.
+    pub fn u64(v: u64) -> Json {
+        Json::Num(Number::U(v))
+    }
+
+    /// A float value node.
+    pub fn f64(v: f64) -> Json {
+        Json::Num(Number::F(v))
+    }
+
+    /// A string value node.
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+}
+
+/// Maximum container nesting the parser accepts. Wire input is
+/// untrusted; without a bound, a line of repeated `[` would recurse
+/// the thread stack into an abort instead of a typed parse error. The
+/// snapshot format nests a handful of levels deep.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &'static str) -> SnapshotError {
+        SnapshotError::Parse { offset: self.pos, what }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &'static str) -> Result<(), SnapshotError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &'static str, what: &'static str) -> Result<(), SnapshotError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, SnapshotError> {
+        match self.peek() {
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_keyword("true", "expected `true`").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", "expected `false`").map(|()| Json::Bool(false)),
+            Some(b'n') => self.eat_keyword("null", "expected `null`").map(|()| Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn nested(
+        &mut self,
+        container: fn(&mut Self) -> Result<Json, SnapshotError>,
+    ) -> Result<Json, SnapshotError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        let v = container(self);
+        self.depth -= 1;
+        v
+    }
+
+    fn object(&mut self) -> Result<Json, SnapshotError> {
+        self.eat(b'{', "expected `{`")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected `:` after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, SnapshotError> {
+        self.eat(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        self.eat(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require a low half.
+                                self.eat(b'\\', "expected low surrogate")?;
+                                self.eat(b'u', "expected low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid unicode escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(core::str::from_utf8(&self.bytes[start..self.pos]).expect(
+                        "slice boundaries follow UTF-8 continuation bytes of a valid &str",
+                    ));
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, SnapshotError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, SnapshotError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            core::str::from_utf8(&self.bytes[start..self.pos]).expect("number lexemes are ASCII");
+        let n = if integral && !negative {
+            text.parse::<u64>().map(Number::U).or_else(|_| text.parse().map(Number::F))
+        } else if integral {
+            text.parse::<i64>().map(Number::I).or_else(|_| text.parse().map(Number::F))
+        } else {
+            text.parse().map(Number::F)
+        };
+        match n {
+            Ok(n) => Ok(Json::Num(n)),
+            Err(_) => {
+                self.pos = start;
+                Err(self.err("malformed number"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) {
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.render(), text, "canonical text must round-trip unchanged");
+    }
+
+    #[test]
+    fn scalars_parse_and_render() {
+        roundtrip("null");
+        roundtrip("true");
+        roundtrip("false");
+        roundtrip("0");
+        roundtrip("18446744073709551615"); // u64::MAX, bit-exact
+        roundtrip("-42");
+        roundtrip("1.5");
+        roundtrip("\"hi\"");
+    }
+
+    #[test]
+    fn integer_lexemes_stay_integers() {
+        let v = Json::parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(Json::parse("-9223372036854775808").unwrap().as_i64(), Some(i64::MIN));
+        assert_eq!(Json::parse("1.0").unwrap().as_u64(), None, "float lexeme is not an integer");
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exact() {
+        for f in [0.5, 1.0 / 3.0, 1e-300, 123456.789, f64::MIN_POSITIVE] {
+            let text = Json::f64(f).render();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} via {text}");
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip("[]");
+        roundtrip("{}");
+        roundtrip("[1,2,[3,\"x\"],{\"a\":null}]");
+        roundtrip("{\"kind\":\"exact\",\"total\":42,\"state\":{\"counts\":[[\"7\",300]]}}");
+    }
+
+    #[test]
+    fn whitespace_tolerated_on_parse() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.render(), "{\"a\":[1,2]}");
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        let v = Json::parse("\"a\\\"b\\\\c\\nd\\u0041\\u00e9\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndAé"));
+        // Surrogate pair (🎵 U+1F3B5).
+        let v = Json::parse("\"\\ud83c\\udfb5\"").unwrap();
+        assert_eq!(v.as_str(), Some("🎵"));
+    }
+
+    #[test]
+    fn object_lookup_helpers() {
+        let v = Json::parse("{\"a\":1,\"b\":\"x\",\"c\":[true]}").unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("c").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn garbage_rejected_with_offsets() {
+        for bad in ["", "{", "[1,]", "{\"a\"}", "tru", "\"\\x\"", "1 2", "nan", "--1"] {
+            let e = Json::parse(bad);
+            assert!(e.is_err(), "{bad:?} must not parse");
+        }
+        match Json::parse("[1, garbage]") {
+            Err(SnapshotError::Parse { offset, .. }) => assert_eq!(offset, 4),
+            other => panic!("expected a parse error with offset, got {other:?}"),
+        }
+    }
+}

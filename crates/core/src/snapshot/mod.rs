@@ -1,0 +1,568 @@
+//! Detector state snapshots: the **round-trip wire codec** for
+//! distributed aggregation.
+//!
+//! [`MergeableDetector::merge`](crate::MergeableDetector::merge) makes
+//! sharded ingestion work *inside* one process. To merge across
+//! processes or hosts, shard states must cross a wire — this module
+//! defines the serialized form **and** the decode + fold path back:
+//!
+//! * **encode** — [`DetectorSnapshot`] is a small self-describing
+//!   envelope (`v`, `kind`, `total`, JSON state body) rendered by
+//!   [`DetectorSnapshot::to_json`]; the JSON sinks in `hhh-window`
+//!   emit one per report point.
+//! * **decode** — [`DetectorSnapshot::from_json`] parses a line back
+//!   (hand-rolled [`json`] layer; this workspace is fully offline, no
+//!   serde), with typed [`SnapshotError`]s instead of silent `None`s.
+//! * **fold** — [`RestoredDetector`] rebuilds a live detector from a
+//!   snapshot (`ExactHhh`, `SpaceSavingHhh`, `Rhhh`, `TdbfHhh` all
+//!   support it) and folds further snapshots in with the *same*
+//!   in-process merge recipes — Space-Saving union-then-prune per
+//!   level, RHHH sampled levels, TDBF cell-wise decayed sums — so
+//!   cross-process aggregation is the in-process algebra, lifted onto
+//!   the wire. The `hhh-agg` crate drives this over JSONL streams.
+//!
+//! State bodies are *self-contained*: they carry the detector
+//! configuration (capacities, seeds, decay rates) alongside the state,
+//! so an aggregator needs nothing but the hierarchy to restore and
+//! merge. Rendering is deterministic (rows sorted, canonical JSON), so
+//! equal states serialize identically and goldens can diff snapshots.
+//!
+//! ## Wire format (version 1)
+//!
+//! ```json
+//! {"v":1,"kind":"exact","total":1234,"state":{…}}
+//! ```
+//!
+//! | `kind` | state body |
+//! |--------|------------|
+//! | `exact` | `{"counts":[[item,count],…]}`, rows sorted by item rendering |
+//! | `ss-hhh` | `{"capacity":C,"levels":[{"total":N,"entries":[[prefix,count,error],…]},…]}` |
+//! | `rhhh` | the `ss-hhh` body plus `"updates":[u₀,…]` |
+//! | `tdbf-hhh` | config fields plus `"total":[v,last_ns]`, `"filters"` (per-level `[v,last_ns]` cell arrays) and `"candidates"` (per-level `[prefix,ts_ns]` rows) |
+//!
+//! A missing `"v"` is read as version 1; unknown versions are
+//! rejected, never guessed at.
+
+use core::fmt::Write as _;
+use core::fmt::{self, Display};
+use core::str::FromStr;
+use hhh_hierarchy::Hierarchy;
+use hhh_nettypes::Nanos;
+use std::borrow::Cow;
+
+pub mod json;
+
+use crate::report::{HhhReport, Threshold};
+use crate::{
+    ContinuousDetector, ExactHhh, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh, TdbfHhh,
+};
+use json::Json;
+
+/// The wire-format version this crate reads and writes.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Upper bound on any wire-supplied capacity or geometry count.
+///
+/// Wire input is untrusted: a corrupt or hostile line must come back
+/// as a typed [`SnapshotError`], never drive a pathological
+/// allocation that aborts the aggregator. Real configurations sit
+/// orders of magnitude below this (hundreds to tens of thousands of
+/// counters).
+pub const MAX_WIRE_CAPACITY: usize = 1 << 20;
+
+/// A serialized snapshot of a detector's mergeable state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetectorSnapshot {
+    /// Stable wire-format discriminator (the detector's `name()`).
+    /// Borrowed for snapshots a detector emits, owned for parsed ones.
+    pub kind: Cow<'static, str>,
+    /// Total weight covered by the state (undecayed, since reset).
+    pub total: u64,
+    /// The state body: a JSON object string, format per `kind`.
+    pub state_json: String,
+}
+
+impl DetectorSnapshot {
+    /// Render the whole envelope as one JSON object (one line, no
+    /// trailing newline) — the unit the snapshot sinks write.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"v\":{WIRE_VERSION},\"kind\":{},\"total\":{},\"state\":{}}}",
+            json_string(&self.kind),
+            self.total,
+            self.state_json
+        )
+    }
+
+    /// Parse an envelope previously rendered by
+    /// [`to_json`](Self::to_json). The state body is re-rendered
+    /// canonically, so for any line this crate wrote,
+    /// `from_json(to_json(s)) == s`.
+    pub fn from_json(line: &str) -> Result<Self, SnapshotError> {
+        let v = Json::parse(line)?;
+        Self::from_value(&v)
+    }
+
+    /// Decode an envelope from an already-parsed JSON value (the form
+    /// aggregators meet inside `{"type":"state",…}` lines).
+    pub fn from_value(v: &Json) -> Result<Self, SnapshotError> {
+        if v.as_obj().is_none() {
+            return Err(SnapshotError::Invalid { field: "snapshot", what: "not a JSON object" });
+        }
+        let version = match v.get("v") {
+            None => WIRE_VERSION, // pre-versioning lines are version 1
+            Some(j) => j
+                .as_u64()
+                .ok_or(SnapshotError::Invalid { field: "v", what: "not an unsigned integer" })?,
+        };
+        if version != WIRE_VERSION {
+            return Err(SnapshotError::Version(version));
+        }
+        let kind = req_str(v, "kind")?.to_owned();
+        let total = req_u64(v, "total")?;
+        let state = req(v, "state")?;
+        if state.as_obj().is_none() {
+            return Err(SnapshotError::Invalid { field: "state", what: "not a JSON object" });
+        }
+        Ok(DetectorSnapshot { kind: Cow::Owned(kind), total, state_json: state.render() })
+    }
+
+    /// Parse the state body.
+    pub fn state(&self) -> Result<Json, SnapshotError> {
+        Json::parse(&self.state_json)
+    }
+}
+
+/// Why a snapshot could not be decoded, restored, or folded.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotError {
+    /// The text is not well-formed JSON.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What the parser expected.
+        what: &'static str,
+    },
+    /// A required field is absent.
+    Missing(&'static str),
+    /// A field is present but has the wrong type or an invalid value.
+    Invalid {
+        /// The offending field.
+        field: &'static str,
+        /// What is wrong with it.
+        what: &'static str,
+    },
+    /// The envelope declares a wire-format version this build cannot
+    /// read.
+    Version(u64),
+    /// The `kind` names a detector this build cannot restore.
+    Kind(String),
+    /// Two snapshots that cannot be folded together (different kinds
+    /// or incompatible configurations).
+    Mismatch(String),
+}
+
+impl Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Parse { offset, what } => {
+                write!(f, "malformed JSON at byte {offset}: {what}")
+            }
+            SnapshotError::Missing(field) => write!(f, "missing field `{field}`"),
+            SnapshotError::Invalid { field, what } => write!(f, "invalid field `{field}`: {what}"),
+            SnapshotError::Version(v) => {
+                write!(f, "unsupported snapshot version {v} (this build reads {WIRE_VERSION})")
+            }
+            SnapshotError::Kind(k) => write!(f, "unknown detector kind `{k}`"),
+            SnapshotError::Mismatch(what) => write!(f, "snapshots cannot be folded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Fetch a required field of a JSON object.
+pub fn req<'a>(v: &'a Json, field: &'static str) -> Result<&'a Json, SnapshotError> {
+    v.get(field).ok_or(SnapshotError::Missing(field))
+}
+
+/// Fetch a required unsigned-integer field.
+pub fn req_u64(v: &Json, field: &'static str) -> Result<u64, SnapshotError> {
+    req(v, field)?.as_u64().ok_or(SnapshotError::Invalid { field, what: "not an unsigned integer" })
+}
+
+/// Fetch a required float field (any numeric lexeme).
+pub fn req_f64(v: &Json, field: &'static str) -> Result<f64, SnapshotError> {
+    req(v, field)?.as_f64().ok_or(SnapshotError::Invalid { field, what: "not a number" })
+}
+
+/// Fetch a required string field.
+pub fn req_str<'a>(v: &'a Json, field: &'static str) -> Result<&'a str, SnapshotError> {
+    req(v, field)?.as_str().ok_or(SnapshotError::Invalid { field, what: "not a string" })
+}
+
+/// Fetch a required array field.
+pub fn req_arr<'a>(v: &'a Json, field: &'static str) -> Result<&'a [Json], SnapshotError> {
+    req(v, field)?.as_arr().ok_or(SnapshotError::Invalid { field, what: "not an array" })
+}
+
+/// Escape a string as a JSON string literal (with quotes).
+pub fn json_string(s: impl Display) -> String {
+    let raw = s.to_string();
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render `[[key, v1, v2, …], …]` rows as a JSON array of arrays with
+/// the key as a JSON string. Rows must already be sorted by the caller
+/// (snapshots are deterministic by contract).
+pub fn json_keyed_rows<K: Display>(rows: &[(K, Vec<u64>)]) -> String {
+    let mut out = String::from("[");
+    for (i, (key, vals)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        out.push_str(&json_string(key));
+        for v in vals {
+            let _ = write!(out, ",{v}");
+        }
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+/// Decode `[[key, v…], …]` rows (the [`json_keyed_rows`] shape) into
+/// `(parsed key, values)` pairs. `expect_vals` is the per-row value
+/// count (excluding the key).
+pub fn parse_keyed_rows<K: FromStr>(
+    rows: &Json,
+    field: &'static str,
+    expect_vals: usize,
+) -> Result<Vec<(K, Vec<u64>)>, SnapshotError> {
+    let rows =
+        rows.as_arr().ok_or(SnapshotError::Invalid { field, what: "rows are not an array" })?;
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let row =
+            row.as_arr().ok_or(SnapshotError::Invalid { field, what: "row is not an array" })?;
+        if row.len() != expect_vals + 1 {
+            return Err(SnapshotError::Invalid { field, what: "row has the wrong arity" });
+        }
+        let key = row[0]
+            .as_str()
+            .ok_or(SnapshotError::Invalid { field, what: "row key is not a string" })?;
+        let key = key
+            .parse::<K>()
+            .map_err(|_| SnapshotError::Invalid { field, what: "row key does not parse" })?;
+        let vals = row[1..]
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .ok_or(SnapshotError::Invalid { field, what: "row value is not an integer" })
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        out.push((key, vals));
+    }
+    Ok(out)
+}
+
+/// A snapshot tagged with its report point, as read back from the
+/// JSON-lines stream a `JsonSnapshotSink` (in `hhh-window`) wrote.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StampedSnapshot {
+    /// The report point the snapshot was taken at.
+    pub at: Nanos,
+    /// The serialized detector state.
+    pub snapshot: DetectorSnapshot,
+}
+
+impl StampedSnapshot {
+    /// Render as the `{"type":"state",…}` JSON line shape.
+    pub fn to_json(&self) -> String {
+        Self::render(self.at, &self.snapshot)
+    }
+
+    /// Render a state line from borrowed parts — the one definition of
+    /// the line shape, shared with the `hhh-window` sink so writer and
+    /// aggregator output can never diverge byte-wise (and the hot sink
+    /// path never clones the state body).
+    pub fn render(at: Nanos, snapshot: &DetectorSnapshot) -> String {
+        format!(
+            "{{\"type\":\"state\",\"at_ns\":{},\"snapshot\":{}}}",
+            at.as_nanos(),
+            snapshot.to_json()
+        )
+    }
+}
+
+/// Parse one line of a snapshot JSONL stream. Returns `Ok(Some(_))`
+/// for a `state` line, `Ok(None)` for any other well-formed line
+/// (`report` lines ride in the same stream), and an error for garbage.
+pub fn parse_state_line(line: &str) -> Result<Option<StampedSnapshot>, SnapshotError> {
+    let v = Json::parse(line)?;
+    match v.get("type").and_then(Json::as_str) {
+        Some("state") => {
+            let at = Nanos::from_nanos(req_u64(&v, "at_ns")?);
+            let snapshot = DetectorSnapshot::from_value(req(&v, "snapshot")?)?;
+            Ok(Some(StampedSnapshot { at, snapshot }))
+        }
+        Some(_) => Ok(None),
+        None => Err(SnapshotError::Missing("type")),
+    }
+}
+
+/// A detector rebuilt from a [`DetectorSnapshot`] — the **fold**
+/// target of cross-process aggregation.
+///
+/// One variant per snapshot-capable detector; the dispatcher hides
+/// which one a stream contains. Folding decodes the incoming snapshot
+/// into a second restored detector and applies the in-process
+/// [`MergeableDetector::merge`] — so the distributed result is, by
+/// construction, the same algebra the sharded pipelines run, with
+/// configuration mismatches reported as [`SnapshotError::Mismatch`]
+/// instead of the panics the in-process path reserves for programmer
+/// error.
+#[derive(Clone, Debug)]
+pub enum RestoredDetector<H: Hierarchy> {
+    /// An [`ExactHhh`] (kind `exact`).
+    Exact(ExactHhh<H>),
+    /// A [`SpaceSavingHhh`] (kind `ss-hhh`).
+    SpaceSaving(SpaceSavingHhh<H>),
+    /// An [`Rhhh`] (kind `rhhh`).
+    Rhhh(Rhhh<H>),
+    /// A [`TdbfHhh`] (kind `tdbf-hhh`).
+    Tdbf(TdbfHhh<H>),
+}
+
+impl<H> RestoredDetector<H>
+where
+    H: Hierarchy,
+    H::Item: FromStr,
+    H::Prefix: FromStr,
+{
+    /// Rebuild a live detector from a snapshot, dispatching on `kind`.
+    pub fn from_snapshot(h: &H, snap: &DetectorSnapshot) -> Result<Self, SnapshotError> {
+        match &*snap.kind {
+            "exact" => ExactHhh::from_snapshot(h.clone(), snap).map(RestoredDetector::Exact),
+            "ss-hhh" => {
+                SpaceSavingHhh::from_snapshot(h.clone(), snap).map(RestoredDetector::SpaceSaving)
+            }
+            "rhhh" => Rhhh::from_snapshot(h.clone(), snap).map(RestoredDetector::Rhhh),
+            "tdbf-hhh" => TdbfHhh::from_snapshot(h.clone(), snap).map(RestoredDetector::Tdbf),
+            other => Err(SnapshotError::Kind(other.to_owned())),
+        }
+    }
+
+    /// Decode `snap` and merge it into this detector (the in-process
+    /// merge recipe, behind the wire). Errors on kind or configuration
+    /// mismatch; `self` is unchanged on error.
+    pub fn fold(&mut self, h: &H, snap: &DetectorSnapshot) -> Result<(), SnapshotError> {
+        let other = Self::from_snapshot(h, snap)?;
+        match (self, other) {
+            (RestoredDetector::Exact(a), RestoredDetector::Exact(b)) => {
+                a.merge(&b);
+                Ok(())
+            }
+            (RestoredDetector::SpaceSaving(a), RestoredDetector::SpaceSaving(b)) => {
+                if a.capacity() != b.capacity() {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "ss-hhh capacities differ: {} vs {}",
+                        a.capacity(),
+                        b.capacity()
+                    )));
+                }
+                a.merge(&b);
+                Ok(())
+            }
+            (RestoredDetector::Rhhh(a), RestoredDetector::Rhhh(b)) => {
+                if a.capacity() != b.capacity() {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "rhhh capacities differ: {} vs {}",
+                        a.capacity(),
+                        b.capacity()
+                    )));
+                }
+                a.merge(&b);
+                Ok(())
+            }
+            (RestoredDetector::Tdbf(a), RestoredDetector::Tdbf(b)) => {
+                if a.config_fingerprint() != b.config_fingerprint() {
+                    return Err(SnapshotError::Mismatch(
+                        "tdbf-hhh configurations differ".to_owned(),
+                    ));
+                }
+                a.merge(&b);
+                Ok(())
+            }
+            (a, b) => Err(SnapshotError::Mismatch(format!(
+                "kinds differ: `{}` vs `{}`",
+                a.kind(),
+                b.kind()
+            ))),
+        }
+    }
+
+    /// The wire `kind` of the restored detector.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RestoredDetector::Exact(_) => "exact",
+            RestoredDetector::SpaceSaving(_) => "ss-hhh",
+            RestoredDetector::Rhhh(_) => "rhhh",
+            RestoredDetector::Tdbf(_) => "tdbf-hhh",
+        }
+    }
+
+    /// Total (undecayed) weight covered by the state.
+    pub fn total(&self) -> u64 {
+        match self {
+            RestoredDetector::Exact(d) => d.total(),
+            RestoredDetector::SpaceSaving(d) => d.total(),
+            RestoredDetector::Rhhh(d) => d.total(),
+            RestoredDetector::Tdbf(d) => d.observed_weight(),
+        }
+    }
+
+    /// Re-serialize the (merged) state — byte-identical to what the
+    /// same state would emit in-process, so aggregator output can feed
+    /// another aggregation tier.
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        let snap = match self {
+            RestoredDetector::Exact(d) => d.snapshot(),
+            RestoredDetector::SpaceSaving(d) => d.snapshot(),
+            RestoredDetector::Rhhh(d) => d.snapshot(),
+            RestoredDetector::Tdbf(d) => d.snapshot(),
+        };
+        snap.expect("every restorable detector serializes")
+    }
+
+    /// The HHH report of the merged state. Windowed detectors report
+    /// their whole (since-reset) window; the continuous TDBF detector
+    /// reports as of `at` — pass the report point the snapshots were
+    /// taken at.
+    pub fn report(&self, at: Nanos, threshold: Threshold) -> Vec<HhhReport<H::Prefix>> {
+        match self {
+            RestoredDetector::Exact(d) => d.report(threshold),
+            RestoredDetector::SpaceSaving(d) => d.report(threshold),
+            RestoredDetector::Rhhh(d) => d.report(threshold),
+            RestoredDetector::Tdbf(d) => d.report_at(at, threshold),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_renders_stably() {
+        let s = DetectorSnapshot {
+            kind: Cow::Borrowed("exact"),
+            total: 42,
+            state_json: "{\"counts\":[]}".to_string(),
+        };
+        assert_eq!(
+            s.to_json(),
+            "{\"v\":1,\"kind\":\"exact\",\"total\":42,\"state\":{\"counts\":[]}}"
+        );
+    }
+
+    #[test]
+    fn envelope_roundtrips() {
+        let s = DetectorSnapshot {
+            kind: Cow::Borrowed("exact"),
+            total: 42,
+            state_json: "{\"counts\":[[\"7\",42]]}".to_string(),
+        };
+        let back = DetectorSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), s.to_json());
+    }
+
+    #[test]
+    fn missing_version_reads_as_v1() {
+        let back = DetectorSnapshot::from_json(
+            "{\"kind\":\"exact\",\"total\":7,\"state\":{\"counts\":[]}}",
+        )
+        .unwrap();
+        assert_eq!(back.total, 7);
+        assert_eq!(back.kind, "exact");
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let e =
+            DetectorSnapshot::from_json("{\"v\":99,\"kind\":\"exact\",\"total\":7,\"state\":{}}");
+        assert_eq!(e, Err(SnapshotError::Version(99)));
+    }
+
+    #[test]
+    fn missing_fields_are_typed_errors() {
+        assert_eq!(
+            DetectorSnapshot::from_json("{\"v\":1,\"total\":7,\"state\":{}}"),
+            Err(SnapshotError::Missing("kind"))
+        );
+        assert_eq!(
+            DetectorSnapshot::from_json("{\"v\":1,\"kind\":\"exact\",\"state\":{}}"),
+            Err(SnapshotError::Missing("total"))
+        );
+        assert!(matches!(
+            DetectorSnapshot::from_json("{\"v\":1,\"kind\":\"exact\",\"total\":7,\"state\":3}"),
+            Err(SnapshotError::Invalid { field: "state", .. })
+        ));
+    }
+
+    #[test]
+    fn state_line_roundtrip_and_skip() {
+        let s = StampedSnapshot {
+            at: Nanos::from_secs(3),
+            snapshot: DetectorSnapshot {
+                kind: Cow::Borrowed("exact"),
+                total: 300,
+                state_json: "{\"counts\":[[\"7\",300]]}".into(),
+            },
+        };
+        let parsed = parse_state_line(&s.to_json()).unwrap();
+        assert_eq!(parsed, Some(s));
+        // Report lines in the same stream are skipped, not errors.
+        assert_eq!(parse_state_line("{\"type\":\"report\",\"series\":0}"), Ok(None));
+        assert!(parse_state_line("{\"series\":0}").is_err());
+        assert!(parse_state_line("not json").is_err());
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("10.0.0.0/8"), "\"10.0.0.0/8\"");
+    }
+
+    #[test]
+    fn keyed_rows_render_and_parse() {
+        let rows = vec![("a", vec![1, 2]), ("b", vec![3])];
+        assert_eq!(json_keyed_rows(&rows), "[[\"a\",1,2],[\"b\",3]]");
+        let back: Vec<(String, Vec<u64>)> =
+            parse_keyed_rows(&Json::parse("[[\"a\",1,2]]").unwrap(), "rows", 2).unwrap();
+        assert_eq!(back, vec![("a".to_string(), vec![1, 2])]);
+        // Arity mismatch is a typed error.
+        assert!(matches!(
+            parse_keyed_rows::<String>(&Json::parse("[[\"a\",1,2],[\"b\",3]]").unwrap(), "rows", 2),
+            Err(SnapshotError::Invalid { field: "rows", .. })
+        ));
+    }
+}

@@ -40,6 +40,11 @@ impl<H: Hierarchy> SpaceSavingHhh<H> {
         &self.levels
     }
 
+    /// Space-Saving counters per level (the construction parameter).
+    pub fn capacity(&self) -> usize {
+        self.levels[0].capacity()
+    }
+
     /// Build per-level estimate maps from the monitored entries, closed
     /// upward: an ancestor of a monitored prefix is guaranteed an entry
     /// with an estimate at least the sum of its monitored children (so
@@ -136,28 +141,133 @@ impl<H: Hierarchy> MergeableDetector for SpaceSavingHhh<H> {
         self.total += other.total;
     }
 
-    /// Wire format: `{"levels":[[[prefix, count, error], …], …]}`, one
-    /// entry array per hierarchy level (level 0 first), rows sorted by
-    /// the prefix's display form. An aggregator folds snapshots with
-    /// the mergeable-summaries union-then-prune per level — the same
-    /// recipe as [`merge`](Self::merge).
+    /// Wire format:
+    /// `{"capacity":C,"levels":[{"total":N,"entries":[[prefix, count,
+    /// error], …]}, …]}`, one object per hierarchy level (level 0
+    /// first), rows sorted by the prefix's display form. The body is
+    /// self-contained — capacity and per-level totals ride along — so
+    /// an aggregator can rebuild the summaries
+    /// ([`from_snapshot`](Self::from_snapshot)) and fold them with the
+    /// mergeable-summaries union-then-prune per level, the same recipe
+    /// as [`merge`](Self::merge).
     fn snapshot(&self) -> Option<crate::snapshot::DetectorSnapshot> {
-        let mut levels = String::from("[");
-        for (i, ss) in self.levels.iter().enumerate() {
-            if i > 0 {
-                levels.push(',');
-            }
-            let mut rows: Vec<(String, Vec<u64>)> =
-                ss.entries().map(|e| (e.key.to_string(), vec![e.count, e.error])).collect();
-            rows.sort();
-            levels.push_str(&crate::snapshot::json_keyed_rows(&rows));
-        }
-        levels.push(']');
         Some(crate::snapshot::DetectorSnapshot {
-            kind: "ss-hhh",
+            kind: "ss-hhh".into(),
             total: self.total,
-            state_json: format!("{{\"levels\":{levels}}}"),
+            state_json: format!(
+                "{{\"capacity\":{},\"levels\":{}}}",
+                self.capacity(),
+                levels_json(&self.levels)
+            ),
         })
+    }
+}
+
+/// Render per-level Space-Saving summaries as the snapshot `levels`
+/// array (shared by the RHHH snapshot, which carries the same
+/// per-level structure).
+pub(crate) fn levels_json<P: std::fmt::Display + Copy + Eq + std::hash::Hash>(
+    levels: &[SpaceSaving<P>],
+) -> String {
+    let mut out = String::from("[");
+    for (i, ss) in levels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rows: Vec<(String, Vec<u64>)> = ss
+            .export_entries(|p| p.to_string())
+            .into_iter()
+            .map(|(s, e)| (s, vec![e.count, e.error]))
+            .collect();
+        out.push_str(&format!(
+            "{{\"total\":{},\"entries\":{}}}",
+            ss.total(),
+            crate::snapshot::json_keyed_rows(&rows)
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Decode the snapshot `levels` array back into per-level summaries
+/// (shared with the RHHH decoder).
+pub(crate) fn levels_from_json<P>(
+    state: &crate::snapshot::json::Json,
+    capacity: usize,
+    expected_levels: usize,
+) -> Result<Vec<SpaceSaving<P>>, crate::snapshot::SnapshotError>
+where
+    P: std::str::FromStr + Copy + Eq + std::hash::Hash,
+{
+    use crate::snapshot::{parse_keyed_rows, req, req_arr, req_u64, SnapshotError};
+    use hhh_sketches::SsEntry;
+    let levels_json = req_arr(state, "levels")?;
+    if levels_json.len() != expected_levels {
+        return Err(SnapshotError::Mismatch(format!(
+            "snapshot has {} levels, hierarchy has {expected_levels}",
+            levels_json.len()
+        )));
+    }
+    let mut levels = Vec::with_capacity(levels_json.len());
+    for lv in levels_json {
+        let total = req_u64(lv, "total")?;
+        let rows: Vec<(P, Vec<u64>)> = parse_keyed_rows(req(lv, "entries")?, "entries", 2)?;
+        if rows.len() > capacity {
+            return Err(SnapshotError::Invalid {
+                field: "entries",
+                what: "more entries than capacity",
+            });
+        }
+        let mut entries = Vec::with_capacity(rows.len());
+        let mut seen = std::collections::HashSet::with_capacity(rows.len());
+        for (key, vals) in rows {
+            let (count, error) = (vals[0], vals[1]);
+            if error > count {
+                return Err(SnapshotError::Invalid {
+                    field: "entries",
+                    what: "error exceeds count",
+                });
+            }
+            if !seen.insert(key) {
+                return Err(SnapshotError::Invalid { field: "entries", what: "duplicate prefix" });
+            }
+            entries.push(SsEntry { key, count, error });
+        }
+        levels.push(SpaceSaving::from_parts(capacity, total, entries));
+    }
+    Ok(levels)
+}
+
+impl<H: Hierarchy> SpaceSavingHhh<H>
+where
+    H::Prefix: std::str::FromStr,
+{
+    /// Rebuild a detector from a serialized
+    /// [`snapshot`](MergeableDetector::snapshot) — the decode half of
+    /// the round-trip codec. The restored detector reports and merges
+    /// identically to the one that emitted the snapshot (the summaries
+    /// are set-equal; merging is heap-order independent).
+    pub fn from_snapshot(
+        hierarchy: H,
+        snap: &crate::snapshot::DetectorSnapshot,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{req_u64, SnapshotError};
+        if snap.kind != "ss-hhh" {
+            return Err(SnapshotError::Mismatch(format!(
+                "expected kind `ss-hhh`, got `{}`",
+                snap.kind
+            )));
+        }
+        let state = snap.state()?;
+        let capacity = req_u64(&state, "capacity")? as usize;
+        if capacity == 0 || capacity > crate::snapshot::MAX_WIRE_CAPACITY {
+            return Err(SnapshotError::Invalid {
+                field: "capacity",
+                what: "must be non-zero and within MAX_WIRE_CAPACITY",
+            });
+        }
+        let levels = levels_from_json(&state, capacity, hierarchy.levels())?;
+        Ok(SpaceSavingHhh { hierarchy, levels, total: snap.total })
     }
 }
 

@@ -121,6 +121,25 @@ impl<H: Hierarchy> TdbfHhh<H> {
         self.candidates.iter().map(|c| c.len()).collect()
     }
 
+    /// The configuration in use.
+    pub fn config(&self) -> &TdbfHhhConfig {
+        &self.cfg
+    }
+
+    /// A comparable digest of every behavior-relevant configuration
+    /// field — what the fold path checks before merging two restored
+    /// detectors (the in-process merge asserts instead).
+    pub fn config_fingerprint(&self) -> (usize, usize, u64, usize, u64, u64) {
+        (
+            self.cfg.cells_per_level,
+            self.cfg.hashes,
+            self.cfg.half_life.as_nanos(),
+            self.cfg.candidates_per_level,
+            self.cfg.admit_fraction.to_bits(),
+            self.cfg.seed,
+        )
+    }
+
     fn admit(&mut self, level: usize, p: H::Prefix, ts: Nanos, est: f64, total_now: f64) {
         let table = &mut self.candidates[level];
         if let Some(last) = table.get_mut(&p) {
@@ -255,6 +274,230 @@ impl<H: Hierarchy> MergeableDetector for TdbfHhh<H> {
                 table.retain(|p, _| keep.contains(p));
             }
         }
+    }
+
+    /// Wire format: the full configuration (cell geometry, hash count,
+    /// half-life, candidate capacity, admission fraction, hash seed)
+    /// plus the complete decayed state — `"total"` as a raw
+    /// `[value, last_ns]` counter, `"filters"` as per-level arrays of
+    /// raw cells, `"candidates"` as per-level `[prefix, ts_ns]` rows
+    /// sorted by prefix. Floats render in shortest round-trip form, so
+    /// a restored detector ([`TdbfHhh::from_snapshot`]) is
+    /// *bit-identical*: it decays, reports and merges exactly like the
+    /// original.
+    fn snapshot(&self) -> Option<crate::snapshot::DetectorSnapshot> {
+        use crate::snapshot::json::Json;
+        let counter_json = |c: &DecayedCounter| {
+            let (v, last) = c.raw();
+            Json::Arr(vec![Json::f64(v), Json::u64(last.as_nanos())])
+        };
+        let filters = Json::Arr(
+            self.filters
+                .iter()
+                .map(|f| Json::Arr(f.cells().iter().map(counter_json).collect()))
+                .collect(),
+        );
+        let candidates = Json::Arr(
+            self.candidates
+                .iter()
+                .map(|table| {
+                    let mut rows: Vec<(String, Nanos)> =
+                        table.iter().map(|(p, &ts)| (p.to_string(), ts)).collect();
+                    rows.sort_by(|a, b| a.0.cmp(&b.0));
+                    Json::Arr(
+                        rows.into_iter()
+                            .map(|(p, ts)| Json::Arr(vec![Json::str(p), Json::u64(ts.as_nanos())]))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        let state = Json::Obj(vec![
+            ("cells_per_level".into(), Json::u64(self.cfg.cells_per_level as u64)),
+            ("hashes".into(), Json::u64(self.cfg.hashes as u64)),
+            ("half_life_ns".into(), Json::u64(self.cfg.half_life.as_nanos())),
+            ("candidates_per_level".into(), Json::u64(self.cfg.candidates_per_level as u64)),
+            ("admit_fraction".into(), Json::f64(self.cfg.admit_fraction)),
+            ("seed".into(), Json::u64(self.cfg.seed)),
+            ("observed".into(), Json::u64(self.observed)),
+            ("total".into(), counter_json(&self.total)),
+            ("filters".into(), filters),
+            ("candidates".into(), candidates),
+        ]);
+        Some(crate::snapshot::DetectorSnapshot {
+            kind: "tdbf-hhh".into(),
+            total: self.observed,
+            state_json: state.render(),
+        })
+    }
+}
+
+impl<H: Hierarchy> TdbfHhh<H>
+where
+    H::Prefix: std::str::FromStr,
+{
+    /// Rebuild a detector from a serialized
+    /// [`snapshot`](MergeableDetector::snapshot) — the decode half of
+    /// the round-trip codec. The snapshot carries its own
+    /// configuration, so nothing but the hierarchy is needed; the
+    /// restored detector is bit-identical to the original.
+    pub fn from_snapshot(
+        hierarchy: H,
+        snap: &crate::snapshot::DetectorSnapshot,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::json::Json;
+        use crate::snapshot::{req, req_arr, req_f64, req_u64, SnapshotError};
+
+        fn counter_from_json(
+            v: &Json,
+            field: &'static str,
+        ) -> Result<DecayedCounter, SnapshotError> {
+            let pair =
+                v.as_arr().ok_or(SnapshotError::Invalid { field, what: "cell is not a pair" })?;
+            if pair.len() != 2 {
+                return Err(SnapshotError::Invalid { field, what: "cell is not a pair" });
+            }
+            let value = pair[0]
+                .as_f64()
+                .filter(|f| f.is_finite())
+                .ok_or(SnapshotError::Invalid { field, what: "cell value is not finite" })?;
+            let last = pair[1].as_u64().ok_or(SnapshotError::Invalid {
+                field,
+                what: "cell timestamp is not an integer",
+            })?;
+            Ok(DecayedCounter::from_raw(value, Nanos::from_nanos(last)))
+        }
+
+        if snap.kind != "tdbf-hhh" {
+            return Err(SnapshotError::Mismatch(format!(
+                "expected kind `tdbf-hhh`, got `{}`",
+                snap.kind
+            )));
+        }
+        let state = snap.state()?;
+        let admit_fraction = req_f64(&state, "admit_fraction")?;
+        if !(admit_fraction > 0.0 && admit_fraction < 1.0) {
+            return Err(SnapshotError::Invalid {
+                field: "admit_fraction",
+                what: "must be in (0, 1)",
+            });
+        }
+        let cfg = TdbfHhhConfig {
+            cells_per_level: req_u64(&state, "cells_per_level")? as usize,
+            hashes: req_u64(&state, "hashes")? as usize,
+            half_life: TimeSpan::from_nanos(req_u64(&state, "half_life_ns")?),
+            candidates_per_level: req_u64(&state, "candidates_per_level")? as usize,
+            admit_fraction,
+            seed: req_u64(&state, "seed")?,
+        };
+        if cfg.cells_per_level == 0 || cfg.hashes == 0 || cfg.half_life.is_zero() {
+            return Err(SnapshotError::Invalid {
+                field: "cells_per_level",
+                what: "geometry and half-life must be non-zero",
+            });
+        }
+        // Wire geometry is untrusted: bound it *before* it drives any
+        // allocation, so a corrupt line is a typed error rather than a
+        // pathological `TdbfHhh::new`.
+        if cfg.cells_per_level.saturating_mul(cfg.hashes) > crate::snapshot::MAX_WIRE_CAPACITY
+            || cfg.hashes > 64
+            || cfg.candidates_per_level > crate::snapshot::MAX_WIRE_CAPACITY
+        {
+            return Err(SnapshotError::Invalid {
+                field: "cells_per_level",
+                what: "geometry exceeds MAX_WIRE_CAPACITY",
+            });
+        }
+        let mut detector = TdbfHhh::new(hierarchy, cfg);
+        let levels = detector.filters.len();
+
+        let filters_json = req_arr(&state, "filters")?;
+        if filters_json.len() != levels {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {} levels, hierarchy has {levels}",
+                filters_json.len()
+            )));
+        }
+        for (filter, cells_json) in detector.filters.iter_mut().zip(filters_json) {
+            let cells_json = cells_json.as_arr().ok_or(SnapshotError::Invalid {
+                field: "filters",
+                what: "level is not an array",
+            })?;
+            if cells_json.len() != filter.cell_count() {
+                return Err(SnapshotError::Invalid {
+                    field: "filters",
+                    what: "cell count does not match the geometry",
+                });
+            }
+            let cells = cells_json
+                .iter()
+                .map(|c| counter_from_json(c, "filters"))
+                .collect::<Result<Vec<_>, _>>()?;
+            filter.restore_cells(cells);
+        }
+
+        let candidates_json = req_arr(&state, "candidates")?;
+        if candidates_json.len() != levels {
+            return Err(SnapshotError::Invalid {
+                field: "candidates",
+                what: "one table per level required",
+            });
+        }
+        for (table, rows) in detector.candidates.iter_mut().zip(candidates_json) {
+            let rows = rows.as_arr().ok_or(SnapshotError::Invalid {
+                field: "candidates",
+                what: "level is not an array",
+            })?;
+            if rows.len() > detector.cfg.candidates_per_level {
+                return Err(SnapshotError::Invalid {
+                    field: "candidates",
+                    what: "more candidates than capacity",
+                });
+            }
+            for row in rows {
+                let row = row.as_arr().ok_or(SnapshotError::Invalid {
+                    field: "candidates",
+                    what: "row is not a pair",
+                })?;
+                if row.len() != 2 {
+                    return Err(SnapshotError::Invalid {
+                        field: "candidates",
+                        what: "row is not a pair",
+                    });
+                }
+                let prefix = row[0]
+                    .as_str()
+                    .ok_or(SnapshotError::Invalid {
+                        field: "candidates",
+                        what: "prefix is not a string",
+                    })?
+                    .parse::<H::Prefix>()
+                    .map_err(|_| SnapshotError::Invalid {
+                        field: "candidates",
+                        what: "prefix does not parse",
+                    })?;
+                let ts = row[1].as_u64().ok_or(SnapshotError::Invalid {
+                    field: "candidates",
+                    what: "timestamp is not an integer",
+                })?;
+                if table.insert(prefix, Nanos::from_nanos(ts)).is_some() {
+                    return Err(SnapshotError::Invalid {
+                        field: "candidates",
+                        what: "duplicate prefix",
+                    });
+                }
+            }
+        }
+
+        detector.total = counter_from_json(req(&state, "total")?, "total")?;
+        detector.observed = req_u64(&state, "observed")?;
+        if detector.observed != snap.total {
+            return Err(SnapshotError::Invalid {
+                field: "total",
+                what: "envelope total does not equal the observed weight",
+            });
+        }
+        Ok(detector)
     }
 }
 

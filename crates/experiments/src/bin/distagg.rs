@@ -1,0 +1,81 @@
+//! D-scale — the distributed-aggregation scenario and its codec bench.
+//!
+//! ```text
+//! # full in-process scenario (all four kinds, K ∈ {1,2,4}):
+//! cargo run --release -p hhh-experiments --bin distagg -- run [smoke|quick|paper]
+//!
+//! # one shard's snapshot JSONL on stdout (the CI cross-process smoke
+//! # spawns K of these and pipes them into the hhh-agg binary):
+//! cargo run --release -p hhh-experiments --bin distagg -- shard <kind> <k> <i> [scale]
+//!
+//! # snapshot encode/decode + aggregator fold throughput:
+//! cargo run --release -p hhh-experiments --bin distagg -- bench [scale] [out.json]
+//! ```
+//!
+//! `<kind>` is one of `exact`, `ss-hhh`, `rhhh`, `tdbf-hhh`.
+
+use hhh_experiments::distagg::{
+    codec_bench, codec_bench_json, codec_bench_table, distagg_table, run_distagg, shard_jsonl, Kind,
+};
+use hhh_experiments::Scale;
+use std::io::Write;
+
+fn scale_at(n: usize) -> Scale {
+    std::env::args().nth(n).and_then(|a| Scale::parse(&a)).unwrap_or(Scale::Smoke)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: distagg run [scale]\n\
+         \x20      distagg shard <kind> <k> <i> [scale]\n\
+         \x20      distagg bench [scale] [out.json]\n\
+         kinds: exact ss-hhh rhhh tdbf-hhh; scales: smoke quick paper (default smoke)"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "run".into());
+    match mode.as_str() {
+        "run" => {
+            let scale = scale_at(2);
+            eprintln!("distributed-aggregation scenario at scale '{}'…", scale.label());
+            let rows = run_distagg(scale, &[1, 2, 4]);
+            print!("{}", distagg_table(&rows));
+            let bad: Vec<_> = rows
+                .iter()
+                .filter(|r| !r.state_identical || (r.detector == "exact" && !r.reports_identical))
+                .collect();
+            if !bad.is_empty() {
+                eprintln!("FAILED: {} row(s) violated the aggregation contract", bad.len());
+                std::process::exit(1);
+            }
+        }
+        "shard" => {
+            let args: Vec<String> = std::env::args().collect();
+            if args.len() < 5 {
+                usage();
+            }
+            let kind = Kind::parse(&args[2]).unwrap_or_else(|| usage());
+            let k: usize = args[3].parse().unwrap_or_else(|_| usage());
+            let shard: usize = args[4].parse().unwrap_or_else(|_| usage());
+            if k == 0 || shard >= k {
+                usage();
+            }
+            let scale = scale_at(5);
+            let bytes = shard_jsonl(kind, scale, k, shard);
+            std::io::stdout().write_all(&bytes).expect("write stdout");
+        }
+        "bench" => {
+            let scale = scale_at(2);
+            eprintln!("snapshot codec bench at scale '{}'…", scale.label());
+            let rows = codec_bench(scale, &[1, 2, 4, 8]);
+            print!("{}", codec_bench_table(&rows));
+            if let Some(path) = std::env::args().nth(3) {
+                std::fs::write(&path, codec_bench_json(&rows, scale)).expect("write JSON output");
+                eprintln!("wrote {path}");
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,581 @@
+//! D-scale — the **distributed aggregation** scenario: prove that the
+//! snapshot wire format round-trips whole detector states across
+//! process boundaries.
+//!
+//! The scenario splits one generated day trace K ways by the sharded
+//! pipeline's own key partition ([`shard_of`]), runs K *independent*
+//! pipelines (one per shard, as separate processes would) that each
+//! write their per-report-point detector snapshots as JSONL, folds the
+//! K streams with `hhh-agg`, and checks the merged result two ways:
+//!
+//! * **byte-identity against the in-process sharded run** — a single
+//!   [`ShardedDisjoint`]/[`ShardedContinuous`] pipeline over the whole
+//!   trace with K shard detectors emits one *merged* state line per
+//!   report point; the cross-process fold must re-serialize to the
+//!   same bytes. This holds for **all four detector kinds**, because
+//!   every shard detector's state is a deterministic function of its
+//!   sub-stream (RHHH's batched sampling replays the per-packet RNG
+//!   sequence) and the fold applies the same merges in the same order.
+//! * **report agreement against the unsharded single-process run** —
+//!   exact identity of the HHH sets for `exact` (merging is lossless),
+//!   bounded Jaccard agreement for the approximate detectors (the
+//!   merge-error growth the sharding tests already quantify).
+//!
+//! The `distagg` binary exposes each shard's run on stdout
+//! (`distagg shard <kind> <k> <i>`) so CI can spawn K real processes
+//! and pipe their streams into the `hhh-agg` binary — the
+//! cross-process smoke test.
+
+use crate::Scale;
+use hhh_agg::{fold_streams, read_stream, MergedPoint};
+use hhh_analysis::{fmt_f, jaccard, Table};
+use hhh_core::{
+    ExactHhh, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh, TdbfHhh, TdbfHhhConfig,
+    Threshold,
+};
+use hhh_hierarchy::Ipv4Hierarchy;
+use hhh_nettypes::{Ipv4Prefix, Nanos, PacketRecord, TimeSpan};
+use hhh_trace::{scenarios, TraceGenerator};
+use hhh_window::{
+    shard_of, Continuous, Disjoint, JsonSnapshotSink, Pipeline, ShardedContinuous, ShardedDisjoint,
+    WindowReport,
+};
+
+/// Report window / probe cadence of the scenario.
+pub const DISTAGG_WINDOW: TimeSpan = TimeSpan::from_secs(5);
+
+/// Report threshold of the scenario (1% of bytes).
+pub fn distagg_threshold() -> Threshold {
+    Threshold::percent(1.0)
+}
+
+/// Space-Saving counters for `ss-hhh`/`rhhh` in the scenario.
+pub const DISTAGG_CAPACITY: usize = 512;
+
+/// The detector kinds the scenario exercises — every kind the snapshot
+/// codec can round-trip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// [`ExactHhh`] in disjoint windows (lossless merges).
+    Exact,
+    /// [`SpaceSavingHhh`] in disjoint windows.
+    SsHhh,
+    /// [`Rhhh`] in disjoint windows (per-shard sampling seeds).
+    Rhhh,
+    /// [`TdbfHhh`] probed continuously.
+    Tdbf,
+}
+
+/// All four kinds, in fixed order.
+pub const KINDS: [Kind; 4] = [Kind::Exact, Kind::SsHhh, Kind::Rhhh, Kind::Tdbf];
+
+impl Kind {
+    /// The wire `kind` label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kind::Exact => "exact",
+            Kind::SsHhh => "ss-hhh",
+            Kind::Rhhh => "rhhh",
+            Kind::Tdbf => "tdbf-hhh",
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Option<Kind> {
+        match s {
+            "exact" => Some(Kind::Exact),
+            "ss-hhh" => Some(Kind::SsHhh),
+            "rhhh" => Some(Kind::Rhhh),
+            "tdbf-hhh" => Some(Kind::Tdbf),
+            _ => None,
+        }
+    }
+}
+
+fn hierarchy() -> Ipv4Hierarchy {
+    Ipv4Hierarchy::bytes()
+}
+
+/// RHHH sampling seed for a shard — shared between the split runs and
+/// the in-process sharded reference, so their states are bit-identical.
+fn rhhh_seed(shard: usize) -> u64 {
+    0x5EED_0000 + shard as u64
+}
+
+fn tdbf_config() -> TdbfHhhConfig {
+    TdbfHhhConfig { half_life: DISTAGG_WINDOW / 2, ..TdbfHhhConfig::default() }
+}
+
+/// The scenario trace: the acceptance day trace at this scale (day 0;
+/// ≈ 1.36M packets at `Smoke`'s 60 s — the same trace the pipeline
+/// parity and sharded-merge contracts pin). Generated once per scale
+/// and cached: the scenario replays it dozens of times.
+pub fn distagg_trace(scale: Scale) -> &'static [PacketRecord] {
+    use std::sync::OnceLock;
+    static TRACES: [OnceLock<Vec<PacketRecord>>; 3] =
+        [OnceLock::new(), OnceLock::new(), OnceLock::new()];
+    let slot = match scale {
+        Scale::Smoke => 0,
+        Scale::Quick => 1,
+        Scale::Paper => 2,
+    };
+    TRACES[slot].get_or_init(|| {
+        let horizon = scale.compare_duration();
+        TraceGenerator::new(scenarios::day_trace(0, horizon), scenarios::day_seed(0)).collect()
+    })
+}
+
+/// TDBF probe instants: every window boundary in the horizon.
+fn probes(horizon: TimeSpan) -> Vec<Nanos> {
+    (1..=horizon / DISTAGG_WINDOW).map(|i| Nanos::ZERO + DISTAGG_WINDOW * i).collect()
+}
+
+fn windowed_jsonl<D>(packets: &[PacketRecord], horizon: TimeSpan, detectors: Vec<D>) -> Vec<u8>
+where
+    D: HhhDetector<Ipv4Hierarchy> + MergeableDetector + Clone + Send,
+{
+    let (bytes, err) = Pipeline::new(packets.iter().copied())
+        .engine(ShardedDisjoint::new(
+            detectors,
+            horizon,
+            DISTAGG_WINDOW,
+            &[distagg_threshold()],
+            |p| p.src,
+        ))
+        .sink(JsonSnapshotSink::new(Vec::new()))
+        .run();
+    assert!(err.is_none(), "Vec<u8> writes cannot fail");
+    bytes
+}
+
+fn continuous_jsonl(packets: &[PacketRecord], horizon: TimeSpan, shards: usize) -> Vec<u8> {
+    let detectors: Vec<_> = (0..shards).map(|_| TdbfHhh::new(hierarchy(), tdbf_config())).collect();
+    let (bytes, err) = Pipeline::new(packets.iter().copied())
+        .engine(ShardedContinuous::new(detectors, &probes(horizon), distagg_threshold(), |p| p.src))
+        .sink(JsonSnapshotSink::new(Vec::new()))
+        .run();
+    assert!(err.is_none(), "Vec<u8> writes cannot fail");
+    bytes
+}
+
+/// One shard's run of the distributed scenario: filter the trace to
+/// the keys [`shard_of`] assigns to `shard` among `k`, run the
+/// per-shard pipeline, and return its snapshot JSONL stream — exactly
+/// what that shard's *process* would write. Deterministic: the same
+/// `(kind, scale, k, shard)` always produces the same bytes.
+pub fn shard_jsonl(kind: Kind, scale: Scale, k: usize, shard: usize) -> Vec<u8> {
+    shard_jsonl_on(kind, distagg_trace(scale), scale.compare_duration(), k, shard)
+}
+
+/// [`shard_jsonl`] over an explicit trace (what the integration tests
+/// drive with custom trace sizes).
+pub fn shard_jsonl_on(
+    kind: Kind,
+    trace: &[PacketRecord],
+    horizon: TimeSpan,
+    k: usize,
+    shard: usize,
+) -> Vec<u8> {
+    assert!(shard < k, "shard index out of range");
+    let packets: Vec<PacketRecord> =
+        trace.iter().copied().filter(|p| shard_of(&p.src, k) == shard).collect();
+    match kind {
+        Kind::Exact => windowed_jsonl(&packets, horizon, vec![ExactHhh::new(hierarchy())]),
+        Kind::SsHhh => windowed_jsonl(
+            &packets,
+            horizon,
+            vec![SpaceSavingHhh::new(hierarchy(), DISTAGG_CAPACITY)],
+        ),
+        Kind::Rhhh => windowed_jsonl(
+            &packets,
+            horizon,
+            vec![Rhhh::new(hierarchy(), DISTAGG_CAPACITY, rhhh_seed(shard))],
+        ),
+        Kind::Tdbf => continuous_jsonl(&packets, horizon, 1),
+    }
+}
+
+/// The in-process K-shard reference stream: one sharded pipeline over
+/// the whole trace, whose state lines carry the *merged* detector at
+/// every report point — what the cross-process fold must reproduce
+/// byte-for-byte.
+pub fn inprocess_sharded_jsonl(kind: Kind, scale: Scale, k: usize) -> Vec<u8> {
+    inprocess_sharded_jsonl_on(kind, distagg_trace(scale), scale.compare_duration(), k)
+}
+
+/// [`inprocess_sharded_jsonl`] over an explicit trace.
+pub fn inprocess_sharded_jsonl_on(
+    kind: Kind,
+    packets: &[PacketRecord],
+    horizon: TimeSpan,
+    k: usize,
+) -> Vec<u8> {
+    match kind {
+        Kind::Exact => {
+            windowed_jsonl(packets, horizon, (0..k).map(|_| ExactHhh::new(hierarchy())).collect())
+        }
+        Kind::SsHhh => windowed_jsonl(
+            packets,
+            horizon,
+            (0..k).map(|_| SpaceSavingHhh::new(hierarchy(), DISTAGG_CAPACITY)).collect(),
+        ),
+        Kind::Rhhh => windowed_jsonl(
+            packets,
+            horizon,
+            (0..k).map(|s| Rhhh::new(hierarchy(), DISTAGG_CAPACITY, rhhh_seed(s))).collect(),
+        ),
+        Kind::Tdbf => continuous_jsonl(packets, horizon, k),
+    }
+}
+
+/// The unsharded single-process reference reports (series 0 at the
+/// scenario threshold).
+pub fn single_process_reports(kind: Kind, scale: Scale) -> Vec<WindowReport<Ipv4Prefix>> {
+    single_process_reports_on(kind, distagg_trace(scale), scale.compare_duration())
+}
+
+/// [`single_process_reports`] over an explicit trace.
+pub fn single_process_reports_on(
+    kind: Kind,
+    packets: &[PacketRecord],
+    horizon: TimeSpan,
+) -> Vec<WindowReport<Ipv4Prefix>> {
+    let mut reports = match kind {
+        Kind::Exact => Pipeline::new(packets.iter().copied())
+            .engine(Disjoint::new(
+                ExactHhh::new(hierarchy()),
+                horizon,
+                DISTAGG_WINDOW,
+                &[distagg_threshold()],
+                |p| p.src,
+            ))
+            .collect()
+            .run(),
+        Kind::SsHhh => Pipeline::new(packets.iter().copied())
+            .engine(Disjoint::new(
+                SpaceSavingHhh::new(hierarchy(), DISTAGG_CAPACITY),
+                horizon,
+                DISTAGG_WINDOW,
+                &[distagg_threshold()],
+                |p| p.src,
+            ))
+            .collect()
+            .run(),
+        Kind::Rhhh => Pipeline::new(packets.iter().copied())
+            .engine(Disjoint::new(
+                Rhhh::new(hierarchy(), DISTAGG_CAPACITY, rhhh_seed(0)),
+                horizon,
+                DISTAGG_WINDOW,
+                &[distagg_threshold()],
+                |p| p.src,
+            ))
+            .collect()
+            .run(),
+        Kind::Tdbf => Pipeline::new(packets.iter().copied())
+            .engine(Continuous::new(
+                TdbfHhh::new(hierarchy(), tdbf_config()),
+                &probes(horizon),
+                distagg_threshold(),
+                |p| p.src,
+            ))
+            .collect()
+            .run(),
+    };
+    reports.remove(0)
+}
+
+/// Fold K shard streams (bytes, as the shard processes wrote them)
+/// into merged report points.
+pub fn fold_shard_streams(
+    streams: &[Vec<u8>],
+) -> Result<Vec<MergedPoint<Ipv4Hierarchy>>, hhh_agg::AggError> {
+    let mut parsed = Vec::with_capacity(streams.len());
+    for (i, bytes) in streams.iter().enumerate() {
+        parsed.push(read_stream(i, bytes.as_slice())?);
+    }
+    fold_streams(&hierarchy(), &parsed)
+}
+
+/// One `(kind, K)` verdict of the scenario.
+#[derive(Clone, Debug)]
+pub struct DistAggRow {
+    /// Detector kind label.
+    pub detector: &'static str,
+    /// Shard/process count.
+    pub shards: usize,
+    /// Packets in the trace.
+    pub packets: u64,
+    /// Report points folded.
+    pub points: usize,
+    /// Snapshots folded across all points and streams.
+    pub folded: usize,
+    /// Does every folded state re-serialize byte-identically to the
+    /// in-process K-shard run's merged state line?
+    pub state_identical: bool,
+    /// Mean per-point Jaccard similarity of the merged HHH sets
+    /// against the unsharded single-process run.
+    pub jaccard_vs_single: f64,
+    /// For `exact`: are the merged HHH reports (prefixes, estimates,
+    /// discounts) identical to the single-process run's? Approximate
+    /// kinds report `false` only when `jaccard_vs_single` is also
+    /// degraded, so the table prints `-` for them.
+    pub reports_identical: bool,
+}
+
+/// Run the full scenario at `scale` for every kind at each shard count
+/// in `ks`.
+pub fn run_distagg(scale: Scale, ks: &[usize]) -> Vec<DistAggRow> {
+    run_distagg_on(distagg_trace(scale), scale.compare_duration(), ks, &KINDS)
+}
+
+/// [`run_distagg`] over an explicit trace and kind subset.
+pub fn run_distagg_on(
+    trace: &[PacketRecord],
+    horizon: TimeSpan,
+    ks: &[usize],
+    kinds: &[Kind],
+) -> Vec<DistAggRow> {
+    let packets = trace.len() as u64;
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        let single = single_process_reports_on(kind, trace, horizon);
+        for &k in ks {
+            let streams: Vec<Vec<u8>> =
+                (0..k).map(|i| shard_jsonl_on(kind, trace, horizon, k, i)).collect();
+            let points = fold_shard_streams(&streams).expect("shard streams fold");
+            let folded = points.iter().map(|p| p.folded).sum();
+
+            // Byte-identity vs the in-process sharded run.
+            let reference =
+                read_stream(0, inprocess_sharded_jsonl_on(kind, trace, horizon, k).as_slice())
+                    .expect("in-process stream parses");
+            let state_identical = reference.len() == points.len()
+                && points.iter().zip(&reference).all(|(p, r)| {
+                    p.at == r.at && p.detector.snapshot().to_json() == r.snapshot.to_json()
+                });
+
+            // Report agreement vs the unsharded run.
+            assert_eq!(points.len(), single.len(), "report point counts differ");
+            let mut jac_sum = 0.0;
+            let mut identical = true;
+            for (i, (p, s)) in points.iter().zip(&single).enumerate() {
+                let merged = p.report(i as u64, distagg_threshold());
+                jac_sum += jaccard(&merged.prefix_set(), &s.prefix_set());
+                identical &= merged.hhhs == s.hhhs && merged.total == s.total;
+            }
+            rows.push(DistAggRow {
+                detector: kind.label(),
+                shards: k,
+                packets,
+                points: points.len(),
+                folded,
+                state_identical,
+                jaccard_vs_single: jac_sum / points.len().max(1) as f64,
+                reports_identical: identical,
+            });
+        }
+    }
+    rows
+}
+
+/// Render scenario rows as an aligned text table.
+pub fn distagg_table(rows: &[DistAggRow]) -> String {
+    let mut t = Table::new(vec![
+        "detector",
+        "shards",
+        "points",
+        "folded",
+        "state==inproc",
+        "jaccard-vs-1proc",
+        "reports==1proc",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.detector.to_string(),
+            r.shards.to_string(),
+            r.points.to_string(),
+            r.folded.to_string(),
+            r.state_identical.to_string(),
+            fmt_f(r.jaccard_vs_single, 4),
+            if r.detector == "exact" { r.reports_identical.to_string() } else { "-".to_string() },
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------
+// Codec bench
+// ---------------------------------------------------------------------
+
+/// One measured codec operation.
+#[derive(Clone, Debug)]
+pub struct CodecBenchRow {
+    /// Detector kind label.
+    pub detector: &'static str,
+    /// `encode` (state → JSON line), `decode` (JSON line → restored
+    /// detector), or `fold/K` (parse + fold K shard streams).
+    pub op: String,
+    /// Streams folded (1 for encode/decode).
+    pub shards: usize,
+    /// Operations (snapshots encoded/decoded, or state lines folded).
+    pub items: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Items per second.
+    pub per_sec: f64,
+}
+
+fn timed<T>(mut f: impl FnMut() -> T) -> (f64, u64) {
+    // Repeat until the measurement dwarfs timer noise.
+    let mut iters: u64 = 0;
+    let start = std::time::Instant::now();
+    loop {
+        std::hint::black_box(f());
+        iters += 1;
+        let s = start.elapsed().as_secs_f64();
+        if s >= 0.2 || iters >= 10_000 {
+            return (s, iters);
+        }
+    }
+}
+
+/// A representative per-report-point snapshot for a kind: the state
+/// a detector holds after one report window of the scenario trace.
+fn sample_snapshot(kind: Kind, packets: &[PacketRecord]) -> hhh_core::DetectorSnapshot {
+    let in_window = packets.iter().take_while(|p| p.ts < Nanos::ZERO + DISTAGG_WINDOW).copied();
+    match kind {
+        Kind::Exact => {
+            let mut d = ExactHhh::new(hierarchy());
+            for p in in_window {
+                HhhDetector::<Ipv4Hierarchy>::observe(&mut d, p.src, u64::from(p.wire_len));
+            }
+            d.snapshot()
+        }
+        Kind::SsHhh => {
+            let mut d = SpaceSavingHhh::new(hierarchy(), DISTAGG_CAPACITY);
+            for p in in_window {
+                HhhDetector::<Ipv4Hierarchy>::observe(&mut d, p.src, u64::from(p.wire_len));
+            }
+            d.snapshot()
+        }
+        Kind::Rhhh => {
+            let mut d = Rhhh::new(hierarchy(), DISTAGG_CAPACITY, rhhh_seed(0));
+            for p in in_window {
+                HhhDetector::<Ipv4Hierarchy>::observe(&mut d, p.src, u64::from(p.wire_len));
+            }
+            d.snapshot()
+        }
+        Kind::Tdbf => {
+            let mut d = TdbfHhh::new(hierarchy(), tdbf_config());
+            for p in in_window {
+                hhh_core::ContinuousDetector::<Ipv4Hierarchy>::observe(
+                    &mut d,
+                    p.ts,
+                    p.src,
+                    u64::from(p.wire_len),
+                );
+            }
+            MergeableDetector::snapshot(&d)
+        }
+    }
+    .expect("all four kinds serialize")
+}
+
+/// Measure snapshot encode/decode cost per detector and aggregator
+/// fold throughput (state lines per second) at each shard count in
+/// `ks` — the numbers `BENCH_pr3.json` commits.
+pub fn codec_bench(scale: Scale, ks: &[usize]) -> Vec<CodecBenchRow> {
+    let h = hierarchy();
+    let packets = distagg_trace(scale);
+    let mut rows = Vec::new();
+    for &kind in &KINDS {
+        let snap = sample_snapshot(kind, packets);
+        let line = snap.to_json();
+
+        let (s, n) = timed(|| snap.to_json());
+        rows.push(CodecBenchRow {
+            detector: kind.label(),
+            op: "encode".into(),
+            shards: 1,
+            items: n,
+            seconds: s,
+            per_sec: n as f64 / s,
+        });
+
+        let (s, n) = timed(|| {
+            let parsed = hhh_core::DetectorSnapshot::from_json(&line).expect("parses");
+            hhh_core::RestoredDetector::from_snapshot(&h, &parsed).expect("restores")
+        });
+        rows.push(CodecBenchRow {
+            detector: kind.label(),
+            op: "decode".into(),
+            shards: 1,
+            items: n,
+            seconds: s,
+            per_sec: n as f64 / s,
+        });
+
+        for &k in ks {
+            let streams: Vec<Vec<u8>> = (0..k).map(|i| shard_jsonl(kind, scale, k, i)).collect();
+            let lines: u64 = streams
+                .iter()
+                .map(|b| read_stream(0, b.as_slice()).expect("stream parses").len() as u64)
+                .sum();
+            let start = std::time::Instant::now();
+            let mut reps: u64 = 0;
+            loop {
+                std::hint::black_box(fold_shard_streams(&streams).expect("folds"));
+                reps += 1;
+                if start.elapsed().as_secs_f64() >= 0.2 || reps >= 100 {
+                    break;
+                }
+            }
+            let s = start.elapsed().as_secs_f64();
+            rows.push(CodecBenchRow {
+                detector: kind.label(),
+                op: format!("fold/{k}"),
+                shards: k,
+                items: lines * reps,
+                seconds: s,
+                per_sec: (lines * reps) as f64 / s,
+            });
+        }
+    }
+    rows
+}
+
+/// Render bench rows as JSON lines for `BENCH_pr3.json`.
+pub fn codec_bench_json(rows: &[CodecBenchRow], scale: Scale) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!(
+            "{{\"experiment\": \"snapshot_codec\", \"scale\": \"{}\", \"detector\": \"{}\", \
+             \"op\": \"{}\", \"shards\": {}, \"items\": {}, \"seconds\": {:.6}, \
+             \"per_sec\": {:.1}}}\n",
+            scale.label(),
+            r.detector,
+            r.op,
+            r.shards,
+            r.items,
+            r.seconds,
+            r.per_sec,
+        ));
+    }
+    out
+}
+
+/// Render bench rows as an aligned text table.
+pub fn codec_bench_table(rows: &[CodecBenchRow]) -> String {
+    let mut t = Table::new(vec!["detector", "op", "shards", "items", "seconds", "items/s"]);
+    for r in rows {
+        t.row(vec![
+            r.detector.to_string(),
+            r.op.clone(),
+            r.shards.to_string(),
+            r.items.to_string(),
+            fmt_f(r.seconds, 3),
+            format!("{:.0}", r.per_sec),
+        ]);
+    }
+    t.render()
+}

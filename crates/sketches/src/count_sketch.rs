@@ -120,6 +120,33 @@ impl<K: Hash + Eq> CountSketch<K> {
         self.total = 0;
     }
 
+    /// The raw counter cells (`depth` rows of `width` counters, row
+    /// `r` at `r*width..(r+1)*width`) — the serialization surface of
+    /// the sketch. Together with the constructor parameters (`width`,
+    /// `depth`, seed) this is the sketch's entire state.
+    pub fn counters(&self) -> &[i64] {
+        &self.counters
+    }
+
+    /// Rebuild a sketch from its constructor parameters plus exported
+    /// cells and total (the deserialization surface, inverse of
+    /// [`counters`](Self::counters) + [`total`](Self::total)). The
+    /// parameters must match the exporting sketch's; only the cell
+    /// count is checkable here and it panics on mismatch.
+    pub fn from_parts(
+        width: usize,
+        depth: usize,
+        seed: u64,
+        counters: Vec<i64>,
+        total: u64,
+    ) -> Self {
+        let mut cs = CountSketch::new(width, depth, seed);
+        assert_eq!(counters.len(), cs.counters.len(), "CountSketch cell-count mismatch");
+        cs.counters = counters;
+        cs.total = total;
+        cs
+    }
+
     /// Merge another sketch with identical dimensions and seeds into
     /// this one (counter-wise sum). Linearity of the row estimators
     /// makes this exact: the merged sketch is bit-identical to one fed
@@ -157,6 +184,27 @@ mod tests {
         let t = truth[&7];
         let err = est.abs_diff(t);
         assert!(err < t / 10, "heavy key estimate too far off: est={est} truth={t}");
+    }
+
+    #[test]
+    fn from_parts_roundtrips_estimates() {
+        let mut cs = CountSketch::<u64>::new(128, 3, 42);
+        for i in 0..5_000u64 {
+            cs.update(&(i % 50), 1 + i % 3);
+        }
+        let back = CountSketch::<u64>::from_parts(128, 3, 42, cs.counters().to_vec(), cs.total());
+        assert_eq!(back.total(), cs.total());
+        assert_eq!(back.counters(), cs.counters());
+        for k in 0..60u64 {
+            assert_eq!(back.estimate(&k), cs.estimate(&k), "estimate diverged for {k}");
+        }
+        assert_eq!(back.l2_squared(), cs.l2_squared());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell-count mismatch")]
+    fn from_parts_rejects_wrong_cell_count() {
+        let _ = CountSketch::<u64>::from_parts(128, 3, 42, vec![0; 7], 0);
     }
 
     #[test]

@@ -108,6 +108,15 @@ impl DecayedCounter {
         (self.value, self.last)
     }
 
+    /// Rebuild from a raw `(value, last)` pair — the deserialization
+    /// surface, inverse of [`raw`](Self::raw). Both halves round-trip
+    /// bit-exactly over the snapshot wire (shortest-form float
+    /// rendering), so a restored counter decays, merges and peeks
+    /// identically to the original.
+    pub const fn from_raw(value: f64, last: Nanos) -> Self {
+        DecayedCounter { value, last }
+    }
+
     /// Fold another counter (same decay rate, disjoint arrivals) into
     /// this one: both values are decayed to the *later* of the two
     /// timestamps and summed. Exact — `C(t)` is a sum over arrivals, so

@@ -22,6 +22,10 @@ impl<K> SsEntry<K> {
     }
 }
 
+/// Seed of the hash that breaks count ties during merge pruning.
+/// Fixed so the kept set is identical across processes and hosts.
+const MERGE_TIE_SEED: u64 = 0x55AA_71E5;
+
 /// Space-Saving: monitors exactly `capacity` keys and guarantees, for a
 /// stream of total weight `N`:
 ///
@@ -168,6 +172,13 @@ impl<K: Hash + Eq + Copy> SpaceSaving<K> {
     ///   `min_a + min_b`);
     /// * consequently every key with combined frequency above
     ///   `N / capacity` is still monitored.
+    ///
+    /// The merged result is a pure function of the two summaries'
+    /// *entry sets* — prune ties are broken by a fixed key hash, never
+    /// by internal heap order — so a summary restored from a snapshot
+    /// (whose heap layout differs) merges to the identical result,
+    /// which is what makes cross-process folds reproduce in-process
+    /// merges bit-for-bit.
     pub fn merge(&mut self, other: &Self) {
         assert_eq!(self.capacity, other.capacity, "SpaceSaving capacity mismatch");
         let min_a = self.min_count();
@@ -190,12 +201,49 @@ impl<K: Hash + Eq + Copy> SpaceSaving<K> {
             }
             merged.push(SsEntry { key: o.key, count: o.count + min_a, error: o.error + min_a });
         }
-        // Keep the `capacity` largest counts (stable: ties resolve by
-        // the deterministic construction order above).
-        merged.sort_by_key(|e| core::cmp::Reverse(e.count));
+        // Keep the `capacity` largest counts. Ties at the prune
+        // boundary resolve by a fixed hash of the key, so the kept set
+        // does not depend on heap layout (see the doc comment).
+        merged.sort_by_key(|e| {
+            (core::cmp::Reverse(e.count), crate::hash::hash_of(&e.key, MERGE_TIE_SEED))
+        });
         merged.truncate(self.capacity);
         self.total += other.total;
         self.rebuild(merged);
+    }
+
+    /// The monitored entries as sorted, self-describing rows — the
+    /// serialization surface of the summary. Rows are sorted by the
+    /// key's rendering via `key_text`, so equal summaries (as sets)
+    /// export identical rows regardless of internal heap order.
+    pub fn export_entries(&self, key_text: impl Fn(&K) -> String) -> Vec<(String, SsEntry<K>)> {
+        let mut rows: Vec<(String, SsEntry<K>)> =
+            self.heap.iter().map(|e| (key_text(&e.key), *e)).collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Rebuild a summary from exported parts (the deserialization
+    /// surface; inverse of [`export_entries`](Self::export_entries)
+    /// plus [`total`](Self::total)).
+    ///
+    /// Panics if the entries exceed `capacity`, contain duplicate
+    /// keys, or violate `error ≤ count` — wire-level validation
+    /// belongs to the caller (the snapshot codec in `hhh-core` returns
+    /// typed errors before calling this).
+    pub fn from_parts(capacity: usize, total: u64, entries: Vec<SsEntry<K>>) -> Self {
+        assert!(capacity > 0, "SpaceSaving capacity must be non-zero");
+        assert!(entries.len() <= capacity, "more entries than capacity");
+        assert!(entries.iter().all(|e| e.error <= e.count), "error exceeds count");
+        let mut ss = SpaceSaving {
+            capacity,
+            heap: Vec::with_capacity(capacity),
+            slots: HashMap::with_capacity(capacity * 2),
+            total,
+        };
+        ss.rebuild(entries);
+        assert_eq!(ss.heap.len(), ss.slots.len(), "duplicate keys in entries");
+        ss
     }
 
     /// Replace the heap contents wholesale and restore the heap and
@@ -383,6 +431,62 @@ mod tests {
         assert_eq!(a.estimate(&2).unwrap().count, 10);
         assert_eq!(a.estimate(&2).unwrap().error, 0);
         assert_eq!(a.estimate(&4).unwrap().count, 2);
+    }
+
+    #[test]
+    fn export_and_from_parts_roundtrip() {
+        let mut ss = SpaceSaving::<u64>::new(4);
+        for i in 0..500u64 {
+            ss.update(i % 9, 1 + i % 5);
+        }
+        let rows = ss.export_entries(|k| k.to_string());
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "rows must be sorted");
+        let back = SpaceSaving::from_parts(
+            ss.capacity(),
+            ss.total(),
+            rows.iter().map(|(_, e)| *e).collect(),
+        );
+        back.check_invariants();
+        assert_eq!(back.total(), ss.total());
+        assert_eq!(back.len(), ss.len());
+        for e in ss.entries() {
+            assert_eq!(back.estimate(&e.key), Some(*e));
+        }
+        // The restored summary exports identically (set-determined).
+        assert_eq!(back.export_entries(|k| k.to_string()), rows);
+    }
+
+    #[test]
+    fn merge_is_heap_order_independent() {
+        // Restored summaries have a different heap layout than the
+        // originals; merging either must keep the same entry set.
+        let mut a = SpaceSaving::<u64>::new(3);
+        let mut b = SpaceSaving::<u64>::new(3);
+        for i in 0..200u64 {
+            a.update(i % 7, 1);
+            b.update((i + 3) % 11, 1);
+        }
+        let a2 = SpaceSaving::from_parts(
+            3,
+            a.total(),
+            a.export_entries(|k| k.to_string()).into_iter().map(|(_, e)| e).collect(),
+        );
+        let mut m1 = a.clone();
+        m1.merge(&b);
+        let mut m2 = a2;
+        m2.merge(&b);
+        assert_eq!(
+            m1.export_entries(|k| k.to_string()),
+            m2.export_entries(|k| k.to_string()),
+            "merge result must not depend on heap layout"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more entries than capacity")]
+    fn from_parts_rejects_overfull() {
+        let entries = (0..5u64).map(|k| SsEntry { key: k, count: 1, error: 0 }).collect::<Vec<_>>();
+        let _ = SpaceSaving::from_parts(4, 5, entries);
     }
 
     #[test]

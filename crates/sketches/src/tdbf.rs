@@ -122,6 +122,24 @@ impl<K: Hash + Eq> OnDemandTdbf<K> {
         self.cells.iter_mut().for_each(|c| c.clear());
     }
 
+    /// The raw cell array (`k` banks of `m` cells, bank `i` at
+    /// `i*m..(i+1)*m`) — the serialization surface of the filter.
+    /// Together with the constructor parameters (`m`, `k`, rate, seed)
+    /// this is the filter's entire state.
+    pub fn cells(&self) -> &[DecayedCounter] {
+        &self.cells
+    }
+
+    /// Replace the whole cell array (the deserialization surface,
+    /// inverse of [`cells`](Self::cells)). The filter must have been
+    /// constructed with the same geometry, hash seed and decay rate as
+    /// the one the cells came from; only the length is checkable here
+    /// and it panics on mismatch.
+    pub fn restore_cells(&mut self, cells: Vec<DecayedCounter>) {
+        assert_eq!(cells.len(), self.cells.len(), "TDBF cell-count mismatch");
+        self.cells = cells;
+    }
+
     /// Merge another filter over a *disjoint* sub-stream into this one.
     /// Panics unless geometry, seeds and decay rate match.
     ///

@@ -7,10 +7,12 @@
 //! Pipeline::new(source).engine(engine).sink(sink).run()
 //! ```
 //!
-//! * **Sources** ([`source`]) — any `Iterator<Item = PacketRecord>`
-//!   (generated traces, slices), a bounded channel with back-pressure
-//!   fed from other threads ([`source::bounded`]), or the chunked
-//!   capture-file sources in `hhh-pcap`.
+//! * **Sources** ([`source`]) — any `Iterator` ([`Source`] is generic
+//!   over its item type): packet iterators (generated traces, slices),
+//!   a bounded channel with back-pressure fed from other threads
+//!   ([`source::bounded`]), the chunked capture-file sources in
+//!   `hhh-pcap`, or [`SnapshotSource`] replaying previously captured
+//!   detector snapshots off a JSONL stream.
 //! * **Engines** ([`pipeline`]) — the window model × execution
 //!   strategy:
 //!   [`Disjoint`] resets the detector at every boundary (the practice
@@ -22,7 +24,10 @@
 //!   [`ShardedDisjoint`], [`ShardedSliding`] and [`ShardedContinuous`]
 //!   hash-partition the stream by key across worker threads and merge
 //!   shard states at report points ([`sharded`] holds the thread
-//!   pools).
+//!   pools); [`FoldSnapshots`] consumes *snapshots* instead of packets
+//!   and folds every report point's states with the round-trip codec —
+//!   cross-process aggregation as a pipeline stage (the `hhh-agg`
+//!   crate drives the same fold over many streams).
 //! * **Sinks** ([`sink`]) — collect to `Vec`s ([`CollectSink`]),
 //!   stream into a closure ([`FnSink`]), or write JSON lines including
 //!   serialized merged-detector state for cross-process aggregation
@@ -57,16 +62,18 @@ pub mod sink;
 pub mod source;
 
 pub use pipeline::{
-    Continuous, Disjoint, Engine, MicroVaried, Pipeline, ShardedContinuous, ShardedDisjoint,
-    ShardedSliding, SlidingExact,
+    Continuous, Disjoint, Engine, FoldSnapshots, MicroVaried, Pipeline, ShardedContinuous,
+    ShardedDisjoint, ShardedSliding, SlidingExact,
 };
 pub use report::{PrefixSet, WindowReport};
 pub use sharded::{
     shard_of, with_continuous_shards, with_shards, with_sliding_shards, ContinuousShardPool,
     ShardPool, SlidingShardPool, DEFAULT_BATCH,
 };
-pub use sink::{CollectSink, FnSink, JsonSnapshotSink, ReportSink};
-pub use source::{bounded, ChannelSource, PacketFeeder, PacketSource, DEFAULT_CHUNK};
+pub use sink::{render_report_line, CollectSink, FnSink, JsonSnapshotSink, ReportSink};
+pub use source::{
+    bounded, ChannelSource, PacketFeeder, PacketSource, SnapshotSource, Source, DEFAULT_CHUNK,
+};
 
 #[allow(deprecated)]
 pub use sharded::run_sharded_disjoint;

@@ -47,12 +47,16 @@
 use crate::report::WindowReport;
 use crate::sharded::{with_continuous_shards, with_shards, with_sliding_shards, DEFAULT_BATCH};
 use crate::sink::{CollectSink, ReportSink};
-use crate::source::PacketSource;
-use hhh_core::{discount_bottom_up, ContinuousDetector, HhhDetector, MergeableDetector, Threshold};
+use crate::source::Source;
+use hhh_core::{
+    discount_bottom_up, ContinuousDetector, HhhDetector, MergeableDetector, RestoredDetector,
+    StampedSnapshot, Threshold,
+};
 use hhh_hierarchy::Hierarchy;
 use hhh_nettypes::{Measure, Nanos, PacketRecord, TimeSpan};
 use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
+use std::str::FromStr;
 
 /// A fully described run: where packets come from, what computes on
 /// them, where reports go. See the [module docs](self) for the model.
@@ -65,9 +69,10 @@ pub struct Pipeline<S, E, K> {
 /// Placeholder for a [`Pipeline`] stage that has not been chosen yet.
 pub struct Unset;
 
-impl<S: PacketSource> Pipeline<S, Unset, Unset> {
-    /// Start a pipeline from a packet source (any
-    /// `Iterator<Item = PacketRecord>` qualifies).
+impl<S: Source> Pipeline<S, Unset, Unset> {
+    /// Start a pipeline from a source (any `Iterator` qualifies — of
+    /// `PacketRecord`s for the packet engines, of [`StampedSnapshot`]s
+    /// for [`FoldSnapshots`]).
     pub fn new(source: S) -> Self {
         Pipeline { source, engine: Unset, sink: Unset }
     }
@@ -95,7 +100,7 @@ impl<S, E: Engine, K> Pipeline<S, E, K> {
 
 impl<S, E, K> Pipeline<S, E, K>
 where
-    S: PacketSource,
+    S: Source<Item = E::In>,
     E: Engine,
     K: ReportSink<E::Prefix>,
 {
@@ -112,6 +117,11 @@ where
 /// [`Pipeline`]. Engines are single-use: `run` consumes the engine and
 /// the source.
 pub trait Engine {
+    /// The item type the engine consumes — [`PacketRecord`] for every
+    /// packet engine, [`StampedSnapshot`] for [`FoldSnapshots`]. The
+    /// pipeline's source must yield exactly this type.
+    type In;
+
     /// The prefix type of the reports this engine emits.
     type Prefix;
 
@@ -121,12 +131,12 @@ pub trait Engine {
 
     /// Drain the source, pushing reports into the sink as windows
     /// close.
-    fn run<S: PacketSource, K: ReportSink<Self::Prefix>>(self, source: S, sink: &mut K);
+    fn run<S: Source<Item = Self::In>, K: ReportSink<Self::Prefix>>(self, source: S, sink: &mut K);
 }
 
-/// Drive `f` over every packet of a chunked source; `f` returning
+/// Drive `f` over every item of a chunked source; `f` returning
 /// `false` stops the stream (horizon reached).
-fn for_each_packet<S: PacketSource>(mut source: S, mut f: impl FnMut(PacketRecord) -> bool) {
+fn for_each_item<S: Source>(mut source: S, mut f: impl FnMut(S::Item) -> bool) {
     let mut buf = Vec::new();
     while source.pull_chunk(&mut buf) {
         for p in buf.drain(..) {
@@ -225,13 +235,18 @@ where
     D: HhhDetector<H>,
     F: Fn(&PacketRecord) -> H::Item,
 {
+    type In = PacketRecord;
     type Prefix = H::Prefix;
 
     fn series(&self) -> usize {
         self.thresholds.len()
     }
 
-    fn run<S: PacketSource, K: ReportSink<H::Prefix>>(mut self, source: S, sink: &mut K) {
+    fn run<S: Source<Item = PacketRecord>, K: ReportSink<H::Prefix>>(
+        mut self,
+        source: S,
+        sink: &mut K,
+    ) {
         let n_windows = self.horizon / self.window;
         let window = self.window;
         let thresholds = &self.thresholds;
@@ -256,7 +271,7 @@ where
 
         let measure = self.measure;
         let key = &self.key;
-        for_each_packet(source, |p| {
+        for_each_item(source, |p| {
             let w = p.ts.bin_index(window);
             if w >= n_windows {
                 return false; // time-sorted stream; the rest is partial tail
@@ -333,13 +348,18 @@ where
     H: Hierarchy,
     F: Fn(&PacketRecord) -> H::Item,
 {
+    type In = PacketRecord;
     type Prefix = H::Prefix;
 
     fn series(&self) -> usize {
         self.thresholds.len()
     }
 
-    fn run<S: PacketSource, K: ReportSink<H::Prefix>>(self, source: S, sink: &mut K) {
+    fn run<S: Source<Item = PacketRecord>, K: ReportSink<H::Prefix>>(
+        self,
+        source: S,
+        sink: &mut K,
+    ) {
         let epw = self.window / self.step; // epochs per window
         let n_epochs = self.horizon / self.step;
         let hierarchy = self.hierarchy;
@@ -396,7 +416,7 @@ where
 
         let measure = self.measure;
         let key = &self.key;
-        for_each_packet(source, |p| {
+        for_each_item(source, |p| {
             let e = p.ts.bin_index(step);
             if e >= n_epochs {
                 return false;
@@ -490,13 +510,18 @@ where
     H: Hierarchy,
     F: Fn(&PacketRecord) -> H::Item,
 {
+    type In = PacketRecord;
     type Prefix = H::Prefix;
 
     fn series(&self) -> usize {
         1 + self.deltas.len()
     }
 
-    fn run<S: PacketSource, K: ReportSink<H::Prefix>>(self, source: S, sink: &mut K) {
+    fn run<S: Source<Item = PacketRecord>, K: ReportSink<H::Prefix>>(
+        self,
+        source: S,
+        sink: &mut K,
+    ) {
         let base = self.base;
         let max_delta = *self.deltas.iter().max().expect("non-empty");
         let n_windows = self.horizon / base;
@@ -571,7 +596,7 @@ where
 
         let measure = self.measure;
         let key = &self.key;
-        for_each_packet(source, |p| {
+        for_each_item(source, |p| {
             let w = p.ts.bin_index(base);
             if w >= n_windows {
                 return false;
@@ -647,13 +672,18 @@ where
     C: ContinuousDetector<H>,
     F: Fn(&PacketRecord) -> H::Item,
 {
+    type In = PacketRecord;
     type Prefix = H::Prefix;
 
     fn series(&self) -> usize {
         1
     }
 
-    fn run<S: PacketSource, K: ReportSink<H::Prefix>>(mut self, source: S, sink: &mut K) {
+    fn run<S: Source<Item = PacketRecord>, K: ReportSink<H::Prefix>>(
+        mut self,
+        source: S,
+        sink: &mut K,
+    ) {
         let probes = &self.probes;
         let detector = &mut self.detector;
         let threshold = self.threshold;
@@ -672,7 +702,7 @@ where
         };
         let measure = self.measure;
         let key = &self.key;
-        for_each_packet(source, |p| {
+        for_each_item(source, |p| {
             while next < probes.len() && probes[next] <= p.ts {
                 probe(next, detector, sink);
                 next += 1;
@@ -760,13 +790,18 @@ where
     D: HhhDetector<H> + MergeableDetector + Clone + Send,
     F: Fn(&PacketRecord) -> H::Item,
 {
+    type In = PacketRecord;
     type Prefix = H::Prefix;
 
     fn series(&self) -> usize {
         self.thresholds.len()
     }
 
-    fn run<S: PacketSource, K: ReportSink<H::Prefix>>(self, source: S, sink: &mut K) {
+    fn run<S: Source<Item = PacketRecord>, K: ReportSink<H::Prefix>>(
+        self,
+        source: S,
+        sink: &mut K,
+    ) {
         let n_windows = self.horizon / self.window;
         let window = self.window;
         let thresholds = &self.thresholds;
@@ -806,7 +841,7 @@ where
                 pool.reset();
             };
 
-            for_each_packet(source, |p| {
+            for_each_item(source, |p| {
                 let w = p.ts.bin_index(window);
                 if w >= n_windows {
                     return false; // time-sorted stream; the rest is partial tail
@@ -919,13 +954,18 @@ where
     D: HhhDetector<H> + MergeableDetector + Clone + Send,
     F: Fn(&PacketRecord) -> H::Item,
 {
+    type In = PacketRecord;
     type Prefix = H::Prefix;
 
     fn series(&self) -> usize {
         self.thresholds.len()
     }
 
-    fn run<S: PacketSource, K: ReportSink<H::Prefix>>(self, source: S, sink: &mut K) {
+    fn run<S: Source<Item = PacketRecord>, K: ReportSink<H::Prefix>>(
+        self,
+        source: S,
+        sink: &mut K,
+    ) {
         let epw = self.window / self.step;
         let n_epochs = self.horizon / self.step;
         let (window, step) = (self.window, self.step);
@@ -969,7 +1009,7 @@ where
                 pool.advance();
             };
 
-            for_each_packet(source, |p| {
+            for_each_item(source, |p| {
                 let e = p.ts.bin_index(step);
                 if e >= n_epochs {
                     return false;
@@ -1062,13 +1102,18 @@ where
     C: ContinuousDetector<H> + MergeableDetector + Clone + Send,
     F: Fn(&PacketRecord) -> H::Item,
 {
+    type In = PacketRecord;
     type Prefix = H::Prefix;
 
     fn series(&self) -> usize {
         1
     }
 
-    fn run<S: PacketSource, K: ReportSink<H::Prefix>>(self, source: S, sink: &mut K) {
+    fn run<S: Source<Item = PacketRecord>, K: ReportSink<H::Prefix>>(
+        self,
+        source: S,
+        sink: &mut K,
+    ) {
         let probes = &self.probes;
         let threshold = self.threshold;
         let batch = self.batch;
@@ -1103,7 +1148,7 @@ where
                 }
             };
 
-            for_each_packet(source, |p| {
+            for_each_item(source, |p| {
                 while next < probes.len() && probes[next] <= p.ts {
                     probe(next, &mut pending, pool, sink);
                     next += 1;
@@ -1120,5 +1165,138 @@ where
                 next += 1;
             }
         });
+    }
+}
+
+// ---------------------------------------------------------------------
+// FoldSnapshots
+// ---------------------------------------------------------------------
+
+/// Replay a pipeline from **previously captured detector snapshots**
+/// instead of packets: the engine consumes [`StampedSnapshot`]s (what a
+/// [`SnapshotSource`](crate::SnapshotSource) yields from a JSONL
+/// stream), folds every snapshot taken at the same report point into
+/// one restored detector with the round-trip codec, and emits the
+/// merged report — the in-process face of cross-process aggregation
+/// (`hhh-agg` drives the same fold over many streams at once).
+///
+/// Snapshots must arrive grouped by report point (`at`
+/// non-decreasing — **enforced**: an out-of-order snapshot panics, so
+/// concatenating shard streams cannot silently masquerade as merging
+/// them), which any stream a `JsonSnapshotSink` wrote already
+/// satisfies; interleave K shard streams by merging them sorted by
+/// `at` (or let `hhh-agg` do it). One series per threshold.
+/// Report `index` is the 0-based report-point ordinal; `start` ==
+/// `end` == the report point, because a snapshot does not carry its
+/// window geometry.
+///
+/// Folding applies the in-process merge algebra, so mixed kinds or
+/// mismatched configurations at one report point are programmer error —
+/// the engine panics with the underlying
+/// [`SnapshotError`](hhh_core::SnapshotError), exactly as the
+/// in-process merges panic on mismatched configuration. Use `hhh-agg`
+/// for the error-returning flavor.
+pub struct FoldSnapshots<'h, H> {
+    hierarchy: &'h H,
+    thresholds: Vec<Threshold>,
+}
+
+impl<'h, H: Hierarchy> FoldSnapshots<'h, H> {
+    /// Fold snapshots over `hierarchy`, reporting each of `thresholds`
+    /// (one output series per threshold, same order).
+    pub fn new(hierarchy: &'h H, thresholds: &[Threshold]) -> Self {
+        assert!(!thresholds.is_empty(), "need at least one threshold");
+        FoldSnapshots { hierarchy, thresholds: thresholds.to_vec() }
+    }
+}
+
+impl<H> Engine for FoldSnapshots<'_, H>
+where
+    H: Hierarchy,
+    H::Item: FromStr,
+    H::Prefix: FromStr,
+{
+    type In = StampedSnapshot;
+    type Prefix = H::Prefix;
+
+    fn series(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    fn run<S: Source<Item = StampedSnapshot>, K: ReportSink<H::Prefix>>(
+        self,
+        source: S,
+        sink: &mut K,
+    ) {
+        let hierarchy = self.hierarchy;
+        let thresholds = &self.thresholds;
+        // Per-kind report ordinals — the same numbering `hhh-agg`
+        // renders, so `index` means "this kind's n-th report point" on
+        // both paths.
+        let mut ordinals: Vec<(&'static str, u64)> = Vec::new();
+        // All the folds in flight at the current report point, one per
+        // detector kind in first-seen order — a stream may carry
+        // several kinds side by side (hhh-agg accepts the same).
+        let mut at: Option<Nanos> = None;
+        let mut folds: Vec<RestoredDetector<H>> = Vec::new();
+
+        let flush = |ordinals: &mut Vec<(&'static str, u64)>,
+                     at: Nanos,
+                     folds: &mut Vec<RestoredDetector<H>>,
+                     sink: &mut K| {
+            for merged in folds.drain(..) {
+                let kind = merged.kind();
+                let index = match ordinals.iter_mut().find(|(k, _)| *k == kind) {
+                    Some((_, n)) => n,
+                    None => {
+                        ordinals.push((kind, 0));
+                        &mut ordinals.last_mut().expect("just pushed").1
+                    }
+                };
+                for (ti, t) in thresholds.iter().enumerate() {
+                    sink.accept(
+                        ti,
+                        WindowReport {
+                            index: *index,
+                            start: at,
+                            end: at,
+                            total: merged.total(),
+                            hhhs: merged.report(at, *t),
+                        },
+                    );
+                }
+                sink.state(at, &merged.snapshot());
+                *index += 1;
+            }
+        };
+
+        for_each_item(source, |s: StampedSnapshot| {
+            if at != Some(s.at) {
+                if let Some(prev) = at {
+                    assert!(
+                        s.at > prev,
+                        "snapshots must arrive grouped by report point: {} after {prev} \
+                         (concatenated shard streams? interleave them sorted by at, \
+                         or use hhh-agg)",
+                        s.at,
+                    );
+                    flush(&mut ordinals, prev, &mut folds, sink);
+                }
+                at = Some(s.at);
+            }
+            match folds.iter_mut().find(|f| f.kind() == s.snapshot.kind) {
+                Some(merged) => merged
+                    .fold(hierarchy, &s.snapshot)
+                    .unwrap_or_else(|e| panic!("snapshot fold at {}: {e}", s.at)),
+                None => folds.push(
+                    RestoredDetector::from_snapshot(hierarchy, &s.snapshot)
+                        .unwrap_or_else(|e| panic!("snapshot restore at {}: {e}", s.at)),
+                ),
+            }
+            true
+        });
+        if let Some(prev) = at {
+            flush(&mut ordinals, prev, &mut folds, sink);
+        }
     }
 }

@@ -228,6 +228,20 @@ where
 /// window is a union of whole epochs, so the window state at any
 /// position is the merge of the ring's detectors, across all shards.
 ///
+/// ## Incremental ring deltas
+///
+/// Detectors whose merges are *invertible*
+/// ([`MergeableDetector::retract`] — the exact detectors) get the
+/// rolling-window optimization: each worker keeps one **rolling**
+/// detector holding the merge of every closed in-window epoch, and a
+/// step only touches the epoch delta — the epoch that just closed is
+/// merged in, the epoch that slid out is retracted. A window request
+/// is then a single clone + merge of the still-open epoch instead of
+/// `window/step` merges, so per-position cost no longer grows with
+/// the window/step ratio. Detectors without `retract` (the lossy
+/// summaries, where merge order matters) keep the full ring merge in
+/// slot order, preserving their byte-for-byte report stability.
+///
 /// Every inner `Vec` must have the same length (`epw`). Workers shut
 /// down when `body` returns.
 pub fn with_sliding_shards<H, D, R, F>(rings: Vec<Vec<D>>, body: F) -> R
@@ -249,18 +263,55 @@ where
             senders.push(tx);
             scope.spawn(move || {
                 let mut cur = 0usize;
+                // Probe invertibility on empty states: detectors
+                // either always or never support retraction.
+                let mut rolling = {
+                    let mut empty = ring[0].clone();
+                    empty.reset();
+                    let probe = empty.clone();
+                    empty.retract(&probe).then_some(empty)
+                };
+                // `rolling` (when Some) is the merge of every ring
+                // slot except `cur` — the closed in-window epochs.
+                // Fresh slots are all empty, so starting from an empty
+                // detector is that merge.
                 while let Ok(msg) = rx.recv() {
                     match msg {
                         SlidingMsg::Batch(batch) => ring[cur].observe_batch(&batch),
                         SlidingMsg::Advance => {
+                            if let Some(r) = rolling.as_mut() {
+                                // The current epoch closes into the
+                                // rolling state…
+                                r.merge(&ring[cur]);
+                            }
                             cur = (cur + 1) % ring.len();
+                            if let Some(r) = rolling.as_mut() {
+                                // …and the slot we rotated onto holds
+                                // the epoch sliding out of the window:
+                                // retract it before it is reset.
+                                let ok = r.retract(&ring[cur]);
+                                debug_assert!(ok, "retract support cannot change mid-run");
+                            }
                             ring[cur].reset();
                         }
                         SlidingMsg::Window(reply) => {
-                            let mut merged = ring[0].clone();
-                            for d in &ring[1..] {
-                                merged.merge(d);
-                            }
+                            let merged = match &rolling {
+                                Some(r) => {
+                                    // Closed epochs + the open one.
+                                    let mut m = r.clone();
+                                    m.merge(&ring[cur]);
+                                    m
+                                }
+                                None => {
+                                    // Full ring merge in slot order
+                                    // (stable for lossy summaries).
+                                    let mut m = ring[0].clone();
+                                    for d in &ring[1..] {
+                                        m.merge(d);
+                                    }
+                                    m
+                                }
+                            };
                             let _ = reply.send(merged);
                         }
                     }

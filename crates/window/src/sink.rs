@@ -18,7 +18,7 @@
 //! format for cross-process aggregation.
 
 use crate::report::WindowReport;
-use hhh_core::snapshot::{json_string, DetectorSnapshot};
+use hhh_core::snapshot::{json_string, DetectorSnapshot, StampedSnapshot};
 use hhh_nettypes::Nanos;
 use std::fmt::Display;
 use std::io::Write;
@@ -145,44 +145,50 @@ impl<W: Write> JsonSnapshotSink<W> {
     }
 }
 
+/// Render one `{"type":"report",…}` JSON line (no trailing newline) —
+/// the report shape of the snapshot JSONL stream. Shared between
+/// [`JsonSnapshotSink`] and the `hhh-agg` aggregator, so a merged
+/// report diffs byte-for-byte against an in-process one.
+pub fn render_report_line<P: Display>(series: usize, report: &WindowReport<P>) -> String {
+    let mut hhhs = String::from("[");
+    for (i, r) in report.hhhs.iter().enumerate() {
+        if i > 0 {
+            hhhs.push(',');
+        }
+        hhhs.push_str(&format!(
+            "{{\"prefix\":{},\"level\":{},\"estimate\":{},\"discounted\":{}}}",
+            json_string(&r.prefix),
+            r.level,
+            r.estimate,
+            r.discounted
+        ));
+    }
+    hhhs.push(']');
+    format!(
+        "{{\"type\":\"report\",\"series\":{},\"index\":{},\"start_ns\":{},\"end_ns\":{},\
+         \"total\":{},\"hhhs\":{}}}",
+        series,
+        report.index,
+        report.start.as_nanos(),
+        report.end.as_nanos(),
+        report.total,
+        hhhs
+    )
+}
+
 impl<P: Display, W: Write> ReportSink<P> for JsonSnapshotSink<W> {
     /// The writer plus the first I/O error encountered, if any.
     type Output = (W, Option<std::io::Error>);
 
     fn accept(&mut self, series: usize, report: WindowReport<P>) {
-        let mut hhhs = String::from("[");
-        for (i, r) in report.hhhs.iter().enumerate() {
-            if i > 0 {
-                hhhs.push(',');
-            }
-            hhhs.push_str(&format!(
-                "{{\"prefix\":{},\"level\":{},\"estimate\":{},\"discounted\":{}}}",
-                json_string(&r.prefix),
-                r.level,
-                r.estimate,
-                r.discounted
-            ));
-        }
-        hhhs.push(']');
-        let line = format!(
-            "{{\"type\":\"report\",\"series\":{},\"index\":{},\"start_ns\":{},\"end_ns\":{},\
-             \"total\":{},\"hhhs\":{}}}",
-            series,
-            report.index,
-            report.start.as_nanos(),
-            report.end.as_nanos(),
-            report.total,
-            hhhs
-        );
+        let line = render_report_line(series, &report);
         self.write_line(&line);
     }
 
     fn state(&mut self, at: Nanos, snapshot: &DetectorSnapshot) {
-        let line = format!(
-            "{{\"type\":\"state\",\"at_ns\":{},\"snapshot\":{}}}",
-            at.as_nanos(),
-            snapshot.to_json()
-        );
+        // One renderer for the state line shape, borrowed — no clone of
+        // the (possibly megabyte) state body on the hot sink path.
+        let line = StampedSnapshot::render(at, snapshot);
         self.write_line(&line);
     }
 
@@ -250,7 +256,7 @@ mod tests {
         ReportSink::<u32>::begin(&mut sink, 1);
         sink.accept(0, report(2));
         let snap = DetectorSnapshot {
-            kind: "exact",
+            kind: "exact".into(),
             total: 300,
             state_json: "{\"counts\":[[\"7\",300]]}".into(),
         };

@@ -1,55 +1,80 @@
-//! Packet sources: where a [`Pipeline`](crate::Pipeline) pulls its
-//! stream from.
+//! Pipeline sources: where a [`Pipeline`](crate::Pipeline) pulls its
+//! input stream from.
 //!
-//! The pipeline consumes packets **chunk at a time** through
-//! [`PacketSource`], which keeps the engine loop batch-friendly (one
-//! virtual call per chunk, not per packet) and makes the source
-//! swappable:
+//! The pipeline consumes its input **chunk at a time** through the
+//! generic [`Source`] trait, which keeps the engine loop batch-friendly
+//! (one virtual call per chunk, not per item) and makes the source
+//! swappable. A source carries its item type: packet engines consume
+//! `Source<Item = PacketRecord>` ([`PacketSource`] is the alias bound),
+//! and the snapshot-fold engine consumes
+//! `Source<Item = StampedSnapshot>` — previously captured detector
+//! states replayed off the wire.
 //!
-//! * any `Iterator<Item = PacketRecord>` is a source (blanket impl) —
+//! * any `Iterator` is a source of its items (blanket impl) —
 //!   generated traces, slices, adapters;
 //! * [`ChannelSource`] is fed by a [`PacketFeeder`] over a **bounded**
 //!   channel, so threads, sockets, or a pcap tail can push packets into
 //!   a running pipeline with back-pressure: when the analysis side
 //!   falls behind, `send` blocks instead of buffering unboundedly;
+//! * [`SnapshotSource`] reads a snapshot JSONL stream (what
+//!   [`JsonSnapshotSink`](crate::JsonSnapshotSink) wrote, or what
+//!   `hhh-agg` re-emitted) and yields the [`StampedSnapshot`]s in it;
 //! * `hhh-pcap` provides chunked file sources (`PcapSource`,
 //!   `NativeSource`) over the capture formats.
 //!
-//! All sources must yield packets in non-decreasing timestamp order —
-//! the same contract the window drivers have always had.
+//! Packet sources must yield packets in non-decreasing timestamp order
+//! — the same contract the window drivers have always had. Snapshot
+//! sources must yield snapshots in non-decreasing `at` order (JSONL
+//! files written by a pipeline already are).
 
+use hhh_core::{parse_state_line, SnapshotError, StampedSnapshot};
 use hhh_nettypes::PacketRecord;
+use std::io::BufRead;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
-/// Default packets per chunk pulled from a source. Matches the sharded
+/// Default items per chunk pulled from a source. Matches the sharded
 /// pipeline's batch sizing rationale: large enough to amortize per-chunk
 /// overhead, small enough to stay cache-resident.
 pub const DEFAULT_CHUNK: usize = 8192;
 
-/// A pull-based, chunked stream of time-sorted packets.
+/// A pull-based, chunked stream of items.
 ///
-/// Blanket-implemented for every `Iterator<Item = PacketRecord>`
-/// (generated traces, slices, `hhh-pcap`'s file sources), so most
-/// concrete source types only implement `Iterator` and inherit the
-/// chunked protocol. Sources with their own latency story — like
+/// Blanket-implemented for every `Iterator` (generated traces, slices,
+/// `hhh-pcap`'s file sources, [`SnapshotSource`]), so most concrete
+/// source types only implement `Iterator` and inherit the chunked
+/// protocol. Sources with their own latency story — like
 /// [`ChannelSource`], which must hand over partial chunks rather than
 /// block a live feed — implement `pull_chunk` directly.
-pub trait PacketSource {
-    /// Append the next chunk of packets to `buf` (the caller hands in
+pub trait Source {
+    /// The item type the source yields (what the engine's
+    /// [`Engine::In`](crate::Engine::In) must match).
+    type Item;
+
+    /// Append the next chunk of items to `buf` (the caller hands in
     /// an empty buffer) and return `true`, or return `false` when the
     /// stream is exhausted. Implementations choose their own chunk
     /// size; an implementation must not return `true` with an empty
     /// `buf`.
-    fn pull_chunk(&mut self, buf: &mut Vec<PacketRecord>) -> bool;
+    fn pull_chunk(&mut self, buf: &mut Vec<Self::Item>) -> bool;
 }
 
-/// Every packet iterator is a source: chunks of [`DEFAULT_CHUNK`].
-impl<I: Iterator<Item = PacketRecord>> PacketSource for I {
-    fn pull_chunk(&mut self, buf: &mut Vec<PacketRecord>) -> bool {
+/// Every iterator is a source of its items: chunks of [`DEFAULT_CHUNK`].
+impl<I: Iterator> Source for I {
+    type Item = I::Item;
+
+    fn pull_chunk(&mut self, buf: &mut Vec<I::Item>) -> bool {
         buf.extend(self.by_ref().take(DEFAULT_CHUNK));
         !buf.is_empty()
     }
 }
+
+/// A [`Source`] of time-sorted [`PacketRecord`]s — the bound every
+/// packet-consuming engine states. Blanket-implemented, never
+/// implemented by hand: implement [`Source`] (or just `Iterator`) and
+/// this alias follows.
+pub trait PacketSource: Source<Item = PacketRecord> {}
+
+impl<T: Source<Item = PacketRecord>> PacketSource for T {}
 
 /// Create a bounded feeder/source pair: the [`PacketFeeder`] half goes
 /// to the producing thread (socket reader, pcap tail, generator), the
@@ -70,7 +95,7 @@ impl<I: Iterator<Item = PacketRecord>> PacketSource for I {
 ///     }
 ///     // feeder drops here: flushes the tail and closes the stream.
 /// });
-/// use hhh_window::PacketSource;
+/// use hhh_window::Source;
 /// let mut source = source;
 /// let mut n = 0usize;
 /// let mut buf = Vec::new();
@@ -138,10 +163,10 @@ impl Drop for PacketFeeder {
     }
 }
 
-/// The consuming half of [`bounded`]: a [`PacketSource`] over the fed
+/// The consuming half of [`bounded`]: a [`Source`] over the fed
 /// packets, ending when the last [`PacketFeeder`] is dropped.
 ///
-/// Each [`pull_chunk`](PacketSource::pull_chunk) **blocks only for the
+/// Each [`pull_chunk`](Source::pull_chunk) **blocks only for the
 /// first queued batch** (an empty queue with live feeders means the
 /// producer is slower than the pipeline — wait, don't spin), then
 /// drains whatever else is already queued without blocking. A slow
@@ -152,7 +177,9 @@ pub struct ChannelSource {
     rx: Receiver<Vec<PacketRecord>>,
 }
 
-impl PacketSource for ChannelSource {
+impl Source for ChannelSource {
+    type Item = PacketRecord;
+
     fn pull_chunk(&mut self, buf: &mut Vec<PacketRecord>) -> bool {
         // Block for the first non-empty batch (feeders never send
         // empty ones; the guard is defensive).
@@ -176,6 +203,78 @@ impl PacketSource for ChannelSource {
             }
         }
         true
+    }
+}
+
+/// A [`Source`] of [`StampedSnapshot`]s read line-by-line from a
+/// snapshot JSONL stream — the decode side of the wire format
+/// [`JsonSnapshotSink`](crate::JsonSnapshotSink) writes.
+///
+/// `report` lines riding in the same stream are skipped; `state` lines
+/// are decoded into [`StampedSnapshot`]s. The stream ends at
+/// end-of-input **or at the first malformed line**: engines cannot
+/// carry errors, so the error is kept for inspection via
+/// [`error`](Self::error) — strict callers (like `hhh-agg`) check it
+/// after the run, the way the pcap sources expose torn captures.
+///
+/// Feed the pipeline `&mut source` (every `&mut Iterator` is itself an
+/// iterator, hence a source) so `error()` is still reachable after the
+/// run.
+pub struct SnapshotSource<R: BufRead> {
+    input: R,
+    line: String,
+    /// 1-based line number of the line being read.
+    line_no: usize,
+    error: Option<(usize, SnapshotError)>,
+}
+
+impl<R: BufRead> SnapshotSource<R> {
+    /// Read snapshots from a buffered reader (a file, stdin, a
+    /// `&[u8]`…).
+    pub fn new(input: R) -> Self {
+        SnapshotSource { input, line: String::new(), line_no: 0, error: None }
+    }
+
+    /// The first decode error, with its 1-based line number — `None`
+    /// after a clean end-of-stream. I/O errors surface as
+    /// [`SnapshotError::Parse`] at offset 0.
+    pub fn error(&self) -> Option<&(usize, SnapshotError)> {
+        self.error.as_ref()
+    }
+}
+
+impl<R: BufRead> Iterator for SnapshotSource<R> {
+    type Item = StampedSnapshot;
+
+    fn next(&mut self) -> Option<StampedSnapshot> {
+        if self.error.is_some() {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            self.line_no += 1;
+            match self.input.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(_) => {
+                    self.error =
+                        Some((self.line_no, SnapshotError::Parse { offset: 0, what: "I/O error" }));
+                    return None;
+                }
+            }
+            let text = self.line.trim();
+            if text.is_empty() {
+                continue;
+            }
+            match parse_state_line(text) {
+                Ok(Some(s)) => return Some(s),
+                Ok(None) => continue, // report line in the same stream
+                Err(e) => {
+                    self.error = Some((self.line_no, e));
+                    return None;
+                }
+            }
+        }
     }
 }
 
@@ -256,5 +355,34 @@ mod tests {
         let (mut feeder, source) = bounded(1, 1);
         drop(source);
         assert!(!feeder.send(pkt(0)), "send into a dropped source must report hang-up");
+    }
+
+    #[test]
+    fn snapshot_source_reads_state_lines_and_skips_reports() {
+        let text = "\
+{\"type\":\"report\",\"series\":0,\"index\":0,\"start_ns\":0,\"end_ns\":1,\"total\":5,\"hhhs\":[]}\n\
+{\"type\":\"state\",\"at_ns\":1000000000,\"snapshot\":{\"v\":1,\"kind\":\"exact\",\"total\":5,\
+\"state\":{\"counts\":[[\"7\",5]]}}}\n\
+\n\
+{\"type\":\"state\",\"at_ns\":2000000000,\"snapshot\":{\"v\":1,\"kind\":\"exact\",\"total\":9,\
+\"state\":{\"counts\":[[\"7\",9]]}}}\n";
+        let mut src = SnapshotSource::new(text.as_bytes());
+        let got: Vec<StampedSnapshot> = (&mut src).collect();
+        assert!(src.error().is_none());
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].at, Nanos::from_secs(1));
+        assert_eq!(got[0].snapshot.total, 5);
+        assert_eq!(got[1].at, Nanos::from_secs(2));
+        assert_eq!(got[1].snapshot.kind, "exact");
+    }
+
+    #[test]
+    fn snapshot_source_stops_at_garbage_and_reports_the_line() {
+        let text = "{\"type\":\"report\",\"series\":0}\nnot json\n";
+        let mut src = SnapshotSource::new(text.as_bytes());
+        assert_eq!((&mut src).count(), 0);
+        let (line, err) = src.error().expect("garbage must be reported");
+        assert_eq!(*line, 2);
+        assert!(matches!(err, SnapshotError::Parse { .. }));
     }
 }

@@ -1,0 +1,83 @@
+//! Distributed aggregation end to end, in one process for show:
+//!
+//! 1. split a trace across two "processes" (key-partitioned, the same
+//!    partition the sharded engines use) and run each through its own
+//!    pipeline with a [`JsonSnapshotSink`] — producing the snapshot
+//!    JSONL streams real shard processes would write;
+//! 2. fold the streams with `hhh-agg`'s library API and print the
+//!    merged per-window HHH counts next to a single-process reference —
+//!    they match exactly, because exact-detector merges are lossless
+//!    and the wire codec round-trips states bit-for-bit;
+//! 3. replay one stream through [`SnapshotSource`] → [`FoldSnapshots`]
+//!    to show snapshots are first-class pipeline input.
+//!
+//! Run with: `cargo run --release --example dist_agg`
+
+use hidden_hhh::agg::{fold_streams, read_stream};
+use hidden_hhh::prelude::*;
+use hidden_hhh::window::{shard_of, FoldSnapshots, SnapshotSource};
+
+fn main() {
+    let h = Ipv4Hierarchy::bytes();
+    let horizon = TimeSpan::from_secs(20);
+    let window = TimeSpan::from_secs(5);
+    let threshold = Threshold::percent(1.0);
+    let packets: Vec<PacketRecord> =
+        TraceGenerator::new(scenarios::day_trace(0, horizon), scenarios::day_seed(0)).collect();
+    println!("trace: {} packets over {horizon}", packets.len());
+
+    // --- 1. two independent shard pipelines, as two processes would run.
+    let shard_stream = |shard: usize, k: usize| -> Vec<u8> {
+        let mine = packets.iter().copied().filter(|p| shard_of(&p.src, k) == shard);
+        let (bytes, err) = Pipeline::new(mine)
+            .engine(ShardedDisjoint::new(
+                vec![ExactHhh::new(h)],
+                horizon,
+                window,
+                &[threshold],
+                |p| p.src,
+            ))
+            .sink(JsonSnapshotSink::new(Vec::new()))
+            .run();
+        assert!(err.is_none());
+        bytes
+    };
+    let streams = [shard_stream(0, 2), shard_stream(1, 2)];
+
+    // --- 2. aggregate the two streams, compare with one process.
+    let parsed: Vec<_> = streams
+        .iter()
+        .enumerate()
+        .map(|(i, b)| read_stream(i, b.as_slice()).expect("own streams parse"))
+        .collect();
+    let merged = fold_streams(&h, &parsed).expect("shard snapshots fold");
+
+    let mut single = ExactHhh::new(h);
+    let reference = Pipeline::new(packets.iter().copied())
+        .engine(Disjoint::new(&mut single, horizon, window, &[threshold], |p| p.src))
+        .collect()
+        .run();
+
+    println!("\nwindow  folded-HHHs  single-process-HHHs  identical");
+    for (i, (point, reference)) in merged.iter().zip(&reference[0]).enumerate() {
+        let folded = point.report(i as u64, threshold);
+        println!(
+            "{:>6}  {:>11}  {:>19}  {}",
+            i,
+            folded.len(),
+            reference.len(),
+            folded.hhhs == reference.hhhs
+        );
+        assert_eq!(folded.hhhs, reference.hhhs, "exact aggregation is lossless");
+    }
+
+    // --- 3. snapshots as pipeline input: replay one stream.
+    let mut source = SnapshotSource::new(streams[0].as_slice());
+    let replayed =
+        Pipeline::new(&mut source).engine(FoldSnapshots::new(&h, &[threshold])).collect().run();
+    assert!(source.error().is_none(), "own streams replay cleanly");
+    println!(
+        "\nreplayed shard 0's stream through FoldSnapshots: {} report points",
+        replayed[0].len()
+    );
+}

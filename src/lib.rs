@@ -70,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hhh_agg as agg;
 pub use hhh_analysis as analysis;
 pub use hhh_core as core;
 pub use hhh_dataplane as dataplane;

@@ -1,0 +1,306 @@
+//! Round-trip codec contract: for every snapshot-capable detector,
+//! `snapshot → to_json → from_json → fold` reproduces the in-process
+//! `merge` — the property that makes cross-process aggregation the
+//! same algebra as sharded in-process ingestion.
+//!
+//! * `ExactHhh` / `SpaceSavingHhh` / `Rhhh`: **bit-exact** — the folded
+//!   state re-serializes byte-identically to the in-process merge's
+//!   snapshot (Space-Saving prune ties break by a fixed key hash, so
+//!   heap layout never leaks into the wire bytes).
+//! * `TdbfHhh`: byte-identical state too (floats ride the wire in
+//!   shortest round-trip form), plus prefix-set agreement of the
+//!   reports at the probe instant.
+//! * Error paths: mismatched configurations are typed
+//!   [`SnapshotError`]s, never silent corruption.
+
+use hidden_hhh::core::snapshot::DetectorSnapshot;
+use hidden_hhh::core::{
+    ContinuousDetector, RestoredDetector, SnapshotError, TdbfHhh, TdbfHhhConfig,
+};
+use hidden_hhh::prelude::*;
+use hidden_hhh::window::shard_of;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn h() -> Ipv4Hierarchy {
+    Ipv4Hierarchy::bytes()
+}
+
+/// A skewed synthetic item stream: a few heavies over a long tail.
+fn stream(n: usize, seed: u64) -> Vec<(u32, u64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let item: u32 = if rng.gen::<f64>() < 0.3 {
+                0x0A01_0100 + rng.gen_range(0..4)
+            } else {
+                (rng.gen_range(10u32..60) << 24) | rng.gen_range(0..4096)
+            };
+            (item, 1 + rng.gen_range(0..1500))
+        })
+        .collect()
+}
+
+type Obs = Vec<(u32, u64)>;
+
+/// Split a stream into two disjoint key-partitioned halves (the
+/// precondition every merge contract demands).
+fn split2(items: &[(u32, u64)]) -> (Obs, Obs) {
+    items.iter().partition(|(item, _)| shard_of(item, 2) == 0)
+}
+
+/// The wire round trip itself: encode, decode, compare.
+fn roundtrip(snap: &DetectorSnapshot) -> DetectorSnapshot {
+    let line = snap.to_json();
+    let back = DetectorSnapshot::from_json(&line).expect("own wire lines must parse");
+    assert_eq!(&back, snap, "from_json(to_json(s)) == s");
+    assert_eq!(back.to_json(), line, "re-render is canonical");
+    back
+}
+
+/// Fold `b` into `a` over the wire and return the merged state's
+/// serialized form.
+fn fold_over_wire(a: &DetectorSnapshot, b: &DetectorSnapshot) -> RestoredDetector<Ipv4Hierarchy> {
+    let hier = h();
+    let mut restored =
+        RestoredDetector::from_snapshot(&hier, &roundtrip(a)).expect("snapshot restores");
+    restored.fold(&hier, &roundtrip(b)).expect("snapshots fold");
+    restored
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn exact_fold_is_bitexact_to_merge(seed in 0u64..1_000_000, n in 500usize..3000) {
+        let (sa, sb) = split2(&stream(n, seed));
+        let mut a = ExactHhh::new(h());
+        let mut b = ExactHhh::new(h());
+        HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut a, &sa);
+        HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut b, &sb);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let folded = fold_over_wire(&a.snapshot().unwrap(), &b.snapshot().unwrap());
+        prop_assert_eq!(folded.snapshot().to_json(), merged.snapshot().unwrap().to_json());
+    }
+
+    #[test]
+    fn ss_hhh_fold_is_bitexact_to_merge(seed in 0u64..1_000_000, n in 500usize..3000) {
+        let (sa, sb) = split2(&stream(n, seed));
+        let mut a = SpaceSavingHhh::new(h(), 64);
+        let mut b = SpaceSavingHhh::new(h(), 64);
+        HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut a, &sa);
+        HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut b, &sb);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let folded = fold_over_wire(&a.snapshot().unwrap(), &b.snapshot().unwrap());
+        prop_assert_eq!(folded.snapshot().to_json(), merged.snapshot().unwrap().to_json());
+    }
+
+    #[test]
+    fn rhhh_fold_agrees_with_merge(seed in 0u64..1_000_000, n in 500usize..3000) {
+        let (sa, sb) = split2(&stream(n, seed));
+        let mut a = Rhhh::new(h(), 64, seed ^ 0xA);
+        let mut b = Rhhh::new(h(), 64, seed ^ 0xB);
+        HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut a, &sa);
+        HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut b, &sb);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let folded = fold_over_wire(&a.snapshot().unwrap(), &b.snapshot().unwrap());
+        // Level summaries, totals and update counts restore exactly, so
+        // the fold is byte-identical too (the RNG is not state)…
+        prop_assert_eq!(folded.snapshot().to_json(), merged.snapshot().unwrap().to_json());
+        // …and the contract the aggregator relies on: same prefix sets.
+        let t = Threshold::percent(2.0);
+        let wire: Vec<_> = folded.report(Nanos::ZERO, t);
+        prop_assert_eq!(wire, merged.report(t));
+    }
+
+    #[test]
+    fn tdbf_fold_agrees_with_merge(seed in 0u64..1_000_000, n in 500usize..2000) {
+        let (sa, sb) = split2(&stream(n, seed));
+        let cfg = TdbfHhhConfig {
+            half_life: TimeSpan::from_secs(2),
+            ..TdbfHhhConfig::default()
+        };
+        let mut a = TdbfHhh::new(h(), cfg.clone());
+        let mut b = TdbfHhh::new(h(), cfg);
+        let feed = |d: &mut TdbfHhh<Ipv4Hierarchy>, items: &[(u32, u64)]| {
+            for (i, &(item, w)) in items.iter().enumerate() {
+                ContinuousDetector::<Ipv4Hierarchy>::observe(
+                    d,
+                    Nanos::from_micros(10 * i as u64),
+                    item,
+                    w,
+                );
+            }
+        };
+        feed(&mut a, &sa);
+        feed(&mut b, &sb);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let folded = fold_over_wire(
+            &MergeableDetector::snapshot(&a).unwrap(),
+            &MergeableDetector::snapshot(&b).unwrap(),
+        );
+        // Floats ride the wire in shortest round-trip form, so even the
+        // decayed counter cells re-serialize bit-identically.
+        prop_assert_eq!(
+            folded.snapshot().to_json(),
+            MergeableDetector::snapshot(&merged).unwrap().to_json()
+        );
+        // Prefix-set agreement at a probe instant past the stream.
+        let at = Nanos::from_secs(1);
+        let t = Threshold::percent(2.0);
+        let wire: std::collections::BTreeSet<_> =
+            folded.report(at, t).into_iter().map(|r| r.prefix).collect();
+        let inproc: std::collections::BTreeSet<_> =
+            merged.report_at(at, t).into_iter().map(|r| r.prefix).collect();
+        prop_assert_eq!(wire, inproc);
+    }
+}
+
+#[test]
+fn exact_retract_inverts_merge_structurally() {
+    let (sa, sb) = split2(&stream(4000, 99));
+    let mut a = ExactHhh::new(h());
+    let mut b = ExactHhh::new(h());
+    HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut a, &sa);
+    HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut b, &sb);
+    let before = a.snapshot().unwrap().to_json();
+    let mut m = a.clone();
+    m.merge(&b);
+    assert_ne!(m.snapshot().unwrap().to_json(), before);
+    assert!(m.retract(&b), "exact detectors support retraction");
+    // Structural identity, not just observational: zeroed items left
+    // the map, so the wire bytes match a never-merged detector.
+    assert_eq!(m.snapshot().unwrap().to_json(), before);
+}
+
+#[test]
+fn retract_defaults_to_unsupported_for_lossy_summaries() {
+    let mut a = SpaceSavingHhh::new(h(), 16);
+    let b = a.clone();
+    assert!(!a.retract(&b), "lossy summaries cannot invert merges");
+}
+
+#[test]
+fn fold_rejects_mismatched_capacities() {
+    let mut a = SpaceSavingHhh::new(h(), 32);
+    let mut b = SpaceSavingHhh::new(h(), 64);
+    HhhDetector::<Ipv4Hierarchy>::observe(&mut a, 7, 10);
+    HhhDetector::<Ipv4Hierarchy>::observe(&mut b, 7, 10);
+    let hier = h();
+    let mut restored =
+        RestoredDetector::from_snapshot(&hier, &a.snapshot().unwrap()).expect("restores");
+    let err = restored.fold(&hier, &b.snapshot().unwrap()).unwrap_err();
+    assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err:?}");
+}
+
+#[test]
+fn fold_rejects_mismatched_kinds() {
+    let mut a = ExactHhh::new(h());
+    let mut b = SpaceSavingHhh::new(h(), 64);
+    HhhDetector::<Ipv4Hierarchy>::observe(&mut a, 7, 10);
+    HhhDetector::<Ipv4Hierarchy>::observe(&mut b, 7, 10);
+    let hier = h();
+    let mut restored =
+        RestoredDetector::from_snapshot(&hier, &a.snapshot().unwrap()).expect("restores");
+    let err = restored.fold(&hier, &b.snapshot().unwrap()).unwrap_err();
+    assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err:?}");
+}
+
+#[test]
+fn unknown_kind_is_a_typed_error() {
+    let hier = h();
+    let snap = DetectorSnapshot { kind: "hashpipe".into(), total: 1, state_json: "{}".into() };
+    let err = RestoredDetector::from_snapshot(&hier, &snap).unwrap_err();
+    assert_eq!(err, SnapshotError::Kind("hashpipe".into()));
+}
+
+#[test]
+fn hostile_wire_capacity_is_a_typed_error_not_an_abort() {
+    // A corrupt line must never drive a pathological allocation.
+    let hier = h();
+    let line =
+        "{\"v\":1,\"kind\":\"ss-hhh\",\"total\":0,\"state\":{\"capacity\":4611686018427387904,\
+                \"levels\":[]}}";
+    let snap = DetectorSnapshot::from_json(line).expect("envelope parses");
+    let err = RestoredDetector::from_snapshot(&hier, &snap).unwrap_err();
+    assert!(matches!(err, SnapshotError::Invalid { field: "capacity", .. }), "got {err:?}");
+
+    let line = "{\"v\":1,\"kind\":\"tdbf-hhh\",\"total\":0,\"state\":{\"cells_per_level\":\
+                1152921504606846976,\"hashes\":4,\"half_life_ns\":1000000000,\
+                \"candidates_per_level\":8,\"admit_fraction\":0.001,\"seed\":1,\"observed\":0,\
+                \"total\":[0.0,0],\"filters\":[],\"candidates\":[]}}";
+    let snap = DetectorSnapshot::from_json(line).expect("envelope parses");
+    let err = RestoredDetector::from_snapshot(&hier, &snap).unwrap_err();
+    assert!(matches!(err, SnapshotError::Invalid { .. }), "got {err:?}");
+}
+
+#[test]
+fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+    use hidden_hhh::core::snapshot::json::Json;
+    let bomb = "[".repeat(100_000);
+    let err = Json::parse(&bomb).unwrap_err();
+    assert!(matches!(err, SnapshotError::Parse { .. }), "got {err:?}");
+}
+
+#[test]
+#[should_panic(expected = "grouped by report point")]
+fn fold_snapshots_rejects_out_of_order_streams() {
+    use hidden_hhh::core::StampedSnapshot;
+    use hidden_hhh::window::{FoldSnapshots, Pipeline};
+    let snap = |at_secs: u64, items: &[(u32, u64)]| {
+        let mut d = ExactHhh::new(h());
+        HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut d, items);
+        StampedSnapshot { at: Nanos::from_secs(at_secs), snapshot: d.snapshot().unwrap() }
+    };
+    // Concatenated shard streams: at goes 1, 2, then back to 1 —
+    // folding this as-is would report per-shard numbers as "merged".
+    let snaps = vec![snap(1, &[(7, 10)]), snap(2, &[(7, 5)]), snap(1, &[(9, 3)])];
+    let hier = h();
+    let _ = Pipeline::new(snaps.into_iter())
+        .engine(FoldSnapshots::new(&hier, &[Threshold::percent(1.0)]))
+        .collect()
+        .run();
+}
+
+#[test]
+fn fold_snapshots_handles_two_kinds_side_by_side() {
+    use hidden_hhh::core::StampedSnapshot;
+    use hidden_hhh::window::{FoldSnapshots, Pipeline};
+    // One operator process running two detector kinds writes both
+    // state lines per report point — each kind folds and reports
+    // separately, the same grouping hhh-agg applies.
+    let exact_snap = |at_secs: u64, items: &[(u32, u64)]| {
+        let mut d = ExactHhh::new(h());
+        HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut d, items);
+        StampedSnapshot { at: Nanos::from_secs(at_secs), snapshot: d.snapshot().unwrap() }
+    };
+    let ss_snap = |at_secs: u64, items: &[(u32, u64)]| {
+        let mut d = SpaceSavingHhh::new(h(), 64);
+        HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut d, items);
+        StampedSnapshot { at: Nanos::from_secs(at_secs), snapshot: d.snapshot().unwrap() }
+    };
+    let snaps = vec![
+        exact_snap(1, &[(7, 10)]),
+        ss_snap(1, &[(7, 10)]),
+        exact_snap(2, &[(9, 4)]),
+        ss_snap(2, &[(9, 4)]),
+    ];
+    let hier = h();
+    let reports = Pipeline::new(snaps.into_iter())
+        .engine(FoldSnapshots::new(&hier, &[Threshold::percent(1.0)]))
+        .collect()
+        .run();
+    // One series (one threshold), two kinds × two report points, with
+    // per-kind report-point ordinals (the numbering hhh-agg renders).
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].len(), 4);
+    assert_eq!((reports[0][0].total, reports[0][0].index), (10, 0), "exact at t=1");
+    assert_eq!((reports[0][1].total, reports[0][1].index), (10, 0), "ss-hhh at t=1");
+    assert_eq!((reports[0][2].total, reports[0][2].index), (4, 1), "exact at t=2");
+    assert_eq!((reports[0][3].total, reports[0][3].index), (4, 1), "ss-hhh at t=2");
+}
