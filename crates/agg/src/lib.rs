@@ -1,19 +1,20 @@
 //! # hhh-agg
 //!
 //! The **cross-process aggregation** half of the snapshot wire format:
-//! where `hhh-window`'s `JsonSnapshotSink` emits one serialized
+//! where `hhh-window`'s `SnapshotSink` emits one serialized
 //! [`DetectorSnapshot`](hhh_core::DetectorSnapshot) per report point
-//! per process, this crate reads N such JSONL streams back, groups the
-//! snapshots by report point and detector `kind`, folds each group
+//! per process — as v1 JSON lines or v2 binary frames — this crate
+//! reads N such streams back (sniffing the format per stream), groups
+//! the snapshots by report point and detector `kind`, folds each group
 //! with the round-trip codec (`hhh-core::RestoredDetector`), and emits
 //! the merged HHH reports — closing the distributed-aggregation loop:
 //!
 //! ```text
 //!   shard process 0 ─┐
-//!   shard process 1 ─┼─ snapshot JSONL ──► hhh-agg ──► merged reports
-//!   shard process K ─┘                        │
-//!                                             └──► merged state JSONL
-//!                                                  (feeds another tier)
+//!   shard process 1 ─┼─ snapshot stream ──► hhh-agg ──► merged reports
+//!   shard process K ─┘   (v1 JSONL or          │
+//!                          v2 frames)          └──► merged state stream
+//!                                                   (feeds another tier)
 //! ```
 //!
 //! Folding is the in-process merge algebra lifted onto the wire —
@@ -22,27 +23,34 @@
 //! losslessly — so aggregating K per-shard streams reproduces the
 //! single-process sharded run: bit-exactly for the exact detector,
 //! within the documented merge error bounds for the approximate ones.
-//! Because the merged state re-serializes byte-identically, the
-//! aggregator's `--emit-state` output is itself a valid input stream:
-//! aggregation tiers compose.
+//! Binary snapshots decode **straight into detectors** (no JSON
+//! detour), which is what lets the aggregation tier keep up with
+//! RHHH-speed shards. Because the merged state re-serializes
+//! byte-identically, the aggregator's `--emit-state` output is itself
+//! a valid input stream: aggregation tiers compose — in either format.
 //!
-//! The library API is three calls: [`read_stream`] (JSONL →
-//! [`StampedSnapshot`]s), [`fold_streams`] (group + fold), and
-//! [`render_merged`] (merged points → JSONL report/state lines). The
-//! `hhh-agg` binary wraps them for files and pipes; the
-//! `FoldSnapshots` engine in `hhh-window` wraps the same fold as a
-//! `Pipeline` stage for a single stream.
+//! The library API is four calls: [`read_stream`] (stream →
+//! [`WireSnapshot`]s), [`fold_streams`] (group + fold),
+//! [`render_merged`] / [`write_merged`] (merged points → output in a
+//! chosen format), and [`transcode`] (re-encode a whole stream v1 ⇄
+//! v2, byte-identically round-trippable). The `hhh-agg` binary wraps
+//! them for files and pipes; the `FoldSnapshots` engine in
+//! `hhh-window` wraps the same fold as a `Pipeline` stage for a single
+//! stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hhh_core::{RestoredDetector, SnapshotError, StampedSnapshot, Threshold};
+use hhh_core::snapshot::binary::SnapshotFrame;
+use hhh_core::{
+    RestoredDetector, SnapshotError, StampedSnapshot, Threshold, WireFormat, WireSnapshot,
+};
 use hhh_hierarchy::Hierarchy;
 use hhh_nettypes::Nanos;
-use hhh_window::{render_report_line, SnapshotSource, WindowReport};
+use hhh_window::{render_report_line, SnapshotSource, StreamRecord, WindowReport};
 use std::collections::BTreeMap;
 use std::fmt::{self, Display};
-use std::io::BufRead;
+use std::io::{BufRead, Write};
 use std::str::FromStr;
 
 /// Why an aggregation run failed.
@@ -52,7 +60,8 @@ pub enum AggError {
     Decode {
         /// Index of the offending stream (argument order).
         stream: usize,
-        /// 1-based line number within the stream.
+        /// 1-based record number within the stream (line number for
+        /// JSONL, frame ordinal for binary).
         line: usize,
         /// The decode failure.
         error: SnapshotError,
@@ -65,7 +74,7 @@ pub enum AggError {
         /// The fold failure.
         error: SnapshotError,
     },
-    /// An input file could not be opened or read.
+    /// An input file could not be opened, read, or written.
     Io(String),
 }
 
@@ -73,7 +82,7 @@ impl Display for AggError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AggError::Decode { stream, line, error } => {
-                write!(f, "stream {stream}, line {line}: {error}")
+                write!(f, "stream {stream}, record {line}: {error}")
             }
             AggError::Fold { at, error } => write!(f, "fold at {at}: {error}"),
             AggError::Io(what) => write!(f, "I/O: {what}"),
@@ -83,12 +92,13 @@ impl Display for AggError {
 
 impl std::error::Error for AggError {}
 
-/// Read one snapshot JSONL stream to the end: `state` lines decode to
-/// [`StampedSnapshot`]s, `report` lines are skipped, garbage is an
-/// error. `stream` tags errors with the stream's index.
-pub fn read_stream<R: BufRead>(stream: usize, input: R) -> Result<Vec<StampedSnapshot>, AggError> {
+/// Read one snapshot stream (either wire format, sniffed) to the end:
+/// state records decode to [`WireSnapshot`]s, report records are
+/// skipped, garbage is an error. `stream` tags errors with the
+/// stream's index.
+pub fn read_stream<R: BufRead>(stream: usize, input: R) -> Result<Vec<WireSnapshot>, AggError> {
     let mut source = SnapshotSource::new(input);
-    let snapshots: Vec<StampedSnapshot> = source.by_ref().collect();
+    let snapshots: Vec<WireSnapshot> = source.by_ref().collect();
     if let Some((line, error)) = source.error() {
         return Err(AggError::Decode { stream, line: *line, error: error.clone() });
     }
@@ -100,6 +110,9 @@ pub fn read_stream<R: BufRead>(stream: usize, input: R) -> Result<Vec<StampedSna
 pub struct MergedPoint<H: Hierarchy> {
     /// The report point the snapshots were taken at.
     pub at: Nanos,
+    /// Start of the report window the snapshots cover (`== at` for
+    /// windowless probes and pre-geometry v1 streams).
+    pub start: Nanos,
     /// The detector kind (`exact`, `ss-hhh`, `rhhh`, `tdbf-hhh`).
     pub kind: String,
     /// How many snapshots were folded into this point.
@@ -114,12 +127,13 @@ where
     H::Prefix: FromStr,
 {
     /// The merged [`WindowReport`] at a threshold. `index` is the
-    /// caller's report-point ordinal; `start == end == at` because a
-    /// snapshot does not carry its window geometry.
+    /// caller's report-point ordinal; the window bounds are the ones
+    /// the snapshots carried, so a folded report's geometry matches
+    /// the in-process run's.
     pub fn report(&self, index: u64, threshold: Threshold) -> WindowReport<H::Prefix> {
         WindowReport {
             index,
-            start: self.at,
+            start: self.start,
             end: self.at,
             total: self.detector.total(),
             hhhs: self.detector.report(self.at, threshold),
@@ -134,14 +148,15 @@ where
 /// restores, stream 1..'s fold in) and then within-stream order — the
 /// same deterministic order the in-process shard pools merge in, which
 /// is what makes the distributed result reproduce the in-process one.
-/// The returned points are sorted by `(at, kind)`.
+/// The returned points are sorted by `(at, kind)`. Streams may mix
+/// wire formats freely (a v1 shard folds with a v2 shard).
 ///
 /// Streams typically hold one snapshot per `(at, kind)` (one per
 /// process per report point); extra snapshots fold in like any other,
 /// matching their arrival order.
 pub fn fold_streams<H>(
     hierarchy: &H,
-    streams: &[Vec<StampedSnapshot>],
+    streams: &[Vec<WireSnapshot>],
 ) -> Result<Vec<MergedPoint<H>>, AggError>
 where
     H: Hierarchy,
@@ -151,23 +166,24 @@ where
     let mut groups: BTreeMap<(Nanos, String), MergedPoint<H>> = BTreeMap::new();
     for stream in streams {
         for s in stream {
-            let key = (s.at, s.snapshot.kind.clone().into_owned());
+            let key = (s.at(), s.kind().to_owned());
             match groups.get_mut(&key) {
                 Some(point) => {
                     point
                         .detector
-                        .fold(hierarchy, &s.snapshot)
-                        .map_err(|error| AggError::Fold { at: s.at, error })?;
+                        .fold_wire(hierarchy, s)
+                        .map_err(|error| AggError::Fold { at: s.at(), error })?;
                     point.folded += 1;
                 }
                 None => {
-                    let detector = RestoredDetector::from_snapshot(hierarchy, &s.snapshot)
-                        .map_err(|error| AggError::Fold { at: s.at, error })?;
+                    let detector = RestoredDetector::from_wire(hierarchy, s)
+                        .map_err(|error| AggError::Fold { at: s.at(), error })?;
                     groups.insert(
                         key,
                         MergedPoint {
-                            at: s.at,
-                            kind: s.snapshot.kind.clone().into_owned(),
+                            at: s.at(),
+                            start: s.start(),
+                            kind: s.kind().to_owned(),
                             folded: 1,
                             detector,
                         },
@@ -179,12 +195,12 @@ where
     Ok(groups.into_values().collect())
 }
 
-/// Render merged points as JSONL: per point, one `report` line per
-/// threshold (series = threshold index, index = the point's ordinal
-/// within its kind) and — when `emit_state` — one `state` line with
-/// the folded snapshot (byte-identical to what the same merged state
-/// would emit in-process, so the output can feed another aggregation
-/// tier).
+/// Render merged points as v1 JSON lines: per point, one `report` line
+/// per threshold (series = threshold index, index = the point's
+/// ordinal within its kind) and — when `emit_state` — one `state` line
+/// with the folded snapshot (byte-identical to what the same merged
+/// state would emit in-process, so the output can feed another
+/// aggregation tier). For binary output use [`write_merged`].
 pub fn render_merged<H>(
     points: &[MergedPoint<H>],
     thresholds: &[Threshold],
@@ -204,12 +220,132 @@ where
             lines.push(render_report_line(ti, &point.report(*index, *t)));
         }
         if emit_state {
-            let stamped = StampedSnapshot { at: point.at, snapshot: point.detector.snapshot() };
+            let stamped = StampedSnapshot {
+                at: point.at,
+                start: point.start,
+                snapshot: point.detector.snapshot(),
+            };
             lines.push(stamped.to_json());
         }
         *index += 1;
     }
     lines
+}
+
+/// Write merged points to `out` in the chosen wire format — the
+/// format-parameterized face of [`render_merged`]. JSON writes the
+/// exact same lines; binary writes report frames and state frames, so
+/// a binary aggregation tier feeds the next binary tier without ever
+/// materializing JSON bodies on disk.
+pub fn write_merged<H, W: Write>(
+    out: &mut W,
+    points: &[MergedPoint<H>],
+    thresholds: &[Threshold],
+    emit_state: bool,
+    format: WireFormat,
+) -> Result<(), AggError>
+where
+    H: Hierarchy,
+    H::Item: FromStr,
+    H::Prefix: FromStr,
+    H::Prefix: Display,
+{
+    let io = |e: std::io::Error| AggError::Io(e.to_string());
+    if format == WireFormat::Json {
+        // One definition of the JSON output: write exactly the lines
+        // `render_merged` renders.
+        for line in render_merged(points, thresholds, emit_state) {
+            writeln!(out, "{line}").map_err(io)?;
+        }
+        return Ok(());
+    }
+    let mut ordinal: BTreeMap<&str, u64> = BTreeMap::new();
+    for point in points {
+        let index = ordinal.entry(point.kind.as_str()).or_insert(0);
+        for (ti, t) in thresholds.iter().enumerate() {
+            let report = point.report(*index, *t);
+            let line = render_report_line(ti, &report);
+            let frame = SnapshotFrame::report(&line, report.start, report.end, report.total);
+            out.write_all(&frame.encode()).map_err(io)?;
+        }
+        if emit_state {
+            let frame = point
+                .detector
+                .snapshot()
+                .to_frame(point.start, point.at)
+                .map_err(|error| AggError::Fold { at: point.at, error })?;
+            out.write_all(&frame.encode()).map_err(io)?;
+        }
+        *index += 1;
+    }
+    Ok(())
+}
+
+/// Re-encode one whole snapshot stream into `to` — every record,
+/// reports included — without folding anything. Transcoding v1 → v2 →
+/// v1 (or v2 → v1 → v2) reproduces the original stream byte-for-byte
+/// for any stream this workspace wrote, which the codec corpus pins.
+///
+/// `stream` tags decode errors with the stream's index.
+pub fn transcode<R: BufRead, W: Write>(
+    stream: usize,
+    input: R,
+    out: &mut W,
+    to: WireFormat,
+) -> Result<(), AggError> {
+    let io = |e: std::io::Error| AggError::Io(e.to_string());
+    let mut source = SnapshotSource::new(input);
+    while let Some(record) = source.next_record() {
+        match (record, to) {
+            (StreamRecord::Report(line), WireFormat::Json) => {
+                writeln!(out, "{line}").map_err(io)?;
+            }
+            (StreamRecord::Report(line), WireFormat::Binary) => {
+                // Recover the frame header's geometry from the line
+                // itself (reports are small; this is not the hot path).
+                let (start, end, total) = report_line_geometry(&line).map_err(|error| {
+                    AggError::Decode { stream, line: source.record_no(), error }
+                })?;
+                let frame = SnapshotFrame::report(&line, start, end, total);
+                out.write_all(&frame.encode()).map_err(io)?;
+            }
+            (StreamRecord::State(s), WireFormat::Json) => {
+                let stamped =
+                    s.to_stamped().map_err(|error| AggError::Fold { at: s.at(), error })?;
+                writeln!(out, "{}", stamped.to_json()).map_err(io)?;
+            }
+            (StreamRecord::State(s), WireFormat::Binary) => {
+                let frame = match s {
+                    WireSnapshot::Binary(frame) => frame,
+                    WireSnapshot::Json(stamped) => stamped
+                        .to_frame()
+                        .map_err(|error| AggError::Fold { at: stamped.at, error })?,
+                };
+                out.write_all(&frame.encode()).map_err(io)?;
+            }
+        }
+    }
+    if let Some((line, error)) = source.error() {
+        return Err(AggError::Decode { stream, line: *line, error: error.clone() });
+    }
+    Ok(())
+}
+
+/// Pull `(start, end, total)` out of a rendered report line, for
+/// rebuilding a report frame's header during transcode.
+fn report_line_geometry(line: &str) -> Result<(Nanos, Nanos, u64), SnapshotError> {
+    use hhh_core::snapshot::json::Json;
+    let v = Json::parse(line)?;
+    let field = |name: &'static str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or(SnapshotError::Invalid { field: "report", what: "missing geometry field" })
+    };
+    Ok((
+        Nanos::from_nanos(field("start_ns")?),
+        Nanos::from_nanos(field("end_ns")?),
+        field("total")?,
+    ))
 }
 
 #[cfg(test)]
@@ -225,6 +361,7 @@ mod tests {
         }
         StampedSnapshot {
             at: Nanos::from_secs(at_secs),
+            start: Nanos::from_secs(at_secs.saturating_sub(1)),
             snapshot: d.snapshot().expect("exact serializes"),
         }
         .to_json()
@@ -248,6 +385,7 @@ mod tests {
         let points = fold_streams(&h, &streams).unwrap();
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].at, Nanos::from_secs(1));
+        assert_eq!(points[0].start, Nanos::ZERO, "window geometry survives the fold");
         assert_eq!(points[0].folded, 2);
         assert_eq!(points[0].detector.total(), 100);
         assert_eq!(points[1].detector.total(), 40);
@@ -255,6 +393,8 @@ mod tests {
         // The merged report sees both shards' traffic.
         let report = points[0].report(0, Threshold::percent(30.0));
         assert_eq!(report.total, 100);
+        assert_eq!(report.start, Nanos::ZERO);
+        assert_eq!(report.end, Nanos::from_secs(1));
         assert!(!report.hhhs.is_empty());
     }
 
@@ -267,11 +407,51 @@ mod tests {
         let lines = render_merged(&points, &[Threshold::percent(10.0)], true);
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("{\"type\":\"report\",\"series\":0,\"index\":0,"));
-        assert!(lines[1].starts_with("{\"type\":\"state\",\"at_ns\":1000000000,"));
+        assert!(lines[1].starts_with("{\"type\":\"state\",\"at_ns\":1000000000,\"start_ns\":0,"));
         // Tiering: the state line reads back as a valid input stream.
         let again = read_stream(0, lines.join("\n").as_bytes()).unwrap();
         assert_eq!(again.len(), 1);
-        assert_eq!(again[0].snapshot.total, 100);
+        assert_eq!(again[0].total(), 100);
+    }
+
+    #[test]
+    fn binary_output_feeds_and_folds_like_json() {
+        let h = Ipv4Hierarchy::bytes();
+        let a = snap_line(1, &[(0x0A010101, 100)]);
+        let streams = vec![read_stream(0, a.as_bytes()).unwrap()];
+        let points = fold_streams(&h, &streams).unwrap();
+
+        let mut bin = Vec::new();
+        write_merged(&mut bin, &points, &[Threshold::percent(10.0)], true, WireFormat::Binary)
+            .unwrap();
+        // The binary tier output reads back as a valid input stream…
+        let again = read_stream(0, bin.as_slice()).unwrap();
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].kind(), "exact");
+        // …and folds to the same state the JSON tier would emit.
+        let tier2 = fold_streams(&h, &[again]).unwrap();
+        assert_eq!(tier2[0].detector.snapshot().to_json(), points[0].detector.snapshot().to_json());
+    }
+
+    #[test]
+    fn transcode_roundtrips_byte_identically() {
+        let json_stream = format!(
+            "{}\n{}\n",
+            "{\"type\":\"report\",\"series\":0,\"index\":0,\"start_ns\":0,\"end_ns\":1000000000,\
+             \"total\":100,\"hhhs\":[]}",
+            snap_line(1, &[(0x0A010101, 100)])
+        );
+        let mut v2 = Vec::new();
+        transcode(0, json_stream.as_bytes(), &mut v2, WireFormat::Binary).unwrap();
+        assert_ne!(v2, json_stream.as_bytes());
+        let mut back = Vec::new();
+        transcode(0, v2.as_slice(), &mut back, WireFormat::Json).unwrap();
+        assert_eq!(String::from_utf8(back).unwrap(), json_stream, "v1 → v2 → v1 is lossless");
+
+        // And the other direction: v2 → v1 → v2.
+        let mut v2_again = Vec::new();
+        transcode(0, v2.as_slice(), &mut v2_again, WireFormat::Binary).unwrap();
+        assert_eq!(v2_again, v2, "v2 re-encode is stable");
     }
 
     #[test]

@@ -1,34 +1,46 @@
-//! `hhh-agg` — fold detector snapshot JSONL streams from N processes
-//! into merged HHH reports.
+//! `hhh-agg` — fold detector snapshot streams from N processes into
+//! merged HHH reports, or transcode streams between wire formats.
 //!
 //! ```text
 //! hhh-agg [--hierarchy ipv4-bytes|ipv4-bits] [--threshold PCT]...
-//!         [--emit-state] [FILE|- ...]
+//!         [--emit-state] [--format json|binary] [--transcode]
+//!         [FILE|- ...]
 //! ```
 //!
-//! Each FILE is one snapshot stream (one process's `JsonSnapshotSink`
-//! output); `-` or no files reads a single stream from stdin. Merged
-//! report lines (and, with `--emit-state`, merged state lines that can
-//! feed another aggregation tier) go to stdout.
+//! Each FILE is one snapshot stream (one process's `SnapshotSink`
+//! output, v1 JSONL or v2 binary frames — sniffed per stream); `-` or
+//! no files reads a single stream from stdin. Merged report records
+//! (and, with `--emit-state`, merged state records that can feed
+//! another aggregation tier) go to stdout in the `--format` encoding
+//! (default `json`).
+//!
+//! `--transcode` skips folding entirely: every input stream is
+//! re-encoded record-for-record into `--format` on stdout — v1 → v2 →
+//! v1 reproduces the original bytes.
 
-use hhh_agg::{fold_streams, read_stream, render_merged, AggError};
-use hhh_core::Threshold;
+use hhh_agg::{fold_streams, read_stream, transcode, write_merged, AggError};
+use hhh_core::{Threshold, WireFormat};
 use hhh_hierarchy::Ipv4Hierarchy;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Write};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: hhh-agg [--hierarchy ipv4-bytes|ipv4-bits] [--threshold PCT]... \
-                     [--emit-state] [FILE|- ...]\n\
+                     [--emit-state] [--format json|binary] [--transcode] [FILE|- ...]\n\
                      \n\
-                     Folds N snapshot JSONL streams (written by hhh-window's JsonSnapshotSink,\n\
-                     or by hhh-agg --emit-state itself) into merged HHH reports on stdout.\n\
-                     Defaults: --hierarchy ipv4-bytes, --threshold 1, stdin as the only stream.";
+                     Folds N snapshot streams (written by hhh-window's SnapshotSink in either\n\
+                     wire format, or by hhh-agg --emit-state itself) into merged HHH reports\n\
+                     on stdout; --format picks the output encoding. With --transcode, streams\n\
+                     are re-encoded into --format instead of folded.\n\
+                     Defaults: --hierarchy ipv4-bytes, --threshold 1, --format json, stdin as\n\
+                     the only stream.";
 
 struct Args {
     hierarchy: Ipv4Hierarchy,
     thresholds: Vec<Threshold>,
     emit_state: bool,
+    format: WireFormat,
+    transcode: bool,
     inputs: Vec<String>,
 }
 
@@ -37,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
         hierarchy: Ipv4Hierarchy::bytes(),
         thresholds: Vec::new(),
         emit_state: false,
+        format: WireFormat::Json,
+        transcode: false,
         inputs: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
@@ -60,6 +74,12 @@ fn parse_args() -> Result<Args, String> {
                 args.thresholds.push(Threshold::percent(pct));
             }
             "--emit-state" => args.emit_state = true,
+            "--format" => {
+                let v = argv.next().ok_or("--format needs a value")?;
+                args.format =
+                    WireFormat::parse(&v).ok_or(format!("unknown format `{v}` (json|binary)"))?;
+            }
+            "--transcode" => args.transcode = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             file => args.inputs.push(file.to_string()),
@@ -89,16 +109,19 @@ fn open(path: &str) -> Result<Box<dyn BufRead>, AggError> {
 }
 
 fn run(args: &Args) -> Result<(), AggError> {
-    let mut streams = Vec::with_capacity(args.inputs.len());
-    for (i, path) in args.inputs.iter().enumerate() {
-        streams.push(read_stream(i, open(path)?)?);
-    }
-    let points = fold_streams(&args.hierarchy, &streams)?;
-    let lines = render_merged(&points, &args.thresholds, args.emit_state);
     let stdout = io::stdout();
     let mut out = io::BufWriter::new(stdout.lock());
-    for line in &lines {
-        writeln!(out, "{line}").map_err(|e| AggError::Io(e.to_string()))?;
+    if args.transcode {
+        for (i, path) in args.inputs.iter().enumerate() {
+            transcode(i, open(path)?, &mut out, args.format)?;
+        }
+    } else {
+        let mut streams = Vec::with_capacity(args.inputs.len());
+        for (i, path) in args.inputs.iter().enumerate() {
+            streams.push(read_stream(i, open(path)?)?);
+        }
+        let points = fold_streams(&args.hierarchy, &streams)?;
+        write_merged(&mut out, &points, &args.thresholds, args.emit_state, args.format)?;
     }
     out.flush().map_err(|e| AggError::Io(e.to_string()))
 }

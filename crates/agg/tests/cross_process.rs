@@ -110,7 +110,88 @@ fn binary_rejects_garbage_with_nonzero_exit() {
     let out = child.wait_with_output().expect("wait");
     assert!(!out.status.success(), "garbage must fail");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("line 1"), "error names the line: {stderr}");
+    assert!(stderr.contains("record 1"), "error names the record: {stderr}");
+}
+
+#[test]
+fn binary_format_shards_fold_to_the_same_merged_output() {
+    // The wire-format v2 contract, through the real binary: K shard
+    // streams written as binary frames must aggregate to byte-identical
+    // JSON output — and a --transcode round trip must reproduce the
+    // original stream.
+    use hhh_window::SnapshotSink;
+
+    let horizon = TimeSpan::from_secs(10);
+    let pkts = trace(horizon);
+    let k = 3;
+    let shard_bin = |shard: usize| -> Vec<u8> {
+        let packets: Vec<PacketRecord> =
+            pkts.iter().copied().filter(|p| shard_of(&p.src, k) == shard).collect();
+        let (bytes, err) = Pipeline::new(packets.iter().copied())
+            .engine(ShardedDisjoint::new(
+                vec![hhh_core::ExactHhh::new(Ipv4Hierarchy::bytes())],
+                horizon,
+                TimeSpan::from_secs(5),
+                &[Threshold::percent(1.0)],
+                |p| p.src,
+            ))
+            .sink(SnapshotSink::binary(Vec::new()))
+            .run();
+        assert!(err.is_none());
+        bytes
+    };
+    let json_streams: Vec<Vec<u8>> = (0..k).map(|i| shard_stream(&pkts, horizon, k, i)).collect();
+    let bin_streams: Vec<Vec<u8>> = (0..k).map(shard_bin).collect();
+
+    let dir = std::env::temp_dir().join(format!("hhh-agg-bin-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let run_agg = |paths: &[std::path::PathBuf]| -> Vec<u8> {
+        let out = Command::new(env!("CARGO_BIN_EXE_hhh-agg"))
+            .args(["--threshold", "1", "--emit-state"])
+            .args(paths)
+            .output()
+            .expect("spawn hhh-agg");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let write_all = |name: &str, streams: &[Vec<u8>]| -> Vec<std::path::PathBuf> {
+        streams
+            .iter()
+            .enumerate()
+            .map(|(i, bytes)| {
+                let path = dir.join(format!("{name}{i}"));
+                std::fs::write(&path, bytes).expect("write shard stream");
+                path
+            })
+            .collect()
+    };
+    let from_json = run_agg(&write_all("shard-json", &json_streams));
+    let from_bin = run_agg(&write_all("shard-bin", &bin_streams));
+    assert_eq!(
+        String::from_utf8_lossy(&from_json),
+        String::from_utf8_lossy(&from_bin),
+        "binary shard streams must aggregate byte-identically to JSON ones"
+    );
+
+    // Transcode round trip through the real binary: v1 -> v2 -> v1.
+    let json_path = dir.join("shard-json0");
+    let t2 = Command::new(env!("CARGO_BIN_EXE_hhh-agg"))
+        .args(["--transcode", "--format", "binary"])
+        .arg(&json_path)
+        .output()
+        .expect("spawn hhh-agg");
+    assert!(t2.status.success());
+    assert_eq!(t2.stdout, bin_streams[0], "v1 -> v2 transcode equals the native binary stream");
+    let bin_path = dir.join("transcoded.bin");
+    std::fs::write(&bin_path, &t2.stdout).expect("write transcoded");
+    let t1 = Command::new(env!("CARGO_BIN_EXE_hhh-agg"))
+        .args(["--transcode", "--format", "json"])
+        .arg(&bin_path)
+        .output()
+        .expect("spawn hhh-agg");
+    assert!(t1.status.success());
+    assert_eq!(t1.stdout, json_streams[0], "v2 -> v1 transcode restores the original bytes");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

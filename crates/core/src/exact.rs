@@ -255,17 +255,35 @@ where
         }
         let state = snap.state()?;
         let rows: Vec<(H::Item, Vec<u64>)> = parse_keyed_rows(req(&state, "counts")?, "counts", 1)?;
-        let mut counts: HashMap<H::Item, u64> = HashMap::with_capacity(rows.len());
+        Self::from_wire_rows(
+            hierarchy,
+            rows.into_iter().map(|(item, vals)| (item, vals[0])),
+            snap.total,
+        )
+    }
+
+    /// The validated decode core both wire formats share: build a
+    /// detector from already-parsed `(item, count)` rows, rejecting
+    /// duplicates, count overflow, and an envelope total that does not
+    /// equal the sum of counts.
+    pub(crate) fn from_wire_rows(
+        hierarchy: H,
+        rows: impl IntoIterator<Item = (H::Item, u64)>,
+        envelope_total: u64,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let rows = rows.into_iter();
+        let mut counts: HashMap<H::Item, u64> = HashMap::with_capacity(rows.size_hint().0);
         let mut total: u64 = 0;
-        for (item, vals) in rows {
-            if counts.insert(item, vals[0]).is_some() {
+        for (item, count) in rows {
+            if counts.insert(item, count).is_some() {
                 return Err(SnapshotError::Invalid { field: "counts", what: "duplicate item" });
             }
             total = total
-                .checked_add(vals[0])
+                .checked_add(count)
                 .ok_or(SnapshotError::Invalid { field: "counts", what: "counts overflow u64" })?;
         }
-        if total != snap.total {
+        if total != envelope_total {
             return Err(SnapshotError::Invalid {
                 field: "total",
                 what: "envelope total does not equal the sum of counts",

@@ -222,21 +222,9 @@ where
             )));
         }
         let state = snap.state()?;
-        let capacity = req_u64(&state, "capacity")? as usize;
-        if capacity == 0 || capacity > crate::snapshot::MAX_WIRE_CAPACITY {
-            return Err(SnapshotError::Invalid {
-                field: "capacity",
-                what: "must be non-zero and within MAX_WIRE_CAPACITY",
-            });
-        }
+        let capacity = crate::ss_hhh::wire_capacity(req_u64(&state, "capacity")?)?;
         let levels = crate::ss_hhh::levels_from_json(&state, capacity, hierarchy.levels())?;
         let updates_json = req_arr(&state, "updates")?;
-        if updates_json.len() != levels.len() {
-            return Err(SnapshotError::Invalid {
-                field: "updates",
-                what: "one entry per level required",
-            });
-        }
         let updates_per_level = updates_json
             .iter()
             .map(|u| {
@@ -246,11 +234,39 @@ where
                 })
             })
             .collect::<Result<Vec<u64>, _>>()?;
+        Self::from_restored_parts(hierarchy, levels, updates_per_level, snap.total)
+    }
+
+    /// The validated decode core both wire formats share.
+    pub(crate) fn from_wire_levels(
+        hierarchy: H,
+        capacity: u64,
+        rows: crate::ss_hhh::WireLevelRows<H::Prefix>,
+        updates_per_level: Vec<u64>,
+        envelope_total: u64,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let capacity = crate::ss_hhh::wire_capacity(capacity)?;
+        let levels = crate::ss_hhh::levels_from_rows(rows, capacity, hierarchy.levels())?;
+        Self::from_restored_parts(hierarchy, levels, updates_per_level, envelope_total)
+    }
+
+    fn from_restored_parts(
+        hierarchy: H,
+        levels: Vec<hhh_sketches::SpaceSaving<H::Prefix>>,
+        updates_per_level: Vec<u64>,
+        total: u64,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        if updates_per_level.len() != levels.len() {
+            return Err(crate::snapshot::SnapshotError::Invalid {
+                field: "updates",
+                what: "one entry per level required",
+            });
+        }
         Ok(Rhhh {
             hierarchy,
             levels,
             rng: SmallRng::seed_from_u64(RESTORED_SEED),
-            total: snap.total,
+            total,
             updates_per_level,
         })
     }

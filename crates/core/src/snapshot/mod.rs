@@ -41,7 +41,20 @@
 //! | `tdbf-hhh` | config fields plus `"total":[v,last_ns]`, `"filters"` (per-level `[v,last_ns]` cell arrays) and `"candidates"` (per-level `[prefix,ts_ns]` rows) |
 //!
 //! A missing `"v"` is read as version 1; unknown versions are
-//! rejected, never guessed at.
+//! rejected, never guessed at. State lines also carry the report
+//! window's geometry (`"start_ns"`, alongside `"at_ns"`); a missing
+//! `start_ns` reads as `at_ns` (pre-geometry lines), so v1 streams
+//! from older writers still decode.
+//!
+//! ## Wire format (version 2)
+//!
+//! The [`binary`] module defines the binary **frame** format for the
+//! hot aggregation path — same envelope semantics (versioned,
+//! self-describing, typed errors), bodies in varint/zigzag-packed
+//! binary with delta-encoded TDBF cells. [`DetectorSnapshot::to_frame`]
+//! / [`DetectorSnapshot::from_frame`] transcode between the two;
+//! [`RestoredDetector::from_frame`] decodes a frame straight into a
+//! live detector without touching JSON.
 
 use core::fmt::Write as _;
 use core::fmt::{self, Display};
@@ -50,7 +63,10 @@ use hhh_hierarchy::Hierarchy;
 use hhh_nettypes::Nanos;
 use std::borrow::Cow;
 
+pub mod binary;
 pub mod json;
+
+pub use binary::{SnapshotFrame, WireFormat};
 
 use crate::report::{HhhReport, Threshold};
 use crate::{
@@ -166,7 +182,7 @@ impl Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SnapshotError::Parse { offset, what } => {
-                write!(f, "malformed JSON at byte {offset}: {what}")
+                write!(f, "malformed input at byte {offset}: {what}")
             }
             SnapshotError::Missing(field) => write!(f, "missing field `{field}`"),
             SnapshotError::Invalid { field, what } => write!(f, "invalid field `{field}`: {what}"),
@@ -283,12 +299,17 @@ pub fn parse_keyed_rows<K: FromStr>(
     Ok(out)
 }
 
-/// A snapshot tagged with its report point, as read back from the
-/// JSON-lines stream a `JsonSnapshotSink` (in `hhh-window`) wrote.
+/// A snapshot tagged with its report point and window geometry, as
+/// read back from the JSON-lines stream a snapshot sink (in
+/// `hhh-window`) wrote.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StampedSnapshot {
     /// The report point the snapshot was taken at.
     pub at: Nanos,
+    /// Start of the report window the state covers. Windowless probes
+    /// (and pre-geometry v1 lines, which did not carry `start_ns`) use
+    /// `start == at`.
+    pub start: Nanos,
     /// The serialized detector state.
     pub snapshot: DetectorSnapshot,
 }
@@ -296,19 +317,25 @@ pub struct StampedSnapshot {
 impl StampedSnapshot {
     /// Render as the `{"type":"state",…}` JSON line shape.
     pub fn to_json(&self) -> String {
-        Self::render(self.at, &self.snapshot)
+        Self::render(self.start, self.at, &self.snapshot)
     }
 
     /// Render a state line from borrowed parts — the one definition of
     /// the line shape, shared with the `hhh-window` sink so writer and
     /// aggregator output can never diverge byte-wise (and the hot sink
     /// path never clones the state body).
-    pub fn render(at: Nanos, snapshot: &DetectorSnapshot) -> String {
+    pub fn render(start: Nanos, at: Nanos, snapshot: &DetectorSnapshot) -> String {
         format!(
-            "{{\"type\":\"state\",\"at_ns\":{},\"snapshot\":{}}}",
+            "{{\"type\":\"state\",\"at_ns\":{},\"start_ns\":{},\"snapshot\":{}}}",
             at.as_nanos(),
+            start.as_nanos(),
             snapshot.to_json()
         )
+    }
+
+    /// Transcode into a v2 frame carrying the same geometry.
+    pub fn to_frame(&self) -> Result<SnapshotFrame, SnapshotError> {
+        self.snapshot.to_frame(self.start, self.at)
     }
 }
 
@@ -320,11 +347,80 @@ pub fn parse_state_line(line: &str) -> Result<Option<StampedSnapshot>, SnapshotE
     match v.get("type").and_then(Json::as_str) {
         Some("state") => {
             let at = Nanos::from_nanos(req_u64(&v, "at_ns")?);
+            // Pre-geometry writers did not emit start_ns; default to
+            // the report point (backward compatible).
+            let start = match v.get("start_ns") {
+                None => at,
+                Some(j) => Nanos::from_nanos(j.as_u64().ok_or(SnapshotError::Invalid {
+                    field: "start_ns",
+                    what: "not an unsigned integer",
+                })?),
+            };
             let snapshot = DetectorSnapshot::from_value(req(&v, "snapshot")?)?;
-            Ok(Some(StampedSnapshot { at, snapshot }))
+            Ok(Some(StampedSnapshot { at, start, snapshot }))
         }
         Some(_) => Ok(None),
         None => Err(SnapshotError::Missing("type")),
+    }
+}
+
+/// A state record off either wire: a v1 JSON line or a v2 binary
+/// frame. The fold path ([`RestoredDetector::from_wire`] /
+/// [`RestoredDetector::fold_wire`]) dispatches on the variant, so
+/// aggregators accept both formats without transcoding — the binary
+/// body decodes straight into a detector.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireSnapshot {
+    /// A v1 `{"type":"state",…}` line.
+    Json(StampedSnapshot),
+    /// A v2 binary frame (body undecoded until folded).
+    Binary(SnapshotFrame),
+}
+
+impl WireSnapshot {
+    /// The report point the snapshot was taken at.
+    pub fn at(&self) -> Nanos {
+        match self {
+            WireSnapshot::Json(s) => s.at,
+            WireSnapshot::Binary(f) => f.at,
+        }
+    }
+
+    /// Start of the report window the state covers.
+    pub fn start(&self) -> Nanos {
+        match self {
+            WireSnapshot::Json(s) => s.start,
+            WireSnapshot::Binary(f) => f.start,
+        }
+    }
+
+    /// The detector kind label.
+    pub fn kind(&self) -> &str {
+        match self {
+            WireSnapshot::Json(s) => &s.snapshot.kind,
+            WireSnapshot::Binary(f) => &f.kind,
+        }
+    }
+
+    /// Total (undecayed) weight covered by the state.
+    pub fn total(&self) -> u64 {
+        match self {
+            WireSnapshot::Json(s) => s.snapshot.total,
+            WireSnapshot::Binary(f) => f.total,
+        }
+    }
+
+    /// The JSON-envelope view: pass-through for v1, a body transcode
+    /// for v2 (used off the hot path — folding never needs it).
+    pub fn to_stamped(&self) -> Result<StampedSnapshot, SnapshotError> {
+        match self {
+            WireSnapshot::Json(s) => Ok(s.clone()),
+            WireSnapshot::Binary(f) => Ok(StampedSnapshot {
+                at: f.at,
+                start: f.start,
+                snapshot: DetectorSnapshot::from_frame(f)?,
+            }),
+        }
     }
 }
 
@@ -370,11 +466,34 @@ where
         }
     }
 
+    /// Rebuild a live detector from either wire encoding.
+    pub fn from_wire(h: &H, snap: &WireSnapshot) -> Result<Self, SnapshotError> {
+        match snap {
+            WireSnapshot::Json(s) => Self::from_snapshot(h, &s.snapshot),
+            WireSnapshot::Binary(f) => Self::from_frame(h, f),
+        }
+    }
+
     /// Decode `snap` and merge it into this detector (the in-process
     /// merge recipe, behind the wire). Errors on kind or configuration
     /// mismatch; `self` is unchanged on error.
     pub fn fold(&mut self, h: &H, snap: &DetectorSnapshot) -> Result<(), SnapshotError> {
         let other = Self::from_snapshot(h, snap)?;
+        self.fold_restored(other)
+    }
+
+    /// [`fold`](Self::fold) over either wire encoding — the v2 path
+    /// decodes the binary body straight into a detector, which is what
+    /// makes the aggregation tier fast.
+    pub fn fold_wire(&mut self, h: &H, snap: &WireSnapshot) -> Result<(), SnapshotError> {
+        let other = Self::from_wire(h, snap)?;
+        self.fold_restored(other)
+    }
+
+    /// Merge an already-restored detector in (shared by every fold
+    /// flavor). Errors on kind or configuration mismatch; `self` is
+    /// unchanged on error.
+    pub fn fold_restored(&mut self, other: Self) -> Result<(), SnapshotError> {
         match (self, other) {
             (RestoredDetector::Exact(a), RestoredDetector::Exact(b)) => {
                 a.merge(&b);
@@ -532,6 +651,7 @@ mod tests {
     fn state_line_roundtrip_and_skip() {
         let s = StampedSnapshot {
             at: Nanos::from_secs(3),
+            start: Nanos::from_secs(1),
             snapshot: DetectorSnapshot {
                 kind: Cow::Borrowed("exact"),
                 total: 300,
@@ -544,6 +664,16 @@ mod tests {
         assert_eq!(parse_state_line("{\"type\":\"report\",\"series\":0}"), Ok(None));
         assert!(parse_state_line("{\"series\":0}").is_err());
         assert!(parse_state_line("not json").is_err());
+    }
+
+    #[test]
+    fn state_line_without_start_ns_defaults_to_at() {
+        // Pre-geometry v1 writers did not emit start_ns.
+        let line = "{\"type\":\"state\",\"at_ns\":5000000000,\"snapshot\":{\"v\":1,\
+                    \"kind\":\"exact\",\"total\":7,\"state\":{\"counts\":[[\"7\",7]]}}}";
+        let parsed = parse_state_line(line).unwrap().unwrap();
+        assert_eq!(parsed.at, Nanos::from_secs(5));
+        assert_eq!(parsed.start, Nanos::from_secs(5), "missing start_ns reads as at");
     }
 
     #[test]

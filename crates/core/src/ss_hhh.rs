@@ -199,29 +199,52 @@ pub(crate) fn levels_from_json<P>(
 where
     P: std::str::FromStr + Copy + Eq + std::hash::Hash,
 {
-    use crate::snapshot::{parse_keyed_rows, req, req_arr, req_u64, SnapshotError};
-    use hhh_sketches::SsEntry;
+    use crate::snapshot::{parse_keyed_rows, req, req_arr, req_u64};
     let levels_json = req_arr(state, "levels")?;
-    if levels_json.len() != expected_levels {
-        return Err(SnapshotError::Mismatch(format!(
-            "snapshot has {} levels, hierarchy has {expected_levels}",
-            levels_json.len()
-        )));
-    }
-    let mut levels = Vec::with_capacity(levels_json.len());
+    let mut rows = Vec::with_capacity(levels_json.len());
     for lv in levels_json {
         let total = req_u64(lv, "total")?;
-        let rows: Vec<(P, Vec<u64>)> = parse_keyed_rows(req(lv, "entries")?, "entries", 2)?;
-        if rows.len() > capacity {
+        let entries: Vec<(P, Vec<u64>)> = parse_keyed_rows(req(lv, "entries")?, "entries", 2)?;
+        rows.push((total, entries.into_iter().map(|(k, v)| (k, v[0], v[1])).collect()));
+    }
+    levels_from_rows(rows, capacity, expected_levels)
+}
+
+/// Wire-decoded per-level summary rows: one `(level total, [(prefix,
+/// count, error)])` entry per hierarchy level.
+pub(crate) type WireLevelRows<P> = Vec<(u64, Vec<(P, u64, u64)>)>;
+
+/// The validated decode core both wire formats share: rebuild
+/// per-level summaries from already-parsed `(total, [(prefix, count,
+/// error)])` rows, rejecting level-count mismatches, over-capacity
+/// levels, `error > count`, and duplicate prefixes.
+pub(crate) fn levels_from_rows<P>(
+    rows: WireLevelRows<P>,
+    capacity: usize,
+    expected_levels: usize,
+) -> Result<Vec<SpaceSaving<P>>, crate::snapshot::SnapshotError>
+where
+    P: Copy + Eq + std::hash::Hash,
+{
+    use crate::snapshot::SnapshotError;
+    use hhh_sketches::SsEntry;
+    if rows.len() != expected_levels {
+        return Err(SnapshotError::Mismatch(format!(
+            "snapshot has {} levels, hierarchy has {expected_levels}",
+            rows.len()
+        )));
+    }
+    let mut levels = Vec::with_capacity(rows.len());
+    for (total, row) in rows {
+        if row.len() > capacity {
             return Err(SnapshotError::Invalid {
                 field: "entries",
                 what: "more entries than capacity",
             });
         }
-        let mut entries = Vec::with_capacity(rows.len());
-        let mut seen = std::collections::HashSet::with_capacity(rows.len());
-        for (key, vals) in rows {
-            let (count, error) = (vals[0], vals[1]);
+        let mut entries = Vec::with_capacity(row.len());
+        let mut seen = std::collections::HashSet::with_capacity(row.len());
+        for (key, count, error) in row {
             if error > count {
                 return Err(SnapshotError::Invalid {
                     field: "entries",
@@ -236,6 +259,18 @@ where
         levels.push(SpaceSaving::from_parts(capacity, total, entries));
     }
     Ok(levels)
+}
+
+/// Validate a wire-supplied Space-Saving capacity (shared by the
+/// `ss-hhh` and `rhhh` decoders of both formats).
+pub(crate) fn wire_capacity(capacity: u64) -> Result<usize, crate::snapshot::SnapshotError> {
+    if capacity == 0 || capacity > crate::snapshot::MAX_WIRE_CAPACITY as u64 {
+        return Err(crate::snapshot::SnapshotError::Invalid {
+            field: "capacity",
+            what: "must be non-zero and within MAX_WIRE_CAPACITY",
+        });
+    }
+    Ok(capacity as usize)
 }
 
 impl<H: Hierarchy> SpaceSavingHhh<H>
@@ -259,15 +294,21 @@ where
             )));
         }
         let state = snap.state()?;
-        let capacity = req_u64(&state, "capacity")? as usize;
-        if capacity == 0 || capacity > crate::snapshot::MAX_WIRE_CAPACITY {
-            return Err(SnapshotError::Invalid {
-                field: "capacity",
-                what: "must be non-zero and within MAX_WIRE_CAPACITY",
-            });
-        }
+        let capacity = wire_capacity(req_u64(&state, "capacity")?)?;
         let levels = levels_from_json(&state, capacity, hierarchy.levels())?;
         Ok(SpaceSavingHhh { hierarchy, levels, total: snap.total })
+    }
+
+    /// The validated decode core both wire formats share.
+    pub(crate) fn from_wire_levels(
+        hierarchy: H,
+        capacity: u64,
+        rows: WireLevelRows<H::Prefix>,
+        envelope_total: u64,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let capacity = wire_capacity(capacity)?;
+        let levels = levels_from_rows(rows, capacity, hierarchy.levels())?;
+        Ok(SpaceSavingHhh { hierarchy, levels, total: envelope_total })
     }
 }
 

@@ -375,96 +375,42 @@ where
             )));
         }
         let state = snap.state()?;
-        let admit_fraction = req_f64(&state, "admit_fraction")?;
-        if !(admit_fraction > 0.0 && admit_fraction < 1.0) {
-            return Err(SnapshotError::Invalid {
-                field: "admit_fraction",
-                what: "must be in (0, 1)",
-            });
-        }
         let cfg = TdbfHhhConfig {
             cells_per_level: req_u64(&state, "cells_per_level")? as usize,
             hashes: req_u64(&state, "hashes")? as usize,
             half_life: TimeSpan::from_nanos(req_u64(&state, "half_life_ns")?),
             candidates_per_level: req_u64(&state, "candidates_per_level")? as usize,
-            admit_fraction,
+            admit_fraction: req_f64(&state, "admit_fraction")?,
             seed: req_u64(&state, "seed")?,
         };
-        if cfg.cells_per_level == 0 || cfg.hashes == 0 || cfg.half_life.is_zero() {
-            return Err(SnapshotError::Invalid {
-                field: "cells_per_level",
-                what: "geometry and half-life must be non-zero",
-            });
-        }
-        // Wire geometry is untrusted: bound it *before* it drives any
-        // allocation, so a corrupt line is a typed error rather than a
-        // pathological `TdbfHhh::new`.
-        if cfg.cells_per_level.saturating_mul(cfg.hashes) > crate::snapshot::MAX_WIRE_CAPACITY
-            || cfg.hashes > 64
-            || cfg.candidates_per_level > crate::snapshot::MAX_WIRE_CAPACITY
-        {
-            return Err(SnapshotError::Invalid {
-                field: "cells_per_level",
-                what: "geometry exceeds MAX_WIRE_CAPACITY",
-            });
-        }
-        let mut detector = TdbfHhh::new(hierarchy, cfg);
-        let levels = detector.filters.len();
 
         let filters_json = req_arr(&state, "filters")?;
-        if filters_json.len() != levels {
-            return Err(SnapshotError::Mismatch(format!(
-                "snapshot has {} levels, hierarchy has {levels}",
-                filters_json.len()
-            )));
-        }
-        for (filter, cells_json) in detector.filters.iter_mut().zip(filters_json) {
+        let mut filters = Vec::with_capacity(filters_json.len());
+        for cells_json in filters_json {
             let cells_json = cells_json.as_arr().ok_or(SnapshotError::Invalid {
                 field: "filters",
                 what: "level is not an array",
             })?;
-            if cells_json.len() != filter.cell_count() {
-                return Err(SnapshotError::Invalid {
-                    field: "filters",
-                    what: "cell count does not match the geometry",
-                });
-            }
             let cells = cells_json
                 .iter()
                 .map(|c| counter_from_json(c, "filters"))
                 .collect::<Result<Vec<_>, _>>()?;
-            filter.restore_cells(cells);
+            filters.push(cells);
         }
 
         let candidates_json = req_arr(&state, "candidates")?;
-        if candidates_json.len() != levels {
-            return Err(SnapshotError::Invalid {
-                field: "candidates",
-                what: "one table per level required",
-            });
-        }
-        for (table, rows) in detector.candidates.iter_mut().zip(candidates_json) {
+        let mut candidates = Vec::with_capacity(candidates_json.len());
+        for rows in candidates_json {
             let rows = rows.as_arr().ok_or(SnapshotError::Invalid {
                 field: "candidates",
                 what: "level is not an array",
             })?;
-            if rows.len() > detector.cfg.candidates_per_level {
-                return Err(SnapshotError::Invalid {
-                    field: "candidates",
-                    what: "more candidates than capacity",
-                });
-            }
+            let mut table = Vec::with_capacity(rows.len());
             for row in rows {
-                let row = row.as_arr().ok_or(SnapshotError::Invalid {
+                let row = row.as_arr().filter(|r| r.len() == 2).ok_or(SnapshotError::Invalid {
                     field: "candidates",
                     what: "row is not a pair",
                 })?;
-                if row.len() != 2 {
-                    return Err(SnapshotError::Invalid {
-                        field: "candidates",
-                        what: "row is not a pair",
-                    });
-                }
                 let prefix = row[0]
                     .as_str()
                     .ok_or(SnapshotError::Invalid {
@@ -480,7 +426,99 @@ where
                     field: "candidates",
                     what: "timestamp is not an integer",
                 })?;
-                if table.insert(prefix, Nanos::from_nanos(ts)).is_some() {
+                table.push((prefix, Nanos::from_nanos(ts)));
+            }
+            candidates.push(table);
+        }
+
+        let total = counter_from_json(req(&state, "total")?, "total")?;
+        let observed = req_u64(&state, "observed")?;
+        Self::from_wire(hierarchy, cfg, observed, total, filters, candidates, snap.total)
+    }
+
+    /// The validated decode core both wire formats share: build a
+    /// detector from already-parsed configuration and state. Wire
+    /// input is untrusted — geometry is bounded *before* it drives any
+    /// allocation, cell counts must match the geometry, candidate
+    /// tables must fit their capacity and carry no duplicates, every
+    /// float must be finite, and the envelope total must equal the
+    /// observed weight.
+    pub(crate) fn from_wire(
+        hierarchy: H,
+        cfg: TdbfHhhConfig,
+        observed: u64,
+        total: DecayedCounter,
+        filters: Vec<Vec<DecayedCounter>>,
+        candidates: Vec<Vec<(H::Prefix, Nanos)>>,
+        envelope_total: u64,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        if !(cfg.admit_fraction > 0.0 && cfg.admit_fraction < 1.0) {
+            return Err(SnapshotError::Invalid {
+                field: "admit_fraction",
+                what: "must be in (0, 1)",
+            });
+        }
+        if cfg.cells_per_level == 0 || cfg.hashes == 0 || cfg.half_life.is_zero() {
+            return Err(SnapshotError::Invalid {
+                field: "cells_per_level",
+                what: "geometry and half-life must be non-zero",
+            });
+        }
+        if cfg.cells_per_level.saturating_mul(cfg.hashes) > crate::snapshot::MAX_WIRE_CAPACITY
+            || cfg.hashes > 64
+            || cfg.candidates_per_level > crate::snapshot::MAX_WIRE_CAPACITY
+        {
+            return Err(SnapshotError::Invalid {
+                field: "cells_per_level",
+                what: "geometry exceeds MAX_WIRE_CAPACITY",
+            });
+        }
+        let finite = |c: &DecayedCounter, field: &'static str| {
+            if c.raw().0.is_finite() {
+                Ok(())
+            } else {
+                Err(SnapshotError::Invalid { field, what: "cell value is not finite" })
+            }
+        };
+        finite(&total, "total")?;
+
+        let mut detector = TdbfHhh::new(hierarchy, cfg);
+        let levels = detector.filters.len();
+        if filters.len() != levels {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {} levels, hierarchy has {levels}",
+                filters.len()
+            )));
+        }
+        for (filter, cells) in detector.filters.iter_mut().zip(filters) {
+            if cells.len() != filter.cell_count() {
+                return Err(SnapshotError::Invalid {
+                    field: "filters",
+                    what: "cell count does not match the geometry",
+                });
+            }
+            for c in &cells {
+                finite(c, "filters")?;
+            }
+            filter.restore_cells(cells);
+        }
+
+        if candidates.len() != levels {
+            return Err(SnapshotError::Invalid {
+                field: "candidates",
+                what: "one table per level required",
+            });
+        }
+        for (table, rows) in detector.candidates.iter_mut().zip(candidates) {
+            if rows.len() > detector.cfg.candidates_per_level {
+                return Err(SnapshotError::Invalid {
+                    field: "candidates",
+                    what: "more candidates than capacity",
+                });
+            }
+            for (prefix, ts) in rows {
+                if table.insert(prefix, ts).is_some() {
                     return Err(SnapshotError::Invalid {
                         field: "candidates",
                         what: "duplicate prefix",
@@ -489,9 +527,9 @@ where
             }
         }
 
-        detector.total = counter_from_json(req(&state, "total")?, "total")?;
-        detector.observed = req_u64(&state, "observed")?;
-        if detector.observed != snap.total {
+        detector.total = total;
+        detector.observed = observed;
+        if detector.observed != envelope_total {
             return Err(SnapshotError::Invalid {
                 field: "total",
                 what: "envelope total does not equal the observed weight",

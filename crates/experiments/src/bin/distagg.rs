@@ -1,50 +1,81 @@
 //! D-scale — the distributed-aggregation scenario and its codec bench.
 //!
 //! ```text
-//! # full in-process scenario (all four kinds, K ∈ {1,2,4}):
+//! # full in-process scenario (all four kinds, both wire formats,
+//! # K ∈ {1,2,4}):
 //! cargo run --release -p hhh-experiments --bin distagg -- run [smoke|quick|paper]
 //!
-//! # one shard's snapshot JSONL on stdout (the CI cross-process smoke
+//! # one shard's snapshot stream on stdout (the CI cross-process smoke
 //! # spawns K of these and pipes them into the hhh-agg binary):
-//! cargo run --release -p hhh-experiments --bin distagg -- shard <kind> <k> <i> [scale]
+//! cargo run --release -p hhh-experiments --bin distagg -- \
+//!     shard <kind> <k> <i> [scale] [--format json|binary]
 //!
-//! # snapshot encode/decode + aggregator fold throughput:
+//! # snapshot encode/decode + aggregator fold throughput, v1 vs v2:
 //! cargo run --release -p hhh-experiments --bin distagg -- bench [scale] [out.json]
+//!
+//! # (re)generate the committed codec test corpus:
+//! cargo run --release -p hhh-experiments --bin distagg -- corpus <dir>
 //! ```
 //!
 //! `<kind>` is one of `exact`, `ss-hhh`, `rhhh`, `tdbf-hhh`.
 
+use hhh_core::WireFormat;
+use hhh_experiments::corpus::write_corpus;
 use hhh_experiments::distagg::{
-    codec_bench, codec_bench_json, codec_bench_table, distagg_table, run_distagg, shard_jsonl, Kind,
+    codec_bench, codec_bench_json, codec_bench_table, distagg_table, run_distagg, shard_stream,
+    Kind,
 };
 use hhh_experiments::Scale;
 use std::io::Write;
 
-fn scale_at(n: usize) -> Scale {
-    std::env::args().nth(n).and_then(|a| Scale::parse(&a)).unwrap_or(Scale::Smoke)
+fn scale_at(args: &[String], n: usize) -> Scale {
+    args.get(n).and_then(|a| Scale::parse(a)).unwrap_or(Scale::Smoke)
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: distagg run [scale]\n\
-         \x20      distagg shard <kind> <k> <i> [scale]\n\
+         \x20      distagg shard <kind> <k> <i> [scale] [--format json|binary]\n\
          \x20      distagg bench [scale] [out.json]\n\
+         \x20      distagg corpus <dir>\n\
          kinds: exact ss-hhh rhhh tdbf-hhh; scales: smoke quick paper (default smoke)"
     );
     std::process::exit(2)
 }
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "run".into());
+    let mut args: Vec<String> = std::env::args().collect();
+    // --format may appear anywhere; pull it out of the positionals.
+    let mut format = WireFormat::Json;
+    let mut format_given = false;
+    if let Some(pos) = args.iter().position(|a| a == "--format") {
+        if pos + 1 >= args.len() {
+            usage();
+        }
+        format = WireFormat::parse(&args[pos + 1]).unwrap_or_else(|| usage());
+        format_given = true;
+        args.drain(pos..=pos + 1);
+    }
+    let mode = args.get(1).cloned().unwrap_or_else(|| "run".into());
+    if format_given && mode != "shard" {
+        // Only `shard` emits a stream; silently accepting the flag
+        // elsewhere would let a user believe they picked a format.
+        eprintln!("distagg: --format only applies to `shard`");
+        usage();
+    }
     match mode.as_str() {
         "run" => {
-            let scale = scale_at(2);
+            let scale = scale_at(&args, 2);
             eprintln!("distributed-aggregation scenario at scale '{}'…", scale.label());
             let rows = run_distagg(scale, &[1, 2, 4]);
             print!("{}", distagg_table(&rows));
             let bad: Vec<_> = rows
                 .iter()
-                .filter(|r| !r.state_identical || (r.detector == "exact" && !r.reports_identical))
+                .filter(|r| {
+                    !r.state_identical
+                        || !r.state_identical_v2
+                        || (r.detector == "exact" && !r.reports_identical)
+                })
                 .collect();
             if !bad.is_empty() {
                 eprintln!("FAILED: {} row(s) violated the aggregation contract", bad.len());
@@ -52,7 +83,6 @@ fn main() {
             }
         }
         "shard" => {
-            let args: Vec<String> = std::env::args().collect();
             if args.len() < 5 {
                 usage();
             }
@@ -62,19 +92,24 @@ fn main() {
             if k == 0 || shard >= k {
                 usage();
             }
-            let scale = scale_at(5);
-            let bytes = shard_jsonl(kind, scale, k, shard);
+            let scale = scale_at(&args, 5);
+            let bytes = shard_stream(kind, scale, k, shard, format);
             std::io::stdout().write_all(&bytes).expect("write stdout");
         }
         "bench" => {
-            let scale = scale_at(2);
+            let scale = scale_at(&args, 2);
             eprintln!("snapshot codec bench at scale '{}'…", scale.label());
             let rows = codec_bench(scale, &[1, 2, 4, 8]);
             print!("{}", codec_bench_table(&rows));
-            if let Some(path) = std::env::args().nth(3) {
-                std::fs::write(&path, codec_bench_json(&rows, scale)).expect("write JSON output");
+            if let Some(path) = args.get(3) {
+                std::fs::write(path, codec_bench_json(&rows, scale)).expect("write JSON output");
                 eprintln!("wrote {path}");
             }
+        }
+        "corpus" => {
+            let dir = args.get(2).unwrap_or_else(|| usage());
+            write_corpus(std::path::Path::new(dir)).expect("write corpus");
+            eprintln!("wrote codec corpus under {dir}");
         }
         _ => usage(),
     }

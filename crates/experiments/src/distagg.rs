@@ -31,13 +31,13 @@ use hhh_agg::{fold_streams, read_stream, MergedPoint};
 use hhh_analysis::{fmt_f, jaccard, Table};
 use hhh_core::{
     ExactHhh, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh, TdbfHhh, TdbfHhhConfig,
-    Threshold,
+    Threshold, WireFormat,
 };
 use hhh_hierarchy::Ipv4Hierarchy;
 use hhh_nettypes::{Ipv4Prefix, Nanos, PacketRecord, TimeSpan};
 use hhh_trace::{scenarios, TraceGenerator};
 use hhh_window::{
-    shard_of, Continuous, Disjoint, JsonSnapshotSink, Pipeline, ShardedContinuous, ShardedDisjoint,
+    shard_of, Continuous, Disjoint, Pipeline, ShardedContinuous, ShardedDisjoint, SnapshotSink,
     WindowReport,
 };
 
@@ -130,7 +130,12 @@ fn probes(horizon: TimeSpan) -> Vec<Nanos> {
     (1..=horizon / DISTAGG_WINDOW).map(|i| Nanos::ZERO + DISTAGG_WINDOW * i).collect()
 }
 
-fn windowed_jsonl<D>(packets: &[PacketRecord], horizon: TimeSpan, detectors: Vec<D>) -> Vec<u8>
+fn windowed_stream<D>(
+    packets: &[PacketRecord],
+    horizon: TimeSpan,
+    detectors: Vec<D>,
+    format: WireFormat,
+) -> Vec<u8>
 where
     D: HhhDetector<Ipv4Hierarchy> + MergeableDetector + Clone + Send,
 {
@@ -142,17 +147,22 @@ where
             &[distagg_threshold()],
             |p| p.src,
         ))
-        .sink(JsonSnapshotSink::new(Vec::new()))
+        .sink(SnapshotSink::with_format(Vec::new(), format))
         .run();
     assert!(err.is_none(), "Vec<u8> writes cannot fail");
     bytes
 }
 
-fn continuous_jsonl(packets: &[PacketRecord], horizon: TimeSpan, shards: usize) -> Vec<u8> {
+fn continuous_stream(
+    packets: &[PacketRecord],
+    horizon: TimeSpan,
+    shards: usize,
+    format: WireFormat,
+) -> Vec<u8> {
     let detectors: Vec<_> = (0..shards).map(|_| TdbfHhh::new(hierarchy(), tdbf_config())).collect();
     let (bytes, err) = Pipeline::new(packets.iter().copied())
         .engine(ShardedContinuous::new(detectors, &probes(horizon), distagg_threshold(), |p| p.src))
-        .sink(JsonSnapshotSink::new(Vec::new()))
+        .sink(SnapshotSink::with_format(Vec::new(), format))
         .run();
     assert!(err.is_none(), "Vec<u8> writes cannot fail");
     bytes
@@ -160,11 +170,23 @@ fn continuous_jsonl(packets: &[PacketRecord], horizon: TimeSpan, shards: usize) 
 
 /// One shard's run of the distributed scenario: filter the trace to
 /// the keys [`shard_of`] assigns to `shard` among `k`, run the
-/// per-shard pipeline, and return its snapshot JSONL stream — exactly
-/// what that shard's *process* would write. Deterministic: the same
-/// `(kind, scale, k, shard)` always produces the same bytes.
+/// per-shard pipeline, and return its snapshot stream in `format` —
+/// exactly what that shard's *process* would write. Deterministic: the
+/// same `(kind, scale, k, shard, format)` always produces the same
+/// bytes.
+pub fn shard_stream(
+    kind: Kind,
+    scale: Scale,
+    k: usize,
+    shard: usize,
+    format: WireFormat,
+) -> Vec<u8> {
+    shard_stream_on(kind, distagg_trace(scale), scale.compare_duration(), k, shard, format)
+}
+
+/// [`shard_stream`] in the v1 JSONL format.
 pub fn shard_jsonl(kind: Kind, scale: Scale, k: usize, shard: usize) -> Vec<u8> {
-    shard_jsonl_on(kind, distagg_trace(scale), scale.compare_duration(), k, shard)
+    shard_stream(kind, scale, k, shard, WireFormat::Json)
 }
 
 /// [`shard_jsonl`] over an explicit trace (what the integration tests
@@ -176,22 +198,36 @@ pub fn shard_jsonl_on(
     k: usize,
     shard: usize,
 ) -> Vec<u8> {
+    shard_stream_on(kind, trace, horizon, k, shard, WireFormat::Json)
+}
+
+/// [`shard_stream`] over an explicit trace.
+pub fn shard_stream_on(
+    kind: Kind,
+    trace: &[PacketRecord],
+    horizon: TimeSpan,
+    k: usize,
+    shard: usize,
+    format: WireFormat,
+) -> Vec<u8> {
     assert!(shard < k, "shard index out of range");
     let packets: Vec<PacketRecord> =
         trace.iter().copied().filter(|p| shard_of(&p.src, k) == shard).collect();
     match kind {
-        Kind::Exact => windowed_jsonl(&packets, horizon, vec![ExactHhh::new(hierarchy())]),
-        Kind::SsHhh => windowed_jsonl(
+        Kind::Exact => windowed_stream(&packets, horizon, vec![ExactHhh::new(hierarchy())], format),
+        Kind::SsHhh => windowed_stream(
             &packets,
             horizon,
             vec![SpaceSavingHhh::new(hierarchy(), DISTAGG_CAPACITY)],
+            format,
         ),
-        Kind::Rhhh => windowed_jsonl(
+        Kind::Rhhh => windowed_stream(
             &packets,
             horizon,
             vec![Rhhh::new(hierarchy(), DISTAGG_CAPACITY, rhhh_seed(shard))],
+            format,
         ),
-        Kind::Tdbf => continuous_jsonl(&packets, horizon, 1),
+        Kind::Tdbf => continuous_stream(&packets, horizon, 1, format),
     }
 }
 
@@ -210,21 +246,27 @@ pub fn inprocess_sharded_jsonl_on(
     horizon: TimeSpan,
     k: usize,
 ) -> Vec<u8> {
+    let format = WireFormat::Json;
     match kind {
-        Kind::Exact => {
-            windowed_jsonl(packets, horizon, (0..k).map(|_| ExactHhh::new(hierarchy())).collect())
-        }
-        Kind::SsHhh => windowed_jsonl(
+        Kind::Exact => windowed_stream(
+            packets,
+            horizon,
+            (0..k).map(|_| ExactHhh::new(hierarchy())).collect(),
+            format,
+        ),
+        Kind::SsHhh => windowed_stream(
             packets,
             horizon,
             (0..k).map(|_| SpaceSavingHhh::new(hierarchy(), DISTAGG_CAPACITY)).collect(),
+            format,
         ),
-        Kind::Rhhh => windowed_jsonl(
+        Kind::Rhhh => windowed_stream(
             packets,
             horizon,
             (0..k).map(|s| Rhhh::new(hierarchy(), DISTAGG_CAPACITY, rhhh_seed(s))).collect(),
+            format,
         ),
-        Kind::Tdbf => continuous_jsonl(packets, horizon, k),
+        Kind::Tdbf => continuous_stream(packets, horizon, k, format),
     }
 }
 
@@ -312,6 +354,10 @@ pub struct DistAggRow {
     /// Does every folded state re-serialize byte-identically to the
     /// in-process K-shard run's merged state line?
     pub state_identical: bool,
+    /// Same check with the shard streams written as **v2 binary
+    /// frames**: folding binary streams must land on the identical
+    /// merged state (compared after transcoding to JSON).
+    pub state_identical_v2: bool,
     /// Mean per-point Jaccard similarity of the merged HHH sets
     /// against the unsharded single-process run.
     pub jaccard_vs_single: f64,
@@ -349,19 +395,41 @@ pub fn run_distagg_on(
             let reference =
                 read_stream(0, inprocess_sharded_jsonl_on(kind, trace, horizon, k).as_slice())
                     .expect("in-process stream parses");
+            let state_of = |r: &hhh_core::WireSnapshot| {
+                r.to_stamped().expect("reference state decodes").snapshot.to_json()
+            };
             let state_identical = reference.len() == points.len()
-                && points.iter().zip(&reference).all(|(p, r)| {
-                    p.at == r.at && p.detector.snapshot().to_json() == r.snapshot.to_json()
+                && points
+                    .iter()
+                    .zip(&reference)
+                    .all(|(p, r)| p.at == r.at() && p.detector.snapshot().to_json() == state_of(r));
+
+            // The same fold over v2 binary shard streams must land on
+            // the identical merged state (the wire-format v2 parity
+            // contract).
+            let bin_streams: Vec<Vec<u8>> = (0..k)
+                .map(|i| shard_stream_on(kind, trace, horizon, k, i, WireFormat::Binary))
+                .collect();
+            let bin_points = fold_shard_streams(&bin_streams).expect("binary shard streams fold");
+            let state_identical_v2 = reference.len() == bin_points.len()
+                && bin_points.iter().zip(&reference).all(|(p, r)| {
+                    p.at == r.at()
+                        && p.start == r.start()
+                        && p.detector.snapshot().to_json() == state_of(r)
                 });
 
-            // Report agreement vs the unsharded run.
+            // Report agreement vs the unsharded run — including the
+            // window bounds, which state records now carry.
             assert_eq!(points.len(), single.len(), "report point counts differ");
             let mut jac_sum = 0.0;
             let mut identical = true;
             for (i, (p, s)) in points.iter().zip(&single).enumerate() {
                 let merged = p.report(i as u64, distagg_threshold());
                 jac_sum += jaccard(&merged.prefix_set(), &s.prefix_set());
-                identical &= merged.hhhs == s.hhhs && merged.total == s.total;
+                identical &= merged.hhhs == s.hhhs
+                    && merged.total == s.total
+                    && merged.start == s.start
+                    && merged.end == s.end;
             }
             rows.push(DistAggRow {
                 detector: kind.label(),
@@ -370,6 +438,7 @@ pub fn run_distagg_on(
                 points: points.len(),
                 folded,
                 state_identical,
+                state_identical_v2,
                 jaccard_vs_single: jac_sum / points.len().max(1) as f64,
                 reports_identical: identical,
             });
@@ -386,6 +455,7 @@ pub fn distagg_table(rows: &[DistAggRow]) -> String {
         "points",
         "folded",
         "state==inproc",
+        "state==inproc(v2)",
         "jaccard-vs-1proc",
         "reports==1proc",
     ]);
@@ -396,6 +466,7 @@ pub fn distagg_table(rows: &[DistAggRow]) -> String {
             r.points.to_string(),
             r.folded.to_string(),
             r.state_identical.to_string(),
+            r.state_identical_v2.to_string(),
             fmt_f(r.jaccard_vs_single, 4),
             if r.detector == "exact" { r.reports_identical.to_string() } else { "-".to_string() },
         ]);
@@ -412,17 +483,22 @@ pub fn distagg_table(rows: &[DistAggRow]) -> String {
 pub struct CodecBenchRow {
     /// Detector kind label.
     pub detector: &'static str,
-    /// `encode` (state → JSON line), `decode` (JSON line → restored
-    /// detector), or `fold/K` (parse + fold K shard streams).
+    /// `encode` (state → wire), `decode` (wire → restored detector),
+    /// or `fold/K` (parse + fold K shard streams).
     pub op: String,
+    /// Wire format the operation ran in (`json` = v1, `binary` = v2).
+    pub format: &'static str,
     /// Streams folded (1 for encode/decode).
     pub shards: usize,
-    /// Operations (snapshots encoded/decoded, or state lines folded).
+    /// Operations (snapshots encoded/decoded, or state records folded).
     pub items: u64,
     /// Wall-clock seconds.
     pub seconds: f64,
     /// Items per second.
     pub per_sec: f64,
+    /// Wire bytes of one encoded snapshot (encode/decode rows), or of
+    /// all folded input streams (fold rows).
+    pub bytes: u64,
 }
 
 fn timed<T>(mut f: impl FnMut() -> T) -> (f64, u64) {
@@ -481,27 +557,50 @@ fn sample_snapshot(kind: Kind, packets: &[PacketRecord]) -> hhh_core::DetectorSn
     .expect("all four kinds serialize")
 }
 
-/// Measure snapshot encode/decode cost per detector and aggregator
-/// fold throughput (state lines per second) at each shard count in
-/// `ks` — the numbers `BENCH_pr3.json` commits.
+/// Measure snapshot encode/decode cost per detector **in both wire
+/// formats** and aggregator fold throughput (state records per second)
+/// at each shard count in `ks` — the numbers `BENCH_pr4.json` commits.
+/// The PR-4 acceptance line is the `decode` pair for `tdbf-hhh`: v2
+/// must beat v1 by ≥ 10×.
 pub fn codec_bench(scale: Scale, ks: &[usize]) -> Vec<CodecBenchRow> {
     let h = hierarchy();
     let packets = distagg_trace(scale);
     let mut rows = Vec::new();
+    let window_start = Nanos::ZERO;
+    let window_end = Nanos::ZERO + DISTAGG_WINDOW;
     for &kind in &KINDS {
         let snap = sample_snapshot(kind, packets);
         let line = snap.to_json();
+        let frame_bytes = snap.to_frame(window_start, window_end).expect("transcodes").encode();
 
+        // encode: detector state -> wire bytes. v1 renders JSON; v2
+        // additionally packs the rendered body into a frame (encode is
+        // not the tier bottleneck; decode/fold is).
         let (s, n) = timed(|| snap.to_json());
         rows.push(CodecBenchRow {
             detector: kind.label(),
             op: "encode".into(),
+            format: "json",
             shards: 1,
             items: n,
             seconds: s,
             per_sec: n as f64 / s,
+            bytes: line.len() as u64 + 1,
+        });
+        let (s, n) =
+            timed(|| snap.to_frame(window_start, window_end).expect("transcodes").encode());
+        rows.push(CodecBenchRow {
+            detector: kind.label(),
+            op: "encode".into(),
+            format: "binary",
+            shards: 1,
+            items: n,
+            seconds: s,
+            per_sec: n as f64 / s,
+            bytes: frame_bytes.len() as u64,
         });
 
+        // decode: wire bytes -> restored live detector.
         let (s, n) = timed(|| {
             let parsed = hhh_core::DetectorSnapshot::from_json(&line).expect("parses");
             hhh_core::RestoredDetector::from_snapshot(&h, &parsed).expect("restores")
@@ -509,56 +608,81 @@ pub fn codec_bench(scale: Scale, ks: &[usize]) -> Vec<CodecBenchRow> {
         rows.push(CodecBenchRow {
             detector: kind.label(),
             op: "decode".into(),
+            format: "json",
             shards: 1,
             items: n,
             seconds: s,
             per_sec: n as f64 / s,
+            bytes: line.len() as u64 + 1,
+        });
+        let (s, n) = timed(|| {
+            let (frame, _) = hhh_core::SnapshotFrame::decode(&frame_bytes).expect("frame decodes");
+            hhh_core::RestoredDetector::from_frame(&h, &frame).expect("restores")
+        });
+        rows.push(CodecBenchRow {
+            detector: kind.label(),
+            op: "decode".into(),
+            format: "binary",
+            shards: 1,
+            items: n,
+            seconds: s,
+            per_sec: n as f64 / s,
+            bytes: frame_bytes.len() as u64,
         });
 
+        // fold/K: parse + fold K whole shard streams, per format.
         for &k in ks {
-            let streams: Vec<Vec<u8>> = (0..k).map(|i| shard_jsonl(kind, scale, k, i)).collect();
-            let lines: u64 = streams
-                .iter()
-                .map(|b| read_stream(0, b.as_slice()).expect("stream parses").len() as u64)
-                .sum();
-            let start = std::time::Instant::now();
-            let mut reps: u64 = 0;
-            loop {
-                std::hint::black_box(fold_shard_streams(&streams).expect("folds"));
-                reps += 1;
-                if start.elapsed().as_secs_f64() >= 0.2 || reps >= 100 {
-                    break;
+            for format in [WireFormat::Json, WireFormat::Binary] {
+                let streams: Vec<Vec<u8>> =
+                    (0..k).map(|i| shard_stream(kind, scale, k, i, format)).collect();
+                let records: u64 = streams
+                    .iter()
+                    .map(|b| read_stream(0, b.as_slice()).expect("stream parses").len() as u64)
+                    .sum();
+                let wire_bytes: u64 = streams.iter().map(|b| b.len() as u64).sum();
+                let start = std::time::Instant::now();
+                let mut reps: u64 = 0;
+                loop {
+                    std::hint::black_box(fold_shard_streams(&streams).expect("folds"));
+                    reps += 1;
+                    if start.elapsed().as_secs_f64() >= 0.2 || reps >= 100 {
+                        break;
+                    }
                 }
+                let s = start.elapsed().as_secs_f64();
+                rows.push(CodecBenchRow {
+                    detector: kind.label(),
+                    op: format!("fold/{k}"),
+                    format: format.label(),
+                    shards: k,
+                    items: records * reps,
+                    seconds: s,
+                    per_sec: (records * reps) as f64 / s,
+                    bytes: wire_bytes,
+                });
             }
-            let s = start.elapsed().as_secs_f64();
-            rows.push(CodecBenchRow {
-                detector: kind.label(),
-                op: format!("fold/{k}"),
-                shards: k,
-                items: lines * reps,
-                seconds: s,
-                per_sec: (lines * reps) as f64 / s,
-            });
         }
     }
     rows
 }
 
-/// Render bench rows as JSON lines for `BENCH_pr3.json`.
+/// Render bench rows as JSON lines for `BENCH_pr4.json`.
 pub fn codec_bench_json(rows: &[CodecBenchRow], scale: Scale) -> String {
     let mut out = String::new();
     for r in rows {
         out.push_str(&format!(
             "{{\"experiment\": \"snapshot_codec\", \"scale\": \"{}\", \"detector\": \"{}\", \
-             \"op\": \"{}\", \"shards\": {}, \"items\": {}, \"seconds\": {:.6}, \
-             \"per_sec\": {:.1}}}\n",
+             \"op\": \"{}\", \"format\": \"{}\", \"shards\": {}, \"items\": {}, \
+             \"seconds\": {:.6}, \"per_sec\": {:.1}, \"bytes\": {}}}\n",
             scale.label(),
             r.detector,
             r.op,
+            r.format,
             r.shards,
             r.items,
             r.seconds,
             r.per_sec,
+            r.bytes,
         ));
     }
     out
@@ -566,15 +690,19 @@ pub fn codec_bench_json(rows: &[CodecBenchRow], scale: Scale) -> String {
 
 /// Render bench rows as an aligned text table.
 pub fn codec_bench_table(rows: &[CodecBenchRow]) -> String {
-    let mut t = Table::new(vec!["detector", "op", "shards", "items", "seconds", "items/s"]);
+    let mut t = Table::new(vec![
+        "detector", "op", "format", "shards", "items", "seconds", "items/s", "bytes",
+    ]);
     for r in rows {
         t.row(vec![
             r.detector.to_string(),
             r.op.clone(),
+            r.format.to_string(),
             r.shards.to_string(),
             r.items.to_string(),
             fmt_f(r.seconds, 3),
             format!("{:.0}", r.per_sec),
+            r.bytes.to_string(),
         ]);
     }
     t.render()

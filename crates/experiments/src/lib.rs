@@ -23,6 +23,7 @@
 
 pub mod ablations;
 pub mod compare;
+pub mod corpus;
 pub mod distagg;
 pub mod fig2;
 pub mod fig3;

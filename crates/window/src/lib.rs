@@ -29,9 +29,10 @@
 //!   cross-process aggregation as a pipeline stage (the `hhh-agg`
 //!   crate drives the same fold over many streams).
 //! * **Sinks** ([`sink`]) — collect to `Vec`s ([`CollectSink`]),
-//!   stream into a closure ([`FnSink`]), or write JSON lines including
-//!   serialized merged-detector state for cross-process aggregation
-//!   ([`JsonSnapshotSink`]).
+//!   stream into a closure ([`FnSink`]), or write the snapshot wire
+//!   stream — serialized merged-detector state for cross-process
+//!   aggregation — in either format ([`SnapshotSink`]): v1 JSON lines
+//!   or v2 binary frames (the hot aggregation path).
 //!
 //! The pre-pipeline `run_*` drivers survive in [`driver`] as thin
 //! deprecated wrappers (the module docs there have the migration
@@ -70,9 +71,12 @@ pub use sharded::{
     shard_of, with_continuous_shards, with_shards, with_sliding_shards, ContinuousShardPool,
     ShardPool, SlidingShardPool, DEFAULT_BATCH,
 };
-pub use sink::{render_report_line, CollectSink, FnSink, JsonSnapshotSink, ReportSink};
+pub use sink::{
+    render_report_line, CollectSink, FnSink, JsonSnapshotSink, ReportSink, SnapshotSink,
+};
 pub use source::{
-    bounded, ChannelSource, PacketFeeder, PacketSource, SnapshotSource, Source, DEFAULT_CHUNK,
+    bounded, ChannelSource, PacketFeeder, PacketSource, SnapshotSource, Source, StreamRecord,
+    DEFAULT_CHUNK,
 };
 
 #[allow(deprecated)]

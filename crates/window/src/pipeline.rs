@@ -50,7 +50,7 @@ use crate::sink::{CollectSink, ReportSink};
 use crate::source::Source;
 use hhh_core::{
     discount_bottom_up, ContinuousDetector, HhhDetector, MergeableDetector, RestoredDetector,
-    StampedSnapshot, Threshold,
+    Threshold, WireSnapshot,
 };
 use hhh_hierarchy::Hierarchy;
 use hhh_nettypes::{Measure, Nanos, PacketRecord, TimeSpan};
@@ -71,7 +71,7 @@ pub struct Unset;
 
 impl<S: Source> Pipeline<S, Unset, Unset> {
     /// Start a pipeline from a source (any `Iterator` qualifies — of
-    /// `PacketRecord`s for the packet engines, of [`StampedSnapshot`]s
+    /// `PacketRecord`s for the packet engines, of [`WireSnapshot`]s
     /// for [`FoldSnapshots`]).
     pub fn new(source: S) -> Self {
         Pipeline { source, engine: Unset, sink: Unset }
@@ -118,7 +118,7 @@ where
 /// the source.
 pub trait Engine {
     /// The item type the engine consumes — [`PacketRecord`] for every
-    /// packet engine, [`StampedSnapshot`] for [`FoldSnapshots`]. The
+    /// packet engine, [`WireSnapshot`] for [`FoldSnapshots`]. The
     /// pipeline's source must yield exactly this type.
     type In;
 
@@ -836,7 +836,7 @@ where
                     );
                 }
                 if let Some(snap) = merged.snapshot() {
-                    sink.state(end, &snap);
+                    sink.state(Nanos::ZERO + window * cur, end, &snap);
                 }
                 pool.reset();
             };
@@ -1003,7 +1003,7 @@ where
                         );
                     }
                     if let Some(snap) = merged.snapshot() {
-                        sink.state(end, &snap);
+                        sink.state(Nanos::ZERO + step * position, end, &snap);
                     }
                 }
                 pool.advance();
@@ -1144,7 +1144,9 @@ where
                     },
                 );
                 if let Some(snap) = merged.snapshot() {
-                    sink.state(probes[next], &snap);
+                    // Windowless probe: the state covers "now"; start
+                    // and report point coincide.
+                    sink.state(probes[next], probes[next], &snap);
                 }
             };
 
@@ -1173,22 +1175,24 @@ where
 // ---------------------------------------------------------------------
 
 /// Replay a pipeline from **previously captured detector snapshots**
-/// instead of packets: the engine consumes [`StampedSnapshot`]s (what a
-/// [`SnapshotSource`](crate::SnapshotSource) yields from a JSONL
-/// stream), folds every snapshot taken at the same report point into
-/// one restored detector with the round-trip codec, and emits the
-/// merged report — the in-process face of cross-process aggregation
-/// (`hhh-agg` drives the same fold over many streams at once).
+/// instead of packets: the engine consumes [`WireSnapshot`]s (what a
+/// [`SnapshotSource`](crate::SnapshotSource) yields from a stream in
+/// either wire format), folds every snapshot taken at the same report
+/// point into one restored detector with the round-trip codec, and
+/// emits the merged report — the in-process face of cross-process
+/// aggregation (`hhh-agg` drives the same fold over many streams at
+/// once). Binary (v2) snapshots decode straight into detectors, no
+/// JSON detour.
 ///
 /// Snapshots must arrive grouped by report point (`at`
 /// non-decreasing — **enforced**: an out-of-order snapshot panics, so
 /// concatenating shard streams cannot silently masquerade as merging
-/// them), which any stream a `JsonSnapshotSink` wrote already
-/// satisfies; interleave K shard streams by merging them sorted by
-/// `at` (or let `hhh-agg` do it). One series per threshold.
-/// Report `index` is the 0-based report-point ordinal; `start` ==
-/// `end` == the report point, because a snapshot does not carry its
-/// window geometry.
+/// them), which any stream a `SnapshotSink` wrote already satisfies;
+/// interleave K shard streams by merging them sorted by `at` (or let
+/// `hhh-agg` do it). One series per threshold. Report `index` is the
+/// 0-based report-point ordinal; `start`/`end` are the window bounds
+/// the snapshots carry (`start == end == at` only for windowless
+/// probes and pre-geometry v1 streams).
 ///
 /// Folding applies the in-process merge algebra, so mixed kinds or
 /// mismatched configurations at one report point are programmer error —
@@ -1216,14 +1220,14 @@ where
     H::Item: FromStr,
     H::Prefix: FromStr,
 {
-    type In = StampedSnapshot;
+    type In = WireSnapshot;
     type Prefix = H::Prefix;
 
     fn series(&self) -> usize {
         self.thresholds.len()
     }
 
-    fn run<S: Source<Item = StampedSnapshot>, K: ReportSink<H::Prefix>>(
+    fn run<S: Source<Item = WireSnapshot>, K: ReportSink<H::Prefix>>(
         self,
         source: S,
         sink: &mut K,
@@ -1236,15 +1240,16 @@ where
         let mut ordinals: Vec<(&'static str, u64)> = Vec::new();
         // All the folds in flight at the current report point, one per
         // detector kind in first-seen order — a stream may carry
-        // several kinds side by side (hhh-agg accepts the same).
+        // several kinds side by side (hhh-agg accepts the same). Each
+        // fold keeps the window start its first snapshot carried.
         let mut at: Option<Nanos> = None;
-        let mut folds: Vec<RestoredDetector<H>> = Vec::new();
+        let mut folds: Vec<(Nanos, RestoredDetector<H>)> = Vec::new();
 
         let flush = |ordinals: &mut Vec<(&'static str, u64)>,
                      at: Nanos,
-                     folds: &mut Vec<RestoredDetector<H>>,
+                     folds: &mut Vec<(Nanos, RestoredDetector<H>)>,
                      sink: &mut K| {
-            for merged in folds.drain(..) {
+            for (start, merged) in folds.drain(..) {
                 let kind = merged.kind();
                 let index = match ordinals.iter_mut().find(|(k, _)| *k == kind) {
                     Some((_, n)) => n,
@@ -1258,40 +1263,41 @@ where
                         ti,
                         WindowReport {
                             index: *index,
-                            start: at,
+                            start,
                             end: at,
                             total: merged.total(),
                             hhhs: merged.report(at, *t),
                         },
                     );
                 }
-                sink.state(at, &merged.snapshot());
+                sink.state(start, at, &merged.snapshot());
                 *index += 1;
             }
         };
 
-        for_each_item(source, |s: StampedSnapshot| {
-            if at != Some(s.at) {
+        for_each_item(source, |s: WireSnapshot| {
+            if at != Some(s.at()) {
                 if let Some(prev) = at {
                     assert!(
-                        s.at > prev,
+                        s.at() > prev,
                         "snapshots must arrive grouped by report point: {} after {prev} \
                          (concatenated shard streams? interleave them sorted by at, \
                          or use hhh-agg)",
-                        s.at,
+                        s.at(),
                     );
                     flush(&mut ordinals, prev, &mut folds, sink);
                 }
-                at = Some(s.at);
+                at = Some(s.at());
             }
-            match folds.iter_mut().find(|f| f.kind() == s.snapshot.kind) {
-                Some(merged) => merged
-                    .fold(hierarchy, &s.snapshot)
-                    .unwrap_or_else(|e| panic!("snapshot fold at {}: {e}", s.at)),
-                None => folds.push(
-                    RestoredDetector::from_snapshot(hierarchy, &s.snapshot)
-                        .unwrap_or_else(|e| panic!("snapshot restore at {}: {e}", s.at)),
-                ),
+            match folds.iter_mut().find(|(_, f)| f.kind() == s.kind()) {
+                Some((_, merged)) => merged
+                    .fold_wire(hierarchy, &s)
+                    .unwrap_or_else(|e| panic!("snapshot fold at {}: {e}", s.at())),
+                None => folds.push((
+                    s.start(),
+                    RestoredDetector::from_wire(hierarchy, &s)
+                        .unwrap_or_else(|e| panic!("snapshot restore at {}: {e}", s.at())),
+                )),
             }
             true
         });

@@ -13,12 +13,16 @@
 //! Three sinks cover the common shapes: [`CollectSink`] gathers
 //! everything into `Vec`s (what the legacy `run_*` drivers returned),
 //! any `FnMut(usize, WindowReport<P>)` closure streams reports as they
-//! appear, and [`JsonSnapshotSink`] writes JSON lines — including
+//! appear, and [`SnapshotSink`] writes the snapshot stream — including
 //! serialized [`DetectorSnapshot`]s from the sharded engines, the wire
-//! format for cross-process aggregation.
+//! format for cross-process aggregation — in either encoding:
+//! [`WireFormat::Json`] (v1 JSON lines) or [`WireFormat::Binary`] (v2
+//! frames, the hot aggregation path). `JsonSnapshotSink` survives as
+//! an alias for the JSON-defaulting constructor.
 
 use crate::report::WindowReport;
-use hhh_core::snapshot::{json_string, DetectorSnapshot, StampedSnapshot};
+use hhh_core::snapshot::{json_string, DetectorSnapshot, SnapshotFrame, StampedSnapshot};
+use hhh_core::WireFormat;
 use hhh_nettypes::Nanos;
 use std::fmt::Display;
 use std::io::Write;
@@ -40,12 +44,13 @@ pub trait ReportSink<P> {
     /// in window order.
     fn accept(&mut self, series: usize, report: WindowReport<P>);
 
-    /// Serialized merged detector state at a report point (`at`). Only
-    /// engines whose detector opts into
+    /// Serialized merged detector state at a report point (`at`),
+    /// covering the window starting at `start` (`start == at` for
+    /// windowless probes). Only engines whose detector opts into
     /// [`MergeableDetector::snapshot`](hhh_core::MergeableDetector::snapshot)
     /// call this; the default ignores it.
-    fn state(&mut self, at: Nanos, snapshot: &DetectorSnapshot) {
-        let _ = (at, snapshot);
+    fn state(&mut self, start: Nanos, at: Nanos, snapshot: &DetectorSnapshot) {
+        let _ = (start, at, snapshot);
     }
 
     /// The stream is complete; produce the output.
@@ -107,31 +112,75 @@ impl<P, F: FnMut(usize, WindowReport<P>)> ReportSink<P> for FnSink<F> {
     fn finish(self) -> Self::Output {}
 }
 
-/// Write pipeline output as JSON lines: one `report` object per window
-/// report and one `state` object per detector snapshot. The `state`
-/// lines carry the full serialized [`MergeableDetector`] state of the
-/// (merged) detector at each report point — ship them to another
-/// process and fold states with the same merge algebra the in-process
-/// pipeline uses.
+/// Write pipeline output as a snapshot stream in either wire format.
 ///
-/// Line shapes:
+/// **JSON (v1)** — one `report` object per window report and one
+/// `state` object per detector snapshot, as JSON lines. The `state`
+/// lines carry the full serialized [`MergeableDetector`] state of the
+/// (merged) detector at each report point plus the report window's
+/// geometry — ship them to another process and fold states with the
+/// same merge algebra the in-process pipeline uses:
 ///
 /// ```json
 /// {"type":"report","series":0,"index":3,"start_ns":…,"end_ns":…,"total":…,
 ///  "hhhs":[{"prefix":"10.0.0.0/8","level":3,"estimate":…,"discounted":…},…]}
-/// {"type":"state","at_ns":…,"snapshot":{"kind":"exact","total":…,"state":{…}}}
+/// {"type":"state","at_ns":…,"start_ns":…,"snapshot":{"kind":"exact","total":…,"state":{…}}}
 /// ```
+///
+/// **Binary (v2)** — the same records as length-prefixed binary frames
+/// (`hhh_core::snapshot::binary`): states as per-kind binary bodies,
+/// reports as frames carrying the verbatim JSON line. Orders of
+/// magnitude cheaper to decode on the aggregation tier; transcodes
+/// back to v1 byte-identically.
+///
+/// [`MergeableDetector`]: hhh_core::MergeableDetector
 #[derive(Debug)]
-pub struct JsonSnapshotSink<W: Write> {
+pub struct SnapshotSink<W: Write> {
     out: W,
-    /// First I/O error, if any (subsequent writes are skipped).
+    format: WireFormat,
+    /// First I/O (or encode) error, if any (subsequent writes are
+    /// skipped).
     error: Option<std::io::Error>,
 }
 
-impl<W: Write> JsonSnapshotSink<W> {
-    /// Wrap a writer (`Vec<u8>`, `BufWriter<File>`, a socket…).
+/// Backward-compatible name for the JSON-writing [`SnapshotSink`]
+/// (`SnapshotSink::new` defaults to JSON).
+pub type JsonSnapshotSink<W> = SnapshotSink<W>;
+
+impl<W: Write> SnapshotSink<W> {
+    /// Wrap a writer (`Vec<u8>`, `BufWriter<File>`, a socket…) in a
+    /// **JSON (v1)** sink.
     pub fn new(out: W) -> Self {
-        JsonSnapshotSink { out, error: None }
+        Self::with_format(out, WireFormat::Json)
+    }
+
+    /// A JSON (v1) sink.
+    pub fn json(out: W) -> Self {
+        Self::with_format(out, WireFormat::Json)
+    }
+
+    /// A binary (v2) sink.
+    pub fn binary(out: W) -> Self {
+        Self::with_format(out, WireFormat::Binary)
+    }
+
+    /// A sink writing the given wire format.
+    pub fn with_format(out: W, format: WireFormat) -> Self {
+        SnapshotSink { out, format, error: None }
+    }
+
+    /// The wire format this sink writes.
+    pub fn format(&self) -> WireFormat {
+        self.format
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(bytes) {
+            self.error = Some(e);
+        }
     }
 
     fn write_line(&mut self, line: &str) {
@@ -146,9 +195,10 @@ impl<W: Write> JsonSnapshotSink<W> {
 }
 
 /// Render one `{"type":"report",…}` JSON line (no trailing newline) —
-/// the report shape of the snapshot JSONL stream. Shared between
-/// [`JsonSnapshotSink`] and the `hhh-agg` aggregator, so a merged
-/// report diffs byte-for-byte against an in-process one.
+/// the report shape of the snapshot stream. Shared between
+/// [`SnapshotSink`] and the `hhh-agg` aggregator, so a merged report
+/// diffs byte-for-byte against an in-process one (binary streams carry
+/// this very line inside their report frames).
 pub fn render_report_line<P: Display>(series: usize, report: &WindowReport<P>) -> String {
     let mut hhhs = String::from("[");
     for (i, r) in report.hhhs.iter().enumerate() {
@@ -176,20 +226,39 @@ pub fn render_report_line<P: Display>(series: usize, report: &WindowReport<P>) -
     )
 }
 
-impl<P: Display, W: Write> ReportSink<P> for JsonSnapshotSink<W> {
+impl<P: Display, W: Write> ReportSink<P> for SnapshotSink<W> {
     /// The writer plus the first I/O error encountered, if any.
     type Output = (W, Option<std::io::Error>);
 
     fn accept(&mut self, series: usize, report: WindowReport<P>) {
         let line = render_report_line(series, &report);
-        self.write_line(&line);
+        match self.format {
+            WireFormat::Json => self.write_line(&line),
+            WireFormat::Binary => {
+                let frame = SnapshotFrame::report(&line, report.start, report.end, report.total);
+                self.write_bytes(&frame.encode());
+            }
+        }
     }
 
-    fn state(&mut self, at: Nanos, snapshot: &DetectorSnapshot) {
-        // One renderer for the state line shape, borrowed — no clone of
-        // the (possibly megabyte) state body on the hot sink path.
-        let line = StampedSnapshot::render(at, snapshot);
-        self.write_line(&line);
+    fn state(&mut self, start: Nanos, at: Nanos, snapshot: &DetectorSnapshot) {
+        match self.format {
+            WireFormat::Json => {
+                // One renderer for the state line shape, borrowed — no
+                // clone of the (possibly megabyte) state body on the
+                // hot sink path.
+                let line = StampedSnapshot::render(start, at, snapshot);
+                self.write_line(&line);
+            }
+            WireFormat::Binary => match snapshot.to_frame(start, at) {
+                Ok(frame) => self.write_bytes(&frame.encode()),
+                Err(e) if self.error.is_none() => {
+                    self.error =
+                        Some(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));
+                }
+                Err(_) => {}
+            },
+        }
     }
 
     fn finish(mut self) -> Self::Output {
@@ -223,6 +292,14 @@ mod tests {
         }
     }
 
+    fn snap() -> DetectorSnapshot {
+        DetectorSnapshot {
+            kind: "exact".into(),
+            total: 300,
+            state_json: "{\"counts\":[[\"7\",300]]}".into(),
+        }
+    }
+
     #[test]
     fn collect_sink_preserves_series_shape() {
         let mut sink: CollectSink<u32> = CollectSink::new();
@@ -252,15 +329,10 @@ mod tests {
 
     #[test]
     fn json_sink_writes_report_and_state_lines() {
-        let mut sink = JsonSnapshotSink::new(Vec::new());
+        let mut sink = SnapshotSink::new(Vec::new());
         ReportSink::<u32>::begin(&mut sink, 1);
         sink.accept(0, report(2));
-        let snap = DetectorSnapshot {
-            kind: "exact".into(),
-            total: 300,
-            state_json: "{\"counts\":[[\"7\",300]]}".into(),
-        };
-        ReportSink::<u32>::state(&mut sink, Nanos::from_secs(3), &snap);
+        ReportSink::<u32>::state(&mut sink, Nanos::from_secs(2), Nanos::from_secs(3), &snap());
         let (bytes, err) = ReportSink::<u32>::finish(sink);
         assert!(err.is_none());
         let text = String::from_utf8(bytes).unwrap();
@@ -268,7 +340,29 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("{\"type\":\"report\",\"series\":0,\"index\":2,"));
         assert!(lines[0].contains("\"prefix\":\"7\""));
-        assert!(lines[1].starts_with("{\"type\":\"state\",\"at_ns\":3000000000,"));
+        assert!(lines[1]
+            .starts_with("{\"type\":\"state\",\"at_ns\":3000000000,\"start_ns\":2000000000,"));
         assert!(lines[1].contains("\"kind\":\"exact\""));
+    }
+
+    #[test]
+    fn binary_sink_writes_decodable_frames() {
+        let mut sink = SnapshotSink::binary(Vec::new());
+        ReportSink::<u32>::begin(&mut sink, 1);
+        sink.accept(0, report(2));
+        ReportSink::<u32>::state(&mut sink, Nanos::from_secs(2), Nanos::from_secs(3), &snap());
+        let (bytes, err) = ReportSink::<u32>::finish(sink);
+        assert!(err.is_none());
+
+        let (rep, used) = SnapshotFrame::decode(&bytes).unwrap();
+        assert_eq!(rep.kind, "report");
+        assert_eq!(rep.report_line().unwrap(), render_report_line(0, &report(2)));
+        let (state, used2) = SnapshotFrame::decode(&bytes[used..]).unwrap();
+        assert_eq!(used + used2, bytes.len());
+        assert_eq!(state.kind, "exact");
+        assert_eq!(state.start, Nanos::from_secs(2));
+        assert_eq!(state.at, Nanos::from_secs(3));
+        // The state frame transcodes back to the identical snapshot.
+        assert_eq!(DetectorSnapshot::from_frame(&state).unwrap(), snap());
     }
 }

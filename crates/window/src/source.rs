@@ -7,8 +7,8 @@
 //! swappable. A source carries its item type: packet engines consume
 //! `Source<Item = PacketRecord>` ([`PacketSource`] is the alias bound),
 //! and the snapshot-fold engine consumes
-//! `Source<Item = StampedSnapshot>` — previously captured detector
-//! states replayed off the wire.
+//! `Source<Item = WireSnapshot>` — previously captured detector
+//! states replayed off the wire (v1 JSON lines or v2 binary frames).
 //!
 //! * any `Iterator` is a source of its items (blanket impl) —
 //!   generated traces, slices, adapters;
@@ -16,9 +16,10 @@
 //!   channel, so threads, sockets, or a pcap tail can push packets into
 //!   a running pipeline with back-pressure: when the analysis side
 //!   falls behind, `send` blocks instead of buffering unboundedly;
-//! * [`SnapshotSource`] reads a snapshot JSONL stream (what
-//!   [`JsonSnapshotSink`](crate::JsonSnapshotSink) wrote, or what
-//!   `hhh-agg` re-emitted) and yields the [`StampedSnapshot`]s in it;
+//! * [`SnapshotSource`] reads a snapshot stream in either wire format
+//!   (what a [`SnapshotSink`](crate::SnapshotSink) wrote, or what
+//!   `hhh-agg` re-emitted), sniffing v1 JSONL vs v2 binary frames off
+//!   the first byte, and yields the [`WireSnapshot`]s in it;
 //! * `hhh-pcap` provides chunked file sources (`PcapSource`,
 //!   `NativeSource`) over the capture formats.
 //!
@@ -27,7 +28,8 @@
 //! sources must yield snapshots in non-decreasing `at` order (JSONL
 //! files written by a pipeline already are).
 
-use hhh_core::{parse_state_line, SnapshotError, StampedSnapshot};
+use hhh_core::snapshot::binary::{self, SnapshotFrame, FRAME_HEADER_LEN, REPORT_KIND};
+use hhh_core::{parse_state_line, SnapshotError, WireFormat, WireSnapshot};
 use hhh_nettypes::PacketRecord;
 use std::io::BufRead;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -206,24 +208,40 @@ impl Source for ChannelSource {
     }
 }
 
-/// A [`Source`] of [`StampedSnapshot`]s read line-by-line from a
-/// snapshot JSONL stream — the decode side of the wire format
-/// [`JsonSnapshotSink`](crate::JsonSnapshotSink) writes.
+/// One record of a snapshot stream, either wire format.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamRecord {
+    /// A report record: the `{"type":"report",…}` JSON line it renders
+    /// as (binary streams carry the line verbatim inside a frame).
+    Report(String),
+    /// A state record (a v1 line or a v2 frame, undecoded).
+    State(WireSnapshot),
+}
+
+/// A [`Source`] of [`WireSnapshot`]s read from a snapshot stream —
+/// the decode side of what [`SnapshotSink`](crate::SnapshotSink)
+/// writes, in **either** wire format.
 ///
-/// `report` lines riding in the same stream are skipped; `state` lines
-/// are decoded into [`StampedSnapshot`]s. The stream ends at
-/// end-of-input **or at the first malformed line**: engines cannot
-/// carry errors, so the error is kept for inspection via
-/// [`error`](Self::error) — strict callers (like `hhh-agg`) check it
-/// after the run, the way the pcap sources expose torn captures.
+/// The format is sniffed from the first byte: v1 JSONL starts with
+/// `{` (or whitespace), v2 binary with the frame magic. `report`
+/// records riding in the same stream are skipped by the iterator
+/// (use [`next_record`](Self::next_record) to see them, e.g. for
+/// transcoding); `state` records are yielded undecoded, so the fold
+/// path can go binary body → detector without a JSON detour. The
+/// stream ends at end-of-input **or at the first malformed record**:
+/// engines cannot carry errors, so the error is kept for inspection
+/// via [`error`](Self::error) — strict callers (like `hhh-agg`) check
+/// it after the run, the way the pcap sources expose torn captures.
 ///
 /// Feed the pipeline `&mut source` (every `&mut Iterator` is itself an
 /// iterator, hence a source) so `error()` is still reachable after the
 /// run.
 pub struct SnapshotSource<R: BufRead> {
     input: R,
+    format: Option<WireFormat>,
     line: String,
-    /// 1-based line number of the line being read.
+    /// 1-based record ordinal (line number for JSONL, frame ordinal
+    /// for binary).
     line_no: usize,
     error: Option<(usize, SnapshotError)>,
 }
@@ -232,24 +250,97 @@ impl<R: BufRead> SnapshotSource<R> {
     /// Read snapshots from a buffered reader (a file, stdin, a
     /// `&[u8]`…).
     pub fn new(input: R) -> Self {
-        SnapshotSource { input, line: String::new(), line_no: 0, error: None }
+        SnapshotSource { input, format: None, line: String::new(), line_no: 0, error: None }
     }
 
-    /// The first decode error, with its 1-based line number — `None`
-    /// after a clean end-of-stream. I/O errors surface as
+    /// The first decode error, with its 1-based record number —
+    /// `None` after a clean end-of-stream. I/O errors surface as
     /// [`SnapshotError::Parse`] at offset 0.
     pub fn error(&self) -> Option<&(usize, SnapshotError)> {
         self.error.as_ref()
     }
-}
 
-impl<R: BufRead> Iterator for SnapshotSource<R> {
-    type Item = StampedSnapshot;
+    /// The sniffed wire format — `None` until the first record (or
+    /// byte) has been read.
+    pub fn format(&self) -> Option<WireFormat> {
+        self.format
+    }
 
-    fn next(&mut self) -> Option<StampedSnapshot> {
+    /// 1-based ordinal of the most recently read record (line number
+    /// for JSONL, frame ordinal for binary) — what error reports
+    /// should point at.
+    pub fn record_no(&self) -> usize {
+        self.line_no
+    }
+
+    fn fail(&mut self, e: SnapshotError) -> Option<StreamRecord> {
+        self.error = Some((self.line_no.max(1), e));
+        None
+    }
+
+    /// Sniff the stream format off the first buffered byte. Anything
+    /// that cannot start a JSON line is handed to the frame decoder,
+    /// which reports garbage as a bad-magic error.
+    fn sniff(&mut self) -> Result<Option<WireFormat>, SnapshotError> {
+        let buf = self
+            .input
+            .fill_buf()
+            .map_err(|_| SnapshotError::Parse { offset: 0, what: "I/O error" })?;
+        Ok(match buf.first() {
+            None => None, // empty stream
+            Some(b'{' | b' ' | b'\t' | b'\r' | b'\n') => Some(WireFormat::Json),
+            Some(_) => Some(WireFormat::Binary),
+        })
+    }
+
+    /// Read up to `buf.len()` bytes, tolerating short reads. Returns
+    /// the bytes actually read (0 = clean end of stream).
+    fn read_fully(&mut self, buf: &mut [u8]) -> Result<usize, SnapshotError> {
+        let mut got = 0;
+        while got < buf.len() {
+            match self.input.read(&mut buf[got..]) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(SnapshotError::Parse { offset: got, what: "I/O error" }),
+            }
+        }
+        Ok(got)
+    }
+
+    /// The next record of the stream (reports included), or `None` at
+    /// end-of-stream / first error.
+    pub fn next_record(&mut self) -> Option<StreamRecord> {
+        self.next_impl(true)
+    }
+
+    /// `want_reports = false` is the fold path: report records are
+    /// still validated but skipped without materializing their line
+    /// (no per-report allocation on the hot iterator).
+    fn next_impl(&mut self, want_reports: bool) -> Option<StreamRecord> {
         if self.error.is_some() {
             return None;
         }
+        if self.format.is_none() {
+            match self.sniff() {
+                Ok(None) => return None,
+                Ok(some) => self.format = some,
+                Err(e) => return self.fail(e),
+            }
+        }
+        match self.format.expect("sniffed above") {
+            WireFormat::Json => self.next_json_record(want_reports),
+            WireFormat::Binary => loop {
+                match self.next_frame_record(want_reports) {
+                    Some(None) => continue, // skipped report frame
+                    Some(Some(record)) => return Some(record),
+                    None => return None,
+                }
+            },
+        }
+    }
+
+    fn next_json_record(&mut self, want_reports: bool) -> Option<StreamRecord> {
         loop {
             self.line.clear();
             self.line_no += 1;
@@ -257,9 +348,7 @@ impl<R: BufRead> Iterator for SnapshotSource<R> {
                 Ok(0) => return None,
                 Ok(_) => {}
                 Err(_) => {
-                    self.error =
-                        Some((self.line_no, SnapshotError::Parse { offset: 0, what: "I/O error" }));
-                    return None;
+                    return self.fail(SnapshotError::Parse { offset: 0, what: "I/O error" });
                 }
             }
             let text = self.line.trim();
@@ -267,12 +356,84 @@ impl<R: BufRead> Iterator for SnapshotSource<R> {
                 continue;
             }
             match parse_state_line(text) {
-                Ok(Some(s)) => return Some(s),
-                Ok(None) => continue, // report line in the same stream
+                Ok(Some(s)) => return Some(StreamRecord::State(WireSnapshot::Json(s))),
+                Ok(None) if want_reports => return Some(StreamRecord::Report(text.to_string())),
+                Ok(None) => continue, // report line, fold path: no copy
                 Err(e) => {
-                    self.error = Some((self.line_no, e));
+                    let line_no = self.line_no;
+                    self.error = Some((line_no, e));
                     return None;
                 }
+            }
+        }
+    }
+
+    /// One frame: `None` = end/error, `Some(None)` = validated report
+    /// frame the caller did not ask for.
+    fn next_frame_record(&mut self, want_reports: bool) -> Option<Option<StreamRecord>> {
+        self.line_no += 1;
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        match self.read_fully(&mut header) {
+            Ok(0) => return None, // clean end at a frame boundary
+            Ok(n) if n < FRAME_HEADER_LEN => {
+                self.fail(SnapshotError::Parse { offset: n, what: "truncated frame" });
+                return None;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                self.fail(e);
+                return None;
+            }
+        }
+        let len = match binary::payload_len(&header) {
+            Ok(len) => len,
+            Err(e) => {
+                self.fail(e);
+                return None;
+            }
+        };
+        let mut payload = vec![0u8; len];
+        match self.read_fully(&mut payload) {
+            Ok(n) if n < len => {
+                self.fail(SnapshotError::Parse { offset: n, what: "truncated frame" });
+                return None;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                self.fail(e);
+                return None;
+            }
+        }
+        let frame = match SnapshotFrame::decode_payload(&payload) {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.fail(e);
+                return None;
+            }
+        };
+        if frame.kind == REPORT_KIND {
+            match frame.report_line() {
+                Ok(line) if want_reports => Some(Some(StreamRecord::Report(line.to_string()))),
+                Ok(_) => Some(None), // validated, fold path: no copy
+                Err(e) => {
+                    self.fail(e);
+                    None
+                }
+            }
+        } else {
+            Some(Some(StreamRecord::State(WireSnapshot::Binary(frame))))
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for SnapshotSource<R> {
+    type Item = WireSnapshot;
+
+    fn next(&mut self) -> Option<WireSnapshot> {
+        loop {
+            match self.next_impl(false)? {
+                StreamRecord::State(s) => return Some(s),
+                StreamRecord::Report(_) => continue, // unreachable with want_reports=false
             }
         }
     }
@@ -364,16 +525,19 @@ mod tests {
 {\"type\":\"state\",\"at_ns\":1000000000,\"snapshot\":{\"v\":1,\"kind\":\"exact\",\"total\":5,\
 \"state\":{\"counts\":[[\"7\",5]]}}}\n\
 \n\
-{\"type\":\"state\",\"at_ns\":2000000000,\"snapshot\":{\"v\":1,\"kind\":\"exact\",\"total\":9,\
-\"state\":{\"counts\":[[\"7\",9]]}}}\n";
+{\"type\":\"state\",\"at_ns\":2000000000,\"start_ns\":1000000000,\"snapshot\":{\"v\":1,\
+\"kind\":\"exact\",\"total\":9,\"state\":{\"counts\":[[\"7\",9]]}}}\n";
         let mut src = SnapshotSource::new(text.as_bytes());
-        let got: Vec<StampedSnapshot> = (&mut src).collect();
+        let got: Vec<WireSnapshot> = (&mut src).collect();
         assert!(src.error().is_none());
+        assert_eq!(src.format(), Some(WireFormat::Json));
         assert_eq!(got.len(), 2);
-        assert_eq!(got[0].at, Nanos::from_secs(1));
-        assert_eq!(got[0].snapshot.total, 5);
-        assert_eq!(got[1].at, Nanos::from_secs(2));
-        assert_eq!(got[1].snapshot.kind, "exact");
+        assert_eq!(got[0].at(), Nanos::from_secs(1));
+        assert_eq!(got[0].start(), Nanos::from_secs(1), "missing start_ns defaults to at");
+        assert_eq!(got[0].total(), 5);
+        assert_eq!(got[1].at(), Nanos::from_secs(2));
+        assert_eq!(got[1].start(), Nanos::from_secs(1));
+        assert_eq!(got[1].kind(), "exact");
     }
 
     #[test]
@@ -384,5 +548,55 @@ mod tests {
         let (line, err) = src.error().expect("garbage must be reported");
         assert_eq!(*line, 2);
         assert!(matches!(err, SnapshotError::Parse { .. }));
+    }
+
+    #[test]
+    fn snapshot_source_sniffs_and_reads_binary_frames() {
+        use hhh_core::DetectorSnapshot;
+        let snap = DetectorSnapshot {
+            kind: "exact".into(),
+            total: 5,
+            state_json: "{\"counts\":[[\"7\",5]]}".into(),
+        };
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(
+            &SnapshotFrame::report(
+                "{\"type\":\"report\",\"series\":0}",
+                Nanos::ZERO,
+                Nanos::ZERO,
+                5,
+            )
+            .encode(),
+        );
+        bytes.extend_from_slice(&snap.to_frame(Nanos::ZERO, Nanos::from_secs(1)).unwrap().encode());
+        let mut src = SnapshotSource::new(bytes.as_slice());
+        let got: Vec<WireSnapshot> = (&mut src).collect();
+        assert!(src.error().is_none(), "{:?}", src.error());
+        assert_eq!(src.format(), Some(WireFormat::Binary));
+        assert_eq!(got.len(), 1, "report frames are skipped by the iterator");
+        assert_eq!(got[0].kind(), "exact");
+        assert_eq!(got[0].at(), Nanos::from_secs(1));
+        assert_eq!(got[0].to_stamped().unwrap().snapshot, snap);
+    }
+
+    #[test]
+    fn snapshot_source_reports_binary_garbage_and_truncation() {
+        // Garbage bytes sniff as binary and fail with a bad magic.
+        let mut src = SnapshotSource::new(&b"nonsense bytes"[..]);
+        assert_eq!((&mut src).count(), 0);
+        let (_, err) = src.error().expect("garbage must be reported");
+        assert_eq!(*err, SnapshotError::Parse { offset: 0, what: "bad frame magic" });
+
+        // A frame cut mid-payload is a truncation error, not a hang.
+        let snap = hhh_core::DetectorSnapshot {
+            kind: "exact".into(),
+            total: 5,
+            state_json: "{\"counts\":[[\"7\",5]]}".into(),
+        };
+        let full = snap.to_frame(Nanos::ZERO, Nanos::ZERO).unwrap().encode();
+        let mut src = SnapshotSource::new(&full[..full.len() - 3]);
+        assert_eq!((&mut src).count(), 0);
+        let (_, err) = src.error().expect("truncation must be reported");
+        assert!(matches!(err, SnapshotError::Parse { what: "truncated frame", .. }), "{err:?}");
     }
 }

@@ -9,13 +9,17 @@
 //!    they match exactly, because exact-detector merges are lossless
 //!    and the wire codec round-trips states bit-for-bit;
 //! 3. replay one stream through [`SnapshotSource`] → [`FoldSnapshots`]
-//!    to show snapshots are first-class pipeline input.
+//!    to show snapshots are first-class pipeline input;
+//! 4. re-run one shard with the **binary (v2) wire format** — the
+//!    `--format binary` path — and show that the smaller frames fold
+//!    to the byte-identical merged state.
 //!
 //! Run with: `cargo run --release --example dist_agg`
 
 use hidden_hhh::agg::{fold_streams, read_stream};
+use hidden_hhh::core::WireFormat;
 use hidden_hhh::prelude::*;
-use hidden_hhh::window::{shard_of, FoldSnapshots, SnapshotSource};
+use hidden_hhh::window::{shard_of, FoldSnapshots, SnapshotSink, SnapshotSource};
 
 fn main() {
     let h = Ipv4Hierarchy::bytes();
@@ -27,7 +31,7 @@ fn main() {
     println!("trace: {} packets over {horizon}", packets.len());
 
     // --- 1. two independent shard pipelines, as two processes would run.
-    let shard_stream = |shard: usize, k: usize| -> Vec<u8> {
+    let shard_stream = |shard: usize, k: usize, format: WireFormat| -> Vec<u8> {
         let mine = packets.iter().copied().filter(|p| shard_of(&p.src, k) == shard);
         let (bytes, err) = Pipeline::new(mine)
             .engine(ShardedDisjoint::new(
@@ -37,12 +41,12 @@ fn main() {
                 &[threshold],
                 |p| p.src,
             ))
-            .sink(JsonSnapshotSink::new(Vec::new()))
+            .sink(SnapshotSink::with_format(Vec::new(), format))
             .run();
         assert!(err.is_none());
         bytes
     };
-    let streams = [shard_stream(0, 2), shard_stream(1, 2)];
+    let streams = [shard_stream(0, 2, WireFormat::Json), shard_stream(1, 2, WireFormat::Json)];
 
     // --- 2. aggregate the two streams, compare with one process.
     let parsed: Vec<_> = streams
@@ -80,4 +84,30 @@ fn main() {
         "\nreplayed shard 0's stream through FoldSnapshots: {} report points",
         replayed[0].len()
     );
+
+    // --- 4. the binary (v2) wire format: `hhh-agg --format binary`
+    // territory. The same shard written as length-prefixed frames is
+    // smaller on the wire and decodes straight into detectors — and
+    // folding a binary shard with a JSON shard lands on the identical
+    // merged state (SnapshotSource sniffs the format per stream).
+    let shard0_v2 = shard_stream(0, 2, WireFormat::Binary);
+    println!(
+        "\nshard 0 wire size: {} B as v1 JSONL, {} B as v2 frames ({:.1}x smaller)",
+        streams[0].len(),
+        shard0_v2.len(),
+        streams[0].len() as f64 / shard0_v2.len() as f64
+    );
+    let mixed = vec![
+        read_stream(0, shard0_v2.as_slice()).expect("binary stream parses"),
+        read_stream(1, streams[1].as_slice()).expect("json stream parses"),
+    ];
+    let merged_mixed = fold_streams(&h, &mixed).expect("mixed-format shards fold");
+    for (a, b) in merged.iter().zip(&merged_mixed) {
+        assert_eq!(
+            a.detector.snapshot().to_json(),
+            b.detector.snapshot().to_json(),
+            "binary and JSON shards must fold to the identical merged state"
+        );
+    }
+    println!("binary + JSON shards folded to the byte-identical merged state");
 }

@@ -92,6 +92,42 @@ fn all_kinds_fold_to_the_inprocess_state_at_k3() {
 }
 
 #[test]
+fn folded_reports_reconstruct_exact_window_bounds() {
+    // The v1 gap this PR closes: state records used to carry only
+    // `at_ns`, so a folded report could not know its window start.
+    // With `start_ns` in both formats, the aggregator's report lines
+    // must carry exactly the window bounds the in-process run printed.
+    use hhh_agg::fold_streams;
+    use hhh_core::WireFormat;
+    use hhh_experiments::distagg::{distagg_threshold, shard_stream_on, single_process_reports_on};
+
+    let horizon = TimeSpan::from_secs(15);
+    let trace: Vec<PacketRecord> =
+        TraceGenerator::new(scenarios::day_trace(0, horizon), scenarios::day_seed(0)).collect();
+    let inproc = single_process_reports_on(Kind::Exact, &trace, horizon);
+
+    for format in [WireFormat::Json, WireFormat::Binary] {
+        let streams: Vec<Vec<u8>> =
+            (0..2).map(|i| shard_stream_on(Kind::Exact, &trace, horizon, 2, i, format)).collect();
+        let parsed: Vec<_> = streams
+            .iter()
+            .enumerate()
+            .map(|(i, b)| hhh_agg::read_stream(i, b.as_slice()).expect("stream parses"))
+            .collect();
+        let points = fold_streams(&Ipv4Hierarchy::bytes(), &parsed).expect("folds");
+        assert_eq!(points.len(), inproc.len());
+        for (i, (p, reference)) in points.iter().zip(&inproc).enumerate() {
+            let merged = p.report(i as u64, distagg_threshold());
+            assert_eq!(
+                (merged.start, merged.end),
+                (reference.start, reference.end),
+                "{format:?}: folded window bounds diverged at point {i}"
+            );
+        }
+    }
+}
+
+#[test]
 fn shard_streams_are_deterministic() {
     // The cross-process smoke diffs against a committed golden, so a
     // shard's bytes must never depend on run order or environment.
@@ -120,8 +156,11 @@ fn aggregator_output_feeds_another_tier() {
         let points = fold_shard_streams(subset).expect("tier fold");
         let mut out = Vec::new();
         for p in &points {
-            let stamped =
-                hidden_hhh::core::StampedSnapshot { at: p.at, snapshot: p.detector.snapshot() };
+            let stamped = hidden_hhh::core::StampedSnapshot {
+                at: p.at,
+                start: p.start,
+                snapshot: p.detector.snapshot(),
+            };
             out.extend_from_slice(stamped.to_json().as_bytes());
             out.push(b'\n');
         }

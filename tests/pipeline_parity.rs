@@ -288,15 +288,15 @@ fn channel_source_equals_iterator_source() {
 fn sharded_engine_forwards_merged_snapshots() {
     struct Capture {
         reports: Vec<WindowReport<Ipv4Prefix>>,
-        states: Vec<(Nanos, DetectorSnapshot)>,
+        states: Vec<(Nanos, Nanos, DetectorSnapshot)>,
     }
     impl ReportSink<Ipv4Prefix> for Capture {
         type Output = Self;
         fn accept(&mut self, _series: usize, report: WindowReport<Ipv4Prefix>) {
             self.reports.push(report);
         }
-        fn state(&mut self, at: Nanos, snapshot: &DetectorSnapshot) {
-            self.states.push((at, snapshot.clone()));
+        fn state(&mut self, start: Nanos, at: Nanos, snapshot: &DetectorSnapshot) {
+            self.states.push((start, at, snapshot.clone()));
         }
         fn finish(self) -> Self {
             self
@@ -319,8 +319,9 @@ fn sharded_engine_forwards_merged_snapshots() {
         .run();
     assert_eq!(out.reports.len(), 3);
     assert_eq!(out.states.len(), 3, "one merged snapshot per report point");
-    for (report, (at, snap)) in out.reports.iter().zip(&out.states) {
+    for (report, (start, at, snap)) in out.reports.iter().zip(&out.states) {
         assert_eq!(*at, report.end);
+        assert_eq!(*start, report.start, "state records carry the window start");
         assert_eq!(snap.kind, "exact");
         assert_eq!(snap.total, report.total, "snapshot covers exactly the window's traffic");
         assert!(snap.state_json.starts_with("{\"counts\":["));

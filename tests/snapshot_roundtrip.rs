@@ -161,6 +161,123 @@ proptest! {
     }
 }
 
+/// Build one detector of each kind from a seeded stream and return its
+/// (JSON-bodied) snapshot — the differential-test corpus generator.
+fn arbitrary_snapshots(seed: u64, n: usize) -> Vec<DetectorSnapshot> {
+    let items = stream(n, seed);
+    let mut exact = ExactHhh::new(h());
+    let mut ss = SpaceSavingHhh::new(h(), 64);
+    let mut rhhh = Rhhh::new(h(), 64, seed ^ 0x5EED);
+    let mut tdbf = TdbfHhh::new(
+        h(),
+        TdbfHhhConfig {
+            cells_per_level: 512,
+            hashes: 2,
+            candidates_per_level: 32,
+            half_life: TimeSpan::from_secs(2),
+            ..TdbfHhhConfig::default()
+        },
+    );
+    HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut exact, &items);
+    HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut ss, &items);
+    HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut rhhh, &items);
+    for (i, &(item, w)) in items.iter().enumerate() {
+        ContinuousDetector::<Ipv4Hierarchy>::observe(
+            &mut tdbf,
+            Nanos::from_micros(10 * i as u64),
+            item,
+            w,
+        );
+    }
+    vec![
+        exact.snapshot().unwrap(),
+        ss.snapshot().unwrap(),
+        rhhh.snapshot().unwrap(),
+        MergeableDetector::snapshot(&tdbf).unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Differential contract #1: for arbitrary detector states of
+    /// every kind, `from_frame(to_frame(s)) == s` — the binary body is
+    /// a lossless re-encoding of the canonical JSON body.
+    #[test]
+    fn frame_transcode_roundtrips_every_kind(seed in 0u64..1_000_000, n in 200usize..1500) {
+        use hidden_hhh::core::snapshot::binary::SnapshotFrame;
+        let (start, at) = (Nanos::from_secs(1), Nanos::from_secs(6));
+        for snap in arbitrary_snapshots(seed, n) {
+            let frame = snap.to_frame(start, at).expect("own snapshots transcode");
+            prop_assert_eq!(frame.start, start);
+            prop_assert_eq!(frame.at, at);
+            let back = DetectorSnapshot::from_frame(&frame).expect("own frames decode");
+            prop_assert_eq!(&back, &snap, "from_frame(to_frame(s)) == s for kind {}", snap.kind);
+            // And the serialized frame itself round-trips bytewise.
+            let bytes = frame.encode();
+            let (again, used) = SnapshotFrame::decode(&bytes).expect("own frames re-decode");
+            prop_assert_eq!(used, bytes.len());
+            prop_assert_eq!(again, frame);
+        }
+    }
+
+    /// Differential contract #2: a v2-restored fold is bit-identical
+    /// to the v1-restored fold — the binary decode path lands on
+    /// exactly the detector the JSON path builds, merge included.
+    #[test]
+    fn binary_restored_folds_match_json_restored_folds(
+        seed in 0u64..1_000_000,
+        n in 200usize..1500,
+    ) {
+        use hidden_hhh::core::WireSnapshot;
+        let hier = h();
+        let (start, at) = (Nanos::ZERO, Nanos::from_secs(5));
+        let a_snaps = arbitrary_snapshots(seed, n);
+        let b_snaps = arbitrary_snapshots(seed ^ 0xB0B, n / 2);
+        for (a, b) in a_snaps.iter().zip(&b_snaps) {
+            let mut via_json =
+                RestoredDetector::from_snapshot(&hier, a).expect("v1 restores");
+            via_json.fold(&hier, b).expect("v1 folds");
+
+            let wire_a = WireSnapshot::Binary(a.to_frame(start, at).unwrap());
+            let wire_b = WireSnapshot::Binary(b.to_frame(start, at).unwrap());
+            let mut via_frame =
+                RestoredDetector::from_wire(&hier, &wire_a).expect("v2 restores");
+            via_frame.fold_wire(&hier, &wire_b).expect("v2 folds");
+
+            prop_assert_eq!(
+                via_frame.snapshot().to_json(),
+                via_json.snapshot().to_json(),
+                "kind {}: v2-restored fold must be bit-identical to the v1-restored fold",
+                a.kind
+            );
+        }
+    }
+
+    /// Differential contract #3: transcoding a whole state line
+    /// JSON → binary → JSON is byte-identical to the original line
+    /// (geometry included), for every kind.
+    #[test]
+    fn state_line_transcode_is_byte_identical(seed in 0u64..1_000_000, n in 200usize..1000) {
+        use hidden_hhh::agg::transcode;
+        use hidden_hhh::core::{StampedSnapshot, WireFormat};
+        for (i, snap) in arbitrary_snapshots(seed, n).into_iter().enumerate() {
+            let line = StampedSnapshot {
+                at: Nanos::from_secs(5 + i as u64),
+                start: Nanos::from_secs(i as u64),
+                snapshot: snap,
+            }
+            .to_json()
+                + "\n";
+            let mut v2 = Vec::new();
+            transcode(0, line.as_bytes(), &mut v2, WireFormat::Binary).expect("v1 -> v2");
+            let mut back = Vec::new();
+            transcode(0, v2.as_slice(), &mut back, WireFormat::Json).expect("v2 -> v1");
+            prop_assert_eq!(String::from_utf8(back).unwrap(), line);
+        }
+    }
+}
+
 #[test]
 fn exact_retract_inverts_merge_structurally() {
     let (sa, sb) = split2(&stream(4000, 99));
@@ -250,12 +367,16 @@ fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
 #[test]
 #[should_panic(expected = "grouped by report point")]
 fn fold_snapshots_rejects_out_of_order_streams() {
-    use hidden_hhh::core::StampedSnapshot;
+    use hidden_hhh::core::{StampedSnapshot, WireSnapshot};
     use hidden_hhh::window::{FoldSnapshots, Pipeline};
     let snap = |at_secs: u64, items: &[(u32, u64)]| {
         let mut d = ExactHhh::new(h());
         HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut d, items);
-        StampedSnapshot { at: Nanos::from_secs(at_secs), snapshot: d.snapshot().unwrap() }
+        WireSnapshot::Json(StampedSnapshot {
+            at: Nanos::from_secs(at_secs),
+            start: Nanos::from_secs(at_secs),
+            snapshot: d.snapshot().unwrap(),
+        })
     };
     // Concatenated shard streams: at goes 1, 2, then back to 1 —
     // folding this as-is would report per-shard numbers as "merged".
@@ -269,7 +390,7 @@ fn fold_snapshots_rejects_out_of_order_streams() {
 
 #[test]
 fn fold_snapshots_handles_two_kinds_side_by_side() {
-    use hidden_hhh::core::StampedSnapshot;
+    use hidden_hhh::core::{StampedSnapshot, WireSnapshot};
     use hidden_hhh::window::{FoldSnapshots, Pipeline};
     // One operator process running two detector kinds writes both
     // state lines per report point — each kind folds and reports
@@ -277,12 +398,20 @@ fn fold_snapshots_handles_two_kinds_side_by_side() {
     let exact_snap = |at_secs: u64, items: &[(u32, u64)]| {
         let mut d = ExactHhh::new(h());
         HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut d, items);
-        StampedSnapshot { at: Nanos::from_secs(at_secs), snapshot: d.snapshot().unwrap() }
+        WireSnapshot::Json(StampedSnapshot {
+            at: Nanos::from_secs(at_secs),
+            start: Nanos::from_secs(at_secs),
+            snapshot: d.snapshot().unwrap(),
+        })
     };
     let ss_snap = |at_secs: u64, items: &[(u32, u64)]| {
         let mut d = SpaceSavingHhh::new(h(), 64);
         HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut d, items);
-        StampedSnapshot { at: Nanos::from_secs(at_secs), snapshot: d.snapshot().unwrap() }
+        WireSnapshot::Json(StampedSnapshot {
+            at: Nanos::from_secs(at_secs),
+            start: Nanos::from_secs(at_secs),
+            snapshot: d.snapshot().unwrap(),
+        })
     };
     let snaps = vec![
         exact_snap(1, &[(7, 10)]),
