@@ -12,9 +12,9 @@
 //! ```text
 //!   shard process 0 ─┐
 //!   shard process 1 ─┼─ snapshot stream ──► hhh-agg ──► merged reports
-//!   shard process K ─┘   (v1 JSONL or          │
-//!                          v2 frames)          └──► merged state stream
-//!                                                   (feeds another tier)
+//!   shard process K ─┘   (files, pipes, or      │
+//!                         TCP via --listen)     └──► merged state stream
+//!                                                    (feeds another tier)
 //! ```
 //!
 //! Folding is the in-process merge algebra lifted onto the wire —
@@ -29,25 +29,36 @@
 //! byte-identically, the aggregator's `--emit-state` output is itself
 //! a valid input stream: aggregation tiers compose — in either format.
 //!
-//! The library API is four calls: [`read_stream`] (stream →
-//! [`WireSnapshot`]s), [`fold_streams`] (group + fold),
-//! [`render_merged`] / [`write_merged`] (merged points → output in a
-//! chosen format), and [`transcode`] (re-encode a whole stream v1 ⇄
-//! v2, byte-identically round-trippable). The `hhh-agg` binary wraps
-//! them for files and pipes; the `FoldSnapshots` engine in
-//! `hhh-window` wraps the same fold as a `Pipeline` stage for a single
-//! stream.
+//! The library API is a handful of calls: [`read_stream`] (file/pipe
+//! stream → [`WireSnapshot`]s), [`collect_socket_streams`] (N TCP
+//! shard connections → streams in shard order, via the
+//! `SnapshotTransport` layer in `hhh-window`), [`fold_streams`]
+//! (group + fold), [`render_merged`] / [`write_merged`] (merged
+//! points → output in a chosen format; binary states re-encode
+//! **natively**, no JSON), and [`transcode`] (re-encode a whole
+//! stream v1 ⇄ v2, byte-identically round-trippable). The `hhh-agg`
+//! binary wraps them for files, pipes, and `--listen ADDR` sockets —
+//! a socket fold is byte-identical to the file fold of the same
+//! shards; the `FoldSnapshots` engine in `hhh-window` wraps the same
+//! fold as a `Pipeline` stage for a single stream. Failures are typed
+//! end to end: [`AggError`] `source()`-chains to [`SnapshotError`] or
+//! [`TransportError`] (and through it to the underlying
+//! [`std::io::Error`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use hhh_core::snapshot::binary::SnapshotFrame;
+use hhh_core::snapshot::binary::REPORT_KIND;
 use hhh_core::{
     RestoredDetector, SnapshotError, StampedSnapshot, Threshold, WireFormat, WireSnapshot,
 };
 use hhh_hierarchy::Hierarchy;
 use hhh_nettypes::Nanos;
-use hhh_window::{render_report_line, SnapshotSource, StreamRecord, WindowReport};
+use hhh_window::{
+    render_report_line, SnapshotSource, StreamRecord, TcpFrameListener, TransportError,
+    WindowReport, HELLO_KIND,
+};
 use std::collections::BTreeMap;
 use std::fmt::{self, Display};
 use std::io::{BufRead, Write};
@@ -76,6 +87,8 @@ pub enum AggError {
     },
     /// An input file could not be opened, read, or written.
     Io(String),
+    /// A snapshot transport (socket listener, frame channel) failed.
+    Transport(TransportError),
 }
 
 impl Display for AggError {
@@ -86,11 +99,31 @@ impl Display for AggError {
             }
             AggError::Fold { at, error } => write!(f, "fold at {at}: {error}"),
             AggError::Io(what) => write!(f, "I/O: {what}"),
+            AggError::Transport(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for AggError {}
+impl std::error::Error for AggError {
+    /// Chain to the typed cause: decode and fold failures source the
+    /// [`SnapshotError`], transport failures the [`TransportError`]
+    /// (which itself sources the underlying [`std::io::Error`]) — so
+    /// `hhh-agg: transport accept failed: …` callers can walk all the
+    /// way down to the I/O kind.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AggError::Decode { error, .. } | AggError::Fold { error, .. } => Some(error),
+            AggError::Transport(e) => Some(e),
+            AggError::Io(_) => None,
+        }
+    }
+}
+
+impl From<TransportError> for AggError {
+    fn from(e: TransportError) -> Self {
+        AggError::Transport(e)
+    }
+}
 
 /// Read one snapshot stream (either wire format, sniffed) to the end:
 /// state records decode to [`WireSnapshot`]s, report records are
@@ -103,6 +136,34 @@ pub fn read_stream<R: BufRead>(stream: usize, input: R) -> Result<Vec<WireSnapsh
         return Err(AggError::Decode { stream, line: *line, error: error.clone() });
     }
     Ok(snapshots)
+}
+
+/// Receive N shard streams **over TCP** and hand them back in fold
+/// order — the socket counterpart of calling [`read_stream`] on N
+/// files.
+///
+/// Blocks until `expect` distinct shard connections (identified by
+/// their hello frames) have delivered their whole stream, then returns
+/// the streams **sorted by shard id** — the same deterministic order a
+/// file-based invocation lists its arguments in, which is what makes
+/// `hhh-agg --listen` output byte-identical to the file-based fold of
+/// the same shards. Report and hello frames are dropped (folding never
+/// needs them); state frames stay undecoded until the fold.
+pub fn collect_socket_streams(
+    listener: TcpFrameListener,
+    expect: usize,
+) -> Result<Vec<Vec<WireSnapshot>>, AggError> {
+    let streams = listener.collect_streams(expect)?;
+    Ok(streams
+        .into_iter()
+        .map(|s| {
+            s.frames
+                .into_iter()
+                .filter(|f| f.kind != REPORT_KIND && f.kind != HELLO_KIND)
+                .map(WireSnapshot::Binary)
+                .collect()
+        })
+        .collect())
 }
 
 /// One report point after aggregation: every snapshot taken at `at`
@@ -269,9 +330,11 @@ where
             out.write_all(&frame.encode()).map_err(io)?;
         }
         if emit_state {
+            // Native re-encode (`FrameEncode`): the folded detector
+            // writes its v2 body directly — same bytes as the
+            // snapshot()-then-transcode path, none of its JSON cost.
             let frame = point
                 .detector
-                .snapshot()
                 .to_frame(point.start, point.at)
                 .map_err(|error| AggError::Fold { at: point.at, error })?;
             out.write_all(&frame.encode()).map_err(io)?;

@@ -4,6 +4,7 @@
 //! ```text
 //! hhh-agg [--hierarchy ipv4-bytes|ipv4-bits] [--threshold PCT]...
 //!         [--emit-state] [--format json|binary] [--transcode]
+//!         [--listen ADDR --expect K [--listen-timeout SECS]]
 //!         [FILE|- ...]
 //! ```
 //!
@@ -14,24 +15,38 @@
 //! another aggregation tier) go to stdout in the `--format` encoding
 //! (default `json`).
 //!
+//! With `--listen ADDR`, the streams arrive **over TCP** instead of
+//! files: the aggregator accepts shard connections (each opens with a
+//! hello frame naming its shard id) until `--expect K` streams have
+//! completed, folds them in shard-id order, and emits the merged
+//! output — byte-identical to folding the same shards' stream files.
+//!
 //! `--transcode` skips folding entirely: every input stream is
 //! re-encoded record-for-record into `--format` on stdout — v1 → v2 →
 //! v1 reproduces the original bytes.
 
-use hhh_agg::{fold_streams, read_stream, transcode, write_merged, AggError};
+use hhh_agg::{
+    collect_socket_streams, fold_streams, read_stream, transcode, write_merged, AggError,
+};
 use hhh_core::{Threshold, WireFormat};
 use hhh_hierarchy::Ipv4Hierarchy;
+use hhh_window::TcpFrameListener;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage: hhh-agg [--hierarchy ipv4-bytes|ipv4-bits] [--threshold PCT]... \
-                     [--emit-state] [--format json|binary] [--transcode] [FILE|- ...]\n\
+                     [--emit-state] [--format json|binary] [--transcode]\n\
+                     \x20              [--listen ADDR --expect K [--listen-timeout SECS]] \
+                     [FILE|- ...]\n\
                      \n\
                      Folds N snapshot streams (written by hhh-window's SnapshotSink in either\n\
                      wire format, or by hhh-agg --emit-state itself) into merged HHH reports\n\
                      on stdout; --format picks the output encoding. With --transcode, streams\n\
-                     are re-encoded into --format instead of folded.\n\
+                     are re-encoded into --format instead of folded. With --listen, streams\n\
+                     arrive as v2 frames over TCP from --expect shard connections instead of\n\
+                     files, and fold in shard-id order (byte-identical to the file fold).\n\
                      Defaults: --hierarchy ipv4-bytes, --threshold 1, --format json, stdin as\n\
                      the only stream.";
 
@@ -41,6 +56,9 @@ struct Args {
     emit_state: bool,
     format: WireFormat,
     transcode: bool,
+    listen: Option<String>,
+    expect: Option<usize>,
+    listen_timeout: Option<Duration>,
     inputs: Vec<String>,
 }
 
@@ -51,6 +69,9 @@ fn parse_args() -> Result<Args, String> {
         emit_state: false,
         format: WireFormat::Json,
         transcode: false,
+        listen: None,
+        expect: None,
+        listen_timeout: None,
         inputs: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
@@ -80,6 +101,23 @@ fn parse_args() -> Result<Args, String> {
                     WireFormat::parse(&v).ok_or(format!("unknown format `{v}` (json|binary)"))?;
             }
             "--transcode" => args.transcode = true,
+            "--listen" => {
+                args.listen = Some(argv.next().ok_or("--listen needs an address")?);
+            }
+            "--expect" => {
+                let v = argv.next().ok_or("--expect needs a stream count")?;
+                let n: usize = v.parse().map_err(|_| format!("--expect `{v}` is not a count"))?;
+                if n == 0 {
+                    return Err("--expect must be at least 1".to_string());
+                }
+                args.expect = Some(n);
+            }
+            "--listen-timeout" => {
+                let v = argv.next().ok_or("--listen-timeout needs seconds")?;
+                let secs: u64 =
+                    v.parse().map_err(|_| format!("--listen-timeout `{v}` is not seconds"))?;
+                args.listen_timeout = Some(Duration::from_secs(secs));
+            }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             file => args.inputs.push(file.to_string()),
@@ -87,6 +125,19 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.thresholds.is_empty() {
         args.thresholds.push(Threshold::percent(1.0));
+    }
+    if args.listen.is_some() {
+        if !args.inputs.is_empty() {
+            return Err("--listen replaces FILE inputs; list one or the other".to_string());
+        }
+        if args.transcode {
+            return Err("--listen cannot be combined with --transcode".to_string());
+        }
+        if args.expect.is_none() {
+            return Err("--listen needs --expect K (the shard stream count)".to_string());
+        }
+    } else if args.expect.is_some() || args.listen_timeout.is_some() {
+        return Err("--expect/--listen-timeout only apply with --listen".to_string());
     }
     if args.inputs.is_empty() {
         args.inputs.push("-".to_string());
@@ -111,7 +162,24 @@ fn open(path: &str) -> Result<Box<dyn BufRead>, AggError> {
 fn run(args: &Args) -> Result<(), AggError> {
     let stdout = io::stdout();
     let mut out = io::BufWriter::new(stdout.lock());
-    if args.transcode {
+    if let Some(addr) = &args.listen {
+        let expect = args.expect.expect("validated in parse_args");
+        // Socket failures stay typed end to end (AggError::Transport →
+        // TransportError → io::Error via source()), bind included.
+        let typed =
+            |op| move |e| AggError::Transport(hhh_window::TransportError::Io { op, source: e });
+        let mut listener = TcpFrameListener::bind(addr).map_err(typed("bind"))?;
+        if let Some(timeout) = args.listen_timeout {
+            listener = listener.with_timeout(timeout);
+        }
+        eprintln!(
+            "hhh-agg: listening on {} for {expect} shard stream(s)…",
+            listener.local_addr().map_err(typed("bind"))?
+        );
+        let streams = collect_socket_streams(listener, expect)?;
+        let points = fold_streams(&args.hierarchy, &streams)?;
+        write_merged(&mut out, &points, &args.thresholds, args.emit_state, args.format)?;
+    } else if args.transcode {
         for (i, path) in args.inputs.iter().enumerate() {
             transcode(i, open(path)?, &mut out, args.format)?;
         }

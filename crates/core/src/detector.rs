@@ -2,7 +2,7 @@
 //! engine.
 
 use crate::report::{HhhReport, Threshold};
-use crate::snapshot::DetectorSnapshot;
+use crate::snapshot::{DetectorSnapshot, SnapshotFrame};
 use hhh_hierarchy::Hierarchy;
 use hhh_nettypes::Nanos;
 
@@ -116,6 +116,23 @@ pub trait MergeableDetector {
     /// to sinks at every report point when one is available.
     fn snapshot(&self) -> Option<DetectorSnapshot> {
         None
+    }
+
+    /// Serialize the mergeable state as a wire-format v2
+    /// [`SnapshotFrame`] carrying the report-window geometry
+    /// `start..=at` — what frame-consuming sinks (binary files,
+    /// sockets, in-process channels) ask for at report points.
+    ///
+    /// The default goes through [`snapshot`](Self::snapshot) and the
+    /// JSON → frame transcode (correct for any detector, and the
+    /// reference the proptests pin against); detectors implementing
+    /// [`FrameEncode`](crate::snapshot::FrameEncode) override it with
+    /// the **native** encoder, which writes the identical bytes
+    /// without rendering or parsing JSON. Returns `None` when the
+    /// detector does not snapshot (or its snapshot has no v2 body
+    /// layout — callers fall back to [`snapshot`](Self::snapshot)).
+    fn to_frame(&self, start: Nanos, at: Nanos) -> Option<SnapshotFrame> {
+        self.snapshot().and_then(|s| s.to_frame(start, at).ok())
     }
 
     /// Remove a previously [`merge`](Self::merge)d state from `self`

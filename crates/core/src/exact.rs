@@ -10,6 +10,7 @@
 
 use crate::detector::{HhhDetector, MergeableDetector};
 use crate::report::{HhhReport, Threshold};
+use crate::snapshot::FrameEncode;
 use hhh_hierarchy::Hierarchy;
 use std::collections::HashMap;
 
@@ -208,6 +209,17 @@ impl<H: Hierarchy> MergeableDetector for ExactHhh<H> {
         })
     }
 
+    /// Native v2 encode ([`FrameEncode`]) — byte-identical to
+    /// transcoding [`snapshot`](MergeableDetector::snapshot), without
+    /// rendering or parsing JSON.
+    fn to_frame(
+        &self,
+        start: hhh_nettypes::Nanos,
+        at: hhh_nettypes::Nanos,
+    ) -> Option<crate::snapshot::SnapshotFrame> {
+        FrameEncode::encode_frame(self, start, at).ok()
+    }
+
     /// Exact counts subtract as losslessly as they add: removing a
     /// previously merged state restores the pre-merge state verbatim
     /// (zeroed items leave the map, so equality with a never-merged
@@ -226,6 +238,37 @@ impl<H: Hierarchy> MergeableDetector for ExactHhh<H> {
         }
         self.total = self.total.saturating_sub(other.total);
         true
+    }
+}
+
+impl<H: Hierarchy> FrameEncode for ExactHhh<H> {
+    fn frame_kind(&self) -> &'static str {
+        "exact"
+    }
+
+    fn frame_total(&self) -> u64 {
+        self.total
+    }
+
+    fn frame_digest(&self) -> u64 {
+        crate::snapshot::binary::exact_config_digest()
+    }
+
+    /// The v2 `exact` body straight from the count map: rows sorted by
+    /// the item's `Debug` rendering — the same order (and the same
+    /// key strings) the JSON body uses, so the frame is byte-identical
+    /// to transcoding [`snapshot`](MergeableDetector::snapshot).
+    fn write_frame_body(&self, out: &mut Vec<u8>) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::binary::{put_str, put_uv};
+        let mut rows: Vec<(String, u64)> =
+            self.counts.iter().map(|(item, &c)| (format!("{item:?}"), c)).collect();
+        rows.sort();
+        put_uv(out, rows.len() as u64);
+        for (key, count) in &rows {
+            put_str(out, key);
+            put_uv(out, *count);
+        }
+        Ok(())
     }
 }
 

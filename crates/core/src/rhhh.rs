@@ -198,6 +198,44 @@ impl<H: Hierarchy> MergeableDetector for Rhhh<H> {
             ),
         })
     }
+
+    /// Native v2 encode ([`FrameEncode`]) — byte-identical to
+    /// transcoding [`snapshot`](MergeableDetector::snapshot), without
+    /// rendering or parsing JSON.
+    fn to_frame(
+        &self,
+        start: hhh_nettypes::Nanos,
+        at: hhh_nettypes::Nanos,
+    ) -> Option<crate::snapshot::SnapshotFrame> {
+        crate::snapshot::FrameEncode::encode_frame(self, start, at).ok()
+    }
+}
+
+impl<H: Hierarchy> crate::snapshot::FrameEncode for Rhhh<H> {
+    fn frame_kind(&self) -> &'static str {
+        "rhhh"
+    }
+
+    fn frame_total(&self) -> u64 {
+        self.total
+    }
+
+    fn frame_digest(&self) -> u64 {
+        crate::snapshot::binary::ss_config_digest("rhhh", self.capacity() as u64)
+    }
+
+    /// The v2 `rhhh` body: the `ss-hhh` layout (capacity + shared
+    /// per-level encoding) followed by the per-level update counts.
+    fn write_frame_body(&self, out: &mut Vec<u8>) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::binary::put_uv;
+        put_uv(out, self.capacity() as u64);
+        crate::ss_hhh::encode_levels_body(out, &self.levels);
+        put_uv(out, self.updates_per_level.len() as u64);
+        for &u in &self.updates_per_level {
+            put_uv(out, u);
+        }
+        Ok(())
+    }
 }
 
 impl<H: Hierarchy> Rhhh<H>

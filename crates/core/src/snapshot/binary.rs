@@ -50,6 +50,13 @@
 //! small, human-facing, and not worth a second schema — which makes
 //! whole-stream transcoding (v1 → v2 → v1) byte-identical.
 //!
+//! The encoding is **medium-independent**: a frame on a socket (or an
+//! in-process channel) is the same bytes as a frame in a file. Frames
+//! self-delimit via the length prefix and self-describe via the
+//! header, so the snapshot transports in `hhh-window` just move them —
+//! and a capture of a TCP shard stream diffs clean against the same
+//! shard's stream file.
+//!
 //! Decoding shares the typed [`SnapshotError`] surface with v1:
 //! truncation, bad magic, version skew, digest mismatches and hostile
 //! capacities all come back as errors, never panics or unbounded
@@ -404,9 +411,54 @@ impl<'a> ByteReader<'a> {
     }
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+/// Append a length-prefixed UTF-8 string (shared with the native
+/// [`FrameEncode`](crate::snapshot::FrameEncode) body writers).
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_uv(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Config digests
+// ---------------------------------------------------------------------
+//
+// One definition per kind, shared between the transcode bodies below
+// and the native `FrameEncode` implementations in the detector
+// modules — the two encode paths can never disagree on the digest.
+
+/// The `exact` kind's config digest (no configuration beyond the kind).
+pub(crate) fn exact_config_digest() -> u64 {
+    fnv1a(b"exact")
+}
+
+/// The `ss-hhh` / `rhhh` config digest: kind label + capacity.
+pub(crate) fn ss_config_digest(kind: &str, capacity: u64) -> u64 {
+    let mut cfg = Vec::with_capacity(32);
+    cfg.extend_from_slice(kind.as_bytes());
+    cfg.push(0);
+    put_uv(&mut cfg, capacity);
+    fnv1a(&cfg)
+}
+
+/// The `tdbf-hhh` config digest over the full filter geometry.
+pub(crate) fn tdbf_config_digest(
+    cells_per_level: u64,
+    hashes: u64,
+    half_life_ns: u64,
+    candidates_per_level: u64,
+    admit_fraction: f64,
+    seed: u64,
+) -> u64 {
+    let mut cfg = Vec::with_capacity(64);
+    cfg.extend_from_slice(b"tdbf-hhh");
+    cfg.push(0);
+    put_uv(&mut cfg, cells_per_level);
+    put_uv(&mut cfg, hashes);
+    put_uv(&mut cfg, half_life_ns);
+    put_uv(&mut cfg, candidates_per_level);
+    cfg.extend_from_slice(&admit_fraction.to_le_bytes());
+    cfg.extend_from_slice(&seed.to_le_bytes());
+    fnv1a(&cfg)
 }
 
 // ---------------------------------------------------------------------
@@ -429,7 +481,7 @@ pub(crate) struct ExactBody {
 
 impl ExactBody {
     fn digest(&self) -> u64 {
-        fnv1a(b"exact")
+        exact_config_digest()
     }
 
     fn encode(&self, out: &mut Vec<u8>) {
@@ -497,11 +549,7 @@ pub(crate) struct SsBody {
 
 impl SsBody {
     fn digest(&self, kind: &str) -> u64 {
-        let mut cfg = Vec::with_capacity(32);
-        cfg.extend_from_slice(kind.as_bytes());
-        cfg.push(0);
-        put_uv(&mut cfg, self.capacity);
-        fnv1a(&cfg)
+        ss_config_digest(kind, self.capacity)
     }
 
     fn encode(&self, out: &mut Vec<u8>) {
@@ -671,16 +719,14 @@ pub(crate) struct TdbfBody {
 
 impl TdbfBody {
     fn digest(&self) -> u64 {
-        let mut cfg = Vec::with_capacity(64);
-        cfg.extend_from_slice(b"tdbf-hhh");
-        cfg.push(0);
-        put_uv(&mut cfg, self.cells_per_level);
-        put_uv(&mut cfg, self.hashes);
-        put_uv(&mut cfg, self.half_life_ns);
-        put_uv(&mut cfg, self.candidates_per_level);
-        cfg.extend_from_slice(&self.admit_fraction.to_le_bytes());
-        cfg.extend_from_slice(&self.seed.to_le_bytes());
-        fnv1a(&cfg)
+        tdbf_config_digest(
+            self.cells_per_level,
+            self.hashes,
+            self.half_life_ns,
+            self.candidates_per_level,
+            self.admit_fraction,
+            self.seed,
+        )
     }
 
     fn encode(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
@@ -881,7 +927,8 @@ impl TdbfBody {
 /// Delta-encode one filter level's cells against a baseline: the most
 /// common `(value bits, last_ns)` pair is stored once, then only the
 /// cells that differ, as `(index gap, f64 bits, zigzag Δns)` triples.
-fn encode_cells(out: &mut Vec<u8>, cells: &[(f64, u64)]) -> Result<(), SnapshotError> {
+/// Shared with the native `FrameEncode` path in `TdbfHhh`.
+pub(crate) fn encode_cells(out: &mut Vec<u8>, cells: &[(f64, u64)]) -> Result<(), SnapshotError> {
     put_uv(out, cells.len() as u64);
     // First-encountered most-common pair: deterministic regardless of
     // hash-map iteration order.

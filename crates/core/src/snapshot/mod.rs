@@ -64,9 +64,11 @@ use hhh_nettypes::Nanos;
 use std::borrow::Cow;
 
 pub mod binary;
+pub mod encode;
 pub mod json;
 
 pub use binary::{SnapshotFrame, WireFormat};
+pub use encode::FrameEncode;
 
 use crate::report::{HhhReport, Threshold};
 use crate::{
@@ -176,6 +178,20 @@ pub enum SnapshotError {
     /// Two snapshots that cannot be folded together (different kinds
     /// or incompatible configurations).
     Mismatch(String),
+    /// A transport-level I/O failure (socket, pipe, file) surfaced
+    /// through a decode path. Carries the [`std::io::ErrorKind`] and a
+    /// rendered detail (`std::io::Error` itself is neither `Clone` nor
+    /// `PartialEq`); the full error object with its `source()` chain
+    /// lives in `hhh_window::transport::TransportError`.
+    Transport {
+        /// What the transport was doing (`read`, `write`, `connect`,
+        /// `accept`).
+        op: &'static str,
+        /// The I/O error kind.
+        kind: std::io::ErrorKind,
+        /// The rendered I/O error.
+        detail: String,
+    },
 }
 
 impl Display for SnapshotError {
@@ -191,11 +207,22 @@ impl Display for SnapshotError {
             }
             SnapshotError::Kind(k) => write!(f, "unknown detector kind `{k}`"),
             SnapshotError::Mismatch(what) => write!(f, "snapshots cannot be folded: {what}"),
+            SnapshotError::Transport { op, kind, detail } => {
+                write!(f, "transport {op} failed ({kind:?}): {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for SnapshotError {}
+
+impl SnapshotError {
+    /// Build a [`SnapshotError::Transport`] from an I/O error (the
+    /// lossy-but-`Clone` form decode paths can carry).
+    pub fn transport(op: &'static str, e: &std::io::Error) -> Self {
+        SnapshotError::Transport { op, kind: e.kind(), detail: e.to_string() }
+    }
+}
 
 /// Fetch a required field of a JSON object.
 pub fn req<'a>(v: &'a Json, field: &'static str) -> Result<&'a Json, SnapshotError> {
@@ -569,6 +596,20 @@ where
             RestoredDetector::Tdbf(d) => d.snapshot(),
         };
         snap.expect("every restorable detector serializes")
+    }
+
+    /// Natively encode the (merged) state as a v2 frame carrying the
+    /// window geometry `start..=at` — the [`FrameEncode`] path, byte-
+    /// identical to `snapshot().to_frame(start, at)` without the JSON
+    /// detour. This is what lets a binary aggregation tier re-emit
+    /// states as cheaply as it decodes them.
+    pub fn to_frame(&self, start: Nanos, at: Nanos) -> Result<SnapshotFrame, SnapshotError> {
+        match self {
+            RestoredDetector::Exact(d) => d.encode_frame(start, at),
+            RestoredDetector::SpaceSaving(d) => d.encode_frame(start, at),
+            RestoredDetector::Rhhh(d) => d.encode_frame(start, at),
+            RestoredDetector::Tdbf(d) => d.encode_frame(start, at),
+        }
     }
 
     /// The HHH report of the merged state. Windowed detectors report

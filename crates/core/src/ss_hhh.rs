@@ -161,6 +161,64 @@ impl<H: Hierarchy> MergeableDetector for SpaceSavingHhh<H> {
             ),
         })
     }
+
+    /// Native v2 encode ([`FrameEncode`]) — byte-identical to
+    /// transcoding [`snapshot`](MergeableDetector::snapshot), without
+    /// rendering or parsing JSON.
+    fn to_frame(
+        &self,
+        start: hhh_nettypes::Nanos,
+        at: hhh_nettypes::Nanos,
+    ) -> Option<crate::snapshot::SnapshotFrame> {
+        crate::snapshot::FrameEncode::encode_frame(self, start, at).ok()
+    }
+}
+
+impl<H: Hierarchy> crate::snapshot::FrameEncode for SpaceSavingHhh<H> {
+    fn frame_kind(&self) -> &'static str {
+        "ss-hhh"
+    }
+
+    fn frame_total(&self) -> u64 {
+        self.total
+    }
+
+    fn frame_digest(&self) -> u64 {
+        crate::snapshot::binary::ss_config_digest("ss-hhh", self.capacity() as u64)
+    }
+
+    /// The v2 `ss-hhh` body straight from the level summaries:
+    /// capacity, then the shared per-level encoding.
+    fn write_frame_body(&self, out: &mut Vec<u8>) -> Result<(), crate::snapshot::SnapshotError> {
+        crate::snapshot::binary::put_uv(out, self.capacity() as u64);
+        encode_levels_body(out, &self.levels);
+        Ok(())
+    }
+}
+
+/// Append the v2 per-level summary encoding (level count, then each
+/// level's total and `(prefix, count, error)` entries) straight from
+/// live [`SpaceSaving`] summaries — the native counterpart of
+/// [`levels_json`], shared with the RHHH encoder. Rows ride in
+/// [`SpaceSaving::export_entries`] order (sorted by the prefix's
+/// display form), exactly like the JSON body, so the two encode paths
+/// produce identical bytes.
+pub(crate) fn encode_levels_body<P: std::fmt::Display + Copy + Eq + std::hash::Hash>(
+    out: &mut Vec<u8>,
+    levels: &[SpaceSaving<P>],
+) {
+    use crate::snapshot::binary::{put_str, put_uv};
+    put_uv(out, levels.len() as u64);
+    for ss in levels {
+        put_uv(out, ss.total());
+        let rows = ss.export_entries(|p| p.to_string());
+        put_uv(out, rows.len() as u64);
+        for (key, e) in &rows {
+            put_str(out, key);
+            put_uv(out, e.count);
+            put_uv(out, e.error);
+        }
+    }
 }
 
 /// Render per-level Space-Saving summaries as the snapshot `levels`

@@ -330,6 +330,78 @@ impl<H: Hierarchy> MergeableDetector for TdbfHhh<H> {
             state_json: state.render(),
         })
     }
+
+    /// Native v2 encode ([`FrameEncode`]) — byte-identical to
+    /// transcoding [`snapshot`](MergeableDetector::snapshot), without
+    /// rendering or parsing JSON. This is the kind the native path
+    /// pays off most for: the JSON detour renders and re-parses
+    /// 5 × cells_per_level × hashes float cells per report point.
+    fn to_frame(&self, start: Nanos, at: Nanos) -> Option<crate::snapshot::SnapshotFrame> {
+        crate::snapshot::FrameEncode::encode_frame(self, start, at).ok()
+    }
+}
+
+impl<H: Hierarchy> crate::snapshot::FrameEncode for TdbfHhh<H> {
+    fn frame_kind(&self) -> &'static str {
+        "tdbf-hhh"
+    }
+
+    fn frame_total(&self) -> u64 {
+        self.observed
+    }
+
+    fn frame_digest(&self) -> u64 {
+        crate::snapshot::binary::tdbf_config_digest(
+            self.cfg.cells_per_level as u64,
+            self.cfg.hashes as u64,
+            self.cfg.half_life.as_nanos(),
+            self.cfg.candidates_per_level as u64,
+            self.cfg.admit_fraction,
+            self.cfg.seed,
+        )
+    }
+
+    /// The v2 `tdbf-hhh` body straight from the live filters: config
+    /// fields, the raw decayed total, delta-encoded cells per level
+    /// (the shared [`encode_cells`](crate::snapshot::binary) recipe),
+    /// and candidate rows sorted by the prefix's display form — the
+    /// same order the JSON body uses.
+    fn write_frame_body(&self, out: &mut Vec<u8>) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::binary::{encode_cells, put_str, put_uv};
+        put_uv(out, self.cfg.cells_per_level as u64);
+        put_uv(out, self.cfg.hashes as u64);
+        put_uv(out, self.cfg.half_life.as_nanos());
+        put_uv(out, self.cfg.candidates_per_level as u64);
+        out.extend_from_slice(&self.cfg.admit_fraction.to_le_bytes());
+        out.extend_from_slice(&self.cfg.seed.to_le_bytes());
+        put_uv(out, self.observed);
+        let (total_v, total_ns) = self.total.raw();
+        out.extend_from_slice(&total_v.to_le_bytes());
+        put_uv(out, total_ns.as_nanos());
+
+        put_uv(out, self.filters.len() as u64);
+        let mut cells: Vec<(f64, u64)> = Vec::new();
+        for f in &self.filters {
+            cells.clear();
+            cells.extend(f.cells().iter().map(|c| {
+                let (v, last) = c.raw();
+                (v, last.as_nanos())
+            }));
+            encode_cells(out, &cells)?;
+        }
+        put_uv(out, self.candidates.len() as u64);
+        for table in &self.candidates {
+            let mut rows: Vec<(String, u64)> =
+                table.iter().map(|(p, &ts)| (p.to_string(), ts.as_nanos())).collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            put_uv(out, rows.len() as u64);
+            for (prefix, ts) in &rows {
+                put_str(out, prefix);
+                put_uv(out, *ts);
+            }
+        }
+        Ok(())
+    }
 }
 
 impl<H: Hierarchy> TdbfHhh<H>

@@ -27,7 +27,7 @@
 //! cross-process smoke test.
 
 use crate::Scale;
-use hhh_agg::{fold_streams, read_stream, MergedPoint};
+use hhh_agg::{collect_socket_streams, fold_streams, read_stream, write_merged, MergedPoint};
 use hhh_analysis::{fmt_f, jaccard, Table};
 use hhh_core::{
     ExactHhh, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh, TdbfHhh, TdbfHhhConfig,
@@ -37,8 +37,8 @@ use hhh_hierarchy::Ipv4Hierarchy;
 use hhh_nettypes::{Ipv4Prefix, Nanos, PacketRecord, TimeSpan};
 use hhh_trace::{scenarios, TraceGenerator};
 use hhh_window::{
-    shard_of, Continuous, Disjoint, Pipeline, ShardedContinuous, ShardedDisjoint, SnapshotSink,
-    WindowReport,
+    shard_of, Continuous, Disjoint, Pipeline, ReportSink, ShardedContinuous, ShardedDisjoint,
+    SnapshotSink, TcpFrameListener, TcpTransport, TransportError, TransportSink, WindowReport,
 };
 
 /// Report window / probe cadence of the scenario.
@@ -130,6 +130,45 @@ fn probes(horizon: TimeSpan) -> Vec<Nanos> {
     (1..=horizon / DISTAGG_WINDOW).map(|i| Nanos::ZERO + DISTAGG_WINDOW * i).collect()
 }
 
+/// Run the scenario's windowed sharded pipeline into an arbitrary
+/// sink — the sink decides the medium (byte buffer, file, socket,
+/// in-process channel).
+fn windowed_into<D, S>(
+    packets: &[PacketRecord],
+    horizon: TimeSpan,
+    detectors: Vec<D>,
+    sink: S,
+) -> S::Output
+where
+    D: HhhDetector<Ipv4Hierarchy> + MergeableDetector + Clone + Send,
+    S: ReportSink<Ipv4Prefix>,
+{
+    Pipeline::new(packets.iter().copied())
+        .engine(ShardedDisjoint::new(
+            detectors,
+            horizon,
+            DISTAGG_WINDOW,
+            &[distagg_threshold()],
+            |p| p.src,
+        ))
+        .sink(sink)
+        .run()
+}
+
+/// The continuous (TDBF) counterpart of [`windowed_into`].
+fn continuous_into<S: ReportSink<Ipv4Prefix>>(
+    packets: &[PacketRecord],
+    horizon: TimeSpan,
+    shards: usize,
+    sink: S,
+) -> S::Output {
+    let detectors: Vec<_> = (0..shards).map(|_| TdbfHhh::new(hierarchy(), tdbf_config())).collect();
+    Pipeline::new(packets.iter().copied())
+        .engine(ShardedContinuous::new(detectors, &probes(horizon), distagg_threshold(), |p| p.src))
+        .sink(sink)
+        .run()
+}
+
 fn windowed_stream<D>(
     packets: &[PacketRecord],
     horizon: TimeSpan,
@@ -139,16 +178,8 @@ fn windowed_stream<D>(
 where
     D: HhhDetector<Ipv4Hierarchy> + MergeableDetector + Clone + Send,
 {
-    let (bytes, err) = Pipeline::new(packets.iter().copied())
-        .engine(ShardedDisjoint::new(
-            detectors,
-            horizon,
-            DISTAGG_WINDOW,
-            &[distagg_threshold()],
-            |p| p.src,
-        ))
-        .sink(SnapshotSink::with_format(Vec::new(), format))
-        .run();
+    let (bytes, err) =
+        windowed_into(packets, horizon, detectors, SnapshotSink::with_format(Vec::new(), format));
     assert!(err.is_none(), "Vec<u8> writes cannot fail");
     bytes
 }
@@ -159,11 +190,8 @@ fn continuous_stream(
     shards: usize,
     format: WireFormat,
 ) -> Vec<u8> {
-    let detectors: Vec<_> = (0..shards).map(|_| TdbfHhh::new(hierarchy(), tdbf_config())).collect();
-    let (bytes, err) = Pipeline::new(packets.iter().copied())
-        .engine(ShardedContinuous::new(detectors, &probes(horizon), distagg_threshold(), |p| p.src))
-        .sink(SnapshotSink::with_format(Vec::new(), format))
-        .run();
+    let (bytes, err) =
+        continuous_into(packets, horizon, shards, SnapshotSink::with_format(Vec::new(), format));
     assert!(err.is_none(), "Vec<u8> writes cannot fail");
     bytes
 }
@@ -211,23 +239,79 @@ pub fn shard_stream_on(
     format: WireFormat,
 ) -> Vec<u8> {
     assert!(shard < k, "shard index out of range");
-    let packets: Vec<PacketRecord> =
-        trace.iter().copied().filter(|p| shard_of(&p.src, k) == shard).collect();
+    let packets = shard_packets(trace, k, shard);
+    let (bytes, err) =
+        shard_into(kind, &packets, horizon, shard, SnapshotSink::with_format(Vec::new(), format));
+    assert!(err.is_none(), "Vec<u8> writes cannot fail");
+    bytes
+}
+
+/// The sub-stream [`shard_of`] assigns to `shard` among `k`.
+fn shard_packets(trace: &[PacketRecord], k: usize, shard: usize) -> Vec<PacketRecord> {
+    trace.iter().copied().filter(|p| shard_of(&p.src, k) == shard).collect()
+}
+
+/// One shard's pipeline of the scenario into an arbitrary sink — the
+/// medium-agnostic core `shard_stream_on` (bytes) and
+/// [`shard_to_addr_on`] (TCP) share.
+fn shard_into<S: ReportSink<Ipv4Prefix>>(
+    kind: Kind,
+    packets: &[PacketRecord],
+    horizon: TimeSpan,
+    shard: usize,
+    sink: S,
+) -> S::Output {
     match kind {
-        Kind::Exact => windowed_stream(&packets, horizon, vec![ExactHhh::new(hierarchy())], format),
-        Kind::SsHhh => windowed_stream(
-            &packets,
+        Kind::Exact => windowed_into(packets, horizon, vec![ExactHhh::new(hierarchy())], sink),
+        Kind::SsHhh => windowed_into(
+            packets,
             horizon,
             vec![SpaceSavingHhh::new(hierarchy(), DISTAGG_CAPACITY)],
-            format,
+            sink,
         ),
-        Kind::Rhhh => windowed_stream(
-            &packets,
+        Kind::Rhhh => windowed_into(
+            packets,
             horizon,
             vec![Rhhh::new(hierarchy(), DISTAGG_CAPACITY, rhhh_seed(shard))],
-            format,
+            sink,
         ),
-        Kind::Tdbf => continuous_stream(&packets, horizon, 1, format),
+        Kind::Tdbf => continuous_into(packets, horizon, 1, sink),
+    }
+}
+
+/// One shard's run streamed **over TCP** to an aggregator at `addr` —
+/// what `distagg shard --connect` does. The transport opens with a
+/// hello frame carrying the shard index, so the aggregator folds in
+/// shard order no matter who connects first; frames are the detector's
+/// **native** encodes (no JSON anywhere on the shard side).
+pub fn shard_to_addr(
+    kind: Kind,
+    scale: Scale,
+    k: usize,
+    shard: usize,
+    addr: &str,
+) -> Result<(), TransportError> {
+    shard_to_addr_on(kind, distagg_trace(scale), scale.compare_duration(), k, shard, addr)
+}
+
+/// [`shard_to_addr`] over an explicit trace.
+pub fn shard_to_addr_on(
+    kind: Kind,
+    trace: &[PacketRecord],
+    horizon: TimeSpan,
+    k: usize,
+    shard: usize,
+    addr: &str,
+) -> Result<(), TransportError> {
+    assert!(shard < k, "shard index out of range");
+    let transport = TcpTransport::connect(addr)
+        .with_hello(shard as u64, format!("{}/{shard}of{k}", kind.label()));
+    let packets = shard_packets(trace, k, shard);
+    let (_transport, err) =
+        shard_into(kind, &packets, horizon, shard, TransportSink::new(transport));
+    match err {
+        None => Ok(()),
+        Some(e) => Err(e),
     }
 }
 
@@ -475,6 +559,131 @@ pub fn distagg_table(rows: &[DistAggRow]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Socket scenario
+// ---------------------------------------------------------------------
+
+/// One `(kind, K)` verdict of the **socket** scenario (`distagg
+/// socket`): the K-shard parity check run end-to-end over localhost
+/// TCP.
+#[derive(Clone, Debug)]
+pub struct SocketRow {
+    /// Detector kind label.
+    pub detector: &'static str,
+    /// Shard (connection) count.
+    pub shards: usize,
+    /// Report points folded from the socket streams.
+    pub points: usize,
+    /// Snapshots folded across all connections.
+    pub folded: usize,
+    /// Is the socket fold's rendered output (merged reports + re-
+    /// emitted states) **byte-identical** to folding the same shards'
+    /// stream files?
+    pub socket_eq_file: bool,
+    /// Does every socket-folded state re-serialize byte-identically to
+    /// the in-process K-shard run's merged state line?
+    pub state_identical: bool,
+}
+
+/// Run the socket scenario at `scale` for every kind at each shard
+/// count in `ks`: K shard pipelines stream natively encoded v2 frames
+/// over localhost TCP into one listener, the listener's fold is
+/// compared byte-for-byte against the file-based fold and the
+/// in-process sharded run.
+pub fn run_socket(scale: Scale, ks: &[usize]) -> Vec<SocketRow> {
+    run_socket_on(distagg_trace(scale), scale.compare_duration(), ks, &KINDS)
+}
+
+/// [`run_socket`] over an explicit trace and kind subset.
+pub fn run_socket_on(
+    trace: &[PacketRecord],
+    horizon: TimeSpan,
+    ks: &[usize],
+    kinds: &[Kind],
+) -> Vec<SocketRow> {
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        for &k in ks {
+            let listener = TcpFrameListener::bind("127.0.0.1:0")
+                .expect("bind localhost listener")
+                .with_timeout(std::time::Duration::from_secs(600));
+            let addr = listener.local_addr().expect("bound address").to_string();
+
+            // K concurrent shard pipelines, each its own connection —
+            // exactly what K shard processes would do.
+            let streams = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..k)
+                    .map(|i| {
+                        let addr = addr.clone();
+                        s.spawn(move || shard_to_addr_on(kind, trace, horizon, k, i, &addr))
+                    })
+                    .collect();
+                let streams = collect_socket_streams(listener, k).expect("socket streams");
+                for h in handles {
+                    h.join().expect("shard thread").expect("shard transport");
+                }
+                streams
+            });
+            let folded: usize = streams.iter().map(Vec::len).sum();
+            let socket_points = fold_streams(&hierarchy(), &streams).expect("socket streams fold");
+
+            // Byte-identity vs the file-based fold of the same shards.
+            let file_streams: Vec<Vec<u8>> = (0..k)
+                .map(|i| shard_stream_on(kind, trace, horizon, k, i, WireFormat::Binary))
+                .collect();
+            let file_points = fold_shard_streams(&file_streams).expect("file streams fold");
+            let render = |points: &[MergedPoint<Ipv4Hierarchy>]| {
+                let mut out = Vec::new();
+                write_merged(&mut out, points, &[distagg_threshold()], true, WireFormat::Json)
+                    .expect("merged points render");
+                out
+            };
+            let socket_eq_file = render(&socket_points) == render(&file_points);
+
+            // Byte-identity vs the in-process K-shard run.
+            let reference =
+                read_stream(0, inprocess_sharded_jsonl_on(kind, trace, horizon, k).as_slice())
+                    .expect("in-process stream parses");
+            let state_of = |r: &hhh_core::WireSnapshot| {
+                r.to_stamped().expect("reference state decodes").snapshot.to_json()
+            };
+            let state_identical = reference.len() == socket_points.len()
+                && socket_points.iter().zip(&reference).all(|(p, r)| {
+                    p.at == r.at()
+                        && p.start == r.start()
+                        && p.detector.snapshot().to_json() == state_of(r)
+                });
+
+            rows.push(SocketRow {
+                detector: kind.label(),
+                shards: k,
+                points: socket_points.len(),
+                folded,
+                socket_eq_file,
+                state_identical,
+            });
+        }
+    }
+    rows
+}
+
+/// Render socket scenario rows as an aligned text table.
+pub fn socket_table(rows: &[SocketRow]) -> String {
+    let mut t =
+        Table::new(vec!["detector", "shards", "points", "folded", "socket==file", "state==inproc"]);
+    for r in rows {
+        t.row(vec![
+            r.detector.to_string(),
+            r.shards.to_string(),
+            r.points.to_string(),
+            r.folded.to_string(),
+            r.socket_eq_file.to_string(),
+            r.state_identical.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------
 // Codec bench
 // ---------------------------------------------------------------------
 
@@ -559,9 +768,11 @@ fn sample_snapshot(kind: Kind, packets: &[PacketRecord]) -> hhh_core::DetectorSn
 
 /// Measure snapshot encode/decode cost per detector **in both wire
 /// formats** and aggregator fold throughput (state records per second)
-/// at each shard count in `ks` — the numbers `BENCH_pr4.json` commits.
-/// The PR-4 acceptance line is the `decode` pair for `tdbf-hhh`: v2
-/// must beat v1 by ≥ 10×.
+/// at each shard count in `ks` — the numbers `BENCH_pr5.json` commits.
+/// The PR-4 acceptance line was the `decode` pair for `tdbf-hhh` (v2
+/// ≥ 10× over v1); the PR-5 line is `encode-native` vs
+/// `encode-transcode` per kind — the v2 encode side no longer paying
+/// the JSON render + parse.
 pub fn codec_bench(scale: Scale, ks: &[usize]) -> Vec<CodecBenchRow> {
     let h = hierarchy();
     let packets = distagg_trace(scale);
@@ -572,10 +783,19 @@ pub fn codec_bench(scale: Scale, ks: &[usize]) -> Vec<CodecBenchRow> {
         let snap = sample_snapshot(kind, packets);
         let line = snap.to_json();
         let frame_bytes = snap.to_frame(window_start, window_end).expect("transcodes").encode();
+        // A live detector holding the same state, for the native
+        // (`FrameEncode`) encode path.
+        let restored = hhh_core::RestoredDetector::from_snapshot(&h, &snap).expect("restores");
+        assert_eq!(
+            restored.to_frame(window_start, window_end).expect("native-encodes").encode(),
+            frame_bytes,
+            "native and transcode encodes must write identical bytes"
+        );
 
-        // encode: detector state -> wire bytes. v1 renders JSON; v2
-        // additionally packs the rendered body into a frame (encode is
-        // not the tier bottleneck; decode/fold is).
+        // encode: detector state -> wire bytes. v1 renders JSON;
+        // `encode-transcode` is the PR-4 v2 path (render the JSON
+        // body, parse it back, pack a frame); `encode-native` is the
+        // FrameEncode path (detector state -> frame body directly).
         let (s, n) = timed(|| snap.to_json());
         rows.push(CodecBenchRow {
             detector: kind.label(),
@@ -591,7 +811,19 @@ pub fn codec_bench(scale: Scale, ks: &[usize]) -> Vec<CodecBenchRow> {
             timed(|| snap.to_frame(window_start, window_end).expect("transcodes").encode());
         rows.push(CodecBenchRow {
             detector: kind.label(),
-            op: "encode".into(),
+            op: "encode-transcode".into(),
+            format: "binary",
+            shards: 1,
+            items: n,
+            seconds: s,
+            per_sec: n as f64 / s,
+            bytes: frame_bytes.len() as u64,
+        });
+        let (s, n) =
+            timed(|| restored.to_frame(window_start, window_end).expect("native-encodes").encode());
+        rows.push(CodecBenchRow {
+            detector: kind.label(),
+            op: "encode-native".into(),
             format: "binary",
             shards: 1,
             items: n,

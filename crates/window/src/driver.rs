@@ -17,6 +17,16 @@
 //! | [`run_microvaried`] | `…engine(MicroVaried::new(&h, horizon, base, deltas, t, key))…` — series 0 = baseline, 1 + i = delta i |
 //! | [`run_continuous`] | `…engine(Continuous::new(det, probes, t, key))….remove(0)` |
 //! | [`run_sharded_disjoint`](crate::sharded::run_sharded_disjoint) | `…engine(ShardedDisjoint::new(dets, horizon, window, ts, key).batch(n))…` |
+//!
+//! The pipeline shape is also what unlocks everything the flat
+//! drivers never could: swap `.collect()` for a
+//! [`SnapshotSink`](crate::SnapshotSink) to write the snapshot wire
+//! stream, or a [`TransportSink`](crate::TransportSink) over
+//! [`TcpTransport`](crate::TcpTransport) /
+//! [`mem_transport`](crate::mem_transport) to stream natively encoded
+//! v2 frames to an aggregator over a socket or channel (see
+//! [`transport`](crate::transport)) — the legacy signatures return
+//! collected `Vec`s and cannot.
 
 use crate::pipeline::{Continuous, Disjoint, MicroVaried, Pipeline, SlidingExact};
 use crate::report::WindowReport;

@@ -33,6 +33,14 @@
 //!   stream — serialized merged-detector state for cross-process
 //!   aggregation — in either format ([`SnapshotSink`]): v1 JSON lines
 //!   or v2 binary frames (the hot aggregation path).
+//! * **Transports** ([`transport`]) — the snapshot stream over any
+//!   medium behind one [`FrameWrite`]/[`FrameRead`] interface: files
+//!   ([`FileTransport`]), TCP sockets ([`TcpTransport`] with
+//!   reconnect-with-backoff, [`TcpFrameListener`] with multi-client
+//!   accept), and in-process channels ([`mem_transport`]), with
+//!   [`TransportSink`]/[`TransportSource`] as the pipeline faces.
+//!   Frames carry detectors' **native** encodes (`FrameEncode`) — no
+//!   JSON between a shard's state and the aggregator's fold.
 //!
 //! The pre-pipeline `run_*` drivers survive in [`driver`] as thin
 //! deprecated wrappers (the module docs there have the migration
@@ -61,6 +69,7 @@ mod report;
 pub mod sharded;
 pub mod sink;
 pub mod source;
+pub mod transport;
 
 pub use pipeline::{
     Continuous, Disjoint, Engine, FoldSnapshots, MicroVaried, Pipeline, ShardedContinuous,
@@ -77,6 +86,11 @@ pub use sink::{
 pub use source::{
     bounded, ChannelSource, PacketFeeder, PacketSource, SnapshotSource, Source, StreamRecord,
     DEFAULT_CHUNK,
+};
+pub use transport::{
+    hello_frame, mem_transport, read_frame_from, FileTransport, FrameRead, FrameStream, FrameWrite,
+    MemFrameReader, MemFrameWriter, TcpFrameListener, TcpTransport, TransportError, TransportSink,
+    TransportSource, HELLO_KIND,
 };
 
 #[allow(deprecated)]

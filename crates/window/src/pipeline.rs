@@ -36,9 +36,12 @@
 //!   [`ShardedSliding`], [`ShardedContinuous`];
 //! * the **sink** ([`ReportSink`](crate::ReportSink)) consumes reports
 //!   as windows close: collect to `Vec`s ([`collect`](Pipeline::collect)),
-//!   stream into a closure ([`FnSink`](crate::FnSink)), or serialize to
-//!   JSON lines with merged detector state
-//!   ([`JsonSnapshotSink`](crate::JsonSnapshotSink)).
+//!   stream into a closure ([`FnSink`](crate::FnSink)), serialize the
+//!   snapshot wire stream in either format
+//!   ([`SnapshotSink`](crate::SnapshotSink)), or stream natively
+//!   encoded v2 frames through a snapshot transport — file, TCP
+//!   socket, or in-process channel
+//!   ([`TransportSink`](crate::TransportSink)).
 //!
 //! Every engine consumes the stream once, chunk at a time, and pushes
 //! each report the moment its window closes — so a sink can alert with
@@ -57,6 +60,31 @@ use hhh_nettypes::{Measure, Nanos, PacketRecord, TimeSpan};
 use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::str::FromStr;
+
+/// Deliver a merged detector's state to the sink at a report point.
+///
+/// Frame-consuming sinks ([`ReportSink::wants_frames`]) get the
+/// **natively encoded** v2 frame
+/// ([`MergeableDetector::to_frame`], the `FrameEncode` path) — no JSON
+/// rendered or parsed; everything else gets the JSON-bodied
+/// [`snapshot`](MergeableDetector::snapshot) as before. Shared by
+/// every sharded engine.
+fn emit_state<P, D: MergeableDetector, K: ReportSink<P>>(
+    sink: &mut K,
+    detector: &D,
+    start: Nanos,
+    at: Nanos,
+) {
+    if sink.wants_frames() {
+        if let Some(frame) = detector.to_frame(start, at) {
+            sink.state_frame(&frame);
+            return;
+        }
+    }
+    if let Some(snap) = detector.snapshot() {
+        sink.state(start, at, &snap);
+    }
+}
 
 /// A fully described run: where packets come from, what computes on
 /// them, where reports go. See the [module docs](self) for the model.
@@ -835,9 +863,7 @@ where
                         },
                     );
                 }
-                if let Some(snap) = merged.snapshot() {
-                    sink.state(Nanos::ZERO + window * cur, end, &snap);
-                }
+                emit_state(sink, &merged, Nanos::ZERO + window * cur, end);
                 pool.reset();
             };
 
@@ -1002,9 +1028,7 @@ where
                             },
                         );
                     }
-                    if let Some(snap) = merged.snapshot() {
-                        sink.state(Nanos::ZERO + step * position, end, &snap);
-                    }
+                    emit_state(sink, &merged, Nanos::ZERO + step * position, end);
                 }
                 pool.advance();
             };
@@ -1143,11 +1167,9 @@ where
                         hhhs: merged.report_at(probes[next], threshold),
                     },
                 );
-                if let Some(snap) = merged.snapshot() {
-                    // Windowless probe: the state covers "now"; start
-                    // and report point coincide.
-                    sink.state(probes[next], probes[next], &snap);
-                }
+                // Windowless probe: the state covers "now"; start and
+                // report point coincide.
+                emit_state(sink, &merged, probes[next], probes[next]);
             };
 
             for_each_item(source, |p| {
@@ -1270,7 +1292,14 @@ where
                         },
                     );
                 }
-                sink.state(start, at, &merged.snapshot());
+                if sink.wants_frames() {
+                    match merged.to_frame(start, at) {
+                        Ok(frame) => sink.state_frame(&frame),
+                        Err(e) => panic!("re-encoding a folded state at {at}: {e}"),
+                    }
+                } else {
+                    sink.state(start, at, &merged.snapshot());
+                }
                 *index += 1;
             }
         };

@@ -53,6 +53,28 @@ pub trait ReportSink<P> {
         let _ = (start, at, snapshot);
     }
 
+    /// Does this sink consume states as **v2 frames**? When `true`,
+    /// engines encode states natively
+    /// ([`MergeableDetector::to_frame`](hhh_core::MergeableDetector::to_frame),
+    /// the `FrameEncode` path) and call
+    /// [`state_frame`](Self::state_frame) instead of building a
+    /// JSON-bodied snapshot for [`state`](Self::state) — the binary
+    /// sinks and the snapshot transports opt in.
+    fn wants_frames(&self) -> bool {
+        false
+    }
+
+    /// A state already encoded as a v2 frame (carries its own window
+    /// geometry). The default transcodes back to the JSON-bodied
+    /// snapshot and forwards to [`state`](Self::state), so sinks that
+    /// never opted into [`wants_frames`](Self::wants_frames) still see
+    /// every state.
+    fn state_frame(&mut self, frame: &SnapshotFrame) {
+        if let Ok(snapshot) = DetectorSnapshot::from_frame(frame) {
+            self.state(frame.start, frame.at, &snapshot);
+        }
+    }
+
     /// The stream is complete; produce the output.
     fn finish(self) -> Self::Output;
 }
@@ -146,6 +168,16 @@ pub struct SnapshotSink<W: Write> {
 /// Backward-compatible name for the JSON-writing [`SnapshotSink`]
 /// (`SnapshotSink::new` defaults to JSON).
 pub type JsonSnapshotSink<W> = SnapshotSink<W>;
+
+impl SnapshotSink<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncate) a snapshot stream file at `path` — the
+    /// path-based thin wrapper over the file transport. For sockets
+    /// and channels use [`TransportSink`](crate::TransportSink) over
+    /// the matching [`transport`](crate::transport) instead.
+    pub fn create(path: impl AsRef<std::path::Path>, format: WireFormat) -> std::io::Result<Self> {
+        Ok(Self::with_format(std::io::BufWriter::new(std::fs::File::create(path)?), format))
+    }
+}
 
 impl<W: Write> SnapshotSink<W> {
     /// Wrap a writer (`Vec<u8>`, `BufWriter<File>`, a socket…) in a
@@ -252,6 +284,31 @@ impl<P: Display, W: Write> ReportSink<P> for SnapshotSink<W> {
             }
             WireFormat::Binary => match snapshot.to_frame(start, at) {
                 Ok(frame) => self.write_bytes(&frame.encode()),
+                Err(e) if self.error.is_none() => {
+                    self.error =
+                        Some(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));
+                }
+                Err(_) => {}
+            },
+        }
+    }
+
+    /// A binary sink takes states as frames, so engines use the
+    /// native encode path (no JSON rendered or parsed per state).
+    fn wants_frames(&self) -> bool {
+        self.format == WireFormat::Binary
+    }
+
+    fn state_frame(&mut self, frame: &SnapshotFrame) {
+        match self.format {
+            WireFormat::Binary => self.write_bytes(&frame.encode()),
+            // A JSON sink fed a frame (a custom engine, say) still
+            // writes the canonical state line.
+            WireFormat::Json => match DetectorSnapshot::from_frame(frame) {
+                Ok(snapshot) => {
+                    let line = StampedSnapshot::render(frame.start, frame.at, &snapshot);
+                    self.write_line(&line);
+                }
                 Err(e) if self.error.is_none() => {
                     self.error =
                         Some(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));

@@ -246,6 +246,16 @@ pub struct SnapshotSource<R: BufRead> {
     error: Option<(usize, SnapshotError)>,
 }
 
+impl SnapshotSource<std::io::BufReader<std::fs::File>> {
+    /// Open a snapshot stream file at `path` — the path-based thin
+    /// wrapper over the file transport. For sockets and channels use
+    /// [`TransportSource`](crate::TransportSource) over the matching
+    /// [`transport`](crate::transport) instead.
+    pub fn open(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(Self::new(std::io::BufReader::new(std::fs::File::open(path)?)))
+    }
+}
+
 impl<R: BufRead> SnapshotSource<R> {
     /// Read snapshots from a buffered reader (a file, stdin, a
     /// `&[u8]`…).
@@ -255,7 +265,7 @@ impl<R: BufRead> SnapshotSource<R> {
 
     /// The first decode error, with its 1-based record number —
     /// `None` after a clean end-of-stream. I/O errors surface as
-    /// [`SnapshotError::Parse`] at offset 0.
+    /// [`SnapshotError::Transport`] (typed by [`std::io::ErrorKind`]).
     pub fn error(&self) -> Option<&(usize, SnapshotError)> {
         self.error.as_ref()
     }
@@ -282,10 +292,7 @@ impl<R: BufRead> SnapshotSource<R> {
     /// that cannot start a JSON line is handed to the frame decoder,
     /// which reports garbage as a bad-magic error.
     fn sniff(&mut self) -> Result<Option<WireFormat>, SnapshotError> {
-        let buf = self
-            .input
-            .fill_buf()
-            .map_err(|_| SnapshotError::Parse { offset: 0, what: "I/O error" })?;
+        let buf = self.input.fill_buf().map_err(|e| SnapshotError::transport("read", &e))?;
         Ok(match buf.first() {
             None => None, // empty stream
             Some(b'{' | b' ' | b'\t' | b'\r' | b'\n') => Some(WireFormat::Json),
@@ -293,19 +300,12 @@ impl<R: BufRead> SnapshotSource<R> {
         })
     }
 
-    /// Read up to `buf.len()` bytes, tolerating short reads. Returns
-    /// the bytes actually read (0 = clean end of stream).
+    /// Read up to `buf.len()` bytes, tolerating short reads (the fill
+    /// loop shared with the transports). Returns the bytes actually
+    /// read (0 = clean end of stream).
     fn read_fully(&mut self, buf: &mut [u8]) -> Result<usize, SnapshotError> {
-        let mut got = 0;
-        while got < buf.len() {
-            match self.input.read(&mut buf[got..]) {
-                Ok(0) => break,
-                Ok(n) => got += n,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => return Err(SnapshotError::Parse { offset: got, what: "I/O error" }),
-            }
-        }
-        Ok(got)
+        crate::transport::fill_from(&mut self.input, buf)
+            .map_err(|e| SnapshotError::transport("read", &e))
     }
 
     /// The next record of the stream (reports included), or `None` at
@@ -347,8 +347,8 @@ impl<R: BufRead> SnapshotSource<R> {
             match self.input.read_line(&mut self.line) {
                 Ok(0) => return None,
                 Ok(_) => {}
-                Err(_) => {
-                    return self.fail(SnapshotError::Parse { offset: 0, what: "I/O error" });
+                Err(e) => {
+                    return self.fail(SnapshotError::transport("read", &e));
                 }
             }
             let text = self.line.trim();

@@ -12,11 +12,17 @@
 //!    to show snapshots are first-class pipeline input;
 //! 4. re-run one shard with the **binary (v2) wire format** — the
 //!    `--format binary` path — and show that the smaller frames fold
-//!    to the byte-identical merged state.
+//!    to the byte-identical merged state;
+//! 5. stream the shards over **transports** instead of buffers — both
+//!    shard pipelines write natively encoded v2 frames over localhost
+//!    TCP into one `TcpFrameListener` (the `distagg shard --connect` /
+//!    `hhh-agg --listen` path) — and show the socket fold is
+//!    byte-identical to the file fold: a frame on a socket is the
+//!    same bytes as a frame in a file.
 //!
 //! Run with: `cargo run --release --example dist_agg`
 
-use hidden_hhh::agg::{fold_streams, read_stream};
+use hidden_hhh::agg::{collect_socket_streams, fold_streams, read_stream};
 use hidden_hhh::core::WireFormat;
 use hidden_hhh::prelude::*;
 use hidden_hhh::window::{shard_of, FoldSnapshots, SnapshotSink, SnapshotSource};
@@ -110,4 +116,50 @@ fn main() {
         );
     }
     println!("binary + JSON shards folded to the byte-identical merged state");
+
+    // --- 5. the same shards over a live transport: each pipeline
+    // streams natively encoded v2 frames (`FrameEncode`, no JSON on
+    // the shard side) over localhost TCP; the listener folds them in
+    // hello-id order. `distagg shard --connect` / `hhh-agg --listen`
+    // run exactly this across real processes and hosts.
+    let listener = TcpFrameListener::bind("127.0.0.1:0")
+        .expect("bind an ephemeral localhost port")
+        .with_timeout(std::time::Duration::from_secs(60));
+    let addr = listener.local_addr().expect("bound address").to_string();
+    let streamed = std::thread::scope(|s| {
+        for shard in 0..2usize {
+            let addr = addr.clone();
+            let packets = &packets;
+            s.spawn(move || {
+                let mine = packets.iter().copied().filter(|p| shard_of(&p.src, 2) == shard);
+                let transport = TcpTransport::connect(addr).with_hello(shard as u64, "example");
+                let (_t, err) = Pipeline::new(mine)
+                    .engine(ShardedDisjoint::new(
+                        vec![ExactHhh::new(h)],
+                        horizon,
+                        window,
+                        &[threshold],
+                        |p| p.src,
+                    ))
+                    .sink(TransportSink::new(transport))
+                    .run();
+                assert!(err.is_none(), "localhost TCP writes succeed: {err:?}");
+            });
+        }
+        collect_socket_streams(listener, 2).expect("both shard streams complete")
+    });
+    let merged_socket = fold_streams(&h, &streamed).expect("socket shards fold");
+    assert_eq!(merged.len(), merged_socket.len(), "socket fold must cover every report point");
+    for (a, b) in merged.iter().zip(&merged_socket) {
+        assert_eq!(
+            a.detector.snapshot().to_json(),
+            b.detector.snapshot().to_json(),
+            "the socket fold must land on the identical merged state"
+        );
+    }
+    println!(
+        "2 shard pipelines -> TCP {addr} -> folded: byte-identical to the file fold \
+         ({} report points)",
+        merged_socket.len()
+    );
 }

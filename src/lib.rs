@@ -27,7 +27,9 @@
 //! * [`window`] — the unified `Pipeline` (source → engine → sink):
 //!   disjoint / sliding / micro-varied / continuous engines plus their
 //!   sharded multi-core variants (batch-fed, merge-at-report), channel
-//!   sources with back-pressure, and JSON snapshot sinks;
+//!   sources with back-pressure, snapshot sinks in both wire formats,
+//!   and the snapshot **transports** (file / TCP / in-process channel)
+//!   that stream natively encoded v2 frames between processes;
 //! * [`dataplane`] — a match-action pipeline model with resource
 //!   accounting;
 //! * [`analysis`] — Jaccard, hidden-HHH, ECDF, precision/recall,
@@ -94,9 +96,11 @@ pub mod prelude {
     pub use hhh_sketches::{DecayRate, OnDemandTdbf, SpaceSaving};
     pub use hhh_trace::{scenarios, TraceGenerator, TraceStats, TrafficModel};
     pub use hhh_window::{
-        bounded, with_continuous_shards, with_shards, with_sliding_shards, CollectSink, Continuous,
-        Disjoint, Engine, FnSink, JsonSnapshotSink, MicroVaried, PacketSource, Pipeline,
-        ReportSink, ShardedContinuous, ShardedDisjoint, ShardedSliding, SlidingExact, WindowReport,
+        bounded, mem_transport, with_continuous_shards, with_shards, with_sliding_shards,
+        CollectSink, Continuous, Disjoint, Engine, FnSink, JsonSnapshotSink, MicroVaried,
+        PacketSource, Pipeline, ReportSink, ShardedContinuous, ShardedDisjoint, ShardedSliding,
+        SlidingExact, SnapshotSink, TcpFrameListener, TcpTransport, TransportSink, TransportSource,
+        WindowReport,
     };
     // The deprecated pre-pipeline drivers, for call sites mid-migration.
     #[allow(deprecated)]

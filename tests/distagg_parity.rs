@@ -92,6 +92,35 @@ fn all_kinds_fold_to_the_inprocess_state_at_k3() {
 }
 
 #[test]
+fn socket_fold_is_byte_identical_to_the_file_fold_for_all_kinds() {
+    // The PR-5 transport contract on a debug-affordable trace: K
+    // concurrent shard pipelines streaming natively encoded v2 frames
+    // over localhost TCP must fold to output byte-identical to the
+    // file-based fold and state-identical to the in-process sharded
+    // run. (`distagg socket smoke` and the CI socket smoke re-check
+    // the full 1.36M-packet trace in release.)
+    use hhh_experiments::distagg::run_socket_on;
+    let horizon = TimeSpan::from_secs(15);
+    let trace: Vec<PacketRecord> =
+        TraceGenerator::new(scenarios::day_trace(0, horizon), scenarios::day_seed(0)).collect();
+    let rows = run_socket_on(&trace, horizon, &[3], &KINDS);
+    assert_eq!(rows.len(), KINDS.len());
+    for r in &rows {
+        assert!(
+            r.socket_eq_file,
+            "{} at K={}: socket fold output diverged from the file fold",
+            r.detector, r.shards
+        );
+        assert!(
+            r.state_identical,
+            "{} at K={}: socket-folded state diverged from the in-process merge",
+            r.detector, r.shards
+        );
+        assert_eq!(r.folded, r.points * r.shards, "one snapshot per connection per point");
+    }
+}
+
+#[test]
 fn folded_reports_reconstruct_exact_window_bounds() {
     // The v1 gap this PR closes: state records used to carry only
     // `at_ns`, so a folded report could not know its window start.

@@ -161,9 +161,16 @@ proptest! {
     }
 }
 
-/// Build one detector of each kind from a seeded stream and return its
-/// (JSON-bodied) snapshot — the differential-test corpus generator.
-fn arbitrary_snapshots(seed: u64, n: usize) -> Vec<DetectorSnapshot> {
+/// One live detector of each kind, built from the same seeded stream —
+/// the differential-test corpus generator.
+struct ArbitraryDetectors {
+    exact: ExactHhh<Ipv4Hierarchy>,
+    ss: SpaceSavingHhh<Ipv4Hierarchy>,
+    rhhh: Rhhh<Ipv4Hierarchy>,
+    tdbf: TdbfHhh<Ipv4Hierarchy>,
+}
+
+fn arbitrary_detectors(seed: u64, n: usize) -> ArbitraryDetectors {
     let items = stream(n, seed);
     let mut exact = ExactHhh::new(h());
     let mut ss = SpaceSavingHhh::new(h(), 64);
@@ -189,11 +196,18 @@ fn arbitrary_snapshots(seed: u64, n: usize) -> Vec<DetectorSnapshot> {
             w,
         );
     }
+    ArbitraryDetectors { exact, ss, rhhh, tdbf }
+}
+
+/// Build one detector of each kind from a seeded stream and return its
+/// (JSON-bodied) snapshot.
+fn arbitrary_snapshots(seed: u64, n: usize) -> Vec<DetectorSnapshot> {
+    let d = arbitrary_detectors(seed, n);
     vec![
-        exact.snapshot().unwrap(),
-        ss.snapshot().unwrap(),
-        rhhh.snapshot().unwrap(),
-        MergeableDetector::snapshot(&tdbf).unwrap(),
+        d.exact.snapshot().unwrap(),
+        d.ss.snapshot().unwrap(),
+        d.rhhh.snapshot().unwrap(),
+        MergeableDetector::snapshot(&d.tdbf).unwrap(),
     ]
 }
 
@@ -250,6 +264,53 @@ proptest! {
                 via_json.snapshot().to_json(),
                 "kind {}: v2-restored fold must be bit-identical to the v1-restored fold",
                 a.kind
+            );
+        }
+    }
+
+    /// Differential contract #4 (PR 5): for arbitrary detector states
+    /// of every kind, the **native** frame encode
+    /// (`MergeableDetector::to_frame`, the `FrameEncode` path — no
+    /// JSON rendered or parsed) is byte-identical to the
+    /// `snapshot()`-then-transcode reference, frame header included.
+    #[test]
+    fn native_frame_encode_matches_the_transcode_reference(
+        seed in 0u64..1_000_000,
+        n in 200usize..1500,
+    ) {
+        let (start, at) = (Nanos::from_secs(2), Nanos::from_secs(7));
+        let d = arbitrary_detectors(seed, n);
+        let reference = |snap: &DetectorSnapshot| {
+            snap.to_frame(start, at).expect("own snapshots transcode").encode()
+        };
+        let cases: [(&str, Vec<u8>, Vec<u8>); 4] = [
+            (
+                "exact",
+                d.exact.to_frame(start, at).expect("native-encodes").encode(),
+                reference(&d.exact.snapshot().unwrap()),
+            ),
+            (
+                "ss-hhh",
+                d.ss.to_frame(start, at).expect("native-encodes").encode(),
+                reference(&d.ss.snapshot().unwrap()),
+            ),
+            (
+                "rhhh",
+                d.rhhh.to_frame(start, at).expect("native-encodes").encode(),
+                reference(&d.rhhh.snapshot().unwrap()),
+            ),
+            (
+                "tdbf-hhh",
+                MergeableDetector::to_frame(&d.tdbf, start, at).expect("native-encodes").encode(),
+                reference(&MergeableDetector::snapshot(&d.tdbf).unwrap()),
+            ),
+        ];
+        for (kind, native, transcoded) in cases {
+            prop_assert_eq!(
+                native,
+                transcoded,
+                "kind {}: native FrameEncode must write the transcode path's exact bytes",
+                kind
             );
         }
     }
