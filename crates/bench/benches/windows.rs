@@ -3,11 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hhh_bench::fixture;
-use hhh_core::{ExactHhh, Threshold};
+use hhh_core::{ExactHhh, HhhDetector, MementoHhh, SpaceSavingHhh, Threshold};
 use hhh_hierarchy::Ipv4Hierarchy;
 use hhh_nettypes::TimeSpan;
 use hhh_window::geometry;
-use hhh_window::{Disjoint, Pipeline, SlidingExact};
+use hhh_window::{Disjoint, Pipeline, ShardedSliding, SlidingExact};
 use std::hint::black_box;
 
 fn bench_windows(c: &mut Criterion) {
@@ -53,6 +53,112 @@ fn bench_windows(c: &mut Criterion) {
             })
         });
     }
+    g.finish();
+
+    // The sliding-window pkts/s scoreboard (criterion leg of the
+    // `scale -- sliding` experiment): per-position cost of the sharded
+    // sliding engine under both cost models — the forced slot-order
+    // ring merge (the pre-incremental baseline) vs the default
+    // incremental rolling state — plus the non-retractable fallback
+    // kind and the window-native detector that pays no merges at all.
+    let step = TimeSpan::from_millis(500);
+    let mut g = c.benchmark_group("sliding_scoreboard");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+
+    g.bench_function("exact_ring_k2", |b| {
+        b.iter(|| {
+            black_box(
+                Pipeline::new(pkts.iter().copied())
+                    .engine(
+                        ShardedSliding::new(
+                            2,
+                            |_| ExactHhh::new(h),
+                            horizon,
+                            window,
+                            step,
+                            &t,
+                            |p| p.src,
+                        )
+                        .force_ring_merge(),
+                    )
+                    .collect()
+                    .run(),
+            )
+        })
+    });
+    g.bench_function("exact_incr_k2", |b| {
+        b.iter(|| {
+            black_box(
+                Pipeline::new(pkts.iter().copied())
+                    .engine(ShardedSliding::new(
+                        2,
+                        |_| ExactHhh::new(h),
+                        horizon,
+                        window,
+                        step,
+                        &t,
+                        |p| p.src,
+                    ))
+                    .collect()
+                    .run(),
+            )
+        })
+    });
+    g.bench_function("ss_hhh_ring_k1", |b| {
+        b.iter(|| {
+            black_box(
+                Pipeline::new(pkts.iter().copied())
+                    .engine(ShardedSliding::new(
+                        1,
+                        |_| SpaceSavingHhh::new(h, 512),
+                        horizon,
+                        window,
+                        step,
+                        &t,
+                        |p| p.src,
+                    ))
+                    .collect()
+                    .run(),
+            )
+        })
+    });
+    g.bench_function("memento_native", |b| {
+        // Window-native: batched ingest plus one report per step
+        // position — no engine, no merges; the window slides inside
+        // the detector.
+        let epw = window / step;
+        let n_epochs = TimeSpan::from_secs(horizon_s) / step;
+        let window_pkts = pkts.len() * 5 / horizon_s as usize;
+        b.iter(|| {
+            let mut det = MementoHhh::new(h, window_pkts, 10, 512);
+            let mut pending: Vec<(u32, u64)> = Vec::with_capacity(8192);
+            let mut cur_epoch = 0u64;
+            let mut reports = 0usize;
+            for p in pkts.iter() {
+                let e = p.ts.bin_index(step);
+                if e >= n_epochs {
+                    break;
+                }
+                while cur_epoch < e {
+                    if !pending.is_empty() {
+                        det.observe_batch(&pending);
+                        pending.clear();
+                    }
+                    if cur_epoch + 1 >= epw {
+                        reports += det.report(t[0]).len();
+                    }
+                    cur_epoch += 1;
+                }
+                pending.push((p.src, p.wire_len as u64));
+                if pending.len() >= 8192 {
+                    det.observe_batch(&pending);
+                    pending.clear();
+                }
+            }
+            black_box(reports)
+        })
+    });
     g.finish();
 
     // Pure geometry (should be trivially cheap; regression canary).

@@ -21,6 +21,7 @@
 //! | [`ExactHhh`] | exact, windowed | ground truth for every experiment (the paper's own analysis is offline/exact) |
 //! | [`SpaceSavingHhh`] | approximate, windowed | the classic per-level streaming HHH (full ancestry) |
 //! | [`Rhhh`] | approximate, windowed | randomized constant-time HHH (Ben Basat et al., SIGCOMM 2017) — the state of the art the calibration note positions this poster against |
+//! | [`MementoHhh`] | approximate, **window-native** | per-level Memento-style sliding summaries (Ben-Basat et al., CoNEXT 2018): the detector maintains its own packet window with O(1) slide, so reports always cover the last `W` packets without engine resets or per-position merges |
 //! | [`TdbfHhh`] | approximate, **windowless** | the paper's §3 proposal: per-level on-demand time-decaying Bloom filters + decayed candidate tables |
 //! | [`HashPipe`] | HH baseline | "Heavy-Hitter Detection Entirely in the Data Plane" (SOSR 2017), the paper's ref. \[5\] |
 //! | [`UnivMonLite`] | HH baseline | UnivMon-style universal sketch (SIGCOMM 2016), the paper's ref. \[4\] |
@@ -45,6 +46,7 @@
 mod detector;
 mod exact;
 mod hashpipe;
+mod memento;
 mod report;
 mod rhhh;
 pub mod snapshot;
@@ -56,6 +58,7 @@ mod univmon;
 pub use detector::{ContinuousDetector, HhhDetector, MergeableDetector};
 pub use exact::{discount_bottom_up, ExactHhh};
 pub use hashpipe::HashPipe;
+pub use memento::MementoHhh;
 pub use report::{HhhReport, Threshold};
 pub use rhhh::Rhhh;
 pub use snapshot::{

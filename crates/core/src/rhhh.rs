@@ -32,6 +32,10 @@ pub struct Rhhh<H: Hierarchy> {
     rng: SmallRng,
     total: u64,
     updates_per_level: Vec<u64>,
+    /// Reusable per-batch grouping buffers (one per level), emptied
+    /// after every batch but keeping their capacity — the steady-state
+    /// batched path allocates nothing.
+    grouped: Vec<Vec<(H::Prefix, u64)>>,
 }
 
 impl<H: Hierarchy> Rhhh<H> {
@@ -45,6 +49,7 @@ impl<H: Hierarchy> Rhhh<H> {
             rng: SmallRng::seed_from_u64(seed),
             total: 0,
             updates_per_level: vec![0; v],
+            grouped: vec![Vec::new(); v],
         }
     }
 
@@ -97,33 +102,35 @@ impl<H: Hierarchy> Rhhh<H> {
 }
 
 impl<H: Hierarchy> HhhDetector<H> for Rhhh<H> {
+    /// The single-packet path is the batched path on a one-element
+    /// batch — one code path, and the RNG draws exactly one level
+    /// either way, so the state sequence is identical.
+    #[inline]
     fn observe(&mut self, item: H::Item, weight: u64) {
-        self.total += weight;
-        let level = self.rng.gen_range(0..self.levels.len());
-        let p = self.hierarchy.generalize(item, level);
-        self.levels[level].update(p, weight);
-        self.updates_per_level[level] += 1;
+        self.observe_batch(&[(item, weight)]);
     }
 
     /// Batched sampling: draw every packet's level first, then apply
     /// updates level-major so each summary is swept once per batch.
     /// The level draws use the same RNG sequence as the per-packet
     /// path, and per-level update order is preserved, so the resulting
-    /// state is identical to looping [`observe`](Self::observe).
+    /// state is identical to observing packet-by-packet. The grouping
+    /// buffers persist across batches (cleared, capacity kept): the
+    /// steady-state path is allocation-free.
     fn observe_batch(&mut self, batch: &[(H::Item, u64)]) {
         let v = self.levels.len();
-        let mut grouped: Vec<Vec<(H::Prefix, u64)>> = vec![Vec::new(); v];
         for &(item, weight) in batch {
             self.total += weight;
             let level = self.rng.gen_range(0..v);
-            grouped[level].push((self.hierarchy.generalize(item, level), weight));
+            self.grouped[level].push((self.hierarchy.generalize(item, level), weight));
             self.updates_per_level[level] += 1;
         }
-        for (level, updates) in grouped.into_iter().enumerate() {
-            let summary = &mut self.levels[level];
-            for (p, weight) in updates {
+        let Rhhh { levels, grouped, .. } = self;
+        for (summary, updates) in levels.iter_mut().zip(grouped.iter_mut()) {
+            for &(p, weight) in updates.iter() {
                 summary.update(p, weight);
             }
+            updates.clear();
         }
     }
 
@@ -300,12 +307,14 @@ where
                 what: "one entry per level required",
             });
         }
+        let v = levels.len();
         Ok(Rhhh {
             hierarchy,
             levels,
             rng: SmallRng::seed_from_u64(RESTORED_SEED),
             total,
             updates_per_level,
+            grouped: vec![Vec::new(); v],
         })
     }
 }

@@ -23,6 +23,9 @@ pub struct SpaceSavingHhh<H: Hierarchy> {
     /// One summary per level; `levels[0]` monitors exact items.
     levels: Vec<SpaceSaving<H::Prefix>>,
     total: u64,
+    /// Reusable per-batch staging buffer for generalized prefixes —
+    /// grown once, never reallocated on the steady-state hot path.
+    scratch: Vec<(H::Prefix, u64)>,
 }
 
 impl<H: Hierarchy> SpaceSavingHhh<H> {
@@ -32,7 +35,7 @@ impl<H: Hierarchy> SpaceSavingHhh<H> {
     pub fn new(hierarchy: H, counters_per_level: usize) -> Self {
         let levels =
             (0..hierarchy.levels()).map(|_| SpaceSaving::new(counters_per_level)).collect();
-        SpaceSavingHhh { hierarchy, levels, total: 0 }
+        SpaceSavingHhh { hierarchy, levels, total: 0, scratch: Vec::new() }
     }
 
     /// The per-level summaries (read-only, for diagnostics).
@@ -71,25 +74,32 @@ impl<H: Hierarchy> SpaceSavingHhh<H> {
 }
 
 impl<H: Hierarchy> HhhDetector<H> for SpaceSavingHhh<H> {
+    /// The single-packet path is the batched path on a one-element
+    /// batch — one level-major code path to maintain, identical state
+    /// either way (per level, updates arrive in the same order).
+    #[inline]
     fn observe(&mut self, item: H::Item, weight: u64) {
-        self.total += weight;
-        for level in 0..self.levels.len() {
-            let p = self.hierarchy.generalize(item, level);
-            self.levels[level].update(p, weight);
-        }
+        self.observe_batch(&[(item, weight)]);
     }
 
     /// Level-major batching: the per-packet loop touches all `levels`
     /// summaries per packet (cache-hostile once summaries outgrow L1);
     /// per batch we instead sweep one level's summary over the whole
-    /// batch before moving to the next.
+    /// batch before moving to the next. Each level first stages its
+    /// generalized prefixes in the reusable scratch buffer — that loop
+    /// is a pure mask-and-copy with a loop-invariant mask (see
+    /// `Ipv4Hierarchy::generalize`), so it vectorizes — and then sweeps
+    /// the summary over the staged prefixes.
     fn observe_batch(&mut self, batch: &[(H::Item, u64)]) {
         for &(_, weight) in batch {
             self.total += weight;
         }
-        for (level, summary) in self.levels.iter_mut().enumerate() {
-            for &(item, weight) in batch {
-                summary.update(self.hierarchy.generalize(item, level), weight);
+        let SpaceSavingHhh { hierarchy, levels, scratch, .. } = self;
+        for (level, summary) in levels.iter_mut().enumerate() {
+            scratch.clear();
+            scratch.extend(batch.iter().map(|&(item, w)| (hierarchy.generalize(item, level), w)));
+            for &(p, w) in scratch.iter() {
+                summary.update(p, w);
             }
         }
     }
@@ -354,7 +364,7 @@ where
         let state = snap.state()?;
         let capacity = wire_capacity(req_u64(&state, "capacity")?)?;
         let levels = levels_from_json(&state, capacity, hierarchy.levels())?;
-        Ok(SpaceSavingHhh { hierarchy, levels, total: snap.total })
+        Ok(SpaceSavingHhh { hierarchy, levels, total: snap.total, scratch: Vec::new() })
     }
 
     /// The validated decode core both wire formats share.
@@ -366,7 +376,7 @@ where
     ) -> Result<Self, crate::snapshot::SnapshotError> {
         let capacity = wire_capacity(capacity)?;
         let levels = levels_from_rows(rows, capacity, hierarchy.levels())?;
-        Ok(SpaceSavingHhh { hierarchy, levels, total: envelope_total })
+        Ok(SpaceSavingHhh { hierarchy, levels, total: envelope_total, scratch: Vec::new() })
     }
 }
 

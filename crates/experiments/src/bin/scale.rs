@@ -1,27 +1,39 @@
 //! E-scale — the shard-count sweep over the batched, mergeable
-//! ingestion pipeline.
+//! ingestion pipeline, and the sliding-window pkts/s scoreboard.
 //!
 //! ```text
 //! cargo run --release -p hhh-experiments --bin scale -- [smoke|quick|paper] [out.json]
+//! cargo run --release -p hhh-experiments --bin scale -- sliding [smoke|quick|paper] [out.json]
 //! ```
 //!
-//! Prints the throughput/fidelity table; with a second argument, also
-//! writes the rows as JSON lines (the format committed as
-//! `BENCH_pr1.json`).
+//! Prints the throughput/fidelity table; with an output path, also
+//! writes the rows as JSON lines (the formats committed as
+//! `BENCH_pr1.json` and `BENCH_pr6.json`).
 
-use hhh_experiments::{shard_sweep, Scale};
+use hhh_experiments::{shard_sweep, sliding_scoreboard, Scale};
 
 fn main() {
-    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sliding = args.first().is_some_and(|a| a == "sliding");
+    let rest = if sliding { &args[1..] } else { &args[..] };
+    let scale = rest.first().and_then(|a| Scale::parse(a)).unwrap_or(Scale::Quick);
+    let out = rest.get(1).cloned();
     eprintln!(
-        "shard sweep at scale '{}' on {} hardware thread(s)…",
+        "{} at scale '{}' on {} hardware thread(s)…",
+        if sliding { "sliding scoreboard" } else { "shard sweep" },
         scale.label(),
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
-    let results = shard_sweep(scale);
-    print!("{}", results.table());
-    if let Some(path) = std::env::args().nth(2) {
-        std::fs::write(&path, results.json_lines()).expect("write JSON output");
+    let (table, json) = if sliding {
+        let results = sliding_scoreboard(scale);
+        (results.table(), results.json_lines())
+    } else {
+        let results = shard_sweep(scale);
+        (results.table(), results.json_lines())
+    };
+    print!("{table}");
+    if let Some(path) = out {
+        std::fs::write(&path, json).expect("write JSON output");
         eprintln!("wrote {path}");
     }
 }

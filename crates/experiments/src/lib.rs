@@ -30,4 +30,7 @@ pub mod fig3;
 mod scale;
 pub mod workloads;
 
-pub use scale::{shard_sweep, Scale, ShardSweepResults, ShardSweepRow, SHARD_COUNTS};
+pub use scale::{
+    shard_sweep, sliding_scoreboard, Scale, ShardSweepResults, ShardSweepRow,
+    SlidingScoreboardResults, SHARD_COUNTS,
+};

@@ -3,11 +3,16 @@
 //! mergeable ingestion pipeline (`hhh-window::sharded`).
 
 use hhh_analysis::{fmt_f, jaccard, Table};
-use hhh_core::{ExactHhh, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh, Threshold};
+use hhh_core::{
+    ExactHhh, HhhDetector, MementoHhh, MergeableDetector, Rhhh, SpaceSavingHhh, Threshold,
+};
 use hhh_hierarchy::Ipv4Hierarchy;
 use hhh_nettypes::{PacketRecord, TimeSpan};
 use hhh_trace::{scenarios, TraceGenerator};
-use hhh_window::{source, Disjoint, Pipeline, ShardedDisjoint, WindowReport, DEFAULT_BATCH};
+use hhh_window::{
+    source, Disjoint, Pipeline, ShardedDisjoint, ShardedSliding, SlidingExact, WindowReport,
+    DEFAULT_BATCH,
+};
 use std::time::Instant;
 
 /// How big to run an experiment.
@@ -295,6 +300,259 @@ fn run_family<D>(
             jaccard_vs_reference: mean_jaccard(&reference[0], &sharded[0]),
         });
     }
+}
+
+/// Results of [`sliding_scoreboard`] — same row shape as the shard
+/// sweep, different experiment tag in the JSON lines.
+#[derive(Clone, Debug)]
+pub struct SlidingScoreboardResults {
+    /// One row per (detector kind, sliding mode).
+    pub rows: Vec<ShardSweepRow>,
+    /// Scale the scoreboard ran at.
+    pub scale: Scale,
+}
+
+impl SlidingScoreboardResults {
+    /// The row for a detector and mode label, if measured.
+    pub fn row(&self, detector: &str, mode: &str) -> Option<&ShardSweepRow> {
+        self.rows.iter().find(|r| r.detector == detector && r.mode == mode)
+    }
+
+    /// Render as an aligned text table.
+    pub fn table(&self) -> String {
+        let mut t = Table::new(vec![
+            "detector", "mode", "shards", "packets", "seconds", "pkts/s", "jaccard",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.detector.to_string(),
+                r.mode.clone(),
+                r.shards.to_string(),
+                r.packets.to_string(),
+                fmt_f(r.seconds, 3),
+                format!("{:.0}", r.pkts_per_sec),
+                fmt_f(r.jaccard_vs_reference, 4),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Render as JSON lines (one object per row), the format committed
+    /// as `BENCH_pr6.json`.
+    pub fn json_lines(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{{\"experiment\": \"sliding_scoreboard\", \"scale\": \"{}\", \
+                 \"detector\": \"{}\", \"mode\": \"{}\", \"shards\": {}, \"packets\": {}, \
+                 \"seconds\": {:.6}, \"pkts_per_sec\": {:.1}, \
+                 \"jaccard_vs_reference\": {:.6}}}\n",
+                self.scale.label(),
+                r.detector,
+                r.mode,
+                r.shards,
+                r.packets,
+                r.seconds,
+                r.pkts_per_sec,
+                r.jaccard_vs_reference,
+            ));
+        }
+        out
+    }
+}
+
+/// Per-detector-kind pkts/s scoreboard on the **sliding-window path**:
+/// window 5 s, step 100 ms (50 epochs per window), on a
+/// high-cardinality trace (10 000 sources — so per-epoch state is a
+/// small fraction of per-window state and per-position merge costs are
+/// visible, unlike the 2 500-source day trace where every epoch
+/// saturates the key population). It measures:
+///
+/// * `sliding-exact` — the single-threaded rolling-count engine
+///   ([`SlidingExact`]), also the fidelity reference;
+/// * `shard/1` for the exact kind — [`ShardedSliding`] at one shard
+///   (the worker-rolling path; identical under either cost model);
+/// * `ring/4` for the exact kind — [`ShardedSliding`] with
+///   [`force_ring_merge`](ShardedSliding::force_ring_merge): the
+///   pre-incremental per-position cost (`shards` window-sized clones
+///   plus `shards − 1` window-sized merges at the aggregator),
+///   measured as the baseline;
+/// * `incr/4` for the exact kind — the same engine on its default
+///   incremental path (`O(shards)` *epoch*-sized merges per position
+///   plus one window-sized clone). `incr/4` vs `ring/4` is the
+///   ring-re-merge elimination at equal shard count;
+/// * `ring/1` for `ss-hhh` — a non-retractable kind, which only has
+///   the slot-order ring-merge fallback (`window/step` summary merges
+///   per position);
+/// * `native` for `memento` — the window-native [`MementoHhh`], whose
+///   per-position cost is a query: the detector maintains its own
+///   window, no merges at all. `native` vs ss-hhh `ring/1` is the
+///   headline — both are bounded-memory approximate sliding HHH, one
+///   pays the per-position ring merge and one doesn't.
+///
+/// Jaccard is against the [`SlidingExact`] reference per position; the
+/// exact rows must score 1.0.
+pub fn sliding_scoreboard(scale: Scale) -> SlidingScoreboardResults {
+    let horizon = scale.compare_duration();
+    let window = TimeSpan::from_secs(5);
+    let step = TimeSpan::from_millis(100);
+    let epw = (window / step) as usize;
+    let thresholds = [Threshold::percent(1.0)];
+    let h = Ipv4Hierarchy::bytes();
+    let model = hhh_trace::TrafficModel {
+        duration: horizon,
+        sources: 10_000,
+        zipf_alpha: 1.0,
+        total_pps: 25_000.0,
+        networks: 256,
+        ..hhh_trace::TrafficModel::default()
+    };
+    let packets: Vec<PacketRecord> = TraceGenerator::new(model, scenarios::day_seed(0)).collect();
+    let n = packets.len() as u64;
+    let mut rows = Vec::new();
+
+    // Reference: the rolling-count sliding engine.
+    let start = Instant::now();
+    let reference = Pipeline::new(packets.iter().copied())
+        .engine(SlidingExact::new(&h, horizon, window, step, &thresholds, |p| p.src))
+        .collect()
+        .run();
+    let secs = start.elapsed().as_secs_f64();
+    rows.push(ShardSweepRow {
+        detector: "exact",
+        mode: "sliding-exact".into(),
+        shards: 1,
+        packets: n,
+        seconds: secs,
+        pkts_per_sec: n as f64 / secs,
+        jaccard_vs_reference: 1.0,
+    });
+
+    // Exact kind through the sharded sliding engine: the one-shard
+    // path, then both cost models at four shards.
+    for (mode, k, forced) in [("shard/1", 1usize, false), ("ring/4", 4, true), ("incr/4", 4, false)]
+    {
+        let mut engine = ShardedSliding::new(
+            k,
+            |_shard| ExactHhh::new(h),
+            horizon,
+            window,
+            step,
+            &thresholds,
+            |p: &PacketRecord| p.src,
+        );
+        if forced {
+            engine = engine.force_ring_merge();
+        }
+        let start = Instant::now();
+        let sharded = Pipeline::new(packets.iter().copied()).engine(engine).collect().run();
+        let secs = start.elapsed().as_secs_f64();
+        rows.push(ShardSweepRow {
+            detector: "exact",
+            mode: mode.into(),
+            shards: k,
+            packets: n,
+            seconds: secs,
+            pkts_per_sec: n as f64 / secs,
+            jaccard_vs_reference: mean_jaccard(&reference[0], &sharded[0]),
+        });
+    }
+
+    // A non-retractable kind: only the fallback ring merge exists.
+    {
+        let start = Instant::now();
+        let sharded = Pipeline::new(packets.iter().copied())
+            .engine(ShardedSliding::new(
+                1,
+                |_shard| SpaceSavingHhh::new(h, 512),
+                horizon,
+                window,
+                step,
+                &thresholds,
+                |p: &PacketRecord| p.src,
+            ))
+            .collect()
+            .run();
+        let secs = start.elapsed().as_secs_f64();
+        rows.push(ShardSweepRow {
+            detector: "ss-hhh",
+            mode: "ring/1".into(),
+            shards: 1,
+            packets: n,
+            seconds: secs,
+            pkts_per_sec: n as f64 / secs,
+            jaccard_vs_reference: mean_jaccard(&reference[0], &sharded[0]),
+        });
+    }
+
+    // Window-native: MementoHhh holds a packet-count window sized to
+    // the mean packets per time window, queried at every position the
+    // reference reports.
+    {
+        let window_pkts = ((n as u128 * window.as_nanos() as u128 / horizon.as_nanos() as u128)
+            as usize)
+            .max(epw);
+        // Ten frames per window: frame granularity bounds the expiry
+        // slack (window/10 here), and a short frame ring keeps the
+        // summary's decrement passes cheap — it need not match the
+        // engine's epoch count.
+        let mut det = MementoHhh::new(h, window_pkts, 10, 512);
+        let n_epochs = horizon / step;
+        let epw_u64 = epw as u64;
+        let mut sets = Vec::with_capacity(reference[0].len());
+        let mut pending: Vec<(u32, u64)> = Vec::with_capacity(DEFAULT_BATCH);
+        let mut cur_epoch = 0u64;
+        let start = Instant::now();
+        let boundary = |det: &mut MementoHhh<Ipv4Hierarchy>,
+                        pending: &mut Vec<(u32, u64)>,
+                        cur_epoch: u64,
+                        sets: &mut Vec<_>| {
+            if !pending.is_empty() {
+                det.observe_batch(pending);
+                pending.clear();
+            }
+            if cur_epoch + 1 >= epw_u64 {
+                sets.push(WindowReport {
+                    index: cur_epoch + 1 - epw_u64,
+                    start: hhh_nettypes::Nanos::ZERO,
+                    end: hhh_nettypes::Nanos::ZERO,
+                    total: det.windowed_total(),
+                    hhhs: det.report(thresholds[0]),
+                });
+            }
+        };
+        for p in packets.iter() {
+            let e = p.ts.bin_index(step);
+            if e >= n_epochs {
+                break;
+            }
+            while cur_epoch < e {
+                boundary(&mut det, &mut pending, cur_epoch, &mut sets);
+                cur_epoch += 1;
+            }
+            pending.push((p.src, p.wire_len as u64));
+            if pending.len() >= DEFAULT_BATCH {
+                det.observe_batch(&pending);
+                pending.clear();
+            }
+        }
+        while cur_epoch < n_epochs {
+            boundary(&mut det, &mut pending, cur_epoch, &mut sets);
+            cur_epoch += 1;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        rows.push(ShardSweepRow {
+            detector: "memento",
+            mode: "native".into(),
+            shards: 1,
+            packets: n,
+            seconds: secs,
+            pkts_per_sec: n as f64 / secs,
+            jaccard_vs_reference: mean_jaccard(&reference[0], &sets),
+        });
+    }
+
+    SlidingScoreboardResults { rows, scale }
 }
 
 #[cfg(test)]

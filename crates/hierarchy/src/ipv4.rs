@@ -21,6 +21,11 @@ use hhh_nettypes::Ipv4Prefix;
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Ipv4Hierarchy {
     granularity: u8,
+    // Network mask per level, precomputed at construction so the
+    // per-packet `generalize` is one load + one AND instead of a
+    // length computation and a branchy shift. Entries past the root
+    // level repeat the root mask (0) and are never indexed.
+    masks: [u32; 33],
 }
 
 impl Ipv4Hierarchy {
@@ -28,7 +33,15 @@ impl Ipv4Hierarchy {
     /// Panics unless `1 <= granularity <= 32`.
     pub const fn new(granularity: u8) -> Self {
         assert!(granularity >= 1 && granularity <= 32, "granularity must be in 1..=32");
-        Ipv4Hierarchy { granularity }
+        let mut masks = [0u32; 33];
+        let mut level = 0usize;
+        while level < 33 {
+            let drop = level as u32 * granularity as u32;
+            let len = if drop >= 32 { 0 } else { (32 - drop) as u8 };
+            masks[level] = Ipv4Prefix::mask(len);
+            level += 1;
+        }
+        Ipv4Hierarchy { granularity, masks }
     }
 
     /// Bit-granularity: 33 levels, /32 … /0.
@@ -51,6 +64,14 @@ impl Ipv4Hierarchy {
     pub fn prefix_len_at(&self, level: usize) -> u8 {
         let drop = (level as u32) * self.granularity as u32;
         32u32.saturating_sub(drop) as u8
+    }
+
+    /// The precomputed network mask at a level (level 0 → all ones,
+    /// root level → 0). Panics if `level >= levels()`.
+    #[inline]
+    pub fn mask_at(&self, level: usize) -> u32 {
+        assert!(level < self.levels(), "level {level} out of range");
+        self.masks[level]
     }
 
     /// The level of a given prefix length. Panics if `len` is not one of
@@ -83,7 +104,9 @@ impl Hierarchy for Ipv4Hierarchy {
     #[inline]
     fn generalize(&self, item: u32, level: usize) -> Ipv4Prefix {
         assert!(level < self.levels(), "level {level} out of range");
-        Ipv4Prefix::new(item, self.prefix_len_at(level))
+        // Table-driven: one load + one AND. In a level-major loop the
+        // mask is loop-invariant, so the per-item masking vectorizes.
+        Ipv4Prefix::from_masked(item & self.masks[level], self.prefix_len_at(level))
     }
 
     #[inline]
@@ -134,6 +157,35 @@ mod tests {
         assert_eq!(h.levels(), 33);
         assert_eq!(h.generalize(u32::MAX, 0).len(), 32);
         assert_eq!(h.generalize(u32::MAX, 32), Ipv4Prefix::ROOT);
+    }
+
+    /// Golden: the precomputed mask table must match the arithmetic
+    /// definition `mask(len) = len == 0 ? 0 : !0 << (32 - len)` at every
+    /// level, for every granularity — spot-pinned values included so a
+    /// table-generation bug can't silently redefine both sides.
+    #[test]
+    fn mask_table_pinned_at_every_level() {
+        for g in 1u8..=32 {
+            let h = Ipv4Hierarchy::new(g);
+            for l in 0..h.levels() {
+                let len = h.prefix_len_at(l);
+                let want = if len == 0 { 0u32 } else { u32::MAX << (32 - len) };
+                assert_eq!(h.mask_at(l), want, "g={g} level={l}");
+                assert_eq!(Ipv4Prefix::mask(len), want, "len={len}");
+                // generalize must agree with mask-then-construct.
+                assert_eq!(h.generalize(0xDEAD_BEEF, l), Ipv4Prefix::new(0xDEAD_BEEF, len));
+            }
+        }
+        let h = Ipv4Hierarchy::bytes();
+        assert_eq!(
+            (0..h.levels()).map(|l| h.mask_at(l)).collect::<Vec<_>>(),
+            vec![0xFFFF_FFFF, 0xFFFF_FF00, 0xFFFF_0000, 0xFF00_0000, 0x0000_0000],
+        );
+        let b = Ipv4Hierarchy::bits();
+        assert_eq!(b.mask_at(0), u32::MAX);
+        assert_eq!(b.mask_at(1), 0xFFFF_FFFE);
+        assert_eq!(b.mask_at(31), 0x8000_0000);
+        assert_eq!(b.mask_at(32), 0);
     }
 
     #[test]

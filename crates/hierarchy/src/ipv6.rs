@@ -39,6 +39,17 @@ impl Ipv6Hierarchy {
         let drop = (level as u32) * self.granularity as u32;
         128u32.saturating_sub(drop) as u8
     }
+
+    /// The network mask at a level (a branchless table lookup; a
+    /// per-instance table like [`crate::Ipv4Hierarchy`]'s would cost
+    /// 2 KiB per `Copy` — at 128 bits the shared length-indexed table
+    /// in `hhh-nettypes` is the same single load). Panics if
+    /// `level >= levels()`.
+    #[inline]
+    pub fn mask_at(&self, level: usize) -> u128 {
+        assert!(level < self.levels(), "level {level} out of range");
+        Ipv6Prefix::mask(self.prefix_len_at(level))
+    }
 }
 
 impl Hierarchy for Ipv6Hierarchy {
@@ -53,7 +64,8 @@ impl Hierarchy for Ipv6Hierarchy {
     #[inline]
     fn generalize(&self, item: u128, level: usize) -> Ipv6Prefix {
         assert!(level < self.levels(), "level {level} out of range");
-        Ipv6Prefix::new(item, self.prefix_len_at(level))
+        let len = self.prefix_len_at(level);
+        Ipv6Prefix::from_masked(item & Ipv6Prefix::mask(len), len)
     }
 
     #[inline]
@@ -104,6 +116,29 @@ mod tests {
         assert_eq!(h.generalize(item, 0).len(), 128);
         assert_eq!(h.generalize(item, 6).to_string(), "2001:db8::/32");
         assert_eq!(h.generalize(item, 8), Ipv6Prefix::ROOT);
+    }
+
+    /// Golden: mask table vs the arithmetic definition at every level,
+    /// with spot-pinned values for the two standard granularities.
+    #[test]
+    fn mask_table_pinned_at_every_level() {
+        for g in [1u8, 4, 8, 16, 32, 64, 128] {
+            let h = Ipv6Hierarchy::new(g);
+            for l in 0..h.levels() {
+                let len = h.prefix_len_at(l);
+                let want = if len == 0 { 0u128 } else { u128::MAX << (128 - len) };
+                assert_eq!(h.mask_at(l), want, "g={g} level={l}");
+                assert_eq!(Ipv6Prefix::mask(len), want, "len={len}");
+                assert_eq!(h.generalize(u128::MAX, l), Ipv6Prefix::new(u128::MAX, len));
+            }
+        }
+        let h = Ipv6Hierarchy::hextets();
+        assert_eq!(h.mask_at(0), u128::MAX);
+        assert_eq!(h.mask_at(6), 0xFFFF_FFFF_0000_0000_0000_0000_0000_0000);
+        assert_eq!(h.mask_at(8), 0);
+        let n = Ipv6Hierarchy::nibbles();
+        assert_eq!(n.mask_at(1), u128::MAX << 4);
+        assert_eq!(n.mask_at(32), 0);
     }
 
     #[test]

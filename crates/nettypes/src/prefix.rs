@@ -36,6 +36,31 @@ impl PrefixParseError {
     }
 }
 
+// Precomputed network masks indexed by prefix length. A computed mask
+// (`u32::MAX << (32 - len)`) needs a branch for the `len == 0` case
+// (shifting by the full width is UB in Rust); the table makes `mask()`
+// a branchless load, which matters because every prefix construction on
+// the per-packet hot path goes through it.
+const IPV4_MASKS: [u32; 33] = {
+    let mut t = [0u32; 33];
+    let mut len = 1usize;
+    while len <= 32 {
+        t[len] = u32::MAX << (32 - len);
+        len += 1;
+    }
+    t
+};
+
+const IPV6_MASKS: [u128; 129] = {
+    let mut t = [0u128; 129];
+    let mut len = 1usize;
+    while len <= 128 {
+        t[len] = u128::MAX << (128 - len);
+        len += 1;
+    }
+    t
+};
+
 /// An IPv4 prefix: a (masked) address plus a prefix length in `0..=32`.
 ///
 /// Invariant: all bits below the prefix length are zero. `10.1.2.3/24`
@@ -68,13 +93,19 @@ impl Ipv4Prefix {
     }
 
     /// The network mask for a prefix length: `mask(24) = 0xFFFF_FF00`.
+    /// A branchless table lookup; panics if `len > 32`.
     #[inline]
     pub const fn mask(len: u8) -> u32 {
-        if len == 0 {
-            0
-        } else {
-            u32::MAX << (32 - len)
-        }
+        IPV4_MASKS[len as usize]
+    }
+
+    /// Build a prefix from an address whose host bits are already
+    /// cleared, skipping the re-mask. The canonical-form invariant is
+    /// the caller's responsibility (checked in debug builds).
+    #[inline]
+    pub const fn from_masked(addr: u32, len: u8) -> Self {
+        debug_assert!(addr & !Self::mask(len) == 0, "host bits must be cleared");
+        Ipv4Prefix { bits: addr, len }
     }
 
     /// The (masked) address bits, host byte order.
@@ -236,14 +267,20 @@ impl Ipv6Prefix {
         Ipv6Prefix { bits: addr, len: 128 }
     }
 
-    /// The network mask for a prefix length.
+    /// The network mask for a prefix length. A branchless table lookup;
+    /// panics if `len > 128`.
     #[inline]
     pub const fn mask(len: u8) -> u128 {
-        if len == 0 {
-            0
-        } else {
-            u128::MAX << (128 - len)
-        }
+        IPV6_MASKS[len as usize]
+    }
+
+    /// Build a prefix from an address whose host bits are already
+    /// cleared, skipping the re-mask. The canonical-form invariant is
+    /// the caller's responsibility (checked in debug builds).
+    #[inline]
+    pub const fn from_masked(addr: u128, len: u8) -> Self {
+        debug_assert!(addr & !Self::mask(len) == 0, "host bits must be cleared");
+        Ipv6Prefix { bits: addr, len }
     }
 
     /// The (masked) address bits.

@@ -15,6 +15,7 @@
 //! | [`SweepingTdbf`] | time-decayed frequency, periodic sweep | base variant of the above |
 //! | [`DecayedCounter`] | one time-decayed scalar | EWMA accumulator used for decayed totals |
 //! | [`SlidingWindowSummary`] | frequent items over the last `W` packets | frame-based summary in the spirit of WCSS (Ben-Basat et al. 2016, the paper's ref. \[1\]) |
+//! | [`SlidingSummary`] | frequent items over the last `W` packets, O(1) updates | lazy-expiry summary in the spirit of Memento (Ben-Basat et al., CoNEXT 2018) |
 //! | [`ExpHistogram`] | count over a sliding time window | Datar, Gionis, Indyk, Motwani 2002 |
 //!
 //! ## Design rules
@@ -72,4 +73,4 @@ pub use lossy_counting::LossyCounting;
 pub use misra_gries::MisraGries;
 pub use space_saving::{SpaceSaving, SsEntry};
 pub use tdbf::{OnDemandTdbf, SweepingTdbf};
-pub use window_summary::SlidingWindowSummary;
+pub use window_summary::{SlidingSummary, SlidingWindowSummary};

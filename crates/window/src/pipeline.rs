@@ -906,9 +906,26 @@ where
 /// mergeable detectors trade exactness for bounded state exactly as
 /// they do in disjoint windows.
 ///
-/// Work per position is `shards × window/step` merges — the price of
-/// per-position exactness; for pure throughput scaling prefer
-/// [`ShardedDisjoint`].
+/// ## Per-position cost
+///
+/// The engine never re-merges the whole ring per position when the
+/// detector kind supports [`retract`](MergeableDetector::retract) (the
+/// exact kinds). It maintains one cross-shard **rolling** state — the
+/// merge of every closed in-window epoch — and each step touches only
+/// the epoch delta: workers hand back the *epoch that just closed*
+/// (epoch-sized, `step/window` of the window state), which is merged
+/// in; the epoch sliding out of the window is retracted. Per position
+/// that is `O(shards)` epoch-sized merges plus one window-sized clone
+/// for the report — down from the naive `shards × window/step`
+/// window-sized merges, and independent of the window/step ratio.
+///
+/// At one shard the engine skips the cross-shard state: the worker's
+/// own rolling detector already answers a window request in O(1)
+/// window-sized ops and the reply is moved, not merged.
+///
+/// Detectors without `retract` (the lossy summaries, where merge order
+/// matters) keep the full slot-order ring merge per position,
+/// preserving their byte-for-byte report stability.
 pub struct ShardedSliding<H, D, F> {
     rings: Vec<Vec<D>>,
     horizon: TimeSpan,
@@ -917,6 +934,7 @@ pub struct ShardedSliding<H, D, F> {
     thresholds: Vec<Threshold>,
     batch: usize,
     measure: Measure,
+    force_ring_merge: bool,
     key: F,
     _hierarchy: PhantomData<H>,
 }
@@ -953,9 +971,20 @@ where
             thresholds: thresholds.to_vec(),
             batch: DEFAULT_BATCH,
             measure: Measure::Bytes,
+            force_ring_merge: false,
             key,
             _hierarchy: PhantomData,
         }
+    }
+
+    /// Take the full slot-order ring merge at every position even for
+    /// retractable kinds — the pre-incremental cost model. A
+    /// **measurement knob**: the reports are identical either way (the
+    /// parity tests pin both paths), this only exists so benchmarks can
+    /// quantify what the incremental rolling state saves.
+    pub fn force_ring_merge(mut self) -> Self {
+        self.force_ring_merge = true;
+        self
     }
 
     /// Packets per scatter batch (default
@@ -1000,37 +1029,87 @@ where
         let measure = self.measure;
         let key = &self.key;
 
+        // Probe invertibility once, on an empty detector (kinds either
+        // always or never support retraction). When supported, `empty`
+        // seeds the engine's cross-shard rolling state. At one shard
+        // the worker's own rolling state already answers a window
+        // request in O(1) window-sized ops and the reply is moved, not
+        // merged — a cross-shard rolling state could only add work, so
+        // the engine maintains one only when there are shard states to
+        // fold.
+        let shards = self.rings.len();
+        let mut empty = self.rings[0][0].clone();
+        empty.reset();
+        let incremental = shards > 1 && !self.force_ring_merge && {
+            let probe = empty.clone();
+            empty.retract(&probe)
+        };
+
         with_sliding_shards(self.rings, |pool| {
             let mut pending: Vec<(H::Item, u64)> = Vec::with_capacity(batch);
             let mut cur_epoch: u64 = 0;
+            // Incremental path state: `rolling` is the merge of every
+            // closed in-window epoch across all shards; `closed` holds
+            // those cross-shard epoch states so the one sliding out of
+            // the window can be retracted.
+            let mut rolling = empty;
+            let mut closed: VecDeque<D> = VecDeque::with_capacity(epw as usize);
+
+            let emit = |cur_epoch: u64, merged: &D, sink: &mut K| {
+                let position = cur_epoch + 1 - epw;
+                let end = Nanos::ZERO + step * position + window;
+                for (ti, t) in thresholds.iter().enumerate() {
+                    sink.accept(
+                        ti,
+                        WindowReport {
+                            index: position,
+                            start: Nanos::ZERO + step * position,
+                            end,
+                            total: merged.total(),
+                            hhhs: merged.report(*t),
+                        },
+                    );
+                }
+                emit_state(sink, merged, Nanos::ZERO + step * position, end);
+            };
 
             let boundary = |cur_epoch: u64,
                             pending: &mut Vec<(H::Item, u64)>,
                             pool: &mut crate::sharded::SlidingShardPool<H, D>,
-                            sink: &mut K| {
+                            sink: &mut K,
+                            rolling: &mut D,
+                            closed: &mut VecDeque<D>| {
                 if !pending.is_empty() {
                     pool.observe_batch(pending);
                     pending.clear();
                 }
-                if cur_epoch + 1 >= epw {
-                    let merged = pool.merged_window();
-                    let position = cur_epoch + 1 - epw;
-                    let end = Nanos::ZERO + step * position + window;
-                    for (ti, t) in thresholds.iter().enumerate() {
-                        sink.accept(
-                            ti,
-                            WindowReport {
-                                index: position,
-                                start: Nanos::ZERO + step * position,
-                                end,
-                                total: merged.total(),
-                                hhhs: merged.report(*t),
-                            },
-                        );
+                let report = cur_epoch + 1 >= epw;
+                if incremental {
+                    // O(shards) epoch-sized merges: harvest the epoch
+                    // that just closed (workers rotate as part of the
+                    // same message) and fold it into the rolling state,
+                    // which then *is* the window state — report from it
+                    // by reference (no window-sized clone), and only
+                    // then retract the epoch sliding out.
+                    let epoch = pool.close_epoch();
+                    rolling.merge(&epoch);
+                    closed.push_back(epoch);
+                    if report {
+                        emit(cur_epoch, rolling, sink);
                     }
-                    emit_state(sink, &merged, Nanos::ZERO + step * position, end);
+                    if closed.len() as u64 == epw {
+                        let old = closed.pop_front().expect("just checked non-empty");
+                        let ok = rolling.retract(&old);
+                        debug_assert!(ok, "retract support cannot change mid-run");
+                    }
+                } else {
+                    // Non-retractable fallback: full slot-order ring
+                    // merge (stable for lossy summaries), then rotate.
+                    if report {
+                        emit(cur_epoch, &pool.merged_window(), sink);
+                    }
+                    pool.advance();
                 }
-                pool.advance();
             };
 
             for_each_item(source, |p| {
@@ -1039,7 +1118,7 @@ where
                     return false;
                 }
                 while cur_epoch < e {
-                    boundary(cur_epoch, &mut pending, pool, sink);
+                    boundary(cur_epoch, &mut pending, pool, sink, &mut rolling, &mut closed);
                     cur_epoch += 1;
                 }
                 pending.push((key(&p), measure.weight(&p)));
@@ -1050,7 +1129,7 @@ where
                 true
             });
             while cur_epoch < n_epochs {
-                boundary(cur_epoch, &mut pending, pool, sink);
+                boundary(cur_epoch, &mut pending, pool, sink, &mut rolling, &mut closed);
                 cur_epoch += 1;
             }
         });

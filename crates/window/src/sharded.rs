@@ -279,20 +279,15 @@ where
                     match msg {
                         SlidingMsg::Batch(batch) => ring[cur].observe_batch(&batch),
                         SlidingMsg::Advance => {
-                            if let Some(r) = rolling.as_mut() {
-                                // The current epoch closes into the
-                                // rolling state…
-                                r.merge(&ring[cur]);
-                            }
-                            cur = (cur + 1) % ring.len();
-                            if let Some(r) = rolling.as_mut() {
-                                // …and the slot we rotated onto holds
-                                // the epoch sliding out of the window:
-                                // retract it before it is reset.
-                                let ok = r.retract(&ring[cur]);
-                                debug_assert!(ok, "retract support cannot change mid-run");
-                            }
-                            ring[cur].reset();
+                            rotate_ring::<H, D>(&mut ring, &mut cur, &mut rolling);
+                        }
+                        SlidingMsg::CloseEpoch(reply) => {
+                            // Hand the epoch that just ended to the
+                            // caller (epoch-sized — a fraction
+                            // `step/window` of the full window state),
+                            // then rotate exactly as Advance would.
+                            let _ = reply.send(ring[cur].clone());
+                            rotate_ring::<H, D>(&mut ring, &mut cur, &mut rolling);
                         }
                         SlidingMsg::Window(reply) => {
                             let merged = match &rolling {
@@ -325,12 +320,42 @@ where
     })
 }
 
+/// Epoch-boundary rotation shared by [`SlidingMsg::Advance`] and
+/// [`SlidingMsg::CloseEpoch`]: close the current epoch into the rolling
+/// state (when the kind is retractable), rotate onto the slot holding
+/// the epoch that slid out of the window, retract it, and reset it for
+/// the new epoch.
+fn rotate_ring<H, D>(ring: &mut [D], cur: &mut usize, rolling: &mut Option<D>)
+where
+    H: Hierarchy,
+    D: HhhDetector<H> + MergeableDetector,
+{
+    if let Some(r) = rolling.as_mut() {
+        // The current epoch closes into the rolling state…
+        r.merge(&ring[*cur]);
+    }
+    *cur = (*cur + 1) % ring.len();
+    if let Some(r) = rolling.as_mut() {
+        // …and the slot we rotated onto holds the epoch sliding out of
+        // the window: retract it before it is reset.
+        let ok = r.retract(&ring[*cur]);
+        debug_assert!(ok, "retract support cannot change mid-run");
+    }
+    ring[*cur].reset();
+}
+
 enum SlidingMsg<I, D> {
     /// Observe a batch on the worker's *current* epoch detector.
     Batch(Vec<(I, u64)>),
     /// Epoch boundary: rotate to the next ring slot, resetting it (it
     /// held the epoch that just slid out of the window).
     Advance,
+    /// Epoch boundary *with harvest*: reply with a clone of the epoch
+    /// that just ended (epoch-sized, not window-sized), then rotate as
+    /// [`SlidingMsg::Advance`] would. Lets a caller maintain the
+    /// cross-shard window state incrementally instead of pulling
+    /// window-sized states per position.
+    CloseEpoch(Sender<D>),
     /// Merge the whole ring — the sliding-window state — and reply.
     Window(Sender<D>),
 }
@@ -376,6 +401,20 @@ where
     /// per-shard states are merged across shards.
     pub fn merged_window(&self) -> D {
         merged_reply(&self.senders, SlidingMsg::Window)
+    }
+
+    /// Epoch boundary *with harvest*: every worker replies with a clone
+    /// of the epoch that just ended, then rotates as [`advance`] would;
+    /// the per-shard epoch states are merged across shards and
+    /// returned. The reply is **epoch-sized** — `step/window` of the
+    /// full window state — so a caller that maintains its own rolling
+    /// window state (merge the returned epoch in, retract the epoch
+    /// sliding out) pays O(shards) epoch-sized merges per position
+    /// instead of O(shards) window-sized ones.
+    ///
+    /// [`advance`]: SlidingShardPool::advance
+    pub fn close_epoch(&self) -> D {
+        merged_reply(&self.senders, SlidingMsg::CloseEpoch)
     }
 }
 

@@ -203,6 +203,52 @@ fn sharded_sliding_equals_sliding_exact_on_big_trace() {
     }
 }
 
+/// The non-retractable fallback path of the sharded sliding engine,
+/// pinned on the full acceptance trace: [`SpaceSavingHhh`] does not
+/// implement `retract`, so the engine must take the slot-order ring
+/// merge per position instead of the incremental rolling state — and
+/// with per-level capacity (4096) above the trace's distinct-key count
+/// (2500 sources) the summary never evicts, so its windowed totals and
+/// HHH sets must equal [`SlidingExact`]'s exactly.
+#[test]
+fn sharded_sliding_fallback_matches_sliding_exact_on_big_trace() {
+    let pkts = big_trace();
+    let h = Ipv4Hierarchy::bytes();
+    let thresholds = [Threshold::percent(1.0), Threshold::percent(5.0)];
+    let reference = Pipeline::new(pkts.iter().copied())
+        .engine(SlidingExact::new(&h, HORIZON, WINDOW, STEP, &thresholds, |p| p.src))
+        .collect()
+        .run();
+    for k in [1usize, 4] {
+        let sharded = Pipeline::new(pkts.iter().copied())
+            .engine(ShardedSliding::new(
+                k,
+                |_shard| SpaceSavingHhh::new(h, 4096),
+                HORIZON,
+                WINDOW,
+                STEP,
+                &thresholds,
+                |p| p.src,
+            ))
+            .collect()
+            .run();
+        assert_eq!(reference.len(), sharded.len());
+        for (ti, (r_series, s_series)) in reference.iter().zip(&sharded).enumerate() {
+            assert_eq!(r_series.len(), s_series.len(), "threshold {ti} K={k}");
+            for (r, s) in r_series.iter().zip(s_series) {
+                assert_eq!(r.index, s.index);
+                assert_eq!(r.total, s.total, "position {} threshold {ti} K={k}", r.index);
+                assert_eq!(
+                    r.prefix_set(),
+                    s.prefix_set(),
+                    "position {} threshold {ti} K={k}",
+                    r.index
+                );
+            }
+        }
+    }
+}
+
 /// Sharded continuous vs the unsharded windowless detector on the full
 /// acceptance trace: identical totals (decay algebra is exact under
 /// merge) and identical reported prefix sets at every probe.
@@ -372,7 +418,48 @@ proptest! {
                 shards, |_| ExactHhh::new(h), horizon, window, step, &thresholds, |p| p.src,
             ).batch(batch))
             .collect().run();
-        prop_assert_eq!(reference, sharded);
+        prop_assert_eq!(&reference, &sharded);
+        // The incremental rolling state and the forced ring merge are
+        // two routes to the same reports — pin them against each other.
+        let ring = Pipeline::new(pkts.iter().copied())
+            .engine(ShardedSliding::new(
+                shards, |_| ExactHhh::new(h), horizon, window, step, &thresholds, |p| p.src,
+            ).batch(batch).force_ring_merge())
+            .collect().run();
+        prop_assert_eq!(&reference, &ring);
+    }
+
+    /// Property: the non-retractable fallback (slot-order ring merge)
+    /// stays window-isolated and lossless for any trace, shard count
+    /// and geometry, as long as the summary never evicts: sharded
+    /// sliding with eviction-free [`SpaceSavingHhh`] reproduces
+    /// [`SlidingExact`]'s totals and prefix sets at every position.
+    #[test]
+    fn sharded_sliding_fallback_matches_sliding_exact_on_any_trace(
+        seed in 0u64..1_000_000,
+        shards in 1usize..6,
+        epw in 2u64..5,
+    ) {
+        let pkts = small_trace(6, seed);
+        let h = Ipv4Hierarchy::bytes();
+        let horizon = TimeSpan::from_secs(6);
+        let step = TimeSpan::from_secs(1);
+        let window = step * epw;
+        let thresholds = [Threshold::percent(5.0)];
+        let reference = Pipeline::new(pkts.iter().copied())
+            .engine(SlidingExact::new(&h, horizon, window, step, &thresholds, |p| p.src))
+            .collect().run();
+        let sharded = Pipeline::new(pkts.iter().copied())
+            .engine(ShardedSliding::new(
+                shards, |_| SpaceSavingHhh::new(h, 4096), horizon, window, step, &thresholds,
+                |p| p.src,
+            ))
+            .collect().run();
+        prop_assert_eq!(reference[0].len(), sharded[0].len());
+        for (r, s) in reference[0].iter().zip(&sharded[0]) {
+            prop_assert_eq!(r.total, s.total, "position {}", r.index);
+            prop_assert_eq!(r.prefix_set(), s.prefix_set(), "position {}", r.index);
+        }
     }
 
     /// Property: the windowless TDBF detector through the sharded
