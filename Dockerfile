@@ -1,0 +1,21 @@
+# Build stage: compile the daemon and the shard driver from the
+# workspace. The builder is only as fresh as the checkout — no network
+# access is needed beyond the base images (the workspace has no
+# external crate dependencies).
+FROM rust:1-slim AS build
+WORKDIR /src
+COPY . .
+RUN cargo build --release -p hhh-aggd
+
+# Runtime stage: just the two binaries. Both are static-ish gcc-linked
+# Rust binaries; debian-slim covers their libc.
+FROM debian:stable-slim
+COPY --from=build /src/target/release/hhh-aggd /usr/local/bin/hhh-aggd
+COPY --from=build /src/target/release/aggd-shard /usr/local/bin/aggd-shard
+
+# Frame (shard transport) port and HTTP (queries/metrics/health) port.
+EXPOSE 4710 4711
+
+# Bind beyond localhost so compose siblings can reach the daemon;
+# docker-compose.yml overrides the shard containers' entrypoint.
+ENTRYPOINT ["hhh-aggd", "--listen", "0.0.0.0:4710", "--http", "0.0.0.0:4711"]

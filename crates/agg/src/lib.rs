@@ -256,27 +256,171 @@ where
     Ok(groups.into_values().collect())
 }
 
+/// The **incremental** face of [`fold_streams`], built for a
+/// long-running aggregator (`hhh-aggd`): push snapshots one at a time,
+/// tagged with their stream id, as they arrive off the wire in any
+/// interleaving — then [`refold`](Self::refold) recomputes exactly the
+/// report points new snapshots touched.
+///
+/// The refold of a `(at, kind)` group always folds its snapshots in
+/// **stream-id order** (stream 0 restores, 1.. fold in), then
+/// within-stream arrival order — the same deterministic order
+/// [`fold_streams`] uses, so a `FoldState` fed the identical snapshots
+/// produces byte-identical merged points no matter when shards
+/// connected, restarted, or which frame interleaving the sockets
+/// happened to deliver. (This is why pushing refolds the group from
+/// scratch instead of folding into the existing merged state: the
+/// approximate detectors' merges are order-sensitive, and a
+/// late-arriving shard 0 must still end up first.)
+///
+/// With a [`retain`](Self::with_retention) bound, only the most recent
+/// N report points per kind are kept — the rolling state a daemon
+/// serves queries from, with memory bounded no matter how long it
+/// runs.
+pub struct FoldState<H: Hierarchy> {
+    /// Raw snapshots per report point, keyed by stream id — the
+    /// refold's input, in canonical fold order.
+    groups: BTreeMap<(Nanos, String), BTreeMap<u64, Vec<WireSnapshot>>>,
+    merged: BTreeMap<(Nanos, String), MergedPoint<H>>,
+    dirty: std::collections::BTreeSet<(Nanos, String)>,
+    retain: Option<usize>,
+}
+
+impl<H: Hierarchy> Default for FoldState<H> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<H: Hierarchy> FoldState<H> {
+    /// An empty fold with unbounded retention.
+    pub fn new() -> Self {
+        FoldState {
+            groups: BTreeMap::new(),
+            merged: BTreeMap::new(),
+            dirty: std::collections::BTreeSet::new(),
+            retain: None,
+        }
+    }
+
+    /// Keep only the most recent `points` report points (distinct
+    /// `at`s) **per kind**; older ones are dropped at the next
+    /// [`refold`](Self::refold).
+    pub fn with_retention(mut self, points: usize) -> Self {
+        assert!(points > 0, "retention must keep at least one point");
+        self.retain = Some(points);
+        self
+    }
+
+    /// Buffer one snapshot from `stream`. Cheap (no folding happens
+    /// here); the point it lands on refolds at the next
+    /// [`refold`](Self::refold).
+    pub fn push(&mut self, stream: u64, snapshot: WireSnapshot) {
+        let key = (snapshot.at(), snapshot.kind().to_owned());
+        self.groups.entry(key.clone()).or_default().entry(stream).or_default().push(snapshot);
+        self.dirty.insert(key);
+    }
+
+    /// Report points currently held, sorted by `(at, kind)` — the
+    /// order [`fold_streams`] returns. Points pushed since the last
+    /// [`refold`](Self::refold) are not yet visible.
+    pub fn points(&self) -> impl Iterator<Item = &MergedPoint<H>> {
+        self.merged.values()
+    }
+
+    /// The most recent merged point of `kind`, if any.
+    pub fn latest(&self, kind: &str) -> Option<&MergedPoint<H>> {
+        self.merged.iter().rev().find(|((_, k), _)| k == kind).map(|(_, p)| p)
+    }
+
+    /// Report points buffered (refolded or not).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Points whose snapshots changed since the last refold.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+impl<H> FoldState<H>
+where
+    H: Hierarchy,
+    H::Item: FromStr,
+    H::Prefix: FromStr,
+{
+    /// Refold every dirty report point (in canonical stream order) and
+    /// apply the retention bound. Returns how many points refolded.
+    pub fn refold(&mut self, hierarchy: &H) -> Result<usize, AggError> {
+        let refolded = self.dirty.len();
+        for key in std::mem::take(&mut self.dirty) {
+            let group = self.groups.get(&key).expect("dirty key has a group");
+            let mut detector: Option<(RestoredDetector<H>, Nanos, usize)> = None;
+            for snaps in group.values() {
+                for s in snaps {
+                    match &mut detector {
+                        Some((d, _, folded)) => {
+                            d.fold_wire(hierarchy, s)
+                                .map_err(|error| AggError::Fold { at: s.at(), error })?;
+                            *folded += 1;
+                        }
+                        None => {
+                            let d = RestoredDetector::from_wire(hierarchy, s)
+                                .map_err(|error| AggError::Fold { at: s.at(), error })?;
+                            detector = Some((d, s.start(), 1));
+                        }
+                    }
+                }
+            }
+            let (detector, start, folded) = detector.expect("dirty group is non-empty");
+            let (at, kind) = key.clone();
+            self.merged.insert(key, MergedPoint { at, start, kind, folded, detector });
+        }
+        if let Some(retain) = self.retain {
+            // Count points per kind newest-first; everything past the
+            // bound is dropped from both the merged view and the raw
+            // snapshot buffer.
+            let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+            let mut drop_keys = Vec::new();
+            for (at, kind) in self.merged.keys().rev() {
+                let n = seen.entry(kind.clone()).or_insert(0);
+                *n += 1;
+                if *n > retain {
+                    drop_keys.push((*at, kind.clone()));
+                }
+            }
+            for key in drop_keys {
+                self.merged.remove(&key);
+                self.groups.remove(&key);
+            }
+        }
+        Ok(refolded)
+    }
+}
+
 /// Render merged points as v1 JSON lines: per point, one `report` line
 /// per threshold (series = threshold index, index = the point's
 /// ordinal within its kind) and — when `emit_state` — one `state` line
 /// with the folded snapshot (byte-identical to what the same merged
 /// state would emit in-process, so the output can feed another
 /// aggregation tier). For binary output use [`write_merged`].
-pub fn render_merged<H>(
-    points: &[MergedPoint<H>],
-    thresholds: &[Threshold],
-    emit_state: bool,
-) -> Vec<String>
+///
+/// Accepts any iterator of points — a [`fold_streams`] `Vec`, a
+/// [`FoldState::points`] view, or a filtered subset — rendered in the
+/// order given (ordinals count per kind from the iterator's start).
+pub fn render_merged<'a, H, I>(points: I, thresholds: &[Threshold], emit_state: bool) -> Vec<String>
 where
-    H: Hierarchy,
+    H: Hierarchy + 'a,
     H::Item: FromStr,
     H::Prefix: FromStr,
     H::Prefix: Display,
+    I: IntoIterator<Item = &'a MergedPoint<H>>,
 {
-    let mut lines = Vec::with_capacity(points.len() * (thresholds.len() + usize::from(emit_state)));
-    let mut ordinal: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut lines = Vec::new();
+    let mut ordinal: BTreeMap<String, u64> = BTreeMap::new();
     for point in points {
-        let index = ordinal.entry(point.kind.as_str()).or_insert(0);
+        let index = ordinal.entry(point.kind.clone()).or_insert(0);
         for (ti, t) in thresholds.iter().enumerate() {
             lines.push(render_report_line(ti, &point.report(*index, *t)));
         }
@@ -298,18 +442,19 @@ where
 /// exact same lines; binary writes report frames and state frames, so
 /// a binary aggregation tier feeds the next binary tier without ever
 /// materializing JSON bodies on disk.
-pub fn write_merged<H, W: Write>(
+pub fn write_merged<'a, H, I, W: Write>(
     out: &mut W,
-    points: &[MergedPoint<H>],
+    points: I,
     thresholds: &[Threshold],
     emit_state: bool,
     format: WireFormat,
 ) -> Result<(), AggError>
 where
-    H: Hierarchy,
+    H: Hierarchy + 'a,
     H::Item: FromStr,
     H::Prefix: FromStr,
     H::Prefix: Display,
+    I: IntoIterator<Item = &'a MergedPoint<H>>,
 {
     let io = |e: std::io::Error| AggError::Io(e.to_string());
     if format == WireFormat::Json {
@@ -320,9 +465,9 @@ where
         }
         return Ok(());
     }
-    let mut ordinal: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut ordinal: BTreeMap<String, u64> = BTreeMap::new();
     for point in points {
-        let index = ordinal.entry(point.kind.as_str()).or_insert(0);
+        let index = ordinal.entry(point.kind.clone()).or_insert(0);
         for (ti, t) in thresholds.iter().enumerate() {
             let report = point.report(*index, *t);
             let line = render_report_line(ti, &report);
@@ -527,6 +672,61 @@ mod tests {
             }
             other => panic!("expected Decode, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fold_state_matches_fold_streams_under_any_interleaving() {
+        let h = Ipv4Hierarchy::bytes();
+        // Three shards × two report points.
+        let shard = |base: u32| {
+            format!(
+                "{}\n{}\n",
+                snap_line(1, &[(base, 10), (base + 1, 5)]),
+                snap_line(2, &[(base, 20)])
+            )
+        };
+        let streams: Vec<Vec<WireSnapshot>> = (0..3)
+            .map(|i| read_stream(i, shard(0x0A010000 + i as u32).as_bytes()).unwrap())
+            .collect();
+        let batch = fold_streams(&h, &streams).unwrap();
+        let batch_lines = render_merged(&batch, &[Threshold::percent(10.0)], true);
+
+        // Feed the same snapshots incrementally, deliberately out of
+        // stream order (shard 2 first) and with shard 0's stream
+        // replayed twice up to its first snapshot — as a restarted
+        // shard would after the hub deduped… here we push only what
+        // the hub would deliver (each position once).
+        let mut state: FoldState<Ipv4Hierarchy> = FoldState::new();
+        for (stream, si) in [(2u64, 0usize), (0, 0), (1, 0), (1, 1), (0, 1), (2, 1)] {
+            state.push(stream, streams[stream as usize][si].clone());
+        }
+        assert_eq!(state.dirty_count(), 2);
+        assert_eq!(state.refold(&h).unwrap(), 2);
+        assert_eq!(state.dirty_count(), 0);
+        let inc_lines = render_merged(state.points(), &[Threshold::percent(10.0)], true).join("\n");
+        assert_eq!(inc_lines, batch_lines.join("\n"), "incremental fold is byte-identical");
+
+        // latest() sees the newest point; a later push re-dirties only
+        // its own point.
+        assert_eq!(state.latest("exact").unwrap().at, Nanos::from_secs(2));
+        state.push(0, read_stream(0, snap_line(3, &[(9, 1)]).as_bytes()).unwrap()[0].clone());
+        assert_eq!(state.dirty_count(), 1);
+        state.refold(&h).unwrap();
+        assert_eq!(state.group_count(), 3);
+    }
+
+    #[test]
+    fn fold_state_retention_drops_the_oldest_points_per_kind() {
+        let h = Ipv4Hierarchy::bytes();
+        let mut state: FoldState<Ipv4Hierarchy> = FoldState::new().with_retention(2);
+        for at in 1..=5u64 {
+            let snaps = read_stream(0, snap_line(at, &[(7, at)]).as_bytes()).unwrap();
+            state.push(0, snaps[0].clone());
+            state.refold(&h).unwrap();
+        }
+        let ats: Vec<Nanos> = state.points().map(|p| p.at).collect();
+        assert_eq!(ats, vec![Nanos::from_secs(4), Nanos::from_secs(5)]);
+        assert_eq!(state.group_count(), 2, "raw snapshot buffer is bounded too");
     }
 
     #[test]

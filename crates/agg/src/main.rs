@@ -20,6 +20,15 @@
 //! hello frame naming its shard id) until `--expect K` streams have
 //! completed, folds them in shard-id order, and emits the merged
 //! output — byte-identical to folding the same shards' stream files.
+//! Three time limits guard the wait (any may be combined; first to
+//! fire wins): `--listen-timeout` is the **whole-fold deadline** in
+//! seconds, counted from startup regardless of progress;
+//! `--accept-idle` gives up when fewer connections than expected
+//! streams have ever arrived and no new one shows up for that many
+//! seconds (a shard never started); `--read-idle` gives up when no
+//! frame arrives on any connection for that many seconds (a shard
+//! connected, then wedged). The idle limits reset on progress, so
+//! slow-but-live topologies don't need a worst-case whole-fold budget.
 //!
 //! `--transcode` skips folding entirely: every input stream is
 //! re-encoded record-for-record into `--format` on stdout — v1 → v2 →
@@ -38,8 +47,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: hhh-agg [--hierarchy ipv4-bytes|ipv4-bits] [--threshold PCT]... \
                      [--emit-state] [--format json|binary] [--transcode]\n\
-                     \x20              [--listen ADDR --expect K [--listen-timeout SECS]] \
-                     [FILE|- ...]\n\
+                     \x20              [--listen ADDR --expect K [--listen-timeout SECS] \
+                     [--accept-idle SECS] [--read-idle SECS]] [FILE|- ...]\n\
                      \n\
                      Folds N snapshot streams (written by hhh-window's SnapshotSink in either\n\
                      wire format, or by hhh-agg --emit-state itself) into merged HHH reports\n\
@@ -59,6 +68,8 @@ struct Args {
     listen: Option<String>,
     expect: Option<usize>,
     listen_timeout: Option<Duration>,
+    accept_idle: Option<Duration>,
+    read_idle: Option<Duration>,
     inputs: Vec<String>,
 }
 
@@ -72,6 +83,8 @@ fn parse_args() -> Result<Args, String> {
         listen: None,
         expect: None,
         listen_timeout: None,
+        accept_idle: None,
+        read_idle: None,
         inputs: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
@@ -118,6 +131,18 @@ fn parse_args() -> Result<Args, String> {
                     v.parse().map_err(|_| format!("--listen-timeout `{v}` is not seconds"))?;
                 args.listen_timeout = Some(Duration::from_secs(secs));
             }
+            "--accept-idle" => {
+                let v = argv.next().ok_or("--accept-idle needs seconds")?;
+                let secs: u64 =
+                    v.parse().map_err(|_| format!("--accept-idle `{v}` is not seconds"))?;
+                args.accept_idle = Some(Duration::from_secs(secs));
+            }
+            "--read-idle" => {
+                let v = argv.next().ok_or("--read-idle needs seconds")?;
+                let secs: u64 =
+                    v.parse().map_err(|_| format!("--read-idle `{v}` is not seconds"))?;
+                args.read_idle = Some(Duration::from_secs(secs));
+            }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             file => args.inputs.push(file.to_string()),
@@ -136,8 +161,13 @@ fn parse_args() -> Result<Args, String> {
         if args.expect.is_none() {
             return Err("--listen needs --expect K (the shard stream count)".to_string());
         }
-    } else if args.expect.is_some() || args.listen_timeout.is_some() {
-        return Err("--expect/--listen-timeout only apply with --listen".to_string());
+    } else if args.expect.is_some()
+        || args.listen_timeout.is_some()
+        || args.accept_idle.is_some()
+        || args.read_idle.is_some()
+    {
+        return Err("--expect/--listen-timeout/--accept-idle/--read-idle only apply with --listen"
+            .to_string());
     }
     if args.inputs.is_empty() {
         args.inputs.push("-".to_string());
@@ -171,6 +201,12 @@ fn run(args: &Args) -> Result<(), AggError> {
         let mut listener = TcpFrameListener::bind(addr).map_err(typed("bind"))?;
         if let Some(timeout) = args.listen_timeout {
             listener = listener.with_timeout(timeout);
+        }
+        if let Some(idle) = args.accept_idle {
+            listener = listener.with_accept_idle(idle);
+        }
+        if let Some(idle) = args.read_idle {
+            listener = listener.with_read_idle(idle);
         }
         eprintln!(
             "hhh-agg: listening on {} for {expect} shard stream(s)…",

@@ -1,0 +1,197 @@
+//! A minimal hand-rolled HTTP/1.1 server for the daemon's three
+//! endpoints — enough for `curl` and Prometheus scrapes, nothing more:
+//! `GET` only, `Connection: close` on every response, one thread per
+//! connection.
+//!
+//! | Endpoint | Answer |
+//! |----------|--------|
+//! | `GET /healthz` | `ok` |
+//! | `GET /metrics` | Prometheus text exposition ([`crate::metrics`]) |
+//! | `GET /hhh` | merged HHH report lines (v1 JSONL, exactly what `hhh-agg` prints) |
+//!
+//! `/hhh` query parameters: `kind=<label>` filters to one detector
+//! kind; `all=1` renders every retained report point instead of the
+//! latest per kind; `state=1` also emits the folded state line per
+//! point (the stream another aggregation tier would ingest);
+//! `threshold=PCT` overrides the daemon's report threshold(s).
+
+use crate::metrics::Metrics;
+use crate::registry::Registry;
+use hhh_agg::{write_merged, MergedPoint};
+use hhh_core::{Threshold, WireFormat};
+use hhh_hierarchy::Ipv4Hierarchy;
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a handler thread needs to answer any request.
+pub(crate) struct HttpShared {
+    pub registry: Arc<Registry>,
+    pub metrics: Arc<Metrics>,
+    pub thresholds: Vec<Threshold>,
+}
+
+/// Accept loop: non-blocking so `stop` is honored within a few
+/// milliseconds; each accepted connection is handled on its own
+/// thread (queries are short-lived — curl, scrapes, polls).
+pub(crate) fn serve(listener: TcpListener, shared: Arc<HttpShared>, stop: Arc<AtomicBool>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((conn, _peer)) => {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || handle(conn, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle(conn: TcpStream, shared: &HttpShared) {
+    // A client that never finishes its request line must not pin the
+    // thread.
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = conn.set_nodelay(true);
+    let Ok(reader_half) = conn.try_clone() else { return };
+    let mut reader = BufReader::new(reader_half);
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() {
+        return;
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => return,
+    };
+    // Drain the headers; we never need them.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    let mut conn = conn;
+    if method != "GET" {
+        respond(&mut conn, 405, "Method Not Allowed", "text/plain", b"GET only\n");
+        return;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    match path {
+        "/healthz" => respond(&mut conn, 200, "OK", "text/plain", b"ok\n"),
+        "/metrics" => {
+            let streams = shared.registry.streams();
+            let (held, dirty) = {
+                let fold = shared.registry.fold.lock().expect("fold lock");
+                (fold.points().count(), fold.dirty_count())
+            };
+            let body = shared.metrics.render(&streams, held, dirty);
+            respond(
+                &mut conn,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                body.as_bytes(),
+            );
+        }
+        "/hhh" => match render_hhh(shared, query) {
+            Ok(body) => respond(&mut conn, 200, "OK", "application/x-ndjson", &body),
+            Err(msg) => {
+                respond(&mut conn, 400, "Bad Request", "text/plain", format!("{msg}\n").as_bytes())
+            }
+        },
+        _ => respond(&mut conn, 404, "Not Found", "text/plain", b"not found\n"),
+    }
+}
+
+/// Render the merged HHH answer for a `/hhh` query string. The output
+/// lines are exactly what `hhh-agg` would print for the same
+/// snapshots, thresholds, and flags — `curl | diff` against a
+/// file-based fold is the daemon's acceptance check.
+fn render_hhh(shared: &HttpShared, query: &str) -> Result<Vec<u8>, String> {
+    let params = parse_query(query)?;
+    let kind = params.get("kind").cloned();
+    let all = params.get("all").is_some_and(|v| v == "1");
+    let state = params.get("state").is_some_and(|v| v == "1");
+    let thresholds = match params.get("threshold") {
+        Some(v) => {
+            let pct: f64 = v.parse().map_err(|_| format!("threshold `{v}` is not a number"))?;
+            if !(pct > 0.0 && pct <= 100.0) {
+                return Err(format!("threshold {pct} out of (0, 100]"));
+            }
+            vec![Threshold::percent(pct)]
+        }
+        None => shared.thresholds.clone(),
+    };
+
+    let fold = shared.registry.fold.lock().expect("fold lock");
+    let wanted = |p: &&MergedPoint<Ipv4Hierarchy>| kind.as_deref().is_none_or(|k| p.kind == k);
+    let mut body = Vec::new();
+    let result = if all {
+        write_merged(&mut body, fold.points().filter(wanted), &thresholds, state, WireFormat::Json)
+    } else {
+        // Latest point per kind (or of the one requested kind), in
+        // kind order.
+        let mut latest: BTreeMap<&str, &MergedPoint<Ipv4Hierarchy>> = BTreeMap::new();
+        for p in fold.points().filter(wanted) {
+            latest.insert(&p.kind, p);
+        }
+        write_merged(&mut body, latest.into_values(), &thresholds, state, WireFormat::Json)
+    };
+    result.map_err(|e| e.to_string())?;
+    Ok(body)
+}
+
+fn parse_query(query: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut params = BTreeMap::new();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, "1"));
+        match k {
+            "kind" | "all" | "state" | "threshold" => {
+                params.insert(k.to_string(), v.to_string());
+            }
+            other => return Err(format!("unknown query parameter `{other}`")),
+        }
+    }
+    Ok(params)
+}
+
+fn respond(conn: &mut TcpStream, code: u16, reason: &str, content_type: &str, body: &[u8]) {
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = conn.write_all(head.as_bytes()).and_then(|()| conn.write_all(body));
+    let _ = conn.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_strings_parse_and_reject_unknown_keys() {
+        let p = parse_query("kind=exact&all=1&state=1&threshold=2.5").expect("parses");
+        assert_eq!(p.get("kind").map(String::as_str), Some("exact"));
+        assert_eq!(p.get("all").map(String::as_str), Some("1"));
+        assert_eq!(p.get("threshold").map(String::as_str), Some("2.5"));
+        assert!(parse_query("").expect("empty ok").is_empty());
+        // Bare keys default to "1" (curl's ?all shorthand).
+        assert_eq!(parse_query("all").expect("parses").get("all").map(String::as_str), Some("1"));
+        assert!(parse_query("nope=1").is_err());
+    }
+}

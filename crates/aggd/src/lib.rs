@@ -1,0 +1,41 @@
+//! # hhh-aggd
+//!
+//! The **long-running aggregation daemon** — the serving side of the
+//! cross-process fold. Where `hhh-agg --listen` is a one-shot barrier
+//! (wait for exactly K streams, fold, exit), `hhh-aggd` stays up
+//! indefinitely:
+//!
+//! * shards join and leave at runtime over the [`hhh_window::FrameHub`]
+//!   hello/ack protocol — no fixed `--expect K`;
+//! * a killed shard **resumes exactly**: a spooled transport
+//!   ([`hhh_window::TcpTransport::with_spool`]) replays from the hub's
+//!   ack, a plain deterministic shard replays from zero and the hub's
+//!   position dedupe drops the prefix — either way the fold is
+//!   byte-identical to an uninterrupted run;
+//! * the merged HHH sets are served live over hand-rolled HTTP/1.1
+//!   (`GET /hhh`, `GET /healthz`) next to Prometheus-style text
+//!   metrics (`GET /metrics`: frames/s, fold latency quantiles,
+//!   per-stream lag/delivered, connected shards).
+//!
+//! The fold itself is [`hhh_agg::FoldState`] — the incremental face of
+//! `fold_streams`, refolding dirty report points in canonical stream
+//! order so the daemon's answers stay byte-identical to the batch
+//! fold no matter the interleaving, restarts included.
+//!
+//! Two binaries ship with the crate: `hhh-aggd` (the daemon) and
+//! `aggd-shard` (a deterministic scenario shard driver with `--spool`
+//! and `--die-after`, used by the restart-resume integration test, the
+//! CI smoke topology, and `docker-compose.yml`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod daemon;
+mod http;
+pub mod metrics;
+pub mod registry;
+pub mod scenario;
+
+pub use daemon::{spawn_daemon, DaemonConfig, DaemonHandle};
+pub use metrics::Metrics;
+pub use registry::{Registry, StreamInfo};

@@ -1,0 +1,347 @@
+//! Prometheus-style text metrics for the daemon: counters kept by the
+//! fold loop, a sliding frames/s window, and a fold-latency reservoir
+//! rendered as p50/p99 quantiles. Everything is hand-rolled on
+//! `std::sync` — the exposition format is plain text, no client
+//! library needed.
+
+use crate::registry::StreamInfo;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Trailing window (whole seconds) the frames/s gauge averages over.
+const RATE_WINDOW_SECS: u64 = 10;
+
+/// Per-second buckets kept (must exceed [`RATE_WINDOW_SECS`] so the
+/// current partial second never aliases a bucket still being summed).
+const RATE_SLOTS: usize = 16;
+
+/// Fold-latency samples retained for the quantile reservoir.
+const LATENCY_SAMPLES: usize = 512;
+
+/// A ring of per-second frame counts: O(1) ticks, rate = the mean over
+/// the last [`RATE_WINDOW_SECS`] *complete* seconds (the current
+/// partial second is excluded so the gauge doesn't sag at the start of
+/// every second).
+struct RateWindow {
+    counts: [u64; RATE_SLOTS],
+    stamps: [u64; RATE_SLOTS],
+}
+
+impl RateWindow {
+    fn new() -> Self {
+        RateWindow { counts: [0; RATE_SLOTS], stamps: [u64::MAX; RATE_SLOTS] }
+    }
+
+    fn tick(&mut self, sec: u64) {
+        let i = (sec % RATE_SLOTS as u64) as usize;
+        if self.stamps[i] != sec {
+            self.stamps[i] = sec;
+            self.counts[i] = 0;
+        }
+        self.counts[i] += 1;
+    }
+
+    fn rate(&self, now_sec: u64) -> f64 {
+        let lo = now_sec.saturating_sub(RATE_WINDOW_SECS);
+        let frames: u64 = (0..RATE_SLOTS)
+            .filter(|&i| self.stamps[i] >= lo && self.stamps[i] < now_sec)
+            .map(|i| self.counts[i])
+            .sum();
+        // Early in the daemon's life fewer than RATE_WINDOW_SECS whole
+        // seconds exist; average over the ones that do.
+        let span = (now_sec - lo).max(1);
+        frames as f64 / span as f64
+    }
+}
+
+/// Bounded reservoir of recent fold durations; quantiles come from a
+/// sorted copy at render time (renders are rare, folds are not).
+struct LatencyRing {
+    samples: Vec<f64>,
+    next: usize,
+    count: u64,
+    sum: f64,
+}
+
+impl LatencyRing {
+    fn new() -> Self {
+        LatencyRing { samples: Vec::with_capacity(LATENCY_SAMPLES), next: 0, count: 0, sum: 0.0 }
+    }
+
+    fn push(&mut self, seconds: f64) {
+        if self.samples.len() < LATENCY_SAMPLES {
+            self.samples.push(seconds);
+        } else {
+            self.samples[self.next] = seconds;
+            self.next = (self.next + 1) % LATENCY_SAMPLES;
+        }
+        self.count += 1;
+        self.sum += seconds;
+    }
+
+    fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        if self.samples.is_empty() {
+            return qs.iter().map(|_| 0.0).collect();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        qs.iter()
+            .map(|q| {
+                let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+                sorted[idx]
+            })
+            .collect()
+    }
+}
+
+/// The daemon's metric set. Counter increments come from the fold
+/// loop; `render` is called by `/metrics` handlers.
+pub struct Metrics {
+    started: Instant,
+    frames: AtomicU64,
+    folds: AtomicU64,
+    refolded_points: AtomicU64,
+    joins: AtomicU64,
+    gaps: AtomicU64,
+    fold_errors: AtomicU64,
+    rate: Mutex<RateWindow>,
+    latency: Mutex<LatencyRing>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// A zeroed metric set; uptime counts from now.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            frames: AtomicU64::new(0),
+            folds: AtomicU64::new(0),
+            refolded_points: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            gaps: AtomicU64::new(0),
+            fold_errors: AtomicU64::new(0),
+            rate: Mutex::new(RateWindow::new()),
+            latency: Mutex::new(LatencyRing::new()),
+        }
+    }
+
+    /// Seconds since the daemon started.
+    pub fn uptime(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// One frame was delivered to the fold loop.
+    pub fn frame(&self) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.rate.lock().expect("rate lock").tick(self.started.elapsed().as_secs());
+    }
+
+    /// One refold pass completed, touching `points` report points.
+    pub fn fold(&self, seconds: f64, points: u64) {
+        self.folds.fetch_add(1, Ordering::Relaxed);
+        self.refolded_points.fetch_add(points, Ordering::Relaxed);
+        self.latency.lock().expect("latency lock").push(seconds);
+    }
+
+    /// A connection completed its handshake.
+    pub fn join(&self) {
+        self.joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A resume claim was refused.
+    pub fn gap(&self) {
+        self.gaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A refold failed (bad frame); the daemon keeps serving.
+    pub fn fold_error(&self) {
+        self.fold_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total frames delivered so far.
+    pub fn frames_total(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Render the Prometheus text exposition. `streams` is the
+    /// membership table snapshot; `points_held`/`dirty` describe the
+    /// fold (merged report points retained, points awaiting a refold).
+    pub fn render(
+        &self,
+        streams: &BTreeMap<u64, StreamInfo>,
+        points_held: usize,
+        dirty: usize,
+    ) -> String {
+        let mut out = String::with_capacity(2048);
+        let now = Instant::now();
+        let connected = streams.values().filter(|s| s.connected).count();
+        let rate = self.rate.lock().expect("rate lock").rate(self.started.elapsed().as_secs());
+        let (p50, p99, lat_count, lat_sum) = {
+            let lat = self.latency.lock().expect("latency lock");
+            let q = lat.quantiles(&[0.5, 0.99]);
+            (q[0], q[1], lat.count, lat.sum)
+        };
+
+        let mut gauge = |name: &str, help: &str, value: String| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge("aggd_uptime_seconds", "Seconds since the daemon started.", fmt_f(self.uptime()));
+        gauge("aggd_connected_shards", "Streams with a live connection.", connected.to_string());
+        gauge("aggd_streams_total", "Logical streams ever admitted.", streams.len().to_string());
+        gauge("aggd_frames_per_second", "Frames/s over the trailing 10 s window.", fmt_f(rate));
+        gauge("aggd_points_held", "Merged report points retained.", points_held.to_string());
+        gauge("aggd_points_dirty", "Report points awaiting a refold.", dirty.to_string());
+
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter("aggd_frames_total", "Frames delivered to the fold.", self.frames_total());
+        counter("aggd_folds_total", "Refold passes completed.", self.folds.load(Ordering::Relaxed));
+        counter(
+            "aggd_refolded_points_total",
+            "Report points recomputed across all refolds.",
+            self.refolded_points.load(Ordering::Relaxed),
+        );
+        counter("aggd_joins_total", "Connections admitted.", self.joins.load(Ordering::Relaxed));
+        counter("aggd_gaps_total", "Resume claims refused.", self.gaps.load(Ordering::Relaxed));
+        counter(
+            "aggd_fold_errors_total",
+            "Refolds that failed on a bad frame.",
+            self.fold_errors.load(Ordering::Relaxed),
+        );
+
+        let _ = writeln!(out, "# HELP aggd_fold_duration_seconds Refold wall-clock latency.");
+        let _ = writeln!(out, "# TYPE aggd_fold_duration_seconds summary");
+        let _ = writeln!(out, "aggd_fold_duration_seconds{{quantile=\"0.5\"}} {}", fmt_f(p50));
+        let _ = writeln!(out, "aggd_fold_duration_seconds{{quantile=\"0.99\"}} {}", fmt_f(p99));
+        let _ = writeln!(out, "aggd_fold_duration_seconds_sum {}", fmt_f(lat_sum));
+        let _ = writeln!(out, "aggd_fold_duration_seconds_count {lat_count}");
+
+        let per_stream = [
+            ("aggd_stream_delivered", "Frames delivered per stream.", "counter"),
+            ("aggd_stream_connected", "1 if the stream has a live connection.", "gauge"),
+            ("aggd_stream_connects_total", "Connections admitted per stream.", "counter"),
+            ("aggd_stream_gaps_total", "Resume refusals per stream.", "counter"),
+            ("aggd_stream_lag_seconds", "Seconds since the stream's last frame.", "gauge"),
+        ];
+        for (name, help, kind) in per_stream {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (id, s) in streams {
+                let value = match name {
+                    "aggd_stream_delivered" => s.delivered.to_string(),
+                    "aggd_stream_connected" => u64::from(s.connected).to_string(),
+                    "aggd_stream_connects_total" => s.connects.to_string(),
+                    "aggd_stream_gaps_total" => s.gaps.to_string(),
+                    _ => {
+                        // Lag: since the last frame, or since startup if
+                        // the stream never delivered one.
+                        let since = match s.last_frame {
+                            Some(t) => now.duration_since(t).as_secs_f64(),
+                            None => self.uptime(),
+                        };
+                        fmt_f(since)
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "{name}{{stream=\"{id}\",label=\"{}\"}} {value}",
+                    s.label.replace('"', "'")
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Fixed-point float rendering — Prometheus text wants plain decimals,
+/// never scientific notation.
+fn fmt_f(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_window_averages_complete_seconds_only() {
+        let mut w = RateWindow::new();
+        for sec in 0..5 {
+            for _ in 0..10 {
+                w.tick(sec);
+            }
+        }
+        // At now=5, seconds 0..=4 are complete: 50 frames / 5 s.
+        assert!((w.rate(5) - 10.0).abs() < 1e-9);
+        // The current partial second is excluded.
+        w.tick(5);
+        assert!((w.rate(5) - 10.0).abs() < 1e-9);
+        // Far in the future, the window is empty.
+        assert_eq!(w.rate(1000), 0.0);
+    }
+
+    #[test]
+    fn latency_ring_reports_quantiles_and_totals() {
+        let mut r = LatencyRing::new();
+        for i in 1..=100 {
+            r.push(i as f64 / 1000.0);
+        }
+        let q = r.quantiles(&[0.5, 0.99]);
+        assert!((q[0] - 0.050).abs() < 0.002, "p50 was {}", q[0]);
+        assert!((q[1] - 0.099).abs() < 0.002, "p99 was {}", q[1]);
+        assert_eq!(r.count, 100);
+        assert!((r.sum - 5.050).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_is_valid_prometheus_text_with_per_stream_lag() {
+        let m = Metrics::new();
+        m.frame();
+        m.fold(0.001, 2);
+        let mut streams = BTreeMap::new();
+        streams.insert(
+            3,
+            StreamInfo {
+                label: "exact/0of3".into(),
+                connected: true,
+                delivered: 7,
+                connects: 2,
+                gaps: 1,
+                last_frame: Some(Instant::now()),
+            },
+        );
+        let text = m.render(&streams, 4, 1);
+        for needle in [
+            "aggd_frames_per_second ",
+            "aggd_fold_duration_seconds{quantile=\"0.5\"}",
+            "aggd_fold_duration_seconds{quantile=\"0.99\"}",
+            "aggd_stream_lag_seconds{stream=\"3\",label=\"exact/0of3\"}",
+            "aggd_stream_delivered{stream=\"3\",label=\"exact/0of3\"} 7",
+            "aggd_connected_shards 1",
+            "aggd_frames_total 1",
+            "aggd_points_held 4",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Every non-comment line is `name{labels} value` with a finite
+        // plain-decimal value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            let v: f64 = value.parse().expect("plain decimal value");
+            assert!(v.is_finite());
+        }
+    }
+}

@@ -1,35 +1,53 @@
 //! E-scale — the shard-count sweep over the batched, mergeable
-//! ingestion pipeline, and the sliding-window pkts/s scoreboard.
+//! ingestion pipeline, the sliding-window pkts/s scoreboard, and the
+//! daemon end-to-end benchmark.
 //!
 //! ```text
 //! cargo run --release -p hhh-experiments --bin scale -- [smoke|quick|paper] [out.json]
 //! cargo run --release -p hhh-experiments --bin scale -- sliding [smoke|quick|paper] [out.json]
+//! cargo run --release -p hhh-experiments --bin scale -- aggd [smoke|quick|paper] [out.json]
 //! ```
 //!
 //! Prints the throughput/fidelity table; with an output path, also
 //! writes the rows as JSON lines (the formats committed as
-//! `BENCH_pr1.json` and `BENCH_pr6.json`).
+//! `BENCH_pr1.json`, `BENCH_pr6.json`, and `BENCH_pr7.json`).
 
+use hhh_experiments::aggd_e2e::{aggd_json, aggd_table, run_aggd};
 use hhh_experiments::{shard_sweep, sliding_scoreboard, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let sliding = args.first().is_some_and(|a| a == "sliding");
-    let rest = if sliding { &args[1..] } else { &args[..] };
+    let mode = match args.first().map(String::as_str) {
+        Some("sliding") => "sliding",
+        Some("aggd") => "aggd",
+        _ => "sweep",
+    };
+    let rest = if mode == "sweep" { &args[..] } else { &args[1..] };
     let scale = rest.first().and_then(|a| Scale::parse(a)).unwrap_or(Scale::Quick);
     let out = rest.get(1).cloned();
     eprintln!(
         "{} at scale '{}' on {} hardware thread(s)…",
-        if sliding { "sliding scoreboard" } else { "shard sweep" },
+        match mode {
+            "sliding" => "sliding scoreboard",
+            "aggd" => "daemon e2e",
+            _ => "shard sweep",
+        },
         scale.label(),
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
-    let (table, json) = if sliding {
-        let results = sliding_scoreboard(scale);
-        (results.table(), results.json_lines())
-    } else {
-        let results = shard_sweep(scale);
-        (results.table(), results.json_lines())
+    let (table, json) = match mode {
+        "sliding" => {
+            let results = sliding_scoreboard(scale);
+            (results.table(), results.json_lines())
+        }
+        "aggd" => {
+            let rows = vec![run_aggd(scale, 4)];
+            (aggd_table(&rows), aggd_json(&rows))
+        }
+        _ => {
+            let results = shard_sweep(scale);
+            (results.table(), results.json_lines())
+        }
     };
     print!("{table}");
     if let Some(path) = out {

@@ -3,13 +3,14 @@
 //! process boundaries.
 //!
 //! The scenario splits one generated day trace K ways by the sharded
-//! pipeline's own key partition ([`shard_of`]), runs K *independent*
-//! pipelines (one per shard, as separate processes would) that each
-//! write their per-report-point detector snapshots as JSONL, folds the
-//! K streams with `hhh-agg`, and checks the merged result two ways:
+//! pipeline's own key partition ([`shard_of`](hhh_window::shard_of)),
+//! runs K *independent* pipelines (one per shard, as separate
+//! processes would) that each write their per-report-point detector
+//! snapshots as JSONL, folds the K streams with `hhh-agg`, and checks
+//! the merged result two ways:
 //!
 //! * **byte-identity against the in-process sharded run** — a single
-//!   [`ShardedDisjoint`]/[`ShardedContinuous`] pipeline over the whole
+//!   `ShardedDisjoint`/`ShardedContinuous` pipeline over the whole
 //!   trace with K shard detectors emits one *merged* state line per
 //!   report point; the cross-process fold must re-serialize to the
 //!   same bytes. This holds for **all four detector kinds**, because
@@ -25,86 +26,30 @@
 //! (`distagg shard <kind> <k> <i>`) so CI can spawn K real processes
 //! and pipe their streams into the `hhh-agg` binary — the
 //! cross-process smoke test.
+//!
+//! The scenario **core** (kinds, constants, per-shard pipelines,
+//! reference runs) lives in [`hhh_aggd::scenario`] so the daemon's
+//! shard driver (`aggd-shard`) and its restart-resume tests share the
+//! exact definitions; this module re-exports every name and adds the
+//! [`Scale`]-aware wrappers, verdict tables, and the codec bench.
 
 use crate::Scale;
 use hhh_agg::{collect_socket_streams, fold_streams, read_stream, write_merged, MergedPoint};
 use hhh_analysis::{fmt_f, jaccard, Table};
 use hhh_core::{
-    ExactHhh, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh, TdbfHhh, TdbfHhhConfig,
-    Threshold, WireFormat,
+    ExactHhh, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh, TdbfHhh, WireFormat,
 };
 use hhh_hierarchy::Ipv4Hierarchy;
-use hhh_nettypes::{Ipv4Prefix, Nanos, PacketRecord, TimeSpan};
+use hhh_nettypes::{Nanos, PacketRecord, TimeSpan};
 use hhh_trace::{scenarios, TraceGenerator};
-use hhh_window::{
-    shard_of, Continuous, Disjoint, Pipeline, ReportSink, ShardedContinuous, ShardedDisjoint,
-    SnapshotSink, TcpFrameListener, TcpTransport, TransportError, TransportSink, WindowReport,
+use hhh_window::{TcpFrameListener, TransportError, WindowReport};
+
+pub use hhh_aggd::scenario::{
+    distagg_threshold, fold_shard_streams, hierarchy, inprocess_sharded_jsonl_on, probes,
+    rhhh_seed, scenario_trace, shard_into, shard_jsonl_on, shard_label, shard_packets,
+    shard_stream_on, shard_to_addr_on, shard_to_addr_with, single_process_reports_on, stream_id,
+    tdbf_config, Kind, DISTAGG_CAPACITY, DISTAGG_WINDOW, KINDS,
 };
-
-/// Report window / probe cadence of the scenario.
-pub const DISTAGG_WINDOW: TimeSpan = TimeSpan::from_secs(5);
-
-/// Report threshold of the scenario (1% of bytes).
-pub fn distagg_threshold() -> Threshold {
-    Threshold::percent(1.0)
-}
-
-/// Space-Saving counters for `ss-hhh`/`rhhh` in the scenario.
-pub const DISTAGG_CAPACITY: usize = 512;
-
-/// The detector kinds the scenario exercises — every kind the snapshot
-/// codec can round-trip.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Kind {
-    /// [`ExactHhh`] in disjoint windows (lossless merges).
-    Exact,
-    /// [`SpaceSavingHhh`] in disjoint windows.
-    SsHhh,
-    /// [`Rhhh`] in disjoint windows (per-shard sampling seeds).
-    Rhhh,
-    /// [`TdbfHhh`] probed continuously.
-    Tdbf,
-}
-
-/// All four kinds, in fixed order.
-pub const KINDS: [Kind; 4] = [Kind::Exact, Kind::SsHhh, Kind::Rhhh, Kind::Tdbf];
-
-impl Kind {
-    /// The wire `kind` label.
-    pub fn label(self) -> &'static str {
-        match self {
-            Kind::Exact => "exact",
-            Kind::SsHhh => "ss-hhh",
-            Kind::Rhhh => "rhhh",
-            Kind::Tdbf => "tdbf-hhh",
-        }
-    }
-
-    /// Parse a CLI label.
-    pub fn parse(s: &str) -> Option<Kind> {
-        match s {
-            "exact" => Some(Kind::Exact),
-            "ss-hhh" => Some(Kind::SsHhh),
-            "rhhh" => Some(Kind::Rhhh),
-            "tdbf-hhh" => Some(Kind::Tdbf),
-            _ => None,
-        }
-    }
-}
-
-fn hierarchy() -> Ipv4Hierarchy {
-    Ipv4Hierarchy::bytes()
-}
-
-/// RHHH sampling seed for a shard — shared between the split runs and
-/// the in-process sharded reference, so their states are bit-identical.
-fn rhhh_seed(shard: usize) -> u64 {
-    0x5EED_0000 + shard as u64
-}
-
-fn tdbf_config() -> TdbfHhhConfig {
-    TdbfHhhConfig { half_life: DISTAGG_WINDOW / 2, ..TdbfHhhConfig::default() }
-}
 
 /// The scenario trace: the acceptance day trace at this scale (day 0;
 /// ≈ 1.36M packets at `Smoke`'s 60 s — the same trace the pipeline
@@ -125,83 +70,8 @@ pub fn distagg_trace(scale: Scale) -> &'static [PacketRecord] {
     })
 }
 
-/// TDBF probe instants: every window boundary in the horizon.
-fn probes(horizon: TimeSpan) -> Vec<Nanos> {
-    (1..=horizon / DISTAGG_WINDOW).map(|i| Nanos::ZERO + DISTAGG_WINDOW * i).collect()
-}
-
-/// Run the scenario's windowed sharded pipeline into an arbitrary
-/// sink — the sink decides the medium (byte buffer, file, socket,
-/// in-process channel).
-fn windowed_into<D, S>(
-    packets: &[PacketRecord],
-    horizon: TimeSpan,
-    detectors: Vec<D>,
-    sink: S,
-) -> S::Output
-where
-    D: HhhDetector<Ipv4Hierarchy> + MergeableDetector + Clone + Send,
-    S: ReportSink<Ipv4Prefix>,
-{
-    Pipeline::new(packets.iter().copied())
-        .engine(ShardedDisjoint::new(
-            detectors,
-            horizon,
-            DISTAGG_WINDOW,
-            &[distagg_threshold()],
-            |p| p.src,
-        ))
-        .sink(sink)
-        .run()
-}
-
-/// The continuous (TDBF) counterpart of [`windowed_into`].
-fn continuous_into<S: ReportSink<Ipv4Prefix>>(
-    packets: &[PacketRecord],
-    horizon: TimeSpan,
-    shards: usize,
-    sink: S,
-) -> S::Output {
-    let detectors: Vec<_> = (0..shards).map(|_| TdbfHhh::new(hierarchy(), tdbf_config())).collect();
-    Pipeline::new(packets.iter().copied())
-        .engine(ShardedContinuous::new(detectors, &probes(horizon), distagg_threshold(), |p| p.src))
-        .sink(sink)
-        .run()
-}
-
-fn windowed_stream<D>(
-    packets: &[PacketRecord],
-    horizon: TimeSpan,
-    detectors: Vec<D>,
-    format: WireFormat,
-) -> Vec<u8>
-where
-    D: HhhDetector<Ipv4Hierarchy> + MergeableDetector + Clone + Send,
-{
-    let (bytes, err) =
-        windowed_into(packets, horizon, detectors, SnapshotSink::with_format(Vec::new(), format));
-    assert!(err.is_none(), "Vec<u8> writes cannot fail");
-    bytes
-}
-
-fn continuous_stream(
-    packets: &[PacketRecord],
-    horizon: TimeSpan,
-    shards: usize,
-    format: WireFormat,
-) -> Vec<u8> {
-    let (bytes, err) =
-        continuous_into(packets, horizon, shards, SnapshotSink::with_format(Vec::new(), format));
-    assert!(err.is_none(), "Vec<u8> writes cannot fail");
-    bytes
-}
-
-/// One shard's run of the distributed scenario: filter the trace to
-/// the keys [`shard_of`] assigns to `shard` among `k`, run the
-/// per-shard pipeline, and return its snapshot stream in `format` —
-/// exactly what that shard's *process* would write. Deterministic: the
-/// same `(kind, scale, k, shard, format)` always produces the same
-/// bytes.
+/// One shard's run of the distributed scenario at a [`Scale`]:
+/// [`shard_stream_on`] over the cached scenario trace.
 pub fn shard_stream(
     kind: Kind,
     scale: Scale,
@@ -217,73 +87,9 @@ pub fn shard_jsonl(kind: Kind, scale: Scale, k: usize, shard: usize) -> Vec<u8> 
     shard_stream(kind, scale, k, shard, WireFormat::Json)
 }
 
-/// [`shard_jsonl`] over an explicit trace (what the integration tests
-/// drive with custom trace sizes).
-pub fn shard_jsonl_on(
-    kind: Kind,
-    trace: &[PacketRecord],
-    horizon: TimeSpan,
-    k: usize,
-    shard: usize,
-) -> Vec<u8> {
-    shard_stream_on(kind, trace, horizon, k, shard, WireFormat::Json)
-}
-
-/// [`shard_stream`] over an explicit trace.
-pub fn shard_stream_on(
-    kind: Kind,
-    trace: &[PacketRecord],
-    horizon: TimeSpan,
-    k: usize,
-    shard: usize,
-    format: WireFormat,
-) -> Vec<u8> {
-    assert!(shard < k, "shard index out of range");
-    let packets = shard_packets(trace, k, shard);
-    let (bytes, err) =
-        shard_into(kind, &packets, horizon, shard, SnapshotSink::with_format(Vec::new(), format));
-    assert!(err.is_none(), "Vec<u8> writes cannot fail");
-    bytes
-}
-
-/// The sub-stream [`shard_of`] assigns to `shard` among `k`.
-fn shard_packets(trace: &[PacketRecord], k: usize, shard: usize) -> Vec<PacketRecord> {
-    trace.iter().copied().filter(|p| shard_of(&p.src, k) == shard).collect()
-}
-
-/// One shard's pipeline of the scenario into an arbitrary sink — the
-/// medium-agnostic core `shard_stream_on` (bytes) and
-/// [`shard_to_addr_on`] (TCP) share.
-fn shard_into<S: ReportSink<Ipv4Prefix>>(
-    kind: Kind,
-    packets: &[PacketRecord],
-    horizon: TimeSpan,
-    shard: usize,
-    sink: S,
-) -> S::Output {
-    match kind {
-        Kind::Exact => windowed_into(packets, horizon, vec![ExactHhh::new(hierarchy())], sink),
-        Kind::SsHhh => windowed_into(
-            packets,
-            horizon,
-            vec![SpaceSavingHhh::new(hierarchy(), DISTAGG_CAPACITY)],
-            sink,
-        ),
-        Kind::Rhhh => windowed_into(
-            packets,
-            horizon,
-            vec![Rhhh::new(hierarchy(), DISTAGG_CAPACITY, rhhh_seed(shard))],
-            sink,
-        ),
-        Kind::Tdbf => continuous_into(packets, horizon, 1, sink),
-    }
-}
-
 /// One shard's run streamed **over TCP** to an aggregator at `addr` —
-/// what `distagg shard --connect` does. The transport opens with a
-/// hello frame carrying the shard index, so the aggregator folds in
-/// shard order no matter who connects first; frames are the detector's
-/// **native** encodes (no JSON anywhere on the shard side).
+/// what `distagg shard --connect` does ([`shard_to_addr_on`] over the
+/// cached scenario trace).
 pub fn shard_to_addr(
     kind: Kind,
     scale: Scale,
@@ -294,132 +100,17 @@ pub fn shard_to_addr(
     shard_to_addr_on(kind, distagg_trace(scale), scale.compare_duration(), k, shard, addr)
 }
 
-/// [`shard_to_addr`] over an explicit trace.
-pub fn shard_to_addr_on(
-    kind: Kind,
-    trace: &[PacketRecord],
-    horizon: TimeSpan,
-    k: usize,
-    shard: usize,
-    addr: &str,
-) -> Result<(), TransportError> {
-    assert!(shard < k, "shard index out of range");
-    let transport = TcpTransport::connect(addr)
-        .with_hello(shard as u64, format!("{}/{shard}of{k}", kind.label()));
-    let packets = shard_packets(trace, k, shard);
-    let (_transport, err) =
-        shard_into(kind, &packets, horizon, shard, TransportSink::new(transport));
-    match err {
-        None => Ok(()),
-        Some(e) => Err(e),
-    }
-}
-
-/// The in-process K-shard reference stream: one sharded pipeline over
-/// the whole trace, whose state lines carry the *merged* detector at
-/// every report point — what the cross-process fold must reproduce
-/// byte-for-byte.
+/// The in-process K-shard reference stream at a [`Scale`].
 pub fn inprocess_sharded_jsonl(kind: Kind, scale: Scale, k: usize) -> Vec<u8> {
     inprocess_sharded_jsonl_on(kind, distagg_trace(scale), scale.compare_duration(), k)
 }
 
-/// [`inprocess_sharded_jsonl`] over an explicit trace.
-pub fn inprocess_sharded_jsonl_on(
+/// The unsharded single-process reference reports at a [`Scale`].
+pub fn single_process_reports(
     kind: Kind,
-    packets: &[PacketRecord],
-    horizon: TimeSpan,
-    k: usize,
-) -> Vec<u8> {
-    let format = WireFormat::Json;
-    match kind {
-        Kind::Exact => windowed_stream(
-            packets,
-            horizon,
-            (0..k).map(|_| ExactHhh::new(hierarchy())).collect(),
-            format,
-        ),
-        Kind::SsHhh => windowed_stream(
-            packets,
-            horizon,
-            (0..k).map(|_| SpaceSavingHhh::new(hierarchy(), DISTAGG_CAPACITY)).collect(),
-            format,
-        ),
-        Kind::Rhhh => windowed_stream(
-            packets,
-            horizon,
-            (0..k).map(|s| Rhhh::new(hierarchy(), DISTAGG_CAPACITY, rhhh_seed(s))).collect(),
-            format,
-        ),
-        Kind::Tdbf => continuous_stream(packets, horizon, k, format),
-    }
-}
-
-/// The unsharded single-process reference reports (series 0 at the
-/// scenario threshold).
-pub fn single_process_reports(kind: Kind, scale: Scale) -> Vec<WindowReport<Ipv4Prefix>> {
+    scale: Scale,
+) -> Vec<WindowReport<hhh_nettypes::Ipv4Prefix>> {
     single_process_reports_on(kind, distagg_trace(scale), scale.compare_duration())
-}
-
-/// [`single_process_reports`] over an explicit trace.
-pub fn single_process_reports_on(
-    kind: Kind,
-    packets: &[PacketRecord],
-    horizon: TimeSpan,
-) -> Vec<WindowReport<Ipv4Prefix>> {
-    let mut reports = match kind {
-        Kind::Exact => Pipeline::new(packets.iter().copied())
-            .engine(Disjoint::new(
-                ExactHhh::new(hierarchy()),
-                horizon,
-                DISTAGG_WINDOW,
-                &[distagg_threshold()],
-                |p| p.src,
-            ))
-            .collect()
-            .run(),
-        Kind::SsHhh => Pipeline::new(packets.iter().copied())
-            .engine(Disjoint::new(
-                SpaceSavingHhh::new(hierarchy(), DISTAGG_CAPACITY),
-                horizon,
-                DISTAGG_WINDOW,
-                &[distagg_threshold()],
-                |p| p.src,
-            ))
-            .collect()
-            .run(),
-        Kind::Rhhh => Pipeline::new(packets.iter().copied())
-            .engine(Disjoint::new(
-                Rhhh::new(hierarchy(), DISTAGG_CAPACITY, rhhh_seed(0)),
-                horizon,
-                DISTAGG_WINDOW,
-                &[distagg_threshold()],
-                |p| p.src,
-            ))
-            .collect()
-            .run(),
-        Kind::Tdbf => Pipeline::new(packets.iter().copied())
-            .engine(Continuous::new(
-                TdbfHhh::new(hierarchy(), tdbf_config()),
-                &probes(horizon),
-                distagg_threshold(),
-                |p| p.src,
-            ))
-            .collect()
-            .run(),
-    };
-    reports.remove(0)
-}
-
-/// Fold K shard streams (bytes, as the shard processes wrote them)
-/// into merged report points.
-pub fn fold_shard_streams(
-    streams: &[Vec<u8>],
-) -> Result<Vec<MergedPoint<Ipv4Hierarchy>>, hhh_agg::AggError> {
-    let mut parsed = Vec::with_capacity(streams.len());
-    for (i, bytes) in streams.iter().enumerate() {
-        parsed.push(read_stream(i, bytes.as_slice())?);
-    }
-    fold_streams(&hierarchy(), &parsed)
 }
 
 /// One `(kind, K)` verdict of the scenario.

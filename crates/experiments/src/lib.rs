@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod aggd_e2e;
 pub mod compare;
 pub mod corpus;
 pub mod distagg;

@@ -88,9 +88,10 @@ pub use source::{
     DEFAULT_CHUNK,
 };
 pub use transport::{
-    hello_frame, mem_transport, read_frame_from, FileTransport, FrameRead, FrameStream, FrameWrite,
+    ack_frame, hello_frame, mem_transport, parse_ack, read_frame_from, resume_hello_frame,
+    FileTransport, FrameHub, FrameRead, FrameSpool, FrameStream, FrameWrite, HubEvent, HubHandle,
     MemFrameReader, MemFrameWriter, TcpFrameListener, TcpTransport, TransportError, TransportSink,
-    TransportSource, HELLO_KIND,
+    TransportSource, ACK_KIND, HELLO_KIND,
 };
 
 #[allow(deprecated)]

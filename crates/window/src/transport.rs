@@ -53,16 +53,17 @@
 use crate::sink::{render_report_line, ReportSink};
 use crate::source::Source;
 use crate::WindowReport;
-use hhh_core::snapshot::binary::{payload_len, REPORT_KIND};
+use hhh_core::snapshot::binary::{payload_len, FRAME_HEADER_LEN, REPORT_KIND};
 use hhh_core::snapshot::{DetectorSnapshot, SnapshotFrame};
 use hhh_core::{SnapshotError, WireSnapshot};
 use hhh_nettypes::Nanos;
 use std::borrow::Cow;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::{self, Display};
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Why a transport operation failed. Implements
@@ -305,6 +306,22 @@ impl FrameRead for MemFrameReader {
 /// The kind header of the per-connection handshake frame.
 pub const HELLO_KIND: &str = "hello";
 
+/// The kind header of the acknowledgement frame an acking listener
+/// (the `hhh-aggd` [`FrameHub`]) sends back right after a hello:
+/// `total` carries the stream id being acked, `at` the number of
+/// frames the listener holds for that stream. A resume-capable writer
+/// ([`TcpTransport::with_spool`]) reads it to learn where to replay
+/// from; the plain PR 5 write side never reads its socket, so the ack
+/// sits harmlessly in the kernel buffer.
+pub const ACK_KIND: &str = "ack";
+
+/// The hello `start` field value marking a **resume-capable** writer:
+/// one that waits for the listener's [`ack_frame`] and replays its
+/// spool from the acked position. Plain writers leave `start` at 0 and
+/// the listener attributes connection frames to the hello's claimed
+/// position instead.
+const HELLO_RESUME_FLAG: u64 = 1;
+
 /// Build the handshake frame a [`TcpTransport`] writes when a
 /// connection opens: `total` carries the writer's stream id (shard
 /// index), the body its human-readable label, and `at` the number of
@@ -315,8 +332,20 @@ pub const HELLO_KIND: &str = "hello";
 /// onto a stream with a gap — a frame lost in flight keeps the stream
 /// incomplete instead of silently shortening it.
 pub fn hello_frame(id: u64, label: &str, delivered: u64) -> SnapshotFrame {
+    hello_with_flags(id, label, delivered, 0)
+}
+
+/// The resume-capable flavor of [`hello_frame`]: marks the writer as
+/// one that honors the listener's [`ack_frame`] — the listener will
+/// expect this connection's frames to start at the **acked** position,
+/// not the claimed one. Written by [`TcpTransport::with_spool`].
+pub fn resume_hello_frame(id: u64, label: &str, acked: u64) -> SnapshotFrame {
+    hello_with_flags(id, label, acked, HELLO_RESUME_FLAG)
+}
+
+fn hello_with_flags(id: u64, label: &str, delivered: u64, flags: u64) -> SnapshotFrame {
     SnapshotFrame {
-        start: Nanos::ZERO,
+        start: Nanos::from_nanos(flags),
         at: Nanos::from_nanos(delivered),
         kind: Cow::Borrowed(HELLO_KIND),
         total: id,
@@ -325,8 +354,38 @@ pub fn hello_frame(id: u64, label: &str, delivered: u64) -> SnapshotFrame {
     }
 }
 
-/// Decode a [`hello_frame`]: `(stream id, label, delivered count)`.
-fn parse_hello(frame: &SnapshotFrame) -> Result<(u64, String, u64), TransportError> {
+/// Build the acknowledgement frame an acking listener sends right
+/// after reading a hello: "for stream `id`, I hold `received` frames".
+pub fn ack_frame(id: u64, received: u64) -> SnapshotFrame {
+    SnapshotFrame {
+        start: Nanos::ZERO,
+        at: Nanos::from_nanos(received),
+        kind: Cow::Borrowed(ACK_KIND),
+        total: id,
+        digest: hhh_core::snapshot::binary::fnv1a(&[]),
+        body: Vec::new(),
+    }
+}
+
+/// Decode an [`ack_frame`]: `(stream id, received count)`.
+pub fn parse_ack(frame: &SnapshotFrame) -> Result<(u64, u64), TransportError> {
+    if frame.kind != ACK_KIND {
+        return Err(TransportError::Handshake("expected an ack frame"));
+    }
+    Ok((frame.total, frame.at.as_nanos()))
+}
+
+/// A decoded [`hello_frame`] / [`resume_hello_frame`].
+#[derive(Clone, Debug)]
+struct Hello {
+    id: u64,
+    label: String,
+    delivered: u64,
+    resume: bool,
+}
+
+/// Decode a hello frame.
+fn parse_hello(frame: &SnapshotFrame) -> Result<Hello, TransportError> {
     if frame.kind != HELLO_KIND {
         return Err(TransportError::Handshake("first frame is not a hello"));
     }
@@ -335,7 +394,114 @@ fn parse_hello(frame: &SnapshotFrame) -> Result<(u64, String, u64), TransportErr
     }
     let label = String::from_utf8(frame.body.clone())
         .map_err(|_| TransportError::Handshake("hello label is not UTF-8"))?;
-    Ok((frame.total, label, frame.at.as_nanos()))
+    Ok(Hello {
+        id: frame.total,
+        label,
+        delivered: frame.at.as_nanos(),
+        resume: frame.start.as_nanos() & HELLO_RESUME_FLAG != 0,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Frame spool
+// ---------------------------------------------------------------------
+
+/// A durable, append-only file of encoded v2 frames: the shard-side
+/// **spool** that makes a stream replayable across process restarts.
+///
+/// A [`TcpTransport::with_spool`] writer appends every frame here
+/// before sending it, so the spool always holds the authoritative
+/// prefix of the stream. When the process restarts, reopening the
+/// spool recovers every frame the previous run produced (a torn tail
+/// from a crash mid-append is truncated away); the transport then asks
+/// the aggregation daemon where to resume (the hello/ack handshake)
+/// and replays `spool[acked..]` — the daemon receives every frame
+/// exactly once, in order, no matter how many times the shard died.
+///
+/// The file format is just concatenated [`SnapshotFrame::encode`]
+/// bytes — a spool is a valid `SnapshotSource`/`hhh-agg` input stream.
+#[derive(Debug)]
+pub struct FrameSpool {
+    file: std::fs::File,
+    /// Byte offset of each complete frame.
+    offsets: Vec<u64>,
+    /// Byte length of the valid (non-torn) prefix.
+    end: u64,
+}
+
+impl FrameSpool {
+    /// Open (or create) a spool file, scanning any existing frames and
+    /// truncating a torn tail left by a crash mid-append.
+    pub fn open(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let total = file.metadata()?.len();
+        file.seek(SeekFrom::Start(0))?;
+        let mut offsets = Vec::new();
+        let mut pos: u64 = 0;
+        {
+            let mut reader = BufReader::new(&mut file);
+            loop {
+                let mut header = [0u8; FRAME_HEADER_LEN];
+                let got = fill_from(&mut reader, &mut header)?;
+                if got < FRAME_HEADER_LEN {
+                    break; // clean end or torn header
+                }
+                let Ok(len) = payload_len(&header) else {
+                    break; // corrupt header: treat as torn tail
+                };
+                let frame_len = (FRAME_HEADER_LEN + len) as u64;
+                if pos + frame_len > total {
+                    break; // torn payload
+                }
+                reader.seek_relative(len as i64)?;
+                offsets.push(pos);
+                pos += frame_len;
+            }
+        }
+        if pos < total {
+            file.set_len(pos)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(FrameSpool { file, offsets, end: pos })
+    }
+
+    /// Frames currently spooled.
+    pub fn len(&self) -> u64 {
+        self.offsets.len() as u64
+    }
+
+    /// Is the spool empty?
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Append one already-encoded frame.
+    pub fn append(&mut self, encoded: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(self.end))?;
+        self.file.write_all(encoded)?;
+        self.offsets.push(self.end);
+        self.end += encoded.len() as u64;
+        Ok(())
+    }
+
+    /// Raw encoded bytes of spooled frame `index` (for replay onto a
+    /// socket — the bytes go out verbatim, no re-encode).
+    pub fn frame_bytes(&mut self, index: u64) -> io::Result<Vec<u8>> {
+        let i = index as usize;
+        assert!(i < self.offsets.len(), "spool index out of range");
+        let start = self.offsets[i];
+        let end = self.offsets.get(i + 1).copied().unwrap_or(self.end);
+        let mut buf = vec![0u8; (end - start) as usize];
+        self.file.seek(SeekFrom::Start(start))?;
+        self.file.read_exact(&mut buf)?;
+        self.file.seek(SeekFrom::Start(self.end))?;
+        Ok(buf)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -364,6 +530,20 @@ pub struct TcpTransport {
     attempts: u32,
     initial_backoff: Duration,
     max_backoff: Duration,
+    /// Resume mode ([`with_spool`](Self::with_spool)): the durable
+    /// stream of record, replayed from the peer's acked position on
+    /// every (re)connection.
+    spool: Option<FrameSpool>,
+    /// What the peer acked at the last handshake (spool mode).
+    acked: u64,
+    /// Next spool index to send on the current connection.
+    send_pos: u64,
+    /// Frames this *process* has pushed through `write_frame` — the
+    /// position dedupe that keeps a restarted, deterministic producer
+    /// from re-appending frames its previous run already spooled.
+    written: u64,
+    /// How long to wait for the listener's ack at a resume handshake.
+    ack_timeout: Duration,
 }
 
 impl TcpTransport {
@@ -379,6 +559,11 @@ impl TcpTransport {
             attempts: 10,
             initial_backoff: Duration::from_millis(50),
             max_backoff: Duration::from_secs(2),
+            spool: None,
+            acked: 0,
+            send_pos: 0,
+            written: 0,
+            ack_timeout: Duration::from_secs(10),
         }
     }
 
@@ -410,51 +595,176 @@ impl TcpTransport {
         self
     }
 
-    /// Connect (with backoff) if not connected, writing the hello on
-    /// every fresh connection.
-    fn ensure_connected(&mut self) -> Result<&mut TcpStream, TransportError> {
-        if self.stream.is_none() {
-            let mut backoff = self.initial_backoff;
-            let mut last = None;
-            for attempt in 0..self.attempts {
-                if attempt > 0 {
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(self.max_backoff);
-                }
-                match TcpStream::connect(&self.addr) {
-                    Ok(mut s) => {
-                        let _ = s.set_nodelay(true);
-                        if let Some((id, label)) = &self.hello {
-                            let hello = hello_frame(*id, label, self.delivered);
-                            if let Err(e) = s.write_all(&hello.encode()) {
+    /// Switch the transport to **resume mode**: every frame is
+    /// appended to `spool` (the durable stream of record) before going
+    /// on the wire, each connection opens with a
+    /// [`resume_hello_frame`] and waits for the peer's [`ack_frame`],
+    /// and the spool is replayed from the acked position — so a
+    /// process that crashes and reopens the same spool resumes the
+    /// stream byte-exactly, no matter where it died.
+    ///
+    /// Requires [`with_hello`](Self::with_hello) (the handshake needs
+    /// a stream identity) and an **acking** peer (the `hhh-aggd`
+    /// [`FrameHub`]); the plain one-shot [`TcpFrameListener`] never
+    /// acks, so the handshake would time out. `write_frame` calls are
+    /// deduplicated by position: if the spool already holds frames a
+    /// previous run produced, a deterministic producer regenerating
+    /// them from scratch re-sends nothing.
+    pub fn with_spool(mut self, spool: FrameSpool) -> Self {
+        assert!(self.hello.is_some(), "spool mode requires with_hello (a stream identity)");
+        self.spool = Some(spool);
+        self
+    }
+
+    /// Frames the peer acknowledged holding at the most recent resume
+    /// handshake (0 before the first connection). Spool mode only.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Frames in the spool (spool mode only; 0 otherwise).
+    pub fn spooled(&self) -> u64 {
+        self.spool.as_ref().map_or(0, FrameSpool::len)
+    }
+
+    /// Connect (with backoff) if not connected, writing the hello —
+    /// and in spool mode running the resume handshake — on every fresh
+    /// connection.
+    fn ensure_connected(&mut self) -> Result<(), TransportError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let mut backoff = self.initial_backoff;
+        let mut last = None;
+        for attempt in 0..self.attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(self.max_backoff);
+            }
+            match TcpStream::connect(&self.addr) {
+                Ok(mut s) => {
+                    let _ = s.set_nodelay(true);
+                    if self.spool.is_some() {
+                        match self.resume_handshake(&mut s) {
+                            Ok(()) => {
+                                self.stream = Some(s);
+                                break;
+                            }
+                            Err(e) => {
                                 last = Some(e);
                                 continue;
                             }
                         }
-                        self.stream = Some(s);
-                        break;
                     }
-                    Err(e) => last = Some(e),
+                    if let Some((id, label)) = &self.hello {
+                        let hello = hello_frame(*id, label, self.delivered);
+                        if let Err(e) = s.write_all(&hello.encode()) {
+                            last = Some(e);
+                            continue;
+                        }
+                    }
+                    self.stream = Some(s);
+                    break;
                 }
-            }
-            if self.stream.is_none() {
-                let source = last.unwrap_or_else(|| {
-                    io::Error::new(io::ErrorKind::TimedOut, "connect attempts exhausted")
-                });
-                return Err(TransportError::io("connect", source));
+                Err(e) => last = Some(e),
             }
         }
-        Ok(self.stream.as_mut().expect("connected above"))
+        if self.stream.is_none() {
+            let source = last.unwrap_or_else(|| {
+                io::Error::new(io::ErrorKind::TimedOut, "connect attempts exhausted")
+            });
+            return Err(TransportError::io("connect", source));
+        }
+        Ok(())
+    }
+
+    /// Spool-mode connection opening: claim the spooled frame count,
+    /// wait for the peer's ack, and position the replay cursor at the
+    /// acked frame.
+    fn resume_handshake(&mut self, s: &mut TcpStream) -> io::Result<()> {
+        let (id, label) = self.hello.as_ref().expect("spool mode requires a hello");
+        let spooled = self.spool.as_ref().expect("spool mode").len();
+        s.write_all(&resume_hello_frame(*id, label, spooled).encode())?;
+        s.set_read_timeout(Some(self.ack_timeout))?;
+        let ack = read_frame_from(s)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed before ack")
+            })?;
+        let (ack_id, received) = parse_ack(&ack)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if ack_id != *id {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "ack for a different stream"));
+        }
+        s.set_read_timeout(None)?;
+        self.acked = received;
+        self.send_pos = received.min(spooled);
+        Ok(())
+    }
+
+    /// Spool-mode send loop: flush every spooled frame past the replay
+    /// cursor onto the wire, reconnecting (and re-handshaking, which
+    /// re-positions the cursor from the fresh ack) on write failures.
+    fn pump(&mut self) -> Result<(), TransportError> {
+        let mut attempts_left = self.attempts;
+        loop {
+            self.ensure_connected()?;
+            let target = self.spool.as_ref().expect("spool mode").len();
+            let mut failed = None;
+            while self.send_pos < target {
+                let bytes = self
+                    .spool
+                    .as_mut()
+                    .expect("spool mode")
+                    .frame_bytes(self.send_pos)
+                    .map_err(|e| TransportError::io("read", e))?;
+                match self.stream.as_mut().expect("connected above").write_all(&bytes) {
+                    Ok(()) => {
+                        self.send_pos += 1;
+                        self.delivered = self.send_pos;
+                    }
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failed {
+                None => return Ok(()),
+                Some(e) => {
+                    self.stream = None;
+                    attempts_left = attempts_left.saturating_sub(1);
+                    if attempts_left == 0 {
+                        return Err(TransportError::io("write", e));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spool-mode `write_frame`: append (unless a previous run already
+    /// spooled this position) and pump.
+    fn write_spooled(&mut self, frame: &SnapshotFrame) -> Result<(), TransportError> {
+        let pos = self.written;
+        self.written += 1;
+        let spool = self.spool.as_mut().expect("spool mode");
+        if pos >= spool.len() {
+            spool.append(&frame.encode()).map_err(|e| TransportError::io("write", e))?;
+        }
+        self.pump()
     }
 }
 
 impl FrameWrite for TcpTransport {
     fn write_frame(&mut self, frame: &SnapshotFrame) -> Result<(), TransportError> {
+        if self.spool.is_some() {
+            return self.write_spooled(frame);
+        }
         let bytes = frame.encode();
         let mut attempts_left = self.attempts;
         loop {
-            let stream = self.ensure_connected()?;
-            match stream.write_all(&bytes) {
+            self.ensure_connected()?;
+            match self.stream.as_mut().expect("connected above").write_all(&bytes) {
                 Ok(()) => {
                     self.delivered += 1;
                     return Ok(());
@@ -470,6 +780,13 @@ impl FrameWrite for TcpTransport {
                 }
             }
         }
+    }
+
+    fn flush(&mut self) -> Result<(), TransportError> {
+        if self.spool.is_some() {
+            self.pump()?;
+        }
+        Ok(())
     }
 }
 
@@ -492,11 +809,38 @@ pub struct FrameStream {
 
 /// What one connection's reader thread produced.
 struct ConnResult {
-    hello: Result<(u64, String, u64), TransportError>,
+    hello: Result<Hello, TransportError>,
     frames: Vec<SnapshotFrame>,
     /// Clean EOF at a frame boundary (vs a torn tail, which waits for
     /// the writer's reconnect).
     clean: bool,
+}
+
+/// A shared "when did *any* connection last make progress" clock:
+/// reader threads stamp it per frame, the accept loop per connection,
+/// and the collector turns staleness into read-idle timeouts. Stored
+/// as milliseconds since a base instant so stamping is one relaxed
+/// atomic store on the frame path.
+#[derive(Clone, Debug)]
+struct ActivityClock {
+    base: Instant,
+    last_ms: Arc<AtomicU64>,
+}
+
+impl ActivityClock {
+    fn new() -> Self {
+        ActivityClock { base: Instant::now(), last_ms: Arc::new(AtomicU64::new(0)) }
+    }
+
+    fn touch(&self) {
+        let ms = self.base.elapsed().as_millis() as u64;
+        self.last_ms.fetch_max(ms, Ordering::Relaxed);
+    }
+
+    fn idle(&self) -> Duration {
+        let now = self.base.elapsed().as_millis() as u64;
+        Duration::from_millis(now.saturating_sub(self.last_ms.load(Ordering::Relaxed)))
+    }
 }
 
 /// The socket read side: accept N concurrent shard connections and
@@ -511,19 +855,52 @@ struct ConnResult {
 pub struct TcpFrameListener {
     listener: TcpListener,
     timeout: Option<Duration>,
+    accept_idle: Option<Duration>,
+    read_idle: Option<Duration>,
 }
 
 impl TcpFrameListener {
     /// Bind the listening socket (use port 0 for an ephemeral port and
     /// read it back with [`local_addr`](Self::local_addr)).
     pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        Ok(TcpFrameListener { listener: TcpListener::bind(addr)?, timeout: None })
+        Ok(TcpFrameListener {
+            listener: TcpListener::bind(addr)?,
+            timeout: None,
+            accept_idle: None,
+            read_idle: None,
+        })
     }
 
     /// Give up (with a typed timeout error) if `expect` streams have
-    /// not completed within `timeout` of starting to collect.
+    /// not completed within `timeout` of starting to collect — a
+    /// **whole-fold deadline**, counted from the first
+    /// [`collect_streams`](Self::collect_streams) iteration regardless
+    /// of progress. For limits that reset while shards are making
+    /// progress, see [`with_accept_idle`](Self::with_accept_idle) and
+    /// [`with_read_idle`](Self::with_read_idle); all three compose
+    /// (first to fire wins).
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Give up if, while fewer connections than expected streams have
+    /// *ever* been accepted, no new connection arrives for `idle` — a
+    /// shard that never started. Unlike [`with_timeout`](Self::with_timeout)
+    /// this resets on every accept, so slow-but-live topologies don't
+    /// need a worst-case whole-fold budget.
+    pub fn with_accept_idle(mut self, idle: Duration) -> Self {
+        self.accept_idle = Some(idle);
+        self
+    }
+
+    /// Give up if no frame arrives on *any* connection for `idle`
+    /// while streams are still incomplete — a shard that connected and
+    /// then wedged (or a frame lost in flight leaving a reconnect
+    /// unstitchable). Resets on every frame received, so total fold
+    /// time stays unbounded as long as bytes keep flowing.
+    pub fn with_read_idle(mut self, idle: Duration) -> Self {
+        self.read_idle = Some(idle);
         self
     }
 
@@ -559,14 +936,21 @@ impl TcpFrameListener {
         // is still in flight, or its tail was lost on the wire.
         let mut pending: Vec<(u64, String, u64, ConnResult)> = Vec::new();
         let deadline = self.timeout.map(|t| Instant::now() + t);
+        let activity = ActivityClock::new();
+        let mut accepted = 0usize;
+        let mut last_accept = Instant::now();
 
         while complete.len() < expect {
             match self.listener.accept() {
                 Ok((conn, _peer)) => {
                     let _ = conn.set_nodelay(true);
+                    accepted += 1;
+                    last_accept = Instant::now();
+                    activity.touch();
                     let tx = tx.clone();
+                    let activity = activity.clone();
                     std::thread::spawn(move || {
-                        let _ = tx.send(read_connection(conn));
+                        let _ = tx.send(read_connection(conn, &activity));
                     });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
@@ -575,7 +959,7 @@ impl TcpFrameListener {
             let mut progressed = false;
             while let Ok(res) = rx.try_recv() {
                 let (id, label, delivered_before) = match &res.hello {
-                    Ok(hello) => hello.clone(),
+                    Ok(hello) => (hello.id, hello.label.clone(), hello.delivered),
                     // A connection without a valid hello (port scan,
                     // stray client) cannot be attributed to a stream;
                     // drop it rather than poison the fold.
@@ -615,36 +999,46 @@ impl TcpFrameListener {
                 }
                 pending = keep;
             }
+            let stalled = |why: &str| {
+                let gaps = pending
+                    .iter()
+                    .map(|(id, _, claimed, res)| {
+                        let got = streams.get(id).map_or(0, |s| s.frames.len());
+                        format!(
+                            "stream {id}: reconnect claims {claimed} frames delivered, \
+                             received {got} ({} more on the new connection)",
+                            res.frames.len()
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                let detail = if gaps.is_empty() {
+                    format!("{} of {expect} streams complete before {why}", complete.len())
+                } else {
+                    format!(
+                        "{} of {expect} streams complete before {why}; \
+                         gap detected (frame lost in flight?): {gaps}",
+                        complete.len()
+                    )
+                };
+                TransportError::io("accept", io::Error::new(io::ErrorKind::TimedOut, detail))
+            };
             if let Some(deadline) = deadline {
                 if Instant::now() > deadline {
-                    let gaps = pending
-                        .iter()
-                        .map(|(id, _, claimed, res)| {
-                            let got = streams.get(id).map_or(0, |s| s.frames.len());
-                            format!(
-                                "stream {id}: reconnect claims {claimed} frames delivered, \
-                                 received {got} ({} more on the new connection)",
-                                res.frames.len()
-                            )
-                        })
-                        .collect::<Vec<_>>()
-                        .join("; ");
-                    let detail = if gaps.is_empty() {
-                        format!(
-                            "{} of {expect} streams complete before the timeout",
-                            complete.len()
-                        )
-                    } else {
-                        format!(
-                            "{} of {expect} streams complete before the timeout; \
-                             gap detected (frame lost in flight?): {gaps}",
-                            complete.len()
-                        )
-                    };
-                    return Err(TransportError::io(
-                        "accept",
-                        io::Error::new(io::ErrorKind::TimedOut, detail),
-                    ));
+                    return Err(stalled("the timeout"));
+                }
+            }
+            if let Some(idle) = self.accept_idle {
+                if accepted < expect && last_accept.elapsed() > idle {
+                    return Err(stalled(&format!(
+                        "the accept-idle limit ({accepted} connections accepted, \
+                         none for {idle:?})"
+                    )));
+                }
+            }
+            if let Some(idle) = self.read_idle {
+                if activity.idle() > idle {
+                    return Err(stalled(&format!("the read-idle limit (no frame for {idle:?})")));
                 }
             }
             std::thread::sleep(Duration::from_millis(2));
@@ -654,8 +1048,10 @@ impl TcpFrameListener {
 }
 
 /// Read one connection to the end: hello first, then frames until a
-/// clean EOF or a torn tail.
-fn read_connection(conn: TcpStream) -> ConnResult {
+/// clean EOF or a torn tail. Every decoded frame stamps the shared
+/// [`ActivityClock`] so the collector's read-idle limit resets on
+/// progress.
+fn read_connection(conn: TcpStream, activity: &ActivityClock) -> ConnResult {
     let mut input = BufReader::new(conn);
     let hello = match read_frame_from(&mut input) {
         Ok(Some(frame)) => parse_hello(&frame),
@@ -665,14 +1061,233 @@ fn read_connection(conn: TcpStream) -> ConnResult {
     if hello.is_err() {
         return ConnResult { hello, frames: Vec::new(), clean: false };
     }
+    activity.touch();
     let mut frames = Vec::new();
     loop {
         match read_frame_from(&mut input) {
-            Ok(Some(frame)) => frames.push(frame),
+            Ok(Some(frame)) => {
+                activity.touch();
+                frames.push(frame);
+            }
             Ok(None) => return ConnResult { hello, frames, clean: true },
             // Torn tail: keep what decoded; the writer re-sends the
             // torn frame on its next connection.
             Err(_) => return ConnResult { hello, frames, clean: false },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// FrameHub: the daemon's long-lived read side
+// ---------------------------------------------------------------------
+
+/// What a [`FrameHub`] observed, in arrival order on one channel.
+#[derive(Debug)]
+pub enum HubEvent {
+    /// A connection completed its hello/ack handshake and was admitted
+    /// to stream `id`. `resume_at` is the frame count the hub acked —
+    /// the position this connection's deliveries resume from (0 for a
+    /// brand-new stream).
+    Joined {
+        /// Stream id from the hello.
+        id: u64,
+        /// Writer's label from the hello.
+        label: String,
+        /// Frames the hub already held for the stream.
+        resume_at: u64,
+    },
+    /// Frame `pos` (0-based position within stream `id`) arrived for
+    /// the first time. Duplicates — a restarted deterministic writer
+    /// replaying from zero, or a spooled writer racing a stale
+    /// connection — are dropped before this event, so positions are
+    /// emitted exactly once, in order, per stream.
+    Frame {
+        /// Stream id.
+        id: u64,
+        /// 0-based position of `frame` within the stream.
+        pos: u64,
+        /// The decoded frame.
+        frame: SnapshotFrame,
+    },
+    /// A connection for stream `id` ended. `clean` distinguishes EOF
+    /// at a frame boundary from a torn tail; either way the stream
+    /// stays open — a reconnect resumes it.
+    Left {
+        /// Stream id.
+        id: u64,
+        /// Clean EOF (vs torn tail / read error).
+        clean: bool,
+    },
+    /// A connection claimed a resume position **ahead** of the frames
+    /// the hub holds — a frame was lost in flight and the writer
+    /// cannot (or did not offer to) replay it. The connection is
+    /// refused; restarting the writer from its spool (or from zero,
+    /// for a deterministic producer) recovers exactly.
+    Gap {
+        /// Stream id.
+        id: u64,
+        /// The position the connection wanted to resume from.
+        claimed: u64,
+        /// Frames the hub actually holds.
+        received: u64,
+    },
+}
+
+/// The long-lived, membership-aware socket read side behind
+/// `hhh-aggd`: accepts any number of writer connections, acks every
+/// hello with the frame count it holds (the other half of the
+/// [`TcpTransport::with_spool`] resume protocol), deduplicates
+/// re-delivered frames by position, and streams [`HubEvent`]s to the
+/// daemon's fold loop.
+///
+/// Where [`TcpFrameListener::collect_streams`] is a one-shot barrier —
+/// wait for exactly `expect` complete streams, then return — the hub
+/// never finishes: shards join, leave, crash, and resume at any time,
+/// and gaps are per-connection refusals (recoverable by writer
+/// restart) instead of fold-fatal errors.
+#[derive(Debug)]
+pub struct FrameHub {
+    listener: TcpListener,
+}
+
+/// Shuts the accepting [`FrameHub`] down when dropped (or explicitly
+/// via [`shutdown`](Self::shutdown)).
+#[derive(Debug)]
+pub struct HubHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HubHandle {
+    /// Stop accepting and join the accept loop. Connections already
+    /// admitted drain on their own threads (their next event is the
+    /// connection's `Left`).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HubHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl FrameHub {
+    /// Bind the hub's listening socket (port 0 for ephemeral).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(FrameHub { listener: TcpListener::bind(addr)? })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Start accepting: returns the shutdown handle and the event
+    /// channel. Each admitted connection runs on its own reader
+    /// thread; the receiver sees every stream's frames in position
+    /// order (interleaved across streams in arrival order).
+    pub fn start(self) -> io::Result<(HubHandle, mpsc::Receiver<HubEvent>)> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let listener = self.listener;
+        let thread = std::thread::spawn(move || {
+            let received: Arc<Mutex<HashMap<u64, u64>>> = Arc::default();
+            while !flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((conn, _peer)) => {
+                        let _ = conn.set_nodelay(true);
+                        let tx = tx.clone();
+                        let received = Arc::clone(&received);
+                        std::thread::spawn(move || hub_connection(conn, &tx, &received));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok((HubHandle { stop, thread: Some(thread) }, rx))
+    }
+}
+
+/// One hub connection: handshake (hello in, ack out), then frames
+/// deduplicated by position until EOF or a torn tail.
+fn hub_connection(
+    conn: TcpStream,
+    tx: &mpsc::Sender<HubEvent>,
+    received: &Mutex<HashMap<u64, u64>>,
+) {
+    // A connection that never sends its hello must not pin this thread
+    // (port scans, health probes); frames after admission have no
+    // deadline — a long-lived shard may idle between windows.
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+    let Ok(reader_half) = conn.try_clone() else { return };
+    let mut reader = BufReader::new(reader_half);
+    let hello = match read_frame_from(&mut reader) {
+        Ok(Some(frame)) => match parse_hello(&frame) {
+            Ok(h) => h,
+            Err(_) => return,
+        },
+        _ => return,
+    };
+    let held = *received.lock().expect("hub lock").entry(hello.id).or_insert(0);
+    let mut writer = conn;
+    if writer.write_all(&ack_frame(hello.id, held).encode()).is_err() {
+        return;
+    }
+    let _ = writer.set_read_timeout(None);
+    // A resume-capable writer replays from our ack; a plain writer
+    // sends from wherever its hello claimed (position-deduped below).
+    let base = if hello.resume { held } else { hello.delivered };
+    if base > held {
+        let _ = tx.send(HubEvent::Gap { id: hello.id, claimed: base, received: held });
+        return;
+    }
+    let _ = tx.send(HubEvent::Joined { id: hello.id, label: hello.label, resume_at: held });
+    let mut pos = base;
+    loop {
+        match read_frame_from(&mut reader) {
+            Ok(Some(frame)) => {
+                let deliver = {
+                    let mut map = received.lock().expect("hub lock");
+                    let count = map.entry(hello.id).or_insert(0);
+                    if pos == *count {
+                        *count += 1;
+                        true
+                    } else {
+                        // pos < count: a frame the hub already holds
+                        // (a restarted writer replaying its prefix) —
+                        // drop it. pos can never exceed count: it
+                        // starts at base <= count and count advances
+                        // with every delivery.
+                        false
+                    }
+                };
+                if deliver {
+                    let _ = tx.send(HubEvent::Frame { id: hello.id, pos, frame });
+                }
+                pos += 1;
+            }
+            Ok(None) => {
+                let _ = tx.send(HubEvent::Left { id: hello.id, clean: true });
+                return;
+            }
+            Err(_) => {
+                let _ = tx.send(HubEvent::Left { id: hello.id, clean: false });
+                return;
+            }
         }
     }
 }
@@ -883,11 +1498,248 @@ mod tests {
     #[test]
     fn hello_frames_parse_and_reject_tampering() {
         let hello = hello_frame(3, "shard-3", 7);
-        assert_eq!(parse_hello(&hello).unwrap(), (3, "shard-3".to_string(), 7));
+        let parsed = parse_hello(&hello).unwrap();
+        assert_eq!(
+            (parsed.id, parsed.label.as_str(), parsed.delivered, parsed.resume),
+            (3, "shard-3", 7, false)
+        );
+        let resume = parse_hello(&resume_hello_frame(5, "shard-5", 9)).unwrap();
+        assert_eq!(
+            (resume.id, resume.label.as_str(), resume.delivered, resume.resume),
+            (5, "shard-5", 9, true)
+        );
         let mut tampered = hello.clone();
         tampered.body[0] ^= 1;
         assert!(parse_hello(&tampered).is_err());
         assert!(parse_hello(&state_frame(1, 1)).is_err(), "state frames are not hellos");
+    }
+
+    #[test]
+    fn ack_frames_roundtrip() {
+        let ack = ack_frame(7, 42);
+        assert_eq!(parse_ack(&ack).unwrap(), (7, 42));
+        // Frames survive the wire encoding like any other frame.
+        let (decoded, _) = SnapshotFrame::decode(&ack.encode()).unwrap();
+        assert_eq!(parse_ack(&decoded).unwrap(), (7, 42));
+        assert!(parse_ack(&state_frame(1, 1)).is_err(), "state frames are not acks");
+    }
+
+    #[test]
+    fn frame_spool_recovers_frames_and_truncates_torn_tails() {
+        let dir = std::env::temp_dir().join(format!("hhh_spool_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.spool");
+        let _ = std::fs::remove_file(&path);
+        let frames = [state_frame(1, 10), state_frame(2, 20), state_frame(3, 30)];
+        {
+            let mut spool = FrameSpool::open(&path).unwrap();
+            for f in &frames {
+                spool.append(&f.encode()).unwrap();
+            }
+            assert_eq!(spool.len(), 3);
+            // Replay is byte-exact.
+            let bytes = spool.frame_bytes(1).unwrap();
+            assert_eq!(SnapshotFrame::decode(&bytes).unwrap().0, frames[1]);
+        }
+        // Simulate a crash mid-append: write a torn fourth frame.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            let torn = state_frame(4, 40).encode();
+            f.write_all(&torn[..torn.len() - 5]).unwrap();
+        }
+        let mut spool = FrameSpool::open(&path).unwrap();
+        assert_eq!(spool.len(), 3, "torn tail truncated, complete frames kept");
+        for (i, f) in frames.iter().enumerate() {
+            let bytes = spool.frame_bytes(i as u64).unwrap();
+            assert_eq!(&SnapshotFrame::decode(&bytes).unwrap().0, f);
+        }
+        // Appends continue past the truncation point.
+        spool.append(&state_frame(4, 40).encode()).unwrap();
+        assert_eq!(spool.len(), 4);
+        let reopened = FrameSpool::open(&path).unwrap();
+        assert_eq!(reopened.len(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Drain hub events until each of `want` streams has delivered
+    /// `per_stream` frames, returning (id -> frame positions in
+    /// delivery order).
+    fn drain_frames(
+        rx: &mpsc::Receiver<HubEvent>,
+        want: usize,
+        per_stream: u64,
+    ) -> BTreeMap<u64, Vec<u64>> {
+        let mut got: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while got.len() < want || got.values().any(|v| (v.len() as u64) < per_stream) {
+            match rx.recv_timeout(deadline - Instant::now()) {
+                Ok(HubEvent::Frame { id, pos, .. }) => got.entry(id).or_default().push(pos),
+                Ok(_) => {}
+                Err(e) => panic!("hub events dried up: {e} (got {got:?})"),
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn hub_acks_hellos_and_dedupes_a_restarted_plain_writer() {
+        let hub = FrameHub::bind("127.0.0.1:0").unwrap();
+        let addr = hub.local_addr().unwrap();
+        let (handle, rx) = hub.start().unwrap();
+        // First life: a plain writer delivers frames 0 and 1, dies.
+        {
+            let mut t = TcpTransport::connect(addr.to_string()).with_hello(0, "shard-0");
+            t.write_frame(&state_frame(1, 100)).unwrap();
+            t.write_frame(&state_frame(2, 101)).unwrap();
+        }
+        // Wait until the hub has admitted both frames, so the restart
+        // below races nothing.
+        let first = drain_frames(&rx, 1, 2);
+        assert_eq!(first[&0], vec![0, 1]);
+        // Second life: the restarted process regenerates the whole
+        // stream from scratch (delivered claim 0) — the hub must drop
+        // the replayed prefix and deliver only positions 2 and 3.
+        {
+            let mut t = TcpTransport::connect(addr.to_string()).with_hello(0, "shard-0");
+            for (i, total) in [100u64, 101, 102, 103].iter().enumerate() {
+                t.write_frame(&state_frame(i as u64 + 1, *total)).unwrap();
+            }
+        }
+        let second = drain_frames(&rx, 1, 2);
+        assert_eq!(second[&0], vec![2, 3], "replayed prefix deduped by position");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn spooled_transport_resumes_exactly_across_a_simulated_restart() {
+        let dir = std::env::temp_dir().join(format!("hhh_spool_resume_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard0.spool");
+        let _ = std::fs::remove_file(&path);
+        let hub = FrameHub::bind("127.0.0.1:0").unwrap();
+        let addr = hub.local_addr().unwrap();
+        let (handle, rx) = hub.start().unwrap();
+        // First life: spool + deliver frames 0..3.
+        {
+            let spool = FrameSpool::open(&path).unwrap();
+            let mut t =
+                TcpTransport::connect(addr.to_string()).with_hello(0, "shard-0").with_spool(spool);
+            for i in 0..3u64 {
+                t.write_frame(&state_frame(i + 1, 100 + i)).unwrap();
+            }
+            assert_eq!(t.acked(), 0, "first handshake acked an empty stream");
+            assert_eq!(t.spooled(), 3);
+        }
+        assert_eq!(drain_frames(&rx, 1, 3)[&0], vec![0, 1, 2]);
+        // Second life: reopen the spool; the regenerated prefix is
+        // deduped against it (not re-appended, not re-sent — the hub's
+        // ack says it already holds 3), and two new frames follow.
+        {
+            let spool = FrameSpool::open(&path).unwrap();
+            assert_eq!(spool.len(), 3, "spool recovered the previous life's frames");
+            let mut t =
+                TcpTransport::connect(addr.to_string()).with_hello(0, "shard-0").with_spool(spool);
+            for i in 0..5u64 {
+                t.write_frame(&state_frame(i + 1, 100 + i)).unwrap();
+            }
+            assert_eq!(t.acked(), 3, "resume handshake learned the hub's position");
+            assert_eq!(t.spooled(), 5);
+        }
+        assert_eq!(drain_frames(&rx, 1, 2)[&0], vec![3, 4], "only the new tail went out");
+        handle.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hub_refuses_a_resume_claim_ahead_of_what_it_holds() {
+        let hub = FrameHub::bind("127.0.0.1:0").unwrap();
+        let addr = hub.local_addr().unwrap();
+        let (handle, rx) = hub.start().unwrap();
+        // A plain hello claiming 5 delivered frames against an empty
+        // stream: unstitchable — must surface as a Gap event, not
+        // silently shorten the stream.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(&hello_frame(0, "shard-0", 5).encode()).unwrap();
+        conn.write_all(&state_frame(6, 105).encode()).unwrap();
+        match rx.recv_timeout(Duration::from_secs(30)).unwrap() {
+            HubEvent::Gap { id, claimed, received } => {
+                assert_eq!((id, claimed, received), (0, 5, 0));
+            }
+            other => panic!("expected a gap event, got {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn accept_idle_fires_when_a_shard_never_connects() {
+        let listener = TcpFrameListener::bind("127.0.0.1:0")
+            .unwrap()
+            .with_accept_idle(Duration::from_millis(200));
+        let addr = listener.local_addr().unwrap();
+        // One of two expected shards connects and completes; the other
+        // never dials in — the accept-idle limit must end the wait.
+        let writer = std::thread::spawn(move || {
+            let mut t = TcpTransport::connect(addr.to_string()).with_hello(0, "shard-0");
+            t.write_frame(&state_frame(1, 42)).unwrap();
+        });
+        let err = listener.collect_streams(2).unwrap_err();
+        writer.join().unwrap();
+        match err {
+            TransportError::Io { op: "accept", source } => {
+                assert_eq!(source.kind(), io::ErrorKind::TimedOut);
+                assert!(source.to_string().contains("accept-idle"), "{source}");
+            }
+            other => panic!("expected an accept-idle timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_idle_fires_when_a_connected_shard_wedges() {
+        let listener = TcpFrameListener::bind("127.0.0.1:0")
+            .unwrap()
+            .with_read_idle(Duration::from_millis(200));
+        let addr = listener.local_addr().unwrap();
+        // The shard connects, sends its hello and one frame, then
+        // wedges with the connection open — only read-idle catches it.
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let writer = std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(&hello_frame(0, "shard-0", 0).encode()).unwrap();
+            conn.write_all(&state_frame(1, 42).encode()).unwrap();
+            let _ = done_rx.recv(); // hold the connection open, silent
+        });
+        let err = listener.collect_streams(1).unwrap_err();
+        drop(done_tx);
+        writer.join().unwrap();
+        match err {
+            TransportError::Io { op: "accept", source } => {
+                assert_eq!(source.kind(), io::ErrorKind::TimedOut);
+                assert!(source.to_string().contains("read-idle"), "{source}");
+            }
+            other => panic!("expected a read-idle timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_idle_does_not_fire_while_frames_flow() {
+        // Frames arriving every ~40 ms must keep a 250 ms read-idle
+        // limit from firing even though the whole stream takes longer
+        // than the limit.
+        let listener = TcpFrameListener::bind("127.0.0.1:0")
+            .unwrap()
+            .with_read_idle(Duration::from_millis(250));
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut t = TcpTransport::connect(addr.to_string()).with_hello(0, "shard-0");
+            for i in 0..10u64 {
+                t.write_frame(&state_frame(i + 1, i)).unwrap();
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        });
+        let streams = listener.collect_streams(1).unwrap();
+        writer.join().unwrap();
+        assert_eq!(streams[0].frames.len(), 10);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# aggd_topology.sh — the compose-free daemon smoke topology: one
+# hhh-aggd plus K aggd-shard processes on localhost, with a scripted
+# kill-and-restart of shard 1 mid-stream (the docker-compose.yml
+# topology, minus docker — what bare CI runs).
+#
+#   scripts/aggd_topology.sh
+#
+# Environment knobs:
+#   K           shard count                      (default 3)
+#   HORIZON     trace horizon in seconds         (default 60 = smoke)
+#   GOLDEN      expected /hhh?kind=exact&all=1 body to diff against
+#               (e.g. tests/golden/aggd_exact_k3.jsonl); unset = skip
+#   BIN         directory holding the binaries   (default target/release)
+#   SKIP_BUILD  non-empty = don't cargo build first
+#
+# Exits 0 iff: the daemon serves /healthz and /metrics, shard 1 dies
+# on its --die-after fuse (exit 9), its restart resumes from the spool,
+# and (with GOLDEN) the daemon's answer converges byte-exactly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+K=${K:-3}
+HORIZON=${HORIZON:-60}
+GOLDEN=${GOLDEN:-}
+BIN=${BIN:-target/release}
+
+if [[ -z "${SKIP_BUILD:-}" ]]; then
+    cargo build --release -p hhh-aggd >&2
+fi
+
+TMP=$(mktemp -d)
+cleanup() {
+    kill "$(jobs -p)" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# --- daemon up, ephemeral ports discovered from its announce line ----
+"$BIN/hhh-aggd" --listen 127.0.0.1:0 --http 127.0.0.1:0 --retain none \
+    >"$TMP/aggd.out" 2>"$TMP/aggd.err" &
+for _ in $(seq 100); do
+    grep -q '^listening ' "$TMP/aggd.out" 2>/dev/null && break
+    sleep 0.1
+done
+FRAMES=$(sed -n 's/^listening frames=\([^ ]*\).*/\1/p' "$TMP/aggd.out")
+HTTP=$(sed -n 's/^listening .*http=\([^ ]*\).*/\1/p' "$TMP/aggd.out")
+if [[ -z "$FRAMES" || -z "$HTTP" ]]; then
+    echo "aggd_topology: daemon never announced its addresses" >&2
+    cat "$TMP/aggd.err" >&2
+    exit 1
+fi
+echo "aggd_topology: daemon up (frames=$FRAMES http=$HTTP)" >&2
+
+# GET a path, body only — curl when available, bash /dev/tcp otherwise.
+http_get() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf --max-time 10 "http://$HTTP$1"
+    else
+        exec 3<>"/dev/tcp/${HTTP%:*}/${HTTP#*:}"
+        printf 'GET %s HTTP/1.1\r\nHost: aggd\r\nConnection: close\r\n\r\n' "$1" >&3
+        sed '1,/^\r$/d' <&3
+        exec 3<&-
+    fi
+}
+
+[[ "$(http_get /healthz)" == ok ]] || { echo "aggd_topology: /healthz failed" >&2; exit 1; }
+
+# --- shard 1 dies on cue, mid-stream, spool journaling its frames ----
+set +e
+"$BIN/aggd-shard" exact "$K" 1 "$HORIZON" --connect "$FRAMES" \
+    --spool "$TMP/shard1.spool" --die-after 3
+rc=$?
+set -e
+if [[ $rc -ne 9 ]]; then
+    echo "aggd_topology: shard 1 should die with exit 9, got $rc" >&2
+    exit 1
+fi
+echo "aggd_topology: shard 1 died on cue, spool at $TMP/shard1.spool" >&2
+
+# --- every other shard streams to completion, concurrently -----------
+pids=()
+for i in $(seq 0 $((K - 1))); do
+    [[ $i -eq 1 ]] && continue
+    "$BIN/aggd-shard" exact "$K" "$i" "$HORIZON" --connect "$FRAMES" &
+    pids+=($!)
+done
+for p in "${pids[@]}"; do
+    wait "$p"
+done
+
+# --- the dead shard restarts and resumes from its spool --------------
+"$BIN/aggd-shard" exact "$K" 1 "$HORIZON" --connect "$FRAMES" --spool "$TMP/shard1.spool"
+echo "aggd_topology: shard 1 restarted and resumed" >&2
+
+# --- scrape: the metric families the daemon promises must be there ---
+http_get /metrics >"$TMP/metrics.txt"
+for family in aggd_frames_per_second aggd_fold_duration_seconds aggd_stream_lag_seconds \
+    aggd_connected_shards aggd_stream_delivered; do
+    grep -q "^$family" "$TMP/metrics.txt" || {
+        echo "aggd_topology: /metrics is missing $family" >&2
+        exit 1
+    }
+done
+grep -q '^aggd_gaps_total 0$' "$TMP/metrics.txt" || {
+    echo "aggd_topology: a resume was refused (aggd_gaps_total != 0)" >&2
+    exit 1
+}
+
+# --- the payoff: the merged answer is byte-identical to the golden ---
+if [[ -n "$GOLDEN" ]]; then
+    for _ in $(seq 300); do
+        http_get "/hhh?kind=exact&all=1" >"$TMP/answer.jsonl" || true
+        if cmp -s "$TMP/answer.jsonl" "$GOLDEN"; then
+            echo "aggd_topology: /hhh matches $GOLDEN byte-for-byte" >&2
+            exit 0
+        fi
+        sleep 0.2
+    done
+    echo "aggd_topology: daemon answer never converged on $GOLDEN:" >&2
+    diff "$GOLDEN" "$TMP/answer.jsonl" >&2 || true
+    exit 1
+fi
+echo "aggd_topology: done (no GOLDEN set, skipped the diff)" >&2

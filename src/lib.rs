@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub use hhh_agg as agg;
+pub use hhh_aggd as aggd;
 pub use hhh_analysis as analysis;
 pub use hhh_core as core;
 pub use hhh_dataplane as dataplane;
