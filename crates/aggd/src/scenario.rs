@@ -19,8 +19,8 @@
 
 use hhh_agg::{fold_streams, read_stream, MergedPoint};
 use hhh_core::{
-    ExactHhh, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh, TdbfHhh, TdbfHhhConfig,
-    Threshold, WireFormat,
+    ExactHhh, HhhDetector, MergeableDetector, MvPipeHhh, Rhhh, SpaceSavingHhh, TdbfHhh,
+    TdbfHhhConfig, Threshold, WireFormat,
 };
 use hhh_hierarchy::Ipv4Hierarchy;
 use hhh_nettypes::{Ipv4Prefix, Nanos, PacketRecord, TimeSpan};
@@ -40,6 +40,11 @@ pub fn distagg_threshold() -> Threshold {
 /// Space-Saving counters for `ss-hhh`/`rhhh` in the scenario.
 pub const DISTAGG_CAPACITY: usize = 512;
 
+/// Majority-vote buckets for `mvpipe` in the scenario — sized so the
+/// single pipe roughly matches the per-level Space-Saving state
+/// (`DISTAGG_CAPACITY` counters × the hierarchy's non-root levels).
+pub const DISTAGG_MVPIPE_BUCKETS: usize = 2048;
+
 /// The detector kinds the scenario exercises — every kind the snapshot
 /// codec can round-trip.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,10 +57,12 @@ pub enum Kind {
     Rhhh,
     /// [`TdbfHhh`] probed continuously.
     Tdbf,
+    /// [`MvPipeHhh`] in disjoint windows (single bottom-level pipe).
+    MvPipe,
 }
 
-/// All four kinds, in fixed order.
-pub const KINDS: [Kind; 4] = [Kind::Exact, Kind::SsHhh, Kind::Rhhh, Kind::Tdbf];
+/// All five kinds, in fixed order.
+pub const KINDS: [Kind; 5] = [Kind::Exact, Kind::SsHhh, Kind::Rhhh, Kind::Tdbf, Kind::MvPipe];
 
 impl Kind {
     /// The wire `kind` label.
@@ -65,6 +72,7 @@ impl Kind {
             Kind::SsHhh => "ss-hhh",
             Kind::Rhhh => "rhhh",
             Kind::Tdbf => "tdbf-hhh",
+            Kind::MvPipe => "mvpipe",
         }
     }
 
@@ -75,6 +83,7 @@ impl Kind {
             "ss-hhh" => Some(Kind::SsHhh),
             "rhhh" => Some(Kind::Rhhh),
             "tdbf-hhh" => Some(Kind::Tdbf),
+            "mvpipe" => Some(Kind::MvPipe),
             _ => None,
         }
     }
@@ -86,6 +95,7 @@ impl Kind {
             Kind::SsHhh => 1,
             Kind::Rhhh => 2,
             Kind::Tdbf => 3,
+            Kind::MvPipe => 4,
         }
     }
 }
@@ -232,6 +242,12 @@ pub fn shard_into<S: ReportSink<Ipv4Prefix>>(
             sink,
         ),
         Kind::Tdbf => continuous_into(packets, horizon, 1, sink),
+        Kind::MvPipe => windowed_into(
+            packets,
+            horizon,
+            vec![MvPipeHhh::new(hierarchy(), DISTAGG_MVPIPE_BUCKETS)],
+            sink,
+        ),
     }
 }
 
@@ -336,6 +352,12 @@ pub fn inprocess_sharded_jsonl_on(
             format,
         ),
         Kind::Tdbf => continuous_stream(packets, horizon, k, format),
+        Kind::MvPipe => windowed_stream(
+            packets,
+            horizon,
+            (0..k).map(|_| MvPipeHhh::new(hierarchy(), DISTAGG_MVPIPE_BUCKETS)).collect(),
+            format,
+        ),
     }
 }
 
@@ -382,6 +404,16 @@ pub fn single_process_reports_on(
                 TdbfHhh::new(hierarchy(), tdbf_config()),
                 &probes(horizon),
                 distagg_threshold(),
+                |p| p.src,
+            ))
+            .collect()
+            .run(),
+        Kind::MvPipe => Pipeline::new(packets.iter().copied())
+            .engine(Disjoint::new(
+                MvPipeHhh::new(hierarchy(), DISTAGG_MVPIPE_BUCKETS),
+                horizon,
+                DISTAGG_WINDOW,
+                &[distagg_threshold()],
                 |p| p.src,
             ))
             .collect()

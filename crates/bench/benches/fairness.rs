@@ -1,0 +1,173 @@
+//! The criterion mirror of the PR-8 same-memory fairness shoot-out
+//! (`scale -- fairness`): every snapshot-capable detector kind fitted
+//! under the same provisioned-state budget, timed on the identical
+//! batched stream — plus the MVPipe depth-flatness pair (byte-level
+//! IPv4, H = 5, vs hextet-level IPv6, H = 9), which must land within a
+//! whisker of each other because the update rule touches exactly one
+//! bucket per packet at any depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hhh_bench::fixture;
+use hhh_core::{
+    ContinuousDetector, ExactHhh, HhhDetector, MvPipeHhh, Rhhh, SpaceSavingHhh, TdbfHhh,
+    TdbfHhhConfig,
+};
+use hhh_hierarchy::{Ipv4Hierarchy, Ipv6Hierarchy};
+use hhh_nettypes::{Nanos, TimeSpan};
+use hhh_window::DEFAULT_BATCH;
+use std::hint::black_box;
+
+/// The shared provisioned-state budget, matching
+/// `hhh_experiments::fairness::FAIRNESS_BUDGET_BYTES` (the bench crate
+/// deliberately has no dependency on the experiment harness).
+const BUDGET_BYTES: usize = 128 * 1024;
+
+/// The largest integer parameter whose provisioned state stays within
+/// the budget — the same maximal fit the shoot-out uses.
+fn fit_param(bytes_at: impl Fn(usize) -> usize) -> usize {
+    if bytes_at(1) > BUDGET_BYTES {
+        return 1;
+    }
+    let (mut lo, mut hi) = (1usize, 2usize);
+    while bytes_at(hi) <= BUDGET_BYTES {
+        lo = hi;
+        hi *= 2;
+    }
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if bytes_at(mid) <= BUDGET_BYTES {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn tdbf_config(cells_per_level: usize) -> TdbfHhhConfig {
+    TdbfHhhConfig {
+        cells_per_level,
+        hashes: 2,
+        half_life: TimeSpan::from_secs(4),
+        candidates_per_level: 64,
+        admit_fraction: 0.001,
+        seed: 0x7DBF,
+    }
+}
+
+fn bench_fairness(c: &mut Criterion) {
+    let pkts = fixture(4);
+    let batch: Vec<(u32, u64)> = pkts.iter().map(|p| (p.src, p.wire_len as u64)).collect();
+    let stamped: Vec<(Nanos, u32, u64)> =
+        pkts.iter().map(|p| (p.ts, p.src, p.wire_len as u64)).collect();
+    let h = Ipv4Hierarchy::bytes();
+
+    let ss_cap = fit_param(|cap| HhhDetector::state_bytes(&SpaceSavingHhh::new(h, cap)));
+    let rhhh_cap = fit_param(|cap| HhhDetector::state_bytes(&Rhhh::new(h, cap, 0x5EED)));
+    let mv_buckets = fit_param(|b| HhhDetector::state_bytes(&MvPipeHhh::new(h, b)));
+    let tdbf_cells =
+        fit_param(|cells| ContinuousDetector::state_bytes(&TdbfHhh::new(h, tdbf_config(cells))));
+
+    let mut g = c.benchmark_group("fairness");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.sample_size(20);
+
+    g.bench_function("exact", |b| {
+        b.iter(|| {
+            let mut d = ExactHhh::new(h);
+            for chunk in batch.chunks(DEFAULT_BATCH) {
+                HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut d, black_box(chunk));
+            }
+            black_box(d.total())
+        })
+    });
+    g.bench_function("ss-hhh", |b| {
+        b.iter(|| {
+            let mut d = SpaceSavingHhh::new(h, ss_cap);
+            for chunk in batch.chunks(DEFAULT_BATCH) {
+                d.observe_batch(black_box(chunk));
+            }
+            black_box(d.total())
+        })
+    });
+    g.bench_function("rhhh", |b| {
+        b.iter(|| {
+            let mut d = Rhhh::new(h, rhhh_cap, 0x5EED);
+            for chunk in batch.chunks(DEFAULT_BATCH) {
+                d.observe_batch(black_box(chunk));
+            }
+            black_box(d.total())
+        })
+    });
+    g.bench_function("mvpipe", |b| {
+        b.iter(|| {
+            let mut d = MvPipeHhh::new(h, mv_buckets);
+            for chunk in batch.chunks(DEFAULT_BATCH) {
+                d.observe_batch(black_box(chunk));
+            }
+            black_box(d.total())
+        })
+    });
+    g.bench_function("tdbf-hhh", |b| {
+        b.iter(|| {
+            let mut d = TdbfHhh::new(h, tdbf_config(tdbf_cells));
+            for chunk in stamped.chunks(DEFAULT_BATCH) {
+                d.observe_batch(black_box(chunk));
+            }
+            black_box(d.observed_weight())
+        })
+    });
+    g.finish();
+
+    // Depth flatness: the same stream through MVPipe at H = 5 and
+    // H = 9 — one bucket probe per packet either way. Sliced so both
+    // input streams stay cache-resident (16 B vs 32 B per packet):
+    // the rows then measure the update path, not the DRAM streaming
+    // cost of wider items, which is a width cost every detector pays
+    // and has nothing to do with hierarchy depth. Each side's pipe is
+    // fitted to the shared byte budget, and the detector is warmed
+    // once outside the timer so the rows measure the steady-state
+    // update rule rather than the one-time pipe-fill transient.
+    let depth_slice = pkts.len().min(32_768);
+    let batch = batch[..depth_slice].to_vec();
+    let v6: Vec<(u128, u64)> = batch
+        .iter()
+        .map(|&(s, w)| {
+            let s = s as u128;
+            ((s << 96) | (s << 64) | (s << 32) | s, w)
+        })
+        .collect();
+    let h6 = Ipv6Hierarchy::hextets();
+    let mv_buckets6 = fit_param(|b| HhhDetector::state_bytes(&MvPipeHhh::new(h6, b)));
+    let mut g = c.benchmark_group("fairness_depth");
+    g.throughput(Throughput::Elements(depth_slice as u64));
+    g.sample_size(20);
+    g.bench_with_input(BenchmarkId::new("mvpipe", "ipv4-h5"), &batch, |b, batch| {
+        let mut d = MvPipeHhh::new(h, mv_buckets);
+        for chunk in batch.chunks(DEFAULT_BATCH) {
+            d.observe_batch(chunk);
+        }
+        b.iter(|| {
+            for chunk in batch.chunks(DEFAULT_BATCH) {
+                d.observe_batch(black_box(chunk));
+            }
+            black_box(d.total())
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("mvpipe", "ipv6-h9"), &v6, |b, v6| {
+        let mut d = MvPipeHhh::new(h6, mv_buckets6);
+        for chunk in v6.chunks(DEFAULT_BATCH) {
+            d.observe_batch(chunk);
+        }
+        b.iter(|| {
+            for chunk in v6.chunks(DEFAULT_BATCH) {
+                d.observe_batch(black_box(chunk));
+            }
+            black_box(d.total())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fairness);
+criterion_main!(benches);

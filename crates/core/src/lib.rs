@@ -22,6 +22,7 @@
 //! | [`SpaceSavingHhh`] | approximate, windowed | the classic per-level streaming HHH (full ancestry) |
 //! | [`Rhhh`] | approximate, windowed | randomized constant-time HHH (Ben Basat et al., SIGCOMM 2017) — the state of the art the calibration note positions this poster against |
 //! | [`MementoHhh`] | approximate, **window-native** | per-level Memento-style sliding summaries (Ben-Basat et al., CoNEXT 2018): the detector maintains its own packet window with O(1) slide, so reports always cover the last `W` packets without engine resets or per-position merges |
+//! | [`MvPipeHhh`] | approximate, windowed | single bottom-level pipe of majority-vote buckets (MVPipe, Tang et al., 2021): deterministic O(1) per packet regardless of hierarchy depth, ancestors aggregated lazily at report time |
 //! | [`TdbfHhh`] | approximate, **windowless** | the paper's §3 proposal: per-level on-demand time-decaying Bloom filters + decayed candidate tables |
 //! | [`HashPipe`] | HH baseline | "Heavy-Hitter Detection Entirely in the Data Plane" (SOSR 2017), the paper's ref. \[5\] |
 //! | [`UnivMonLite`] | HH baseline | UnivMon-style universal sketch (SIGCOMM 2016), the paper's ref. \[4\] |
@@ -47,6 +48,7 @@ mod detector;
 mod exact;
 mod hashpipe;
 mod memento;
+mod mvpipe;
 mod report;
 mod rhhh;
 pub mod snapshot;
@@ -59,6 +61,7 @@ pub use detector::{ContinuousDetector, HhhDetector, MergeableDetector};
 pub use exact::{discount_bottom_up, ExactHhh};
 pub use hashpipe::HashPipe;
 pub use memento::MementoHhh;
+pub use mvpipe::{MvBucket, MvPipeHhh};
 pub use report::{HhhReport, Threshold};
 pub use rhhh::Rhhh;
 pub use snapshot::{

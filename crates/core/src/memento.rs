@@ -28,6 +28,11 @@ pub struct MementoHhh<H: Hierarchy> {
     /// advance in lockstep.
     levels: Vec<SlidingSummary<H::Prefix>>,
     total: u64,
+    /// Reusable per-batch staging buffer for one level's prefixes —
+    /// grown once, never reallocated on the steady-state hot path
+    /// (the same zero-alloc pattern as
+    /// [`crate::SpaceSavingHhh::observe_batch`]).
+    scratch: Vec<(H::Prefix, u64)>,
 }
 
 impl<H: Hierarchy> MementoHhh<H> {
@@ -40,7 +45,7 @@ impl<H: Hierarchy> MementoHhh<H> {
         let levels = (0..hierarchy.levels())
             .map(|_| SlidingSummary::new(window, frames, counters_per_level))
             .collect();
-        MementoHhh { hierarchy, levels, total: 0 }
+        MementoHhh { hierarchy, levels, total: 0, scratch: Vec::new() }
     }
 
     /// The window length in packets.
@@ -99,15 +104,21 @@ impl<H: Hierarchy> HhhDetector<H> for MementoHhh<H> {
     }
 
     /// Level-major batching, same rationale as
-    /// [`crate::SpaceSavingHhh::observe_batch`]: sweep one level's
-    /// summary over the whole batch before moving to the next.
+    /// [`crate::SpaceSavingHhh::observe_batch`]: stage the level's
+    /// prefixes in the reusable scratch buffer (a pure mask-and-copy
+    /// with a loop-invariant mask, so it vectorizes), then sweep the
+    /// level's summary over the staged batch before moving to the
+    /// next level.
     fn observe_batch(&mut self, batch: &[(H::Item, u64)]) {
         for &(_, weight) in batch {
             self.total += weight;
         }
-        for (level, summary) in self.levels.iter_mut().enumerate() {
-            for &(item, weight) in batch {
-                summary.insert_weighted(self.hierarchy.generalize(item, level), weight);
+        let MementoHhh { hierarchy, levels, scratch, .. } = self;
+        for (level, summary) in levels.iter_mut().enumerate() {
+            scratch.clear();
+            scratch.extend(batch.iter().map(|&(item, w)| (hierarchy.generalize(item, level), w)));
+            for &(p, w) in scratch.iter() {
+                summary.insert_weighted(p, w);
             }
         }
     }

@@ -131,8 +131,8 @@ pub struct SnapshotFrame {
     pub start: Nanos,
     /// The report point the snapshot was taken at.
     pub at: Nanos,
-    /// Detector kind (`exact`, `ss-hhh`, `rhhh`, `tdbf-hhh`), or
-    /// [`REPORT_KIND`].
+    /// Detector kind (`exact`, `ss-hhh`, `rhhh`, `mvpipe`,
+    /// `tdbf-hhh`), or [`REPORT_KIND`].
     pub kind: Cow<'static, str>,
     /// Total weight covered by the state (report records: the window
     /// total).
@@ -236,6 +236,11 @@ impl SnapshotFrame {
                 let b = RhhhBody::decode(&mut r)?;
                 let d = b.ss.digest("rhhh");
                 (Body::Rhhh(b), d)
+            }
+            "mvpipe" => {
+                let b = MvPipeBody::decode(&mut r)?;
+                let d = b.digest();
+                (Body::MvPipe(b), d)
             }
             "tdbf-hhh" => {
                 let b = TdbfBody::decode(&mut r)?;
@@ -440,6 +445,15 @@ pub(crate) fn ss_config_digest(kind: &str, capacity: u64) -> u64 {
     fnv1a(&cfg)
 }
 
+/// The `mvpipe` config digest: kind label + bucket count.
+pub(crate) fn mvpipe_config_digest(buckets: u64) -> u64 {
+    let mut cfg = Vec::with_capacity(16);
+    cfg.extend_from_slice(b"mvpipe");
+    cfg.push(0);
+    put_uv(&mut cfg, buckets);
+    fnv1a(&cfg)
+}
+
 /// The `tdbf-hhh` config digest over the full filter geometry.
 pub(crate) fn tdbf_config_digest(
     cells_per_level: u64,
@@ -472,6 +486,7 @@ pub(crate) enum Body {
     Exact(ExactBody),
     Ss(SsBody),
     Rhhh(RhhhBody),
+    MvPipe(MvPipeBody),
     Tdbf(TdbfBody),
 }
 
@@ -698,6 +713,84 @@ impl RhhhBody {
             Json::Arr(self.updates.iter().map(|&u| Json::u64(u)).collect()),
         ));
         Json::Obj(fields)
+    }
+}
+
+pub(crate) struct MvPipeBody {
+    pub buckets: u64,
+    /// `(prefix, count, vote)` rows, in wire order.
+    pub rows: Vec<(String, u64, u64)>,
+}
+
+impl MvPipeBody {
+    fn digest(&self) -> u64 {
+        mvpipe_config_digest(self.buckets)
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_uv(out, self.buckets);
+        put_uv(out, self.rows.len() as u64);
+        for (prefix, count, vote) in &self.rows {
+            put_str(out, prefix);
+            put_uv(out, *count);
+            put_uv(out, *vote);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, SnapshotError> {
+        let buckets = r.uv("buckets")?;
+        let n = r.count("entries", 3)?;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let prefix = r.str_("entries")?;
+            let count = r.uv("entries")?;
+            let vote = r.uv("entries")?;
+            rows.push((prefix, count, vote));
+        }
+        Ok(MvPipeBody { buckets, rows })
+    }
+
+    fn from_json(state: &Json) -> Result<Self, SnapshotError> {
+        let buckets = req_u64(state, "buckets")?;
+        let rows_json = req_arr(state, "entries")?;
+        let mut rows = Vec::with_capacity(rows_json.len());
+        for row in rows_json {
+            let row = row
+                .as_arr()
+                .filter(|r| r.len() == 3)
+                .ok_or(SnapshotError::Invalid { field: "entries", what: "row is not a triple" })?;
+            let prefix = row[0].as_str().ok_or(SnapshotError::Invalid {
+                field: "entries",
+                what: "prefix is not a string",
+            })?;
+            let count = row[1].as_u64().ok_or(SnapshotError::Invalid {
+                field: "entries",
+                what: "count is not an unsigned integer",
+            })?;
+            let vote = row[2].as_u64().ok_or(SnapshotError::Invalid {
+                field: "entries",
+                what: "vote is not an unsigned integer",
+            })?;
+            rows.push((prefix.to_owned(), count, vote));
+        }
+        Ok(MvPipeBody { buckets, rows })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("buckets".into(), Json::u64(self.buckets)),
+            (
+                "entries".into(),
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(p, c, v)| {
+                            Json::Arr(vec![Json::str(p.clone()), Json::u64(*c), Json::u64(*v)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -1041,6 +1134,11 @@ impl DetectorSnapshot {
                 b.encode(&mut body);
                 b.ss.digest("rhhh")
             }
+            "mvpipe" => {
+                let b = MvPipeBody::from_json(&state)?;
+                b.encode(&mut body);
+                b.digest()
+            }
             "tdbf-hhh" => {
                 let b = TdbfBody::from_json(&state)?;
                 b.encode(&mut body)?;
@@ -1059,6 +1157,7 @@ impl DetectorSnapshot {
             Body::Exact(b) => b.to_json().render(),
             Body::Ss(b) => Json::Obj(b.to_json()).render(),
             Body::Rhhh(b) => b.to_json().render(),
+            Body::MvPipe(b) => b.to_json().render(),
             Body::Tdbf(b) => b.to_json().render(),
         };
         Ok(DetectorSnapshot { kind: frame.kind.clone(), total: frame.total, state_json })
@@ -1130,6 +1229,15 @@ where
                 frame.total,
             )
             .map(RestoredDetector::Rhhh),
+            Body::MvPipe(b) => {
+                let rows = b
+                    .rows
+                    .iter()
+                    .map(|(p, c, v)| Ok((parse_prefix(p, "entries")?, *c, *v)))
+                    .collect::<Result<Vec<_>, SnapshotError>>()?;
+                crate::MvPipeHhh::from_wire_rows(h.clone(), b.buckets, rows, frame.total)
+                    .map(RestoredDetector::MvPipe)
+            }
             Body::Tdbf(b) => {
                 let cfg = crate::TdbfHhhConfig {
                     cells_per_level: b.cells_per_level as usize,

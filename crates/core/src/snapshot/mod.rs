@@ -14,10 +14,11 @@
 //!   (hand-rolled [`json`] layer; this workspace is fully offline, no
 //!   serde), with typed [`SnapshotError`]s instead of silent `None`s.
 //! * **fold** — [`RestoredDetector`] rebuilds a live detector from a
-//!   snapshot (`ExactHhh`, `SpaceSavingHhh`, `Rhhh`, `TdbfHhh` all
-//!   support it) and folds further snapshots in with the *same*
-//!   in-process merge recipes — Space-Saving union-then-prune per
-//!   level, RHHH sampled levels, TDBF cell-wise decayed sums — so
+//!   snapshot (`ExactHhh`, `SpaceSavingHhh`, `Rhhh`, `MvPipeHhh`,
+//!   `TdbfHhh` all support it) and folds further snapshots in with the
+//!   *same* in-process merge recipes — Space-Saving union-then-prune
+//!   per level, RHHH sampled levels, MVPipe bucket-wise majority
+//!   votes, TDBF cell-wise decayed sums — so
 //!   cross-process aggregation is the in-process algebra, lifted onto
 //!   the wire. The `hhh-agg` crate drives this over JSONL streams.
 //!
@@ -38,6 +39,7 @@
 //! | `exact` | `{"counts":[[item,count],…]}`, rows sorted by item rendering |
 //! | `ss-hhh` | `{"capacity":C,"levels":[{"total":N,"entries":[[prefix,count,error],…]},…]}` |
 //! | `rhhh` | the `ss-hhh` body plus `"updates":[u₀,…]` |
+//! | `mvpipe` | `{"buckets":B,"entries":[[prefix,count,vote],…]}`, rows sorted by prefix rendering (bucket indexes re-derived from the keys) |
 //! | `tdbf-hhh` | config fields plus `"total":[v,last_ns]`, `"filters"` (per-level `[v,last_ns]` cell arrays) and `"candidates"` (per-level `[prefix,ts_ns]` rows) |
 //!
 //! A missing `"v"` is read as version 1; unknown versions are
@@ -72,7 +74,8 @@ pub use encode::FrameEncode;
 
 use crate::report::{HhhReport, Threshold};
 use crate::{
-    ContinuousDetector, ExactHhh, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh, TdbfHhh,
+    ContinuousDetector, ExactHhh, HhhDetector, MergeableDetector, MvPipeHhh, Rhhh, SpaceSavingHhh,
+    TdbfHhh,
 };
 use json::Json;
 
@@ -470,6 +473,8 @@ pub enum RestoredDetector<H: Hierarchy> {
     SpaceSaving(SpaceSavingHhh<H>),
     /// An [`Rhhh`] (kind `rhhh`).
     Rhhh(Rhhh<H>),
+    /// An [`MvPipeHhh`] (kind `mvpipe`).
+    MvPipe(MvPipeHhh<H>),
     /// A [`TdbfHhh`] (kind `tdbf-hhh`).
     Tdbf(TdbfHhh<H>),
 }
@@ -488,6 +493,7 @@ where
                 SpaceSavingHhh::from_snapshot(h.clone(), snap).map(RestoredDetector::SpaceSaving)
             }
             "rhhh" => Rhhh::from_snapshot(h.clone(), snap).map(RestoredDetector::Rhhh),
+            "mvpipe" => MvPipeHhh::from_snapshot(h.clone(), snap).map(RestoredDetector::MvPipe),
             "tdbf-hhh" => TdbfHhh::from_snapshot(h.clone(), snap).map(RestoredDetector::Tdbf),
             other => Err(SnapshotError::Kind(other.to_owned())),
         }
@@ -548,6 +554,17 @@ where
                 a.merge(&b);
                 Ok(())
             }
+            (RestoredDetector::MvPipe(a), RestoredDetector::MvPipe(b)) => {
+                if a.buckets() != b.buckets() {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "mvpipe bucket counts differ: {} vs {}",
+                        a.buckets(),
+                        b.buckets()
+                    )));
+                }
+                a.merge(&b);
+                Ok(())
+            }
             (RestoredDetector::Tdbf(a), RestoredDetector::Tdbf(b)) => {
                 if a.config_fingerprint() != b.config_fingerprint() {
                     return Err(SnapshotError::Mismatch(
@@ -571,6 +588,7 @@ where
             RestoredDetector::Exact(_) => "exact",
             RestoredDetector::SpaceSaving(_) => "ss-hhh",
             RestoredDetector::Rhhh(_) => "rhhh",
+            RestoredDetector::MvPipe(_) => "mvpipe",
             RestoredDetector::Tdbf(_) => "tdbf-hhh",
         }
     }
@@ -581,6 +599,7 @@ where
             RestoredDetector::Exact(d) => d.total(),
             RestoredDetector::SpaceSaving(d) => d.total(),
             RestoredDetector::Rhhh(d) => d.total(),
+            RestoredDetector::MvPipe(d) => d.total(),
             RestoredDetector::Tdbf(d) => d.observed_weight(),
         }
     }
@@ -593,6 +612,7 @@ where
             RestoredDetector::Exact(d) => d.snapshot(),
             RestoredDetector::SpaceSaving(d) => d.snapshot(),
             RestoredDetector::Rhhh(d) => d.snapshot(),
+            RestoredDetector::MvPipe(d) => d.snapshot(),
             RestoredDetector::Tdbf(d) => d.snapshot(),
         };
         snap.expect("every restorable detector serializes")
@@ -608,6 +628,7 @@ where
             RestoredDetector::Exact(d) => d.encode_frame(start, at),
             RestoredDetector::SpaceSaving(d) => d.encode_frame(start, at),
             RestoredDetector::Rhhh(d) => d.encode_frame(start, at),
+            RestoredDetector::MvPipe(d) => d.encode_frame(start, at),
             RestoredDetector::Tdbf(d) => d.encode_frame(start, at),
         }
     }
@@ -621,6 +642,7 @@ where
             RestoredDetector::Exact(d) => d.report(threshold),
             RestoredDetector::SpaceSaving(d) => d.report(threshold),
             RestoredDetector::Rhhh(d) => d.report(threshold),
+            RestoredDetector::MvPipe(d) => d.report(threshold),
             RestoredDetector::Tdbf(d) => d.report_at(at, threshold),
         }
     }

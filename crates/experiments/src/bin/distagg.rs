@@ -1,7 +1,7 @@
 //! D-scale — the distributed-aggregation scenario and its codec bench.
 //!
 //! ```text
-//! # full in-process scenario (all four kinds, both wire formats,
+//! # full in-process scenario (all five kinds, both wire formats,
 //! # K ∈ {1,2,4}):
 //! cargo run --release -p hhh-experiments --bin distagg -- run [smoke|quick|paper]
 //!
@@ -26,7 +26,7 @@
 //! cargo run --release -p hhh-experiments --bin distagg -- corpus <dir>
 //! ```
 //!
-//! `<kind>` is one of `exact`, `ss-hhh`, `rhhh`, `tdbf-hhh`.
+//! `<kind>` is one of `exact`, `ss-hhh`, `rhhh`, `mvpipe`, `tdbf-hhh`.
 
 use hhh_core::WireFormat;
 use hhh_experiments::corpus::write_corpus;
@@ -48,7 +48,7 @@ fn usage() -> ! {
          \x20      distagg shard <kind> <k> <i> [scale] [--format json|binary] [--connect ADDR]\n\
          \x20      distagg bench [scale] [out.json]\n\
          \x20      distagg corpus <dir>\n\
-         kinds: exact ss-hhh rhhh tdbf-hhh; scales: smoke quick paper (default smoke)"
+         kinds: exact ss-hhh rhhh mvpipe tdbf-hhh; scales: smoke quick paper (default smoke)"
     );
     std::process::exit(2)
 }

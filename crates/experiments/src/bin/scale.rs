@@ -1,18 +1,22 @@
 //! E-scale — the shard-count sweep over the batched, mergeable
-//! ingestion pipeline, the sliding-window pkts/s scoreboard, and the
-//! daemon end-to-end benchmark.
+//! ingestion pipeline, the sliding-window pkts/s scoreboard, the
+//! daemon end-to-end benchmark, and the same-memory fairness
+//! shoot-out.
 //!
 //! ```text
 //! cargo run --release -p hhh-experiments --bin scale -- [smoke|quick|paper] [out.json]
 //! cargo run --release -p hhh-experiments --bin scale -- sliding [smoke|quick|paper] [out.json]
 //! cargo run --release -p hhh-experiments --bin scale -- aggd [smoke|quick|paper] [out.json]
+//! cargo run --release -p hhh-experiments --bin scale -- fairness [smoke|quick|paper] [out.json]
 //! ```
 //!
 //! Prints the throughput/fidelity table; with an output path, also
 //! writes the rows as JSON lines (the formats committed as
-//! `BENCH_pr1.json`, `BENCH_pr6.json`, and `BENCH_pr7.json`).
+//! `BENCH_pr1.json`, `BENCH_pr6.json`, `BENCH_pr7.json`, and
+//! `BENCH_pr8.json`).
 
 use hhh_experiments::aggd_e2e::{aggd_json, aggd_table, run_aggd};
+use hhh_experiments::fairness::fairness;
 use hhh_experiments::{shard_sweep, sliding_scoreboard, Scale};
 
 fn main() {
@@ -20,6 +24,7 @@ fn main() {
     let mode = match args.first().map(String::as_str) {
         Some("sliding") => "sliding",
         Some("aggd") => "aggd",
+        Some("fairness") => "fairness",
         _ => "sweep",
     };
     let rest = if mode == "sweep" { &args[..] } else { &args[1..] };
@@ -30,6 +35,7 @@ fn main() {
         match mode {
             "sliding" => "sliding scoreboard",
             "aggd" => "daemon e2e",
+            "fairness" => "fairness shoot-out",
             _ => "shard sweep",
         },
         scale.label(),
@@ -43,6 +49,10 @@ fn main() {
         "aggd" => {
             let rows = vec![run_aggd(scale, 4)];
             (aggd_table(&rows), aggd_json(&rows))
+        }
+        "fairness" => {
+            let results = fairness(scale);
+            (results.table(), results.json_lines())
         }
         _ => {
             let results = shard_sweep(scale);

@@ -16,7 +16,10 @@
 //! silently.
 
 use hhh_core::snapshot::binary::SnapshotFrame;
-use hhh_core::{ExactHhh, Rhhh, SpaceSavingHhh, TdbfHhh, TdbfHhhConfig, Threshold, WireFormat};
+use hhh_core::{
+    DetectorSnapshot, ExactHhh, MvPipeHhh, Rhhh, SpaceSavingHhh, TdbfHhh, TdbfHhhConfig, Threshold,
+    WireFormat,
+};
 use hhh_hierarchy::Ipv4Hierarchy;
 use hhh_nettypes::{Nanos, PacketRecord, TimeSpan};
 use hhh_window::{Pipeline, ShardedContinuous, ShardedDisjoint, SnapshotSink};
@@ -29,6 +32,10 @@ const WINDOW: TimeSpan = TimeSpan::from_secs(5);
 
 /// Space-Saving counters of the corpus `ss-hhh`/`rhhh` detectors.
 const CAPACITY: usize = 32;
+
+/// Majority-vote buckets of the corpus `mvpipe` detector — deliberately
+/// small so the committed stream exercises bucket collisions.
+const MVPIPE_BUCKETS: usize = 32;
 
 /// The corpus trace: ~200 packets, a couple of heavy sources over a
 /// thin tail — small enough to keep the committed files readable,
@@ -59,7 +66,7 @@ fn tdbf_config() -> TdbfHhhConfig {
 }
 
 /// One corpus stream: the tiny trace through the real pipeline and the
-/// real sink, in the requested format. `kind` must be one of the four
+/// real sink, in the requested format. `kind` must be one of the five
 /// snapshot-capable labels.
 pub fn corpus_stream(kind: &str, format: WireFormat) -> Vec<u8> {
     let h = Ipv4Hierarchy::bytes();
@@ -93,6 +100,16 @@ pub fn corpus_stream(kind: &str, format: WireFormat) -> Vec<u8> {
             ))
             .sink(sink)
             .run(),
+        "mvpipe" => Pipeline::new(trace.iter().copied())
+            .engine(ShardedDisjoint::new(
+                vec![MvPipeHhh::new(h, MVPIPE_BUCKETS)],
+                WINDOW,
+                WINDOW,
+                &threshold,
+                |p| p.src,
+            ))
+            .sink(sink)
+            .run(),
         "tdbf-hhh" => Pipeline::new(trace.iter().copied())
             .engine(ShardedContinuous::new(
                 vec![TdbfHhh::new(h, tdbf_config())],
@@ -108,29 +125,39 @@ pub fn corpus_stream(kind: &str, format: WireFormat) -> Vec<u8> {
     bytes
 }
 
-/// The four corpus detector kinds, in file order.
-pub const CORPUS_KINDS: [&str; 4] = ["exact", "ss-hhh", "rhhh", "tdbf-hhh"];
+/// The five corpus detector kinds, in file order.
+pub const CORPUS_KINDS: [&str; 5] = ["exact", "ss-hhh", "rhhh", "mvpipe", "tdbf-hhh"];
 
 /// The malformed-case file names under `malformed/`.
-pub const MALFORMED_CASES: [&str; 5] = [
+pub const MALFORMED_CASES: [&str; 7] = [
     "truncated.v2.bin",
     "bad_magic.v2.bin",
     "version_skew.v2.bin",
     "config_mismatch.v2.bin",
     "oversize_len.v2.bin",
+    "mvpipe_total_skew.v2.bin",
+    "mvpipe_vote_overflow.v2.bin",
 ];
 
-/// The state frame of the `tdbf-hhh` v2 corpus stream — the donor
-/// every malformed case is derived from (it is the kind with the most
+/// The state frame of a kind's v2 corpus stream (skipping any report
+/// frames in front of it).
+fn state_frame_of(kind: &str) -> SnapshotFrame {
+    let stream = corpus_stream(kind, WireFormat::Binary);
+    let mut rest = &stream[..];
+    loop {
+        let (frame, used) = SnapshotFrame::decode(rest).expect("corpus stream decodes");
+        if frame.kind == kind {
+            return frame;
+        }
+        rest = &rest[used..];
+    }
+}
+
+/// The state frame of the `tdbf-hhh` v2 corpus stream — the donor of
+/// the generic malformed cases (it is the kind with the most
 /// configuration to corrupt).
 fn donor_state_frame() -> (SnapshotFrame, Vec<u8>) {
-    let stream = corpus_stream("tdbf-hhh", WireFormat::Binary);
-    let (first, used) = SnapshotFrame::decode(&stream).expect("corpus stream decodes");
-    let (frame, _) = if first.kind == "tdbf-hhh" {
-        (first, 0)
-    } else {
-        SnapshotFrame::decode(&stream[used..]).expect("state frame follows the report frame")
-    };
+    let frame = state_frame_of("tdbf-hhh");
     let bytes = frame.encode();
     (frame, bytes)
 }
@@ -174,6 +201,26 @@ pub fn write_corpus(dir: &Path) -> io::Result<()> {
     oversize.resize(9, 0);
     oversize[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
     fs::write(malformed.join("oversize_len.v2.bin"), &oversize)?;
+
+    // Envelope-total skew: a well-formed mvpipe frame whose header
+    // total no longer equals the sum of its bucket counts — the frame
+    // decodes, but rebuilding the detector must refuse it.
+    let mut skewed = state_frame_of("mvpipe");
+    skewed.total += 1;
+    fs::write(malformed.join("mvpipe_total_skew.v2.bin"), skewed.encode())?;
+
+    // Vote overflow: an mvpipe body claiming a vote margin larger than
+    // its bucket count — impossible from an honest encoder, so the
+    // restorer must reject the row.
+    let geometry = state_frame_of("mvpipe");
+    let overflow = DetectorSnapshot {
+        kind: "mvpipe".into(),
+        total: 5,
+        state_json: "{\"buckets\":8,\"entries\":[[\"10.1.1.1/32\",5,9]]}".to_owned(),
+    };
+    let overflow_frame =
+        overflow.to_frame(geometry.start, geometry.at).expect("shape-valid body transcodes");
+    fs::write(malformed.join("mvpipe_vote_overflow.v2.bin"), overflow_frame.encode())?;
     Ok(())
 }
 

@@ -13,7 +13,7 @@
 //!   `ShardedDisjoint`/`ShardedContinuous` pipeline over the whole
 //!   trace with K shard detectors emits one *merged* state line per
 //!   report point; the cross-process fold must re-serialize to the
-//!   same bytes. This holds for **all four detector kinds**, because
+//!   same bytes. This holds for **all five detector kinds**, because
 //!   every shard detector's state is a deterministic function of its
 //!   sub-stream (RHHH's batched sampling replays the per-packet RNG
 //!   sequence) and the fold applies the same merges in the same order.
@@ -37,7 +37,7 @@ use crate::Scale;
 use hhh_agg::{collect_socket_streams, fold_streams, read_stream, write_merged, MergedPoint};
 use hhh_analysis::{fmt_f, jaccard, Table};
 use hhh_core::{
-    ExactHhh, HhhDetector, MergeableDetector, Rhhh, SpaceSavingHhh, TdbfHhh, WireFormat,
+    ExactHhh, HhhDetector, MergeableDetector, MvPipeHhh, Rhhh, SpaceSavingHhh, TdbfHhh, WireFormat,
 };
 use hhh_hierarchy::Ipv4Hierarchy;
 use hhh_nettypes::{Nanos, PacketRecord, TimeSpan};
@@ -48,7 +48,7 @@ pub use hhh_aggd::scenario::{
     distagg_threshold, fold_shard_streams, hierarchy, inprocess_sharded_jsonl_on, probes,
     rhhh_seed, scenario_trace, shard_into, shard_jsonl_on, shard_label, shard_packets,
     shard_stream_on, shard_to_addr_on, shard_to_addr_with, single_process_reports_on, stream_id,
-    tdbf_config, Kind, DISTAGG_CAPACITY, DISTAGG_WINDOW, KINDS,
+    tdbf_config, Kind, DISTAGG_CAPACITY, DISTAGG_MVPIPE_BUCKETS, DISTAGG_WINDOW, KINDS,
 };
 
 /// The scenario trace: the acceptance day trace at this scale (day 0;
@@ -453,8 +453,15 @@ fn sample_snapshot(kind: Kind, packets: &[PacketRecord]) -> hhh_core::DetectorSn
             }
             MergeableDetector::snapshot(&d)
         }
+        Kind::MvPipe => {
+            let mut d = MvPipeHhh::new(hierarchy(), DISTAGG_MVPIPE_BUCKETS);
+            for p in in_window {
+                HhhDetector::<Ipv4Hierarchy>::observe(&mut d, p.src, u64::from(p.wire_len));
+            }
+            d.snapshot()
+        }
     }
-    .expect("all four kinds serialize")
+    .expect("all five kinds serialize")
 }
 
 /// Measure snapshot encode/decode cost per detector **in both wire

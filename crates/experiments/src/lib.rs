@@ -26,6 +26,7 @@ pub mod aggd_e2e;
 pub mod compare;
 pub mod corpus;
 pub mod distagg;
+pub mod fairness;
 pub mod fig2;
 pub mod fig3;
 mod scale;

@@ -22,8 +22,11 @@ use core::hash::Hash;
 /// else), so the trait takes `&self` everywhere and implementations are
 /// `Copy`.
 pub trait Hierarchy: Clone {
-    /// The exact-level item observed on the wire (e.g. `u32` source IP).
-    type Item: Copy + Eq + Hash + Debug;
+    /// The exact-level item observed on the wire (e.g. `u32` source
+    /// IP). Items are plain wire integers: `Default` gives detectors a
+    /// filler value for empty sentinel slots, and `Ord` a canonical
+    /// order for deterministic tie-breaks.
+    type Item: Copy + Eq + Ord + Hash + Debug + Default;
     /// A generalization of an item (e.g. an IPv4 prefix).
     type Prefix: Copy + Eq + Hash + Ord + Debug + Display;
 
@@ -50,6 +53,13 @@ pub trait Hierarchy: Clone {
     fn item_prefix(&self, item: Self::Item) -> Self::Prefix {
         self.generalize(item, 0)
     }
+
+    /// The item whose [`item_prefix`](Self::item_prefix) is `p`, or
+    /// `None` when `p` sits above level 0. Level-0 prefixes are
+    /// bijective with items, which lets bottom-level detectors store
+    /// raw items (narrower than prefixes — no length byte, no
+    /// padding) and rebuild prefixes only at report and decode time.
+    fn prefix_item(&self, p: Self::Prefix) -> Option<Self::Item>;
 
     /// All prefixes of `item`, from level 0 up to the root.
     fn all_prefixes(&self, item: Self::Item) -> Vec<Self::Prefix> {

@@ -110,6 +110,19 @@ impl Hierarchy for Ipv4Hierarchy {
     }
 
     #[inline]
+    fn item_prefix(&self, item: u32) -> Ipv4Prefix {
+        // Level 0 is always /32, so the host constructor skips the
+        // level check, the mask-table load, and the masking AND that
+        // `generalize` pays. Bottom-pipe detectors call this per packet.
+        Ipv4Prefix::host(item)
+    }
+
+    #[inline]
+    fn prefix_item(&self, p: Ipv4Prefix) -> Option<u32> {
+        (p.len() == 32).then(|| p.addr())
+    }
+
+    #[inline]
     fn level_of(&self, p: Ipv4Prefix) -> usize {
         self.level_for_len(p.len())
     }
@@ -244,6 +257,15 @@ mod tests {
                     prop_assert_eq!(h.parent(p).unwrap(), h.generalize(item, l + 1));
                     prop_assert!(h.contains(h.generalize(item, l + 1), p));
                 }
+            }
+        }
+
+        #[test]
+        fn prefix_item_inverts_level_zero_only(item in any::<u32>(), g in 1u8..=32) {
+            let h = Ipv4Hierarchy::new(g);
+            prop_assert_eq!(h.prefix_item(h.item_prefix(item)), Some(item));
+            for l in 1..h.levels() {
+                prop_assert_eq!(h.prefix_item(h.generalize(item, l)), None);
             }
         }
 

@@ -69,6 +69,19 @@ impl Hierarchy for Ipv6Hierarchy {
     }
 
     #[inline]
+    fn item_prefix(&self, item: u128) -> Ipv6Prefix {
+        // Level 0 is always /128, so the host constructor skips the
+        // level check, the mask-table load, and the masking AND that
+        // `generalize` pays. Bottom-pipe detectors call this per packet.
+        Ipv6Prefix::host(item)
+    }
+
+    #[inline]
+    fn prefix_item(&self, p: Ipv6Prefix) -> Option<u128> {
+        (p.len() == 128).then(|| p.addr())
+    }
+
+    #[inline]
     fn level_of(&self, p: Ipv6Prefix) -> usize {
         if p.is_root() {
             return self.levels() - 1;
@@ -160,6 +173,15 @@ mod tests {
                 if l + 1 < h.levels() {
                     prop_assert_eq!(h.parent(p).unwrap(), h.generalize(item, l + 1));
                 }
+            }
+        }
+
+        #[test]
+        fn prefix_item_inverts_level_zero_only(item in any::<u128>(), g in prop::sample::select(vec![1u8, 4, 8, 16, 32, 64, 128])) {
+            let h = Ipv6Hierarchy::new(g);
+            prop_assert_eq!(h.prefix_item(h.item_prefix(item)), Some(item));
+            for l in 1..h.levels() {
+                prop_assert_eq!(h.prefix_item(h.generalize(item, l)), None);
             }
         }
     }

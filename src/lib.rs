@@ -89,8 +89,8 @@ pub use hhh_window as window;
 pub mod prelude {
     pub use hhh_analysis::{jaccard, Ecdf, SetAccuracy, Table};
     pub use hhh_core::{
-        ContinuousDetector, ExactHhh, HashPipe, HhhDetector, HhhReport, MergeableDetector, Rhhh,
-        SpaceSavingHhh, TdbfHhh, TdbfHhhConfig, Threshold, UnivMonLite,
+        ContinuousDetector, ExactHhh, HashPipe, HhhDetector, HhhReport, MergeableDetector,
+        MvPipeHhh, Rhhh, SpaceSavingHhh, TdbfHhh, TdbfHhhConfig, Threshold, UnivMonLite,
     };
     pub use hhh_hierarchy::{Hierarchy, Ipv4Hierarchy, Ipv6Hierarchy, TwoDimHierarchy};
     pub use hhh_nettypes::{Ipv4Prefix, Measure, Nanos, PacketRecord, Proto, TimeSpan};

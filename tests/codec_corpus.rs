@@ -116,6 +116,26 @@ fn malformed_cases_fail_with_their_exact_error_variants() {
     let err = hidden_hhh::core::DetectorSnapshot::from_frame(&frame)
         .expect_err("transcode must check the digest too");
     assert!(matches!(err, SnapshotError::Invalid { field: "config_digest", .. }));
+
+    // The mvpipe cases decode as frames (header and digest are fine)
+    // but must be refused when the detector is rebuilt.
+    let restore_error = |name: &str| -> SnapshotError {
+        let bytes = read(&format!("malformed/{name}"));
+        let (frame, _) = SnapshotFrame::decode(&bytes).expect("frame header is well-formed");
+        RestoredDetector::from_frame(&h, &frame)
+            .expect_err("rebuilding a corrupt mvpipe state must fail")
+    };
+    assert_eq!(
+        restore_error("mvpipe_total_skew.v2.bin"),
+        SnapshotError::Invalid {
+            field: "total",
+            what: "bucket counts do not sum to the envelope total"
+        }
+    );
+    assert_eq!(
+        restore_error("mvpipe_vote_overflow.v2.bin"),
+        SnapshotError::Invalid { field: "entries", what: "vote exceeds count" }
+    );
 }
 
 #[test]
@@ -143,7 +163,7 @@ fn regenerating_the_corpus_reproduces_the_committed_bytes() {
 // Structure-aware fuzz smoke
 // ---------------------------------------------------------------------
 
-/// Valid frames of all four kinds, decoded from the corpus streams —
+/// Valid frames of all five kinds, decoded from the corpus streams —
 /// the fuzz seeds.
 fn seed_frames() -> Vec<Vec<u8>> {
     CORPUS_KINDS

@@ -7,16 +7,16 @@
 //!
 //! * the folded state re-serializes **byte-identically** to the merged
 //!   state an in-process K-shard pipeline emits at every report point
-//!   (all four kinds — shard states are deterministic functions of
+//!   (all five kinds — shard states are deterministic functions of
 //!   their sub-streams and folds replay the same merges);
 //! * the merged reports agree with the **unsharded** single-process
 //!   run: identically for `exact` (lossless merges), within the
 //!   documented merge-error bounds for the approximate kinds.
 //!
 //! The full 1.36M-packet acceptance trace runs here for `exact` at
-//! K = 4 (the golden the CI smoke job also diffs); all four kinds run
+//! K = 4 (the golden the CI smoke job also diffs); all five kinds run
 //! on a shorter trace in debug-friendly time, and the release-mode CI
-//! job (`distagg run smoke`) re-checks all four on the full trace.
+//! job (`distagg run smoke`) re-checks all five on the full trace.
 
 use hhh_experiments::distagg::{
     distagg_trace, fold_shard_streams, run_distagg_on, shard_jsonl_on, Kind, KINDS,
@@ -42,7 +42,7 @@ fn exact_full_trace_k4_reproduces_single_process() {
 
 #[test]
 fn all_kinds_fold_to_the_inprocess_state_at_k3() {
-    // A shorter day trace keeps all four kinds debug-affordable; the
+    // A shorter day trace keeps all five kinds debug-affordable; the
     // CI smoke job re-runs the full trace in release.
     let horizon = TimeSpan::from_secs(15);
     let trace: Vec<PacketRecord> =
@@ -80,6 +80,12 @@ fn all_kinds_fold_to_the_inprocess_state_at_k3() {
                 r.shards,
                 r.jaccard_vs_single
             ),
+            "mvpipe" => assert!(
+                r.jaccard_vs_single >= 0.5,
+                "mvpipe K={} jaccard {}",
+                r.shards,
+                r.jaccard_vs_single
+            ),
             "tdbf-hhh" => assert!(
                 r.jaccard_vs_single >= 0.9,
                 "tdbf-hhh K={} jaccard {}",
@@ -88,6 +94,38 @@ fn all_kinds_fold_to_the_inprocess_state_at_k3() {
             ),
             other => panic!("unexpected detector {other}"),
         }
+    }
+}
+
+#[test]
+fn mvpipe_folds_bitexactly_at_k1_and_k4_in_both_wire_formats() {
+    // PR-8 acceptance: the MVPipe cross-process fold must be
+    // byte-identical to the in-process sharded run at K ∈ {1, 4}, over
+    // the v1 JSONL fold *and* the native v2 socket fold. (The CI
+    // distagg smoke re-checks the full 1.36M-packet trace in release.)
+    use hhh_experiments::distagg::run_socket_on;
+    let horizon = TimeSpan::from_secs(15);
+    let trace: Vec<PacketRecord> =
+        TraceGenerator::new(scenarios::day_trace(0, horizon), scenarios::day_seed(0)).collect();
+
+    let rows = run_distagg_on(&trace, horizon, &[1, 4], &[Kind::MvPipe]);
+    assert_eq!(rows.len(), 2);
+    for r in &rows {
+        assert!(
+            r.state_identical,
+            "mvpipe v1 fold diverged from the in-process merge at K={}",
+            r.shards
+        );
+    }
+
+    for k in [1usize, 4] {
+        let rows = run_socket_on(&trace, horizon, &[k], &[Kind::MvPipe]);
+        assert_eq!(rows.len(), 1);
+        assert!(
+            rows[0].state_identical,
+            "mvpipe v2 socket fold diverged from the in-process merge at K={k}"
+        );
+        assert!(rows[0].socket_eq_file, "mvpipe socket fold output diverged from the file fold");
     }
 }
 

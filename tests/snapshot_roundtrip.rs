@@ -3,10 +3,11 @@
 //! `merge` — the property that makes cross-process aggregation the
 //! same algebra as sharded in-process ingestion.
 //!
-//! * `ExactHhh` / `SpaceSavingHhh` / `Rhhh`: **bit-exact** — the folded
-//!   state re-serializes byte-identically to the in-process merge's
-//!   snapshot (Space-Saving prune ties break by a fixed key hash, so
-//!   heap layout never leaks into the wire bytes).
+//! * `ExactHhh` / `SpaceSavingHhh` / `Rhhh` / `MvPipeHhh`:
+//!   **bit-exact** — the folded state re-serializes byte-identically
+//!   to the in-process merge's snapshot (Space-Saving prune ties and
+//!   MVPipe majority-vote ties break by a fixed key hash, so heap
+//!   layout never leaks into the wire bytes).
 //! * `TdbfHhh`: byte-identical state too (floats ride the wire in
 //!   shortest round-trip form), plus prefix-set agreement of the
 //!   reports at the probe instant.
@@ -99,6 +100,19 @@ proptest! {
     }
 
     #[test]
+    fn mvpipe_fold_is_bitexact_to_merge(seed in 0u64..1_000_000, n in 500usize..3000) {
+        let (sa, sb) = split2(&stream(n, seed));
+        let mut a = MvPipeHhh::new(h(), 64);
+        let mut b = MvPipeHhh::new(h(), 64);
+        HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut a, &sa);
+        HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut b, &sb);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let folded = fold_over_wire(&a.snapshot().unwrap(), &b.snapshot().unwrap());
+        prop_assert_eq!(folded.snapshot().to_json(), merged.snapshot().unwrap().to_json());
+    }
+
+    #[test]
     fn rhhh_fold_agrees_with_merge(seed in 0u64..1_000_000, n in 500usize..3000) {
         let (sa, sb) = split2(&stream(n, seed));
         let mut a = Rhhh::new(h(), 64, seed ^ 0xA);
@@ -167,6 +181,7 @@ struct ArbitraryDetectors {
     exact: ExactHhh<Ipv4Hierarchy>,
     ss: SpaceSavingHhh<Ipv4Hierarchy>,
     rhhh: Rhhh<Ipv4Hierarchy>,
+    mvpipe: MvPipeHhh<Ipv4Hierarchy>,
     tdbf: TdbfHhh<Ipv4Hierarchy>,
 }
 
@@ -175,6 +190,7 @@ fn arbitrary_detectors(seed: u64, n: usize) -> ArbitraryDetectors {
     let mut exact = ExactHhh::new(h());
     let mut ss = SpaceSavingHhh::new(h(), 64);
     let mut rhhh = Rhhh::new(h(), 64, seed ^ 0x5EED);
+    let mut mvpipe = MvPipeHhh::new(h(), 64);
     let mut tdbf = TdbfHhh::new(
         h(),
         TdbfHhhConfig {
@@ -188,6 +204,7 @@ fn arbitrary_detectors(seed: u64, n: usize) -> ArbitraryDetectors {
     HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut exact, &items);
     HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut ss, &items);
     HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut rhhh, &items);
+    HhhDetector::<Ipv4Hierarchy>::observe_batch(&mut mvpipe, &items);
     for (i, &(item, w)) in items.iter().enumerate() {
         ContinuousDetector::<Ipv4Hierarchy>::observe(
             &mut tdbf,
@@ -196,7 +213,7 @@ fn arbitrary_detectors(seed: u64, n: usize) -> ArbitraryDetectors {
             w,
         );
     }
-    ArbitraryDetectors { exact, ss, rhhh, tdbf }
+    ArbitraryDetectors { exact, ss, rhhh, mvpipe, tdbf }
 }
 
 /// Build one detector of each kind from a seeded stream and return its
@@ -207,6 +224,7 @@ fn arbitrary_snapshots(seed: u64, n: usize) -> Vec<DetectorSnapshot> {
         d.exact.snapshot().unwrap(),
         d.ss.snapshot().unwrap(),
         d.rhhh.snapshot().unwrap(),
+        d.mvpipe.snapshot().unwrap(),
         MergeableDetector::snapshot(&d.tdbf).unwrap(),
     ]
 }
@@ -283,7 +301,7 @@ proptest! {
         let reference = |snap: &DetectorSnapshot| {
             snap.to_frame(start, at).expect("own snapshots transcode").encode()
         };
-        let cases: [(&str, Vec<u8>, Vec<u8>); 4] = [
+        let cases: [(&str, Vec<u8>, Vec<u8>); 5] = [
             (
                 "exact",
                 d.exact.to_frame(start, at).expect("native-encodes").encode(),
@@ -298,6 +316,11 @@ proptest! {
                 "rhhh",
                 d.rhhh.to_frame(start, at).expect("native-encodes").encode(),
                 reference(&d.rhhh.snapshot().unwrap()),
+            ),
+            (
+                "mvpipe",
+                d.mvpipe.to_frame(start, at).expect("native-encodes").encode(),
+                reference(&d.mvpipe.snapshot().unwrap()),
             ),
             (
                 "tdbf-hhh",
@@ -367,6 +390,19 @@ fn retract_defaults_to_unsupported_for_lossy_summaries() {
 fn fold_rejects_mismatched_capacities() {
     let mut a = SpaceSavingHhh::new(h(), 32);
     let mut b = SpaceSavingHhh::new(h(), 64);
+    HhhDetector::<Ipv4Hierarchy>::observe(&mut a, 7, 10);
+    HhhDetector::<Ipv4Hierarchy>::observe(&mut b, 7, 10);
+    let hier = h();
+    let mut restored =
+        RestoredDetector::from_snapshot(&hier, &a.snapshot().unwrap()).expect("restores");
+    let err = restored.fold(&hier, &b.snapshot().unwrap()).unwrap_err();
+    assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err:?}");
+}
+
+#[test]
+fn fold_rejects_mismatched_bucket_counts() {
+    let mut a = MvPipeHhh::new(h(), 32);
+    let mut b = MvPipeHhh::new(h(), 64);
     HhhDetector::<Ipv4Hierarchy>::observe(&mut a, 7, 10);
     HhhDetector::<Ipv4Hierarchy>::observe(&mut b, 7, 10);
     let hier = h();
