@@ -39,6 +39,9 @@ pub struct DaemonConfig {
     /// Most recent report points retained **per kind** (`None` =
     /// unbounded — only for bounded runs like tests).
     pub retain: Option<usize>,
+    /// Maximum concurrently running HTTP handler threads; connections
+    /// beyond the cap get an immediate 503.
+    pub http_max_inflight: usize,
     /// Log joins/leaves/gaps to stderr.
     pub log: bool,
 }
@@ -52,6 +55,9 @@ impl Default for DaemonConfig {
             thresholds: vec![Threshold::percent(1.0)],
             // 720 five-second windows ≈ one hour of rolling state.
             retain: Some(720),
+            // Plenty for scrapes + polls; small enough that a
+            // slow-loris swarm tops out at ~128 parked threads.
+            http_max_inflight: 128,
             log: false,
         }
     }
@@ -127,6 +133,8 @@ pub fn spawn_daemon(config: DaemonConfig) -> io::Result<DaemonHandle> {
         registry: Arc::clone(&registry),
         metrics: Arc::clone(&metrics),
         thresholds: config.thresholds,
+        max_inflight: config.http_max_inflight.max(1),
+        inflight: std::sync::atomic::AtomicUsize::new(0),
     });
     let http_stop = Arc::clone(&stop);
     let http_thread = std::thread::spawn(move || http::serve(http_listener, shared, http_stop));

@@ -1,7 +1,11 @@
 //! A minimal hand-rolled HTTP/1.1 server for the daemon's three
 //! endpoints — enough for `curl` and Prometheus scrapes, nothing more:
 //! `GET` only, `Connection: close` on every response, one thread per
-//! connection.
+//! connection **bounded** by the daemon's in-flight cap (connections
+//! beyond it get an immediate 503, so slow clients can saturate their
+//! slots but never the process). Transient accept errors retry with
+//! backoff and are counted as `aggd_http_accept_errors_total`; only a
+//! shutdown stops the loop.
 //!
 //! | Endpoint | Answer |
 //! |----------|--------|
@@ -13,7 +17,9 @@
 //! kind; `all=1` renders every retained report point instead of the
 //! latest per kind; `state=1` also emits the folded state line per
 //! point (the stream another aggregation tier would ingest);
-//! `threshold=PCT` overrides the daemon's report threshold(s).
+//! `threshold=PCT` overrides the daemon's report threshold(s). Query
+//! keys and values are percent-decoded (`%XX` and `+`) before
+//! matching; a malformed escape is a 400.
 
 use crate::metrics::Metrics;
 use crate::registry::Registry;
@@ -23,39 +29,128 @@ use hhh_hierarchy::Ipv4Hierarchy;
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// First retry delay after a transient accept failure; doubles per
+/// consecutive failure up to [`ACCEPT_BACKOFF_MAX`]. EMFILE-style
+/// pressure usually clears within a handful of milliseconds (a handler
+/// finishing returns an fd), so start small.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(1);
+
+/// Ceiling on the accept-retry delay — keeps the server responsive to
+/// `stop` and quick to recover once fd pressure clears.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(250);
 
 /// What a handler thread needs to answer any request.
 pub(crate) struct HttpShared {
     pub registry: Arc<Registry>,
     pub metrics: Arc<Metrics>,
     pub thresholds: Vec<Threshold>,
+    /// Hard cap on concurrently running handler threads; connections
+    /// beyond it get an immediate 503 instead of a thread.
+    pub max_inflight: usize,
+    /// Handler threads currently running (admitted, not yet finished).
+    pub inflight: AtomicUsize,
+}
+
+/// Holds one admission slot; releases it when the handler returns, on
+/// any path.
+struct InflightGuard(Arc<HttpShared>);
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Try to claim a handler slot (a semaphore `try_acquire` on the
+/// `inflight` counter).
+fn try_admit(shared: &Arc<HttpShared>) -> Option<InflightGuard> {
+    let mut current = shared.inflight.load(Ordering::Relaxed);
+    loop {
+        if current >= shared.max_inflight {
+            return None;
+        }
+        match shared.inflight.compare_exchange_weak(
+            current,
+            current + 1,
+            Ordering::Acquire,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return Some(InflightGuard(Arc::clone(shared))),
+            Err(now) => current = now,
+        }
+    }
 }
 
 /// Accept loop: non-blocking so `stop` is honored within a few
-/// milliseconds; each accepted connection is handled on its own
-/// thread (queries are short-lived — curl, scrapes, polls).
+/// milliseconds; each admitted connection is handled on its own thread
+/// (queries are short-lived — curl, scrapes, polls), bounded by
+/// `max_inflight` so a slow-loris swarm cannot pin unbounded threads.
+///
+/// Transient accept failures (ECONNABORTED, EMFILE under fd pressure,
+/// EINTR…) are counted and retried with exponential backoff — only
+/// `stop` ends the loop. A server that dies on the first aborted
+/// handshake is no server at all.
 pub(crate) fn serve(listener: TcpListener, shared: Arc<HttpShared>, stop: Arc<AtomicBool>) {
     if listener.set_nonblocking(true).is_err() {
         return;
     }
+    let mut backoff = ACCEPT_BACKOFF_MIN;
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((conn, _peer)) => {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || handle(conn, &shared));
+                backoff = ACCEPT_BACKOFF_MIN;
+                let Some(guard) = try_admit(&shared) else {
+                    shared.metrics.http_busy();
+                    let mut conn = conn;
+                    // Take the request off the socket (bounded) before
+                    // answering: closing with unread bytes in the
+                    // receive buffer makes the kernel RST the 503 out
+                    // of the client's hands.
+                    let _ = conn.set_read_timeout(Some(Duration::from_millis(100)));
+                    let mut scratch = [0u8; 1024];
+                    let _ = io::Read::read(&mut conn, &mut scratch);
+                    respond(
+                        &mut conn,
+                        503,
+                        "Service Unavailable",
+                        "text/plain",
+                        b"handler capacity saturated, retry\n",
+                    );
+                    continue;
+                };
+                let handler_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("aggd-http".into())
+                    .spawn(move || {
+                        let _slot = guard;
+                        handle(conn, &handler_shared);
+                    })
+                    .is_ok();
+                if !spawned {
+                    // Thread exhaustion: the closure (and its guard and
+                    // connection) were dropped — slot released, peer
+                    // sees a close. Count it as capacity pressure.
+                    shared.metrics.http_busy();
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
             }
-            Err(_) => break,
+            Err(_) => {
+                shared.metrics.http_accept_error();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
         }
     }
 }
 
 fn handle(conn: TcpStream, shared: &HttpShared) {
+    shared.metrics.http_request();
     // A client that never finishes its request line must not pin the
     // thread.
     let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
@@ -98,7 +193,8 @@ fn handle(conn: TcpStream, shared: &HttpShared) {
                 let fold = shared.registry.fold.lock().expect("fold lock");
                 (fold.points().count(), fold.dirty_count())
             };
-            let body = shared.metrics.render(&streams, held, dirty);
+            let inflight = shared.inflight.load(Ordering::Relaxed);
+            let body = shared.metrics.render(&streams, held, dirty, inflight);
             respond(
                 &mut conn,
                 200,
@@ -155,13 +251,49 @@ fn render_hhh(shared: &HttpShared, query: &str) -> Result<Vec<u8>, String> {
     Ok(body)
 }
 
+/// Decode one query component: `+` is a space, `%XX` is the escaped
+/// byte. Malformed escapes (truncated, non-hex, or bytes that don't
+/// form UTF-8) are errors — the handler turns them into a 400.
+fn percent_decode(component: &str) -> Result<String, String> {
+    let bytes = component.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let byte = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|hex| std::str::from_utf8(hex).ok())
+                    .and_then(|hex| u8::from_str_radix(hex, 16).ok())
+                    .ok_or_else(|| format!("malformed percent escape in `{component}`"))?;
+                out.push(byte);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out)
+        .map_err(|_| format!("percent escapes in `{component}` decode to invalid UTF-8"))
+}
+
 fn parse_query(query: &str) -> Result<BTreeMap<String, String>, String> {
     let mut params = BTreeMap::new();
     for pair in query.split('&').filter(|p| !p.is_empty()) {
         let (k, v) = pair.split_once('=').unwrap_or((pair, "1"));
-        match k {
+        // Decode *before* matching keys, per the curl contract:
+        // `threshold=2%2E5` is `threshold=2.5`.
+        let k = percent_decode(k)?;
+        let v = percent_decode(v)?;
+        match k.as_str() {
             "kind" | "all" | "state" | "threshold" => {
-                params.insert(k.to_string(), v.to_string());
+                params.insert(k, v);
             }
             other => return Err(format!("unknown query parameter `{other}`")),
         }
@@ -193,5 +325,27 @@ mod tests {
         // Bare keys default to "1" (curl's ?all shorthand).
         assert_eq!(parse_query("all").expect("parses").get("all").map(String::as_str), Some("1"));
         assert!(parse_query("nope=1").is_err());
+    }
+
+    #[test]
+    fn query_strings_percent_decode_keys_and_values() {
+        // The doc contract's own example: an escaped dot in a number.
+        let p = parse_query("threshold=2%2E5").expect("escaped value parses");
+        assert_eq!(p.get("threshold").map(String::as_str), Some("2.5"));
+        // Escapes in the *key* decode before key matching.
+        let p = parse_query("%6bind=exact").expect("escaped key parses");
+        assert_eq!(p.get("kind").map(String::as_str), Some("exact"));
+        // `+` is a space.
+        let p = parse_query("kind=a+b").expect("plus decodes");
+        assert_eq!(p.get("kind").map(String::as_str), Some("a b"));
+        // Upper- and lower-case hex both work.
+        assert_eq!(percent_decode("%2e%2E").expect("hex case-insensitive"), "..");
+    }
+
+    #[test]
+    fn malformed_percent_escapes_are_errors() {
+        for bad in ["threshold=2%", "threshold=2%2", "threshold=2%zz", "kind=%ff%fe"] {
+            assert!(parse_query(bad).is_err(), "{bad} must be rejected");
+        }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hhh-aggd [--listen ADDR] [--http ADDR] [--hierarchy ipv4-bytes|ipv4-bits]
-//!          [--threshold PCT]... [--retain POINTS|none] [--quiet]
+//!          [--threshold PCT]... [--retain POINTS|none] [--http-inflight N] [--quiet]
 //! ```
 //!
 //! Shard pipelines connect their `TcpTransport`s to `--listen` and
@@ -25,7 +25,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: hhh-aggd [--listen ADDR] [--http ADDR] \
                      [--hierarchy ipv4-bytes|ipv4-bits]\n\
-                     \x20               [--threshold PCT]... [--retain POINTS|none] [--quiet]\n\
+                     \x20               [--threshold PCT]... [--retain POINTS|none]\n\
+                     \x20               [--http-inflight N] [--quiet]\n\
                      \n\
                      Long-running aggregation daemon: accepts shard snapshot streams (v2\n\
                      frames with hello/ack resume) on --listen, serves merged HHH queries\n\
@@ -33,7 +34,8 @@ const USAGE: &str = "usage: hhh-aggd [--listen ADDR] [--http ADDR] \
                      (GET /metrics) on --http. Shards may join, leave, crash, and resume\n\
                      at any time; restarted shards replay from their last acked frame.\n\
                      Defaults: --listen 127.0.0.1:4710, --http 127.0.0.1:4711,\n\
-                     --hierarchy ipv4-bytes, --threshold 1, --retain 720.";
+                     --hierarchy ipv4-bytes, --threshold 1, --retain 720,\n\
+                     --http-inflight 128.";
 
 fn parse_args() -> Result<DaemonConfig, String> {
     let mut config = DaemonConfig {
@@ -77,6 +79,15 @@ fn parse_args() -> Result<DaemonConfig, String> {
                     }
                     Some(n)
                 };
+            }
+            "--http-inflight" => {
+                let v = argv.next().ok_or("--http-inflight needs a thread count")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("--http-inflight `{v}` is not a count"))?;
+                if n == 0 {
+                    return Err("--http-inflight must allow at least one handler".into());
+                }
+                config.http_max_inflight = n;
             }
             "--quiet" => config.log = false,
             "--help" | "-h" => return Err(String::new()),

@@ -107,6 +107,9 @@ pub struct Metrics {
     joins: AtomicU64,
     gaps: AtomicU64,
     fold_errors: AtomicU64,
+    http_requests: AtomicU64,
+    http_accept_errors: AtomicU64,
+    http_busy: AtomicU64,
     rate: Mutex<RateWindow>,
     latency: Mutex<LatencyRing>,
 }
@@ -128,6 +131,9 @@ impl Metrics {
             joins: AtomicU64::new(0),
             gaps: AtomicU64::new(0),
             fold_errors: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            http_accept_errors: AtomicU64::new(0),
+            http_busy: AtomicU64::new(0),
             rate: Mutex::new(RateWindow::new()),
             latency: Mutex::new(LatencyRing::new()),
         }
@@ -171,14 +177,43 @@ impl Metrics {
         self.frames.load(Ordering::Relaxed)
     }
 
+    /// One HTTP request was admitted to a handler.
+    pub fn http_request(&self) {
+        self.http_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The HTTP accept loop hit a transient error and retried.
+    pub fn http_accept_error(&self) {
+        self.http_accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was refused (503 or dropped) at the in-flight
+    /// handler cap.
+    pub fn http_busy(&self) {
+        self.http_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total transient accept-loop failures so far.
+    pub fn http_accept_errors_total(&self) -> u64 {
+        self.http_accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Total connections refused at the handler cap so far.
+    pub fn http_busy_total(&self) -> u64 {
+        self.http_busy.load(Ordering::Relaxed)
+    }
+
     /// Render the Prometheus text exposition. `streams` is the
     /// membership table snapshot; `points_held`/`dirty` describe the
-    /// fold (merged report points retained, points awaiting a refold).
+    /// fold (merged report points retained, points awaiting a refold);
+    /// `http_inflight` is the number of handler threads currently
+    /// running (the scraping handler counts itself).
     pub fn render(
         &self,
         streams: &BTreeMap<u64, StreamInfo>,
         points_held: usize,
         dirty: usize,
+        http_inflight: usize,
     ) -> String {
         let mut out = String::with_capacity(2048);
         let now = Instant::now();
@@ -201,6 +236,11 @@ impl Metrics {
         gauge("aggd_frames_per_second", "Frames/s over the trailing 10 s window.", fmt_f(rate));
         gauge("aggd_points_held", "Merged report points retained.", points_held.to_string());
         gauge("aggd_points_dirty", "Report points awaiting a refold.", dirty.to_string());
+        gauge(
+            "aggd_http_inflight",
+            "HTTP handler threads currently running.",
+            http_inflight.to_string(),
+        );
 
         let mut counter = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -220,6 +260,21 @@ impl Metrics {
             "aggd_fold_errors_total",
             "Refolds that failed on a bad frame.",
             self.fold_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "aggd_http_requests_total",
+            "HTTP requests admitted to a handler.",
+            self.http_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "aggd_http_accept_errors_total",
+            "Transient HTTP accept failures retried with backoff.",
+            self.http_accept_errors_total(),
+        );
+        counter(
+            "aggd_http_busy_total",
+            "HTTP connections refused at the in-flight handler cap.",
+            self.http_busy_total(),
         );
 
         let _ = writeln!(out, "# HELP aggd_fold_duration_seconds Refold wall-clock latency.");
@@ -323,9 +378,16 @@ mod tests {
                 last_frame: Some(Instant::now()),
             },
         );
-        let text = m.render(&streams, 4, 1);
+        m.http_request();
+        m.http_accept_error();
+        m.http_busy();
+        let text = m.render(&streams, 4, 1, 2);
         for needle in [
             "aggd_frames_per_second ",
+            "aggd_http_requests_total 1",
+            "aggd_http_accept_errors_total 1",
+            "aggd_http_busy_total 1",
+            "aggd_http_inflight 2",
             "aggd_fold_duration_seconds{quantile=\"0.5\"}",
             "aggd_fold_duration_seconds{quantile=\"0.99\"}",
             "aggd_stream_lag_seconds{stream=\"3\",label=\"exact/0of3\"}",

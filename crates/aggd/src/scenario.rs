@@ -25,8 +25,8 @@ use hhh_core::{
 use hhh_hierarchy::Ipv4Hierarchy;
 use hhh_nettypes::{Ipv4Prefix, Nanos, PacketRecord, TimeSpan};
 use hhh_window::{
-    shard_of, Continuous, Disjoint, Pipeline, ReportSink, ShardedContinuous, ShardedDisjoint,
-    SnapshotSink, TcpTransport, TransportError, TransportSink, WindowReport,
+    shard_of, Continuous, Disjoint, PacketSource, Pipeline, ReportSink, ShardedContinuous,
+    ShardedDisjoint, SnapshotSink, TcpTransport, TransportError, TransportSink, WindowReport,
 };
 
 /// Report window / probe cadence of the scenario.
@@ -145,20 +145,22 @@ pub fn shard_label(kind: Kind, k: usize, shard: usize) -> String {
     format!("{}/{shard}of{k}", kind.label())
 }
 
-/// Run the scenario's windowed sharded pipeline into an arbitrary
-/// sink — the sink decides the medium (byte buffer, file, socket,
-/// in-process channel).
-fn windowed_into<D, S>(
-    packets: &[PacketRecord],
+/// Run the scenario's windowed sharded pipeline over an arbitrary
+/// packet [`PacketSource`] into an arbitrary sink — the source decides
+/// where packets come from (a slice, a bounded live feed), the sink
+/// decides the medium (byte buffer, file, socket, in-process channel).
+fn windowed_source_into<Src, D, S>(
+    source: Src,
     horizon: TimeSpan,
     detectors: Vec<D>,
     sink: S,
 ) -> S::Output
 where
+    Src: PacketSource,
     D: HhhDetector<Ipv4Hierarchy> + MergeableDetector + Clone + Send,
     S: ReportSink<Ipv4Prefix>,
 {
-    Pipeline::new(packets.iter().copied())
+    Pipeline::new(source)
         .engine(ShardedDisjoint::new(
             detectors,
             horizon,
@@ -170,18 +172,46 @@ where
         .run()
 }
 
-/// The continuous (TDBF) counterpart of [`windowed_into`].
+/// [`windowed_source_into`] over an in-memory packet slice.
+fn windowed_into<D, S>(
+    packets: &[PacketRecord],
+    horizon: TimeSpan,
+    detectors: Vec<D>,
+    sink: S,
+) -> S::Output
+where
+    D: HhhDetector<Ipv4Hierarchy> + MergeableDetector + Clone + Send,
+    S: ReportSink<Ipv4Prefix>,
+{
+    windowed_source_into(packets.iter().copied(), horizon, detectors, sink)
+}
+
+/// The continuous (TDBF) counterpart of [`windowed_source_into`].
+fn continuous_source_into<Src, S>(
+    source: Src,
+    horizon: TimeSpan,
+    shards: usize,
+    sink: S,
+) -> S::Output
+where
+    Src: PacketSource,
+    S: ReportSink<Ipv4Prefix>,
+{
+    let detectors: Vec<_> = (0..shards).map(|_| TdbfHhh::new(hierarchy(), tdbf_config())).collect();
+    Pipeline::new(source)
+        .engine(ShardedContinuous::new(detectors, &probes(horizon), distagg_threshold(), |p| p.src))
+        .sink(sink)
+        .run()
+}
+
+/// [`continuous_source_into`] over an in-memory packet slice.
 fn continuous_into<S: ReportSink<Ipv4Prefix>>(
     packets: &[PacketRecord],
     horizon: TimeSpan,
     shards: usize,
     sink: S,
 ) -> S::Output {
-    let detectors: Vec<_> = (0..shards).map(|_| TdbfHhh::new(hierarchy(), tdbf_config())).collect();
-    Pipeline::new(packets.iter().copied())
-        .engine(ShardedContinuous::new(detectors, &probes(horizon), distagg_threshold(), |p| p.src))
-        .sink(sink)
-        .run()
+    continuous_source_into(packets.iter().copied(), horizon, shards, sink)
 }
 
 fn windowed_stream<D>(
@@ -216,10 +246,51 @@ pub fn shard_packets(trace: &[PacketRecord], k: usize, shard: usize) -> Vec<Pack
     trace.iter().copied().filter(|p| shard_of(&p.src, k) == shard).collect()
 }
 
-/// One shard's pipeline of the scenario into an arbitrary sink — the
-/// medium-agnostic core [`shard_stream_on`] (bytes) and
-/// [`shard_to_addr_on`] (TCP) share. `packets` is the shard's
-/// already-partitioned sub-stream (see [`shard_packets`]).
+/// One shard's pipeline of the scenario over an arbitrary
+/// [`PacketSource`] into an arbitrary sink — the medium-agnostic core
+/// everything shares. [`shard_into`] wraps it for in-memory slices;
+/// live drivers (like `hhh-loadgen`) hand it the consuming half of a
+/// [`bounded`](hhh_window::source::bounded) channel so a producer
+/// thread feeds the shard with back-pressure.
+pub fn shard_source_into<Src, S>(
+    kind: Kind,
+    source: Src,
+    horizon: TimeSpan,
+    shard: usize,
+    sink: S,
+) -> S::Output
+where
+    Src: PacketSource,
+    S: ReportSink<Ipv4Prefix>,
+{
+    match kind {
+        Kind::Exact => {
+            windowed_source_into(source, horizon, vec![ExactHhh::new(hierarchy())], sink)
+        }
+        Kind::SsHhh => windowed_source_into(
+            source,
+            horizon,
+            vec![SpaceSavingHhh::new(hierarchy(), DISTAGG_CAPACITY)],
+            sink,
+        ),
+        Kind::Rhhh => windowed_source_into(
+            source,
+            horizon,
+            vec![Rhhh::new(hierarchy(), DISTAGG_CAPACITY, rhhh_seed(shard))],
+            sink,
+        ),
+        Kind::Tdbf => continuous_source_into(source, horizon, 1, sink),
+        Kind::MvPipe => windowed_source_into(
+            source,
+            horizon,
+            vec![MvPipeHhh::new(hierarchy(), DISTAGG_MVPIPE_BUCKETS)],
+            sink,
+        ),
+    }
+}
+
+/// [`shard_source_into`] over the shard's already-partitioned
+/// in-memory sub-stream (see [`shard_packets`]).
 pub fn shard_into<S: ReportSink<Ipv4Prefix>>(
     kind: Kind,
     packets: &[PacketRecord],
@@ -227,28 +298,7 @@ pub fn shard_into<S: ReportSink<Ipv4Prefix>>(
     shard: usize,
     sink: S,
 ) -> S::Output {
-    match kind {
-        Kind::Exact => windowed_into(packets, horizon, vec![ExactHhh::new(hierarchy())], sink),
-        Kind::SsHhh => windowed_into(
-            packets,
-            horizon,
-            vec![SpaceSavingHhh::new(hierarchy(), DISTAGG_CAPACITY)],
-            sink,
-        ),
-        Kind::Rhhh => windowed_into(
-            packets,
-            horizon,
-            vec![Rhhh::new(hierarchy(), DISTAGG_CAPACITY, rhhh_seed(shard))],
-            sink,
-        ),
-        Kind::Tdbf => continuous_into(packets, horizon, 1, sink),
-        Kind::MvPipe => windowed_into(
-            packets,
-            horizon,
-            vec![MvPipeHhh::new(hierarchy(), DISTAGG_MVPIPE_BUCKETS)],
-            sink,
-        ),
-    }
+    shard_source_into(kind, packets.iter().copied(), horizon, shard, sink)
 }
 
 /// One shard's run of the distributed scenario: filter the trace to

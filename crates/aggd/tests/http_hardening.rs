@@ -1,0 +1,145 @@
+//! Regression tests for the daemon's HTTP front door under hostile
+//! load: a slow-loris swarm (half-open connections pinning the 5 s
+//! read timeout) must not starve `/metrics` scrapes, the in-flight
+//! handler cap must answer 503 instead of spawning past its bound, an
+//! accept-churn storm must leave the server alive (the old accept loop
+//! died on the first transient error), and query percent-escapes must
+//! decode end-to-end.
+
+use hhh_aggd::{spawn_daemon, DaemonConfig, DaemonHandle};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn daemon(http_max_inflight: usize) -> DaemonHandle {
+    spawn_daemon(DaemonConfig { http_max_inflight, retain: None, ..DaemonConfig::default() })
+        .expect("daemon spawns")
+}
+
+/// One full GET: returns `(status, body)`. Panics on transport errors
+/// — in these tests a refused or torn connection *is* the regression.
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").expect("request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"));
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// Open `n` connections that never send a byte — each pins one handler
+/// slot until the 5 s read timeout (or until dropped).
+fn slow_loris(addr: &str, n: usize) -> Vec<TcpStream> {
+    (0..n).map(|_| TcpStream::connect(addr).expect("loris connect")).collect()
+}
+
+#[test]
+fn slow_loris_swarm_does_not_drop_metrics_scrapes() {
+    let handle = daemon(128);
+    let addr = handle.http_addr.to_string();
+    let swarm = slow_loris(&addr, 100);
+    // With 100 slots pinned (cap 128), every scrape must still land —
+    // zero dropped scrapes is the acceptance bar.
+    for i in 0..20 {
+        let (status, body) = http_get(&addr, "/metrics");
+        assert_eq!(status, 200, "scrape {i} dropped under slow-loris load");
+        assert!(
+            body.contains("aggd_http_accept_errors_total"),
+            "accept-error counter missing from exposition"
+        );
+        assert!(body.contains("aggd_http_inflight"), "inflight gauge missing from exposition");
+    }
+    drop(swarm);
+    handle.shutdown();
+}
+
+#[test]
+fn handler_cap_answers_503_and_counts_busy() {
+    let handle = daemon(2);
+    let addr = handle.http_addr.to_string();
+    let swarm = slow_loris(&addr, 2);
+    // Both loris connections were accepted (and admitted) before any
+    // later one, so a real request now meets a saturated cap. Allow a
+    // few tries in case admission is still in flight.
+    let deadline = Instant::now() + Duration::from_secs(4);
+    let mut saw_503 = false;
+    while Instant::now() < deadline {
+        let (status, _) = http_get(&addr, "/healthz");
+        if status == 503 {
+            saw_503 = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(saw_503, "saturated cap must answer 503");
+    assert!(handle.metrics.http_busy_total() >= 1, "busy counter must count the refusal");
+    drop(swarm);
+    // Slots free as the loris handlers notice the hang-up; the server
+    // then serves normally again.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _) = http_get(&addr, "/healthz");
+        if status == 200 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "server never recovered after the swarm left");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn accept_churn_storm_leaves_the_server_alive() {
+    // EMFILE-adjacent churn: open-and-abandon connections as fast as
+    // the OS allows. Some accepts see already-reset peers; whatever
+    // the accept loop hits, it must keep serving (the old loop broke
+    // out of `serve` on the first non-WouldBlock error, permanently).
+    let handle = daemon(8);
+    let addr = handle.http_addr.to_string();
+    for _ in 0..300 {
+        let conn = TcpStream::connect(&addr).expect("churn connect");
+        drop(conn);
+    }
+    // Right after the storm the backlog may still hold churn
+    // connections (a 503 is a *live* server answering); the bar is
+    // that scrapes come back, not that the storm was free.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = http_get(&addr, "/metrics");
+        if status == 200 {
+            assert!(body.contains("aggd_http_accept_errors_total"));
+            break;
+        }
+        assert_eq!(status, 503, "server died during churn");
+        assert!(Instant::now() < deadline, "server never drained the churn backlog");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let (status, body) = http_get(&addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+    handle.shutdown();
+}
+
+#[test]
+fn query_percent_escapes_decode_end_to_end() {
+    let handle = daemon(16);
+    let addr = handle.http_addr.to_string();
+    // `threshold=2%2E5` is `threshold=2.5` — the doc contract's own
+    // example. An empty fold still renders (zero report lines).
+    let (status, _) = http_get(&addr, "/hhh?threshold=2%2E5");
+    assert_eq!(status, 200, "escaped threshold must decode, not 400");
+    let (status, _) = http_get(&addr, "/hhh?%6bind=exact");
+    assert_eq!(status, 200, "escaped key must decode before key matching");
+    // Malformed escapes are a 400, not a silent mismatch.
+    for bad in ["/hhh?threshold=2%", "/hhh?threshold=2%zz", "/hhh?kind=%ff%fe"] {
+        let (status, _) = http_get(&addr, bad);
+        assert_eq!(status, 400, "{bad} must be rejected");
+    }
+    handle.shutdown();
+}

@@ -8,16 +8,18 @@
 //! cargo run --release -p hhh-experiments --bin scale -- sliding [smoke|quick|paper] [out.json]
 //! cargo run --release -p hhh-experiments --bin scale -- aggd [smoke|quick|paper] [out.json]
 //! cargo run --release -p hhh-experiments --bin scale -- fairness [smoke|quick|paper] [out.json]
+//! cargo run --release -p hhh-experiments --bin scale -- loadgen [smoke|quick|paper] [out.json]
 //! ```
 //!
 //! Prints the throughput/fidelity table; with an output path, also
 //! writes the rows as JSON lines (the formats committed as
-//! `BENCH_pr1.json`, `BENCH_pr6.json`, `BENCH_pr7.json`, and
-//! `BENCH_pr8.json`).
+//! `BENCH_pr1.json`, `BENCH_pr6.json`, `BENCH_pr7.json`,
+//! `BENCH_pr8.json`, and `BENCH_pr9.json`).
 
 use hhh_experiments::aggd_e2e::{aggd_json, aggd_table, run_aggd};
 use hhh_experiments::fairness::fairness;
 use hhh_experiments::{shard_sweep, sliding_scoreboard, Scale};
+use hhh_loadgen::{DriveOptions, LoadScale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +27,7 @@ fn main() {
         Some("sliding") => "sliding",
         Some("aggd") => "aggd",
         Some("fairness") => "fairness",
+        Some("loadgen") => "loadgen",
         _ => "sweep",
     };
     let rest = if mode == "sweep" { &args[..] } else { &args[1..] };
@@ -36,6 +39,7 @@ fn main() {
             "sliding" => "sliding scoreboard",
             "aggd" => "daemon e2e",
             "fairness" => "fairness shoot-out",
+            "loadgen" => "closed-loop scenario suite",
             _ => "shard sweep",
         },
         scale.label(),
@@ -52,6 +56,22 @@ fn main() {
         }
         "fairness" => {
             let results = fairness(scale);
+            (results.table(), results.json_lines())
+        }
+        "loadgen" => {
+            let load_scale = match scale {
+                Scale::Smoke => LoadScale::Smoke,
+                Scale::Quick => LoadScale::Quick,
+                Scale::Paper => LoadScale::Paper,
+            };
+            let results = hhh_loadgen::sweep(
+                load_scale,
+                hhh_loadgen::SUITE_SEED,
+                None,
+                &DriveOptions::default(),
+                |msg| eprintln!("loadgen: {msg}"),
+            )
+            .expect("closed-loop sweep");
             (results.table(), results.json_lines())
         }
         _ => {

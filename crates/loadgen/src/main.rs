@@ -1,0 +1,133 @@
+//! `hhh-loadgen` — sweep the closed-loop scenario suite against a
+//! live `hhh-aggd` (spawned in-process by default) and emit scores.
+
+use hhh_aggd::scenario::Kind;
+use hhh_loadgen::{sweep, DriveOptions, LoadScale, SUITE_SEED};
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: hhh-loadgen [smoke|quick|paper] [options]
+
+Synthesizes the attack-over-baseline scenario suite, drives it through
+shard pipelines into a live hhh-aggd, and scores each detector kind
+against the planted ground truth.
+
+options:
+  --scenario NAME     run only NAME (repeatable; default: whole suite)
+  --kind LABEL        drive only detector LABEL (repeatable;
+                      default: exact ss-hhh rhhh mvpipe)
+  --shards K          shards per kind (default 2)
+  --seed N            suite seed (default 0x10AD)
+  --daemon-http ADDR  score an already-running daemon (needs --daemon-frames)
+  --daemon-frames ADDR  its frame port
+  --out FILE          write JSON-lines records to FILE
+  --csv FILE          write CSV to FILE
+  --list              list scenarios and exit
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("hhh-loadgen: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scale = LoadScale::Smoke;
+    let mut names: Vec<String> = Vec::new();
+    let mut kinds: Vec<Kind> = Vec::new();
+    let mut opts = DriveOptions::default();
+    let mut seed = SUITE_SEED;
+    let mut out_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut daemon_http: Option<String> = None;
+    let mut daemon_frames: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"));
+        match arg.as_str() {
+            "smoke" | "quick" | "paper" => {
+                scale = LoadScale::parse(&arg).expect("matched above");
+            }
+            "--scenario" => match value("--scenario") {
+                Ok(v) => names.push(v),
+                Err(e) => return fail(&e),
+            },
+            "--kind" => match value("--kind").map(|v| (Kind::parse(&v), v)) {
+                Ok((Some(k), _)) => kinds.push(k),
+                Ok((None, v)) => return fail(&format!("unknown kind `{v}`")),
+                Err(e) => return fail(&e),
+            },
+            "--shards" => match value("--shards").map(|v| v.parse::<usize>()) {
+                Ok(Ok(k)) if k >= 1 => opts.shards = k,
+                _ => return fail("--shards needs a positive integer"),
+            },
+            "--seed" => match value("--seed").map(|v| v.parse::<u64>()) {
+                Ok(Ok(s)) => seed = s,
+                _ => return fail("--seed needs an integer"),
+            },
+            "--daemon-http" => match value("--daemon-http") {
+                Ok(v) => daemon_http = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--daemon-frames" => match value("--daemon-frames") {
+                Ok(v) => daemon_frames = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--out" => match value("--out") {
+                Ok(v) => out_path = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--csv" => match value("--csv") {
+                Ok(v) => csv_path = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--list" => {
+                for name in hhh_loadgen::scenario::NAMES {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+
+    match (daemon_http, daemon_frames) {
+        (Some(http), Some(frames)) => opts.external = Some((frames, http)),
+        (None, None) => {}
+        _ => return fail("--daemon-http and --daemon-frames must be given together"),
+    }
+    if !kinds.is_empty() {
+        opts.kinds = kinds;
+    }
+
+    let names = if names.is_empty() { None } else { Some(names.as_slice()) };
+    let results = match sweep(scale, seed, names, &opts, |msg| eprintln!("loadgen: {msg}")) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+
+    print!("{}", results.table());
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(results.json_lines().as_bytes()))
+        {
+            return fail(&format!("write {path}: {e}"));
+        }
+        eprintln!("loadgen: wrote {path}");
+    }
+    if let Some(path) = csv_path {
+        if let Err(e) =
+            std::fs::File::create(&path).and_then(|mut f| f.write_all(results.csv().as_bytes()))
+        {
+            return fail(&format!("write {path}: {e}"));
+        }
+        eprintln!("loadgen: wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

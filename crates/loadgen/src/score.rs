@@ -1,0 +1,126 @@
+//! Scoring: turn the daemon's `/hhh` report stream and `/metrics`
+//! text into per-kind precision / recall / time-to-detect numbers
+//! against a reference window schedule.
+//!
+//! Everything here is pure — no sockets, no clocks — so the golden
+//! tests can pin exact numbers.
+
+use hhh_analysis::SetAccuracy;
+use hhh_core::snapshot::json::Json;
+use hhh_nettypes::{Ipv4Prefix, Nanos};
+use std::collections::BTreeSet;
+
+/// One report window as parsed off the daemon's ndjson stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReportWindow {
+    /// Window start (trace time).
+    pub start: Nanos,
+    /// Window end (trace time).
+    pub end: Nanos,
+    /// Total weight folded into the window.
+    pub total: u64,
+    /// The reported HHH prefixes.
+    pub prefixes: BTreeSet<Ipv4Prefix>,
+}
+
+/// Parse the daemon's `/hhh` body (one JSON object per line) into
+/// report windows, ignoring non-`report` lines.
+pub fn parse_report_windows(body: &str) -> Result<Vec<ReportWindow>, String> {
+    let mut out = Vec::new();
+    for line in body.lines().filter(|l| !l.trim().is_empty()) {
+        let v = Json::parse(line).map_err(|e| format!("bad report line: {e}: {line}"))?;
+        if v.get("type").and_then(Json::as_str) != Some("report") {
+            continue;
+        }
+        let field = |name: &str| {
+            v.get(name).and_then(Json::as_u64).ok_or_else(|| format!("missing {name}: {line}"))
+        };
+        let start = Nanos::from_nanos(field("start_ns")?);
+        let end = Nanos::from_nanos(field("end_ns")?);
+        let total = field("total")?;
+        let mut prefixes = BTreeSet::new();
+        if let Some(hhhs) = v.get("hhhs").and_then(Json::as_arr) {
+            for h in hhhs {
+                let text = h
+                    .get("prefix")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("hhh entry without prefix: {line}"))?;
+                let prefix: Ipv4Prefix =
+                    text.parse().map_err(|e| format!("bad prefix {text:?}: {e}"))?;
+                prefixes.insert(prefix);
+            }
+        }
+        out.push(ReportWindow { start, end, total, prefixes });
+    }
+    out.sort_by_key(|w| w.start);
+    Ok(out)
+}
+
+/// Score observed windows against a reference schedule, matching by
+/// `(start, end)`. A reference window with no observed counterpart
+/// counts every truth prefix as a miss — a detector that drops windows
+/// must not score as if it had answered.
+pub fn score_windows(reference: &[ReportWindow], observed: &[ReportWindow]) -> SetAccuracy {
+    let mut acc = SetAccuracy::default();
+    for r in reference {
+        match observed.iter().find(|o| o.start == r.start && o.end == r.end) {
+            Some(o) => acc.merge(SetAccuracy::compare(&r.prefixes, &o.prefixes)),
+            None => acc.fn_ += r.prefixes.len(),
+        }
+    }
+    acc
+}
+
+/// First wall-clock offset (seconds) at which a poll's reported set
+/// covered at least `min_recall` of `target`. `None` when never, or
+/// when `target` is empty (nothing to detect — report it as such
+/// rather than claiming an instant detection).
+pub fn detect_time(
+    polls: &[(f64, BTreeSet<Ipv4Prefix>)],
+    target: &BTreeSet<Ipv4Prefix>,
+    min_recall: f64,
+) -> Option<f64> {
+    if target.is_empty() {
+        return None;
+    }
+    let need = (target.len() as f64 * min_recall).ceil() as usize;
+    polls.iter().find(|(_, set)| target.intersection(set).count() >= need).map(|(t, _)| *t)
+}
+
+/// Pull one sample value out of a Prometheus text body: the last token
+/// of the first line that is exactly `name` followed by a space (label
+/// variants don't match — families here are unlabelled counters).
+pub fn metric_value(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .find(|l| l.strip_prefix(name).is_some_and(|rest| rest.starts_with(' ')))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// The per-(scenario, kind) closed-loop score.
+#[derive(Clone, Debug)]
+pub struct KindScore {
+    /// Detector kind label (`exact`, `ss-hhh`, …).
+    pub kind: &'static str,
+    /// Shard count the kind was driven with.
+    pub shards: usize,
+    /// Window-by-window accuracy vs the exact oracle schedule.
+    pub accuracy: SetAccuracy,
+    /// Windows the daemon produced / the oracle schedule expected.
+    pub windows_observed: usize,
+    /// Reference window count.
+    pub windows_expected: usize,
+    /// Seconds from drive start until the planted prefixes were live
+    /// in `/hhh` (None: nothing planted, or never detected).
+    pub time_to_detect: Option<f64>,
+    /// Whether every planted prefix was eventually reported.
+    pub detected: bool,
+    /// Packets pushed through this kind's pipelines.
+    pub packets: u64,
+    /// Wall seconds of the slowest shard drive.
+    pub drive_seconds: f64,
+    /// Sustained feed rate: `packets / drive_seconds`.
+    pub pkts_per_sec: f64,
+    /// Total feeder stall time across shards (back-pressure seconds).
+    pub stall_seconds: f64,
+}

@@ -1,0 +1,202 @@
+//! Golden and property tests for the loadgen scorer and the planted
+//! ground truth: exact numbers for the pure scorer, a known-answer
+//! scenario, and a property that the exact detector always recovers a
+//! synthesized flood at its planted rate.
+
+use hhh_aggd::scenario::{distagg_threshold, hierarchy, single_process_reports_on, Kind};
+use hhh_core::{ExactHhh, HhhDetector};
+use hhh_loadgen::scenario::{self, ddos_flood_with, offset_net_prefix, FloodSpec};
+use hhh_loadgen::score::{
+    detect_time, metric_value, parse_report_windows, score_windows, ReportWindow,
+};
+use hhh_nettypes::{Ipv4Prefix, Nanos, TimeSpan};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn pfx(s: &str) -> Ipv4Prefix {
+    s.parse().expect("test prefix")
+}
+
+fn set(prefixes: &[&str]) -> BTreeSet<Ipv4Prefix> {
+    prefixes.iter().map(|s| pfx(s)).collect()
+}
+
+fn window(start_s: u64, end_s: u64, prefixes: &[&str]) -> ReportWindow {
+    ReportWindow {
+        start: Nanos::from_nanos(start_s * 1_000_000_000),
+        end: Nanos::from_nanos(end_s * 1_000_000_000),
+        total: 1,
+        prefixes: set(prefixes),
+    }
+}
+
+#[test]
+fn report_windows_parse_the_daemon_ndjson() {
+    let body = concat!(
+        "{\"type\":\"report\",\"series\":0,\"index\":0,\"start_ns\":0,\
+         \"end_ns\":5000000000,\"total\":77,\
+         \"hhhs\":[{\"prefix\":\"10.0.0.0/8\",\"level\":3,\"estimate\":50,\"discounted\":50},\
+         {\"prefix\":\"10.1.0.0/16\",\"level\":2,\"estimate\":20,\"discounted\":20}]}\n",
+        "{\"type\":\"state\",\"at_ns\":5000000000,\"start_ns\":0,\
+         \"snapshot\":{\"kind\":\"exact\",\"total\":77}}\n",
+        "{\"type\":\"report\",\"series\":0,\"index\":1,\"start_ns\":5000000000,\
+         \"end_ns\":10000000000,\"total\":3,\"hhhs\":[]}\n",
+    );
+    let windows = parse_report_windows(body).expect("parses");
+    assert_eq!(windows.len(), 2, "state lines are skipped");
+    assert_eq!(windows[0].total, 77);
+    assert_eq!(windows[0].prefixes, set(&["10.0.0.0/8", "10.1.0.0/16"]));
+    assert_eq!(windows[1].start, Nanos::from_nanos(5_000_000_000));
+    assert!(windows[1].prefixes.is_empty());
+
+    assert!(parse_report_windows("{\"type\":\"report\"}").is_err(), "missing fields error");
+    assert!(parse_report_windows("not json").is_err());
+}
+
+#[test]
+fn window_scoring_is_exact() {
+    let reference =
+        vec![window(0, 5, &["10.0.0.0/8", "10.1.0.0/16"]), window(5, 10, &["10.0.0.0/8"])];
+    // First window: one hit, one miss, one false alarm. Second window
+    // never observed: its truth prefix counts as missed.
+    let observed = vec![window(0, 5, &["10.0.0.0/8", "192.168.0.0/16"])];
+    let acc = score_windows(&reference, &observed);
+    assert_eq!((acc.tp, acc.fp, acc.fn_), (1, 1, 2));
+    assert!((acc.precision() - 0.5).abs() < 1e-12);
+    assert!((acc.recall() - 1.0 / 3.0).abs() < 1e-12);
+
+    // A perfect pass scores perfectly.
+    let acc = score_windows(&reference, &reference.clone());
+    assert_eq!((acc.tp, acc.fp, acc.fn_), (3, 0, 0));
+    assert_eq!(acc.precision(), 1.0);
+    assert_eq!(acc.recall(), 1.0);
+}
+
+#[test]
+fn detect_time_finds_the_first_covering_poll() {
+    let polls = vec![
+        (0.5, set(&[])),
+        (1.0, set(&["10.0.0.0/8"])),
+        (1.5, set(&["10.0.0.0/8", "10.1.0.0/16"])),
+    ];
+    let target = set(&["10.0.0.0/8", "10.1.0.0/16"]);
+    assert_eq!(detect_time(&polls, &target, 1.0), Some(1.5));
+    assert_eq!(detect_time(&polls, &target, 0.5), Some(1.0));
+    assert_eq!(detect_time(&polls, &set(&["172.16.0.0/16"]), 1.0), None);
+    assert_eq!(detect_time(&polls, &set(&[]), 1.0), None, "nothing planted is not a detection");
+}
+
+#[test]
+fn metric_values_parse_from_prometheus_text() {
+    let body = "# HELP aggd_frames_total Frames.\n\
+                # TYPE aggd_frames_total counter\n\
+                aggd_frames_total 42\n\
+                aggd_http_accept_errors_total 0\n\
+                aggd_fold_duration_seconds{quantile=\"0.5\"} 0.001\n";
+    assert_eq!(metric_value(body, "aggd_frames_total"), Some(42.0));
+    assert_eq!(metric_value(body, "aggd_http_accept_errors_total"), Some(0.0));
+    assert_eq!(metric_value(body, "aggd_fold_duration_seconds"), None, "labelled lines no match");
+    assert_eq!(metric_value(body, "aggd_frames"), None, "prefixes of a name no match");
+}
+
+/// The golden scenario: a 10 s ddos-flood at the default spec must
+/// plant exactly 38.2.0.0/16 (network offset 117), at a share over the
+/// report threshold, inside the oracle truth, and the per-window exact
+/// oracle must surface it in every window at/after the attack onset.
+#[test]
+fn golden_flood_plants_known_truth() {
+    let duration = TimeSpan::from_secs(10);
+    let s = scenario::ddos_flood(duration, scenario::SUITE_SEED);
+    assert_eq!(s.name, "ddos-flood");
+    assert_eq!(s.truth.planted.len(), 1);
+    let planted = &s.truth.planted[0];
+    assert_eq!(planted.prefix, pfx("38.2.0.0/16"));
+    assert_eq!(planted.prefix, offset_net_prefix(117));
+    assert!(
+        planted.share >= s.threshold_pct / 100.0,
+        "planted share {} under the {}% threshold — the scenario is undetectable",
+        planted.share,
+        s.threshold_pct
+    );
+    assert!(planted.share < 0.2, "flood share {} should stay a minority", planted.share);
+    assert!(s.truth.truth.contains(&planted.prefix), "oracle truth must include the plant");
+    assert_eq!(
+        s.truth.legit_bytes + s.truth.attack_bytes,
+        s.truth.total_bytes,
+        "legit/attack split must partition the trace"
+    );
+    assert!(s.truth.attack_bytes > 0);
+    assert_eq!(s.truth.total_packets as usize, s.packets.len());
+    // Onset at 0.3 × 10 s = 3 s into the trace.
+    assert_eq!(planted.onset, Nanos::ZERO + TimeSpan::from_secs(3));
+
+    // Per-window: the exact oracle surfaces the plant in every window
+    // that overlaps the attack (onset 3 s, length 4 s ⇒ both 5 s
+    // windows), and the reported estimate in a window never exceeds
+    // the planted total.
+    let windows = single_process_reports_on(Kind::Exact, &s.packets, s.horizon);
+    assert_eq!(windows.len(), 2);
+    for w in &windows {
+        assert!(
+            w.prefix_set().contains(&planted.prefix),
+            "window {}..{} misses the planted prefix",
+            w.start,
+            w.end
+        );
+    }
+}
+
+#[test]
+fn every_suite_scenario_composes_with_consistent_truth() {
+    let duration = TimeSpan::from_secs(10);
+    let all = scenario::all(duration, scenario::SUITE_SEED);
+    assert_eq!(all.len(), scenario::NAMES.len());
+    for (s, name) in all.iter().zip(scenario::NAMES) {
+        assert_eq!(s.name, name);
+        assert!(!s.packets.is_empty(), "{name}: empty trace");
+        assert_eq!(s.truth.legit_bytes + s.truth.attack_bytes, s.truth.total_bytes, "{name}");
+        for p in &s.truth.planted {
+            assert!(p.share > 0.0, "{name}: planted {} carries no bytes", p.prefix);
+            assert!(p.packets > 0, "{name}");
+        }
+        for pair in s.packets.windows(2) {
+            assert!(pair[0].ts <= pair[1].ts, "{name}: merged trace out of order");
+        }
+    }
+    assert!(scenario::by_name("no-such", duration, 1).is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whatever the flood's shape, the exact detector over the merged
+    /// trace recovers the planted prefix with an estimate equal to the
+    /// measured planted bytes — ground truth and detector agree on the
+    /// plant, always.
+    #[test]
+    fn exact_detector_recovers_any_planted_flood(
+        offset in 80usize..200,
+        bots in 50usize..400,
+        attack_pps in 8_000f64..14_000.0,
+        seed in 0u64..1_000,
+    ) {
+        let spec = FloodSpec { offset, bots, attack_pps, ..FloodSpec::default() };
+        let s = ddos_flood_with(TimeSpan::from_secs(10), seed, &spec);
+        let planted = &s.truth.planted[0];
+        prop_assert_eq!(planted.prefix, offset_net_prefix(offset));
+        prop_assert!(planted.share >= 0.01, "share {} fell under threshold", planted.share);
+
+        let mut oracle = ExactHhh::new(hierarchy());
+        for p in &s.packets {
+            oracle.observe(p.src, p.wire_len as u64);
+        }
+        let report = oracle.report(distagg_threshold());
+        let hit = report.iter().find(|r| r.prefix == planted.prefix);
+        prop_assert!(hit.is_some(), "exact report misses the planted {}", planted.prefix);
+        prop_assert_eq!(
+            hit.expect("checked").estimate,
+            planted.bytes,
+            "exact estimate must equal the measured planted bytes"
+        );
+    }
+}

@@ -84,8 +84,8 @@ pub use sink::{
     render_report_line, CollectSink, FnSink, JsonSnapshotSink, ReportSink, SnapshotSink,
 };
 pub use source::{
-    bounded, ChannelSource, PacketFeeder, PacketSource, SnapshotSource, Source, StreamRecord,
-    DEFAULT_CHUNK,
+    bounded, ChannelSource, FeederStats, PacketFeeder, PacketSource, SnapshotSource, Source,
+    StreamRecord, DEFAULT_CHUNK,
 };
 pub use transport::{
     ack_frame, hello_frame, mem_transport, parse_ack, read_frame_from, resume_hello_frame,

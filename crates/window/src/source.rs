@@ -32,7 +32,8 @@ use hhh_core::snapshot::binary::{self, SnapshotFrame, FRAME_HEADER_LEN, REPORT_K
 use hhh_core::{parse_state_line, SnapshotError, WireFormat, WireSnapshot};
 use hhh_nettypes::PacketRecord;
 use std::io::BufRead;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::time::Instant;
 
 /// Default items per chunk pulled from a source. Matches the sharded
 /// pipeline's batch sizing rationale: large enough to amortize per-chunk
@@ -112,7 +113,26 @@ pub fn bounded(capacity: usize, batch: usize) -> (PacketFeeder, ChannelSource) {
     assert!(capacity > 0, "channel capacity must be non-zero");
     assert!(batch > 0, "batch size must be non-zero");
     let (tx, rx) = sync_channel(capacity);
-    (PacketFeeder { tx, buf: Vec::with_capacity(batch), batch }, ChannelSource { rx })
+    (
+        PacketFeeder { tx, buf: Vec::with_capacity(batch), batch, stats: FeederStats::default() },
+        ChannelSource { rx },
+    )
+}
+
+/// What a [`PacketFeeder`] observed about its own sending — the
+/// producer-side view of the back-pressure seam. `stall_seconds` is
+/// time spent blocked on a full channel: zero means the pipeline kept
+/// up with the offered rate; anything else is how far past saturation
+/// the producer pushed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FeederStats {
+    /// Packets that reached the channel (buffered tail not yet
+    /// flushed is excluded).
+    pub packets: u64,
+    /// Batches pushed down the channel.
+    pub batches: u64,
+    /// Seconds spent blocked in `send`/`flush` on a full channel.
+    pub stall_seconds: f64,
 }
 
 /// The producing half of [`bounded`]: buffers packets into batches and
@@ -122,6 +142,7 @@ pub struct PacketFeeder {
     tx: SyncSender<Vec<PacketRecord>>,
     buf: Vec<PacketRecord>,
     batch: usize,
+    stats: FeederStats,
 }
 
 impl PacketFeeder {
@@ -153,7 +174,29 @@ impl PacketFeeder {
             return true;
         }
         let send = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
-        self.tx.send(send).is_ok()
+        let n = send.len() as u64;
+        // Try the fast path first so an uncontended send pays no clock
+        // reads; only a full channel starts the stall stopwatch.
+        let ok = match self.tx.try_send(send) {
+            Ok(()) => true,
+            Err(TrySendError::Full(send)) => {
+                let blocked = Instant::now();
+                let ok = self.tx.send(send).is_ok();
+                self.stats.stall_seconds += blocked.elapsed().as_secs_f64();
+                ok
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        };
+        if ok {
+            self.stats.packets += n;
+            self.stats.batches += 1;
+        }
+        ok
+    }
+
+    /// The feeder's send/stall counters so far.
+    pub fn stats(&self) -> FeederStats {
+        self.stats
     }
 }
 
@@ -509,6 +552,36 @@ mod tests {
         drop(feeder);
         buf.clear();
         assert!(!source.pull_chunk(&mut buf));
+    }
+
+    #[test]
+    fn feeder_stats_count_packets_and_stall_time() {
+        let (mut feeder, mut source) = bounded(1, 10);
+        for i in 0..10 {
+            assert!(feeder.send(pkt(i))); // fills the only slot
+        }
+        let stats = feeder.stats();
+        assert_eq!(stats.packets, 10);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.stall_seconds, 0.0, "uncontended sends must not count as stall");
+        // The channel is full: the next flush must block until the
+        // consumer drains, and the blocked time must be recorded.
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            let mut buf = Vec::new();
+            while source.pull_chunk(&mut buf) {
+                buf.clear();
+            }
+        });
+        for i in 10..20 {
+            assert!(feeder.send(pkt(i)));
+        }
+        let stats = feeder.stats();
+        assert_eq!(stats.packets, 20);
+        assert_eq!(stats.batches, 2);
+        assert!(stats.stall_seconds > 0.04, "blocked send must register: {stats:?}");
+        drop(feeder);
+        consumer.join().unwrap();
     }
 
     #[test]
