@@ -17,9 +17,11 @@
 //! so scripts (and the integration tests) can bind port 0 and discover
 //! the real addresses.
 
-use hhh_aggd::{spawn_daemon, DaemonConfig};
+use hhh_aggd::{spawn_daemon, DaemonConfig, MitigateConfig};
 use hhh_core::Threshold;
 use hhh_hierarchy::Ipv4Hierarchy;
+use hhh_mitigate::PolicyConfig;
+use hhh_nettypes::TimeSpan;
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -27,12 +29,19 @@ const USAGE: &str = "usage: hhh-aggd [--listen ADDR] [--http ADDR] \
                      [--hierarchy ipv4-bytes|ipv4-bits]\n\
                      \x20               [--threshold PCT]... [--retain POINTS|none]\n\
                      \x20               [--http-inflight N] [--quiet]\n\
+                     \x20               [--mitigate KIND] [--mitigate-hysteresis M]\n\
+                     \x20               [--mitigate-ttl SECONDS] [--mitigate-max-rules N]\n\
+                     \x20               [--mitigate-truth PREFIX]...\n\
                      \n\
                      Long-running aggregation daemon: accepts shard snapshot streams (v2\n\
                      frames with hello/ack resume) on --listen, serves merged HHH queries\n\
                      (GET /hhh), health (GET /healthz) and Prometheus text metrics\n\
                      (GET /metrics) on --http. Shards may join, leave, crash, and resume\n\
                      at any time; restarted shards replay from their last acked frame.\n\
+                     --mitigate KIND runs the hhh-mitigate policy engine over KIND's\n\
+                     merged reports (a shard label like exact/0of2) and serves the rule\n\
+                     table on GET /rules; --mitigate-truth attaches planted attack\n\
+                     prefixes so /metrics classes matched bytes attack vs legit.\n\
                      Defaults: --listen 127.0.0.1:4710, --http 127.0.0.1:4711,\n\
                      --hierarchy ipv4-bytes, --threshold 1, --retain 720,\n\
                      --http-inflight 128.";
@@ -45,6 +54,9 @@ fn parse_args() -> Result<DaemonConfig, String> {
         log: true,
         ..DaemonConfig::default()
     };
+    let mut mitigate_kind: Option<String> = None;
+    let mut policy = PolicyConfig::default();
+    let mut truth: Vec<hhh_nettypes::Ipv4Prefix> = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -90,12 +102,56 @@ fn parse_args() -> Result<DaemonConfig, String> {
                 config.http_max_inflight = n;
             }
             "--quiet" => config.log = false,
+            "--mitigate" => {
+                let kind = argv.next().ok_or("--mitigate needs a kind label")?;
+                mitigate_kind = Some(kind);
+            }
+            "--mitigate-hysteresis" => {
+                let v = argv.next().ok_or("--mitigate-hysteresis needs a window count")?;
+                let m: u32 =
+                    v.parse().map_err(|_| format!("--mitigate-hysteresis `{v}` is not a count"))?;
+                if m == 0 {
+                    return Err("--mitigate-hysteresis must be at least 1".into());
+                }
+                policy.hysteresis = m;
+            }
+            "--mitigate-ttl" => {
+                let v = argv.next().ok_or("--mitigate-ttl needs whole seconds")?;
+                let s: u64 =
+                    v.parse().map_err(|_| format!("--mitigate-ttl `{v}` is not a number"))?;
+                if s == 0 {
+                    return Err("--mitigate-ttl must be at least 1 second".into());
+                }
+                policy.ttl = TimeSpan::from_secs(s);
+            }
+            "--mitigate-max-rules" => {
+                let v = argv.next().ok_or("--mitigate-max-rules needs a rule count")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("--mitigate-max-rules `{v}` is not a count"))?;
+                if n == 0 {
+                    return Err("--mitigate-max-rules must keep at least one rule".into());
+                }
+                policy.max_rules = n;
+            }
+            "--mitigate-truth" => {
+                let v = argv.next().ok_or("--mitigate-truth needs an IPv4 prefix")?;
+                let prefix =
+                    v.parse().map_err(|e| format!("--mitigate-truth `{v}`: bad prefix: {e}"))?;
+                truth.push(prefix);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if config.thresholds.is_empty() {
         config.thresholds.push(Threshold::percent(1.0));
+    }
+    match mitigate_kind {
+        Some(kind) => config.mitigate = Some(MitigateConfig { kind, policy, truth }),
+        None if !truth.is_empty() => {
+            return Err("--mitigate-truth needs --mitigate KIND".into());
+        }
+        None => {}
     }
     Ok(config)
 }

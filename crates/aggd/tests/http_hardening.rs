@@ -127,6 +127,77 @@ fn accept_churn_storm_leaves_the_server_alive() {
 }
 
 #[test]
+fn query_edge_cases_are_400_not_silently_ignored() {
+    let handle = daemon(16);
+    let addr = handle.http_addr.to_string();
+    // `threshold=` with an empty value: not a number, must be refused.
+    let (status, body) = http_get(&addr, "/hhh?threshold=");
+    assert_eq!(status, 400, "empty threshold value must be a 400, got {body:?}");
+    // Duplicate keys are ambiguous — last-wins would silently change
+    // the answer, so the daemon refuses instead.
+    let (status, body) = http_get(&addr, "/hhh?kind=exact&kind=rhhh");
+    assert_eq!(status, 400, "duplicate keys must be a 400");
+    assert!(body.contains("duplicate"), "error should name the problem, got {body:?}");
+    let (status, _) = http_get(&addr, "/hhh?threshold=1&threshold=2");
+    assert_eq!(status, 400, "duplicate thresholds must be a 400");
+    // An over-long query string is a probe, not a query.
+    let long = format!("/hhh?kind={}", "x".repeat(4096));
+    let (status, body) = http_get(&addr, &long);
+    assert_eq!(status, 400, "overlong query must be a 400");
+    assert!(body.contains("longer than"), "error should say why, got {body:?}");
+    // The legitimate forms still work.
+    let (status, _) = http_get(&addr, "/hhh?kind=exact&all=1&threshold=2.5");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn rules_endpoint_is_404_without_mitigation() {
+    let handle = daemon(16);
+    let addr = handle.http_addr.to_string();
+    let (status, body) = http_get(&addr, "/rules");
+    assert_eq!(status, 404, "no policy engine -> /rules must 404");
+    assert!(body.contains("mitigation"), "the 404 should say why, got {body:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn rules_endpoint_serves_json_and_text_when_enabled() {
+    use hhh_aggd::MitigateConfig;
+    let handle = spawn_daemon(DaemonConfig {
+        retain: None,
+        mitigate: Some(MitigateConfig {
+            kind: "exact/0of1".into(),
+            policy: hhh_mitigate::PolicyConfig::default(),
+            truth: vec!["38.2.0.0/16".parse().expect("prefix")],
+        }),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon spawns");
+    let addr = handle.http_addr.to_string();
+    // Empty table, but the document must be well-formed either way.
+    let (status, body) = http_get(&addr, "/rules");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"rules\":[]"), "empty table renders an empty list, got {body:?}");
+    assert!(body.contains("\"cap\":"), "document carries the cap");
+    let (status, body) = http_get(&addr, "/rules?text=1");
+    assert_eq!(status, 200);
+    assert!(body.contains("0 rule(s)"), "text render, got {body:?}");
+    // /rules has its own allow-list: /hhh keys are foreign here.
+    let (status, _) = http_get(&addr, "/rules?kind=exact");
+    assert_eq!(status, 400);
+    // Mitigation metrics appear in /metrics, classed because truth is
+    // attached.
+    let (status, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("mitigate_rules_active 0"));
+    assert!(body.contains("mitigate_rule_churn_total 0"));
+    assert!(body.contains("mitigate_dropped_bytes_total{class=\"attack\"}"));
+    assert!(body.contains("mitigate_dropped_bytes_total{class=\"legit\"}"));
+    handle.shutdown();
+}
+
+#[test]
 fn query_percent_escapes_decode_end_to_end() {
     let handle = daemon(16);
     let addr = handle.http_addr.to_string();

@@ -9,12 +9,13 @@
 //! cargo run --release -p hhh-experiments --bin scale -- aggd [smoke|quick|paper] [out.json]
 //! cargo run --release -p hhh-experiments --bin scale -- fairness [smoke|quick|paper] [out.json]
 //! cargo run --release -p hhh-experiments --bin scale -- loadgen [smoke|quick|paper] [out.json]
+//! cargo run --release -p hhh-experiments --bin scale -- mitigate [smoke|quick|paper] [out.json]
 //! ```
 //!
 //! Prints the throughput/fidelity table; with an output path, also
 //! writes the rows as JSON lines (the formats committed as
 //! `BENCH_pr1.json`, `BENCH_pr6.json`, `BENCH_pr7.json`,
-//! `BENCH_pr8.json`, and `BENCH_pr9.json`).
+//! `BENCH_pr8.json`, `BENCH_pr9.json`, and `BENCH_pr10.json`).
 
 use hhh_experiments::aggd_e2e::{aggd_json, aggd_table, run_aggd};
 use hhh_experiments::fairness::fairness;
@@ -28,6 +29,7 @@ fn main() {
         Some("aggd") => "aggd",
         Some("fairness") => "fairness",
         Some("loadgen") => "loadgen",
+        Some("mitigate") => "mitigate",
         _ => "sweep",
     };
     let rest = if mode == "sweep" { &args[..] } else { &args[1..] };
@@ -40,6 +42,7 @@ fn main() {
             "aggd" => "daemon e2e",
             "fairness" => "fairness shoot-out",
             "loadgen" => "closed-loop scenario suite",
+            "mitigate" => "mitigation closed loop",
             _ => "shard sweep",
         },
         scale.label(),
@@ -72,6 +75,23 @@ fn main() {
                 |msg| eprintln!("loadgen: {msg}"),
             )
             .expect("closed-loop sweep");
+            (results.table(), results.json_lines())
+        }
+        "mitigate" => {
+            let load_scale = match scale {
+                Scale::Smoke => LoadScale::Smoke,
+                Scale::Quick => LoadScale::Quick,
+                Scale::Paper => LoadScale::Paper,
+            };
+            let results = hhh_loadgen::mitigate_sweep(
+                load_scale,
+                hhh_loadgen::SUITE_SEED,
+                None,
+                &DriveOptions::default(),
+                &hhh_mitigate::PolicyConfig::default(),
+                |msg| eprintln!("loadgen: {msg}"),
+            )
+            .expect("mitigation sweep");
             (results.table(), results.json_lines())
         }
         _ => {

@@ -94,7 +94,7 @@ pub struct ScenarioRun {
 /// Plain-text HTTP GET against the daemon: returns `(status, body)`.
 /// Transport errors are `Err` — the caller decides whether a torn
 /// connection is fatal (scrapes) or retryable (convergence polls).
-fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+pub(crate) fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
     let conn = |e: std::io::Error| format!("GET {path}: {e}");
     let mut stream = TcpStream::connect(addr).map_err(conn)?;
     stream.set_read_timeout(Some(Duration::from_secs(10))).map_err(conn)?;

@@ -2,7 +2,8 @@
 //! live `hhh-aggd` (spawned in-process by default) and emit scores.
 
 use hhh_aggd::scenario::Kind;
-use hhh_loadgen::{sweep, DriveOptions, LoadScale, SUITE_SEED};
+use hhh_loadgen::{mitigate_sweep, sweep, DriveOptions, LoadScale, SUITE_SEED};
+use hhh_mitigate::PolicyConfig;
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -24,6 +25,13 @@ options:
   --out FILE          write JSON-lines records to FILE
   --csv FILE          write CSV to FILE
   --list              list scenarios and exit
+  --mitigate          run the mitigation closed loop instead of the
+                      detection score: packets pass a rule-table gate
+                      fed by a policy engine ingesting the daemon's
+                      own /hhh answers; scores attack bytes dropped,
+                      legit collateral, and time-to-mitigate
+  --mitigate-hysteresis M   policy: consecutive windows before a rule
+  --mitigate-ttl SECONDS    policy: rule lifetime
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -41,6 +49,8 @@ fn main() -> ExitCode {
     let mut csv_path: Option<String> = None;
     let mut daemon_http: Option<String> = None;
     let mut daemon_frames: Option<String> = None;
+    let mut mitigate = false;
+    let mut policy = PolicyConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -89,6 +99,17 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--mitigate" => mitigate = true,
+            "--mitigate-hysteresis" => {
+                match value("--mitigate-hysteresis").map(|v| v.parse::<u32>()) {
+                    Ok(Ok(m)) if m >= 1 => policy.hysteresis = m,
+                    _ => return fail("--mitigate-hysteresis needs a positive integer"),
+                }
+            }
+            "--mitigate-ttl" => match value("--mitigate-ttl").map(|v| v.parse::<u64>()) {
+                Ok(Ok(s)) if s >= 1 => policy.ttl = hhh_nettypes::TimeSpan::from_secs(s),
+                _ => return fail("--mitigate-ttl needs whole seconds"),
+            },
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -107,24 +128,29 @@ fn main() -> ExitCode {
     }
 
     let names = if names.is_empty() { None } else { Some(names.as_slice()) };
-    let results = match sweep(scale, seed, names, &opts, |msg| eprintln!("loadgen: {msg}")) {
-        Ok(r) => r,
-        Err(e) => return fail(&e),
+    let (table, json, csv) = if mitigate {
+        match mitigate_sweep(scale, seed, names, &opts, &policy, |msg| eprintln!("loadgen: {msg}"))
+        {
+            Ok(r) => (r.table(), r.json_lines(), r.csv()),
+            Err(e) => return fail(&e),
+        }
+    } else {
+        match sweep(scale, seed, names, &opts, |msg| eprintln!("loadgen: {msg}")) {
+            Ok(r) => (r.table(), r.json_lines(), r.csv()),
+            Err(e) => return fail(&e),
+        }
     };
 
-    print!("{}", results.table());
+    print!("{table}");
     if let Some(path) = out_path {
-        if let Err(e) = std::fs::File::create(&path)
-            .and_then(|mut f| f.write_all(results.json_lines().as_bytes()))
+        if let Err(e) = std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes()))
         {
             return fail(&format!("write {path}: {e}"));
         }
         eprintln!("loadgen: wrote {path}");
     }
     if let Some(path) = csv_path {
-        if let Err(e) =
-            std::fs::File::create(&path).and_then(|mut f| f.write_all(results.csv().as_bytes()))
-        {
+        if let Err(e) = std::fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes())) {
             return fail(&format!("write {path}: {e}"));
         }
         eprintln!("loadgen: wrote {path}");

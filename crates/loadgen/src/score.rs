@@ -97,6 +97,92 @@ pub fn metric_value(body: &str, name: &str) -> Option<f64> {
         .and_then(|v| v.parse().ok())
 }
 
+/// Pull one per-stream sample out of a Prometheus text body: the
+/// value of `name{stream="<id>",…}` — the daemon's per-stream families
+/// put the stream id first in the label set.
+pub fn stream_metric_value(body: &str, name: &str, stream: u64) -> Option<f64> {
+    let tag = format!("{{stream=\"{stream}\",");
+    body.lines()
+        .find(|l| l.strip_prefix(name).is_some_and(|rest| rest.starts_with(&tag)))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// The per-(scenario, kind) mitigation closed-loop score: what the
+/// rule table did to the traffic, split attack/legit by the planted
+/// ground truth, plus how fast the first planted-covering rule fired.
+#[derive(Clone, Debug)]
+pub struct MitigateKindScore {
+    /// Detector kind label (`exact`, `ss-hhh`, …).
+    pub kind: &'static str,
+    /// Shard count the kind was driven with.
+    pub shards: usize,
+    /// Windows driven through the loop.
+    pub windows: usize,
+    /// Attack bytes offered to the gate (whole run).
+    pub attack_offered_bytes: u64,
+    /// Attack bytes the gate dropped (whole run).
+    pub attack_dropped_bytes: u64,
+    /// Legit bytes offered to the gate (whole run).
+    pub legit_offered_bytes: u64,
+    /// Legit bytes the gate dropped — the collateral damage.
+    pub legit_dropped_bytes: u64,
+    /// Attack bytes offered in windows *after* the first
+    /// planted-covering rule fired.
+    pub post_rule_attack_offered: u64,
+    /// Attack bytes dropped in those windows.
+    pub post_rule_attack_dropped: u64,
+    /// Trace seconds from the earliest planted onset to the first
+    /// planted-covering rule fire (`None`: nothing planted, or no rule
+    /// ever covered a planted prefix).
+    pub time_to_mitigate: Option<f64>,
+    /// Did a rule ever cover a planted prefix?
+    pub mitigated: bool,
+    /// Action label of that first planted-covering rule.
+    pub first_rule_action: Option<&'static str>,
+    /// Rules the local engine fired (fresh installs).
+    pub rules_fired: u64,
+    /// Rules that aged out.
+    pub rules_expired: u64,
+    /// Table churn: inserts + evictions + expirations.
+    pub rule_churn: u64,
+    /// Peak concurrently-installed rules.
+    pub max_rules_active: u64,
+    /// The daemon-side engine's `mitigate_rule_churn_total`, when the
+    /// daemon ran with mitigation enabled.
+    pub daemon_rule_churn: Option<f64>,
+    /// Packets offered to the gate.
+    pub packets: u64,
+    /// Packets the gate dropped.
+    pub packets_dropped: u64,
+    /// Wall seconds for the whole windowed loop.
+    pub drive_seconds: f64,
+}
+
+impl MitigateKindScore {
+    /// Fraction of all attack bytes dropped (`None` when no attack).
+    pub fn attack_drop_ratio(&self) -> Option<f64> {
+        (self.attack_offered_bytes > 0)
+            .then(|| self.attack_dropped_bytes as f64 / self.attack_offered_bytes as f64)
+    }
+
+    /// Fraction of post-rule attack bytes dropped — the mitigation
+    /// quality once the loop has closed (`None` until a planted rule
+    /// fires).
+    pub fn post_rule_drop_ratio(&self) -> Option<f64> {
+        (self.post_rule_attack_offered > 0)
+            .then(|| self.post_rule_attack_dropped as f64 / self.post_rule_attack_offered as f64)
+    }
+
+    /// Fraction of legit bytes dropped — collateral damage.
+    pub fn collateral_ratio(&self) -> f64 {
+        if self.legit_offered_bytes == 0 {
+            return 0.0;
+        }
+        self.legit_dropped_bytes as f64 / self.legit_offered_bytes as f64
+    }
+}
+
 /// The per-(scenario, kind) closed-loop score.
 #[derive(Clone, Debug)]
 pub struct KindScore {

@@ -1,0 +1,141 @@
+//! Getting reports *into* the engine: parse the `/hhh` ndjson wire
+//! format back into [`WindowReport`]s, or tee reports straight from a
+//! running pipeline via [`PolicySink`].
+
+use crate::policy::PolicyEngine;
+use hhh_core::snapshot::json::Json;
+use hhh_core::HhhReport;
+use hhh_nettypes::{Ipv4Prefix, Nanos};
+use hhh_window::{ReportSink, WindowReport};
+use std::sync::{Arc, Mutex};
+
+/// Parse `/hhh` (or `hhh-agg`) ndjson report lines into full
+/// [`WindowReport`]s, in window order. Non-`report` lines (state
+/// snapshots) are skipped. The wire format carries no lower bound, so
+/// `lower_bound` is set to `discounted` (they coincide for the
+/// deterministic detectors anyway).
+pub fn parse_policy_windows(body: &str) -> Result<Vec<WindowReport<Ipv4Prefix>>, String> {
+    let mut out = Vec::new();
+    for line in body.lines().filter(|l| !l.trim().is_empty()) {
+        let v = Json::parse(line).map_err(|e| format!("bad report line: {e}: {line}"))?;
+        if v.get("type").and_then(Json::as_str) != Some("report") {
+            continue;
+        }
+        let field = |name: &str| {
+            v.get(name).and_then(Json::as_u64).ok_or_else(|| format!("missing {name}: {line}"))
+        };
+        let index = field("index")?;
+        let start = Nanos::from_nanos(field("start_ns")?);
+        let end = Nanos::from_nanos(field("end_ns")?);
+        let total = field("total")?;
+        let mut hhhs = Vec::new();
+        if let Some(entries) = v.get("hhhs").and_then(Json::as_arr) {
+            for h in entries {
+                let text = h
+                    .get("prefix")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("hhh entry without prefix: {line}"))?;
+                let prefix: Ipv4Prefix =
+                    text.parse().map_err(|e| format!("bad prefix {text:?}: {e}"))?;
+                let level = h.get("level").and_then(Json::as_u64).unwrap_or(prefix.len() as u64);
+                let estimate = h
+                    .get("estimate")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("hhh entry without estimate: {line}"))?;
+                let discounted = h.get("discounted").and_then(Json::as_u64).unwrap_or(estimate);
+                hhhs.push(HhhReport {
+                    prefix,
+                    level: level as usize,
+                    estimate,
+                    discounted,
+                    lower_bound: discounted,
+                });
+            }
+        }
+        out.push(WindowReport { index, start, end, total, hhhs });
+    }
+    out.sort_by_key(|w| (w.start, w.index));
+    Ok(out)
+}
+
+/// A [`ReportSink`] tee: feed series-0 reports to a shared
+/// [`PolicyEngine`] as a pipeline runs — the in-process alternative to
+/// polling `/hhh`. Output is the engine handle back.
+pub struct PolicySink {
+    engine: Arc<Mutex<PolicyEngine>>,
+}
+
+impl PolicySink {
+    /// Tee into `engine`.
+    pub fn new(engine: Arc<Mutex<PolicyEngine>>) -> Self {
+        PolicySink { engine }
+    }
+}
+
+impl ReportSink<Ipv4Prefix> for PolicySink {
+    type Output = Arc<Mutex<PolicyEngine>>;
+
+    fn accept(&mut self, series: usize, report: WindowReport<Ipv4Prefix>) {
+        // One threshold drives policy; extra series would double-count.
+        if series == 0 {
+            self.engine.lock().expect("policy engine lock poisoned").ingest(&report);
+        }
+    }
+
+    fn finish(self) -> Self::Output {
+        self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyConfig;
+
+    #[test]
+    fn parses_report_lines_and_skips_states() {
+        let body = concat!(
+            "{\"type\":\"report\",\"series\":0,\"index\":1,\"start_ns\":5000000000,",
+            "\"end_ns\":10000000000,\"total\":1000,\"hhhs\":[",
+            "{\"prefix\":\"38.2.0.0/16\",\"level\":2,\"estimate\":300,\"discounted\":280}]}\n",
+            "{\"type\":\"state\",\"at_ns\":10000000000}\n",
+            "{\"type\":\"report\",\"series\":0,\"index\":0,\"start_ns\":0,",
+            "\"end_ns\":5000000000,\"total\":900,\"hhhs\":[]}\n",
+        );
+        let windows = parse_policy_windows(body).expect("parses");
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].index, 0, "sorted by start");
+        assert_eq!(windows[1].total, 1000);
+        let hhh = &windows[1].hhhs[0];
+        assert_eq!(hhh.prefix, Ipv4Prefix::new(u32::from_be_bytes([38, 2, 0, 0]), 16));
+        assert_eq!(hhh.estimate, 300);
+        assert_eq!(hhh.discounted, 280);
+        assert_eq!(hhh.lower_bound, 280);
+    }
+
+    #[test]
+    fn garbage_line_is_an_error() {
+        assert!(parse_policy_windows("{\"type\":\"report\"").is_err());
+        assert!(parse_policy_windows(
+            "{\"type\":\"report\",\"index\":0,\"start_ns\":0,\"end_ns\":1,\"total\":1,\
+             \"hhhs\":[{\"prefix\":\"not-a-prefix\",\"estimate\":1}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sink_feeds_only_series_zero() {
+        let engine = Arc::new(Mutex::new(PolicyEngine::new(PolicyConfig::default())));
+        let mut sink = PolicySink::new(Arc::clone(&engine));
+        let report = WindowReport {
+            index: 0,
+            start: Nanos::ZERO,
+            end: Nanos::from_secs(5),
+            total: 100,
+            hhhs: vec![],
+        };
+        sink.accept(0, report.clone());
+        sink.accept(1, report);
+        assert_eq!(engine.lock().unwrap().stats().windows, 1);
+    }
+}

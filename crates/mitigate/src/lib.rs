@@ -1,0 +1,59 @@
+//! # hhh-mitigate
+//!
+//! The closed-loop mitigation control plane: from detected HHH
+//! prefixes to filter rules, scored for collateral damage.
+//!
+//! Detection alone doesn't defend anything. This crate turns the
+//! repo's HHH reports — polled from `hhh-aggd`'s `/hhh` endpoint or
+//! teed in-process off a pipeline via [`PolicySink`] — into a live
+//! table of per-prefix actions, and applies that table to packets
+//! *upstream* of the detectors through `hhh_window::RuleFilter`:
+//!
+//! ```text
+//!            reports (/hhh or ReportSink)
+//!                      |
+//!                      v
+//!   packets --> [PolicyEngine] --edits--> [RuleTable] <--LPM-- [TableGate]
+//!      |                                                           |
+//!      +----------------------> RuleFilter(gate) ------------------+--> shards
+//!                                     |
+//!                              dropped bytes, classed
+//!                              attack/legit vs ground truth
+//! ```
+//!
+//! The moving parts, each with its own module and property tests:
+//!
+//! * [`Action`] / [`Rule`] ([`rule`]) — block, rate-limit-to-N-bps,
+//!   or watch, with TTL, renewal count, and data-plane drop counters.
+//! * [`RuleTable`] ([`table`]) — capped, longest-prefix-match, with
+//!   deterministic eviction (severity, then EWMA weight).
+//! * [`PolicyEngine`] ([`policy`]) — onset hysteresis (M consecutive
+//!   over-threshold windows), surge-vs-baseline discrimination so
+//!   steady heavy legitimate prefixes never fire, EWMA damping, TTL +
+//!   renewal (detector re-assertion *or* data-plane hits).
+//! * [`TableGate`] ([`gate`]) — the per-packet data plane: token
+//!   buckets in trace time, drop crediting, ground-truth byte
+//!   classification for collateral scoring.
+//! * [`ingest`] / [`render`] — the `/hhh` wire format in, the
+//!   `/rules` JSON and CLI table out.
+//!
+//! `hhh-loadgen --mitigate` drives the whole loop against the planted
+//! scenario suite and scores attack bytes dropped vs legitimate
+//! collateral per detector kind.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod ingest;
+pub mod policy;
+pub mod render;
+pub mod rule;
+pub mod table;
+
+pub use gate::{GateTotals, TableGate};
+pub use ingest::{parse_policy_windows, PolicySink};
+pub use policy::{FiredRule, PolicyConfig, PolicyEngine, PolicyStats};
+pub use render::{rules_json, rules_text};
+pub use rule::{Action, Rule};
+pub use table::RuleTable;

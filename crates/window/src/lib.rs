@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod filter;
 pub mod geometry;
 pub mod pipeline;
 mod report;
@@ -71,6 +72,7 @@ pub mod sink;
 pub mod source;
 pub mod transport;
 
+pub use filter::{PacketGate, RuleFilter};
 pub use pipeline::{
     Continuous, Disjoint, Engine, FoldSnapshots, MicroVaried, Pipeline, ShardedContinuous,
     ShardedDisjoint, ShardedSliding, SlidingExact,
